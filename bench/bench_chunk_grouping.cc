@@ -1,0 +1,62 @@
+// Reproduces the §6.2 "Additional Tests": grouping queries over Chunk
+// Tables. Queries on the narrowest chunks can be an order of magnitude
+// slower than on conventional tables because every aggregated column
+// drags in another aligning join over the whole partition.
+#include <cstdio>
+#include <cstdlib>
+
+#include "chunk_bench_common.h"
+
+namespace mtdb {
+namespace bench {
+namespace {
+
+int Main() {
+  ChunkBenchConfig config;
+  config.parents = 150;
+  if (const char* env = std::getenv("MTDB_BENCH_PARENTS")) {
+    config.parents = std::atoi(env);
+  }
+  std::printf("=== Additional Tests: grouping query response times (ms) ===\n");
+
+  std::vector<std::unique_ptr<Deployment>> deployments;
+  {
+    auto conv = MakeDeployment(config, 0);
+    if (!conv.ok()) return 1;
+    deployments.push_back(std::move(*conv));
+  }
+  for (int width : config.widths) {
+    auto d = MakeDeployment(config, width);
+    if (!d.ok()) return 1;
+    deployments.push_back(std::move(*d));
+  }
+
+  std::printf("%-10s", "agg cols");
+  for (const auto& d : deployments) std::printf(" %12s", d->label.c_str());
+  std::printf("\n");
+
+  for (int aggs : {1, 4, 8, 16}) {
+    std::printf("%-10d", aggs);
+    for (const auto& d : deployments) {
+      auto r = RunQuery(d.get(), BuildGroupingQuery(aggs), {}, /*reps=*/3,
+                        /*cold=*/false);
+      if (!r.ok()) {
+        std::fprintf(stderr, "\nquery: %s\n", r.status().ToString().c_str());
+        return 1;
+      }
+      std::printf(" %12.3f", r->mean_ms);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nExpected shape: the gap between chunk3 and conventional grows\n"
+      "with the number of aggregated columns, up to an order of\n"
+      "magnitude; wider chunks fill the range in between.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace mtdb
+
+int main() { return mtdb::bench::Main(); }

@@ -1,0 +1,71 @@
+// Reproduces Figure 9: "Response Times with Warm Cache" — Q2 over the
+// conventional layout vs. Chunk Tables of width 3/6/15/30/90, sweeping
+// the Q2 scale factor. The paper's shape: conventional fastest, width-3
+// chunks slowest (aligning-join overhead), width >= 15 close to
+// conventional; all curves grow with the scale factor.
+#include <cstdio>
+#include <cstdlib>
+
+#include "chunk_bench_common.h"
+
+namespace mtdb {
+namespace bench {
+namespace {
+
+int Main() {
+  ChunkBenchConfig config;
+  if (const char* env = std::getenv("MTDB_BENCH_PARENTS")) {
+    config.parents = std::atoi(env);
+  }
+  std::printf("=== Figure 9: Q2 response times, warm cache (ms) ===\n");
+  std::printf("parents=%d children/parent=%d\n", config.parents,
+              config.children_per_parent);
+
+  std::vector<std::unique_ptr<Deployment>> deployments;
+  {
+    auto conv = MakeDeployment(config, 0);
+    if (!conv.ok()) {
+      std::fprintf(stderr, "setup: %s\n", conv.status().ToString().c_str());
+      return 1;
+    }
+    deployments.push_back(std::move(*conv));
+  }
+  for (int width : config.widths) {
+    auto d = MakeDeployment(config, width);
+    if (!d.ok()) {
+      std::fprintf(stderr, "setup: %s\n", d.status().ToString().c_str());
+      return 1;
+    }
+    deployments.push_back(std::move(*d));
+  }
+
+  std::printf("%-6s", "scale");
+  for (const auto& d : deployments) std::printf(" %12s", d->label.c_str());
+  std::printf("\n");
+
+  // The paper uses the same ? value for every warm run.
+  std::vector<Value> params{Value::Int64(config.parents / 2)};
+  for (int scale = 6; scale <= 90; scale += 6) {
+    std::printf("%-6d", scale);
+    for (const auto& d : deployments) {
+      auto r = RunQuery(d.get(), BuildQ2(scale), params, /*reps=*/5,
+                        /*cold=*/false);
+      if (!r.ok()) {
+        std::fprintf(stderr, "\nquery: %s\n", r.status().ToString().c_str());
+        return 1;
+      }
+      std::printf(" %12.3f", r->mean_ms);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nExpected shape: conventional < chunk90..chunk15 << chunk3; the\n"
+      "narrowest chunks pay the most row-reconstruction joins (Fig. 9).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace mtdb
+
+int main() { return mtdb::bench::Main(); }

@@ -1,0 +1,126 @@
+// Ablation: the Chunk Folding tuning loop. A skewed workload hammers one
+// extension's columns; the heat profile observed by the transformation
+// layer feeds AdviseConventionalExtensions, and the advised deployment
+// (hot extension in a conventional table) is compared against the
+// untuned all-chunked deployment — "divide the meta-data budget between
+// application-specific conventional tables and Chunk Tables" (§1.2),
+// driven by data instead of guesswork.
+#include <chrono>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/chunk_folding_layout.h"
+#include "core/heat.h"
+#include "testbed/crm_schema.h"
+
+namespace mtdb {
+namespace bench {
+namespace {
+
+using mapping::AppSchema;
+using mapping::ChunkFoldingLayout;
+using mapping::ChunkFoldingOptions;
+
+constexpr int kTenants = 16;
+constexpr int kRows = 60;
+constexpr int kActions = 2000;
+
+Status Load(ChunkFoldingLayout* layout) {
+  Rng rng(5);
+  for (TenantId t = 0; t < kTenants; ++t) {
+    MTDB_RETURN_IF_ERROR(layout->CreateTenant(t));
+    // project_opportunity is a *wide* extension (5 columns, 3 of which
+    // land in string slots): folded, it spans two chunks and every read
+    // of its full width pays an aligning join.
+    MTDB_RETURN_IF_ERROR(layout->EnableExtension(t, "project_opportunity"));
+    for (int64_t id = 1; id <= kRows; ++id) {
+      MTDB_RETURN_IF_ERROR(
+          layout
+              ->Execute(t, "INSERT INTO opportunity (id, account_id, name, "
+                           "status, site, permits, inspection, architect, "
+                           "bid_total) VALUES (?, 0, ?, 'open', ?, ?, ?, ?, ?)",
+                        {Value::Int64(id), Value::String(rng.Word(5, 10)),
+                         Value::String("site" + std::to_string(id % 9)),
+                         Value::Int32(static_cast<int32_t>(id % 40)),
+                         Value::Date(static_cast<int32_t>(13000 + id)),
+                         Value::String(rng.Word(6, 12)),
+                         Value::Double(static_cast<double>(id) * 100.0)})
+              .status());
+    }
+  }
+  return Status::OK();
+}
+
+/// Hot-extension workload: queries read the full width of the wide
+/// extension, so the folded layout pays chunk-aligning joins every time.
+Result<double> RunSkewedWorkload(ChunkFoldingLayout* layout) {
+  Rng rng(9);
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kActions; ++i) {
+    TenantId t = static_cast<TenantId>(rng.Uniform(0, kTenants - 1));
+    Result<QueryResult> r = layout->Query(
+        t,
+        "SELECT site, permits, inspection, architect, bid_total "
+        "FROM opportunity WHERE site = ?",
+        {Value::String("site" + std::to_string(rng.Uniform(0, 8)))});
+    MTDB_RETURN_IF_ERROR(r.status());
+  }
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+int Main() {
+  AppSchema app = testbed::BuildCrmAppSchema();
+  std::printf("=== Chunk Folding tuning: all-chunked vs. advisor-tuned ===\n");
+
+  // Phase 1: observe the workload on the untuned deployment.
+  Database untuned_db;
+  ChunkFoldingLayout untuned(&untuned_db, &app);
+  if (!untuned.Bootstrap().ok() || !Load(&untuned).ok()) return 1;
+  auto untuned_time = RunSkewedWorkload(&untuned);
+  if (!untuned_time.ok()) {
+    std::fprintf(stderr, "untuned: %s\n",
+                 untuned_time.status().ToString().c_str());
+    return 1;
+  }
+
+  // Phase 2: ask the advisor what the heat says.
+  auto advised =
+      AdviseConventionalExtensions(app, untuned.heat_profile(), 1);
+  std::printf("advisor (from %llu observed column accesses): ",
+              static_cast<unsigned long long>(untuned.heat_profile().total()));
+  for (const auto& e : advised) std::printf("%s ", e.c_str());
+  std::printf("\n");
+
+  // Phase 3: redeploy with the hot extension conventional and rerun.
+  Database tuned_db;
+  ChunkFoldingOptions options;
+  options.conventional_extensions = advised;
+  ChunkFoldingLayout tuned(&tuned_db, &app, options);
+  if (!tuned.Bootstrap().ok() || !Load(&tuned).ok()) return 1;
+  auto tuned_time = RunSkewedWorkload(&tuned);
+  if (!tuned_time.ok()) return 1;
+
+  double speedup = *untuned_time / *tuned_time;
+  std::printf("\n%-22s %8.3f s  (%zu tables, %llu KB meta)\n",
+              "all-chunked:", *untuned_time, untuned_db.Stats().tables,
+              static_cast<unsigned long long>(
+                  untuned_db.Stats().metadata_bytes / 1024));
+  std::printf("%-22s %8.3f s  (%zu tables, %llu KB meta)\n",
+              "advisor-tuned:", *tuned_time, tuned_db.Stats().tables,
+              static_cast<unsigned long long>(
+                  tuned_db.Stats().metadata_bytes / 1024));
+  std::printf("speedup: %.2fx\n", speedup);
+  std::printf(
+      "\nExpected shape: the tuned deployment spends one extra table of\n"
+      "meta-data to serve the hot extension conventionally and wins on\n"
+      "the skewed workload (the paper's 'most heavily-utilized parts into\n"
+      "conventional tables' principle, closed-loop).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace mtdb
+
+int main() { return mtdb::bench::Main(); }

@@ -1,0 +1,210 @@
+// Beyond-paper extension (the §7 agenda): run the full CRM application
+// through the mapping layer itself — extensions included — and compare
+// every schema-mapping technique under one mixed OLTP workload. The
+// paper's testbed only modeled the Extension Table Layout with base
+// tables; this is "Chunk Folding in a more complete setting".
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "core/basic_layout.h"
+#include "core/chunk_folding_layout.h"
+#include "core/chunk_layout.h"
+#include "core/extension_layout.h"
+#include "core/pivot_layout.h"
+#include "core/private_layout.h"
+#include "core/universal_layout.h"
+#include "testbed/crm_schema.h"
+
+namespace mtdb {
+namespace bench {
+namespace {
+
+using mapping::AppSchema;
+using mapping::SchemaMapping;
+
+struct LayoutUnderTest {
+  const char* name;
+  std::unique_ptr<Database> db;
+  std::unique_ptr<SchemaMapping> layout;
+};
+
+std::unique_ptr<SchemaMapping> Make(const std::string& name, Database* db,
+                                    AppSchema* app) {
+  using namespace mapping;  // NOLINT
+  if (name == "private") return std::make_unique<PrivateTableLayout>(db, app);
+  if (name == "extension") {
+    return std::make_unique<ExtensionTableLayout>(db, app);
+  }
+  if (name == "universal") {
+    return std::make_unique<UniversalTableLayout>(db, app);
+  }
+  if (name == "pivot") return std::make_unique<PivotTableLayout>(db, app);
+  if (name == "chunk") return std::make_unique<ChunkTableLayout>(db, app);
+  return std::make_unique<ChunkFoldingLayout>(db, app);
+}
+
+struct WorkloadResult {
+  double elapsed_s = 0;
+  int actions = 0;
+  SampleSet point, report, insert, update;
+};
+
+/// One mixed logical workload, identical across layouts.
+Result<WorkloadResult> RunWorkload(SchemaMapping* layout, int tenants,
+                                   int rows, int actions, uint64_t seed) {
+  Rng rng(seed);
+  WorkloadResult out;
+  auto timed = [&](SampleSet* set, auto&& fn) -> Status {
+    auto start = std::chrono::steady_clock::now();
+    Status st = fn();
+    auto end = std::chrono::steady_clock::now();
+    if (st.ok()) {
+      set->Add(std::chrono::duration<double, std::milli>(end - start).count());
+    }
+    return st;
+  };
+  auto begin = std::chrono::steady_clock::now();
+  for (int i = 0; i < actions; ++i) {
+    TenantId t = static_cast<TenantId>(rng.Uniform(0, tenants - 1));
+    int64_t id = rng.Uniform(1, rows);
+    int kind = static_cast<int>(rng.Uniform(0, 99));
+    Status st;
+    if (kind < 55) {
+      // Point select by entity id (Select Light).
+      st = timed(&out.point, [&] {
+        return layout
+            ->Query(t, "SELECT * FROM account WHERE id = ?",
+                    {Value::Int64(id)})
+            .status();
+      });
+    } else if (kind < 70) {
+      // Reporting (Select Heavy): per-status rollup incl. extension
+      // columns when the tenant has them.
+      st = timed(&out.report, [&] {
+        return layout
+            ->Query(t, "SELECT status, COUNT(*), SUM(amount) FROM account "
+                       "GROUP BY status")
+            .status();
+      });
+    } else if (kind < 85) {
+      // Insert Light.
+      st = timed(&out.insert, [&] {
+        return layout
+            ->Execute(t, "INSERT INTO account (id, campaign_id, name, "
+                         "status, amount) VALUES (?, 0, ?, 'open', ?)",
+                      {Value::Int64(1000000 + rng.Uniform(0, 1000000000)),
+                       Value::String(rng.Word(5, 10)),
+                       Value::Double(rng.UniformDouble(10, 10000))})
+            .status();
+      });
+    } else {
+      // Update Light by entity id.
+      st = timed(&out.update, [&] {
+        return layout
+            ->Execute(t, "UPDATE account SET amount = ? WHERE id = ?",
+                      {Value::Double(rng.UniformDouble(10, 10000)),
+                       Value::Int64(id)})
+            .status();
+      });
+    }
+    if (!st.ok()) return st;
+    out.actions++;
+  }
+  auto end = std::chrono::steady_clock::now();
+  out.elapsed_s = std::chrono::duration<double>(end - begin).count();
+  return out;
+}
+
+int Main() {
+  int tenants = 24;
+  int rows = 40;
+  int actions = 1500;
+  if (const char* env = std::getenv("MTDB_BENCH_TENANTS")) {
+    tenants = std::atoi(env);
+  }
+
+  AppSchema app = testbed::BuildCrmAppSchema();
+  std::printf("=== CRM workload across schema-mapping layouts ===\n");
+  std::printf("%d tenants (1/3 healthcare, 1/3 automotive ext), %d accounts "
+              "each, %d actions\n\n",
+              tenants, rows, actions);
+  std::printf("%-14s %8s %9s %12s %11s %11s %11s %11s\n", "layout", "tables",
+              "meta(KB)", "actions/s", "p95 point", "p95 report", "p95 ins",
+              "p95 upd");
+
+  for (const char* name : {"basic", "private", "extension", "universal",
+                           "pivot", "chunk", "chunkfolding"}) {
+    auto db = std::make_unique<Database>();
+    std::unique_ptr<SchemaMapping> layout;
+    if (std::string(name) == "basic") {
+      layout = std::make_unique<mapping::BasicLayout>(db.get(), &app);
+    } else {
+      layout = Make(name, db.get(), &app);
+    }
+    if (!layout->Bootstrap().ok()) return 1;
+    Rng rng(11);
+    for (TenantId t = 0; t < tenants; ++t) {
+      if (!layout->CreateTenant(t).ok()) return 1;
+      // Basic cannot host extensions; others stagger them.
+      if (std::string(name) != "basic") {
+        if (t % 3 == 0 &&
+            !layout->EnableExtension(t, "healthcare_account").ok()) {
+          return 1;
+        }
+        if (t % 3 == 1 &&
+            !layout->EnableExtension(t, "automotive_account").ok()) {
+          return 1;
+        }
+      }
+      for (int64_t id = 1; id <= rows; ++id) {
+        Row row{Value::Int64(id), Value::Int64(0),
+                Value::String(rng.Word(5, 10)),
+                Value::String(id % 2 == 0 ? "open" : "won")};
+        // Pad base columns up to the logical width with NULLs via the
+        // named-columns insert path.
+        Status st =
+            layout
+                ->Execute(t, "INSERT INTO account (id, campaign_id, name, "
+                             "status, amount) VALUES (?, ?, ?, ?, ?)",
+                          {row[0], row[1], row[2], row[3],
+                           Value::Double(static_cast<double>(id) * 7.5)})
+                .status();
+        if (!st.ok()) {
+          std::fprintf(stderr, "load(%s): %s\n", name, st.ToString().c_str());
+          return 1;
+        }
+      }
+    }
+
+    auto result = RunWorkload(layout.get(), tenants, rows, actions, 99);
+    if (!result.ok()) {
+      std::fprintf(stderr, "workload(%s): %s\n", name,
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    EngineStats stats = db->Stats();
+    std::printf("%-14s %8zu %9llu %12.0f %10.2f %11.2f %10.2f %10.2f\n", name,
+                stats.tables,
+                static_cast<unsigned long long>(stats.metadata_bytes / 1024),
+                result->actions / result->elapsed_s,
+                result->point.Quantile(0.95), result->report.Quantile(0.95),
+                result->insert.Quantile(0.95), result->update.Quantile(0.95));
+  }
+  std::printf(
+      "\nExpected shape: private/basic are fastest but sit at the two\n"
+      "extremes of the consolidation-extensibility trade-off; pivot pays\n"
+      "the most reconstruction joins; chunk folding approaches\n"
+      "extension-table performance with generic-structure consolidation\n"
+      "(Figure 2 / Section 3's trade-off, measured).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace mtdb
+
+int main() { return mtdb::bench::Main(); }

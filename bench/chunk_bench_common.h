@@ -1,0 +1,77 @@
+#ifndef MTDB_BENCH_CHUNK_BENCH_COMMON_H_
+#define MTDB_BENCH_CHUNK_BENCH_COMMON_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/basic_layout.h"
+#include "core/chunk_layout.h"
+#include "core/layout.h"
+
+namespace mtdb {
+namespace bench {
+
+/// The §6.2 test schema: Parent and Child with an id, a foreign key on
+/// Child, and 90 data columns evenly split over INTEGER/DATE/VARCHAR.
+inline constexpr int kDataColumns = 90;
+
+/// Scaled-down §6.2 data sizes (paper: 10,000 parents x 100 children).
+struct ChunkBenchConfig {
+  int parents = 400;
+  int children_per_parent = 10;
+  uint64_t seed = 7;
+  /// Widths of the chunk representations to compare (paper: 3..90).
+  std::vector<int> widths = {3, 6, 15, 30, 90};
+};
+
+/// One schema deployment: either the conventional layout or a Chunk
+/// Table layout of a given width (0 = conventional), loaded with data.
+struct Deployment {
+  std::string label;
+  int width = 0;  // 0 => conventional
+  std::unique_ptr<Database> db;
+  std::unique_ptr<mapping::AppSchema> app;
+  std::unique_ptr<mapping::SchemaMapping> layout;
+};
+
+/// Builds the parent/child logical schema.
+mapping::AppSchema ParentChildSchema();
+
+/// Creates + loads one deployment. width==0 gives the conventional
+/// (Basic) layout; otherwise a folded Chunk Table layout of that width.
+/// `vertical` selects the unfolded vertical-partitioning variant.
+Result<std::unique_ptr<Deployment>> MakeDeployment(
+    const ChunkBenchConfig& config, int width, bool vertical = false);
+
+/// The paper's Q2 with `scale` data columns per side:
+///   SELECT p.id, p.col1..k, c.col1..k FROM parent p, child c
+///   WHERE p.id = c.parent AND p.id = ?
+/// `scale` counts the total data columns (split evenly across p and c),
+/// matching the paper's "(# of data columns)/2 in Q2's SELECT clause".
+std::string BuildQ2(int scale);
+
+/// A grouping variant for the "Additional Tests" experiment:
+///   SELECT c.colK, COUNT(*), ... FROM child c GROUP BY c.colK.
+std::string BuildGroupingQuery(int scale);
+
+/// Runs `sql` against a deployment `reps` times (optionally cold cache)
+/// and returns (mean milliseconds, logical page reads per run).
+struct RunResult {
+  double mean_ms = 0.0;
+  double logical_reads = 0.0;
+  double physical_reads = 0.0;
+};
+Result<RunResult> RunQuery(Deployment* d, const std::string& sql,
+                           const std::vector<Value>& params, int reps,
+                           bool cold);
+
+/// Data-column name for index i (0-based): int/date/str round-robin,
+/// matching ParentChildSchema().
+std::string DataColumnName(int i);
+
+}  // namespace bench
+}  // namespace mtdb
+
+#endif  // MTDB_BENCH_CHUNK_BENCH_COMMON_H_

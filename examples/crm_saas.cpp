@@ -1,0 +1,113 @@
+// A hosted CRM service (the paper's §4 testbed application) running on
+// the mapping layer: multiple tenants, vertical-industry extensions,
+// daily CRUD + reporting traffic, and consolidation statistics.
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/chunk_folding_layout.h"
+#include "testbed/crm_schema.h"
+
+using namespace mtdb;           // NOLINT: example brevity
+using namespace mtdb::mapping;  // NOLINT
+
+namespace {
+
+void Check(const Status& st, const char* what) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, st.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  // The 10-table CRM application schema of Figure 5 plus its extension
+  // catalog, hosted with Chunk Folding.
+  AppSchema app = testbed::BuildCrmAppSchema();
+  Database db;
+  ChunkFoldingLayout layout(&db, &app);
+  Check(layout.Bootstrap(), "bootstrap");
+
+  constexpr int kTenants = 10;
+  Rng rng(2024);
+  for (TenantId t = 0; t < kTenants; ++t) {
+    Check(layout.CreateTenant(t), "create tenant");
+    // A third of the tenants are health-care businesses, a third are
+    // automotive; the rest run the vanilla CRM.
+    if (t % 3 == 0) {
+      Check(layout.EnableExtension(t, "healthcare_account"), "extension");
+    } else if (t % 3 == 1) {
+      Check(layout.EnableExtension(t, "automotive_account"), "extension");
+    }
+  }
+
+  // Each tenant loads accounts and opportunities through its own SQL.
+  const char* statuses[] = {"new", "open", "won", "lost"};
+  for (TenantId t = 0; t < kTenants; ++t) {
+    for (int i = 1; i <= 8; ++i) {
+      std::string extra_cols, extra_vals;
+      if (t % 3 == 0) {
+        extra_cols = ", hospital, beds";
+        extra_vals = ", '" + rng.Word(5, 10) + "', " +
+                     std::to_string(rng.Uniform(50, 900));
+      } else if (t % 3 == 1) {
+        extra_cols = ", dealers";
+        extra_vals = ", " + std::to_string(rng.Uniform(1, 40));
+      }
+      Check(layout
+                .Execute(t, "INSERT INTO account (id, campaign_id, name, "
+                            "status" + extra_cols + ") VALUES (" +
+                            std::to_string(i) + ", 0, '" + rng.Word(4, 10) +
+                            "', '" + statuses[rng.Uniform(0, 3)] + "'" +
+                            extra_vals + ")")
+                .status(),
+            "insert account");
+      Check(layout
+                .Execute(t, "INSERT INTO opportunity (id, account_id, name, "
+                            "status, amount) VALUES (" +
+                            std::to_string(i) + ", " + std::to_string(i) +
+                            ", '" + rng.Word(4, 10) + "', '" +
+                            statuses[rng.Uniform(0, 3)] + "', " +
+                            std::to_string(rng.Uniform(1000, 90000)) + ")")
+                .status(),
+            "insert opportunity");
+    }
+  }
+
+  // A health-care tenant's business-activity report mixes base and
+  // extension columns transparently.
+  std::printf("tenant 0 (health care) — pipeline by status:\n");
+  auto report = layout.Query(
+      0,
+      "SELECT a.status, COUNT(*), SUM(o.amount), AVG(a.beds) "
+      "FROM account a, opportunity o WHERE o.account_id = a.id "
+      "GROUP BY a.status ORDER BY a.status");
+  Check(report.status(), "report");
+  for (const Row& row : report->rows) {
+    std::printf("  %-6s deals=%s pipeline=%s avg_beds=%s\n",
+                row[0].ToString().c_str(), row[1].ToString().c_str(),
+                row[2].ToString().c_str(), row[3].ToString().c_str());
+  }
+
+  // An automotive tenant cannot see health-care columns — the logical
+  // schemas are truly per-tenant.
+  auto wrong = layout.Query(1, "SELECT beds FROM account");
+  std::printf("\ntenant 1 asking for tenant 0's extension column: %s\n",
+              wrong.status().ToString().c_str());
+
+  // The consolidation math the paper's Figure 2 is about.
+  EngineStats stats = db.Stats();
+  std::printf("\n%d tenants x 10-table CRM schema -> %zu physical tables, "
+              "%llu KB meta-data, %zu indexes\n",
+              kTenants, stats.tables,
+              static_cast<unsigned long long>(stats.metadata_bytes / 1024),
+              stats.indexes);
+  std::printf("(private tables would need %d tables)\n", kTenants * 10);
+  const mapping::LayoutStats& ls = layout.stats();
+  std::printf("mapping layer: %llu queries transformed, %llu physical "
+              "statements issued\n",
+              static_cast<unsigned long long>(ls.queries_transformed),
+              static_cast<unsigned long long>(ls.physical_statements));
+  return 0;
+}

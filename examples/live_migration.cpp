@@ -1,0 +1,92 @@
+// On-the-fly layout migration (§7 future work, implemented): a service
+// that started on private tables per tenant consolidates onto Chunk
+// Folding as it grows — without taking the source off-line, since the
+// migrator reads through the ordinary query-transformation path.
+#include <cstdio>
+
+#include "core/chunk_folding_layout.h"
+#include "core/migrator.h"
+#include "core/private_layout.h"
+#include "testbed/crm_schema.h"
+
+using namespace mtdb;           // NOLINT: example brevity
+using namespace mtdb::mapping;  // NOLINT
+
+namespace {
+
+void Check(const Status& st, const char* what) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, st.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  AppSchema app = testbed::BuildCrmAppSchema();
+
+  // The young service: 12 tenants on private tables (fast, simple, but
+  // 120 physical tables and growing linearly with every signup).
+  Database old_db;
+  PrivateTableLayout source(&old_db, &app);
+  Check(source.Bootstrap(), "bootstrap source");
+  for (TenantId t = 0; t < 12; ++t) {
+    Check(source.CreateTenant(t), "tenant");
+    if (t % 2 == 0) {
+      Check(source.EnableExtension(t, "healthcare_account"), "extension");
+    }
+    for (int i = 1; i <= 25; ++i) {
+      std::string extra_cols = t % 2 == 0 ? ", hospital, beds" : "";
+      std::string extra_vals =
+          t % 2 == 0 ? ", 'h" + std::to_string(i % 5) + "', " +
+                           std::to_string(i * 10)
+                     : "";
+      Check(source
+                .Execute(t, "INSERT INTO account (id, campaign_id, name, "
+                            "status" + extra_cols + ") VALUES (" +
+                            std::to_string(i) + ", 0, 'acct" +
+                            std::to_string(i) + "', 'open'" + extra_vals + ")")
+                .status(),
+            "insert");
+    }
+  }
+  std::printf("source (private tables): %zu tables, %llu KB meta-data\n",
+              old_db.Stats().tables,
+              static_cast<unsigned long long>(
+                  old_db.Stats().metadata_bytes / 1024));
+
+  // The grown-up deployment: Chunk Folding in a fresh database.
+  Database new_db;
+  ChunkFoldingLayout target(&new_db, &app);
+  Check(target.Bootstrap(), "bootstrap target");
+
+  auto report = LayoutMigrator::MigrateAll(&source, &target);
+  Check(report.status(), "migrate");
+  std::printf("migrated %d tenants, %lld rows\n", report->tenants_migrated,
+              static_cast<long long>(report->rows_migrated));
+  std::printf("target (chunk folding): %zu tables, %llu KB meta-data\n",
+              new_db.Stats().tables,
+              static_cast<unsigned long long>(
+                  new_db.Stats().metadata_bytes / 1024));
+
+  // The application never notices: the same logical SQL works on both.
+  const char* q = "SELECT COUNT(*), SUM(beds) FROM account WHERE beds > 100";
+  auto before = source.Query(0, q);
+  auto after = target.Query(0, q);
+  Check(before.status(), "query source");
+  Check(after.status(), "query target");
+  std::printf("\ntenant 0, '%s'\n  source: count=%s sum=%s\n  target: "
+              "count=%s sum=%s\n",
+              q, before->rows[0][0].ToString().c_str(),
+              before->rows[0][1].ToString().c_str(),
+              after->rows[0][0].ToString().c_str(),
+              after->rows[0][1].ToString().c_str());
+
+  // And the target is immediately live for writes.
+  Check(target.Execute(0, "UPDATE account SET beds = beds + 1 WHERE id = 2")
+            .status(),
+        "post-migration update");
+  std::printf("\npost-migration DML on the target: OK\n");
+  return 0;
+}

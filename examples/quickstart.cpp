@@ -1,0 +1,98 @@
+// Quickstart: the paper's Figure 4 running example on Chunk Folding.
+//
+// Three tenants share one multi-tenant database. Tenant 17 extends
+// Account for health care, tenant 42 for automotive; tenant 35 uses the
+// base schema. The mapping layer rewrites each tenant's ordinary SQL
+// into queries over the physical multi-tenant tables.
+#include <cstdio>
+
+#include "core/chunk_folding_layout.h"
+
+using namespace mtdb;           // NOLINT: example brevity
+using namespace mtdb::mapping;  // NOLINT
+
+namespace {
+
+void Check(const Status& st, const char* what) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, st.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  // 1. Describe the application's logical schema: one base table plus
+  //    the catalog of vertical-industry extensions.
+  AppSchema app;
+  LogicalTable account;
+  account.name = "account";
+  account.columns = {{"aid", TypeId::kInt64, /*indexed=*/true},
+                     {"name", TypeId::kString, false}};
+  Check(app.AddTable(std::move(account)), "add table");
+
+  ExtensionDef healthcare;
+  healthcare.name = "healthcare";
+  healthcare.base_table = "account";
+  healthcare.columns = {{"hospital", TypeId::kString, false},
+                        {"beds", TypeId::kInt32, false}};
+  Check(app.AddExtension(std::move(healthcare)), "add extension");
+
+  ExtensionDef automotive;
+  automotive.name = "automotive";
+  automotive.base_table = "account";
+  automotive.columns = {{"dealers", TypeId::kInt32, false}};
+  Check(app.AddExtension(std::move(automotive)), "add extension");
+
+  // 2. Stand up the multi-tenant database with the Chunk Folding layout:
+  //    hot base columns in a conventional table, extensions folded into
+  //    a fixed set of generic Chunk Tables.
+  Database db;
+  ChunkFoldingLayout layout(&db, &app);
+  Check(layout.Bootstrap(), "bootstrap");
+
+  for (TenantId t : {17, 35, 42}) Check(layout.CreateTenant(t), "tenant");
+  Check(layout.EnableExtension(17, "healthcare"), "extension");
+  Check(layout.EnableExtension(42, "automotive"), "extension");
+
+  // 3. Tenants load data with plain SQL against *their own* schema.
+  Check(layout
+            .Execute(17,
+                     "INSERT INTO account (aid, name, hospital, beds) VALUES "
+                     "(1, 'Acme', 'St. Mary', 135), (2, 'Gump', 'State', 1042)")
+            .status(),
+        "insert t17");
+  Check(layout.Execute(35, "INSERT INTO account (aid, name) VALUES (1, 'Ball')")
+            .status(),
+        "insert t35");
+  Check(layout
+            .Execute(42,
+                     "INSERT INTO account (aid, name, dealers) VALUES "
+                     "(1, 'Big', 65)")
+            .status(),
+        "insert t42");
+
+  // 4. Query Q1 from the paper, written by tenant 17 as if it owned a
+  //    private Account table.
+  const char* q1 = "SELECT beds FROM account WHERE hospital = 'State'";
+  auto result = layout.Query(17, q1);
+  Check(result.status(), "query");
+  std::printf("Q1 for tenant 17: %s\n", q1);
+  for (const Row& row : result->rows) {
+    std::printf("  beds = %s\n", row[0].ToString().c_str());
+  }
+
+  // 5. Peek behind the curtain: the SQL the transformation layer
+  //    actually ran (cf. the paper's Section 6.1).
+  auto transformed = layout.ShowTransformed(17, q1);
+  Check(transformed.status(), "transform");
+  std::printf("\ntransformed physical SQL:\n  %s\n", transformed->c_str());
+
+  // 6. Consolidation: every tenant's data lives in just a few tables.
+  EngineStats stats = db.Stats();
+  std::printf("\nphysical tables for all tenants: %zu (meta-data %llu KB)\n",
+              stats.tables,
+              static_cast<unsigned long long>(stats.metadata_bytes / 1024));
+  return 0;
+}

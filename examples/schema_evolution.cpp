@@ -1,0 +1,104 @@
+// On-line schema evolution: the §3 argument that generic structures let
+// logical schemas change while the database stays on-line, versus the
+// Private Table Layout where adding columns means physical DDL and a
+// table rebuild.
+//
+// The same evolution — a tenant adopts the health-care extension after
+// already having data — is run against both layouts, counting the
+// physical work each one does.
+#include <cstdio>
+
+#include "core/chunk_folding_layout.h"
+#include "core/private_layout.h"
+#include "testbed/crm_schema.h"
+
+using namespace mtdb;           // NOLINT: example brevity
+using namespace mtdb::mapping;  // NOLINT
+
+namespace {
+
+void Check(const Status& st, const char* what) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, st.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+void RunEvolution(SchemaMapping* layout, const char* label) {
+  Check(layout->Bootstrap(), "bootstrap");
+  Check(layout->CreateTenant(7), "tenant");
+
+  // Phase 1: the tenant works with the base schema for a while.
+  for (int i = 1; i <= 200; ++i) {
+    Check(layout
+              ->Execute(7, "INSERT INTO account (id, campaign_id, name, "
+                           "status) VALUES (?, 0, ?, 'open')",
+                        {Value::Int64(i),
+                         Value::String("acct" + std::to_string(i))})
+              .status(),
+          "insert");
+  }
+
+  Database* db = layout->db();
+  EngineStats before = db->Stats();
+  uint64_t allocations_before = before.store.allocations;
+  size_t tables_before = before.tables;
+
+  // Phase 2: the business becomes a hospital chain — adopt the
+  // health-care extension while the service keeps running.
+  Check(layout->EnableExtension(7, "healthcare_account"), "extension");
+
+  EngineStats after = db->Stats();
+  std::printf("%-14s: extension enabled; %llu fresh pages allocated, "
+              "tables %zu -> %zu, physical DDL statements: %llu\n",
+              label,
+              static_cast<unsigned long long>(after.store.allocations -
+                                              allocations_before),
+              tables_before, after.tables,
+              static_cast<unsigned long long>(layout->stats().ddl_statements));
+
+  // Phase 3: old rows show NULL extension values; new traffic uses them.
+  Check(layout
+            ->Execute(7, "UPDATE account SET hospital = 'General', beds = 320 "
+                         "WHERE id = 42")
+            .status(),
+        "update");
+  auto row = layout->Query(
+      7, "SELECT name, hospital, beds FROM account WHERE id = 42");
+  Check(row.status(), "query");
+  std::printf("                row 42 after evolution: name=%s hospital=%s "
+              "beds=%s\n",
+              row->rows[0][0].ToString().c_str(),
+              row->rows[0][1].ToString().c_str(),
+              row->rows[0][2].ToString().c_str());
+  auto old_row =
+      layout->Query(7, "SELECT hospital FROM account WHERE id = 41");
+  Check(old_row.status(), "query");
+  std::printf("                row 41 untouched: hospital=%s\n",
+              old_row->rows[0][0].ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  AppSchema app = testbed::BuildCrmAppSchema();
+  std::printf("Evolving a tenant with 200 existing accounts onto the "
+              "health-care extension:\n\n");
+  {
+    Database db;
+    PrivateTableLayout layout(&db, &app);
+    RunEvolution(&layout, "private");
+  }
+  std::printf("\n");
+  {
+    Database db;
+    ChunkFoldingLayout layout(&db, &app);
+    RunEvolution(&layout, "chunk folding");
+  }
+  std::printf(
+      "\nThe private layout rebuilds the tenant's table (DDL + full copy);\n"
+      "Chunk Folding only appends per-row chunk entries and never issues\n"
+      "DDL — 'logical schema changes can occur while the database is\n"
+      "on-line' (§1.2).\n");
+  return 0;
+}

@@ -1,0 +1,182 @@
+#include "catalog/catalog.h"
+
+#include <algorithm>
+
+#include "common/key_encoding.h"
+
+namespace mtdb {
+
+const IndexInfo* TableInfo::FindIndexOnPrefix(
+    const std::vector<size_t>& cols) const {
+  for (const auto& idx : indexes) {
+    if (idx->key_columns.size() >= cols.size() &&
+        std::equal(cols.begin(), cols.end(), idx->key_columns.begin())) {
+      return idx.get();
+    }
+  }
+  return nullptr;
+}
+
+Catalog::Catalog(BufferPool* pool, uint64_t memory_budget_bytes,
+                 MetadataCosts costs)
+    : pool_(pool), memory_budget_(memory_budget_bytes), costs_(costs) {
+  pool_->SetCapacity(BufferFrames());
+}
+
+size_t Catalog::BufferFrames() const {
+  uint64_t page_size = pool_->store()->page_size();
+  if (metadata_bytes_ >= memory_budget_) return 1;
+  uint64_t left = memory_budget_ - metadata_bytes_;
+  size_t frames = static_cast<size_t>(left / page_size);
+  return frames < 1 ? 1 : frames;
+}
+
+void Catalog::Recharge(int64_t delta_bytes) {
+  if (delta_bytes < 0 && metadata_bytes_ < static_cast<uint64_t>(-delta_bytes)) {
+    metadata_bytes_ = 0;
+  } else {
+    metadata_bytes_ = static_cast<uint64_t>(
+        static_cast<int64_t>(metadata_bytes_) + delta_bytes);
+  }
+  pool_->SetCapacity(BufferFrames());
+}
+
+Result<TableInfo*> Catalog::CreateTable(const std::string& name,
+                                        Schema schema) {
+  std::string key = IdentLower(name);
+  if (tables_.count(key) != 0) {
+    return Status::AlreadyExists("table exists: " + name);
+  }
+  if (schema.size() == 0) {
+    return Status::InvalidArgument("table must have at least one column");
+  }
+  auto info = std::make_unique<TableInfo>();
+  info->id = next_table_id_++;
+  info->name = name;
+  info->schema = std::move(schema);
+  info->codec = std::make_unique<RowCodec>(info->schema.Types());
+  info->heap = std::make_unique<TableHeap>(pool_);
+  TableInfo* raw = info.get();
+  tables_.emplace(key, std::move(info));
+  Recharge(static_cast<int64_t>(costs_.bytes_per_table +
+                                costs_.bytes_per_column * raw->schema.size()));
+  return raw;
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  std::string key = IdentLower(name);
+  auto it = tables_.find(key);
+  if (it == tables_.end()) {
+    return Status::NotFound("no such table: " + name);
+  }
+  TableInfo* info = it->second.get();
+  int64_t credit = static_cast<int64_t>(
+      costs_.bytes_per_table + costs_.bytes_per_column * info->schema.size() +
+      costs_.bytes_per_index * info->indexes.size());
+  for (auto& idx : info->indexes) {
+    index_to_table_.erase(IdentLower(idx->name));
+    idx->tree->Free();
+  }
+  info->heap->Free();
+  tables_.erase(it);
+  Recharge(-credit);
+  return Status::OK();
+}
+
+Result<IndexInfo*> Catalog::CreateIndex(
+    const std::string& table, const std::string& index_name,
+    const std::vector<std::string>& column_names, bool unique) {
+  TableInfo* info = GetTable(table);
+  if (info == nullptr) return Status::NotFound("no such table: " + table);
+  std::string ikey = IdentLower(index_name);
+  if (index_to_table_.count(ikey) != 0) {
+    return Status::AlreadyExists("index exists: " + index_name);
+  }
+  std::vector<size_t> cols;
+  for (const std::string& cname : column_names) {
+    auto pos = info->schema.Find(cname);
+    if (!pos.has_value()) {
+      return Status::NotFound("no column " + cname + " in " + table);
+    }
+    cols.push_back(*pos);
+  }
+  auto idx = std::make_unique<IndexInfo>();
+  idx->id = next_index_id_++;
+  idx->name = index_name;
+  idx->key_columns = std::move(cols);
+  idx->unique = unique;
+  idx->tree = std::make_unique<BTree>(pool_);
+
+  // Backfill from existing rows.
+  TableHeap::Iterator it = info->heap->Begin();
+  std::string image;
+  Rid rid;
+  while (it.Next(&image, &rid)) {
+    Result<Row> row = info->codec->Decode(image.data(),
+                                          static_cast<uint32_t>(image.size()));
+    if (!row.ok()) return row.status();
+    std::vector<Value> key_vals;
+    for (size_t c : idx->key_columns) key_vals.push_back((*row)[c]);
+    std::string key = KeyEncoder::EncodeKey(key_vals);
+    if (idx->unique && idx->tree->Contains(key)) {
+      idx->tree->Free();
+      return Status::ConstraintViolation("duplicate key building unique index " +
+                                         index_name);
+    }
+    MTDB_RETURN_IF_ERROR(idx->tree->Insert(key, rid));
+  }
+
+  IndexInfo* raw = idx.get();
+  info->indexes.push_back(std::move(idx));
+  index_to_table_.emplace(ikey, info->id);
+  Recharge(static_cast<int64_t>(costs_.bytes_per_index));
+  return raw;
+}
+
+Status Catalog::DropIndex(const std::string& index_name) {
+  std::string ikey = IdentLower(index_name);
+  auto it = index_to_table_.find(ikey);
+  if (it == index_to_table_.end()) {
+    return Status::NotFound("no such index: " + index_name);
+  }
+  TableInfo* info = GetTable(it->second);
+  index_to_table_.erase(it);
+  for (auto iit = info->indexes.begin(); iit != info->indexes.end(); ++iit) {
+    if (IdentEquals((*iit)->name, index_name)) {
+      (*iit)->tree->Free();
+      info->indexes.erase(iit);
+      Recharge(-static_cast<int64_t>(costs_.bytes_per_index));
+      return Status::OK();
+    }
+  }
+  return Status::Internal("index map out of sync");
+}
+
+TableInfo* Catalog::GetTable(const std::string& name) {
+  auto it = tables_.find(IdentLower(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const TableInfo* Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(IdentLower(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+TableInfo* Catalog::GetTable(TableId id) {
+  for (auto& [_, info] : tables_) {
+    if (info->id == id) return info.get();
+  }
+  return nullptr;
+}
+
+size_t Catalog::index_count() const { return index_to_table_.size(); }
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [_, info] : tables_) out.push_back(info->name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace mtdb

@@ -1,0 +1,102 @@
+#ifndef MTDB_CATALOG_CATALOG_H_
+#define MTDB_CATALOG_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/result.h"
+#include "index/btree.h"
+#include "storage/row_codec.h"
+#include "storage/table_heap.h"
+
+namespace mtdb {
+
+/// Per-object meta-data charges against the engine memory budget,
+/// mirroring "IBM DB2 V9.1 allocates 4 KB of memory for each table, so
+/// 100,000 tables consume 400 MB of memory up front" (§1.1).
+struct MetadataCosts {
+  uint64_t bytes_per_table = 4096;
+  uint64_t bytes_per_column = 64;
+  uint64_t bytes_per_index = 1024;
+};
+
+/// A secondary (or primary) index definition plus its B+Tree.
+struct IndexInfo {
+  IndexId id = -1;
+  std::string name;
+  std::vector<size_t> key_columns;  // positions in the table schema
+  bool unique = false;
+  std::unique_ptr<BTree> tree;
+};
+
+/// A physical table: schema + heap + indexes + row codec.
+struct TableInfo {
+  TableId id = -1;
+  std::string name;
+  Schema schema;
+  std::unique_ptr<RowCodec> codec;
+  std::unique_ptr<TableHeap> heap;
+  std::vector<std::unique_ptr<IndexInfo>> indexes;
+
+  /// Finds an index whose key columns start with exactly `cols` (used by
+  /// the planner for index selection).
+  const IndexInfo* FindIndexOnPrefix(const std::vector<size_t>& cols) const;
+};
+
+/// The system catalog. Creating/dropping tables and indexes charges/
+/// releases meta-data bytes against the shared memory budget and resizes
+/// the buffer pool accordingly — the mechanism behind §5's scalability
+/// limit ("the fundamental limitation ... is the number of tables the
+/// database can handle, which is itself dependent on the amount of
+/// available memory").
+class Catalog {
+ public:
+  Catalog(BufferPool* pool, uint64_t memory_budget_bytes,
+          MetadataCosts costs = MetadataCosts());
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  Result<TableInfo*> CreateTable(const std::string& name, Schema schema);
+  Status DropTable(const std::string& name);
+
+  /// Creates a B+Tree index over `column_names` of `table`.
+  Result<IndexInfo*> CreateIndex(const std::string& table,
+                                 const std::string& index_name,
+                                 const std::vector<std::string>& column_names,
+                                 bool unique);
+  Status DropIndex(const std::string& index_name);
+
+  TableInfo* GetTable(const std::string& name);
+  const TableInfo* GetTable(const std::string& name) const;
+  TableInfo* GetTable(TableId id);
+
+  size_t table_count() const { return tables_.size(); }
+  size_t index_count() const;
+  std::vector<std::string> TableNames() const;
+
+  uint64_t metadata_bytes() const { return metadata_bytes_; }
+  uint64_t memory_budget_bytes() const { return memory_budget_; }
+  /// Buffer-pool frames left after the meta-data charge.
+  size_t BufferFrames() const;
+
+ private:
+  void Recharge(int64_t delta_bytes);
+
+  BufferPool* pool_;
+  uint64_t memory_budget_;
+  MetadataCosts costs_;
+  uint64_t metadata_bytes_ = 0;
+
+  std::unordered_map<std::string, std::unique_ptr<TableInfo>> tables_;
+  std::unordered_map<std::string, TableId> index_to_table_;
+  TableId next_table_id_ = 1;
+  IndexId next_index_id_ = 1;
+};
+
+}  // namespace mtdb
+
+#endif  // MTDB_CATALOG_CATALOG_H_

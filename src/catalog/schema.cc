@@ -1,0 +1,52 @@
+#include "catalog/schema.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace mtdb {
+
+bool IdentEquals(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string IdentLower(const std::string& s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+std::optional<size_t> Schema::Find(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (IdentEquals(columns_[i].name, name)) return i;
+  }
+  return std::nullopt;
+}
+
+std::vector<TypeId> Schema::Types() const {
+  std::vector<TypeId> out;
+  out.reserve(columns_.size());
+  for (const Column& c : columns_) out.push_back(c.type);
+  return out;
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += TypeName(columns_[i].type);
+    if (columns_[i].not_null) out += " NOT NULL";
+  }
+  return out;
+}
+
+}  // namespace mtdb

@@ -1,0 +1,51 @@
+#ifndef MTDB_CATALOG_SCHEMA_H_
+#define MTDB_CATALOG_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mtdb {
+
+/// A physical column definition.
+struct Column {
+  std::string name;
+  TypeId type = TypeId::kNull;
+  bool not_null = false;
+};
+
+/// An ordered list of columns. Identifier comparison is
+/// case-insensitive, as in SQL.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t size() const { return columns_.size(); }
+  const Column& at(size_t i) const { return columns_[i]; }
+
+  void AddColumn(Column c) { columns_.push_back(std::move(c)); }
+
+  /// Index of the named column, or nullopt.
+  std::optional<size_t> Find(const std::string& name) const;
+
+  std::vector<TypeId> Types() const;
+
+  /// "name TYPE, name TYPE, ..." for DDL echoing and docs.
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+/// Case-insensitive identifier equality.
+bool IdentEquals(const std::string& a, const std::string& b);
+/// Lower-cases an identifier.
+std::string IdentLower(const std::string& s);
+
+}  // namespace mtdb
+
+#endif  // MTDB_CATALOG_SCHEMA_H_

@@ -1,0 +1,52 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mtdb {
+
+void SampleSet::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::Mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : samples_) sum += v;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double SampleSet::Quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  double rank = q * static_cast<double>(samples_.size() - 1);
+  size_t lo = static_cast<size_t>(std::floor(rank));
+  size_t hi = std::min(lo + 1, samples_.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double SampleSet::Min() const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  return samples_.front();
+}
+
+double SampleSet::Max() const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  return samples_.back();
+}
+
+double SampleSet::FractionBelow(double threshold) const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  auto it = std::upper_bound(samples_.begin(), samples_.end(), threshold);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+}  // namespace mtdb

@@ -1,0 +1,46 @@
+#ifndef MTDB_COMMON_METRICS_H_
+#define MTDB_COMMON_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mtdb {
+
+/// Accumulates response-time (or other scalar) samples and reports
+/// order statistics. Used by the MTD testbed for the 95% quantiles and
+/// baseline-compliance metrics of Table 2.
+class SampleSet {
+ public:
+  void Add(double v) {
+    samples_.push_back(v);
+    sorted_ = false;
+  }
+  void Merge(const SampleSet& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sorted_ = false;
+  }
+
+  size_t count() const { return samples_.size(); }
+  double Mean() const;
+  /// q in [0,1]; nearest-rank quantile. Returns 0 on an empty set.
+  double Quantile(double q) const;
+  double Min() const;
+  double Max() const;
+  /// Fraction of samples <= threshold (the "baseline compliance" test).
+  double FractionBelow(double threshold) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  // Sorted lazily by the accessors.
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+
+  void EnsureSorted() const;
+};
+
+}  // namespace mtdb
+
+#endif  // MTDB_COMMON_METRICS_H_

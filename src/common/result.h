@@ -1,0 +1,70 @@
+#ifndef MTDB_COMMON_RESULT_H_
+#define MTDB_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace mtdb {
+
+/// Value-or-error holder, modeled after arrow::Result. A Result is either
+/// OK and holds a T, or holds a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): mirrors arrow::Result.
+  Result(T value) : value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Moves the value out, or returns `fallback` when in error state.
+  T ValueOr(T fallback) && {
+    return ok() ? std::move(*value_) : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, propagating errors.
+/// Usage: MTDB_ASSIGN_OR_RETURN(auto x, ComputeX());
+#define MTDB_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#define MTDB_ASSIGN_OR_RETURN_CAT(a, b) a##b
+#define MTDB_ASSIGN_OR_RETURN_CAT2(a, b) MTDB_ASSIGN_OR_RETURN_CAT(a, b)
+#define MTDB_ASSIGN_OR_RETURN(lhs, expr) \
+  MTDB_ASSIGN_OR_RETURN_IMPL(            \
+      MTDB_ASSIGN_OR_RETURN_CAT2(_mtdb_result_, __LINE__), lhs, expr)
+
+}  // namespace mtdb
+
+#endif  // MTDB_COMMON_RESULT_H_

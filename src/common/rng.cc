@@ -1,0 +1,15 @@
+#include "common/rng.h"
+
+namespace mtdb {
+
+std::string Rng::Word(int min_len, int max_len) {
+  int len = static_cast<int>(Uniform(min_len, max_len));
+  std::string out;
+  out.reserve(len);
+  for (int i = 0; i < len; ++i) {
+    out.push_back(static_cast<char>('a' + Uniform(0, 25)));
+  }
+  return out;
+}
+
+}  // namespace mtdb

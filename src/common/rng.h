@@ -1,0 +1,52 @@
+#ifndef MTDB_COMMON_RNG_H_
+#define MTDB_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mtdb {
+
+/// Deterministic xorshift128+ generator. All synthetic data in the
+/// testbed and benchmarks flows through this so runs are reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5DEECE66DULL) {
+    state0_ = seed ^ 0x9E3779B97F4A7C15ULL;
+    state1_ = seed * 0xBF58476D1CE4E5B9ULL + 1;
+    // Warm up so low-entropy seeds diverge.
+    for (int i = 0; i < 8; ++i) Next();
+  }
+
+  uint64_t Next() {
+    uint64_t x = state0_;
+    const uint64_t y = state1_;
+    state0_ = y;
+    x ^= x << 23;
+    state1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return state1_ + y;
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    if (hi <= lo) return lo;
+    return lo + static_cast<int64_t>(Next() % static_cast<uint64_t>(hi - lo + 1));
+  }
+
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * (static_cast<double>(Next() >> 11) /
+                             static_cast<double>(1ULL << 53));
+  }
+
+  bool Bernoulli(double p) { return UniformDouble(0.0, 1.0) < p; }
+
+  /// Random lowercase word of length in [min_len, max_len].
+  std::string Word(int min_len, int max_len);
+
+ private:
+  uint64_t state0_;
+  uint64_t state1_;
+};
+
+}  // namespace mtdb
+
+#endif  // MTDB_COMMON_RNG_H_

@@ -1,0 +1,87 @@
+#ifndef MTDB_COMMON_STATUS_H_
+#define MTDB_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace mtdb {
+
+/// Error categories used across the engine and the mapping layer.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kResourceExhausted,
+  kInternal,
+  kNotImplemented,
+  kParseError,
+  kTypeMismatch,
+  kConstraintViolation,
+};
+
+/// Arrow/RocksDB-style status object. The engine does not use exceptions;
+/// every fallible operation returns a Status (or Result<T>, see result.h).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeMismatch(std::string msg) {
+    return Status(StatusCode::kTypeMismatch, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg) {
+    return Status(StatusCode::kConstraintViolation, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+const char* StatusCodeName(StatusCode code);
+
+/// Propagates a non-OK Status to the caller.
+#define MTDB_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::mtdb::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                \
+  } while (false)
+
+}  // namespace mtdb
+
+#endif  // MTDB_COMMON_STATUS_H_

@@ -1,0 +1,109 @@
+#include "common/types.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace mtdb {
+
+const char* TypeName(TypeId type) {
+  switch (type) {
+    case TypeId::kNull:
+      return "NULL";
+    case TypeId::kBool:
+      return "BOOLEAN";
+    case TypeId::kInt32:
+      return "INT";
+    case TypeId::kInt64:
+      return "BIGINT";
+    case TypeId::kDouble:
+      return "DOUBLE";
+    case TypeId::kDate:
+      return "DATE";
+    case TypeId::kString:
+      return "VARCHAR";
+  }
+  return "UNKNOWN";
+}
+
+TypeId TypeFromName(const std::string& name) {
+  std::string upper(name);
+  std::transform(upper.begin(), upper.end(), upper.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  if (upper == "INT" || upper == "INTEGER") return TypeId::kInt32;
+  if (upper == "BIGINT") return TypeId::kInt64;
+  if (upper == "DOUBLE" || upper == "FLOAT" || upper == "REAL") {
+    return TypeId::kDouble;
+  }
+  if (upper == "DATE") return TypeId::kDate;
+  if (upper == "VARCHAR" || upper == "TEXT" || upper == "STRING" ||
+      upper == "CHAR") {
+    return TypeId::kString;
+  }
+  if (upper == "BOOLEAN" || upper == "BOOL") return TypeId::kBool;
+  return TypeId::kNull;
+}
+
+bool IsFixedWidth(TypeId type) { return type != TypeId::kString; }
+
+uint32_t FixedWidthOf(TypeId type) {
+  switch (type) {
+    case TypeId::kNull:
+      return 0;
+    case TypeId::kBool:
+      return 1;
+    case TypeId::kInt32:
+      return 4;
+    case TypeId::kInt64:
+      return 8;
+    case TypeId::kDouble:
+      return 8;
+    case TypeId::kDate:
+      return 4;
+    case TypeId::kString:
+      return 0;
+  }
+  return 0;
+}
+
+StorageClass StorageClassOf(TypeId type) {
+  switch (type) {
+    case TypeId::kDouble:
+      return StorageClass::kDoubleLike;
+    case TypeId::kDate:
+      return StorageClass::kDateLike;
+    case TypeId::kString:
+      return StorageClass::kStringLike;
+    default:
+      return StorageClass::kIntLike;
+  }
+}
+
+const char* StorageClassName(StorageClass cls) {
+  switch (cls) {
+    case StorageClass::kIntLike:
+      return "int";
+    case StorageClass::kDoubleLike:
+      return "dbl";
+    case StorageClass::kDateLike:
+      return "date";
+    case StorageClass::kStringLike:
+      return "str";
+  }
+  return "unknown";
+}
+
+TypeId PhysicalTypeOf(StorageClass cls) {
+  switch (cls) {
+    case StorageClass::kIntLike:
+      return TypeId::kInt64;
+    case StorageClass::kDoubleLike:
+      return TypeId::kDouble;
+    case StorageClass::kDateLike:
+      return TypeId::kDate;
+    case StorageClass::kStringLike:
+      return TypeId::kString;
+  }
+  return TypeId::kString;
+}
+
+}  // namespace mtdb

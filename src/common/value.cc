@@ -1,0 +1,165 @@
+#include "common/value.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+
+namespace mtdb {
+
+namespace {
+
+bool IsNumeric(TypeId t) {
+  return t == TypeId::kBool || t == TypeId::kInt32 || t == TypeId::kInt64 ||
+         t == TypeId::kDouble || t == TypeId::kDate;
+}
+
+std::string DateToString(int32_t days) {
+  // Civil-from-days algorithm (Howard Hinnant), valid for all int32 days.
+  int64_t z = days + 719468;
+  int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  int64_t doe = z - era * 146097;
+  int64_t yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  int64_t y = yoe + era * 400;
+  int64_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  int64_t mp = (5 * doy + 2) / 153;
+  int64_t d = doy - (153 * mp + 2) / 5 + 1;
+  int64_t m = mp < 10 ? mp + 3 : mp - 9;
+  if (m <= 2) y += 1;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04lld-%02lld-%02lld",
+                static_cast<long long>(y), static_cast<long long>(m),
+                static_cast<long long>(d));
+  return buf;
+}
+
+}  // namespace
+
+std::string Value::ToString() const {
+  if (null_) return "NULL";
+  switch (type_) {
+    case TypeId::kNull:
+      return "NULL";
+    case TypeId::kBool:
+      return AsBool() ? "true" : "false";
+    case TypeId::kInt32:
+    case TypeId::kInt64:
+      return std::to_string(AsInt64());
+    case TypeId::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", AsDouble());
+      return buf;
+    }
+    case TypeId::kDate:
+      return DateToString(AsDate());
+    case TypeId::kString:
+      return AsString();
+  }
+  return "?";
+}
+
+std::string Value::ToSqlLiteral() const {
+  if (null_) return "NULL";
+  if (type_ == TypeId::kString || type_ == TypeId::kDate) {
+    std::string out = "'";
+    for (char c : ToString()) {
+      if (c == '\'') out += "''";
+      else out += c;
+    }
+    out += "'";
+    return out;
+  }
+  return ToString();
+}
+
+Result<Value> Value::CastTo(TypeId target) const {
+  if (null_) return Value::Null(target);
+  if (type_ == target) return *this;
+  switch (target) {
+    case TypeId::kBool:
+      if (IsNumeric(type_)) return Value::Bool(AsDouble() != 0.0);
+      break;
+    case TypeId::kInt32:
+      if (IsNumeric(type_)) return Value::Int32(static_cast<int32_t>(
+          std::holds_alternative<double>(data_) ? AsDouble() : AsInt64()));
+      if (type_ == TypeId::kString) {
+        return Value::Int32(static_cast<int32_t>(std::atoll(AsString().c_str())));
+      }
+      break;
+    case TypeId::kInt64:
+      if (IsNumeric(type_)) return Value::Int64(
+          std::holds_alternative<double>(data_)
+              ? static_cast<int64_t>(AsDouble())
+              : AsInt64());
+      if (type_ == TypeId::kString) {
+        return Value::Int64(std::atoll(AsString().c_str()));
+      }
+      break;
+    case TypeId::kDouble:
+      if (IsNumeric(type_)) return Value::Double(AsDouble());
+      if (type_ == TypeId::kString) {
+        return Value::Double(std::atof(AsString().c_str()));
+      }
+      break;
+    case TypeId::kDate:
+      if (IsNumeric(type_)) return Value::Date(static_cast<int32_t>(AsInt64()));
+      break;
+    case TypeId::kString:
+      return Value::String(ToString());
+    case TypeId::kNull:
+      break;
+  }
+  return Status::TypeMismatch(std::string("cannot cast ") + TypeName(type_) +
+                              " to " + TypeName(target));
+}
+
+int Value::Compare(const Value& other) const {
+  if (null_ || other.null_) {
+    if (null_ && other.null_) return 0;
+    return null_ ? -1 : 1;
+  }
+  const bool lnum = IsNumeric(type_);
+  const bool rnum = IsNumeric(other.type_);
+  if (lnum && rnum) {
+    const bool ld = std::holds_alternative<double>(data_);
+    const bool rd = std::holds_alternative<double>(other.data_);
+    if (!ld && !rd) {
+      int64_t a = AsInt64(), b = other.AsInt64();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    double a = AsDouble(), b = other.AsDouble();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  // At least one side is a string: compare textual forms.
+  const std::string a = lnum ? ToString() : AsString();
+  const std::string b = rnum ? other.ToString() : other.AsString();
+  return a.compare(b) < 0 ? -1 : (a == b ? 0 : 1);
+}
+
+size_t Value::Hash() const {
+  if (null_) return 0x9e3779b97f4a7c15ULL;
+  if (std::holds_alternative<std::string>(data_)) {
+    return std::hash<std::string>{}(std::get<std::string>(data_));
+  }
+  if (std::holds_alternative<double>(data_)) {
+    double d = std::get<double>(data_);
+    // Hash integral doubles like the equivalent int64 so numeric
+    // cross-type equality keeps hash consistency.
+    if (d == static_cast<double>(static_cast<int64_t>(d))) {
+      return std::hash<int64_t>{}(static_cast<int64_t>(d));
+    }
+    return std::hash<double>{}(d);
+  }
+  return std::hash<int64_t>{}(std::get<int64_t>(data_));
+}
+
+std::string RowToString(const Row& row) {
+  std::string out = "(";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += row[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace mtdb

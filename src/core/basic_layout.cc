@@ -1,0 +1,101 @@
+#include "core/basic_layout.h"
+
+namespace mtdb {
+namespace mapping {
+
+Status BasicLayout::Bootstrap() {
+  for (const LogicalTable& t : app_->tables()) {
+    Schema schema;
+    schema.AddColumn(Column{"tenant", TypeId::kInt32, true});
+    for (const LogicalColumn& c : t.columns) {
+      schema.AddColumn(Column{c.name, c.type, false});
+    }
+    MTDB_RETURN_IF_ERROR(db_->CreateTable(t.name, std::move(schema)));
+    // Unique compound index on (tenant, entity id): first logical column
+    // is the entity id by convention (cf. §4.1's CRM schema).
+    MTDB_RETURN_IF_ERROR(db_->CreateIndex(
+        t.name, "ux_" + IdentLower(t.name) + "_tenant_id",
+        {"tenant", t.columns[0].name}, /*unique=*/true));
+    for (const LogicalColumn& c : t.columns) {
+      if (c.indexed) {
+        MTDB_RETURN_IF_ERROR(db_->CreateIndex(
+            t.name, "ix_" + IdentLower(t.name) + "_" + IdentLower(c.name),
+            {"tenant", c.name}, /*unique=*/false));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status BasicLayout::EnableExtension(TenantId, const std::string& ext) {
+  return Status::NotImplemented(
+      "the Basic Layout shares tables among tenants and cannot represent "
+      "extension " +
+      ext + " (see §3: 'very good consolidation but no extensibility')");
+}
+
+Result<std::unique_ptr<TableMapping>> BasicLayout::BuildMapping(
+    TenantId tenant, const std::string& table) {
+  const LogicalTable* t = app_->FindTable(table);
+  if (t == nullptr) return Status::NotFound("no logical table: " + table);
+  auto mapping = std::make_unique<TableMapping>();
+  PhysicalSource source;
+  source.physical_table = t->name;
+  source.partition.emplace_back("tenant", Value::Int32(tenant));
+  source.row_column.clear();  // rows are addressed by entity columns
+  mapping->sources.push_back(std::move(source));
+  for (const LogicalColumn& c : t->columns) {
+    ColumnTarget target;
+    target.source = 0;
+    target.physical_column = c.name;
+    target.physical_type = c.type;
+    target.logical_type = c.type;
+    mapping->columns[IdentLower(c.name)] = target;
+    mapping->column_order.push_back(c.name);
+  }
+  return mapping;
+}
+
+namespace {
+
+/// tenant = <id> conjunct for direct DML pass-through.
+sql::ParsedExprPtr TenantConjunct(TenantId tenant) {
+  return sql::MakeBinary(sql::BinaryOp::kEq, sql::MakeColumnRef("", "tenant"),
+                         sql::MakeLiteral(Value::Int32(tenant)));
+}
+
+}  // namespace
+
+Result<int64_t> BasicLayout::GenericUpdate(TenantId tenant,
+                                           const sql::UpdateStmt& stmt,
+                                           const std::vector<Value>& params) {
+  sql::Statement phys;
+  phys.kind = sql::StatementKind::kUpdate;
+  phys.update = std::make_unique<sql::UpdateStmt>();
+  phys.update->table = stmt.table;
+  for (const auto& [col, expr] : stmt.assignments) {
+    phys.update->assignments.emplace_back(col, expr->Clone());
+  }
+  phys.update->where = sql::AndTogether(
+      TenantConjunct(tenant),
+      stmt.where == nullptr ? nullptr : stmt.where->Clone());
+  stats_.physical_statements++;
+  return db_->ExecuteAst(phys, params);
+}
+
+Result<int64_t> BasicLayout::GenericDelete(TenantId tenant,
+                                           const sql::DeleteStmt& stmt,
+                                           const std::vector<Value>& params) {
+  sql::Statement phys;
+  phys.kind = sql::StatementKind::kDelete;
+  phys.del = std::make_unique<sql::DeleteStmt>();
+  phys.del->table = stmt.table;
+  phys.del->where = sql::AndTogether(
+      TenantConjunct(tenant),
+      stmt.where == nullptr ? nullptr : stmt.where->Clone());
+  stats_.physical_statements++;
+  return db_->ExecuteAst(phys, params);
+}
+
+}  // namespace mapping
+}  // namespace mtdb

@@ -1,0 +1,36 @@
+#ifndef MTDB_CORE_BASIC_LAYOUT_H_
+#define MTDB_CORE_BASIC_LAYOUT_H_
+
+#include <memory>
+#include <string>
+
+#include "core/layout.h"
+
+namespace mtdb {
+namespace mapping {
+
+/// §3 "Basic Layout": add a Tenant column to each base table and share
+/// the tables among all tenants. Best consolidation, no extensibility —
+/// EnableExtension fails by design.
+class BasicLayout final : public SchemaMapping {
+ public:
+  BasicLayout(Database* db, const AppSchema* app) : SchemaMapping(db, app) {}
+
+  std::string name() const override { return "basic"; }
+
+  Status Bootstrap() override;
+  Status EnableExtension(TenantId tenant, const std::string& ext) override;
+
+ protected:
+  Result<std::unique_ptr<TableMapping>> BuildMapping(
+      TenantId tenant, const std::string& table) override;
+  Result<int64_t> GenericUpdate(TenantId tenant, const sql::UpdateStmt& stmt,
+                                const std::vector<Value>& params) override;
+  Result<int64_t> GenericDelete(TenantId tenant, const sql::DeleteStmt& stmt,
+                                const std::vector<Value>& params) override;
+};
+
+}  // namespace mapping
+}  // namespace mtdb
+
+#endif  // MTDB_CORE_BASIC_LAYOUT_H_

@@ -1,0 +1,196 @@
+#include "core/chunk_folding_layout.h"
+
+namespace mtdb {
+namespace mapping {
+
+namespace {
+
+std::string BaseName(const std::string& table) {
+  return "cf_" + IdentLower(table);
+}
+
+std::string ConvExtName(const std::string& ext) {
+  return "cfext_" + IdentLower(ext);
+}
+
+}  // namespace
+
+Status ChunkFoldingLayout::Bootstrap() {
+  // Conventional multi-tenant base tables: the most heavily-utilized
+  // parts of the logical schemas.
+  for (const LogicalTable& t : app_->tables()) {
+    Schema schema;
+    schema.AddColumn(Column{"tenant", TypeId::kInt32, true});
+    schema.AddColumn(Column{"row", TypeId::kInt64, true});
+    for (const LogicalColumn& c : t.columns) {
+      schema.AddColumn(Column{c.name, c.type, false});
+    }
+    std::string physical = BaseName(t.name);
+    MTDB_RETURN_IF_ERROR(db_->CreateTable(physical, std::move(schema)));
+    MTDB_RETURN_IF_ERROR(db_->CreateIndex(physical, "ux_" + physical + "_row",
+                                          {"tenant", "row"}, /*unique=*/true));
+    for (const LogicalColumn& c : t.columns) {
+      if (c.indexed) {
+        MTDB_RETURN_IF_ERROR(db_->CreateIndex(
+            physical, "ix_" + physical + "_" + IdentLower(c.name),
+            {"tenant", c.name}, /*unique=*/false));
+      }
+    }
+  }
+  // The fixed set of generic Chunk Tables for the remaining parts.
+  {
+    Schema schema;
+    schema.AddColumn(Column{"tenant", TypeId::kInt32, true});
+    schema.AddColumn(Column{"tbl", TypeId::kInt32, true});
+    schema.AddColumn(Column{"chunk", TypeId::kInt32, true});
+    schema.AddColumn(Column{"row", TypeId::kInt64, true});
+    for (const auto& [name, type] : options_.shape.DataColumns()) {
+      schema.AddColumn(Column{name, type, false});
+    }
+    MTDB_RETURN_IF_ERROR(db_->CreateTable(DataTableName(), std::move(schema)));
+    MTDB_RETURN_IF_ERROR(db_->CreateIndex(
+        DataTableName(), "ux_foldchunk_tcr", {"tenant", "tbl", "chunk", "row"},
+        /*unique=*/true));
+  }
+  {
+    Schema schema;
+    schema.AddColumn(Column{"tenant", TypeId::kInt32, true});
+    schema.AddColumn(Column{"tbl", TypeId::kInt32, true});
+    schema.AddColumn(Column{"chunk", TypeId::kInt32, true});
+    schema.AddColumn(Column{"row", TypeId::kInt64, true});
+    schema.AddColumn(Column{"int1", TypeId::kInt64, false});
+    schema.AddColumn(Column{"str1", TypeId::kString, false});
+    MTDB_RETURN_IF_ERROR(db_->CreateTable(IndexTableName(), std::move(schema)));
+    MTDB_RETURN_IF_ERROR(db_->CreateIndex(
+        IndexTableName(), "ux_foldidx_tcr", {"tenant", "tbl", "chunk", "row"},
+        /*unique=*/true));
+    MTDB_RETURN_IF_ERROR(db_->CreateIndex(
+        IndexTableName(), "ix_foldidx_itcr", {"int1", "tenant", "tbl", "chunk"},
+        /*unique=*/false));
+    MTDB_RETURN_IF_ERROR(db_->CreateIndex(
+        IndexTableName(), "ix_foldidx_stcr", {"str1", "tenant", "tbl", "chunk"},
+        /*unique=*/false));
+  }
+  return Status::OK();
+}
+
+Status ChunkFoldingLayout::EnsureConventionalExtension(
+    const ExtensionDef& def) {
+  if (provisioned_exts_.count(IdentLower(def.name)) != 0) return Status::OK();
+  Schema schema;
+  schema.AddColumn(Column{"tenant", TypeId::kInt32, true});
+  schema.AddColumn(Column{"row", TypeId::kInt64, true});
+  for (const LogicalColumn& c : def.columns) {
+    schema.AddColumn(Column{c.name, c.type, false});
+  }
+  std::string physical = ConvExtName(def.name);
+  MTDB_RETURN_IF_ERROR(db_->CreateTable(physical, std::move(schema)));
+  MTDB_RETURN_IF_ERROR(db_->CreateIndex(physical, "ux_" + physical + "_row",
+                                        {"tenant", "row"}, /*unique=*/true));
+  for (const LogicalColumn& c : def.columns) {
+    if (c.indexed) {
+      MTDB_RETURN_IF_ERROR(db_->CreateIndex(
+          physical, "ix_" + physical + "_" + IdentLower(c.name),
+          {"tenant", c.name}, /*unique=*/false));
+    }
+  }
+  provisioned_exts_.insert(IdentLower(def.name));
+  stats_.ddl_statements++;
+  return Status::OK();
+}
+
+Status ChunkFoldingLayout::EnableExtension(TenantId tenant,
+                                           const std::string& ext) {
+  const ExtensionDef* def = app_->FindExtension(ext);
+  if (def == nullptr) return Status::NotFound("no such extension: " + ext);
+  if (options_.conventional_extensions.count(IdentLower(ext)) != 0) {
+    MTDB_RETURN_IF_ERROR(EnsureConventionalExtension(*def));
+  }
+  return SchemaMapping::EnableExtension(tenant, ext);
+}
+
+Result<std::unique_ptr<TableMapping>> ChunkFoldingLayout::BuildMapping(
+    TenantId tenant, const std::string& table) {
+  MTDB_ASSIGN_OR_RETURN(TenantEntry * entry, GetTenant(tenant));
+  const LogicalTable* base = app_->FindTable(table);
+  if (base == nullptr) return Status::NotFound("no logical table: " + table);
+
+  auto mapping = std::make_unique<TableMapping>();
+  int32_t tbl = TableNumber(tenant, table);
+
+  // Source 0: the conventional base table.
+  {
+    PhysicalSource source;
+    source.physical_table = BaseName(table);
+    source.partition.emplace_back("tenant", Value::Int32(tenant));
+    source.row_column = "row";
+    mapping->sources.push_back(std::move(source));
+    for (const LogicalColumn& c : base->columns) {
+      ColumnTarget target;
+      target.source = 0;
+      target.physical_column = c.name;
+      target.physical_type = c.type;
+      target.logical_type = c.type;
+      mapping->columns[IdentLower(c.name)] = target;
+      mapping->column_order.push_back(c.name);
+    }
+  }
+
+  int32_t next_chunk = 0;
+  for (const std::string& ext_name : entry->state.extensions()) {
+    const ExtensionDef* def = app_->FindExtension(ext_name);
+    if (def == nullptr || !IdentEquals(def->base_table, table)) continue;
+
+    if (options_.conventional_extensions.count(IdentLower(ext_name)) != 0) {
+      // Hot extension: its own conventional table.
+      PhysicalSource source;
+      source.physical_table = ConvExtName(def->name);
+      source.partition.emplace_back("tenant", Value::Int32(tenant));
+      source.row_column = "row";
+      size_t src = mapping->sources.size();
+      mapping->sources.push_back(std::move(source));
+      for (const LogicalColumn& c : def->columns) {
+        ColumnTarget target;
+        target.source = src;
+        target.physical_column = c.name;
+        target.physical_type = c.type;
+        target.logical_type = c.type;
+        mapping->columns[IdentLower(c.name)] = target;
+        mapping->column_order.push_back(c.name);
+      }
+      continue;
+    }
+
+    // Cold extension: fold its columns into the generic chunk tables.
+    EffectiveTable pseudo;
+    pseudo.name = def->name;
+    pseudo.columns = def->columns;
+    std::vector<ChunkAssignment> chunks =
+        PartitionIntoChunks(pseudo, options_.shape);
+    for (const ChunkAssignment& chunk : chunks) {
+      PhysicalSource source;
+      source.physical_table =
+          chunk.indexed ? IndexTableName() : DataTableName();
+      source.partition.emplace_back("tenant", Value::Int32(tenant));
+      source.partition.emplace_back("tbl", Value::Int32(tbl));
+      source.partition.emplace_back("chunk", Value::Int32(next_chunk++));
+      source.row_column = "row";
+      size_t src = mapping->sources.size();
+      mapping->sources.push_back(std::move(source));
+      for (const ChunkSlot& slot : chunk.slots) {
+        const LogicalColumn& col = pseudo.columns[slot.logical_column];
+        ColumnTarget target;
+        target.source = src;
+        target.physical_column = slot.physical_column;
+        target.physical_type = PhysicalTypeOf(slot.cls);
+        target.logical_type = col.type;
+        mapping->columns[IdentLower(col.name)] = target;
+        mapping->column_order.push_back(col.name);
+      }
+    }
+  }
+  return mapping;
+}
+
+}  // namespace mapping
+}  // namespace mtdb

@@ -1,0 +1,62 @@
+#ifndef MTDB_CORE_CHUNK_FOLDING_LAYOUT_H_
+#define MTDB_CORE_CHUNK_FOLDING_LAYOUT_H_
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "core/chunk_partitioner.h"
+#include "core/layout.h"
+
+namespace mtdb {
+namespace mapping {
+
+/// Options for Chunk Folding.
+struct ChunkFoldingOptions {
+  /// Shape of the shared data chunk table for folded (cold) columns.
+  ChunkShape shape = ChunkShape::Uniform(6);
+  /// Extensions whose columns are hot enough to deserve their own
+  /// conventional extension tables instead of chunks — how the layout
+  /// "divides the meta-data budget between application-specific
+  /// conventional tables and Chunk Tables". Extensions not listed fold
+  /// into the generic chunk tables.
+  std::set<std::string> conventional_extensions;
+};
+
+/// Figure 4(f) "Chunk Folding" — the paper's contribution. Logical
+/// tables are vertically partitioned: the heavily-utilized base columns
+/// stay in conventional multi-tenant tables (Extension-Table style,
+/// Tenant+Row meta-data), selected hot extensions get conventional
+/// extension tables, and everything else folds into a fixed set of
+/// generic Chunk Tables, joined on Row as needed.
+class ChunkFoldingLayout final : public SchemaMapping {
+ public:
+  ChunkFoldingLayout(Database* db, const AppSchema* app,
+                     ChunkFoldingOptions options = ChunkFoldingOptions())
+      : SchemaMapping(db, app), options_(options) {}
+
+  std::string name() const override { return "chunkfolding"; }
+
+  Status Bootstrap() override;
+  Status EnableExtension(TenantId tenant, const std::string& ext) override;
+
+  const ChunkFoldingOptions& options() const { return options_; }
+
+  static std::string DataTableName() { return "fold_chunkdata"; }
+  static std::string IndexTableName() { return "fold_chunkidx"; }
+
+ protected:
+  Result<std::unique_ptr<TableMapping>> BuildMapping(
+      TenantId tenant, const std::string& table) override;
+
+ private:
+  Status EnsureConventionalExtension(const ExtensionDef& def);
+
+  ChunkFoldingOptions options_;
+  std::set<std::string> provisioned_exts_;
+};
+
+}  // namespace mapping
+}  // namespace mtdb
+
+#endif  // MTDB_CORE_CHUNK_FOLDING_LAYOUT_H_

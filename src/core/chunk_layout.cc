@@ -1,0 +1,161 @@
+#include "core/chunk_layout.h"
+
+namespace mtdb {
+namespace mapping {
+
+namespace {
+
+/// Adds the typed data columns of `shape` to a schema.
+void AddDataColumns(const ChunkShape& shape, Schema* schema) {
+  for (const auto& [name, type] : shape.DataColumns()) {
+    schema->AddColumn(Column{name, type, false});
+  }
+}
+
+/// Short signature of an effective table's column list, used to name the
+/// dedicated tables of the vertical (unfolded) variant so tenants with
+/// identical extension sets share them.
+std::string SchemaSignature(const EffectiveTable& eff) {
+  uint64_t h = 1469598103934665603ull;
+  for (const LogicalColumn& c : eff.columns) {
+    for (char ch : IdentLower(c.name)) {
+      h = (h ^ static_cast<unsigned char>(ch)) * 1099511628211ull;
+    }
+    h = (h ^ static_cast<unsigned char>(c.type)) * 1099511628211ull;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%08llx",
+                static_cast<unsigned long long>(h & 0xFFFFFFFFull));
+  return buf;
+}
+
+}  // namespace
+
+Status ChunkTableLayout::Bootstrap() {
+  trashcan_deletes_ = options_.trashcan;
+  if (!options_.fold) return Status::OK();  // vertical tables are lazy
+
+  // The shared data chunk table.
+  {
+    Schema schema;
+    schema.AddColumn(Column{"tenant", TypeId::kInt32, true});
+    schema.AddColumn(Column{"tbl", TypeId::kInt32, true});
+    schema.AddColumn(Column{"chunk", TypeId::kInt32, true});
+    schema.AddColumn(Column{"row", TypeId::kInt64, true});
+    if (options_.trashcan) {
+      schema.AddColumn(Column{"del", TypeId::kInt32, false});
+    }
+    AddDataColumns(options_.shape, &schema);
+    MTDB_RETURN_IF_ERROR(db_->CreateTable(DataTableName(), std::move(schema)));
+    MTDB_RETURN_IF_ERROR(db_->CreateIndex(
+        DataTableName(), "ux_chunkdata_tcr", {"tenant", "tbl", "chunk", "row"},
+        /*unique=*/true));
+  }
+  // The indexed chunk table: one int column carrying the value index
+  // (the paper's ChunkIndex with its itcr index).
+  {
+    Schema schema;
+    schema.AddColumn(Column{"tenant", TypeId::kInt32, true});
+    schema.AddColumn(Column{"tbl", TypeId::kInt32, true});
+    schema.AddColumn(Column{"chunk", TypeId::kInt32, true});
+    schema.AddColumn(Column{"row", TypeId::kInt64, true});
+    if (options_.trashcan) {
+      schema.AddColumn(Column{"del", TypeId::kInt32, false});
+    }
+    schema.AddColumn(Column{"int1", TypeId::kInt64, false});
+    schema.AddColumn(Column{"str1", TypeId::kString, false});
+    MTDB_RETURN_IF_ERROR(db_->CreateTable(IndexTableName(), std::move(schema)));
+    MTDB_RETURN_IF_ERROR(db_->CreateIndex(
+        IndexTableName(), "ux_chunkidx_tcr", {"tenant", "tbl", "chunk", "row"},
+        /*unique=*/true));
+    MTDB_RETURN_IF_ERROR(db_->CreateIndex(
+        IndexTableName(), "ix_chunkidx_itcr", {"int1", "tenant", "tbl", "chunk"},
+        /*unique=*/false));
+    MTDB_RETURN_IF_ERROR(db_->CreateIndex(
+        IndexTableName(), "ix_chunkidx_stcr", {"str1", "tenant", "tbl", "chunk"},
+        /*unique=*/false));
+  }
+  return Status::OK();
+}
+
+Result<std::string> ChunkTableLayout::EnsureVerticalTable(
+    const std::string& table, const EffectiveTable& eff,
+    const ChunkAssignment& chunk) {
+  std::string physical = "vp_" + IdentLower(table) + "_" +
+                         SchemaSignature(eff) + "_c" +
+                         std::to_string(chunk.chunk_id);
+  if (provisioned_.count(physical) != 0) return physical;
+
+  Schema schema;
+  schema.AddColumn(Column{"tenant", TypeId::kInt32, true});
+  schema.AddColumn(Column{"tbl", TypeId::kInt32, true});
+  schema.AddColumn(Column{"row", TypeId::kInt64, true});
+  if (chunk.indexed) {
+    schema.AddColumn(Column{"int1", TypeId::kInt64, false});
+    schema.AddColumn(Column{"str1", TypeId::kString, false});
+  } else {
+    AddDataColumns(options_.shape, &schema);
+  }
+  MTDB_RETURN_IF_ERROR(db_->CreateTable(physical, std::move(schema)));
+  MTDB_RETURN_IF_ERROR(db_->CreateIndex(physical, "ux_" + physical + "_tr",
+                                        {"tenant", "tbl", "row"},
+                                        /*unique=*/true));
+  if (chunk.indexed) {
+    MTDB_RETURN_IF_ERROR(db_->CreateIndex(physical, "ix_" + physical + "_itr",
+                                          {"int1", "tenant", "tbl"},
+                                          /*unique=*/false));
+    MTDB_RETURN_IF_ERROR(db_->CreateIndex(physical, "ix_" + physical + "_str",
+                                          {"str1", "tenant", "tbl"},
+                                          /*unique=*/false));
+  }
+  provisioned_.insert(physical);
+  return physical;
+}
+
+Result<std::unique_ptr<TableMapping>> ChunkTableLayout::BuildMapping(
+    TenantId tenant, const std::string& table) {
+  MTDB_ASSIGN_OR_RETURN(EffectiveTable eff, GetEffective(tenant, table));
+  std::vector<ChunkAssignment> chunks =
+      PartitionIntoChunks(eff, options_.shape);
+  auto mapping = std::make_unique<TableMapping>();
+  int32_t tbl = TableNumber(tenant, table);
+
+  for (const ChunkAssignment& chunk : chunks) {
+    PhysicalSource source;
+    if (options_.fold) {
+      source.physical_table =
+          chunk.indexed ? IndexTableName() : DataTableName();
+      source.partition.emplace_back("tenant", Value::Int32(tenant));
+      source.partition.emplace_back("tbl", Value::Int32(tbl));
+      source.partition.emplace_back("chunk", Value::Int32(chunk.chunk_id));
+      if (options_.trashcan) {
+        source.partition.emplace_back("del", Value::Int32(0));
+      }
+    } else {
+      MTDB_ASSIGN_OR_RETURN(source.physical_table,
+                            EnsureVerticalTable(table, eff, chunk));
+      source.partition.emplace_back("tenant", Value::Int32(tenant));
+      source.partition.emplace_back("tbl", Value::Int32(tbl));
+    }
+    source.row_column = "row";
+    size_t src = mapping->sources.size();
+    mapping->sources.push_back(std::move(source));
+
+    for (const ChunkSlot& slot : chunk.slots) {
+      const LogicalColumn& col = eff.columns[slot.logical_column];
+      ColumnTarget target;
+      target.source = src;
+      target.physical_column = slot.physical_column;
+      target.physical_type = PhysicalTypeOf(slot.cls);
+      target.logical_type = col.type;
+      mapping->columns[IdentLower(col.name)] = target;
+    }
+  }
+  for (const LogicalColumn& c : eff.columns) {
+    mapping->column_order.push_back(c.name);
+  }
+  return mapping;
+}
+
+}  // namespace mapping
+}  // namespace mtdb

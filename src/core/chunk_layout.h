@@ -1,0 +1,69 @@
+#ifndef MTDB_CORE_CHUNK_LAYOUT_H_
+#define MTDB_CORE_CHUNK_LAYOUT_H_
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "core/chunk_partitioner.h"
+#include "core/layout.h"
+
+namespace mtdb {
+namespace mapping {
+
+/// Options for the Chunk Table Layout family.
+struct ChunkLayoutOptions {
+  /// Width/shape of the shared data chunk table.
+  ChunkShape shape = ChunkShape::Uniform(6);
+  /// true  => Figure 4(e): all chunks fold into shared generic tables
+  ///          (chunkdata/chunkidx) disambiguated by a Chunk column.
+  /// false => "vertical partitioning" comparison case of Test 6: the
+  ///          same chunks, but each (table, chunk) gets its own physical
+  ///          table — identical layout minus the Chunk meta column, at
+  ///          the cost of many more tables.
+  bool fold = true;
+  /// §6.3 Trashcan: deletes become updates that mark rows invisible via
+  /// a `del` column; RestoreDeleted() undoes them.
+  bool trashcan = false;
+};
+
+/// Figure 4(e) "Chunk Table Layout" (and its unfolded vertical-
+/// partitioning sibling). Logical tables are partitioned into chunks by
+/// PartitionIntoChunks; indexed columns land in an indexed chunk table
+/// so they stay index-supported.
+class ChunkTableLayout final : public SchemaMapping {
+ public:
+  ChunkTableLayout(Database* db, const AppSchema* app,
+                   ChunkLayoutOptions options = ChunkLayoutOptions())
+      : SchemaMapping(db, app), options_(options) {}
+
+  std::string name() const override {
+    return options_.fold ? "chunk" : "vertical";
+  }
+
+  Status Bootstrap() override;
+
+  const ChunkLayoutOptions& options() const { return options_; }
+
+  static std::string DataTableName() { return "chunkdata"; }
+  static std::string IndexTableName() { return "chunkidx"; }
+
+ protected:
+  Result<std::unique_ptr<TableMapping>> BuildMapping(
+      TenantId tenant, const std::string& table) override;
+
+ private:
+  /// Vertical (unfolded) variant: ensures the dedicated physical table
+  /// for one chunk of one effective table exists.
+  Result<std::string> EnsureVerticalTable(const std::string& table,
+                                          const EffectiveTable& eff,
+                                          const ChunkAssignment& chunk);
+
+  ChunkLayoutOptions options_;
+  std::set<std::string> provisioned_;
+};
+
+}  // namespace mapping
+}  // namespace mtdb
+
+#endif  // MTDB_CORE_CHUNK_LAYOUT_H_

@@ -1,0 +1,140 @@
+#include "core/chunk_partitioner.h"
+
+namespace mtdb {
+namespace mapping {
+
+int ChunkShape::CapacityFor(StorageClass cls) const {
+  switch (cls) {
+    case StorageClass::kIntLike:
+      return ints;
+    case StorageClass::kDoubleLike:
+      return doubles;
+    case StorageClass::kDateLike:
+      return dates;
+    case StorageClass::kStringLike:
+      return strs;
+  }
+  return 0;
+}
+
+std::vector<std::pair<std::string, TypeId>> ChunkShape::DataColumns() const {
+  std::vector<std::pair<std::string, TypeId>> out;
+  for (int i = 1; i <= ints; ++i) {
+    out.emplace_back("int" + std::to_string(i), TypeId::kInt64);
+  }
+  for (int i = 1; i <= doubles; ++i) {
+    out.emplace_back("dbl" + std::to_string(i), TypeId::kDouble);
+  }
+  for (int i = 1; i <= dates; ++i) {
+    out.emplace_back("date" + std::to_string(i), TypeId::kDate);
+  }
+  for (int i = 1; i <= strs; ++i) {
+    out.emplace_back("str" + std::to_string(i), TypeId::kString);
+  }
+  return out;
+}
+
+ChunkShape ChunkShape::Uniform(int width) {
+  // Spread `width` across int/date/str in the paper's triplet style,
+  // giving any remainder to ints first, then dates.
+  ChunkShape shape;
+  shape.ints = width / 3 + (width % 3 >= 1 ? 1 : 0);
+  shape.dates = width / 3 + (width % 3 >= 2 ? 1 : 0);
+  shape.strs = width / 3;
+  shape.doubles = 0;
+  return shape;
+}
+
+namespace {
+
+const char* PrefixFor(StorageClass cls) {
+  switch (cls) {
+    case StorageClass::kIntLike:
+      return "int";
+    case StorageClass::kDoubleLike:
+      return "dbl";
+    case StorageClass::kDateLike:
+      return "date";
+    case StorageClass::kStringLike:
+      return "str";
+  }
+  return "col";
+}
+
+}  // namespace
+
+std::vector<ChunkAssignment> PartitionIntoChunks(const EffectiveTable& table,
+                                                 const ChunkShape& shape,
+                                                 size_t first_column) {
+  std::vector<ChunkAssignment> out;
+  int32_t next_chunk = 0;
+
+  // Indexed columns first: one single-slot chunk each, in the indexed
+  // chunk table (so they can carry a value index, like ChunkIndex).
+  // The indexed chunk table hosts int1/str1 only: dates ride in the int
+  // slot (order-preserving), indexed doubles fall back to data chunks.
+  auto indexable_class = [](StorageClass cls) -> std::optional<StorageClass> {
+    switch (cls) {
+      case StorageClass::kIntLike:
+      case StorageClass::kDateLike:
+        return StorageClass::kIntLike;
+      case StorageClass::kStringLike:
+        return StorageClass::kStringLike;
+      case StorageClass::kDoubleLike:
+        return std::nullopt;
+    }
+    return std::nullopt;
+  };
+  for (size_t c = first_column; c < table.columns.size(); ++c) {
+    const LogicalColumn& col = table.columns[c];
+    if (!col.indexed) continue;
+    std::optional<StorageClass> cls = indexable_class(StorageClassOf(col.type));
+    if (!cls.has_value()) continue;  // handled as a plain data column below
+    ChunkAssignment chunk;
+    chunk.chunk_id = next_chunk++;
+    chunk.indexed = true;
+    chunk.slots.push_back(
+        ChunkSlot{c, std::string(PrefixFor(*cls)) + "1", *cls});
+    out.push_back(std::move(chunk));
+  }
+
+  // Remaining columns greedily fill `shape`-sized chunks in order.
+  ChunkAssignment current;
+  current.chunk_id = next_chunk;
+  int used[kNumStorageClasses] = {0, 0, 0, 0};
+  auto flush = [&]() {
+    if (!current.slots.empty()) {
+      out.push_back(std::move(current));
+      current = ChunkAssignment();
+      current.chunk_id = ++next_chunk;
+      for (int& u : used) u = 0;
+    }
+  };
+  for (size_t c = first_column; c < table.columns.size(); ++c) {
+    const LogicalColumn& col = table.columns[c];
+    if (col.indexed &&
+        indexable_class(StorageClassOf(col.type)).has_value()) {
+      continue;
+    }
+    StorageClass cls = StorageClassOf(col.type);
+    int cap = shape.CapacityFor(cls);
+    if (cap <= 0) {
+      // The shape cannot host this class at all; fall back to strings
+      // (every value converts to a string, Universal-Table style).
+      cls = StorageClass::kStringLike;
+      cap = shape.CapacityFor(cls);
+      if (cap <= 0) continue;  // unmappable; caller validates shapes
+    }
+    if (used[static_cast<int>(cls)] >= cap) {
+      flush();
+    }
+    int slot_no = ++used[static_cast<int>(cls)];
+    current.slots.push_back(ChunkSlot{
+        c, std::string(PrefixFor(cls)) + std::to_string(slot_no), cls});
+  }
+  flush();
+  return out;
+}
+
+}  // namespace mapping
+}  // namespace mtdb

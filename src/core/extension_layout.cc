@@ -1,0 +1,114 @@
+#include "core/extension_layout.h"
+
+namespace mtdb {
+namespace mapping {
+
+std::string ExtensionTableLayout::BaseName(const std::string& table) {
+  return IdentLower(table);
+}
+
+std::string ExtensionTableLayout::ExtName(const std::string& ext) {
+  return "ext_" + IdentLower(ext);
+}
+
+Status ExtensionTableLayout::Bootstrap() {
+  for (const LogicalTable& t : app_->tables()) {
+    Schema schema;
+    schema.AddColumn(Column{"tenant", TypeId::kInt32, true});
+    schema.AddColumn(Column{"row", TypeId::kInt64, true});
+    for (const LogicalColumn& c : t.columns) {
+      schema.AddColumn(Column{c.name, c.type, false});
+    }
+    std::string physical = BaseName(t.name);
+    MTDB_RETURN_IF_ERROR(db_->CreateTable(physical, std::move(schema)));
+    MTDB_RETURN_IF_ERROR(db_->CreateIndex(physical, "ux_" + physical + "_row",
+                                          {"tenant", "row"}, /*unique=*/true));
+    for (const LogicalColumn& c : t.columns) {
+      if (c.indexed) {
+        MTDB_RETURN_IF_ERROR(db_->CreateIndex(
+            physical, "ix_" + physical + "_" + IdentLower(c.name),
+            {"tenant", c.name}, /*unique=*/false));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status ExtensionTableLayout::EnsureExtensionTable(const ExtensionDef& def) {
+  if (provisioned_exts_.count(IdentLower(def.name)) != 0) return Status::OK();
+  Schema schema;
+  schema.AddColumn(Column{"tenant", TypeId::kInt32, true});
+  schema.AddColumn(Column{"row", TypeId::kInt64, true});
+  for (const LogicalColumn& c : def.columns) {
+    schema.AddColumn(Column{c.name, c.type, false});
+  }
+  std::string physical = ExtName(def.name);
+  MTDB_RETURN_IF_ERROR(db_->CreateTable(physical, std::move(schema)));
+  MTDB_RETURN_IF_ERROR(db_->CreateIndex(physical, "ux_" + physical + "_row",
+                                        {"tenant", "row"}, /*unique=*/true));
+  for (const LogicalColumn& c : def.columns) {
+    if (c.indexed) {
+      MTDB_RETURN_IF_ERROR(db_->CreateIndex(
+          physical, "ix_" + physical + "_" + IdentLower(c.name),
+          {"tenant", c.name}, /*unique=*/false));
+    }
+  }
+  provisioned_exts_.insert(IdentLower(def.name));
+  stats_.ddl_statements++;
+  return Status::OK();
+}
+
+Status ExtensionTableLayout::EnableExtension(TenantId tenant,
+                                             const std::string& ext) {
+  const ExtensionDef* def = app_->FindExtension(ext);
+  if (def == nullptr) return Status::NotFound("no such extension: " + ext);
+  // Extension tables are shared: provision lazily on first use anywhere.
+  MTDB_RETURN_IF_ERROR(EnsureExtensionTable(*def));
+  return SchemaMapping::EnableExtension(tenant, ext);
+}
+
+Result<std::unique_ptr<TableMapping>> ExtensionTableLayout::BuildMapping(
+    TenantId tenant, const std::string& table) {
+  MTDB_ASSIGN_OR_RETURN(TenantEntry * entry, GetTenant(tenant));
+  const LogicalTable* base = app_->FindTable(table);
+  if (base == nullptr) return Status::NotFound("no logical table: " + table);
+
+  auto mapping = std::make_unique<TableMapping>();
+  PhysicalSource base_source;
+  base_source.physical_table = BaseName(table);
+  base_source.partition.emplace_back("tenant", Value::Int32(tenant));
+  base_source.row_column = "row";
+  mapping->sources.push_back(std::move(base_source));
+  for (const LogicalColumn& c : base->columns) {
+    ColumnTarget target;
+    target.source = 0;
+    target.physical_column = c.name;
+    target.physical_type = c.type;
+    target.logical_type = c.type;
+    mapping->columns[IdentLower(c.name)] = target;
+    mapping->column_order.push_back(c.name);
+  }
+  for (const std::string& ext_name : entry->state.extensions()) {
+    const ExtensionDef* def = app_->FindExtension(ext_name);
+    if (def == nullptr || !IdentEquals(def->base_table, table)) continue;
+    PhysicalSource source;
+    source.physical_table = ExtName(def->name);
+    source.partition.emplace_back("tenant", Value::Int32(tenant));
+    source.row_column = "row";
+    size_t src = mapping->sources.size();
+    mapping->sources.push_back(std::move(source));
+    for (const LogicalColumn& c : def->columns) {
+      ColumnTarget target;
+      target.source = src;
+      target.physical_column = c.name;
+      target.physical_type = c.type;
+      target.logical_type = c.type;
+      mapping->columns[IdentLower(c.name)] = target;
+      mapping->column_order.push_back(c.name);
+    }
+  }
+  return mapping;
+}
+
+}  // namespace mapping
+}  // namespace mtdb

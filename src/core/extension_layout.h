@@ -1,0 +1,46 @@
+#ifndef MTDB_CORE_EXTENSION_LAYOUT_H_
+#define MTDB_CORE_EXTENSION_LAYOUT_H_
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "core/layout.h"
+
+namespace mtdb {
+namespace mapping {
+
+/// Figure 4(b) "Extension Table Layout": shared base tables with Tenant
+/// and Row meta-data columns; each extension splits off into its own
+/// shared table, reconstructed by joins on Row. Better consolidation
+/// than private tables, but the table count still grows with the variety
+/// of extensions in use.
+class ExtensionTableLayout final : public SchemaMapping {
+ public:
+  ExtensionTableLayout(Database* db, const AppSchema* app)
+      : SchemaMapping(db, app) {}
+
+  std::string name() const override { return "extension"; }
+
+  Status Bootstrap() override;
+  Status EnableExtension(TenantId tenant, const std::string& ext) override;
+
+  /// Physical name of the shared base table for `table`.
+  static std::string BaseName(const std::string& table);
+  /// Physical name of the shared table for extension `ext`.
+  static std::string ExtName(const std::string& ext);
+
+ protected:
+  Result<std::unique_ptr<TableMapping>> BuildMapping(
+      TenantId tenant, const std::string& table) override;
+
+ private:
+  Status EnsureExtensionTable(const ExtensionDef& def);
+
+  std::set<std::string> provisioned_exts_;
+};
+
+}  // namespace mapping
+}  // namespace mtdb
+
+#endif  // MTDB_CORE_EXTENSION_LAYOUT_H_

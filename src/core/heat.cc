@@ -1,0 +1,54 @@
+#include "core/heat.h"
+
+#include <algorithm>
+
+#include "catalog/schema.h"
+
+namespace mtdb {
+namespace mapping {
+
+void HeatProfile::Record(const std::string& table, const std::string& column,
+                         uint64_t count) {
+  counts_[{IdentLower(table), IdentLower(column)}] += count;
+  total_ += count;
+}
+
+uint64_t HeatProfile::ColumnHeat(const std::string& table,
+                                 const std::string& column) const {
+  auto it = counts_.find({IdentLower(table), IdentLower(column)});
+  return it == counts_.end() ? 0 : it->second;
+}
+
+uint64_t HeatProfile::ExtensionHeat(const ExtensionDef& ext) const {
+  uint64_t heat = 0;
+  for (const LogicalColumn& c : ext.columns) {
+    heat += ColumnHeat(ext.base_table, c.name);
+  }
+  return heat;
+}
+
+void HeatProfile::Clear() {
+  counts_.clear();
+  total_ = 0;
+}
+
+std::set<std::string> AdviseConventionalExtensions(const AppSchema& app,
+                                                   const HeatProfile& heat,
+                                                   int max_conventional) {
+  std::vector<std::pair<uint64_t, std::string>> ranked;
+  for (const ExtensionDef& ext : app.extensions()) {
+    uint64_t h = heat.ExtensionHeat(ext);
+    if (h > 0) ranked.emplace_back(h, IdentLower(ext.name));
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::set<std::string> out;
+  for (const auto& [h, name] : ranked) {
+    if (static_cast<int>(out.size()) >= max_conventional) break;
+    out.insert(name);
+  }
+  return out;
+}
+
+}  // namespace mapping
+}  // namespace mtdb

@@ -1,0 +1,53 @@
+#ifndef MTDB_CORE_HEAT_H_
+#define MTDB_CORE_HEAT_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/logical_schema.h"
+
+namespace mtdb {
+namespace mapping {
+
+/// Column-access statistics observed by the query-transformation layer.
+/// "Good performance is obtained by mapping the most heavily-utilized
+/// parts of the logical schemas into the conventional tables" (§1.2) —
+/// this is the signal that decides what counts as heavily utilized.
+class HeatProfile {
+ public:
+  void Record(const std::string& table, const std::string& column,
+              uint64_t count = 1);
+
+  uint64_t ColumnHeat(const std::string& table,
+                      const std::string& column) const;
+
+  /// Total heat over the columns of one extension.
+  uint64_t ExtensionHeat(const ExtensionDef& ext) const;
+
+  /// Total recorded accesses.
+  uint64_t total() const { return total_; }
+
+  void Clear();
+
+ private:
+  // (table lower, column lower) -> count.
+  std::map<std::pair<std::string, std::string>, uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+/// Greedy advisor: given the observed heat and a budget of at most
+/// `max_conventional` extension tables, returns the extensions whose
+/// columns are hot enough to deserve conventional tables. This is the
+/// knob that "divides the database's meta-data budget between
+/// application-specific conventional tables and Chunk Tables".
+std::set<std::string> AdviseConventionalExtensions(const AppSchema& app,
+                                                   const HeatProfile& heat,
+                                                   int max_conventional);
+
+}  // namespace mapping
+}  // namespace mtdb
+
+#endif  // MTDB_CORE_HEAT_H_

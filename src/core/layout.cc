@@ -1,0 +1,739 @@
+#include "core/layout.h"
+
+#include <algorithm>
+#include <set>
+
+#include "catalog/schema.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+
+namespace mtdb {
+namespace mapping {
+
+namespace {
+
+/// Evaluates a constant (or logical-row-referencing) scalar expression
+/// used in INSERT VALUES / UPDATE SET position.
+Result<Value> EvalScalar(const sql::ParsedExpr& e, const EffectiveTable* table,
+                         const Row* row, const std::vector<Value>& params) {
+  using sql::PExprKind;
+  switch (e.kind) {
+    case PExprKind::kLiteral:
+      return e.literal;
+    case PExprKind::kParam:
+      if (e.param_ordinal >= params.size()) {
+        return Status::InvalidArgument("missing bind parameter");
+      }
+      return params[e.param_ordinal];
+    case PExprKind::kColumnRef: {
+      if (table == nullptr || row == nullptr) {
+        return Status::InvalidArgument("column reference not allowed here: " +
+                                       e.column);
+      }
+      auto pos = table->Find(e.column);
+      if (!pos.has_value()) {
+        return Status::NotFound("no logical column " + e.column);
+      }
+      return (*row)[*pos];
+    }
+    case PExprKind::kUnary: {
+      MTDB_ASSIGN_OR_RETURN(Value c, EvalScalar(*e.left, table, row, params));
+      if (e.unary_op == sql::UnaryOp::kNeg) {
+        if (c.is_null()) return c;
+        if (c.type() == TypeId::kDouble) return Value::Double(-c.AsDouble());
+        return Value::Int64(-c.AsInt64());
+      }
+      if (c.is_null()) return Value::Null(TypeId::kBool);
+      return Value::Bool(!c.AsBool());
+    }
+    case PExprKind::kBinary: {
+      MTDB_ASSIGN_OR_RETURN(Value l, EvalScalar(*e.left, table, row, params));
+      MTDB_ASSIGN_OR_RETURN(Value r, EvalScalar(*e.right, table, row, params));
+      if (l.is_null() || r.is_null()) return Value();
+      const bool dbl =
+          l.type() == TypeId::kDouble || r.type() == TypeId::kDouble;
+      switch (e.binary_op) {
+        case sql::BinaryOp::kAdd:
+          if (l.type() == TypeId::kString || r.type() == TypeId::kString) {
+            return Value::String(l.ToString() + r.ToString());
+          }
+          return dbl ? Value::Double(l.AsDouble() + r.AsDouble())
+                     : Value::Int64(l.AsInt64() + r.AsInt64());
+        case sql::BinaryOp::kSub:
+          return dbl ? Value::Double(l.AsDouble() - r.AsDouble())
+                     : Value::Int64(l.AsInt64() - r.AsInt64());
+        case sql::BinaryOp::kMul:
+          return dbl ? Value::Double(l.AsDouble() * r.AsDouble())
+                     : Value::Int64(l.AsInt64() * r.AsInt64());
+        case sql::BinaryOp::kDiv:
+          if (r.AsDouble() == 0.0) {
+            return Status::InvalidArgument("division by zero");
+          }
+          return dbl ? Value::Double(l.AsDouble() / r.AsDouble())
+                     : Value::Int64(l.AsInt64() / r.AsInt64());
+        default:
+          return Status::InvalidArgument("unsupported scalar expression");
+      }
+    }
+    default:
+      return Status::InvalidArgument("unsupported scalar expression");
+  }
+}
+
+}  // namespace
+
+Schema PhysicalSchemaFromColumns(const std::vector<Column>& cols) {
+  Schema out;
+  for (const Column& c : cols) out.AddColumn(c);
+  return out;
+}
+
+SchemaMapping::SchemaMapping(Database* db, const AppSchema* app)
+    : db_(db), app_(app) {}
+
+Status SchemaMapping::CreateTenant(TenantId tenant) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (tenants_.count(tenant) != 0) {
+    return Status::AlreadyExists("tenant exists: " + std::to_string(tenant));
+  }
+  TenantEntry entry;
+  entry.state = TenantState(tenant);
+  tenants_.emplace(tenant, std::move(entry));
+  return Status::OK();
+}
+
+namespace {
+
+/// Identity of a physical source: table plus partition values.
+std::string SourceKey(const PhysicalSource& s) {
+  std::string key = IdentLower(s.physical_table);
+  for (const auto& [col, val] : s.partition) {
+    key += "|" + IdentLower(col) + "=" + val.ToString();
+  }
+  return key;
+}
+
+}  // namespace
+
+Status SchemaMapping::EnableExtension(TenantId tenant, const std::string& ext) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MTDB_ASSIGN_OR_RETURN(TenantEntry * entry, GetTenant(tenant));
+  const ExtensionDef* def = app_->FindExtension(ext);
+  if (def == nullptr) {
+    return Status::NotFound("no such extension: " + ext);
+  }
+  if (entry->state.HasExtension(ext)) return Status::OK();
+
+  // Remember the pre-extension sources so existing rows can be migrated
+  // into any newly-introduced chunks ("migrate data from one
+  // representation to another on-the-fly").
+  std::set<std::string> old_keys;
+  std::vector<int64_t> existing_rows;
+  {
+    Result<const TableMapping*> old_mapping = Mapping(tenant, def->base_table);
+    if (old_mapping.ok()) {
+      for (const PhysicalSource& s : (*old_mapping)->sources) {
+        old_keys.insert(SourceKey(s));
+      }
+      if (!(*old_mapping)->sources.empty() &&
+          !(*old_mapping)->sources[0].row_column.empty()) {
+        std::vector<AffectedRow> rows;
+        MTDB_ASSIGN_OR_RETURN(
+            rows, CollectAffected(tenant, def->base_table, nullptr, {}));
+        for (const AffectedRow& r : rows) existing_rows.push_back(r.row_id);
+      }
+    }
+  }
+
+  entry->state.EnableExtension(ext);
+  InvalidateMappings();
+
+  // Backfill: every new source must carry a (NULL-valued) row for each
+  // existing logical row so the aligning inner joins stay complete.
+  Result<const TableMapping*> new_mapping = Mapping(tenant, def->base_table);
+  if (!new_mapping.ok()) {
+    // Roll back: the layout cannot host this extension (e.g. a Universal
+    // Table that is too narrow).
+    entry->state.RemoveExtension(ext);
+    InvalidateMappings();
+    return new_mapping.status();
+  }
+  const TableMapping* mapping = *new_mapping;
+  for (const PhysicalSource& source : mapping->sources) {
+    if (old_keys.count(SourceKey(source)) != 0) continue;
+    if (source.row_column.empty()) continue;
+    TableInfo* phys = db_->catalog()->GetTable(source.physical_table);
+    if (phys == nullptr) {
+      return Status::Internal("physical table missing: " +
+                              source.physical_table);
+    }
+    for (int64_t row_id : existing_rows) {
+      Row physical_row(phys->schema.size(), Value());
+      for (const auto& [col, val] : source.partition) {
+        auto pos = phys->schema.Find(col);
+        if (!pos.has_value()) {
+          return Status::Internal("partition column missing: " + col);
+        }
+        physical_row[*pos] = val;
+      }
+      auto pos = phys->schema.Find(source.row_column);
+      if (!pos.has_value()) {
+        return Status::Internal("row column missing: " + source.row_column);
+      }
+      physical_row[*pos] = Value::Int64(row_id);
+      MTDB_RETURN_IF_ERROR(db_->InsertRow(source.physical_table, physical_row));
+      stats_.physical_statements++;
+    }
+  }
+  return Status::OK();
+}
+
+Status SchemaMapping::DropTenant(TenantId tenant) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MTDB_ASSIGN_OR_RETURN(TenantEntry * entry, GetTenant(tenant));
+  (void)entry;
+  // Delete the tenant's rows from every logical table via the mapping.
+  for (const LogicalTable& t : app_->tables()) {
+    sql::DeleteStmt del;
+    del.table = t.name;
+    MTDB_ASSIGN_OR_RETURN(int64_t n, GenericDelete(tenant, del, {}));
+    (void)n;
+  }
+  tenants_.erase(tenant);
+  InvalidateMappings();
+  return Status::OK();
+}
+
+std::vector<TenantId> SchemaMapping::TenantIds() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::vector<TenantId> out;
+  out.reserve(tenants_.size());
+  for (const auto& [id, _] : tenants_) out.push_back(id);
+  return out;
+}
+
+Result<std::vector<std::string>> SchemaMapping::TenantExtensions(
+    TenantId tenant) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    return Status::NotFound("no such tenant: " + std::to_string(tenant));
+  }
+  return it->second.state.extensions();
+}
+
+Result<SchemaMapping::TenantEntry*> SchemaMapping::GetTenant(TenantId tenant) {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    return Status::NotFound("no such tenant: " + std::to_string(tenant));
+  }
+  return &it->second;
+}
+
+Result<EffectiveTable> SchemaMapping::GetEffective(TenantId tenant,
+                                                   const std::string& table) {
+  MTDB_ASSIGN_OR_RETURN(TenantEntry * entry, GetTenant(tenant));
+  return EffectiveSchemaOf(*app_, entry->state, table);
+}
+
+Result<std::vector<std::pair<std::string, TypeId>>>
+SchemaMapping::LogicalColumns(TenantId tenant, const std::string& table) {
+  MTDB_ASSIGN_OR_RETURN(EffectiveTable eff, GetEffective(tenant, table));
+  std::vector<std::pair<std::string, TypeId>> out;
+  for (const LogicalColumn& c : eff.columns) {
+    out.emplace_back(c.name, c.type);
+  }
+  return out;
+}
+
+Result<const TableMapping*> SchemaMapping::Mapping(TenantId tenant,
+                                                   const std::string& table) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  auto key = std::make_pair(tenant, IdentLower(table));
+  auto it = mapping_cache_.find(key);
+  if (it != mapping_cache_.end()) return it->second.get();
+  MTDB_ASSIGN_OR_RETURN(std::unique_ptr<TableMapping> m,
+                        BuildMapping(tenant, table));
+  const TableMapping* raw = m.get();
+  mapping_cache_.emplace(std::move(key), std::move(m));
+  return raw;
+}
+
+void SchemaMapping::InvalidateMappings() { mapping_cache_.clear(); }
+
+int32_t SchemaMapping::TableNumber(TenantId tenant, const std::string& table) {
+  auto key = std::make_pair(tenant, IdentLower(table));
+  auto it = table_numbers_.find(key);
+  if (it != table_numbers_.end()) return it->second;
+  int32_t id = next_table_number_++;
+  table_numbers_.emplace(std::move(key), id);
+  return id;
+}
+
+Result<QueryResult> SchemaMapping::Query(TenantId tenant,
+                                         const std::string& sql,
+                                         const std::vector<Value>& params) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MTDB_ASSIGN_OR_RETURN(auto stmt, sql::ParseSelect(sql));
+  QueryTransformer transformer(this, transform_options_, &heat_);
+  MTDB_ASSIGN_OR_RETURN(auto physical,
+                        transformer.TransformSelect(tenant, *stmt));
+  stats_.queries_transformed++;
+  return db_->QueryAst(*physical, params);
+}
+
+Result<std::string> SchemaMapping::ShowTransformed(TenantId tenant,
+                                                   const std::string& sql) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MTDB_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql));
+  if (stmt.kind != sql::StatementKind::kSelect) {
+    return Status::NotImplemented(
+        "ShowTransformed supports SELECT statements");
+  }
+  QueryTransformer transformer(this, transform_options_);
+  MTDB_ASSIGN_OR_RETURN(auto physical,
+                        transformer.TransformSelect(tenant, *stmt.select));
+  return sql::ToSql(*physical);
+}
+
+Result<int64_t> SchemaMapping::Execute(TenantId tenant, const std::string& sql,
+                                       const std::vector<Value>& params) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MTDB_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql));
+  stats_.statements_transformed++;
+  switch (stmt.kind) {
+    case sql::StatementKind::kInsert:
+      return GenericInsert(tenant, *stmt.insert, params);
+    case sql::StatementKind::kUpdate:
+      return GenericUpdate(tenant, *stmt.update, params);
+    case sql::StatementKind::kDelete:
+      return GenericDelete(tenant, *stmt.del, params);
+    default:
+      return Status::InvalidArgument(
+          "logical Execute() handles INSERT/UPDATE/DELETE");
+  }
+}
+
+Result<int64_t> SchemaMapping::InsertRow(TenantId tenant,
+                                         const std::string& table,
+                                         const Row& row) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MTDB_ASSIGN_OR_RETURN(EffectiveTable eff, GetEffective(tenant, table));
+  std::vector<std::string> columns;
+  for (size_t i = 0; i < row.size() && i < eff.columns.size(); ++i) {
+    columns.push_back(eff.columns[i].name);
+  }
+  return InsertMappedRow(tenant, table, columns, row);
+}
+
+Result<int64_t> SchemaMapping::GenericInsert(TenantId tenant,
+                                             const sql::InsertStmt& stmt,
+                                             const std::vector<Value>& params) {
+  MTDB_ASSIGN_OR_RETURN(EffectiveTable eff, GetEffective(tenant, stmt.table));
+  std::vector<std::string> columns = stmt.columns;
+  if (columns.empty()) {
+    for (const LogicalColumn& c : eff.columns) columns.push_back(c.name);
+  }
+  int64_t inserted = 0;
+  for (const auto& row_exprs : stmt.rows) {
+    if (row_exprs.size() != columns.size()) {
+      return Status::InvalidArgument("VALUES arity mismatch");
+    }
+    Row values;
+    values.reserve(row_exprs.size());
+    for (const auto& e : row_exprs) {
+      MTDB_ASSIGN_OR_RETURN(Value v, EvalScalar(*e, nullptr, nullptr, params));
+      values.push_back(std::move(v));
+    }
+    MTDB_ASSIGN_OR_RETURN(int64_t n,
+                          InsertMappedRow(tenant, stmt.table, columns, values));
+    inserted += n;
+  }
+  return inserted;
+}
+
+Result<int64_t> SchemaMapping::InsertMappedRow(
+    TenantId tenant, const std::string& table,
+    const std::vector<std::string>& columns, const Row& values) {
+  if (columns.size() != values.size()) {
+    return Status::InvalidArgument("column/value count mismatch");
+  }
+  MTDB_ASSIGN_OR_RETURN(TenantEntry * entry, GetTenant(tenant));
+  MTDB_ASSIGN_OR_RETURN(const TableMapping* mapping, Mapping(tenant, table));
+
+  // Assign the logical row id (§6.3: "assign each inserted new row a
+  // unique row identifier").
+  bool needs_row = false;
+  for (const PhysicalSource& s : mapping->sources) {
+    if (!s.row_column.empty()) needs_row = true;
+  }
+  int64_t row_id = 0;
+  if (needs_row) {
+    row_id = entry->next_row[IdentLower(table)]++;
+  }
+
+  // Value per logical column (lower-cased name).
+  std::unordered_map<std::string, const Value*> provided;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    provided[IdentLower(columns[i])] = &values[i];
+  }
+
+  // One physical insert per source.
+  for (size_t src = 0; src < mapping->sources.size(); ++src) {
+    const PhysicalSource& source = mapping->sources[src];
+    TableInfo* phys = db_->catalog()->GetTable(source.physical_table);
+    if (phys == nullptr) {
+      return Status::Internal("physical table missing: " +
+                              source.physical_table);
+    }
+    Row physical_row(phys->schema.size(), Value());
+    // Partition (meta-data) values.
+    for (const auto& [col, val] : source.partition) {
+      auto pos = phys->schema.Find(col);
+      if (!pos.has_value()) {
+        return Status::Internal("partition column missing: " + col);
+      }
+      physical_row[*pos] = val;
+    }
+    if (!source.row_column.empty()) {
+      auto pos = phys->schema.Find(source.row_column);
+      if (!pos.has_value()) {
+        return Status::Internal("row column missing: " + source.row_column);
+      }
+      physical_row[*pos] = Value::Int64(row_id);
+    }
+    // Data values routed to this source.
+    for (const auto& [lname, target] : mapping->columns) {
+      if (target.source != src) continue;
+      auto it = provided.find(lname);
+      if (it == provided.end() || it->second->is_null()) continue;
+      auto pos = phys->schema.Find(target.physical_column);
+      if (!pos.has_value()) {
+        return Status::Internal("physical column missing: " +
+                                target.physical_column);
+      }
+      MTDB_ASSIGN_OR_RETURN(Value cast,
+                            it->second->CastTo(target.physical_type));
+      physical_row[*pos] = std::move(cast);
+    }
+    MTDB_RETURN_IF_ERROR(db_->InsertRow(source.physical_table, physical_row));
+    stats_.physical_statements++;
+  }
+  return 1;
+}
+
+Result<std::vector<SchemaMapping::AffectedRow>> SchemaMapping::CollectAffected(
+    TenantId tenant, const std::string& table, const sql::ParsedExpr* where,
+    const std::vector<Value>& params) {
+  MTDB_ASSIGN_OR_RETURN(EffectiveTable eff, GetEffective(tenant, table));
+  MTDB_ASSIGN_OR_RETURN(const TableMapping* mapping, Mapping(tenant, table));
+
+  std::vector<std::string> cols;
+  std::vector<TypeId> types;
+  for (const LogicalColumn& c : eff.columns) {
+    cols.push_back(c.name);
+    types.push_back(c.type);
+  }
+  // Phase (a): a reconstruction query exposing the row id plus the full
+  // logical row, filtered by the (logical) WHERE clause.
+  sql::SelectStmt outer;
+  sql::TableRef ref;
+  ref.subquery = BuildReconstruction(*mapping, cols, types, "_row");
+  ref.alias = table;
+  outer.from.push_back(std::move(ref));
+  {
+    sql::SelectItem item;
+    item.expr = sql::MakeColumnRef(table, "_row");
+    item.alias = "_row";
+    outer.items.push_back(std::move(item));
+  }
+  for (const std::string& c : cols) {
+    sql::SelectItem item;
+    item.expr = sql::MakeColumnRef(table, c);
+    item.alias = c;
+    outer.items.push_back(std::move(item));
+  }
+  if (where != nullptr) outer.where = where->Clone();
+
+  MTDB_ASSIGN_OR_RETURN(QueryResult result, db_->QueryAst(outer, params));
+  std::vector<AffectedRow> out;
+  out.reserve(result.rows.size());
+  for (Row& r : result.rows) {
+    AffectedRow a;
+    a.row_id = r[0].is_null() ? -1 : r[0].AsInt64();
+    a.logical.assign(r.begin() + 1, r.end());
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+namespace {
+
+/// partition AND (row = r1 OR row = r2 OR ...) for one batch.
+sql::ParsedExprPtr RowBatchPredicate(const PhysicalSource& source,
+                                     const std::vector<int64_t>& rows,
+                                     size_t begin, size_t end) {
+  sql::ParsedExprPtr where;
+  for (const auto& p : source.partition) {
+    where = sql::AndTogether(
+        std::move(where),
+        sql::MakeBinary(sql::BinaryOp::kEq, sql::MakeColumnRef("", p.first),
+                        sql::MakeLiteral(p.second)));
+  }
+  sql::ParsedExprPtr row_set;
+  for (size_t i = begin; i < end; ++i) {
+    sql::ParsedExprPtr eq = sql::MakeBinary(
+        sql::BinaryOp::kEq, sql::MakeColumnRef("", source.row_column),
+        sql::MakeLiteral(Value::Int64(rows[i])));
+    row_set = row_set == nullptr
+                  ? std::move(eq)
+                  : sql::MakeBinary(sql::BinaryOp::kOr, std::move(row_set),
+                                    std::move(eq));
+  }
+  return sql::AndTogether(std::move(where), std::move(row_set));
+}
+
+/// True when the expression never reads the old row (safe to batch).
+bool IsConstantAssignment(const sql::ParsedExpr& e) {
+  if (e.kind == sql::PExprKind::kColumnRef) return false;
+  if (e.left != nullptr && !IsConstantAssignment(*e.left)) return false;
+  if (e.right != nullptr && !IsConstantAssignment(*e.right)) return false;
+  for (const auto& a : e.args) {
+    if (!IsConstantAssignment(*a)) return false;
+  }
+  return true;
+}
+
+constexpr size_t kDmlBatchSize = 64;
+
+}  // namespace
+
+Result<int64_t> SchemaMapping::GenericUpdate(TenantId tenant,
+                                             const sql::UpdateStmt& stmt,
+                                             const std::vector<Value>& params) {
+  MTDB_ASSIGN_OR_RETURN(EffectiveTable eff, GetEffective(tenant, stmt.table));
+  MTDB_ASSIGN_OR_RETURN(const TableMapping* mapping, Mapping(tenant, stmt.table));
+  MTDB_ASSIGN_OR_RETURN(
+      std::vector<AffectedRow> affected,
+      CollectAffected(tenant, stmt.table, stmt.where.get(), params));
+
+  // Resolve assignment targets once.
+  struct ResolvedSet {
+    const sql::ParsedExpr* expr;
+    ColumnTarget target;
+  };
+  std::vector<ResolvedSet> sets;
+  for (const auto& [col, expr] : stmt.assignments) {
+    auto it = mapping->columns.find(IdentLower(col));
+    if (it == mapping->columns.end()) {
+      return Status::NotFound("no logical column " + col + " in " + stmt.table);
+    }
+    sets.push_back({expr.get(), it->second});
+  }
+
+  // Batched Phase (b) (§6.3's IN-predicate option): only when every
+  // assignment is a constant (all affected rows get the same values).
+  bool batchable = dml_mode_ == DmlMode::kBatched;
+  for (const ResolvedSet& rs : sets) {
+    if (!IsConstantAssignment(*rs.expr)) batchable = false;
+  }
+  if (batchable && !affected.empty() &&
+      !mapping->sources[0].row_column.empty()) {
+    std::vector<int64_t> rows;
+    rows.reserve(affected.size());
+    for (const AffectedRow& r : affected) rows.push_back(r.row_id);
+    // Group constant assignments by source.
+    std::map<size_t, std::vector<std::pair<std::string, Value>>> by_source;
+    for (const ResolvedSet& rs : sets) {
+      MTDB_ASSIGN_OR_RETURN(Value v, EvalScalar(*rs.expr, nullptr, nullptr,
+                                                params));
+      if (!v.is_null()) {
+        MTDB_ASSIGN_OR_RETURN(v, v.CastTo(rs.target.physical_type));
+      }
+      by_source[rs.target.source].push_back({rs.target.physical_column, v});
+    }
+    for (auto& [src, assigns] : by_source) {
+      const PhysicalSource& source = mapping->sources[src];
+      for (size_t begin = 0; begin < rows.size(); begin += kDmlBatchSize) {
+        size_t end = std::min(begin + kDmlBatchSize, rows.size());
+        sql::Statement phys;
+        phys.kind = sql::StatementKind::kUpdate;
+        phys.update = std::make_unique<sql::UpdateStmt>();
+        phys.update->table = source.physical_table;
+        for (auto& [col, val] : assigns) {
+          phys.update->assignments.emplace_back(col, sql::MakeLiteral(val));
+        }
+        phys.update->where = RowBatchPredicate(source, rows, begin, end);
+        MTDB_ASSIGN_OR_RETURN(int64_t n, db_->ExecuteAst(phys, {}));
+        (void)n;
+        stats_.physical_statements++;
+      }
+    }
+    return static_cast<int64_t>(affected.size());
+  }
+
+  // Phase (b): per affected row, one physical UPDATE per touched chunk
+  // with local conditions on the meta-data columns and row only.
+  for (const AffectedRow& row : affected) {
+    // Group new values by source.
+    std::map<size_t, std::vector<std::pair<std::string, Value>>> by_source;
+    for (const ResolvedSet& s : sets) {
+      MTDB_ASSIGN_OR_RETURN(Value v, EvalScalar(*s.expr, &eff, &row.logical,
+                                                params));
+      if (!v.is_null()) {
+        MTDB_ASSIGN_OR_RETURN(v, v.CastTo(s.target.physical_type));
+      }
+      by_source[s.target.source].push_back({s.target.physical_column, v});
+    }
+    for (auto& [src, assigns] : by_source) {
+      const PhysicalSource& source = mapping->sources[src];
+      sql::Statement phys;
+      phys.kind = sql::StatementKind::kUpdate;
+      phys.update = std::make_unique<sql::UpdateStmt>();
+      phys.update->table = source.physical_table;
+      for (auto& [col, val] : assigns) {
+        phys.update->assignments.emplace_back(col, sql::MakeLiteral(val));
+      }
+      sql::ParsedExprPtr where;
+      for (const auto& p : source.partition) {
+        where = sql::AndTogether(
+            std::move(where),
+            sql::MakeBinary(sql::BinaryOp::kEq,
+                            sql::MakeColumnRef("", p.first),
+                            sql::MakeLiteral(p.second)));
+      }
+      if (!source.row_column.empty()) {
+        where = sql::AndTogether(
+            std::move(where),
+            sql::MakeBinary(sql::BinaryOp::kEq,
+                            sql::MakeColumnRef("", source.row_column),
+                            sql::MakeLiteral(Value::Int64(row.row_id))));
+      }
+      phys.update->where = std::move(where);
+      MTDB_ASSIGN_OR_RETURN(int64_t n, db_->ExecuteAst(phys, {}));
+      (void)n;
+      stats_.physical_statements++;
+    }
+  }
+  return static_cast<int64_t>(affected.size());
+}
+
+Result<int64_t> SchemaMapping::GenericDelete(TenantId tenant,
+                                             const sql::DeleteStmt& stmt,
+                                             const std::vector<Value>& params) {
+  MTDB_ASSIGN_OR_RETURN(const TableMapping* mapping, Mapping(tenant, stmt.table));
+  MTDB_ASSIGN_OR_RETURN(
+      std::vector<AffectedRow> affected,
+      CollectAffected(tenant, stmt.table, stmt.where.get(), params));
+  // Batched Phase (b): one statement per chunk per batch of rows.
+  if (dml_mode_ == DmlMode::kBatched && !affected.empty() &&
+      !mapping->sources[0].row_column.empty()) {
+    std::vector<int64_t> rows;
+    rows.reserve(affected.size());
+    for (const AffectedRow& r : affected) rows.push_back(r.row_id);
+    for (const PhysicalSource& source : mapping->sources) {
+      for (size_t begin = 0; begin < rows.size(); begin += kDmlBatchSize) {
+        size_t end = std::min(begin + kDmlBatchSize, rows.size());
+        sql::Statement phys;
+        if (trashcan_deletes_) {
+          phys.kind = sql::StatementKind::kUpdate;
+          phys.update = std::make_unique<sql::UpdateStmt>();
+          phys.update->table = source.physical_table;
+          phys.update->assignments.emplace_back(
+              "del", sql::MakeLiteral(Value::Int32(1)));
+          phys.update->where = RowBatchPredicate(source, rows, begin, end);
+        } else {
+          phys.kind = sql::StatementKind::kDelete;
+          phys.del = std::make_unique<sql::DeleteStmt>();
+          phys.del->table = source.physical_table;
+          phys.del->where = RowBatchPredicate(source, rows, begin, end);
+        }
+        MTDB_ASSIGN_OR_RETURN(int64_t n, db_->ExecuteAst(phys, {}));
+        (void)n;
+        stats_.physical_statements++;
+      }
+    }
+    return static_cast<int64_t>(affected.size());
+  }
+
+  // Deletes must touch every chunk of the row (§6.3). With the trashcan
+  // enabled they become updates that mark the rows invisible instead.
+  for (const AffectedRow& row : affected) {
+    for (const PhysicalSource& source : mapping->sources) {
+      sql::ParsedExprPtr where;
+      for (const auto& p : source.partition) {
+        where = sql::AndTogether(
+            std::move(where),
+            sql::MakeBinary(sql::BinaryOp::kEq,
+                            sql::MakeColumnRef("", p.first),
+                            sql::MakeLiteral(p.second)));
+      }
+      if (!source.row_column.empty()) {
+        where = sql::AndTogether(
+            std::move(where),
+            sql::MakeBinary(sql::BinaryOp::kEq,
+                            sql::MakeColumnRef("", source.row_column),
+                            sql::MakeLiteral(Value::Int64(row.row_id))));
+      }
+      sql::Statement phys;
+      if (trashcan_deletes_) {
+        phys.kind = sql::StatementKind::kUpdate;
+        phys.update = std::make_unique<sql::UpdateStmt>();
+        phys.update->table = source.physical_table;
+        phys.update->assignments.emplace_back(
+            "del", sql::MakeLiteral(Value::Int32(1)));
+        phys.update->where = std::move(where);
+      } else {
+        phys.kind = sql::StatementKind::kDelete;
+        phys.del = std::make_unique<sql::DeleteStmt>();
+        phys.del->table = source.physical_table;
+        phys.del->where = std::move(where);
+      }
+      MTDB_ASSIGN_OR_RETURN(int64_t n, db_->ExecuteAst(phys, {}));
+      (void)n;
+      stats_.physical_statements++;
+    }
+  }
+  return static_cast<int64_t>(affected.size());
+}
+
+Result<int64_t> SchemaMapping::RestoreDeleted(TenantId tenant,
+                                              const std::string& table) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (!trashcan_deletes_) {
+    return Status::InvalidArgument("layout does not use trashcan deletes");
+  }
+  MTDB_ASSIGN_OR_RETURN(const TableMapping* mapping, Mapping(tenant, table));
+  int64_t restored = 0;
+  for (const PhysicalSource& source : mapping->sources) {
+    sql::Statement phys;
+    phys.kind = sql::StatementKind::kUpdate;
+    phys.update = std::make_unique<sql::UpdateStmt>();
+    phys.update->table = source.physical_table;
+    phys.update->assignments.emplace_back("del",
+                                          sql::MakeLiteral(Value::Int32(0)));
+    sql::ParsedExprPtr where;
+    for (const auto& p : source.partition) {
+      if (IdentEquals(p.first, "del")) {
+        // Flip the visibility predicate: restore rows marked deleted.
+        where = sql::AndTogether(
+            std::move(where),
+            sql::MakeBinary(sql::BinaryOp::kEq, sql::MakeColumnRef("", "del"),
+                            sql::MakeLiteral(Value::Int32(1))));
+        continue;
+      }
+      where = sql::AndTogether(
+          std::move(where),
+          sql::MakeBinary(sql::BinaryOp::kEq, sql::MakeColumnRef("", p.first),
+                          sql::MakeLiteral(p.second)));
+    }
+    phys.update->where = std::move(where);
+    MTDB_ASSIGN_OR_RETURN(int64_t n, db_->ExecuteAst(phys, {}));
+    restored += n;
+    stats_.physical_statements++;
+  }
+  return restored;
+}
+
+}  // namespace mapping
+}  // namespace mtdb

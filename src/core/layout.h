@@ -1,0 +1,207 @@
+#ifndef MTDB_CORE_LAYOUT_H_
+#define MTDB_CORE_LAYOUT_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "core/logical_schema.h"
+#include "core/table_mapping.h"
+#include "core/transformer.h"
+
+namespace mtdb {
+namespace mapping {
+
+/// Statistics maintained by the mapping layer itself.
+/// §6.3 gives two ways to run Phase (b) of an update/delete:
+///  * kPerRow  — "let the application buffer the result and issue an
+///    atomic update for each resulted row value and every affected
+///    Chunk Table" (default; matches the paper's chosen design), or
+///  * kBatched — one statement per chunk with a row-set predicate
+///    ("nest the transformed query ... using an IN predicate on column
+///    row"), which trades statement count for predicate size.
+enum class DmlMode { kPerRow, kBatched };
+
+struct LayoutStats {
+  uint64_t queries_transformed = 0;
+  uint64_t statements_transformed = 0;
+  uint64_t physical_statements = 0;
+  /// Physical DDL issued after Bootstrap (table rebuilds, lazy extension
+  /// tables); generic layouts keep this at zero — §3's on-line argument.
+  uint64_t ddl_statements = 0;
+};
+
+/// A schema-mapping technique: maps the tenants' single-tenant logical
+/// schemas onto one multi-tenant physical schema (§3) and rewrites
+/// queries/DML accordingly. Concrete subclasses implement the layouts of
+/// Figure 4 plus Chunk Folding.
+///
+/// Thread-safety: public methods are serialized by an internal lock
+/// (sessions from an application server's connection pool may share one
+/// layout object); the underlying Database adds its own statement lock.
+///
+/// The logical SQL dialect is ordinary SQL against the tenant's own
+/// tables (e.g. "SELECT Beds FROM Account WHERE Hospital='State'").
+class SchemaMapping : public MappingResolver {
+ public:
+  SchemaMapping(Database* db, const AppSchema* app);
+  ~SchemaMapping() override = default;
+
+  virtual std::string name() const = 0;
+
+  /// Creates layout-global physical structures (generic tables etc.).
+  virtual Status Bootstrap() = 0;
+
+  /// Registers a tenant (provisions physical structures as needed).
+  virtual Status CreateTenant(TenantId tenant);
+
+  /// Enables an extension for a tenant. Layouts that cannot support
+  /// extensibility (Basic) return an error — the paper's point.
+  virtual Status EnableExtension(TenantId tenant, const std::string& ext);
+
+  /// Drops a tenant and its data.
+  virtual Status DropTenant(TenantId tenant);
+
+  // --- logical statement execution -----------------------------------
+
+  /// Runs a logical SELECT for `tenant`.
+  Result<QueryResult> Query(TenantId tenant, const std::string& sql,
+                            const std::vector<Value>& params = {});
+
+  /// Runs logical INSERT/UPDATE/DELETE for `tenant`; returns affected
+  /// logical rows.
+  Result<int64_t> Execute(TenantId tenant, const std::string& sql,
+                          const std::vector<Value>& params = {});
+
+  /// Returns the transformed physical SQL (for inspection/examples).
+  Result<std::string> ShowTransformed(TenantId tenant, const std::string& sql);
+
+  /// Direct structured insert (used by bulk loaders): values in the
+  /// tenant's effective column order; missing trailing columns NULL.
+  virtual Result<int64_t> InsertRow(TenantId tenant, const std::string& table,
+                                    const Row& row);
+
+  // --- configuration ----------------------------------------------------
+
+  TransformOptions& transform_options() { return transform_options_; }
+  const LayoutStats& stats() const { return stats_; }
+
+  /// Column-access heat observed by this layer's query transformations;
+  /// feeds AdviseConventionalExtensions for Chunk Folding tuning.
+  const HeatProfile& heat_profile() const { return heat_; }
+  HeatProfile* mutable_heat_profile() { return &heat_; }
+
+  DmlMode dml_mode() const { return dml_mode_; }
+  void set_dml_mode(DmlMode mode) { dml_mode_ = mode; }
+
+  /// §6.3: "we transform delete operations into updates that mark the
+  /// tuples as invisible ... in order to provide mechanisms like a
+  /// Trashcan." Only meaningful for layouts whose physical sources carry
+  /// a `del` visibility column (ChunkTableLayout with trashcan enabled).
+  bool trashcan_deletes() const { return trashcan_deletes_; }
+
+  /// Restores every trashcan-deleted row of (tenant, table); returns the
+  /// number of restored physical rows. Fails unless the layout uses
+  /// trashcan deletes.
+  Result<int64_t> RestoreDeleted(TenantId tenant, const std::string& table);
+  Database* db() { return db_; }
+  const AppSchema* app() const { return app_; }
+
+  /// All registered tenants (for migration and administration).
+  std::vector<TenantId> TenantIds() const;
+  /// The extensions a tenant has enabled, in enable order.
+  Result<std::vector<std::string>> TenantExtensions(TenantId tenant) const;
+
+  // MappingResolver:
+  Result<std::vector<std::pair<std::string, TypeId>>> LogicalColumns(
+      TenantId tenant, const std::string& table) override;
+
+ protected:
+  /// Subclass hook: the tenant's physical mapping for a logical table.
+  /// (MappingResolver::Mapping is the public face of this.)
+
+  /// Per-tenant bookkeeping shared by all layouts.
+  struct TenantEntry {
+    TenantState state;
+    /// next row id per logical table (lower-cased name).
+    std::map<std::string, int64_t> next_row;
+  };
+
+  Result<TenantEntry*> GetTenant(TenantId tenant);
+  Result<EffectiveTable> GetEffective(TenantId tenant,
+                                      const std::string& table);
+
+  /// Generic DML implementations driven by the TableMapping (used by all
+  /// generic layouts; Private/Basic override with direct rewrites).
+  virtual Result<int64_t> GenericInsert(TenantId tenant,
+                                        const sql::InsertStmt& stmt,
+                                        const std::vector<Value>& params);
+  virtual Result<int64_t> GenericUpdate(TenantId tenant,
+                                        const sql::UpdateStmt& stmt,
+                                        const std::vector<Value>& params);
+  virtual Result<int64_t> GenericDelete(TenantId tenant,
+                                        const sql::DeleteStmt& stmt,
+                                        const std::vector<Value>& params);
+
+  /// Inserts one logical row (named columns) through the mapping.
+  Result<int64_t> InsertMappedRow(TenantId tenant, const std::string& table,
+                                  const std::vector<std::string>& columns,
+                                  const Row& values);
+
+  /// Phase (a) of §6.3: returns the row ids (and full logical rows) that
+  /// a WHERE clause selects.
+  struct AffectedRow {
+    int64_t row_id;
+    Row logical;  // effective-column order
+  };
+  Result<std::vector<AffectedRow>> CollectAffected(
+      TenantId tenant, const std::string& table, const sql::ParsedExpr* where,
+      const std::vector<Value>& params);
+
+  /// Invalidates all cached TableMappings (call after DDL).
+  void InvalidateMappings();
+
+  /// Sequential "Table" meta-data identifier for (tenant, logical table),
+  /// as in the Table column of Figure 4(c)–(f).
+  int32_t TableNumber(TenantId tenant, const std::string& table);
+
+  Database* db_;
+  const AppSchema* app_;
+  /// Serializes access to the mutable layer state (mapping cache, row
+  /// counters, tenant registry, heat profile, stats). Recursive because
+  /// public entry points call each other (Execute -> Mapping, ...).
+  mutable std::recursive_mutex mu_;
+  TransformOptions transform_options_;
+  LayoutStats stats_;
+  HeatProfile heat_;
+  DmlMode dml_mode_ = DmlMode::kPerRow;
+  /// Set by layouts that provision `del` visibility columns.
+  bool trashcan_deletes_ = false;
+  std::map<TenantId, TenantEntry> tenants_;
+
+  /// Cache of (tenant, table-lower) -> TableMapping, filled via Mapping().
+  std::map<std::pair<TenantId, std::string>, std::unique_ptr<TableMapping>>
+      mapping_cache_;
+
+  std::map<std::pair<TenantId, std::string>, int32_t> table_numbers_;
+  int32_t next_table_number_ = 0;
+
+  /// Subclass hook: build the mapping for (tenant, table).
+  virtual Result<std::unique_ptr<TableMapping>> BuildMapping(
+      TenantId tenant, const std::string& table) = 0;
+
+ public:
+  Result<const TableMapping*> Mapping(TenantId tenant,
+                                      const std::string& table) override;
+};
+
+/// Renders a value row for physical insert given a mapping source.
+Schema PhysicalSchemaFromColumns(const std::vector<Column>& cols);
+
+}  // namespace mapping
+}  // namespace mtdb
+
+#endif  // MTDB_CORE_LAYOUT_H_

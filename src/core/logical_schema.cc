@@ -1,0 +1,116 @@
+#include "core/logical_schema.h"
+
+#include "catalog/schema.h"
+
+namespace mtdb {
+namespace mapping {
+
+std::optional<size_t> LogicalTable::Find(const std::string& column) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (IdentEquals(columns[i].name, column)) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<size_t> EffectiveTable::Find(const std::string& column) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (IdentEquals(columns[i].name, column)) return i;
+  }
+  return std::nullopt;
+}
+
+Status AppSchema::AddTable(LogicalTable table) {
+  if (FindTable(table.name) != nullptr) {
+    return Status::AlreadyExists("logical table exists: " + table.name);
+  }
+  if (table.columns.empty()) {
+    return Status::InvalidArgument("logical table needs columns: " +
+                                   table.name);
+  }
+  tables_.push_back(std::move(table));
+  return Status::OK();
+}
+
+Status AppSchema::AddExtension(ExtensionDef ext) {
+  if (FindExtension(ext.name) != nullptr) {
+    return Status::AlreadyExists("extension exists: " + ext.name);
+  }
+  const LogicalTable* base = FindTable(ext.base_table);
+  if (base == nullptr) {
+    return Status::NotFound("extension base table missing: " + ext.base_table);
+  }
+  for (const LogicalColumn& c : ext.columns) {
+    if (base->Find(c.name).has_value()) {
+      return Status::AlreadyExists("extension column collides with base: " +
+                                   c.name);
+    }
+  }
+  extensions_.push_back(std::move(ext));
+  return Status::OK();
+}
+
+const LogicalTable* AppSchema::FindTable(const std::string& name) const {
+  for (const LogicalTable& t : tables_) {
+    if (IdentEquals(t.name, name)) return &t;
+  }
+  return nullptr;
+}
+
+const ExtensionDef* AppSchema::FindExtension(const std::string& name) const {
+  for (const ExtensionDef& e : extensions_) {
+    if (IdentEquals(e.name, name)) return &e;
+  }
+  return nullptr;
+}
+
+std::vector<const ExtensionDef*> AppSchema::ExtensionsOf(
+    const std::string& base_table) const {
+  std::vector<const ExtensionDef*> out;
+  for (const ExtensionDef& e : extensions_) {
+    if (IdentEquals(e.base_table, base_table)) out.push_back(&e);
+  }
+  return out;
+}
+
+bool TenantState::HasExtension(const std::string& name) const {
+  for (const std::string& e : extensions_) {
+    if (IdentEquals(e, name)) return true;
+  }
+  return false;
+}
+
+void TenantState::EnableExtension(const std::string& name) {
+  if (!HasExtension(name)) extensions_.push_back(name);
+}
+
+void TenantState::RemoveExtension(const std::string& name) {
+  for (auto it = extensions_.begin(); it != extensions_.end(); ++it) {
+    if (IdentEquals(*it, name)) {
+      extensions_.erase(it);
+      return;
+    }
+  }
+}
+
+Result<EffectiveTable> EffectiveSchemaOf(const AppSchema& app,
+                                         const TenantState& tenant,
+                                         const std::string& table) {
+  const LogicalTable* base = app.FindTable(table);
+  if (base == nullptr) {
+    return Status::NotFound("no logical table: " + table);
+  }
+  EffectiveTable out;
+  out.name = base->name;
+  out.columns = base->columns;
+  for (const std::string& ext_name : tenant.extensions()) {
+    const ExtensionDef* ext = app.FindExtension(ext_name);
+    if (ext == nullptr || !IdentEquals(ext->base_table, table)) continue;
+    out.extension_boundaries.push_back(out.columns.size());
+    out.columns.insert(out.columns.end(), ext->columns.begin(),
+                       ext->columns.end());
+  }
+  return out;
+}
+
+}  // namespace mapping
+}  // namespace mtdb

@@ -1,0 +1,99 @@
+#ifndef MTDB_CORE_LOGICAL_SCHEMA_H_
+#define MTDB_CORE_LOGICAL_SCHEMA_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+
+namespace mtdb {
+namespace mapping {
+
+/// A column of a tenant-visible logical table. `indexed` marks columns
+/// the application wants index-supported (the paper routes these into
+/// indexed generic structures; cf. the two-Pivot-Tables-per-type idea).
+struct LogicalColumn {
+  std::string name;
+  TypeId type = TypeId::kNull;
+  bool indexed = false;
+};
+
+/// A base table of the application's logical schema (e.g. Account).
+struct LogicalTable {
+  std::string name;
+  std::vector<LogicalColumn> columns;
+
+  std::optional<size_t> Find(const std::string& column) const;
+};
+
+/// A named extension: extra columns some tenants attach to a base table
+/// (e.g. the health-care extension adds Hospital/Beds to Account).
+struct ExtensionDef {
+  std::string name;
+  std::string base_table;
+  std::vector<LogicalColumn> columns;
+};
+
+/// The application-wide logical model: base tables plus the catalog of
+/// available extensions. Individual tenants opt into extensions.
+class AppSchema {
+ public:
+  Status AddTable(LogicalTable table);
+  Status AddExtension(ExtensionDef ext);
+
+  const LogicalTable* FindTable(const std::string& name) const;
+  const ExtensionDef* FindExtension(const std::string& name) const;
+
+  const std::vector<LogicalTable>& tables() const { return tables_; }
+  const std::vector<ExtensionDef>& extensions() const { return extensions_; }
+
+  /// Extensions declared on `base_table`.
+  std::vector<const ExtensionDef*> ExtensionsOf(
+      const std::string& base_table) const;
+
+ private:
+  std::vector<LogicalTable> tables_;
+  std::vector<ExtensionDef> extensions_;
+};
+
+/// Which extensions a tenant has enabled. The tenant's view of a base
+/// table is the base columns followed by the columns of its enabled
+/// extensions for that table, in enable order.
+class TenantState {
+ public:
+  explicit TenantState(TenantId id = 0) : id_(id) {}
+
+  TenantId id() const { return id_; }
+  const std::vector<std::string>& extensions() const { return extensions_; }
+  bool HasExtension(const std::string& name) const;
+  void EnableExtension(const std::string& name);
+  void RemoveExtension(const std::string& name);
+
+ private:
+  TenantId id_;
+  std::vector<std::string> extensions_;
+};
+
+/// The effective (base + extensions) schema of one logical table as one
+/// tenant sees it.
+struct EffectiveTable {
+  std::string name;
+  std::vector<LogicalColumn> columns;       // base first, then extensions
+  std::vector<size_t> extension_boundaries; // start offset of each extension
+
+  std::optional<size_t> Find(const std::string& column) const;
+};
+
+/// Computes a tenant's effective view of `table`.
+Result<EffectiveTable> EffectiveSchemaOf(const AppSchema& app,
+                                         const TenantState& tenant,
+                                         const std::string& table);
+
+}  // namespace mapping
+}  // namespace mtdb
+
+#endif  // MTDB_CORE_LOGICAL_SCHEMA_H_

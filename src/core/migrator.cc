@@ -1,0 +1,41 @@
+#include "core/migrator.h"
+
+namespace mtdb {
+namespace mapping {
+
+Result<MigrationReport> LayoutMigrator::MigrateTenant(SchemaMapping* from,
+                                                      SchemaMapping* to,
+                                                      TenantId tenant) {
+  MigrationReport report;
+  MTDB_ASSIGN_OR_RETURN(std::vector<std::string> extensions,
+                        from->TenantExtensions(tenant));
+  MTDB_RETURN_IF_ERROR(to->CreateTenant(tenant));
+  for (const std::string& ext : extensions) {
+    MTDB_RETURN_IF_ERROR(to->EnableExtension(tenant, ext));
+  }
+  for (const LogicalTable& table : from->app()->tables()) {
+    // Read through the source mapping: the tenant's full logical rows.
+    MTDB_ASSIGN_OR_RETURN(QueryResult rows,
+                          from->Query(tenant, "SELECT * FROM " + table.name));
+    for (const Row& row : rows.rows) {
+      MTDB_ASSIGN_OR_RETURN(int64_t n, to->InsertRow(tenant, table.name, row));
+      report.rows_migrated += n;
+    }
+  }
+  report.tenants_migrated = 1;
+  return report;
+}
+
+Result<MigrationReport> LayoutMigrator::MigrateAll(SchemaMapping* from,
+                                                   SchemaMapping* to) {
+  MigrationReport total;
+  for (TenantId tenant : from->TenantIds()) {
+    MTDB_ASSIGN_OR_RETURN(MigrationReport r, MigrateTenant(from, to, tenant));
+    total.tenants_migrated += r.tenants_migrated;
+    total.rows_migrated += r.rows_migrated;
+  }
+  return total;
+}
+
+}  // namespace mapping
+}  // namespace mtdb

@@ -1,0 +1,43 @@
+#ifndef MTDB_CORE_MIGRATOR_H_
+#define MTDB_CORE_MIGRATOR_H_
+
+#include <vector>
+
+#include "core/layout.h"
+
+namespace mtdb {
+namespace mapping {
+
+/// Statistics from one migration run.
+struct MigrationReport {
+  int tenants_migrated = 0;
+  int64_t rows_migrated = 0;
+};
+
+/// §7 future work, implemented: "Because these factors can vary over
+/// time, it should be possible to migrate data from one representation
+/// to another on-the-fly."
+///
+/// Migration goes through the logical layer only — every row is read as
+/// the tenant sees it and re-inserted through the target layout's
+/// mapping — so any layout can migrate to any other layout, including
+/// across databases. The source stays readable throughout (reads are
+/// ordinary transformed queries), matching the on-line intent.
+class LayoutMigrator {
+ public:
+  /// Moves one tenant (extension set + all rows of all logical tables)
+  /// from `from` into `to`. `to` must be bootstrapped on the same
+  /// AppSchema and must not already contain the tenant.
+  static Result<MigrationReport> MigrateTenant(SchemaMapping* from,
+                                               SchemaMapping* to,
+                                               TenantId tenant);
+
+  /// Migrates every tenant of `from`.
+  static Result<MigrationReport> MigrateAll(SchemaMapping* from,
+                                            SchemaMapping* to);
+};
+
+}  // namespace mapping
+}  // namespace mtdb
+
+#endif  // MTDB_CORE_MIGRATOR_H_

@@ -1,0 +1,61 @@
+#include "core/pivot_layout.h"
+
+namespace mtdb {
+namespace mapping {
+
+std::string PivotTableLayout::PivotName(StorageClass cls) {
+  return std::string("pivot_") + StorageClassName(cls);
+}
+
+Status PivotTableLayout::Bootstrap() {
+  for (int c = 0; c < kNumStorageClasses; ++c) {
+    StorageClass cls = static_cast<StorageClass>(c);
+    Schema schema;
+    schema.AddColumn(Column{"tenant", TypeId::kInt32, true});
+    schema.AddColumn(Column{"tbl", TypeId::kInt32, true});
+    schema.AddColumn(Column{"col", TypeId::kInt32, true});
+    schema.AddColumn(Column{"row", TypeId::kInt64, true});
+    schema.AddColumn(Column{"val", PhysicalTypeOf(cls), false});
+    std::string physical = PivotName(cls);
+    MTDB_RETURN_IF_ERROR(db_->CreateTable(physical, std::move(schema)));
+    // The partitioned meta-data B-tree (tenant, tbl, col, row).
+    MTDB_RETURN_IF_ERROR(db_->CreateIndex(physical, "ux_" + physical + "_tcr",
+                                          {"tenant", "tbl", "col", "row"},
+                                          /*unique=*/true));
+    // Value index for index-supported lookups (the paper's "one Pivot
+    // Table with indexes" variant).
+    MTDB_RETURN_IF_ERROR(db_->CreateIndex(physical, "ix_" + physical + "_val",
+                                          {"val", "tenant", "tbl", "col"},
+                                          /*unique=*/false));
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<TableMapping>> PivotTableLayout::BuildMapping(
+    TenantId tenant, const std::string& table) {
+  MTDB_ASSIGN_OR_RETURN(EffectiveTable eff, GetEffective(tenant, table));
+  auto mapping = std::make_unique<TableMapping>();
+  int32_t tbl = TableNumber(tenant, table);
+  for (size_t i = 0; i < eff.columns.size(); ++i) {
+    StorageClass cls = StorageClassOf(eff.columns[i].type);
+    PhysicalSource source;
+    source.physical_table = PivotName(cls);
+    source.partition.emplace_back("tenant", Value::Int32(tenant));
+    source.partition.emplace_back("tbl", Value::Int32(tbl));
+    source.partition.emplace_back("col", Value::Int32(static_cast<int32_t>(i)));
+    source.row_column = "row";
+    mapping->sources.push_back(std::move(source));
+
+    ColumnTarget target;
+    target.source = i;
+    target.physical_column = "val";
+    target.physical_type = PhysicalTypeOf(cls);
+    target.logical_type = eff.columns[i].type;
+    mapping->columns[IdentLower(eff.columns[i].name)] = target;
+    mapping->column_order.push_back(eff.columns[i].name);
+  }
+  return mapping;
+}
+
+}  // namespace mapping
+}  // namespace mtdb

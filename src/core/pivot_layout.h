@@ -1,0 +1,37 @@
+#ifndef MTDB_CORE_PIVOT_LAYOUT_H_
+#define MTDB_CORE_PIVOT_LAYOUT_H_
+
+#include <memory>
+#include <string>
+
+#include "core/layout.h"
+
+namespace mtdb {
+namespace mapping {
+
+/// Figure 4(d) "Pivot Table Layout": every field of every logical row
+/// becomes its own physical row in a per-type Pivot Table with Tenant,
+/// Table, Col, Row meta-data columns and a single typed data column.
+/// Reconstructing an n-column table takes (n-1) aligning joins — the
+/// high meta-data interpretation overhead the paper measures.
+class PivotTableLayout final : public SchemaMapping {
+ public:
+  PivotTableLayout(Database* db, const AppSchema* app)
+      : SchemaMapping(db, app) {}
+
+  std::string name() const override { return "pivot"; }
+
+  Status Bootstrap() override;
+
+  /// Physical pivot table for a storage class ("pivot_int", ...).
+  static std::string PivotName(StorageClass cls);
+
+ protected:
+  Result<std::unique_ptr<TableMapping>> BuildMapping(
+      TenantId tenant, const std::string& table) override;
+};
+
+}  // namespace mapping
+}  // namespace mtdb
+
+#endif  // MTDB_CORE_PIVOT_LAYOUT_H_

@@ -1,0 +1,51 @@
+#ifndef MTDB_CORE_TABLE_MAPPING_H_
+#define MTDB_CORE_TABLE_MAPPING_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace mtdb {
+namespace mapping {
+
+/// One physical table holding a slice (chunk) of a logical table's
+/// columns for one tenant, together with the partition predicate that
+/// confines it (e.g. Tenant = 17 AND Tbl = 0 AND Chunk = 1).
+struct PhysicalSource {
+  std::string physical_table;
+  /// Equality conjuncts on meta-data columns selecting this partition.
+  std::vector<std::pair<std::string, Value>> partition;
+  /// Name of the row-alignment meta column ("row"); empty when this
+  /// source has no row column (Private Table Layout).
+  std::string row_column;
+};
+
+/// Where one logical column lives.
+struct ColumnTarget {
+  size_t source = 0;            // index into TableMapping::sources
+  std::string physical_column;  // name inside the physical table
+  TypeId physical_type = TypeId::kNull;
+  TypeId logical_type = TypeId::kNull;
+
+  bool NeedsCast() const { return physical_type != logical_type; }
+};
+
+/// The complete physical mapping of one (tenant, logical table):
+/// every chunk/source plus the per-column routing. Built by each layout;
+/// consumed by the shared query/DML transformation machinery.
+struct TableMapping {
+  std::vector<PhysicalSource> sources;
+  /// logical column name (lower-cased) -> target.
+  std::unordered_map<std::string, ColumnTarget> columns;
+  /// Logical column names in declaration order (for SELECT * expansion
+  /// and full-row INSERT routing).
+  std::vector<std::string> column_order;
+};
+
+}  // namespace mapping
+}  // namespace mtdb
+
+#endif  // MTDB_CORE_TABLE_MAPPING_H_

@@ -1,0 +1,50 @@
+#include "core/universal_layout.h"
+
+namespace mtdb {
+namespace mapping {
+
+Status UniversalTableLayout::Bootstrap() {
+  Schema schema;
+  schema.AddColumn(Column{"tenant", TypeId::kInt32, true});
+  schema.AddColumn(Column{"tbl", TypeId::kInt32, true});
+  schema.AddColumn(Column{"row", TypeId::kInt64, true});
+  for (int i = 1; i <= width_; ++i) {
+    schema.AddColumn(Column{"col" + std::to_string(i), TypeId::kString, false});
+  }
+  MTDB_RETURN_IF_ERROR(db_->CreateTable(TableName(), std::move(schema)));
+  // Only the meta-data index is possible: either all tenants get a value
+  // index on a data column or none do, so the layout provides none.
+  return db_->CreateIndex(TableName(), "ux_universal_row",
+                          {"tenant", "tbl", "row"}, /*unique=*/true);
+}
+
+Result<std::unique_ptr<TableMapping>> UniversalTableLayout::BuildMapping(
+    TenantId tenant, const std::string& table) {
+  MTDB_ASSIGN_OR_RETURN(EffectiveTable eff, GetEffective(tenant, table));
+  if (static_cast<int>(eff.columns.size()) > width_) {
+    return Status::ResourceExhausted(
+        "universal table is " + std::to_string(width_) + " columns wide; " +
+        table + " needs " + std::to_string(eff.columns.size()));
+  }
+  auto mapping = std::make_unique<TableMapping>();
+  PhysicalSource source;
+  source.physical_table = TableName();
+  source.partition.emplace_back("tenant", Value::Int32(tenant));
+  source.partition.emplace_back("tbl",
+                                Value::Int32(TableNumber(tenant, table)));
+  source.row_column = "row";
+  mapping->sources.push_back(std::move(source));
+  for (size_t i = 0; i < eff.columns.size(); ++i) {
+    ColumnTarget target;
+    target.source = 0;
+    target.physical_column = "col" + std::to_string(i + 1);
+    target.physical_type = TypeId::kString;  // the flexible VARCHAR column
+    target.logical_type = eff.columns[i].type;
+    mapping->columns[IdentLower(eff.columns[i].name)] = target;
+    mapping->column_order.push_back(eff.columns[i].name);
+  }
+  return mapping;
+}
+
+}  // namespace mapping
+}  // namespace mtdb

@@ -1,0 +1,41 @@
+#ifndef MTDB_CORE_UNIVERSAL_LAYOUT_H_
+#define MTDB_CORE_UNIVERSAL_LAYOUT_H_
+
+#include <memory>
+#include <string>
+
+#include "core/layout.h"
+
+namespace mtdb {
+namespace mapping {
+
+/// Figure 4(c) "Universal Table Layout": one generic table with Tenant
+/// and Table meta-data columns and `width` flexible VARCHAR data columns;
+/// the n-th logical column of each table maps to the n-th data column.
+/// No reconstruction joins, but rows are wide, NULL-heavy, and
+/// fine-grained indexing is impossible (no value indexes exist here —
+/// the paper's criticism).
+class UniversalTableLayout final : public SchemaMapping {
+ public:
+  UniversalTableLayout(Database* db, const AppSchema* app, int width = 60)
+      : SchemaMapping(db, app), width_(width) {}
+
+  std::string name() const override { return "universal"; }
+
+  Status Bootstrap() override;
+
+  int width() const { return width_; }
+  static std::string TableName() { return "universal"; }
+
+ protected:
+  Result<std::unique_ptr<TableMapping>> BuildMapping(
+      TenantId tenant, const std::string& table) override;
+
+ private:
+  int width_;
+};
+
+}  // namespace mapping
+}  // namespace mtdb
+
+#endif  // MTDB_CORE_UNIVERSAL_LAYOUT_H_

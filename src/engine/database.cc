@@ -1,0 +1,440 @@
+#include "engine/database.h"
+
+#include "common/key_encoding.h"
+#include "sql/parser.h"
+
+namespace mtdb {
+
+namespace {
+
+/// Builds the index key of `row` for `index`.
+std::string IndexKeyFor(const IndexInfo& index, const Row& row) {
+  std::vector<Value> vals;
+  vals.reserve(index.key_columns.size());
+  for (size_t c : index.key_columns) vals.push_back(row[c]);
+  return KeyEncoder::EncodeKey(vals);
+}
+
+/// Evaluates a scalar parsed expression outside a full query plan:
+/// literals, params, arithmetic, and (when `row`/`schema` are given)
+/// column references into that row. Used by INSERT VALUES and UPDATE SET.
+Result<Value> EvalParsedScalar(const sql::ParsedExpr& e, const Row* row,
+                               const Schema* schema, const ExecContext& ctx) {
+  using sql::PExprKind;
+  switch (e.kind) {
+    case PExprKind::kLiteral:
+      return e.literal;
+    case PExprKind::kParam:
+      if (e.param_ordinal >= ctx.params.size()) {
+        return Status::InvalidArgument("missing bind parameter " +
+                                       std::to_string(e.param_ordinal + 1));
+      }
+      return ctx.params[e.param_ordinal];
+    case PExprKind::kColumnRef: {
+      if (row == nullptr || schema == nullptr) {
+        return Status::InvalidArgument("column reference not allowed here: " +
+                                       e.column);
+      }
+      auto pos = schema->Find(e.column);
+      if (!pos.has_value()) {
+        return Status::NotFound("no column " + e.column);
+      }
+      return (*row)[*pos];
+    }
+    case PExprKind::kUnary: {
+      MTDB_ASSIGN_OR_RETURN(Value c, EvalParsedScalar(*e.left, row, schema, ctx));
+      if (e.unary_op == sql::UnaryOp::kNeg) {
+        if (c.is_null()) return c;
+        if (c.type() == TypeId::kDouble) return Value::Double(-c.AsDouble());
+        return Value::Int64(-c.AsInt64());
+      }
+      if (c.is_null()) return Value::Null(TypeId::kBool);
+      return Value::Bool(!c.AsBool());
+    }
+    case PExprKind::kBinary: {
+      MTDB_ASSIGN_OR_RETURN(Value l, EvalParsedScalar(*e.left, row, schema, ctx));
+      MTDB_ASSIGN_OR_RETURN(Value r, EvalParsedScalar(*e.right, row, schema, ctx));
+      if (l.is_null() || r.is_null()) return Value();
+      switch (e.binary_op) {
+        case sql::BinaryOp::kAdd:
+          if (l.type() == TypeId::kString || r.type() == TypeId::kString) {
+            return Value::String(l.ToString() + r.ToString());
+          }
+          if (l.type() == TypeId::kDouble || r.type() == TypeId::kDouble) {
+            return Value::Double(l.AsDouble() + r.AsDouble());
+          }
+          return Value::Int64(l.AsInt64() + r.AsInt64());
+        case sql::BinaryOp::kSub:
+          if (l.type() == TypeId::kDouble || r.type() == TypeId::kDouble) {
+            return Value::Double(l.AsDouble() - r.AsDouble());
+          }
+          return Value::Int64(l.AsInt64() - r.AsInt64());
+        case sql::BinaryOp::kMul:
+          if (l.type() == TypeId::kDouble || r.type() == TypeId::kDouble) {
+            return Value::Double(l.AsDouble() * r.AsDouble());
+          }
+          return Value::Int64(l.AsInt64() * r.AsInt64());
+        case sql::BinaryOp::kDiv:
+          if (r.AsDouble() == 0.0) {
+            return Status::InvalidArgument("division by zero");
+          }
+          if (l.type() == TypeId::kDouble || r.type() == TypeId::kDouble) {
+            return Value::Double(l.AsDouble() / r.AsDouble());
+          }
+          return Value::Int64(l.AsInt64() / r.AsInt64());
+        case sql::BinaryOp::kMod:
+          if (r.AsInt64() == 0) {
+            return Status::InvalidArgument("modulo by zero");
+          }
+          return Value::Int64(l.AsInt64() % r.AsInt64());
+        default:
+          return Status::InvalidArgument("unsupported scalar expression");
+      }
+    }
+    default:
+      return Status::InvalidArgument("unsupported scalar expression");
+  }
+}
+
+}  // namespace
+
+Database::Database(EngineOptions options) : options_(options) {
+  store_ = std::make_unique<PageStore>(options_.page_size);
+  store_->set_read_latency_ns(options_.read_latency_ns);
+  pool_ = std::make_unique<BufferPool>(
+      store_.get(), options_.memory_budget_bytes / options_.page_size);
+  catalog_ = std::make_unique<Catalog>(pool_.get(),
+                                       options_.memory_budget_bytes,
+                                       options_.metadata_costs);
+}
+
+Result<QueryResult> Database::Execute(const std::string& sql,
+                                      const std::vector<Value>& params) {
+  MTDB_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql));
+  if (stmt.kind == sql::StatementKind::kSelect) {
+    return QueryAst(*stmt.select, params);
+  }
+  MTDB_ASSIGN_OR_RETURN(int64_t affected, ExecuteAst(stmt, params));
+  QueryResult out;
+  out.columns = {"affected"};
+  out.rows.push_back({Value::Int64(affected)});
+  return out;
+}
+
+Result<QueryResult> Database::Query(const std::string& sql,
+                                    const std::vector<Value>& params) {
+  MTDB_ASSIGN_OR_RETURN(auto stmt, sql::ParseSelect(sql));
+  return QueryAst(*stmt, params);
+}
+
+Result<QueryResult> Database::QueryAst(const sql::SelectStmt& stmt,
+                                       const std::vector<Value>& params) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MTDB_ASSIGN_OR_RETURN(
+      PlannedQuery plan,
+      PlanSelect(stmt, catalog_.get(), options_.planner_mode));
+  ExecContext ctx;
+  ctx.params = params;
+  MTDB_RETURN_IF_ERROR(plan.exec->Init(ctx));
+  QueryResult out;
+  out.columns = plan.exec->schema().names;
+  Row row;
+  while (true) {
+    Result<bool> more = plan.exec->Next(&row, ctx);
+    if (!more.ok()) return more.status();
+    if (!*more) break;
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+Result<std::string> Database::Explain(const std::string& sql) {
+  MTDB_ASSIGN_OR_RETURN(auto stmt, sql::ParseSelect(sql));
+  return ExplainAst(*stmt);
+}
+
+Result<std::string> Database::ExplainAst(const sql::SelectStmt& stmt) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MTDB_ASSIGN_OR_RETURN(
+      PlannedQuery plan,
+      PlanSelect(stmt, catalog_.get(), options_.planner_mode));
+  return plan.plan_text;
+}
+
+Result<int64_t> Database::ExecuteAst(const sql::Statement& stmt,
+                                     const std::vector<Value>& params) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ExecContext ctx;
+  ctx.params = params;
+  switch (stmt.kind) {
+    case sql::StatementKind::kInsert:
+      return ExecuteInsert(*stmt.insert, ctx);
+    case sql::StatementKind::kUpdate:
+      return ExecuteUpdate(*stmt.update, ctx);
+    case sql::StatementKind::kDelete:
+      return ExecuteDelete(*stmt.del, ctx);
+    case sql::StatementKind::kCreateTable: {
+      Schema schema;
+      for (const sql::ColumnDef& def : stmt.create_table->columns) {
+        schema.AddColumn(Column{def.name, def.type, def.not_null});
+      }
+      MTDB_ASSIGN_OR_RETURN(
+          TableInfo * info,
+          catalog_->CreateTable(stmt.create_table->table, std::move(schema)));
+      (void)info;
+      return 0;
+    }
+    case sql::StatementKind::kCreateIndex: {
+      MTDB_ASSIGN_OR_RETURN(
+          IndexInfo * info,
+          catalog_->CreateIndex(stmt.create_index->table,
+                                stmt.create_index->index,
+                                stmt.create_index->columns,
+                                stmt.create_index->unique));
+      (void)info;
+      return 0;
+    }
+    case sql::StatementKind::kDropTable:
+      MTDB_RETURN_IF_ERROR(catalog_->DropTable(stmt.drop_table->table));
+      return 0;
+    case sql::StatementKind::kDropIndex:
+      MTDB_RETURN_IF_ERROR(catalog_->DropIndex(stmt.drop_index->index));
+      return 0;
+    case sql::StatementKind::kSelect:
+      return Status::InvalidArgument("use Query() for SELECT");
+  }
+  return Status::Internal("unknown statement kind");
+}
+
+Status Database::InsertRowLocked(TableInfo* table, const Row& row) {
+  if (row.size() != table->schema.size()) {
+    return Status::InvalidArgument("row arity mismatch for " + table->name);
+  }
+  // NOT NULL + unique checks first so failures do not leave partial state.
+  Row typed;
+  typed.reserve(row.size());
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null()) {
+      if (table->schema.at(i).not_null) {
+        return Status::ConstraintViolation("NULL in NOT NULL column " +
+                                           table->schema.at(i).name);
+      }
+      typed.push_back(Value::Null(table->schema.at(i).type));
+      continue;
+    }
+    MTDB_ASSIGN_OR_RETURN(Value v, row[i].CastTo(table->schema.at(i).type));
+    typed.push_back(std::move(v));
+  }
+  for (const auto& idx : table->indexes) {
+    if (!idx->unique) continue;
+    std::string key = IndexKeyFor(*idx, typed);
+    if (idx->tree->Contains(key)) {
+      return Status::ConstraintViolation("duplicate key in unique index " +
+                                         idx->name);
+    }
+  }
+  std::string image;
+  MTDB_RETURN_IF_ERROR(table->codec->Encode(typed, &image));
+  MTDB_ASSIGN_OR_RETURN(Rid rid, table->heap->Insert(image));
+  for (const auto& idx : table->indexes) {
+    std::string key = IndexKeyFor(*idx, typed);
+    MTDB_RETURN_IF_ERROR(idx->tree->Insert(key, rid));
+  }
+  return Status::OK();
+}
+
+Status Database::DeleteRowLocked(TableInfo* table, const Row& row,
+                                 const Rid& rid) {
+  for (const auto& idx : table->indexes) {
+    std::string key = IndexKeyFor(*idx, row);
+    Status st = idx->tree->Delete(key, rid);
+    if (!st.ok() && st.code() != StatusCode::kNotFound) return st;
+  }
+  return table->heap->Delete(rid);
+}
+
+Result<int64_t> Database::ExecuteInsert(const sql::InsertStmt& stmt,
+                                        const ExecContext& ctx) {
+  TableInfo* table = catalog_->GetTable(stmt.table);
+  if (table == nullptr) return Status::NotFound("no such table: " + stmt.table);
+  std::vector<size_t> positions;
+  if (stmt.columns.empty()) {
+    for (size_t i = 0; i < table->schema.size(); ++i) positions.push_back(i);
+  } else {
+    for (const std::string& c : stmt.columns) {
+      auto pos = table->schema.Find(c);
+      if (!pos.has_value()) {
+        return Status::NotFound("no column " + c + " in " + stmt.table);
+      }
+      positions.push_back(*pos);
+    }
+  }
+  int64_t inserted = 0;
+  for (const auto& row_exprs : stmt.rows) {
+    if (row_exprs.size() != positions.size()) {
+      return Status::InvalidArgument("VALUES arity mismatch");
+    }
+    Row full(table->schema.size(), Value());
+    for (size_t i = 0; i < positions.size(); ++i) {
+      MTDB_ASSIGN_OR_RETURN(
+          Value v, EvalParsedScalar(*row_exprs[i], nullptr, nullptr, ctx));
+      full[positions[i]] = std::move(v);
+    }
+    MTDB_RETURN_IF_ERROR(InsertRowLocked(table, full));
+    inserted++;
+  }
+  return inserted;
+}
+
+Result<int64_t> Database::ExecuteUpdate(const sql::UpdateStmt& stmt,
+                                        const ExecContext& ctx) {
+  TableInfo* table = catalog_->GetTable(stmt.table);
+  if (table == nullptr) return Status::NotFound("no such table: " + stmt.table);
+  // Phase (a): plan "SELECT * FROM t WHERE ..." and collect rows + RIDs.
+  sql::SelectStmt select;
+  select.select_star = true;
+  sql::TableRef ref;
+  ref.table_name = stmt.table;
+  select.from.push_back(std::move(ref));
+  if (stmt.where != nullptr) select.where = stmt.where->Clone();
+  MTDB_ASSIGN_OR_RETURN(
+      PlannedQuery plan,
+      PlanSelect(select, catalog_.get(), options_.planner_mode));
+  MTDB_RETURN_IF_ERROR(plan.exec->Init(ctx));
+
+  std::vector<std::pair<Rid, Row>> affected;
+  Row row;
+  while (true) {
+    Result<bool> more = plan.exec->Next(&row, ctx);
+    if (!more.ok()) return more.status();
+    if (!*more) break;
+    const Rid* rid = plan.exec->current_rid();
+    if (rid == nullptr) {
+      return Status::Internal("update scan lost row identity");
+    }
+    affected.emplace_back(*rid, row);
+  }
+
+  std::vector<std::pair<size_t, const sql::ParsedExpr*>> sets;
+  for (const auto& [col, expr] : stmt.assignments) {
+    auto pos = table->schema.Find(col);
+    if (!pos.has_value()) {
+      return Status::NotFound("no column " + col + " in " + stmt.table);
+    }
+    sets.emplace_back(*pos, expr.get());
+  }
+
+  // Phase (b): apply per row; assignments may read old row values.
+  for (auto& [rid, old_row] : affected) {
+    Row new_row = old_row;
+    for (const auto& [pos, expr] : sets) {
+      MTDB_ASSIGN_OR_RETURN(
+          Value v, EvalParsedScalar(*expr, &old_row, &table->schema, ctx));
+      if (!v.is_null()) {
+        MTDB_ASSIGN_OR_RETURN(v, v.CastTo(table->schema.at(pos).type));
+      }
+      new_row[pos] = std::move(v);
+    }
+    for (const auto& idx : table->indexes) {
+      std::string key = IndexKeyFor(*idx, old_row);
+      Status st = idx->tree->Delete(key, rid);
+      if (!st.ok() && st.code() != StatusCode::kNotFound) return st;
+    }
+    std::string image;
+    MTDB_RETURN_IF_ERROR(table->codec->Encode(new_row, &image));
+    Rid new_rid = rid;
+    MTDB_RETURN_IF_ERROR(table->heap->Update(&new_rid, image));
+    for (const auto& idx : table->indexes) {
+      std::string key = IndexKeyFor(*idx, new_row);
+      MTDB_RETURN_IF_ERROR(idx->tree->Insert(key, new_rid));
+    }
+  }
+  return static_cast<int64_t>(affected.size());
+}
+
+Result<int64_t> Database::ExecuteDelete(const sql::DeleteStmt& stmt,
+                                        const ExecContext& ctx) {
+  TableInfo* table = catalog_->GetTable(stmt.table);
+  if (table == nullptr) return Status::NotFound("no such table: " + stmt.table);
+  sql::SelectStmt select;
+  select.select_star = true;
+  sql::TableRef ref;
+  ref.table_name = stmt.table;
+  select.from.push_back(std::move(ref));
+  if (stmt.where != nullptr) select.where = stmt.where->Clone();
+  MTDB_ASSIGN_OR_RETURN(
+      PlannedQuery plan,
+      PlanSelect(select, catalog_.get(), options_.planner_mode));
+  MTDB_RETURN_IF_ERROR(plan.exec->Init(ctx));
+  std::vector<std::pair<Rid, Row>> affected;
+  Row row;
+  while (true) {
+    Result<bool> more = plan.exec->Next(&row, ctx);
+    if (!more.ok()) return more.status();
+    if (!*more) break;
+    const Rid* rid = plan.exec->current_rid();
+    if (rid == nullptr) {
+      return Status::Internal("delete scan lost row identity");
+    }
+    affected.emplace_back(*rid, row);
+  }
+  for (const auto& [rid, old_row] : affected) {
+    MTDB_RETURN_IF_ERROR(DeleteRowLocked(table, old_row, rid));
+  }
+  return static_cast<int64_t>(affected.size());
+}
+
+Status Database::CreateTable(const std::string& name, Schema schema) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MTDB_ASSIGN_OR_RETURN(TableInfo * info,
+                        catalog_->CreateTable(name, std::move(schema)));
+  (void)info;
+  return Status::OK();
+}
+
+Status Database::DropTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return catalog_->DropTable(name);
+}
+
+Status Database::CreateIndex(const std::string& table, const std::string& index,
+                             const std::vector<std::string>& columns,
+                             bool unique) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MTDB_ASSIGN_OR_RETURN(IndexInfo * info,
+                        catalog_->CreateIndex(table, index, columns, unique));
+  (void)info;
+  return Status::OK();
+}
+
+Status Database::InsertRow(const std::string& table, const Row& row) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TableInfo* info = catalog_->GetTable(table);
+  if (info == nullptr) return Status::NotFound("no such table: " + table);
+  return InsertRowLocked(info, row);
+}
+
+EngineStats Database::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  EngineStats out;
+  out.buffer = pool_->stats();
+  out.store = store_->stats();
+  out.metadata_bytes = catalog_->metadata_bytes();
+  out.buffer_capacity = pool_->capacity();
+  out.tables = catalog_->table_count();
+  out.indexes = catalog_->index_count();
+  return out;
+}
+
+void Database::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  pool_->ResetStats();
+  store_->ResetStats();
+}
+
+void Database::ColdCache() {
+  std::lock_guard<std::mutex> lock(mu_);
+  pool_->EvictAll();
+}
+
+}  // namespace mtdb

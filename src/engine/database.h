@@ -1,0 +1,128 @@
+#ifndef MTDB_ENGINE_DATABASE_H_
+#define MTDB_ENGINE_DATABASE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "engine/planner.h"
+#include "sql/ast.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_store.h"
+
+namespace mtdb {
+
+/// Engine configuration. `memory_budget_bytes` is shared between the
+/// buffer pool and the catalog's per-table meta-data charge, reproducing
+/// the paper's scalability limit on the number of tables.
+struct EngineOptions {
+  uint64_t memory_budget_bytes = 64ull * 1024 * 1024;
+  uint32_t page_size = kDefaultPageSize;
+  MetadataCosts metadata_costs;
+  PlannerMode planner_mode = PlannerMode::kAdvanced;
+  /// Simulated device latency per physical page read (cold-cache shape).
+  uint64_t read_latency_ns = 0;
+};
+
+/// Result of a SELECT: column names plus materialized rows.
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+};
+
+/// Aggregate engine counters (logical/physical I/O, buffer hit ratios).
+struct EngineStats {
+  BufferPoolStats buffer;
+  PageStoreStats store;
+  uint64_t metadata_bytes = 0;
+  size_t buffer_capacity = 0;
+  size_t tables = 0;
+  size_t indexes = 0;
+};
+
+/// An embedded multi-threadable relational database: the System Under
+/// Test substrate on which the schema-mapping layers run. All public
+/// methods are serialized by an internal mutex (one statement at a time,
+/// like a single-node DB under a connection pool).
+class Database {
+ public:
+  explicit Database(EngineOptions options = EngineOptions());
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // --- SQL front door -----------------------------------------------
+
+  /// Executes any SQL statement. SELECTs return rows; DML returns the
+  /// affected-row count in `affected`; DDL returns zero rows.
+  Result<QueryResult> Execute(const std::string& sql,
+                              const std::vector<Value>& params = {});
+
+  /// Executes a SELECT (string form).
+  Result<QueryResult> Query(const std::string& sql,
+                            const std::vector<Value>& params = {});
+
+  /// Executes an already-parsed SELECT (the mapping layer transforms
+  /// ASTs directly and skips re-parsing).
+  Result<QueryResult> QueryAst(const sql::SelectStmt& stmt,
+                               const std::vector<Value>& params = {});
+
+  /// Executes a parsed non-SELECT statement; returns affected rows.
+  Result<int64_t> ExecuteAst(const sql::Statement& stmt,
+                             const std::vector<Value>& params = {});
+
+  /// Compiles a SELECT and renders the plan (the explain facility).
+  Result<std::string> Explain(const std::string& sql);
+  Result<std::string> ExplainAst(const sql::SelectStmt& stmt);
+
+  // --- direct DDL/DML helpers ----------------------------------------
+
+  Status CreateTable(const std::string& name, Schema schema);
+  Status DropTable(const std::string& name);
+  Status CreateIndex(const std::string& table, const std::string& index,
+                     const std::vector<std::string>& columns, bool unique);
+
+  /// Inserts a full-width row (schema order) into `table`.
+  Status InsertRow(const std::string& table, const Row& row);
+
+  // --- observability ---------------------------------------------------
+
+  EngineStats Stats() const;
+  void ResetStats();
+  /// Flushes and evicts the entire buffer pool (cold-cache experiments).
+  void ColdCache();
+
+  Catalog* catalog() { return catalog_.get(); }
+  BufferPool* buffer_pool() { return pool_.get(); }
+  PageStore* page_store() { return store_.get(); }
+
+  PlannerMode planner_mode() const { return options_.planner_mode; }
+  void set_planner_mode(PlannerMode mode) { options_.planner_mode = mode; }
+
+  /// The engine-level mutex; exposed so multi-statement client sessions
+  /// (the testbed Workers) can group statements if needed.
+  std::mutex& big_lock() { return mu_; }
+
+ private:
+  Result<int64_t> ExecuteInsert(const sql::InsertStmt& stmt,
+                                const ExecContext& ctx);
+  Result<int64_t> ExecuteUpdate(const sql::UpdateStmt& stmt,
+                                const ExecContext& ctx);
+  Result<int64_t> ExecuteDelete(const sql::DeleteStmt& stmt,
+                                const ExecContext& ctx);
+  Status InsertRowLocked(TableInfo* table, const Row& row);
+  Status DeleteRowLocked(TableInfo* table, const Row& row, const Rid& rid);
+
+  EngineOptions options_;
+  std::unique_ptr<PageStore> store_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<Catalog> catalog_;
+  mutable std::mutex mu_;
+};
+
+}  // namespace mtdb
+
+#endif  // MTDB_ENGINE_DATABASE_H_

@@ -1,0 +1,437 @@
+#include "index/btree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace mtdb {
+
+namespace {
+
+// Node byte layout (offsets into the page image):
+//   0  u8   is_leaf
+//   2  u16  count
+//   4  u16  free_end        (start of key-bytes area, grows downward)
+//   8  i32  next leaf (leaf) / leftmost child (internal)
+//   12 ...  entry slots, 12 bytes each: u16 key_offset, u16 key_len,
+//           u64 value (rid or child page id)
+// Key bytes occupy [free_end, page_size) and are written back-to-front.
+constexpr uint32_t kHeaderSize = 12;
+constexpr uint32_t kEntrySize = 12;
+
+uint64_t PackRid(const Rid& rid) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(rid.page_id)) << 16) |
+         rid.slot;
+}
+
+Rid UnpackRid(uint64_t v) {
+  return Rid{static_cast<PageId>(v >> 16), static_cast<uint16_t>(v & 0xFFFF)};
+}
+
+class NodeView {
+ public:
+  explicit NodeView(Page* page) : page_(page) {}
+
+  void Init(bool is_leaf) {
+    std::memset(page_->data(), 0, kHeaderSize);
+    page_->data()[0] = is_leaf ? 1 : 0;
+    SetCount(0);
+    SetFreeEnd(static_cast<uint16_t>(page_->size()));
+    SetLink(kInvalidPageId);
+  }
+
+  bool is_leaf() const { return page_->data()[0] != 0; }
+  uint16_t count() const { return ReadU16(2); }
+  uint16_t free_end() const { return ReadU16(4); }
+  PageId link() const {
+    int32_t v;
+    std::memcpy(&v, page_->data() + 8, 4);
+    return v;
+  }
+  void SetCount(uint16_t c) { WriteU16(2, c); }
+  void SetFreeEnd(uint16_t f) { WriteU16(4, f); }
+  void SetLink(PageId id) { std::memcpy(page_->data() + 8, &id, 4); }
+
+  std::string_view Key(int i) const {
+    uint16_t off = ReadU16(kHeaderSize + i * kEntrySize);
+    uint16_t len = ReadU16(kHeaderSize + i * kEntrySize + 2);
+    return std::string_view(page_->data() + off, len);
+  }
+  uint64_t Val(int i) const {
+    uint64_t v;
+    std::memcpy(&v, page_->data() + kHeaderSize + i * kEntrySize + 4, 8);
+    return v;
+  }
+  void SetVal(int i, uint64_t v) {
+    std::memcpy(page_->data() + kHeaderSize + i * kEntrySize + 4, &v, 8);
+  }
+
+  uint32_t FreeBytes() const {
+    uint32_t used_front = kHeaderSize + count() * kEntrySize;
+    return free_end() > used_front ? free_end() - used_front : 0;
+  }
+
+  bool Fits(size_t key_len) const {
+    return FreeBytes() >= kEntrySize + key_len;
+  }
+
+  /// First index whose key is >= `key` (lower bound).
+  int LowerBound(std::string_view key) const {
+    int lo = 0, hi = count();
+    while (lo < hi) {
+      int mid = (lo + hi) / 2;
+      if (Key(mid) < key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  /// First index whose key is > `key` (upper bound).
+  int UpperBound(std::string_view key) const {
+    int lo = 0, hi = count();
+    while (lo < hi) {
+      int mid = (lo + hi) / 2;
+      if (Key(mid) <= key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  /// Inserts (key, val) at slot `i`, shifting later slots. Caller must
+  /// ensure Fits(key.size()).
+  void InsertAt(int i, std::string_view key, uint64_t val) {
+    assert(Fits(key.size()));
+    char* base = page_->data() + kHeaderSize;
+    std::memmove(base + (i + 1) * kEntrySize, base + i * kEntrySize,
+                 (count() - i) * kEntrySize);
+    uint16_t new_end = static_cast<uint16_t>(free_end() - key.size());
+    std::memcpy(page_->data() + new_end, key.data(), key.size());
+    SetFreeEnd(new_end);
+    WriteU16(kHeaderSize + i * kEntrySize, new_end);
+    WriteU16(kHeaderSize + i * kEntrySize + 2, static_cast<uint16_t>(key.size()));
+    std::memcpy(page_->data() + kHeaderSize + i * kEntrySize + 4, &val, 8);
+    SetCount(static_cast<uint16_t>(count() + 1));
+  }
+
+  /// Removes slot `i`. Key bytes become garbage until Compact().
+  void RemoveAt(int i) {
+    char* base = page_->data() + kHeaderSize;
+    std::memmove(base + i * kEntrySize, base + (i + 1) * kEntrySize,
+                 (count() - i - 1) * kEntrySize);
+    SetCount(static_cast<uint16_t>(count() - 1));
+  }
+
+  /// Rebuilds the key-bytes area, reclaiming dead space from removals.
+  void Compact() {
+    struct Entry {
+      std::string key;
+      uint64_t val;
+    };
+    std::vector<Entry> entries;
+    entries.reserve(count());
+    for (int i = 0; i < count(); ++i) {
+      entries.push_back({std::string(Key(i)), Val(i)});
+    }
+    uint16_t end = static_cast<uint16_t>(page_->size());
+    for (int i = 0; i < static_cast<int>(entries.size()); ++i) {
+      end = static_cast<uint16_t>(end - entries[i].key.size());
+      std::memcpy(page_->data() + end, entries[i].key.data(),
+                  entries[i].key.size());
+      WriteU16(kHeaderSize + i * kEntrySize, end);
+      WriteU16(kHeaderSize + i * kEntrySize + 2,
+               static_cast<uint16_t>(entries[i].key.size()));
+      std::memcpy(page_->data() + kHeaderSize + i * kEntrySize + 4,
+                  &entries[i].val, 8);
+    }
+    SetFreeEnd(end);
+  }
+
+ private:
+  uint16_t ReadU16(uint32_t at) const {
+    uint16_t v;
+    std::memcpy(&v, page_->data() + at, 2);
+    return v;
+  }
+  void WriteU16(uint32_t at, uint16_t v) {
+    std::memcpy(page_->data() + at, &v, 2);
+  }
+
+  Page* page_;
+};
+
+}  // namespace
+
+void AppendRidSuffix(const Rid& rid, std::string* key) {
+  uint32_t pid = static_cast<uint32_t>(rid.page_id);
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    key->push_back(static_cast<char>((pid >> shift) & 0xFF));
+  }
+  key->push_back(static_cast<char>((rid.slot >> 8) & 0xFF));
+  key->push_back(static_cast<char>(rid.slot & 0xFF));
+}
+
+namespace {
+constexpr size_t kRidSuffixLen = 6;
+}  // namespace
+
+BTree::BTree(BufferPool* pool) : pool_(pool) {
+  Page* page = pool_->NewPage(PageType::kIndex);
+  NodeView node(page);
+  node.Init(/*is_leaf=*/true);
+  root_ = page->id();
+  all_pages_.push_back(root_);
+  pool_->UnpinPage(root_, true);
+}
+
+BTree::BTree(BufferPool* pool, PageId root) : pool_(pool), root_(root) {
+  all_pages_.push_back(root);
+}
+
+PageId BTree::FindLeaf(std::string_view key,
+                       std::vector<std::pair<PageId, int>>* path) {
+  PageId current = root_;
+  while (true) {
+    Page* page = pool_->FetchPage(current);
+    NodeView node(page);
+    if (node.is_leaf()) {
+      pool_->UnpinPage(current, false);
+      return current;
+    }
+    // Internal: child index = number of separator keys <= key.
+    int idx = node.UpperBound(key);
+    PageId child =
+        idx == 0 ? node.link() : static_cast<PageId>(node.Val(idx - 1));
+    if (path != nullptr) path->push_back({current, idx});
+    pool_->UnpinPage(current, false);
+    current = child;
+  }
+}
+
+Status BTree::Insert(std::string_view key, const Rid& rid) {
+  std::string full(key);
+  AppendRidSuffix(rid, &full);
+  if (full.size() > 1500) {
+    return Status::OutOfRange("index key too long: " +
+                              std::to_string(full.size()));
+  }
+  std::vector<std::pair<PageId, int>> path;
+  PageId leaf_id = FindLeaf(full, &path);
+  Page* page = pool_->FetchPage(leaf_id);
+  NodeView node(page);
+  if (!node.Fits(full.size())) {
+    node.Compact();
+  }
+  if (node.Fits(full.size())) {
+    int pos = node.LowerBound(full);
+    node.InsertAt(pos, full, PackRid(rid));
+    pool_->UnpinPage(leaf_id, true);
+    entries_++;
+    return Status::OK();
+  }
+  pool_->UnpinPage(leaf_id, true);
+  SplitAndPropagate(path, leaf_id);
+  // Retry; the tree has grown so re-descend.
+  return Insert(key, rid);
+}
+
+void BTree::SplitAndPropagate(std::vector<std::pair<PageId, int>>& path,
+                              PageId left_id) {
+  Page* left_page = pool_->FetchPage(left_id);
+  NodeView left(left_page);
+  bool leaf = left.is_leaf();
+
+  Page* right_page = pool_->NewPage(PageType::kIndex);
+  NodeView right(right_page);
+  right.Init(leaf);
+  all_pages_.push_back(right_page->id());
+
+  int total = left.count();
+  int split_at = total / 2;
+  std::string separator;
+  if (leaf) {
+    separator = std::string(left.Key(split_at));
+    for (int i = split_at; i < total; ++i) {
+      right.InsertAt(i - split_at, left.Key(i), left.Val(i));
+    }
+    for (int i = total - 1; i >= split_at; --i) {
+      left.RemoveAt(i);
+    }
+    right.SetLink(left.link());
+    left.SetLink(right_page->id());
+  } else {
+    // The middle key moves up; its child becomes right's leftmost.
+    separator = std::string(left.Key(split_at));
+    right.SetLink(static_cast<PageId>(left.Val(split_at)));
+    for (int i = split_at + 1; i < total; ++i) {
+      right.InsertAt(i - split_at - 1, left.Key(i), left.Val(i));
+    }
+    for (int i = total - 1; i >= split_at; --i) {
+      left.RemoveAt(i);
+    }
+  }
+  left.Compact();
+  PageId right_id = right_page->id();
+  pool_->UnpinPage(right_id, true);
+  pool_->UnpinPage(left_id, true);
+
+  if (path.empty()) {
+    // Splitting the root: grow a new root.
+    Page* new_root = pool_->NewPage(PageType::kIndex);
+    NodeView root(new_root);
+    root.Init(/*is_leaf=*/false);
+    root.SetLink(left_id);
+    root.InsertAt(0, separator, static_cast<uint64_t>(right_id));
+    root_ = new_root->id();
+    all_pages_.push_back(root_);
+    pool_->UnpinPage(root_, true);
+    return;
+  }
+
+  PageId parent_id = path.back().first;
+  path.pop_back();
+  Page* parent_page = pool_->FetchPage(parent_id);
+  NodeView parent(parent_page);
+  if (!parent.Fits(separator.size())) {
+    parent.Compact();
+  }
+  if (parent.Fits(separator.size())) {
+    int pos = parent.LowerBound(separator);
+    parent.InsertAt(pos, separator, static_cast<uint64_t>(right_id));
+    pool_->UnpinPage(parent_id, true);
+    return;
+  }
+  pool_->UnpinPage(parent_id, true);
+  // Parent is full: split it first, then re-insert the separator by
+  // re-descending from the root (simple and correct, if not optimal).
+  SplitAndPropagate(path, parent_id);
+  // After the parent split, find the new parent of the separator.
+  std::vector<std::pair<PageId, int>> new_path;
+  FindLeaf(separator, &new_path);
+  // The last internal node on the path to `separator` is the parent to
+  // receive it. new_path holds internal nodes only.
+  assert(!new_path.empty());
+  PageId target = new_path.back().first;
+  Page* target_page = pool_->FetchPage(target);
+  NodeView target_node(target_page);
+  if (!target_node.Fits(separator.size())) target_node.Compact();
+  assert(target_node.Fits(separator.size()));
+  int pos = target_node.LowerBound(separator);
+  target_node.InsertAt(pos, separator, static_cast<uint64_t>(right_id));
+  pool_->UnpinPage(target, true);
+}
+
+Status BTree::Delete(std::string_view key, const Rid& rid) {
+  std::string full(key);
+  AppendRidSuffix(rid, &full);
+  PageId leaf_id = FindLeaf(full, nullptr);
+  Page* page = pool_->FetchPage(leaf_id);
+  NodeView node(page);
+  int pos = node.LowerBound(full);
+  if (pos < node.count() && node.Key(pos) == full) {
+    node.RemoveAt(pos);
+    pool_->UnpinPage(leaf_id, true);
+    entries_--;
+    return Status::OK();
+  }
+  pool_->UnpinPage(leaf_id, false);
+  return Status::NotFound("key not in index");
+}
+
+bool BTree::Contains(std::string_view key) {
+  std::string hi(key);
+  hi.push_back('\xFF');
+  Iterator it = Scan(key, hi);
+  Rid rid;
+  std::string found;
+  while (it.Next(&rid, &found)) {
+    if (found.size() == key.size() + kRidSuffixLen &&
+        std::string_view(found).substr(0, key.size()) == key) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Rid> BTree::Lookup(std::string_view key) {
+  std::vector<Rid> out;
+  std::string hi(key);
+  hi.push_back('\xFF');
+  Iterator it = Scan(key, hi);
+  Rid rid;
+  std::string found;
+  while (it.Next(&rid, &found)) {
+    if (found.size() == key.size() + kRidSuffixLen &&
+        std::string_view(found).substr(0, key.size()) == key) {
+      out.push_back(rid);
+    }
+  }
+  return out;
+}
+
+BTree::Iterator BTree::Scan(std::string_view lo, std::string_view hi) {
+  PageId leaf_id = FindLeaf(lo, nullptr);
+  Page* page = pool_->FetchPage(leaf_id);
+  NodeView node(page);
+  int pos = node.LowerBound(lo);
+  pool_->UnpinPage(leaf_id, false);
+  return Iterator(this, leaf_id, pos, std::string(hi));
+}
+
+bool BTree::Iterator::Next(Rid* rid, std::string* key) {
+  while (leaf_ != kInvalidPageId) {
+    Page* page = tree_->pool_->FetchPage(leaf_);
+    NodeView node(page);
+    if (pos_ < node.count()) {
+      std::string_view k = node.Key(pos_);
+      if (!hi_.empty() && k >= hi_) {
+        tree_->pool_->UnpinPage(leaf_, false);
+        leaf_ = kInvalidPageId;
+        return false;
+      }
+      *rid = UnpackRid(node.Val(pos_));
+      if (key != nullptr) key->assign(k);
+      pos_++;
+      tree_->pool_->UnpinPage(leaf_, false);
+      return true;
+    }
+    PageId next = node.link();
+    tree_->pool_->UnpinPage(leaf_, false);
+    leaf_ = next;
+    pos_ = 0;
+  }
+  return false;
+}
+
+void BTree::Free() {
+  for (PageId pid : all_pages_) {
+    pool_->DeletePage(pid);
+  }
+  all_pages_.clear();
+  root_ = kInvalidPageId;
+  entries_ = 0;
+}
+
+int BTree::Height() {
+  int height = 1;
+  PageId current = root_;
+  while (true) {
+    Page* page = pool_->FetchPage(current);
+    NodeView node(page);
+    if (node.is_leaf()) {
+      pool_->UnpinPage(current, false);
+      return height;
+    }
+    PageId child = node.link();
+    pool_->UnpinPage(current, false);
+    current = child;
+    height++;
+  }
+}
+
+}  // namespace mtdb

@@ -1,0 +1,95 @@
+#ifndef MTDB_INDEX_BTREE_H_
+#define MTDB_INDEX_BTREE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "storage/buffer_pool.h"
+
+namespace mtdb {
+
+/// A disk-resident B+Tree mapping memcomparable byte-string keys to RIDs.
+///
+/// Duplicates are supported by suffixing every key with its RID, so the
+/// stored keys are unique and a (key, rid) pair can be deleted exactly.
+/// Composite keys with redundant leading components (Tenant, Table,
+/// Chunk, ...) behave as partitioned B-Trees (Graefe, CIDR'03): the
+/// leading components confine a lookup to one contiguous partition. Page
+/// images live in the shared buffer pool, so index root/interior pages
+/// compete with data pages for memory — the effect §5 measures.
+class BTree {
+ public:
+  /// Creates an empty tree (allocates a root leaf).
+  explicit BTree(BufferPool* pool);
+  /// Attaches to an existing tree.
+  BTree(BufferPool* pool, PageId root);
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  PageId root() const { return root_; }
+  uint64_t entry_count() const { return entries_; }
+  /// Number of pages ever allocated to this tree (root + interior + leaf).
+  size_t page_count() const { return all_pages_.size(); }
+
+  Status Insert(std::string_view key, const Rid& rid);
+  /// Removes one (key, rid) entry. NotFound if absent.
+  Status Delete(std::string_view key, const Rid& rid);
+
+  /// True if any entry's key equals `key` (ignoring the rid suffix).
+  bool Contains(std::string_view key);
+
+  /// Collects the RIDs of all entries with exactly this key.
+  std::vector<Rid> Lookup(std::string_view key);
+
+  /// Streaming scan over keys in [lo, hi).
+  class Iterator {
+   public:
+    /// Returns false at end; otherwise fills rid (and `key` if non-null).
+    bool Next(Rid* rid, std::string* key = nullptr);
+
+   private:
+    friend class BTree;
+    Iterator(BTree* tree, PageId leaf, int pos, std::string hi)
+        : tree_(tree), leaf_(leaf), pos_(pos), hi_(std::move(hi)) {}
+    BTree* tree_;
+    PageId leaf_;
+    int pos_;
+    std::string hi_;
+  };
+
+  Iterator Scan(std::string_view lo, std::string_view hi);
+
+  /// Releases every page of the tree back to the store.
+  void Free();
+
+  /// Tree height (1 = root is a leaf). Walks the leftmost path.
+  int Height();
+
+ private:
+  struct NodeRef;  // defined in btree.cc
+
+  /// Descends to the leaf that should contain `key`; records the path of
+  /// (page id, child index) in `path` when non-null.
+  PageId FindLeaf(std::string_view key,
+                  std::vector<std::pair<PageId, int>>* path);
+  void SplitAndPropagate(std::vector<std::pair<PageId, int>>& path,
+                         PageId left_id);
+
+  BufferPool* pool_;
+  PageId root_;
+  uint64_t entries_ = 0;
+  std::vector<PageId> all_pages_;
+};
+
+/// Appends an order-preserving RID suffix to `key` (used by BTree to
+/// disambiguate duplicate keys; exposed for tests).
+void AppendRidSuffix(const Rid& rid, std::string* key);
+
+}  // namespace mtdb
+
+#endif  // MTDB_INDEX_BTREE_H_

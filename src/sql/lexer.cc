@@ -1,0 +1,186 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+namespace mtdb {
+namespace sql {
+
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const auto* kKeywords = new std::unordered_set<std::string>{
+      "SELECT", "FROM",   "WHERE",  "AND",    "OR",     "NOT",    "AS",
+      "JOIN",   "INNER",  "ON",     "GROUP",  "BY",     "ORDER",  "HAVING",
+      "LIMIT",  "OFFSET", "ASC",    "DESC",   "INSERT", "INTO",   "VALUES",
+      "UPDATE", "SET",    "DELETE", "CREATE", "TABLE",  "INDEX",  "UNIQUE",
+      "DROP",   "NULL",   "IS",     "TRUE",   "FALSE",  "DISTINCT",
+      "LIKE",   "IN",
+  };
+  return *kKeywords;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      // '$' continues an identifier (Postgres/Oracle style); the
+      // transformation layer's generated aliases use it.
+      while (j < n && (std::isalnum(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '_' || input[j] == '$')) {
+        ++j;
+      }
+      std::string word = input.substr(i, j - i);
+      std::string upper(word);
+      for (char& ch : upper) ch = static_cast<char>(std::toupper(
+          static_cast<unsigned char>(ch)));
+      if (Keywords().count(upper) != 0) {
+        out.push_back({TokenKind::kKeyword, upper, start});
+      } else {
+        out.push_back({TokenKind::kIdent, word, start});
+      }
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      bool is_float = false;
+      while (j < n && std::isdigit(static_cast<unsigned char>(input[j]))) ++j;
+      if (j < n && input[j] == '.' && j + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(input[j + 1]))) {
+        is_float = true;
+        ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(input[j]))) ++j;
+      }
+      out.push_back({is_float ? TokenKind::kFloat : TokenKind::kInteger,
+                     input.substr(i, j - i), start});
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      std::string text;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (input[j] == '\'') {
+          if (j + 1 < n && input[j + 1] == '\'') {
+            text.push_back('\'');
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        text.push_back(input[j]);
+        ++j;
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      out.push_back({TokenKind::kString, std::move(text), start});
+      i = j;
+      continue;
+    }
+    switch (c) {
+      case '?':
+        out.push_back({TokenKind::kParam, "?", start});
+        ++i;
+        break;
+      case ',':
+        out.push_back({TokenKind::kComma, ",", start});
+        ++i;
+        break;
+      case '.':
+        out.push_back({TokenKind::kDot, ".", start});
+        ++i;
+        break;
+      case '(':
+        out.push_back({TokenKind::kLParen, "(", start});
+        ++i;
+        break;
+      case ')':
+        out.push_back({TokenKind::kRParen, ")", start});
+        ++i;
+        break;
+      case '*':
+        out.push_back({TokenKind::kStar, "*", start});
+        ++i;
+        break;
+      case '+':
+        out.push_back({TokenKind::kPlus, "+", start});
+        ++i;
+        break;
+      case '-':
+        out.push_back({TokenKind::kMinus, "-", start});
+        ++i;
+        break;
+      case '/':
+        out.push_back({TokenKind::kSlash, "/", start});
+        ++i;
+        break;
+      case '%':
+        out.push_back({TokenKind::kPercent, "%", start});
+        ++i;
+        break;
+      case ';':
+        out.push_back({TokenKind::kSemicolon, ";", start});
+        ++i;
+        break;
+      case '=':
+        out.push_back({TokenKind::kEq, "=", start});
+        ++i;
+        break;
+      case '<':
+        if (i + 1 < n && input[i + 1] == '=') {
+          out.push_back({TokenKind::kLe, "<=", start});
+          i += 2;
+        } else if (i + 1 < n && input[i + 1] == '>') {
+          out.push_back({TokenKind::kNe, "<>", start});
+          i += 2;
+        } else {
+          out.push_back({TokenKind::kLt, "<", start});
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && input[i + 1] == '=') {
+          out.push_back({TokenKind::kGe, ">=", start});
+          i += 2;
+        } else {
+          out.push_back({TokenKind::kGt, ">", start});
+          ++i;
+        }
+        break;
+      case '!':
+        if (i + 1 < n && input[i + 1] == '=') {
+          out.push_back({TokenKind::kNe, "!=", start});
+          i += 2;
+        } else {
+          return Status::ParseError("unexpected '!' at offset " +
+                                    std::to_string(start));
+        }
+        break;
+      default:
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at offset " + std::to_string(start));
+    }
+  }
+  out.push_back({TokenKind::kEnd, "", n});
+  return out;
+}
+
+}  // namespace sql
+}  // namespace mtdb

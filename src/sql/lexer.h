@@ -1,0 +1,51 @@
+#ifndef MTDB_SQL_LEXER_H_
+#define MTDB_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mtdb {
+namespace sql {
+
+enum class TokenKind {
+  kIdent,
+  kKeyword,
+  kInteger,
+  kFloat,
+  kString,
+  kParam,      // ?
+  kComma,
+  kDot,
+  kLParen,
+  kRParen,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kPercent,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kSemicolon,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;    // identifier / keyword (upper-cased) / literal text
+  size_t position = 0; // byte offset for error messages
+};
+
+/// Tokenizes a SQL string. Keywords are recognized case-insensitively and
+/// reported upper-case in Token::text.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace sql
+}  // namespace mtdb
+
+#endif  // MTDB_SQL_LEXER_H_

@@ -1,0 +1,561 @@
+#include "sql/parser.h"
+
+#include <cstdlib>
+
+#include "catalog/schema.h"
+#include "sql/lexer.h"
+
+namespace mtdb {
+namespace sql {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseStatement();
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Peek2() const {
+    return tokens_[pos_ + 1 < tokens_.size() ? pos_ + 1 : tokens_.size() - 1];
+  }
+  Token Advance() { return tokens_[pos_++]; }
+  bool Check(TokenKind kind) const { return Peek().kind == kind; }
+  bool CheckKeyword(const char* kw) const {
+    return Peek().kind == TokenKind::kKeyword && Peek().text == kw;
+  }
+  bool MatchKeyword(const char* kw) {
+    if (CheckKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool Match(TokenKind kind) {
+    if (Check(kind)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status Expect(TokenKind kind, const char* what) {
+    if (!Check(kind)) {
+      return Status::ParseError(std::string("expected ") + what + " near '" +
+                                Peek().text + "' at offset " +
+                                std::to_string(Peek().position));
+    }
+    Advance();
+    return Status::OK();
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!CheckKeyword(kw)) {
+      return Status::ParseError(std::string("expected ") + kw + " near '" +
+                                Peek().text + "' at offset " +
+                                std::to_string(Peek().position));
+    }
+    Advance();
+    return Status::OK();
+  }
+  Result<std::string> ExpectIdent(const char* what) {
+    if (!Check(TokenKind::kIdent)) {
+      return Status::ParseError(std::string("expected ") + what + " near '" +
+                                Peek().text + "'");
+    }
+    return Advance().text;
+  }
+
+  Result<std::unique_ptr<SelectStmt>> ParseSelectStmt();
+  Result<TableRef> ParseTableRef();
+  Result<ParsedExprPtr> ParseExpr();    // OR level
+  Result<ParsedExprPtr> ParseAnd();
+  Result<ParsedExprPtr> ParseNot();
+  Result<ParsedExprPtr> ParseComparison();
+  Result<ParsedExprPtr> ParseAdditive();
+  Result<ParsedExprPtr> ParseMultiplicative();
+  Result<ParsedExprPtr> ParseUnary();
+  Result<ParsedExprPtr> ParsePrimary();
+
+  Result<Statement> ParseInsert();
+  Result<Statement> ParseUpdate();
+  Result<Statement> ParseDelete();
+  Result<Statement> ParseCreate();
+  Result<Statement> ParseDrop();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  size_t next_param_ = 0;
+};
+
+Result<Statement> Parser::ParseStatement() {
+  Statement stmt;
+  if (CheckKeyword("SELECT")) {
+    MTDB_ASSIGN_OR_RETURN(stmt.select, ParseSelectStmt());
+    stmt.kind = StatementKind::kSelect;
+  } else if (CheckKeyword("INSERT")) {
+    return ParseInsert();
+  } else if (CheckKeyword("UPDATE")) {
+    return ParseUpdate();
+  } else if (CheckKeyword("DELETE")) {
+    return ParseDelete();
+  } else if (CheckKeyword("CREATE")) {
+    return ParseCreate();
+  } else if (CheckKeyword("DROP")) {
+    return ParseDrop();
+  } else {
+    return Status::ParseError("expected a statement, got '" + Peek().text +
+                              "'");
+  }
+  Match(TokenKind::kSemicolon);
+  if (!Check(TokenKind::kEnd)) {
+    return Status::ParseError("trailing input near '" + Peek().text + "'");
+  }
+  return stmt;
+}
+
+Result<std::unique_ptr<SelectStmt>> Parser::ParseSelectStmt() {
+  MTDB_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+  auto stmt = std::make_unique<SelectStmt>();
+  stmt->distinct = MatchKeyword("DISTINCT");
+  if (Match(TokenKind::kStar)) {
+    stmt->select_star = true;
+  } else {
+    while (true) {
+      SelectItem item;
+      MTDB_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (MatchKeyword("AS")) {
+        MTDB_ASSIGN_OR_RETURN(item.alias, ExpectIdent("alias"));
+      } else if (Check(TokenKind::kIdent)) {
+        item.alias = Advance().text;
+      }
+      stmt->items.push_back(std::move(item));
+      if (!Match(TokenKind::kComma)) break;
+    }
+  }
+  MTDB_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+  // FROM list with comma joins and INNER JOIN ... ON (flattened).
+  while (true) {
+    MTDB_ASSIGN_OR_RETURN(TableRef ref, ParseTableRef());
+    stmt->from.push_back(std::move(ref));
+    while (CheckKeyword("JOIN") || CheckKeyword("INNER")) {
+      MatchKeyword("INNER");
+      MTDB_RETURN_IF_ERROR(ExpectKeyword("JOIN"));
+      MTDB_ASSIGN_OR_RETURN(TableRef right, ParseTableRef());
+      stmt->from.push_back(std::move(right));
+      MTDB_RETURN_IF_ERROR(ExpectKeyword("ON"));
+      MTDB_ASSIGN_OR_RETURN(ParsedExprPtr on, ParseExpr());
+      stmt->where = AndTogether(std::move(stmt->where), std::move(on));
+    }
+    if (!Match(TokenKind::kComma)) break;
+  }
+  if (MatchKeyword("WHERE")) {
+    MTDB_ASSIGN_OR_RETURN(ParsedExprPtr w, ParseExpr());
+    stmt->where = AndTogether(std::move(stmt->where), std::move(w));
+  }
+  if (MatchKeyword("GROUP")) {
+    MTDB_RETURN_IF_ERROR(ExpectKeyword("BY"));
+    while (true) {
+      MTDB_ASSIGN_OR_RETURN(ParsedExprPtr g, ParseExpr());
+      stmt->group_by.push_back(std::move(g));
+      if (!Match(TokenKind::kComma)) break;
+    }
+  }
+  if (MatchKeyword("HAVING")) {
+    MTDB_ASSIGN_OR_RETURN(stmt->having, ParseExpr());
+  }
+  if (MatchKeyword("ORDER")) {
+    MTDB_RETURN_IF_ERROR(ExpectKeyword("BY"));
+    while (true) {
+      OrderItem item;
+      MTDB_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (MatchKeyword("DESC")) {
+        item.descending = true;
+      } else {
+        MatchKeyword("ASC");
+      }
+      stmt->order_by.push_back(std::move(item));
+      if (!Match(TokenKind::kComma)) break;
+    }
+  }
+  if (MatchKeyword("LIMIT")) {
+    if (!Check(TokenKind::kInteger)) {
+      return Status::ParseError("expected integer after LIMIT");
+    }
+    stmt->limit = std::atoll(Advance().text.c_str());
+    if (MatchKeyword("OFFSET")) {
+      if (!Check(TokenKind::kInteger)) {
+        return Status::ParseError("expected integer after OFFSET");
+      }
+      stmt->offset = std::atoll(Advance().text.c_str());
+    }
+  }
+  return stmt;
+}
+
+Result<TableRef> Parser::ParseTableRef() {
+  TableRef ref;
+  if (Match(TokenKind::kLParen)) {
+    MTDB_ASSIGN_OR_RETURN(ref.subquery, ParseSelectStmt());
+    MTDB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
+    MatchKeyword("AS");
+    MTDB_ASSIGN_OR_RETURN(ref.alias, ExpectIdent("derived table alias"));
+    return ref;
+  }
+  MTDB_ASSIGN_OR_RETURN(ref.table_name, ExpectIdent("table name"));
+  if (MatchKeyword("AS")) {
+    MTDB_ASSIGN_OR_RETURN(ref.alias, ExpectIdent("alias"));
+  } else if (Check(TokenKind::kIdent)) {
+    ref.alias = Advance().text;
+  }
+  return ref;
+}
+
+Result<ParsedExprPtr> Parser::ParseExpr() {
+  MTDB_ASSIGN_OR_RETURN(ParsedExprPtr left, ParseAnd());
+  while (MatchKeyword("OR")) {
+    MTDB_ASSIGN_OR_RETURN(ParsedExprPtr right, ParseAnd());
+    left = MakeBinary(BinaryOp::kOr, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<ParsedExprPtr> Parser::ParseAnd() {
+  MTDB_ASSIGN_OR_RETURN(ParsedExprPtr left, ParseNot());
+  while (MatchKeyword("AND")) {
+    MTDB_ASSIGN_OR_RETURN(ParsedExprPtr right, ParseNot());
+    left = MakeBinary(BinaryOp::kAnd, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<ParsedExprPtr> Parser::ParseNot() {
+  if (MatchKeyword("NOT")) {
+    MTDB_ASSIGN_OR_RETURN(ParsedExprPtr c, ParseNot());
+    return MakeUnary(UnaryOp::kNot, std::move(c));
+  }
+  return ParseComparison();
+}
+
+Result<ParsedExprPtr> Parser::ParseComparison() {
+  MTDB_ASSIGN_OR_RETURN(ParsedExprPtr left, ParseAdditive());
+  // IS [NOT] NULL
+  if (MatchKeyword("IS")) {
+    bool negated = MatchKeyword("NOT");
+    MTDB_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+    return MakeIsNull(std::move(left), negated);
+  }
+  // [NOT] LIKE / [NOT] IN
+  {
+    bool negated = false;
+    size_t mark = pos_;
+    if (CheckKeyword("NOT")) {
+      Advance();
+      negated = true;
+      if (!CheckKeyword("LIKE") && !CheckKeyword("IN")) {
+        pos_ = mark;  // plain NOT handled at the NOT level
+        negated = false;
+      }
+    }
+    if (MatchKeyword("LIKE")) {
+      MTDB_ASSIGN_OR_RETURN(ParsedExprPtr pattern, ParseAdditive());
+      return MakeLike(std::move(left), std::move(pattern), negated);
+    }
+    if (MatchKeyword("IN")) {
+      // IN (v1, v2, ...) expands to an OR chain of equalities.
+      MTDB_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "("));
+      ParsedExprPtr chain;
+      while (true) {
+        MTDB_ASSIGN_OR_RETURN(ParsedExprPtr v, ParseExpr());
+        ParsedExprPtr eq =
+            MakeBinary(BinaryOp::kEq, left->Clone(), std::move(v));
+        chain = chain == nullptr
+                    ? std::move(eq)
+                    : MakeBinary(BinaryOp::kOr, std::move(chain),
+                                 std::move(eq));
+        if (!Match(TokenKind::kComma)) break;
+      }
+      MTDB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
+      if (negated) return MakeUnary(UnaryOp::kNot, std::move(chain));
+      return chain;
+    }
+  }
+  BinaryOp op;
+  switch (Peek().kind) {
+    case TokenKind::kEq:
+      op = BinaryOp::kEq;
+      break;
+    case TokenKind::kNe:
+      op = BinaryOp::kNe;
+      break;
+    case TokenKind::kLt:
+      op = BinaryOp::kLt;
+      break;
+    case TokenKind::kLe:
+      op = BinaryOp::kLe;
+      break;
+    case TokenKind::kGt:
+      op = BinaryOp::kGt;
+      break;
+    case TokenKind::kGe:
+      op = BinaryOp::kGe;
+      break;
+    default:
+      return left;
+  }
+  Advance();
+  MTDB_ASSIGN_OR_RETURN(ParsedExprPtr right, ParseAdditive());
+  return MakeBinary(op, std::move(left), std::move(right));
+}
+
+Result<ParsedExprPtr> Parser::ParseAdditive() {
+  MTDB_ASSIGN_OR_RETURN(ParsedExprPtr left, ParseMultiplicative());
+  while (Check(TokenKind::kPlus) || Check(TokenKind::kMinus)) {
+    BinaryOp op = Check(TokenKind::kPlus) ? BinaryOp::kAdd : BinaryOp::kSub;
+    Advance();
+    MTDB_ASSIGN_OR_RETURN(ParsedExprPtr right, ParseMultiplicative());
+    left = MakeBinary(op, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<ParsedExprPtr> Parser::ParseMultiplicative() {
+  MTDB_ASSIGN_OR_RETURN(ParsedExprPtr left, ParseUnary());
+  while (Check(TokenKind::kStar) || Check(TokenKind::kSlash) ||
+         Check(TokenKind::kPercent)) {
+    BinaryOp op = Check(TokenKind::kStar)
+                      ? BinaryOp::kMul
+                      : (Check(TokenKind::kSlash) ? BinaryOp::kDiv
+                                                  : BinaryOp::kMod);
+    Advance();
+    MTDB_ASSIGN_OR_RETURN(ParsedExprPtr right, ParseUnary());
+    left = MakeBinary(op, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<ParsedExprPtr> Parser::ParseUnary() {
+  if (Match(TokenKind::kMinus)) {
+    MTDB_ASSIGN_OR_RETURN(ParsedExprPtr c, ParseUnary());
+    return MakeUnary(UnaryOp::kNeg, std::move(c));
+  }
+  return ParsePrimary();
+}
+
+Result<ParsedExprPtr> Parser::ParsePrimary() {
+  if (Match(TokenKind::kLParen)) {
+    MTDB_ASSIGN_OR_RETURN(ParsedExprPtr e, ParseExpr());
+    MTDB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
+    return e;
+  }
+  if (Check(TokenKind::kParam)) {
+    Advance();
+    return MakeParam(next_param_++);
+  }
+  if (Check(TokenKind::kInteger)) {
+    return MakeLiteral(Value::Int64(std::atoll(Advance().text.c_str())));
+  }
+  if (Check(TokenKind::kFloat)) {
+    return MakeLiteral(Value::Double(std::atof(Advance().text.c_str())));
+  }
+  if (Check(TokenKind::kString)) {
+    return MakeLiteral(Value::String(Advance().text));
+  }
+  if (CheckKeyword("NULL")) {
+    Advance();
+    return MakeLiteral(Value());
+  }
+  if (CheckKeyword("TRUE")) {
+    Advance();
+    return MakeLiteral(Value::Bool(true));
+  }
+  if (CheckKeyword("FALSE")) {
+    Advance();
+    return MakeLiteral(Value::Bool(false));
+  }
+  if (Check(TokenKind::kIdent)) {
+    std::string first = Advance().text;
+    if (Match(TokenKind::kLParen)) {
+      // Function call: COUNT(*), SUM(expr), ...
+      if (Match(TokenKind::kStar)) {
+        MTDB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
+        return MakeFunc(IdentLower(first), {}, /*star=*/true);
+      }
+      std::vector<ParsedExprPtr> args;
+      if (!Check(TokenKind::kRParen)) {
+        while (true) {
+          MTDB_ASSIGN_OR_RETURN(ParsedExprPtr a, ParseExpr());
+          args.push_back(std::move(a));
+          if (!Match(TokenKind::kComma)) break;
+        }
+      }
+      MTDB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
+      return MakeFunc(IdentLower(first), std::move(args), /*star=*/false);
+    }
+    if (Match(TokenKind::kDot)) {
+      MTDB_ASSIGN_OR_RETURN(std::string col, ExpectIdent("column name"));
+      return MakeColumnRef(first, col);
+    }
+    return MakeColumnRef("", first);
+  }
+  return Status::ParseError("unexpected token '" + Peek().text +
+                            "' at offset " + std::to_string(Peek().position));
+}
+
+Result<Statement> Parser::ParseInsert() {
+  MTDB_RETURN_IF_ERROR(ExpectKeyword("INSERT"));
+  MTDB_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+  Statement stmt;
+  stmt.kind = StatementKind::kInsert;
+  stmt.insert = std::make_unique<InsertStmt>();
+  MTDB_ASSIGN_OR_RETURN(stmt.insert->table, ExpectIdent("table name"));
+  if (Match(TokenKind::kLParen)) {
+    while (true) {
+      MTDB_ASSIGN_OR_RETURN(std::string col, ExpectIdent("column name"));
+      stmt.insert->columns.push_back(std::move(col));
+      if (!Match(TokenKind::kComma)) break;
+    }
+    MTDB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
+  }
+  MTDB_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+  while (true) {
+    MTDB_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "("));
+    std::vector<ParsedExprPtr> row;
+    while (true) {
+      MTDB_ASSIGN_OR_RETURN(ParsedExprPtr e, ParseExpr());
+      row.push_back(std::move(e));
+      if (!Match(TokenKind::kComma)) break;
+    }
+    MTDB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
+    stmt.insert->rows.push_back(std::move(row));
+    if (!Match(TokenKind::kComma)) break;
+  }
+  Match(TokenKind::kSemicolon);
+  return stmt;
+}
+
+Result<Statement> Parser::ParseUpdate() {
+  MTDB_RETURN_IF_ERROR(ExpectKeyword("UPDATE"));
+  Statement stmt;
+  stmt.kind = StatementKind::kUpdate;
+  stmt.update = std::make_unique<UpdateStmt>();
+  MTDB_ASSIGN_OR_RETURN(stmt.update->table, ExpectIdent("table name"));
+  MTDB_RETURN_IF_ERROR(ExpectKeyword("SET"));
+  while (true) {
+    MTDB_ASSIGN_OR_RETURN(std::string col, ExpectIdent("column name"));
+    MTDB_RETURN_IF_ERROR(Expect(TokenKind::kEq, "="));
+    MTDB_ASSIGN_OR_RETURN(ParsedExprPtr e, ParseExpr());
+    stmt.update->assignments.emplace_back(std::move(col), std::move(e));
+    if (!Match(TokenKind::kComma)) break;
+  }
+  if (MatchKeyword("WHERE")) {
+    MTDB_ASSIGN_OR_RETURN(stmt.update->where, ParseExpr());
+  }
+  Match(TokenKind::kSemicolon);
+  return stmt;
+}
+
+Result<Statement> Parser::ParseDelete() {
+  MTDB_RETURN_IF_ERROR(ExpectKeyword("DELETE"));
+  MTDB_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+  Statement stmt;
+  stmt.kind = StatementKind::kDelete;
+  stmt.del = std::make_unique<DeleteStmt>();
+  MTDB_ASSIGN_OR_RETURN(stmt.del->table, ExpectIdent("table name"));
+  if (MatchKeyword("WHERE")) {
+    MTDB_ASSIGN_OR_RETURN(stmt.del->where, ParseExpr());
+  }
+  Match(TokenKind::kSemicolon);
+  return stmt;
+}
+
+Result<Statement> Parser::ParseCreate() {
+  MTDB_RETURN_IF_ERROR(ExpectKeyword("CREATE"));
+  Statement stmt;
+  bool unique = MatchKeyword("UNIQUE");
+  if (MatchKeyword("TABLE")) {
+    if (unique) return Status::ParseError("UNIQUE TABLE is not valid");
+    stmt.kind = StatementKind::kCreateTable;
+    stmt.create_table = std::make_unique<CreateTableStmt>();
+    MTDB_ASSIGN_OR_RETURN(stmt.create_table->table, ExpectIdent("table name"));
+    MTDB_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "("));
+    while (true) {
+      ColumnDef def;
+      MTDB_ASSIGN_OR_RETURN(def.name, ExpectIdent("column name"));
+      MTDB_ASSIGN_OR_RETURN(std::string type_name, ExpectIdent("type name"));
+      def.type = TypeFromName(type_name);
+      if (def.type == TypeId::kNull) {
+        return Status::ParseError("unknown type: " + type_name);
+      }
+      // Optional (n) length, accepted and ignored (VARCHAR(100)).
+      if (Match(TokenKind::kLParen)) {
+        if (!Check(TokenKind::kInteger)) {
+          return Status::ParseError("expected length after (");
+        }
+        Advance();
+        MTDB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
+      }
+      if (MatchKeyword("NOT")) {
+        MTDB_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+        def.not_null = true;
+      }
+      stmt.create_table->columns.push_back(std::move(def));
+      if (!Match(TokenKind::kComma)) break;
+    }
+    MTDB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
+    Match(TokenKind::kSemicolon);
+    return stmt;
+  }
+  MTDB_RETURN_IF_ERROR(ExpectKeyword("INDEX"));
+  stmt.kind = StatementKind::kCreateIndex;
+  stmt.create_index = std::make_unique<CreateIndexStmt>();
+  stmt.create_index->unique = unique;
+  MTDB_ASSIGN_OR_RETURN(stmt.create_index->index, ExpectIdent("index name"));
+  MTDB_RETURN_IF_ERROR(ExpectKeyword("ON"));
+  MTDB_ASSIGN_OR_RETURN(stmt.create_index->table, ExpectIdent("table name"));
+  MTDB_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "("));
+  while (true) {
+    MTDB_ASSIGN_OR_RETURN(std::string col, ExpectIdent("column name"));
+    stmt.create_index->columns.push_back(std::move(col));
+    if (!Match(TokenKind::kComma)) break;
+  }
+  MTDB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
+  Match(TokenKind::kSemicolon);
+  return stmt;
+}
+
+Result<Statement> Parser::ParseDrop() {
+  MTDB_RETURN_IF_ERROR(ExpectKeyword("DROP"));
+  Statement stmt;
+  if (MatchKeyword("TABLE")) {
+    stmt.kind = StatementKind::kDropTable;
+    stmt.drop_table = std::make_unique<DropTableStmt>();
+    MTDB_ASSIGN_OR_RETURN(stmt.drop_table->table, ExpectIdent("table name"));
+  } else {
+    MTDB_RETURN_IF_ERROR(ExpectKeyword("INDEX"));
+    stmt.kind = StatementKind::kDropIndex;
+    stmt.drop_index = std::make_unique<DropIndexStmt>();
+    MTDB_ASSIGN_OR_RETURN(stmt.drop_index->index, ExpectIdent("index name"));
+  }
+  Match(TokenKind::kSemicolon);
+  return stmt;
+}
+
+}  // namespace
+
+Result<Statement> Parse(const std::string& input) {
+  MTDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+Result<std::unique_ptr<SelectStmt>> ParseSelect(const std::string& input) {
+  MTDB_ASSIGN_OR_RETURN(Statement stmt, Parse(input));
+  if (stmt.kind != StatementKind::kSelect) {
+    return Status::InvalidArgument("expected a SELECT statement");
+  }
+  return std::move(stmt.select);
+}
+
+}  // namespace sql
+}  // namespace mtdb

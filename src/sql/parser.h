@@ -1,0 +1,35 @@
+#ifndef MTDB_SQL_PARSER_H_
+#define MTDB_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace mtdb {
+namespace sql {
+
+/// Parses a single SQL statement. Supported grammar (subset sufficient
+/// for the paper's workloads and the mapping layer's generated queries):
+///
+///   SELECT [DISTINCT] item[, ...] FROM ref[, ...]
+///     [WHERE pred] [GROUP BY expr[, ...]] [HAVING pred]
+///     [ORDER BY expr [ASC|DESC][, ...]] [LIMIT n [OFFSET m]]
+///   ref  := table [[AS] alias] | ( select ) [AS] alias
+///          | ref JOIN ref ON pred          (flattened into WHERE)
+///   INSERT INTO t [(cols)] VALUES (exprs)[, (exprs) ...]
+///   UPDATE t SET col = expr[, ...] [WHERE pred]
+///   DELETE FROM t [WHERE pred]
+///   CREATE TABLE t (col TYPE [NOT NULL][, ...])
+///   CREATE [UNIQUE] INDEX i ON t (cols)
+///   DROP TABLE t | DROP INDEX i
+Result<Statement> Parse(const std::string& input);
+
+/// Convenience: parse and require a SELECT.
+Result<std::unique_ptr<SelectStmt>> ParseSelect(const std::string& input);
+
+}  // namespace sql
+}  // namespace mtdb
+
+#endif  // MTDB_SQL_PARSER_H_

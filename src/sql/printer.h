@@ -1,0 +1,21 @@
+#ifndef MTDB_SQL_PRINTER_H_
+#define MTDB_SQL_PRINTER_H_
+
+#include <string>
+
+#include "sql/ast.h"
+
+namespace mtdb {
+namespace sql {
+
+/// Renders an AST back to SQL text. The mapping layer uses this to show
+/// the physical queries it generates (as in the paper's Q1 examples) and
+/// tests use it for round-trip checks.
+std::string ToSql(const ParsedExpr& expr);
+std::string ToSql(const SelectStmt& stmt);
+std::string ToSql(const Statement& stmt);
+
+}  // namespace sql
+}  // namespace mtdb
+
+#endif  // MTDB_SQL_PRINTER_H_

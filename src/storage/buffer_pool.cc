@@ -1,0 +1,142 @@
+#include "storage/buffer_pool.h"
+
+#include <cassert>
+
+namespace mtdb {
+
+BufferPool::BufferPool(PageStore* store, size_t capacity)
+    : store_(store), capacity_(capacity == 0 ? 1 : capacity) {}
+
+void BufferPool::Touch(Frame* frame, PageId id) {
+  if (frame->in_lru) {
+    lru_.erase(frame->lru_it);
+  }
+  lru_.push_front(id);
+  frame->lru_it = lru_.begin();
+  frame->in_lru = true;
+}
+
+Page* BufferPool::FetchPage(PageId id) {
+  PageType type = store_->TypeOf(id);
+  if (type == PageType::kIndex) {
+    stats_.logical_reads_index++;
+  } else {
+    stats_.logical_reads_data++;
+  }
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    Frame* frame = it->second.get();
+    frame->pin_count++;
+    Touch(frame, id);
+    return &frame->page;
+  }
+  // Miss: read through.
+  if (type == PageType::kIndex) {
+    stats_.misses_index++;
+  } else {
+    stats_.misses_data++;
+  }
+  auto frame = std::make_unique<Frame>(store_->page_size());
+  frame->page.set_id(id);
+  frame->page.set_type(type);
+  store_->Read(id, frame->page.data());
+  frame->pin_count = 1;
+  Frame* raw = frame.get();
+  frames_.emplace(id, std::move(frame));
+  Touch(raw, id);
+  EvictIfNeeded();
+  return &raw->page;
+}
+
+Page* BufferPool::NewPage(PageType type) {
+  PageId id = store_->Allocate(type);
+  auto frame = std::make_unique<Frame>(store_->page_size());
+  frame->page.set_id(id);
+  frame->page.set_type(type);
+  frame->pin_count = 1;
+  frame->dirty = true;
+  Frame* raw = frame.get();
+  frames_.emplace(id, std::move(frame));
+  Touch(raw, id);
+  EvictIfNeeded();
+  return &raw->page;
+}
+
+void BufferPool::UnpinPage(PageId id, bool dirty) {
+  auto it = frames_.find(id);
+  if (it == frames_.end()) return;
+  Frame* frame = it->second.get();
+  assert(frame->pin_count > 0);
+  frame->pin_count--;
+  if (dirty) frame->dirty = true;
+  if (frame->pin_count == 0 && frames_.size() > capacity_) {
+    EvictIfNeeded();
+  }
+}
+
+void BufferPool::DeletePage(PageId id) {
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    Frame* frame = it->second.get();
+    assert(frame->pin_count == 0);
+    if (frame->in_lru) lru_.erase(frame->lru_it);
+    frames_.erase(it);
+  }
+  store_->Deallocate(id);
+}
+
+void BufferPool::FlushFrame(Frame* frame) {
+  if (frame->dirty) {
+    store_->Write(frame->page.id(), frame->page.data());
+    frame->dirty = false;
+  }
+}
+
+void BufferPool::FlushAll() {
+  for (auto& [id, frame] : frames_) {
+    FlushFrame(frame.get());
+  }
+}
+
+void BufferPool::EvictAll() {
+  for (auto it = frames_.begin(); it != frames_.end();) {
+    Frame* frame = it->second.get();
+    if (frame->pin_count == 0) {
+      FlushFrame(frame);
+      if (frame->in_lru) lru_.erase(frame->lru_it);
+      it = frames_.erase(it);
+      stats_.evictions++;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void BufferPool::SetCapacity(size_t frames) {
+  capacity_ = frames == 0 ? 1 : frames;
+  EvictIfNeeded();
+}
+
+void BufferPool::EvictIfNeeded() {
+  while (frames_.size() > capacity_ && !lru_.empty()) {
+    // Scan from LRU end for an unpinned victim.
+    bool evicted = false;
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      PageId victim = *it;
+      auto fit = frames_.find(victim);
+      assert(fit != frames_.end());
+      Frame* frame = fit->second.get();
+      if (frame->pin_count == 0) {
+        FlushFrame(frame);
+        lru_.erase(std::next(it).base());
+        frames_.erase(fit);
+        stats_.evictions++;
+        evicted = true;
+        break;
+      }
+    }
+    if (!evicted) break;  // everything pinned: allow temporary overshoot
+  }
+}
+
+}  // namespace mtdb

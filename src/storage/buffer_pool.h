@@ -1,0 +1,147 @@
+#ifndef MTDB_STORAGE_BUFFER_POOL_H_
+#define MTDB_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/page.h"
+#include "storage/page_store.h"
+
+namespace mtdb {
+
+/// Logical/physical access counters split by page type; Table 2's
+/// "Bufferpool Hit Ratio Data / Index" rows come straight from these.
+struct BufferPoolStats {
+  uint64_t logical_reads_data = 0;
+  uint64_t logical_reads_index = 0;
+  uint64_t misses_data = 0;
+  uint64_t misses_index = 0;
+  uint64_t evictions = 0;
+
+  uint64_t logical_reads() const {
+    return logical_reads_data + logical_reads_index;
+  }
+  uint64_t misses() const { return misses_data + misses_index; }
+  double HitRatioData() const {
+    return logical_reads_data == 0
+               ? 1.0
+               : 1.0 - static_cast<double>(misses_data) /
+                           static_cast<double>(logical_reads_data);
+  }
+  double HitRatioIndex() const {
+    return logical_reads_index == 0
+               ? 1.0
+               : 1.0 - static_cast<double>(misses_index) /
+                           static_cast<double>(logical_reads_index);
+  }
+};
+
+/// LRU buffer pool over a PageStore. Capacity is in frames and can be
+/// resized at runtime: the catalog shrinks it as per-table meta-data is
+/// charged against the shared memory budget (the DB2 "4 KB per table"
+/// behaviour of §1.1/§5).
+class BufferPool {
+ public:
+  BufferPool(PageStore* store, size_t capacity);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins and returns a page, reading through the store on a miss.
+  /// Returns nullptr only if every frame is pinned and over capacity.
+  Page* FetchPage(PageId id);
+
+  /// Allocates a new page in the store and pins it.
+  Page* NewPage(PageType type);
+
+  /// Releases a pin; `dirty` marks the frame for write-back on eviction.
+  void UnpinPage(PageId id, bool dirty);
+
+  /// Drops a page from the pool and the store.
+  void DeletePage(PageId id);
+
+  /// Writes back all dirty frames.
+  void FlushAll();
+
+  /// Writes back and evicts every unpinned frame — used to run the
+  /// paper's cold-cache experiments (Figure 11).
+  void EvictAll();
+
+  /// Adjusts the frame budget. Shrinking evicts LRU frames lazily.
+  void SetCapacity(size_t frames);
+  size_t capacity() const { return capacity_; }
+  size_t frames_in_use() const { return frames_.size(); }
+
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferPoolStats(); }
+
+  PageStore* store() { return store_; }
+
+ private:
+  struct Frame {
+    Page page;
+    int pin_count = 0;
+    bool dirty = false;
+    std::list<PageId>::iterator lru_it;
+    bool in_lru = false;
+    explicit Frame(uint32_t page_size) : page(page_size) {}
+  };
+
+  /// Evicts LRU victims until frames_.size() <= capacity_. Honors pins.
+  void EvictIfNeeded();
+  void Touch(Frame* frame, PageId id);
+  void FlushFrame(Frame* frame);
+
+  PageStore* store_;
+  size_t capacity_;
+  std::unordered_map<PageId, std::unique_ptr<Frame>> frames_;
+  std::list<PageId> lru_;  // front = most recent
+  BufferPoolStats stats_;
+};
+
+/// RAII pin guard.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, Page* page) : pool_(pool), page_(page) {}
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
+  PageGuard& operator=(PageGuard&& other) noexcept {
+    Release();
+    pool_ = other.pool_;
+    page_ = other.page_;
+    dirty_ = other.dirty_;
+    other.pool_ = nullptr;
+    other.page_ = nullptr;
+    return *this;
+  }
+  ~PageGuard() { Release(); }
+
+  Page* get() { return page_; }
+  Page* operator->() { return page_; }
+  explicit operator bool() const { return page_ != nullptr; }
+  void MarkDirty() { dirty_ = true; }
+
+  void Release() {
+    if (pool_ != nullptr && page_ != nullptr) {
+      pool_->UnpinPage(page_->id(), dirty_);
+    }
+    pool_ = nullptr;
+    page_ = nullptr;
+    dirty_ = false;
+  }
+
+ private:
+  BufferPool* pool_ = nullptr;
+  Page* page_ = nullptr;
+  bool dirty_ = false;
+};
+
+}  // namespace mtdb
+
+#endif  // MTDB_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,148 @@
+#include "storage/page.h"
+
+#include <vector>
+
+namespace mtdb {
+
+void SlottedPage::Init(PageId next_page) {
+  Header* h = header();
+  h->slot_count = 0;
+  h->free_begin = sizeof(Header);
+  h->free_end = static_cast<uint16_t>(page_->size());
+  h->next_page = next_page;
+}
+
+uint32_t SlottedPage::FreeSpace() const {
+  const Header* h = header();
+  if (h->free_end < h->free_begin) return 0;
+  uint32_t gap = h->free_end - h->free_begin;
+  return gap > sizeof(Slot) ? gap - sizeof(Slot) : 0;
+}
+
+uint32_t SlottedPage::PotentialFreeSpace() const {
+  const Header* h = header();
+  uint32_t live_bytes = 0;
+  for (uint16_t i = 0; i < h->slot_count; ++i) {
+    live_bytes += slots()[i].length;
+  }
+  uint32_t used = static_cast<uint32_t>(sizeof(Header)) +
+                  h->slot_count * static_cast<uint32_t>(sizeof(Slot)) +
+                  live_bytes;
+  uint32_t size = page_->size();
+  uint32_t gap = size > used ? size - used : 0;
+  return gap > sizeof(Slot) ? gap - static_cast<uint32_t>(sizeof(Slot)) : 0;
+}
+
+int SlottedPage::Insert(const char* tuple, uint32_t len) {
+  Header* h = header();
+  // Reuse a deleted slot's directory entry when possible.
+  int free_slot = -1;
+  for (uint16_t i = 0; i < h->slot_count; ++i) {
+    if (slots()[i].length == 0) {
+      free_slot = i;
+      break;
+    }
+  }
+  uint32_t needed = len + (free_slot < 0 ? sizeof(Slot) : 0);
+  if (static_cast<uint32_t>(h->free_end - h->free_begin) < needed) {
+    Compact();
+    if (static_cast<uint32_t>(h->free_end - h->free_begin) < needed) {
+      return -1;
+    }
+  }
+  h->free_end = static_cast<uint16_t>(h->free_end - len);
+  std::memcpy(page_->data() + h->free_end, tuple, len);
+  int slot;
+  if (free_slot >= 0) {
+    slot = free_slot;
+  } else {
+    slot = h->slot_count;
+    h->slot_count++;
+    h->free_begin = static_cast<uint16_t>(h->free_begin + sizeof(Slot));
+  }
+  slots()[slot].offset = h->free_end;
+  slots()[slot].length = static_cast<uint16_t>(len);
+  return slot;
+}
+
+const char* SlottedPage::Get(uint16_t slot, uint32_t* len) const {
+  const Header* h = header();
+  if (slot >= h->slot_count) return nullptr;
+  const Slot& s = slots()[slot];
+  if (s.length == 0) return nullptr;
+  *len = s.length;
+  return page_->data() + s.offset;
+}
+
+bool SlottedPage::Delete(uint16_t slot) {
+  Header* h = header();
+  if (slot >= h->slot_count) return false;
+  Slot& s = slots()[slot];
+  if (s.length == 0) return false;
+  s.length = 0;
+  s.offset = 0;
+  return true;
+}
+
+bool SlottedPage::Update(uint16_t slot, const char* tuple, uint32_t len) {
+  Header* h = header();
+  if (slot >= h->slot_count) return false;
+  Slot& s = slots()[slot];
+  if (s.length == 0) return false;
+  if (len <= s.length) {
+    std::memcpy(page_->data() + s.offset, tuple, len);
+    s.length = static_cast<uint16_t>(len);
+    return true;
+  }
+  // Try to place the longer image in the free area.
+  uint32_t old_len = s.length;
+  s.length = 0;  // temporarily treat as deleted so Compact reclaims it
+  if (static_cast<uint32_t>(h->free_end - h->free_begin) < len) {
+    Compact();
+  }
+  if (static_cast<uint32_t>(h->free_end - h->free_begin) < len) {
+    s.length = static_cast<uint16_t>(old_len);  // restore; caller relocates
+    return false;
+  }
+  h->free_end = static_cast<uint16_t>(h->free_end - len);
+  std::memcpy(page_->data() + h->free_end, tuple, len);
+  s.offset = h->free_end;
+  s.length = static_cast<uint16_t>(len);
+  return true;
+}
+
+uint16_t SlottedPage::LiveCount() const {
+  const Header* h = header();
+  uint16_t live = 0;
+  for (uint16_t i = 0; i < h->slot_count; ++i) {
+    if (slots()[i].length != 0) ++live;
+  }
+  return live;
+}
+
+void SlottedPage::Compact() {
+  Header* h = header();
+  // Collect live tuples, rewrite the data area from the end.
+  struct LiveTuple {
+    uint16_t slot;
+    std::vector<char> bytes;
+  };
+  std::vector<LiveTuple> live;
+  live.reserve(h->slot_count);
+  for (uint16_t i = 0; i < h->slot_count; ++i) {
+    Slot& s = slots()[i];
+    if (s.length != 0) {
+      live.push_back({i, std::vector<char>(page_->data() + s.offset,
+                                           page_->data() + s.offset + s.length)});
+    }
+  }
+  uint16_t end = static_cast<uint16_t>(page_->size());
+  for (LiveTuple& t : live) {
+    end = static_cast<uint16_t>(end - t.bytes.size());
+    std::memcpy(page_->data() + end, t.bytes.data(), t.bytes.size());
+    slots()[t.slot].offset = end;
+  }
+  h->free_end = end;
+}
+
+}  // namespace mtdb

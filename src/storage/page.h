@@ -1,0 +1,109 @@
+#ifndef MTDB_STORAGE_PAGE_H_
+#define MTDB_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mtdb {
+
+/// Default page size, matching the paper's DB2 configuration ("the page
+/// size for all user data, including indexes, is 8 KB").
+inline constexpr uint32_t kDefaultPageSize = 8192;
+
+/// What a page stores; the buffer pool reports hit ratios separately for
+/// data and index pages (Table 2 reports both).
+enum class PageType : uint8_t { kFree = 0, kHeap = 1, kIndex = 2 };
+
+/// A fixed-size page image plus its identity. Content layout is owned by
+/// the layer using the page (SlottedPage for heaps, BTree for indexes).
+class Page {
+ public:
+  explicit Page(uint32_t size) : data_(size, 0) {}
+
+  PageId id() const { return id_; }
+  PageType type() const { return type_; }
+  uint32_t size() const { return static_cast<uint32_t>(data_.size()); }
+
+  char* data() { return data_.data(); }
+  const char* data() const { return data_.data(); }
+
+  void set_id(PageId id) { id_ = id; }
+  void set_type(PageType t) { type_ = t; }
+
+ private:
+  PageId id_ = kInvalidPageId;
+  PageType type_ = PageType::kFree;
+  std::vector<char> data_;
+};
+
+/// View over a heap page laid out as a slotted page:
+///   [header][slot array ->] ... [<- tuple data]
+/// Slots record (offset, length); a deleted slot keeps its entry with
+/// length 0 so RIDs of live tuples stay stable.
+class SlottedPage {
+ public:
+  explicit SlottedPage(Page* page) : page_(page) {}
+
+  /// Must be called once on a freshly-allocated page.
+  void Init(PageId next_page);
+
+  uint16_t slot_count() const { return header()->slot_count; }
+  PageId next_page() const { return header()->next_page; }
+  void set_next_page(PageId id) { header()->next_page = id; }
+
+  /// Contiguous free bytes available for a new tuple (including its slot).
+  uint32_t FreeSpace() const;
+
+  /// Free bytes available after compaction (counts dead tuple space from
+  /// deletions); used by first-fit placement.
+  uint32_t PotentialFreeSpace() const;
+
+  /// Inserts a tuple; returns the slot or -1 when it does not fit.
+  int Insert(const char* tuple, uint32_t len);
+
+  /// Returns tuple bytes, or nullptr for a deleted/invalid slot.
+  const char* Get(uint16_t slot, uint32_t* len) const;
+
+  /// Marks a slot deleted. Space is reclaimed by Compact().
+  bool Delete(uint16_t slot);
+
+  /// Replaces a tuple in place when the new image fits (same or shorter,
+  /// or enough free space); returns false when the caller must relocate.
+  bool Update(uint16_t slot, const char* tuple, uint32_t len);
+
+  /// Live (non-deleted) tuples on this page.
+  uint16_t LiveCount() const;
+
+ private:
+  struct Header {
+    uint16_t slot_count;
+    uint16_t free_begin;  // first byte after slot array
+    uint16_t free_end;    // first byte of tuple data area
+    PageId next_page;
+  };
+  struct Slot {
+    uint16_t offset;
+    uint16_t length;  // 0 => deleted
+  };
+
+  Header* header() { return reinterpret_cast<Header*>(page_->data()); }
+  const Header* header() const {
+    return reinterpret_cast<const Header*>(page_->data());
+  }
+  Slot* slots() {
+    return reinterpret_cast<Slot*>(page_->data() + sizeof(Header));
+  }
+  const Slot* slots() const {
+    return reinterpret_cast<const Slot*>(page_->data() + sizeof(Header));
+  }
+  void Compact();
+
+  Page* page_;
+};
+
+}  // namespace mtdb
+
+#endif  // MTDB_STORAGE_PAGE_H_

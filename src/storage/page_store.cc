@@ -1,0 +1,63 @@
+#include "storage/page_store.h"
+
+#include <cassert>
+#include <chrono>
+#include <cstring>
+
+namespace mtdb {
+
+PageId PageStore::Allocate(PageType type) {
+  stats_.allocations++;
+  PageId id;
+  if (!free_list_.empty()) {
+    id = free_list_.back();
+    free_list_.pop_back();
+    pages_[id].type = type;
+    std::memset(pages_[id].image.data(), 0, page_size_);
+  } else {
+    id = static_cast<PageId>(pages_.size());
+    pages_.push_back(StoredPage{type, std::vector<char>(page_size_, 0)});
+  }
+  return id;
+}
+
+void PageStore::Deallocate(PageId id) {
+  assert(id >= 0 && static_cast<size_t>(id) < pages_.size());
+  pages_[id].type = PageType::kFree;
+  free_list_.push_back(id);
+}
+
+void PageStore::Read(PageId id, char* out) {
+  assert(IsAllocated(id));
+  stats_.physical_reads++;
+  if (read_latency_ns_ > 0) {
+    auto until = std::chrono::steady_clock::now() +
+                 std::chrono::nanoseconds(read_latency_ns_);
+    while (std::chrono::steady_clock::now() < until) {
+      // Spin: models synchronous device latency without sleeping past it.
+    }
+  }
+  std::memcpy(out, pages_[id].image.data(), page_size_);
+}
+
+void PageStore::Write(PageId id, const char* in) {
+  assert(IsAllocated(id));
+  stats_.physical_writes++;
+  std::memcpy(pages_[id].image.data(), in, page_size_);
+}
+
+PageType PageStore::TypeOf(PageId id) const {
+  if (id < 0 || static_cast<size_t>(id) >= pages_.size()) return PageType::kFree;
+  return pages_[id].type;
+}
+
+bool PageStore::IsAllocated(PageId id) const {
+  return id >= 0 && static_cast<size_t>(id) < pages_.size() &&
+         pages_[id].type != PageType::kFree;
+}
+
+size_t PageStore::allocated_pages() const {
+  return pages_.size() - free_list_.size();
+}
+
+}  // namespace mtdb

@@ -1,0 +1,76 @@
+#ifndef MTDB_STORAGE_PAGE_STORE_H_
+#define MTDB_STORAGE_PAGE_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/page.h"
+
+namespace mtdb {
+
+/// Persistent-tier I/O counters. Every buffer-pool miss shows up here as
+/// a physical read; Figures 10–12 are driven by these and the logical
+/// counters in BufferPoolStats.
+struct PageStoreStats {
+  uint64_t physical_reads = 0;
+  uint64_t physical_writes = 0;
+  uint64_t allocations = 0;
+};
+
+/// The "disk": an in-memory array of page images standing in for the
+/// paper's NFS appliance. Reads/writes copy whole page images so the
+/// buffer pool above it behaves exactly like a cache, and an optional
+/// per-I/O latency models cold-cache experiments.
+class PageStore {
+ public:
+  explicit PageStore(uint32_t page_size = kDefaultPageSize)
+      : page_size_(page_size) {}
+
+  PageStore(const PageStore&) = delete;
+  PageStore& operator=(const PageStore&) = delete;
+
+  uint32_t page_size() const { return page_size_; }
+
+  /// Allocates a new zeroed page of `type`, returning its id.
+  PageId Allocate(PageType type);
+
+  /// Releases a page (its id may be reused).
+  void Deallocate(PageId id);
+
+  /// Copies the stored image into `out` (sized page_size). Counts a
+  /// physical read and applies the simulated latency.
+  void Read(PageId id, char* out);
+
+  /// Copies `in` into the stored image. Counts a physical write.
+  void Write(PageId id, const char* in);
+
+  PageType TypeOf(PageId id) const;
+  bool IsAllocated(PageId id) const;
+
+  size_t allocated_pages() const;
+
+  const PageStoreStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = PageStoreStats(); }
+
+  /// Simulated device latency charged per physical read, in nanoseconds
+  /// of spin. Defaults to 0 (counter-only model).
+  void set_read_latency_ns(uint64_t ns) { read_latency_ns_ = ns; }
+
+ private:
+  struct StoredPage {
+    PageType type = PageType::kFree;
+    std::vector<char> image;
+  };
+
+  uint32_t page_size_;
+  std::vector<StoredPage> pages_;
+  std::vector<PageId> free_list_;
+  PageStoreStats stats_;
+  uint64_t read_latency_ns_ = 0;
+};
+
+}  // namespace mtdb
+
+#endif  // MTDB_STORAGE_PAGE_STORE_H_

@@ -1,0 +1,142 @@
+#include "storage/row_codec.h"
+
+#include <cstring>
+
+namespace mtdb {
+
+namespace {
+
+void AppendRaw(const void* src, size_t n, std::string* out) {
+  out->append(reinterpret_cast<const char*>(src), n);
+}
+
+}  // namespace
+
+Status RowCodec::Encode(const Row& row, std::string* out) const {
+  if (row.size() != types_.size()) {
+    return Status::InvalidArgument("row arity mismatch: have " +
+                                   std::to_string(row.size()) + ", want " +
+                                   std::to_string(types_.size()));
+  }
+  const size_t bitmap_bytes = (types_.size() + 7) / 8;
+  const size_t bitmap_at = out->size();
+  out->append(bitmap_bytes, '\0');
+  for (size_t i = 0; i < types_.size(); ++i) {
+    if (row[i].is_null()) {
+      (*out)[bitmap_at + i / 8] |= static_cast<char>(1u << (i % 8));
+      continue;
+    }
+    Result<Value> cast = row[i].CastTo(types_[i]);
+    if (!cast.ok()) return cast.status();
+    const Value& v = *cast;
+    switch (types_[i]) {
+      case TypeId::kBool: {
+        char b = v.AsBool() ? 1 : 0;
+        AppendRaw(&b, 1, out);
+        break;
+      }
+      case TypeId::kInt32:
+      case TypeId::kDate: {
+        int32_t x = v.AsInt32();
+        AppendRaw(&x, 4, out);
+        break;
+      }
+      case TypeId::kInt64: {
+        int64_t x = v.AsInt64();
+        AppendRaw(&x, 8, out);
+        break;
+      }
+      case TypeId::kDouble: {
+        double x = v.AsDouble();
+        AppendRaw(&x, 8, out);
+        break;
+      }
+      case TypeId::kString: {
+        const std::string& s = v.AsString();
+        if (s.size() > 0xFFFF) {
+          return Status::OutOfRange("string too long for storage: " +
+                                    std::to_string(s.size()));
+        }
+        uint16_t n = static_cast<uint16_t>(s.size());
+        AppendRaw(&n, 2, out);
+        out->append(s);
+        break;
+      }
+      case TypeId::kNull:
+        return Status::Internal("column of type NULL");
+    }
+  }
+  return Status::OK();
+}
+
+Result<Row> RowCodec::Decode(const char* data, uint32_t len) const {
+  Row row;
+  row.reserve(types_.size());
+  const size_t bitmap_bytes = (types_.size() + 7) / 8;
+  if (len < bitmap_bytes) return Status::Internal("row image too short");
+  const char* bitmap = data;
+  const char* p = data + bitmap_bytes;
+  const char* end = data + len;
+  for (size_t i = 0; i < types_.size(); ++i) {
+    bool is_null = (bitmap[i / 8] >> (i % 8)) & 1;
+    if (is_null) {
+      row.push_back(Value::Null(types_[i]));
+      continue;
+    }
+    switch (types_[i]) {
+      case TypeId::kBool: {
+        if (p + 1 > end) return Status::Internal("row image truncated");
+        row.push_back(Value::Bool(*p != 0));
+        p += 1;
+        break;
+      }
+      case TypeId::kInt32: {
+        if (p + 4 > end) return Status::Internal("row image truncated");
+        int32_t x;
+        std::memcpy(&x, p, 4);
+        row.push_back(Value::Int32(x));
+        p += 4;
+        break;
+      }
+      case TypeId::kDate: {
+        if (p + 4 > end) return Status::Internal("row image truncated");
+        int32_t x;
+        std::memcpy(&x, p, 4);
+        row.push_back(Value::Date(x));
+        p += 4;
+        break;
+      }
+      case TypeId::kInt64: {
+        if (p + 8 > end) return Status::Internal("row image truncated");
+        int64_t x;
+        std::memcpy(&x, p, 8);
+        row.push_back(Value::Int64(x));
+        p += 8;
+        break;
+      }
+      case TypeId::kDouble: {
+        if (p + 8 > end) return Status::Internal("row image truncated");
+        double x;
+        std::memcpy(&x, p, 8);
+        row.push_back(Value::Double(x));
+        p += 8;
+        break;
+      }
+      case TypeId::kString: {
+        if (p + 2 > end) return Status::Internal("row image truncated");
+        uint16_t n;
+        std::memcpy(&n, p, 2);
+        p += 2;
+        if (p + n > end) return Status::Internal("row image truncated");
+        row.push_back(Value::String(std::string(p, n)));
+        p += n;
+        break;
+      }
+      case TypeId::kNull:
+        return Status::Internal("column of type NULL");
+    }
+  }
+  return row;
+}
+
+}  // namespace mtdb

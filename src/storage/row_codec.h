@@ -1,0 +1,36 @@
+#ifndef MTDB_STORAGE_ROW_CODEC_H_
+#define MTDB_STORAGE_ROW_CODEC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace mtdb {
+
+/// Serializes rows to the byte layout stored in slotted pages:
+///   [null bitmap][fixed/varlen column payloads in schema order]
+/// Strings carry a 2-byte length prefix. NULLs occupy no payload bytes —
+/// this is what makes the Universal Table layout's many NULLs cheap in
+/// storage yet still cost buffer-pool width for non-null columns.
+class RowCodec {
+ public:
+  explicit RowCodec(std::vector<TypeId> types) : types_(std::move(types)) {}
+
+  const std::vector<TypeId>& types() const { return types_; }
+  size_t num_columns() const { return types_.size(); }
+
+  /// Appends the serialized row to `out`. The row must have one value per
+  /// schema column; values are cast to the column type.
+  Status Encode(const Row& row, std::string* out) const;
+
+  Result<Row> Decode(const char* data, uint32_t len) const;
+
+ private:
+  std::vector<TypeId> types_;
+};
+
+}  // namespace mtdb
+
+#endif  // MTDB_STORAGE_ROW_CODEC_H_

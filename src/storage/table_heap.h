@@ -1,0 +1,84 @@
+#ifndef MTDB_STORAGE_TABLE_HEAP_H_
+#define MTDB_STORAGE_TABLE_HEAP_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "storage/buffer_pool.h"
+
+namespace mtdb {
+
+/// How new tuples are placed. The paper (§5) attributes DB2's insert
+/// behaviour at schema variability 1.0 to switching between a "most
+/// suitable page" method (compact relations) and an "append to last
+/// page" method (sparse but contention-free); both are modeled here.
+enum class InsertMode { kFirstFit, kAppend };
+
+/// A heap of slotted pages forming one physical table's tuple storage.
+/// Pages are chained; a free-space map supports kFirstFit placement.
+class TableHeap {
+ public:
+  TableHeap(BufferPool* pool, InsertMode mode = InsertMode::kFirstFit);
+
+  TableHeap(const TableHeap&) = delete;
+  TableHeap& operator=(const TableHeap&) = delete;
+
+  /// Inserts a serialized tuple; returns its RID.
+  Result<Rid> Insert(const std::string& tuple);
+
+  /// Reads the tuple at `rid` into `out`; NotFound for deleted slots.
+  Status Get(const Rid& rid, std::string* out);
+
+  /// Replaces a tuple. May relocate; `rid` is updated in place and
+  /// `moved` (optional) reports whether it changed.
+  Status Update(Rid* rid, const std::string& tuple, bool* moved = nullptr);
+
+  Status Delete(const Rid& rid);
+
+  /// Drops all pages back to the store.
+  void Free();
+
+  PageId first_page() const { return first_page_; }
+  size_t page_count() const { return pages_.size(); }
+  uint64_t live_tuples() const { return live_tuples_; }
+  void set_insert_mode(InsertMode mode) { insert_mode_ = mode; }
+
+  /// Forward scan over live tuples.
+  class Iterator {
+   public:
+    Iterator(TableHeap* heap, size_t page_index);
+
+    /// Advances to the next live tuple; returns false at end. The tuple
+    /// image is copied into `tuple` and its rid into `rid`.
+    bool Next(std::string* tuple, Rid* rid);
+
+   private:
+    TableHeap* heap_;
+    size_t page_index_;
+    uint16_t slot_ = 0;
+  };
+
+  Iterator Begin() { return Iterator(this, 0); }
+
+ private:
+  friend class Iterator;
+
+  /// Picks (and pins) a page with at least `need` free bytes.
+  Page* PickPageForInsert(uint32_t need);
+
+  BufferPool* pool_;
+  InsertMode insert_mode_;
+  PageId first_page_ = kInvalidPageId;
+  std::vector<PageId> pages_;
+  /// Approximate free bytes per page, maintained on insert/delete.
+  std::unordered_map<PageId, uint32_t> free_space_;
+  uint64_t live_tuples_ = 0;
+};
+
+}  // namespace mtdb
+
+#endif  // MTDB_STORAGE_TABLE_HEAP_H_

@@ -1,0 +1,47 @@
+#ifndef MTDB_TESTBED_CRM_SCHEMA_H_
+#define MTDB_TESTBED_CRM_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "engine/database.h"
+#include "core/logical_schema.h"
+
+namespace mtdb {
+namespace testbed {
+
+/// One CRM entity table description (Figure 5). Every table has ~20
+/// columns led by the entity id and the parent foreign keys; a primary
+/// index on the entity id and a compound (tenant, id) index mirror §4.1.
+struct CrmTable {
+  std::string name;
+  std::vector<std::string> parents;  // foreign keys: "<parent>_id"
+};
+
+/// The ten CRM tables in parent-before-child order.
+const std::vector<CrmTable>& CrmTables();
+
+/// Number of columns per CRM table (id + fks + filler up to this).
+inline constexpr int kCrmColumnsPerTable = 20;
+
+/// Builds the logical CRM application schema (base tables + a catalog of
+/// vertical-industry extensions per §2/§3) for the mapping layer.
+mapping::AppSchema BuildCrmAppSchema();
+
+/// Returns the physical Schema of one CRM table for the shared-table
+/// (schema-variability) testbed: tenant column + entity columns.
+Schema CrmPhysicalSchema(const CrmTable& table);
+
+/// Creates one instance of the 10-table CRM schema in `db`, with table
+/// names suffixed "_i<instance>", plus the §4.1 indexes.
+Status CreateCrmInstance(Database* db, int instance);
+
+/// The physical table name of `table` in schema instance `instance`.
+std::string CrmTableName(const std::string& table, int instance);
+
+}  // namespace testbed
+}  // namespace mtdb
+
+#endif  // MTDB_TESTBED_CRM_SCHEMA_H_

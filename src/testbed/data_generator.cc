@@ -1,0 +1,73 @@
+#include "testbed/data_generator.h"
+
+namespace mtdb {
+namespace testbed {
+
+namespace {
+
+const char* kStatuses[] = {"new", "open", "working", "closed", "won", "lost"};
+const char* kRegions[] = {"emea", "apac", "amer", "latam"};
+
+}  // namespace
+
+Value DataGenerator::FillerValue(TypeId type) {
+  switch (type) {
+    case TypeId::kString:
+      return Value::String(rng_.Word(4, 12));
+    case TypeId::kInt32:
+      return Value::Int32(static_cast<int32_t>(rng_.Uniform(0, 1000)));
+    case TypeId::kInt64:
+      return Value::Int64(rng_.Uniform(0, 1000000));
+    case TypeId::kDouble:
+      return Value::Double(rng_.UniformDouble(0.0, 100000.0));
+    case TypeId::kDate:
+      // 2000-01-01 .. ~2008: days 10957..14000.
+      return Value::Date(static_cast<int32_t>(rng_.Uniform(10957, 14000)));
+    case TypeId::kBool:
+      return Value::Bool(rng_.Bernoulli(0.5));
+    case TypeId::kNull:
+      return Value();
+  }
+  return Value();
+}
+
+Row DataGenerator::CrmRow(const CrmTable& table, TenantId tenant, int64_t id,
+                          int64_t parent_rows) {
+  Row row;
+  row.push_back(Value::Int32(tenant));
+  row.push_back(Value::Int64(id));
+  for (size_t p = 0; p < table.parents.size(); ++p) {
+    row.push_back(Value::Int64(parent_rows > 0 ? rng_.Uniform(0, parent_rows - 1)
+                                               : 0));
+  }
+  // Filler columns, matching CrmPhysicalSchema order. The first two
+  // fillers are name/status; keep status from a small domain so GROUP BY
+  // reporting queries have meaningful groups.
+  Schema schema = CrmPhysicalSchema(table);
+  size_t fixed = 2 + table.parents.size();  // tenant, id, fks
+  for (size_t i = fixed; i < schema.size(); ++i) {
+    const Column& c = schema.at(i);
+    if (c.name == "status") {
+      row.push_back(Value::String(kStatuses[rng_.Uniform(0, 5)]));
+    } else if (c.name == "region") {
+      row.push_back(Value::String(kRegions[rng_.Uniform(0, 3)]));
+    } else {
+      row.push_back(FillerValue(c.type));
+    }
+  }
+  return row;
+}
+
+Status DataGenerator::LoadTenant(Database* db, int instance, TenantId tenant,
+                                 int64_t rows_per_table) {
+  for (const CrmTable& t : CrmTables()) {
+    for (int64_t id = 0; id < rows_per_table; ++id) {
+      Row row = CrmRow(t, tenant, id, rows_per_table);
+      MTDB_RETURN_IF_ERROR(db->InsertRow(CrmTableName(t.name, instance), row));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace testbed
+}  // namespace mtdb

@@ -1,0 +1,41 @@
+#ifndef MTDB_TESTBED_DATA_GENERATOR_H_
+#define MTDB_TESTBED_DATA_GENERATOR_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "engine/database.h"
+#include "testbed/crm_schema.h"
+
+namespace mtdb {
+namespace testbed {
+
+/// Synthetic data for the MTD testbed. All data is generated from a
+/// seeded Rng, so runs are reproducible.
+class DataGenerator {
+ public:
+  explicit DataGenerator(uint64_t seed) : rng_(seed) {}
+
+  /// A full row for `table` in the shared (tenant-column) layout:
+  /// tenant, id, parent fks in [0, parent_rows), then filler values.
+  Row CrmRow(const CrmTable& table, TenantId tenant, int64_t id,
+             int64_t parent_rows);
+
+  /// Loads `rows_per_table` rows for every CRM table of `instance` for
+  /// one tenant.
+  Status LoadTenant(Database* db, int instance, TenantId tenant,
+                    int64_t rows_per_table);
+
+  Rng& rng() { return rng_; }
+
+ private:
+  Value FillerValue(TypeId type);
+
+  Rng rng_;
+};
+
+}  // namespace testbed
+}  // namespace mtdb
+
+#endif  // MTDB_TESTBED_DATA_GENERATOR_H_

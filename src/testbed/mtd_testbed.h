@@ -1,0 +1,85 @@
+#ifndef MTDB_TESTBED_MTD_TESTBED_H_
+#define MTDB_TESTBED_MTD_TESTBED_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "testbed/workload.h"
+
+namespace mtdb {
+namespace testbed {
+
+/// Configuration of one §5 run.
+struct TestbedConfig {
+  /// Schema variability in [0, 1]: 0 = one shared schema instance,
+  /// 1 = one instance per tenant (Table 1).
+  double schema_variability = 0.0;
+  int num_tenants = 100;
+  int64_t rows_per_table_per_tenant = 20;
+  int worker_sessions = 4;
+  /// Cards dealt per run (determines run length deterministically,
+  /// instead of the paper's 30-minute wall-clock windows).
+  size_t deck_size = 2000;
+  uint64_t seed = 42;
+  /// Engine memory budget; sized so index roots outgrow the buffer pool
+  /// as the instance count rises (the experiment's design, §5).
+  uint64_t memory_budget_bytes = 24ull * 1024 * 1024;
+  /// Simulated device latency per physical page read (the paper's NFS
+  /// appliance); buffer-pool misses then cost real response time.
+  uint64_t read_latency_ns = 40000;
+};
+
+/// Table 1: number of schema instances for a variability value.
+int InstancesFor(double variability, int num_tenants);
+
+/// One row of Table 2.
+struct TestbedReport {
+  double schema_variability = 0.0;
+  int total_tables = 0;
+  double baseline_compliance_pct = 0.0;  // filled by CompareToBaseline
+  double throughput_per_min = 0.0;
+  std::map<ActionClass, double> p95_ms;
+  double hit_ratio_data = 0.0;
+  double hit_ratio_index = 0.0;
+  double elapsed_seconds = 0.0;
+
+  /// The per-class 95% quantiles of this run, used as the baseline for
+  /// other runs (the paper baselines on variability 0.0).
+  std::map<ActionClass, double> baseline() const { return p95_ms; }
+};
+
+/// Sets up a multi-tenant CRM database at the given schema variability,
+/// loads tenants, runs the card-deck workload on worker threads, and
+/// reports the Table 2 metrics.
+class MtdTestbed {
+ public:
+  explicit MtdTestbed(TestbedConfig config);
+
+  /// Creates schema instances and loads tenant data.
+  Status Setup();
+
+  /// Runs the workload; the report's baseline-compliance field is filled
+  /// against `baseline` when non-null (pass the variability-0 run's
+  /// quantiles), else defaults to 95%.
+  Result<TestbedReport> Run(const std::map<ActionClass, double>* baseline);
+
+  Database* db() { return db_.get(); }
+  const ResultDatabase& results() const { return results_; }
+
+ private:
+  TestbedConfig config_;
+  std::unique_ptr<Database> db_;
+  ResultDatabase results_;
+  int instances_ = 1;
+};
+
+/// Prints a TestbedReport row (markdown-ish) to stdout.
+void PrintReport(const TestbedReport& report);
+
+}  // namespace testbed
+}  // namespace mtdb
+
+#endif  // MTDB_TESTBED_MTD_TESTBED_H_

@@ -1,0 +1,103 @@
+#ifndef MTDB_TESTBED_WORKLOAD_H_
+#define MTDB_TESTBED_WORKLOAD_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "engine/database.h"
+#include "testbed/crm_schema.h"
+#include "testbed/data_generator.h"
+
+namespace mtdb {
+namespace testbed {
+
+/// Worker action classes with the Figure 6 distribution.
+enum class ActionClass {
+  kSelectLight,
+  kSelectHeavy,
+  kInsertLight,
+  kInsertHeavy,
+  kUpdateLight,
+  kUpdateHeavy,
+  kAdministrative,
+};
+
+const char* ActionClassName(ActionClass c);
+
+/// Weight (percentage) of each class in the Controller's card deck.
+double ActionClassWeight(ActionClass c);
+
+/// One card: an action class plus the tenant it runs for.
+struct ActionCard {
+  ActionClass action;
+  TenantId tenant;
+};
+
+/// TPC-C-style Controller: builds a shuffled deck of action cards with
+/// the Figure 6 distribution and uniformly-chosen tenants.
+class Controller {
+ public:
+  Controller(uint64_t seed, int num_tenants) : rng_(seed), tenants_(num_tenants) {}
+
+  /// Deals a deck of `size` shuffled cards.
+  std::vector<ActionCard> Deal(size_t size);
+
+ private:
+  Rng rng_;
+  int tenants_;
+};
+
+/// Collects response-time samples per action class (thread-safe).
+class ResultDatabase {
+ public:
+  void Record(ActionClass action, double millis);
+  /// Total actions recorded.
+  uint64_t Count() const;
+  const SampleSet& Samples(ActionClass action) const;
+  /// Merges all classes (for throughput computation).
+  uint64_t TotalActions() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<ActionClass, SampleSet> samples_;
+};
+
+/// Executes action cards against a CRM schema-instance database: the
+/// Worker's client-session logic of §4.2.
+class Worker {
+ public:
+  /// `instance_of_tenant(t)` maps a tenant to its schema instance.
+  Worker(Database* db, int instances, int64_t rows_per_tenant, uint64_t seed);
+
+  /// Runs one card, records the response time into `results`.
+  Status RunCard(const ActionCard& card, ResultDatabase* results);
+
+  /// Next schema instance id for administrative (DDL) actions.
+  static int next_admin_instance() { return next_admin_instance_; }
+
+ private:
+  int InstanceOf(TenantId tenant) const { return tenant % instances_; }
+
+  Status SelectLight(TenantId tenant);
+  Status SelectHeavy(TenantId tenant);
+  Status InsertLight(TenantId tenant);
+  Status InsertHeavy(TenantId tenant);
+  Status UpdateLight(TenantId tenant);
+  Status UpdateHeavy(TenantId tenant);
+  Status Administrative(TenantId tenant);
+
+  Database* db_;
+  int instances_;
+  int64_t rows_;
+  DataGenerator gen_;
+  static inline int next_admin_instance_ = 1000000;
+};
+
+}  // namespace testbed
+}  // namespace mtdb
+
+#endif  // MTDB_TESTBED_WORKLOAD_H_

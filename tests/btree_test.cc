@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/key_encoding.h"
+#include "common/rng.h"
+#include "index/btree.h"
+
+namespace mtdb {
+namespace {
+
+class BTreeTest : public ::testing::Test {
+ protected:
+  BTreeTest() : store_(kDefaultPageSize), pool_(&store_, 512) {}
+
+  static std::string Key(int64_t v) {
+    return KeyEncoder::EncodeKey({Value::Int64(v)});
+  }
+  static Rid MakeRid(int64_t i) {
+    return Rid{static_cast<PageId>(i / 100), static_cast<uint16_t>(i % 100)};
+  }
+
+  PageStore store_;
+  BufferPool pool_;
+};
+
+TEST_F(BTreeTest, InsertLookup) {
+  BTree tree(&pool_);
+  ASSERT_TRUE(tree.Insert(Key(42), MakeRid(1)).ok());
+  auto rids = tree.Lookup(Key(42));
+  ASSERT_EQ(rids.size(), 1u);
+  EXPECT_EQ(rids[0], MakeRid(1));
+  EXPECT_TRUE(tree.Contains(Key(42)));
+  EXPECT_FALSE(tree.Contains(Key(43)));
+}
+
+TEST_F(BTreeTest, DuplicateKeysKeepAllRids) {
+  BTree tree(&pool_);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(tree.Insert(Key(7), MakeRid(i)).ok());
+  }
+  auto rids = tree.Lookup(Key(7));
+  EXPECT_EQ(rids.size(), 10u);
+}
+
+TEST_F(BTreeTest, DeleteSpecificDuplicate) {
+  BTree tree(&pool_);
+  ASSERT_TRUE(tree.Insert(Key(7), MakeRid(1)).ok());
+  ASSERT_TRUE(tree.Insert(Key(7), MakeRid(2)).ok());
+  ASSERT_TRUE(tree.Delete(Key(7), MakeRid(1)).ok());
+  auto rids = tree.Lookup(Key(7));
+  ASSERT_EQ(rids.size(), 1u);
+  EXPECT_EQ(rids[0], MakeRid(2));
+}
+
+TEST_F(BTreeTest, DeleteMissingIsNotFound) {
+  BTree tree(&pool_);
+  EXPECT_EQ(tree.Delete(Key(1), MakeRid(1)).code(), StatusCode::kNotFound);
+}
+
+TEST_F(BTreeTest, SplitsGrowTheTree) {
+  BTree tree(&pool_);
+  for (int64_t i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(tree.Insert(Key(i), MakeRid(i)).ok()) << i;
+  }
+  EXPECT_EQ(tree.entry_count(), 5000u);
+  EXPECT_GE(tree.Height(), 2);
+  for (int64_t i = 0; i < 5000; i += 97) {
+    auto rids = tree.Lookup(Key(i));
+    ASSERT_EQ(rids.size(), 1u) << i;
+    EXPECT_EQ(rids[0], MakeRid(i));
+  }
+}
+
+TEST_F(BTreeTest, ScanRangeOrdered) {
+  BTree tree(&pool_);
+  for (int64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(tree.Insert(Key(i), MakeRid(i)).ok());
+  }
+  std::string lo = Key(100), hi = Key(200);
+  auto it = tree.Scan(lo, hi);
+  Rid rid;
+  std::string key, prev;
+  int count = 0;
+  while (it.Next(&rid, &key)) {
+    if (!prev.empty()) {
+      EXPECT_LE(prev, key);
+    }
+    prev = key;
+    count++;
+  }
+  EXPECT_EQ(count, 100);  // keys 100..199
+}
+
+TEST_F(BTreeTest, RandomizedAgainstReferenceModel) {
+  BTree tree(&pool_);
+  std::multimap<std::string, Rid> model;
+  Rng rng(99);
+  for (int op = 0; op < 20000; ++op) {
+    int64_t k = rng.Uniform(0, 500);
+    if (rng.Bernoulli(0.7)) {
+      Rid rid = MakeRid(op);
+      ASSERT_TRUE(tree.Insert(Key(k), rid).ok());
+      model.emplace(Key(k), rid);
+    } else {
+      auto it = model.find(Key(k));
+      if (it != model.end()) {
+        ASSERT_TRUE(tree.Delete(it->first, it->second).ok());
+        model.erase(it);
+      } else {
+        EXPECT_FALSE(tree.Delete(Key(k), MakeRid(op)).ok());
+      }
+    }
+  }
+  EXPECT_EQ(tree.entry_count(), model.size());
+  // Verify every key's rid set matches the model.
+  for (int64_t k = 0; k <= 500; ++k) {
+    auto range = model.equal_range(Key(k));
+    std::set<std::pair<PageId, uint16_t>> expected;
+    for (auto it = range.first; it != range.second; ++it) {
+      expected.insert({it->second.page_id, it->second.slot});
+    }
+    auto rids = tree.Lookup(Key(k));
+    std::set<std::pair<PageId, uint16_t>> actual;
+    for (const Rid& r : rids) actual.insert({r.page_id, r.slot});
+    EXPECT_EQ(actual, expected) << "key " << k;
+  }
+}
+
+TEST_F(BTreeTest, VariableLengthStringKeys) {
+  BTree tree(&pool_);
+  Rng rng(5);
+  std::multimap<std::string, Rid> model;
+  for (int i = 0; i < 3000; ++i) {
+    std::string key =
+        KeyEncoder::EncodeKey({Value::String(rng.Word(1, 60))});
+    Rid rid = MakeRid(i);
+    ASSERT_TRUE(tree.Insert(key, rid).ok());
+    model.emplace(key, rid);
+  }
+  // Full scan must be ordered and complete.
+  auto it = tree.Scan(std::string(1, '\x00'), std::string(64, '\xFF'));
+  Rid rid;
+  std::string key, prev;
+  size_t count = 0;
+  while (it.Next(&rid, &key)) {
+    if (count > 0) {
+      EXPECT_LE(prev, key);
+    }
+    prev = key;
+    count++;
+  }
+  EXPECT_EQ(count, model.size());
+}
+
+TEST_F(BTreeTest, CompositeKeyPrefixScan) {
+  // Simulates the (tenant, tbl, chunk, row) partitioned B-tree.
+  BTree tree(&pool_);
+  for (int tenant = 0; tenant < 5; ++tenant) {
+    for (int row = 0; row < 50; ++row) {
+      std::string key = KeyEncoder::EncodeKey(
+          {Value::Int32(tenant), Value::Int32(0), Value::Int64(row)});
+      ASSERT_TRUE(tree.Insert(key, MakeRid(tenant * 1000 + row)).ok());
+    }
+  }
+  std::string lo, hi;
+  KeyEncoder::EncodePrefixRange({Value::Int32(3)}, &lo, &hi);
+  auto it = tree.Scan(lo, hi);
+  Rid rid;
+  int count = 0;
+  while (it.Next(&rid)) count++;
+  EXPECT_EQ(count, 50);  // exactly tenant 3's partition
+}
+
+TEST_F(BTreeTest, FreeReleasesPages) {
+  BTree tree(&pool_);
+  for (int64_t i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(tree.Insert(Key(i), MakeRid(i)).ok());
+  }
+  size_t before = store_.allocated_pages();
+  EXPECT_GT(tree.page_count(), 1u);
+  tree.Free();
+  EXPECT_LT(store_.allocated_pages(), before);
+}
+
+TEST_F(BTreeTest, ReverseInsertionOrder) {
+  BTree tree(&pool_);
+  for (int64_t i = 3000; i > 0; --i) {
+    ASSERT_TRUE(tree.Insert(Key(i), MakeRid(i)).ok());
+  }
+  auto it = tree.Scan(Key(0), Key(4000));
+  Rid rid;
+  std::string key, prev;
+  int count = 0;
+  while (it.Next(&rid, &key)) {
+    if (count > 0) {
+      EXPECT_LT(prev, key);
+    }
+    prev = key;
+    count++;
+  }
+  EXPECT_EQ(count, 3000);
+}
+
+}  // namespace
+}  // namespace mtdb

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_store.h"
+
+namespace mtdb {
+namespace {
+
+Schema TwoColumnSchema() {
+  Schema schema;
+  schema.AddColumn(Column{"id", TypeId::kInt64, true});
+  schema.AddColumn(Column{"name", TypeId::kString, false});
+  return schema;
+}
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  static constexpr uint64_t kBudget = 4ull * 1024 * 1024;  // 4 MB
+  CatalogTest()
+      : store_(kDefaultPageSize),
+        pool_(&store_, kBudget / kDefaultPageSize),
+        catalog_(&pool_, kBudget) {}
+
+  PageStore store_;
+  BufferPool pool_;
+  Catalog catalog_;
+};
+
+TEST_F(CatalogTest, CreateAndGetTable) {
+  auto info = catalog_.CreateTable("t", TwoColumnSchema());
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ((*info)->name, "t");
+  EXPECT_NE(catalog_.GetTable("t"), nullptr);
+  EXPECT_NE(catalog_.GetTable("T"), nullptr);  // case-insensitive
+  EXPECT_EQ(catalog_.GetTable("missing"), nullptr);
+}
+
+TEST_F(CatalogTest, DuplicateTableRejected) {
+  ASSERT_TRUE(catalog_.CreateTable("t", TwoColumnSchema()).ok());
+  EXPECT_EQ(catalog_.CreateTable("T", TwoColumnSchema()).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(CatalogTest, MetadataChargeShrinksBufferPool) {
+  size_t before = pool_.capacity();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        catalog_.CreateTable("t" + std::to_string(i), TwoColumnSchema()).ok());
+  }
+  size_t after = pool_.capacity();
+  // 100 tables at >= 4 KB each must cost at least 400 KB => 50+ frames.
+  EXPECT_LT(after, before);
+  EXPECT_GE(before - after, 100u * 4096 / kDefaultPageSize);
+  EXPECT_GE(catalog_.metadata_bytes(), 100u * 4096);
+}
+
+TEST_F(CatalogTest, DropTableRefundsMetadata) {
+  size_t initial = pool_.capacity();
+  ASSERT_TRUE(catalog_.CreateTable("t", TwoColumnSchema()).ok());
+  ASSERT_TRUE(catalog_.DropTable("t").ok());
+  EXPECT_EQ(pool_.capacity(), initial);
+  EXPECT_EQ(catalog_.metadata_bytes(), 0u);
+}
+
+TEST_F(CatalogTest, CreateIndexAndBackfill) {
+  auto info = catalog_.CreateTable("t", TwoColumnSchema());
+  ASSERT_TRUE(info.ok());
+  TableInfo* table = *info;
+  // Insert rows before the index exists.
+  for (int i = 0; i < 10; ++i) {
+    Row row{Value::Int64(i), Value::String("n" + std::to_string(i))};
+    std::string image;
+    ASSERT_TRUE(table->codec->Encode(row, &image).ok());
+    ASSERT_TRUE(table->heap->Insert(image).ok());
+  }
+  auto idx = catalog_.CreateIndex("t", "ix_t_id", {"id"}, /*unique=*/true);
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ((*idx)->tree->entry_count(), 10u);
+}
+
+TEST_F(CatalogTest, UniqueBackfillDetectsDuplicates) {
+  auto info = catalog_.CreateTable("t", TwoColumnSchema());
+  ASSERT_TRUE(info.ok());
+  TableInfo* table = *info;
+  for (int i = 0; i < 2; ++i) {
+    Row row{Value::Int64(7), Value::String("dup")};
+    std::string image;
+    ASSERT_TRUE(table->codec->Encode(row, &image).ok());
+    ASSERT_TRUE(table->heap->Insert(image).ok());
+  }
+  EXPECT_EQ(
+      catalog_.CreateIndex("t", "ux", {"id"}, /*unique=*/true).status().code(),
+      StatusCode::kConstraintViolation);
+}
+
+TEST_F(CatalogTest, FindIndexOnPrefix) {
+  ASSERT_TRUE(catalog_.CreateTable("t", TwoColumnSchema()).ok());
+  ASSERT_TRUE(catalog_.CreateIndex("t", "ix", {"id", "name"}, false).ok());
+  TableInfo* table = catalog_.GetTable("t");
+  EXPECT_NE(table->FindIndexOnPrefix({0}), nullptr);
+  EXPECT_NE(table->FindIndexOnPrefix({0, 1}), nullptr);
+  EXPECT_EQ(table->FindIndexOnPrefix({1}), nullptr);
+}
+
+TEST_F(CatalogTest, DropIndex) {
+  ASSERT_TRUE(catalog_.CreateTable("t", TwoColumnSchema()).ok());
+  ASSERT_TRUE(catalog_.CreateIndex("t", "ix", {"id"}, false).ok());
+  EXPECT_EQ(catalog_.index_count(), 1u);
+  ASSERT_TRUE(catalog_.DropIndex("ix").ok());
+  EXPECT_EQ(catalog_.index_count(), 0u);
+  EXPECT_EQ(catalog_.DropIndex("ix").code(), StatusCode::kNotFound);
+}
+
+TEST_F(CatalogTest, BudgetExhaustionFloorsAtOneFrame) {
+  // Enough tables to exceed the whole 4 MB budget.
+  for (int i = 0; i < 1100; ++i) {
+    ASSERT_TRUE(
+        catalog_.CreateTable("t" + std::to_string(i), TwoColumnSchema()).ok());
+  }
+  EXPECT_GE(catalog_.metadata_bytes(), kBudget);
+  EXPECT_EQ(pool_.capacity(), 1u);
+}
+
+TEST(SchemaTest, FindIsCaseInsensitive) {
+  Schema s;
+  s.AddColumn(Column{"Name", TypeId::kString, false});
+  EXPECT_TRUE(s.Find("name").has_value());
+  EXPECT_TRUE(s.Find("NAME").has_value());
+  EXPECT_FALSE(s.Find("other").has_value());
+}
+
+TEST(SchemaTest, ToStringListsColumns) {
+  Schema s;
+  s.AddColumn(Column{"id", TypeId::kInt64, true});
+  s.AddColumn(Column{"name", TypeId::kString, false});
+  EXPECT_EQ(s.ToString(), "id BIGINT NOT NULL, name VARCHAR");
+}
+
+}  // namespace
+}  // namespace mtdb

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/chunk_partitioner.h"
+
+namespace mtdb {
+namespace mapping {
+namespace {
+
+EffectiveTable MakeTable(std::vector<LogicalColumn> cols) {
+  EffectiveTable t;
+  t.name = "t";
+  t.columns = std::move(cols);
+  return t;
+}
+
+TEST(ChunkShapeTest, UniformSplitsWidth) {
+  ChunkShape s3 = ChunkShape::Uniform(3);
+  EXPECT_EQ(s3.ints, 1);
+  EXPECT_EQ(s3.dates, 1);
+  EXPECT_EQ(s3.strs, 1);
+  EXPECT_EQ(s3.total(), 3);
+  ChunkShape s90 = ChunkShape::Uniform(90);
+  EXPECT_EQ(s90.total(), 90);
+  ChunkShape s4 = ChunkShape::Uniform(4);
+  EXPECT_EQ(s4.total(), 4);
+  EXPECT_EQ(s4.ints, 2);
+}
+
+TEST(ChunkShapeTest, DataColumnNamesAndTypes) {
+  ChunkShape shape{2, 1, 1, 2};
+  auto cols = shape.DataColumns();
+  ASSERT_EQ(cols.size(), 6u);
+  EXPECT_EQ(cols[0].first, "int1");
+  EXPECT_EQ(cols[0].second, TypeId::kInt64);
+  EXPECT_EQ(cols[2].first, "dbl1");
+  EXPECT_EQ(cols[3].first, "date1");
+  EXPECT_EQ(cols[4].first, "str1");
+  EXPECT_EQ(cols[5].first, "str2");
+}
+
+TEST(PartitionerTest, IndexedColumnsGetOwnIndexedChunks) {
+  auto t = MakeTable({{"id", TypeId::kInt64, true},
+                      {"name", TypeId::kString, false},
+                      {"fk", TypeId::kInt64, true}});
+  auto chunks = PartitionIntoChunks(t, ChunkShape::Uniform(6));
+  int indexed = 0, data = 0;
+  for (const auto& c : chunks) {
+    if (c.indexed) {
+      indexed++;
+      EXPECT_EQ(c.slots.size(), 1u);
+    } else {
+      data++;
+    }
+  }
+  EXPECT_EQ(indexed, 2);  // id and fk
+  EXPECT_EQ(data, 1);     // name
+}
+
+TEST(PartitionerTest, EveryColumnAssignedExactlyOnce) {
+  std::vector<LogicalColumn> cols;
+  for (int i = 0; i < 30; ++i) {
+    TypeId type = i % 3 == 0 ? TypeId::kInt32
+                             : (i % 3 == 1 ? TypeId::kDate : TypeId::kString);
+    cols.push_back({"c" + std::to_string(i), type, i == 0});
+  }
+  auto chunks = PartitionIntoChunks(MakeTable(cols), ChunkShape::Uniform(6));
+  std::set<size_t> seen;
+  for (const auto& chunk : chunks) {
+    for (const auto& slot : chunk.slots) {
+      EXPECT_TRUE(seen.insert(slot.logical_column).second)
+          << "column assigned twice: " << slot.logical_column;
+    }
+  }
+  EXPECT_EQ(seen.size(), cols.size());
+}
+
+TEST(PartitionerTest, ChunkIdsAreUnique) {
+  std::vector<LogicalColumn> cols;
+  for (int i = 0; i < 20; ++i) {
+    cols.push_back({"c" + std::to_string(i), TypeId::kString, i < 2});
+  }
+  auto chunks = PartitionIntoChunks(MakeTable(cols), ChunkShape::Uniform(3));
+  std::set<int32_t> ids;
+  for (const auto& c : chunks) {
+    EXPECT_TRUE(ids.insert(c.chunk_id).second);
+  }
+}
+
+TEST(PartitionerTest, NarrowShapeMakesManyChunks) {
+  std::vector<LogicalColumn> cols;
+  for (int i = 0; i < 30; ++i) {
+    TypeId type = i % 3 == 0 ? TypeId::kInt32
+                             : (i % 3 == 1 ? TypeId::kDate : TypeId::kString);
+    cols.push_back({"c" + std::to_string(i), type, false});
+  }
+  auto narrow = PartitionIntoChunks(MakeTable(cols), ChunkShape::Uniform(3));
+  auto wide = PartitionIntoChunks(MakeTable(cols), ChunkShape::Uniform(30));
+  EXPECT_EQ(narrow.size(), 10u);  // 30 columns / 3 per chunk
+  EXPECT_EQ(wide.size(), 1u);
+}
+
+TEST(PartitionerTest, ShapeCapacityRespectedPerClass) {
+  std::vector<LogicalColumn> cols;
+  for (int i = 0; i < 10; ++i) {
+    cols.push_back({"s" + std::to_string(i), TypeId::kString, false});
+  }
+  ChunkShape shape = ChunkShape::Uniform(6);  // 2 strs per chunk
+  auto chunks = PartitionIntoChunks(MakeTable(cols), shape);
+  for (const auto& c : chunks) {
+    int strs = 0;
+    for (const auto& s : c.slots) {
+      if (s.cls == StorageClass::kStringLike) strs++;
+    }
+    EXPECT_LE(strs, shape.strs);
+  }
+  EXPECT_EQ(chunks.size(), 5u);  // 10 strings / 2 per chunk
+}
+
+TEST(PartitionerTest, DoubleColumnsFallBackToStringsWhenShapeHasNone) {
+  auto t = MakeTable({{"d", TypeId::kDouble, false}});
+  ChunkShape shape = ChunkShape::Uniform(3);  // no double capacity
+  auto chunks = PartitionIntoChunks(t, shape);
+  ASSERT_EQ(chunks.size(), 1u);
+  ASSERT_EQ(chunks[0].slots.size(), 1u);
+  EXPECT_EQ(chunks[0].slots[0].cls, StorageClass::kStringLike);
+}
+
+TEST(PartitionerTest, IndexedDateUsesIntSlot) {
+  auto t = MakeTable({{"when", TypeId::kDate, true}});
+  auto chunks = PartitionIntoChunks(t, ChunkShape::Uniform(3));
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_TRUE(chunks[0].indexed);
+  EXPECT_EQ(chunks[0].slots[0].physical_column, "int1");
+}
+
+TEST(PartitionerTest, IndexedDoubleFallsBackToDataChunk) {
+  auto t = MakeTable({{"score", TypeId::kDouble, true}});
+  ChunkShape shape;
+  shape.doubles = 1;
+  auto chunks = PartitionIntoChunks(t, shape);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_FALSE(chunks[0].indexed);
+}
+
+TEST(PartitionerTest, FirstColumnOffsetSkipsConventionalColumns) {
+  auto t = MakeTable({{"base1", TypeId::kInt64, false},
+                      {"base2", TypeId::kString, false},
+                      {"ext1", TypeId::kString, false}});
+  auto chunks = PartitionIntoChunks(t, ChunkShape::Uniform(6),
+                                    /*first_column=*/2);
+  ASSERT_EQ(chunks.size(), 1u);
+  ASSERT_EQ(chunks[0].slots.size(), 1u);
+  EXPECT_EQ(chunks[0].slots[0].logical_column, 2u);
+}
+
+}  // namespace
+}  // namespace mapping
+}  // namespace mtdb

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/key_encoding.h"
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/value.h"
+
+namespace mtdb {
+namespace {
+
+TEST(ValueTest, NullsAndTypes) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), TypeId::kNull);
+  EXPECT_EQ(Value::Null(TypeId::kInt32).type(), TypeId::kInt32);
+  EXPECT_FALSE(Value::Int32(5).is_null());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Int64(42).ToString(), "42");
+  EXPECT_EQ(Value::String("abc").ToString(), "abc");
+  EXPECT_EQ(Value::Bool(true).ToString(), "true");
+  EXPECT_EQ(Value().ToString(), "NULL");
+  EXPECT_EQ(Value::Date(0).ToString(), "1970-01-01");
+  EXPECT_EQ(Value::Date(10957).ToString(), "2000-01-01");
+}
+
+TEST(ValueTest, SqlLiteralQuoting) {
+  EXPECT_EQ(Value::String("o'brien").ToSqlLiteral(), "'o''brien'");
+  EXPECT_EQ(Value::Int32(7).ToSqlLiteral(), "7");
+  EXPECT_EQ(Value().ToSqlLiteral(), "NULL");
+}
+
+TEST(ValueTest, NumericCompareAcrossTypes) {
+  EXPECT_EQ(Value::Int32(3).Compare(Value::Int64(3)), 0);
+  EXPECT_LT(Value::Int32(3).Compare(Value::Double(3.5)), 0);
+  EXPECT_GT(Value::Double(4.5).Compare(Value::Int64(4)), 0);
+}
+
+TEST(ValueTest, NullSortsFirst) {
+  EXPECT_LT(Value().Compare(Value::Int32(-100)), 0);
+  EXPECT_EQ(Value().Compare(Value()), 0);
+}
+
+TEST(ValueTest, StringCompare) {
+  EXPECT_LT(Value::String("abc").Compare(Value::String("abd")), 0);
+  EXPECT_EQ(Value::String("x").Compare(Value::String("x")), 0);
+}
+
+TEST(ValueTest, CastRoundTrips) {
+  auto r = Value::Int32(42).CastTo(TypeId::kString);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->AsString(), "42");
+  auto back = r->CastTo(TypeId::kInt32);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->AsInt32(), 42);
+
+  auto d = Value::Double(3.25).CastTo(TypeId::kString);
+  ASSERT_TRUE(d.ok());
+  auto dback = d->CastTo(TypeId::kDouble);
+  ASSERT_TRUE(dback.ok());
+  EXPECT_DOUBLE_EQ(dback->AsDouble(), 3.25);
+}
+
+TEST(ValueTest, CastNullPreservesNull) {
+  auto r = Value().CastTo(TypeId::kInt64);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->is_null());
+  EXPECT_EQ(r->type(), TypeId::kInt64);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int32(5).Hash(), Value::Int64(5).Hash());
+  EXPECT_EQ(Value::Int64(5).Hash(), Value::Double(5.0).Hash());
+}
+
+TEST(KeyEncodingTest, IntegerOrderPreserved) {
+  int64_t values[] = {-1000000, -5, -1, 0, 1, 2, 999, 1 << 30};
+  std::string prev;
+  for (int64_t v : values) {
+    std::string enc = KeyEncoder::EncodeKey({Value::Int64(v)});
+    if (!prev.empty()) {
+      EXPECT_LT(prev, enc) << v;
+    }
+    prev = enc;
+  }
+}
+
+TEST(KeyEncodingTest, StringOrderPreserved) {
+  const char* values[] = {"", "a", "ab", "abc", "b", "ba"};
+  std::string prev;
+  bool first = true;
+  for (const char* v : values) {
+    std::string enc = KeyEncoder::EncodeKey({Value::String(v)});
+    if (!first) {
+      EXPECT_LT(prev, enc) << v;
+    }
+    prev = enc;
+    first = false;
+  }
+}
+
+TEST(KeyEncodingTest, NullSortsBeforeEverything) {
+  EXPECT_LT(KeyEncoder::EncodeKey({Value()}),
+            KeyEncoder::EncodeKey({Value::Int64(INT64_MIN)}));
+  EXPECT_LT(KeyEncoder::EncodeKey({Value()}),
+            KeyEncoder::EncodeKey({Value::String("")}));
+}
+
+TEST(KeyEncodingTest, CompositeKeysOrderComponentwise) {
+  auto key = [](int a, const char* b) {
+    return KeyEncoder::EncodeKey({Value::Int32(a), Value::String(b)});
+  };
+  EXPECT_LT(key(1, "z"), key(2, "a"));
+  EXPECT_LT(key(2, "a"), key(2, "b"));
+}
+
+TEST(KeyEncodingTest, StringComponentDoesNotBleed) {
+  // ("ab", "c") must differ from ("a", "bc") and order as strings do.
+  auto k1 = KeyEncoder::EncodeKey({Value::String("ab"), Value::String("c")});
+  auto k2 = KeyEncoder::EncodeKey({Value::String("a"), Value::String("bc")});
+  EXPECT_NE(k1, k2);
+  EXPECT_GT(k1, k2);  // "ab" > "a"
+}
+
+TEST(KeyEncodingTest, EmbeddedNulByte) {
+  std::string with_nul("a\0b", 3);
+  auto k1 = KeyEncoder::EncodeKey({Value::String(with_nul)});
+  auto k2 = KeyEncoder::EncodeKey({Value::String("a")});
+  EXPECT_GT(k1, k2);
+}
+
+TEST(KeyEncodingTest, PrefixRangeCoversExtensions) {
+  std::string lo, hi;
+  KeyEncoder::EncodePrefixRange({Value::Int32(17)}, &lo, &hi);
+  std::string inside =
+      KeyEncoder::EncodeKey({Value::Int32(17), Value::String("zzz")});
+  std::string outside = KeyEncoder::EncodeKey({Value::Int32(18)});
+  EXPECT_LE(lo, inside);
+  EXPECT_LT(inside, hi);
+  EXPECT_GE(outside, hi);
+}
+
+TEST(KeyEncodingTest, IntegralDoubleEncodesLikeInteger) {
+  EXPECT_EQ(KeyEncoder::EncodeKey({Value::Double(42.0)}),
+            KeyEncoder::EncodeKey({Value::Int64(42)}));
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(5, 10);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 10);
+  }
+}
+
+TEST(RngTest, WordLengths) {
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    std::string w = rng.Word(3, 8);
+    EXPECT_GE(w.size(), 3u);
+    EXPECT_LE(w.size(), 8u);
+  }
+}
+
+TEST(SampleSetTest, QuantilesAndCompliance) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.Add(i);
+  EXPECT_DOUBLE_EQ(s.Mean(), 50.5);
+  EXPECT_NEAR(s.Quantile(0.95), 95.05, 0.2);
+  EXPECT_DOUBLE_EQ(s.Min(), 1);
+  EXPECT_DOUBLE_EQ(s.Max(), 100);
+  EXPECT_DOUBLE_EQ(s.FractionBelow(50), 0.5);
+  EXPECT_DOUBLE_EQ(s.FractionBelow(1000), 1.0);
+  EXPECT_DOUBLE_EQ(s.FractionBelow(0), 0.0);
+}
+
+TEST(SampleSetTest, EmptySafe) {
+  SampleSet s;
+  EXPECT_EQ(s.Quantile(0.95), 0.0);
+  EXPECT_EQ(s.Mean(), 0.0);
+}
+
+TEST(SampleSetTest, AddAfterQuery) {
+  SampleSet s;
+  s.Add(10);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 10);
+  s.Add(20);
+  s.Add(0);
+  EXPECT_DOUBLE_EQ(s.Min(), 0);
+  EXPECT_DOUBLE_EQ(s.Max(), 20);
+}
+
+}  // namespace
+}  // namespace mtdb

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "mapping_test_util.h"
+
+namespace mtdb {
+namespace mapping {
+namespace {
+
+/// Both §6.3 Phase (b) strategies — per-row atomic statements and
+/// batched row-set predicates — must produce identical logical state on
+/// every layout that uses the generic DML machinery.
+class DmlModeTest
+    : public ::testing::TestWithParam<std::tuple<LayoutKind, DmlMode>> {};
+
+TEST_P(DmlModeTest, UpdateAndDeleteSemanticsUnchanged) {
+  auto [kind, mode] = GetParam();
+  AppSchema app = FigureFourSchema();
+  Database db;
+  auto layout = MakeLayout(kind, &db, &app);
+  ASSERT_TRUE(layout->Bootstrap().ok());
+  ASSERT_TRUE(layout->CreateTenant(17).ok());
+  ASSERT_TRUE(layout->EnableExtension(17, "healthcare").ok());
+  layout->set_dml_mode(mode);
+
+  for (int i = 1; i <= 30; ++i) {
+    ASSERT_TRUE(layout
+                    ->Execute(17,
+                              "INSERT INTO account (aid, name, hospital, "
+                              "beds) VALUES (?, ?, ?, ?)",
+                              {Value::Int64(i),
+                               Value::String("n" + std::to_string(i)),
+                               Value::String("h" + std::to_string(i % 3)),
+                               Value::Int64(i * 10)})
+                    .ok());
+  }
+
+  // Constant multi-row update (batchable in kBatched mode).
+  auto updated = layout->Execute(
+      17, "UPDATE account SET beds = 999 WHERE hospital = 'h1'");
+  ASSERT_TRUE(updated.ok()) << updated.status().ToString();
+  EXPECT_EQ(*updated, 10);
+  auto check = layout->Query(
+      17, "SELECT COUNT(*) FROM account WHERE beds = 999");
+  ASSERT_TRUE(check.ok());
+  EXPECT_EQ(check->rows[0][0].AsInt64(), 10);
+
+  // Expression update (falls back to per-row even in batched mode).
+  auto expr_update = layout->Execute(
+      17, "UPDATE account SET beds = beds + 1 WHERE hospital = 'h2'");
+  ASSERT_TRUE(expr_update.ok()) << expr_update.status().ToString();
+  EXPECT_EQ(*expr_update, 10);
+  auto sum = layout->Query(
+      17, "SELECT SUM(beds) FROM account WHERE hospital = 'h2'");
+  ASSERT_TRUE(sum.ok());
+  // h2 rows: aid 2,5,...,29 -> beds i*10 + 1 each.
+  int64_t expected = 0;
+  for (int i = 1; i <= 30; ++i) {
+    if (i % 3 == 2) expected += i * 10 + 1;
+  }
+  EXPECT_EQ(sum->rows[0][0].AsInt64(), expected);
+
+  // Multi-row delete.
+  auto deleted = layout->Execute(
+      17, "DELETE FROM account WHERE hospital = 'h0'");
+  ASSERT_TRUE(deleted.ok()) << deleted.status().ToString();
+  EXPECT_EQ(*deleted, 10);
+  auto left = layout->Query(17, "SELECT COUNT(*) FROM account");
+  ASSERT_TRUE(left.ok());
+  EXPECT_EQ(left->rows[0][0].AsInt64(), 20);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DmlModeTest,
+    ::testing::Combine(::testing::Values(LayoutKind::kExtension,
+                                         LayoutKind::kUniversal,
+                                         LayoutKind::kPivot, LayoutKind::kChunk,
+                                         LayoutKind::kChunkFolding),
+                       ::testing::Values(DmlMode::kPerRow, DmlMode::kBatched)),
+    [](const ::testing::TestParamInfo<std::tuple<LayoutKind, DmlMode>>& info) {
+      return std::string(LayoutKindName(std::get<0>(info.param))) +
+             (std::get<1>(info.param) == DmlMode::kPerRow ? "_perrow"
+                                                          : "_batched");
+    });
+
+TEST(DmlModeStatsTest, BatchingIssuesFewerPhysicalStatements) {
+  AppSchema app = FigureFourSchema();
+  Database per_db, batch_db;
+  ChunkTableLayout per_row(&per_db, &app), batched(&batch_db, &app);
+  ASSERT_TRUE(per_row.Bootstrap().ok());
+  ASSERT_TRUE(batched.Bootstrap().ok());
+  batched.set_dml_mode(DmlMode::kBatched);
+  for (ChunkTableLayout* l : {&per_row, &batched}) {
+    ASSERT_TRUE(l->CreateTenant(1).ok());
+    for (int i = 1; i <= 40; ++i) {
+      ASSERT_TRUE(l->Execute(1,
+                             "INSERT INTO account (aid, name) VALUES (?, ?)",
+                             {Value::Int64(i), Value::String("x")})
+                      .ok());
+    }
+  }
+  uint64_t per_before = per_row.stats().physical_statements;
+  uint64_t batch_before = batched.stats().physical_statements;
+  ASSERT_TRUE(per_row.Execute(1, "DELETE FROM account").ok());
+  ASSERT_TRUE(batched.Execute(1, "DELETE FROM account").ok());
+  uint64_t per_cost = per_row.stats().physical_statements - per_before;
+  uint64_t batch_cost = batched.stats().physical_statements - batch_before;
+  EXPECT_LT(batch_cost, per_cost);
+  // Same logical outcome.
+  auto a = per_row.Query(1, "SELECT COUNT(*) FROM account");
+  auto b = batched.Query(1, "SELECT COUNT(*) FROM account");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->rows[0][0].AsInt64(), 0);
+  EXPECT_EQ(b->rows[0][0].AsInt64(), 0);
+}
+
+}  // namespace
+}  // namespace mapping
+}  // namespace mtdb

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "mapping_test_util.h"
+
+namespace mtdb {
+namespace {
+
+// --- engine error surfaces --------------------------------------------
+
+class EngineErrorTest : public ::testing::Test {
+ protected:
+  Database db_;
+};
+
+TEST_F(EngineErrorTest, QueryUnknownTable) {
+  auto r = db_.Query("SELECT a FROM missing");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(EngineErrorTest, QueryUnknownColumn) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE t (a INT)").ok());
+  auto r = db_.Query("SELECT b FROM t");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(EngineErrorTest, AmbiguousUnqualifiedColumn) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE x (a INT)").ok());
+  ASSERT_TRUE(db_.Execute("CREATE TABLE y (a INT)").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO x VALUES (1)").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO y VALUES (1)").ok());
+  auto r = db_.Query("SELECT a FROM x, y");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(EngineErrorTest, MissingBindParameter) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE t (a INT)").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO t VALUES (1)").ok());
+  auto r = db_.Query("SELECT a FROM t WHERE a = ?");  // no params bound
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(EngineErrorTest, DivisionByZeroSurfacesAsError) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE t (a INT)").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO t VALUES (1)").ok());
+  auto r = db_.Query("SELECT a / 0 FROM t");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(EngineErrorTest, InsertArityMismatch) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE t (a INT, b INT)").ok());
+  EXPECT_FALSE(db_.Execute("INSERT INTO t VALUES (1)").ok());
+  EXPECT_FALSE(db_.Execute("INSERT INTO t (a) VALUES (1, 2)").ok());
+}
+
+TEST_F(EngineErrorTest, UpdateUnknownColumn) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE t (a INT)").ok());
+  EXPECT_FALSE(db_.Execute("UPDATE t SET nope = 1").ok());
+}
+
+TEST_F(EngineErrorTest, DuplicateIndexName) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE t (a INT)").ok());
+  ASSERT_TRUE(db_.Execute("CREATE INDEX ix ON t (a)").ok());
+  EXPECT_EQ(db_.Execute("CREATE INDEX ix ON t (a)").status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(EngineErrorTest, IndexOnUnknownColumn) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE t (a INT)").ok());
+  EXPECT_EQ(db_.Execute("CREATE INDEX ix ON t (zz)").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(EngineErrorTest, DropMissingObjects) {
+  EXPECT_EQ(db_.Execute("DROP TABLE nope").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(db_.Execute("DROP INDEX nope").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(EngineErrorTest, GroupByReferencingNonGroupedColumn) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE t (a INT, b INT)").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO t VALUES (1, 2)").ok());
+  auto r = db_.Query("SELECT b, COUNT(*) FROM t GROUP BY a");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(EngineErrorTest, ParseErrorsDoNotMutateState) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE t (a INT)").ok());
+  size_t tables = db_.Stats().tables;
+  EXPECT_FALSE(db_.Execute("CREATE TABLE broken (").ok());
+  EXPECT_EQ(db_.Stats().tables, tables);
+}
+
+// --- mapping-layer error surfaces ---------------------------------------
+
+class MappingErrorTest : public ::testing::Test {
+ protected:
+  MappingErrorTest()
+      : app_(mapping::FigureFourSchema()),
+        layout_(&db_, &app_) {
+    EXPECT_TRUE(layout_.Bootstrap().ok());
+    EXPECT_TRUE(layout_.CreateTenant(1).ok());
+  }
+
+  mapping::AppSchema app_;
+  Database db_;
+  mapping::ChunkFoldingLayout layout_;
+};
+
+TEST_F(MappingErrorTest, UnknownTenant) {
+  auto r = layout_.Query(99, "SELECT * FROM account");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(layout_.Execute(99, "DELETE FROM account").ok());
+}
+
+TEST_F(MappingErrorTest, DuplicateTenant) {
+  EXPECT_EQ(layout_.CreateTenant(1).code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(MappingErrorTest, UnknownExtension) {
+  EXPECT_EQ(layout_.EnableExtension(1, "nope").code(), StatusCode::kNotFound);
+}
+
+TEST_F(MappingErrorTest, EnableExtensionTwiceIsIdempotent) {
+  ASSERT_TRUE(layout_.EnableExtension(1, "healthcare").ok());
+  ASSERT_TRUE(layout_.EnableExtension(1, "healthcare").ok());
+  auto cols = layout_.LogicalColumns(1, "account");
+  ASSERT_TRUE(cols.ok());
+  EXPECT_EQ(cols->size(), 4u);  // not 6: columns added once
+}
+
+TEST_F(MappingErrorTest, UnknownLogicalTable) {
+  EXPECT_FALSE(layout_.Query(1, "SELECT * FROM nope").ok());
+  EXPECT_FALSE(
+      layout_.Execute(1, "INSERT INTO nope (a) VALUES (1)").ok());
+}
+
+TEST_F(MappingErrorTest, DdlStatementsRejectedAtLogicalLevel) {
+  // Tenants do not get to issue physical DDL through the layer.
+  EXPECT_FALSE(layout_.Execute(1, "CREATE TABLE evil (a INT)").ok());
+  EXPECT_FALSE(layout_.Execute(1, "DROP TABLE account").ok());
+}
+
+TEST_F(MappingErrorTest, PhysicalTablesInvisibleToTenants) {
+  // A tenant cannot name the generic structures directly.
+  EXPECT_FALSE(layout_.Query(1, "SELECT * FROM fold_chunkdata").ok());
+  EXPECT_FALSE(layout_.Query(1, "SELECT * FROM cf_account").ok());
+}
+
+TEST(AppSchemaErrorTest, RejectsCollidingDefinitions) {
+  mapping::AppSchema app = mapping::FigureFourSchema();
+  mapping::LogicalTable dup;
+  dup.name = "ACCOUNT";  // case-insensitive collision
+  dup.columns = {{"x", TypeId::kInt32, false}};
+  EXPECT_EQ(app.AddTable(std::move(dup)).code(), StatusCode::kAlreadyExists);
+
+  mapping::ExtensionDef bad;
+  bad.name = "bad";
+  bad.base_table = "missing";
+  bad.columns = {{"x", TypeId::kInt32, false}};
+  EXPECT_EQ(app.AddExtension(std::move(bad)).code(), StatusCode::kNotFound);
+
+  mapping::ExtensionDef clash;
+  clash.name = "clash";
+  clash.base_table = "account";
+  clash.columns = {{"name", TypeId::kString, false}};  // collides with base
+  EXPECT_EQ(app.AddExtension(std::move(clash)).code(),
+            StatusCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace mtdb

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "core/chunk_folding_layout.h"
+#include "core/heat.h"
+#include "mapping_test_util.h"
+
+namespace mtdb {
+namespace mapping {
+namespace {
+
+TEST(HeatProfileTest, RecordsAndSums) {
+  HeatProfile heat;
+  heat.Record("account", "beds");
+  heat.Record("account", "beds", 4);
+  heat.Record("Account", "BEDS");  // case-insensitive
+  EXPECT_EQ(heat.ColumnHeat("account", "beds"), 6u);
+  EXPECT_EQ(heat.ColumnHeat("account", "other"), 0u);
+  EXPECT_EQ(heat.total(), 6u);
+  heat.Clear();
+  EXPECT_EQ(heat.total(), 0u);
+}
+
+TEST(HeatProfileTest, ExtensionHeatSumsItsColumns) {
+  AppSchema app = FigureFourSchema();
+  HeatProfile heat;
+  heat.Record("account", "hospital", 10);
+  heat.Record("account", "beds", 5);
+  heat.Record("account", "dealers", 1);
+  const ExtensionDef* health = app.FindExtension("healthcare");
+  const ExtensionDef* automotive = app.FindExtension("automotive");
+  EXPECT_EQ(heat.ExtensionHeat(*health), 15u);
+  EXPECT_EQ(heat.ExtensionHeat(*automotive), 1u);
+}
+
+TEST(HeatAdvisorTest, PicksHottestExtensionsWithinBudget) {
+  AppSchema app = FigureFourSchema();
+  HeatProfile heat;
+  heat.Record("account", "hospital", 100);
+  heat.Record("account", "dealers", 5);
+  auto advised = AdviseConventionalExtensions(app, heat, 1);
+  ASSERT_EQ(advised.size(), 1u);
+  EXPECT_TRUE(advised.count("healthcare") == 1);
+  auto both = AdviseConventionalExtensions(app, heat, 5);
+  EXPECT_EQ(both.size(), 2u);
+  auto none = AdviseConventionalExtensions(app, heat, 0);
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(HeatAdvisorTest, ColdExtensionsNeverAdvised) {
+  AppSchema app = FigureFourSchema();
+  HeatProfile heat;  // no recorded accesses
+  EXPECT_TRUE(AdviseConventionalExtensions(app, heat, 10).empty());
+}
+
+TEST(HeatRecordingTest, LayerObservesQueryColumns) {
+  AppSchema app = FigureFourSchema();
+  Database db;
+  ChunkTableLayout layout(&db, &app);
+  ASSERT_TRUE(layout.Bootstrap().ok());
+  ASSERT_TRUE(LoadFigureFourData(&layout).ok());
+
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_TRUE(
+        layout.Query(17, "SELECT beds FROM account WHERE hospital = 'State'")
+            .ok());
+  }
+  ASSERT_TRUE(layout.Query(17, "SELECT name FROM account").ok());
+
+  EXPECT_EQ(layout.heat_profile().ColumnHeat("account", "beds"), 7u);
+  EXPECT_EQ(layout.heat_profile().ColumnHeat("account", "hospital"), 7u);
+  EXPECT_EQ(layout.heat_profile().ColumnHeat("account", "name"), 1u);
+  EXPECT_EQ(layout.heat_profile().ColumnHeat("account", "aid"), 0u);
+}
+
+TEST(HeatRecordingTest, AdvisorDrivenFoldingLayout) {
+  // Observe a skewed workload on a plain chunk layout, ask the advisor,
+  // then deploy Chunk Folding with the advised hot extension kept
+  // conventional — the end-to-end tuning loop.
+  AppSchema app = FigureFourSchema();
+  Database observe_db;
+  ChunkTableLayout observed(&observe_db, &app);
+  ASSERT_TRUE(observed.Bootstrap().ok());
+  ASSERT_TRUE(LoadFigureFourData(&observed).ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        observed.Query(17, "SELECT hospital, beds FROM account").ok());
+  }
+  ASSERT_TRUE(observed.Query(42, "SELECT dealers FROM account").ok());
+
+  auto advised =
+      AdviseConventionalExtensions(app, observed.heat_profile(), 1);
+  ASSERT_EQ(advised.size(), 1u);
+  EXPECT_EQ(*advised.begin(), "healthcare");
+
+  Database tuned_db;
+  ChunkFoldingOptions options;
+  options.conventional_extensions = advised;
+  ChunkFoldingLayout tuned(&tuned_db, &app, options);
+  ASSERT_TRUE(tuned.Bootstrap().ok());
+  ASSERT_TRUE(LoadFigureFourData(&tuned).ok());
+  // The hot extension now lives in its own conventional table.
+  auto conv = tuned_db.Query("SELECT COUNT(*) FROM cfext_healthcare");
+  ASSERT_TRUE(conv.ok());
+  EXPECT_EQ(conv->rows[0][0].AsInt64(), 2);
+}
+
+}  // namespace
+}  // namespace mapping
+}  // namespace mtdb

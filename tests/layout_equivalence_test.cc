@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "mapping_test_util.h"
+
+namespace mtdb {
+namespace mapping {
+namespace {
+
+/// Property test: every extensible layout must produce exactly the same
+/// logical results for the same randomized workload — the mapping is an
+/// implementation detail the application can never observe (§3's promise
+/// that generic structures hide behind the query-transformation layer).
+///
+/// The reference model is a plain in-memory table per tenant.
+struct ModelRow {
+  int64_t aid;
+  std::string name;
+  // Extension columns (only meaningful for the tenant that has them).
+  std::string hospital;
+  int64_t beds = -1;      // -1 encodes NULL
+  int64_t dealers = -1;
+};
+
+class LayoutEquivalenceTest : public ::testing::TestWithParam<LayoutKind> {};
+
+TEST_P(LayoutEquivalenceTest, RandomizedWorkloadMatchesModel) {
+  AppSchema app = FigureFourSchema();
+  Database db;
+  std::unique_ptr<SchemaMapping> layout = MakeLayout(GetParam(), &db, &app);
+  ASSERT_TRUE(layout->Bootstrap().ok());
+  ASSERT_TRUE(layout->CreateTenant(17).ok());
+  ASSERT_TRUE(layout->CreateTenant(35).ok());
+  ASSERT_TRUE(layout->EnableExtension(17, "healthcare").ok());
+
+  std::vector<ModelRow> model17, model35;
+  Rng rng(GetParam() == LayoutKind::kPivot ? 1 : 2);
+  int64_t next_aid = 1;
+
+  for (int op = 0; op < 120; ++op) {
+    int choice = static_cast<int>(rng.Uniform(0, 9));
+    if (choice < 5) {
+      // Insert into tenant 17 (with extension columns).
+      int64_t aid = next_aid++;
+      std::string name = rng.Word(3, 8);
+      std::string hospital = rng.Word(3, 8);
+      int64_t beds = rng.Uniform(1, 2000);
+      ASSERT_TRUE(layout
+                      ->Execute(17,
+                                "INSERT INTO account (aid, name, hospital, "
+                                "beds) VALUES (?, ?, ?, ?)",
+                                {Value::Int64(aid), Value::String(name),
+                                 Value::String(hospital), Value::Int64(beds)})
+                      .ok());
+      model17.push_back({aid, name, hospital, beds, -1});
+    } else if (choice < 7) {
+      // Insert into tenant 35 (base columns only).
+      int64_t aid = next_aid++;
+      std::string name = rng.Word(3, 8);
+      ASSERT_TRUE(
+          layout
+              ->Execute(35, "INSERT INTO account (aid, name) VALUES (?, ?)",
+                        {Value::Int64(aid), Value::String(name)})
+              .ok());
+      model35.push_back({aid, name, "", -1, -1});
+    } else if (choice < 8 && !model17.empty()) {
+      // Update a random tenant-17 row's beds.
+      size_t i = static_cast<size_t>(
+          rng.Uniform(0, static_cast<int64_t>(model17.size()) - 1));
+      int64_t new_beds = rng.Uniform(1, 5000);
+      auto n = layout->Execute(
+          17, "UPDATE account SET beds = ? WHERE aid = ?",
+          {Value::Int64(new_beds), Value::Int64(model17[i].aid)});
+      ASSERT_TRUE(n.ok()) << n.status().ToString();
+      ASSERT_EQ(*n, 1);
+      model17[i].beds = new_beds;
+    } else if (!model17.empty()) {
+      // Delete a random tenant-17 row.
+      size_t i = static_cast<size_t>(
+          rng.Uniform(0, static_cast<int64_t>(model17.size()) - 1));
+      auto n = layout->Execute(17, "DELETE FROM account WHERE aid = ?",
+                               {Value::Int64(model17[i].aid)});
+      ASSERT_TRUE(n.ok()) << n.status().ToString();
+      ASSERT_EQ(*n, 1);
+      model17.erase(model17.begin() + static_cast<ptrdiff_t>(i));
+    }
+  }
+
+  // Full-table comparison for tenant 17.
+  auto r17 =
+      layout->Query(17, "SELECT aid, name, hospital, beds FROM account "
+                        "ORDER BY aid");
+  ASSERT_TRUE(r17.ok()) << r17.status().ToString();
+  std::sort(model17.begin(), model17.end(),
+            [](const ModelRow& a, const ModelRow& b) { return a.aid < b.aid; });
+  ASSERT_EQ(r17->rows.size(), model17.size());
+  for (size_t i = 0; i < model17.size(); ++i) {
+    EXPECT_EQ(r17->rows[i][0].AsInt64(), model17[i].aid);
+    EXPECT_EQ(r17->rows[i][1].AsString(), model17[i].name);
+    EXPECT_EQ(r17->rows[i][2].AsString(), model17[i].hospital);
+    EXPECT_EQ(r17->rows[i][3].AsInt64(), model17[i].beds);
+  }
+
+  // Tenant 35 remains isolated and extension-free.
+  auto r35 = layout->Query(35, "SELECT aid, name FROM account ORDER BY aid");
+  ASSERT_TRUE(r35.ok());
+  ASSERT_EQ(r35->rows.size(), model35.size());
+  for (size_t i = 0; i < model35.size(); ++i) {
+    EXPECT_EQ(r35->rows[i][0].AsInt64(), model35[i].aid);
+    EXPECT_EQ(r35->rows[i][1].AsString(), model35[i].name);
+  }
+
+  // Predicate queries agree with a model-side filter.
+  auto filtered = layout->Query(
+      17, "SELECT COUNT(*) FROM account WHERE beds > 1000");
+  ASSERT_TRUE(filtered.ok()) << filtered.status().ToString();
+  int64_t expected = static_cast<int64_t>(
+      std::count_if(model17.begin(), model17.end(),
+                    [](const ModelRow& r) { return r.beds > 1000; }));
+  EXPECT_EQ(filtered->rows[0][0].AsInt64(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllExtensibleLayouts, LayoutEquivalenceTest,
+    ::testing::Values(LayoutKind::kPrivate, LayoutKind::kExtension,
+                      LayoutKind::kUniversal, LayoutKind::kPivot,
+                      LayoutKind::kChunk, LayoutKind::kVertical,
+                      LayoutKind::kChunkFolding),
+    [](const ::testing::TestParamInfo<LayoutKind>& info) {
+      return LayoutKindName(info.param);
+    });
+
+/// Emission-mode x layout sweep: nested and flattened transformations
+/// must agree on every layout.
+class EmissionEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<LayoutKind, EmitMode>> {};
+
+TEST_P(EmissionEquivalenceTest, SameAnswerUnderBothPlanners) {
+  auto [kind, emit] = GetParam();
+  AppSchema app = FigureFourSchema();
+  Database db;
+  std::unique_ptr<SchemaMapping> layout = MakeLayout(kind, &db, &app);
+  ASSERT_TRUE(layout->Bootstrap().ok());
+  ASSERT_TRUE(LoadFigureFourData(layout.get()).ok());
+  layout->transform_options().emit_mode = emit;
+  for (PlannerMode mode : {PlannerMode::kNaive, PlannerMode::kAdvanced}) {
+    db.set_planner_mode(mode);
+    auto r = layout->Query(
+        17, "SELECT name FROM account WHERE beds > 500 ORDER BY name");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_EQ(r->rows.size(), 1u);
+    EXPECT_EQ(r->rows[0][0].AsString(), "Gump");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EmissionEquivalenceTest,
+    ::testing::Combine(::testing::Values(LayoutKind::kExtension,
+                                         LayoutKind::kUniversal,
+                                         LayoutKind::kPivot, LayoutKind::kChunk,
+                                         LayoutKind::kChunkFolding),
+                       ::testing::Values(EmitMode::kNested,
+                                         EmitMode::kFlattened)),
+    [](const ::testing::TestParamInfo<std::tuple<LayoutKind, EmitMode>>& info) {
+      return std::string(LayoutKindName(std::get<0>(info.param))) +
+             (std::get<1>(info.param) == EmitMode::kNested ? "_nested"
+                                                           : "_flattened");
+    });
+
+}  // namespace
+}  // namespace mapping
+}  // namespace mtdb

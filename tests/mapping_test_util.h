@@ -1,0 +1,144 @@
+#ifndef MTDB_TESTS_MAPPING_TEST_UTIL_H_
+#define MTDB_TESTS_MAPPING_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/basic_layout.h"
+#include "core/chunk_folding_layout.h"
+#include "core/chunk_layout.h"
+#include "core/extension_layout.h"
+#include "core/pivot_layout.h"
+#include "core/private_layout.h"
+#include "core/universal_layout.h"
+
+namespace mtdb {
+namespace mapping {
+
+/// The paper's running example (Figure 4): an Account table with tenants
+/// 17, 35, 42; tenant 17 has the health-care extension, tenant 42 the
+/// automotive extension.
+inline AppSchema FigureFourSchema() {
+  AppSchema app;
+  {
+    LogicalTable account;
+    account.name = "account";
+    account.columns = {{"aid", TypeId::kInt64, true},
+                       {"name", TypeId::kString, false}};
+    Status st = app.AddTable(std::move(account));
+    (void)st;
+  }
+  {
+    ExtensionDef health;
+    health.name = "healthcare";
+    health.base_table = "account";
+    health.columns = {{"hospital", TypeId::kString, false},
+                      {"beds", TypeId::kInt32, false}};
+    Status st = app.AddExtension(std::move(health));
+    (void)st;
+  }
+  {
+    ExtensionDef automotive;
+    automotive.name = "automotive";
+    automotive.base_table = "account";
+    automotive.columns = {{"dealers", TypeId::kInt32, false}};
+    Status st = app.AddExtension(std::move(automotive));
+    (void)st;
+  }
+  return app;
+}
+
+/// Loads the Figure 4 data for a layout that has Bootstrap'ed already.
+inline Status LoadFigureFourData(SchemaMapping* layout) {
+  MTDB_RETURN_IF_ERROR(layout->CreateTenant(17));
+  MTDB_RETURN_IF_ERROR(layout->CreateTenant(35));
+  MTDB_RETURN_IF_ERROR(layout->CreateTenant(42));
+  MTDB_RETURN_IF_ERROR(layout->EnableExtension(17, "healthcare"));
+  MTDB_RETURN_IF_ERROR(layout->EnableExtension(42, "automotive"));
+  MTDB_RETURN_IF_ERROR(
+      layout
+          ->Execute(17,
+                    "INSERT INTO account (aid, name, hospital, beds) VALUES "
+                    "(1, 'Acme', 'St. Mary', 135), "
+                    "(2, 'Gump', 'State', 1042)")
+          .status());
+  MTDB_RETURN_IF_ERROR(
+      layout->Execute(35, "INSERT INTO account (aid, name) VALUES (1, 'Ball')")
+          .status());
+  MTDB_RETURN_IF_ERROR(
+      layout
+          ->Execute(42,
+                    "INSERT INTO account (aid, name, dealers) VALUES "
+                    "(1, 'Big', 65)")
+          .status());
+  return Status::OK();
+}
+
+/// Factory over every layout, for parameterized layout tests.
+enum class LayoutKind {
+  kBasic,
+  kPrivate,
+  kExtension,
+  kUniversal,
+  kPivot,
+  kChunk,
+  kVertical,
+  kChunkFolding,
+};
+
+inline const char* LayoutKindName(LayoutKind kind) {
+  switch (kind) {
+    case LayoutKind::kBasic:
+      return "basic";
+    case LayoutKind::kPrivate:
+      return "private";
+    case LayoutKind::kExtension:
+      return "extension";
+    case LayoutKind::kUniversal:
+      return "universal";
+    case LayoutKind::kPivot:
+      return "pivot";
+    case LayoutKind::kChunk:
+      return "chunk";
+    case LayoutKind::kVertical:
+      return "vertical";
+    case LayoutKind::kChunkFolding:
+      return "chunkfolding";
+  }
+  return "?";
+}
+
+inline std::unique_ptr<SchemaMapping> MakeLayout(LayoutKind kind, Database* db,
+                                                 const AppSchema* app) {
+  switch (kind) {
+    case LayoutKind::kBasic:
+      return std::make_unique<BasicLayout>(db, app);
+    case LayoutKind::kPrivate:
+      return std::make_unique<PrivateTableLayout>(db, app);
+    case LayoutKind::kExtension:
+      return std::make_unique<ExtensionTableLayout>(db, app);
+    case LayoutKind::kUniversal:
+      return std::make_unique<UniversalTableLayout>(db, app);
+    case LayoutKind::kPivot:
+      return std::make_unique<PivotTableLayout>(db, app);
+    case LayoutKind::kChunk: {
+      ChunkLayoutOptions options;
+      options.fold = true;
+      return std::make_unique<ChunkTableLayout>(db, app, options);
+    }
+    case LayoutKind::kVertical: {
+      ChunkLayoutOptions options;
+      options.fold = false;
+      return std::make_unique<ChunkTableLayout>(db, app, options);
+    }
+    case LayoutKind::kChunkFolding:
+      return std::make_unique<ChunkFoldingLayout>(db, app);
+  }
+  return nullptr;
+}
+
+}  // namespace mapping
+}  // namespace mtdb
+
+#endif  // MTDB_TESTS_MAPPING_TEST_UTIL_H_

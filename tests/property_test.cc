@@ -1,0 +1,292 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+
+#include "common/key_encoding.h"
+#include "common/rng.h"
+#include "mapping_test_util.h"
+#include "storage/row_codec.h"
+
+namespace mtdb {
+namespace {
+
+// ---------------------------------------------------- row codec property
+
+/// Random round-trip over randomized schemas: Decode(Encode(row)) == row.
+class RowCodecPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RowCodecPropertyTest, RandomRoundTrip) {
+  Rng rng(GetParam());
+  const TypeId kTypes[] = {TypeId::kBool,   TypeId::kInt32, TypeId::kInt64,
+                           TypeId::kDouble, TypeId::kDate,  TypeId::kString};
+  for (int iter = 0; iter < 50; ++iter) {
+    std::vector<TypeId> schema;
+    int cols = static_cast<int>(rng.Uniform(1, 24));
+    for (int c = 0; c < cols; ++c) {
+      schema.push_back(kTypes[rng.Uniform(0, 5)]);
+    }
+    RowCodec codec(schema);
+    Row row;
+    for (TypeId t : schema) {
+      if (rng.Bernoulli(0.2)) {
+        row.push_back(Value::Null(t));
+        continue;
+      }
+      switch (t) {
+        case TypeId::kBool:
+          row.push_back(Value::Bool(rng.Bernoulli(0.5)));
+          break;
+        case TypeId::kInt32:
+          row.push_back(Value::Int32(static_cast<int32_t>(
+              rng.Uniform(INT32_MIN / 2, INT32_MAX / 2))));
+          break;
+        case TypeId::kInt64:
+          row.push_back(Value::Int64(static_cast<int64_t>(rng.Next())));
+          break;
+        case TypeId::kDouble:
+          row.push_back(Value::Double(rng.UniformDouble(-1e9, 1e9)));
+          break;
+        case TypeId::kDate:
+          row.push_back(Value::Date(static_cast<int32_t>(rng.Uniform(0, 40000))));
+          break;
+        default:
+          row.push_back(Value::String(rng.Word(0, 40)));
+          break;
+      }
+    }
+    std::string image;
+    ASSERT_TRUE(codec.Encode(row, &image).ok());
+    auto decoded =
+        codec.Decode(image.data(), static_cast<uint32_t>(image.size()));
+    ASSERT_TRUE(decoded.ok());
+    ASSERT_EQ(decoded->size(), row.size());
+    for (size_t i = 0; i < row.size(); ++i) {
+      EXPECT_EQ((*decoded)[i].is_null(), row[i].is_null()) << i;
+      if (!row[i].is_null()) {
+        EXPECT_EQ((*decoded)[i].Compare(row[i]), 0)
+            << i << " " << TypeName(schema[i]);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RowCodecPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// -------------------------------------------------- key encoding property
+
+/// Encoded composite keys order exactly like componentwise Value order.
+class KeyOrderPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KeyOrderPropertyTest, EncodingIsOrderPreserving) {
+  Rng rng(GetParam() * 77);
+  auto random_value = [&]() -> Value {
+    switch (rng.Uniform(0, 3)) {
+      case 0:
+        return Value::Int64(rng.Uniform(-1000, 1000));
+      case 1:
+        return Value::String(rng.Word(0, 6));
+      case 2:
+        return Value::Date(static_cast<int32_t>(rng.Uniform(0, 300)));
+      default:
+        return Value();
+    }
+  };
+  auto compare_rows = [](const std::vector<Value>& a,
+                         const std::vector<Value>& b) {
+    for (size_t i = 0; i < a.size(); ++i) {
+      int c = a[i].Compare(b[i]);
+      if (c != 0) return c;
+    }
+    return 0;
+  };
+  for (int iter = 0; iter < 300; ++iter) {
+    std::vector<Value> a, b;
+    int cols = static_cast<int>(rng.Uniform(1, 4));
+    bool mixed_kinds = false;
+    for (int c = 0; c < cols; ++c) {
+      Value va = random_value();
+      Value vb = random_value();
+      // Only compare like-kinds per position (mixed numeric/string
+      // ordering is defined by Value::Compare but not by the encoding).
+      bool a_str = va.type() == TypeId::kString && !va.is_null();
+      bool b_str = vb.type() == TypeId::kString && !vb.is_null();
+      if (a_str != b_str) mixed_kinds = true;
+      a.push_back(std::move(va));
+      b.push_back(std::move(vb));
+    }
+    if (mixed_kinds) continue;
+    int value_order = compare_rows(a, b);
+    std::string ka = KeyEncoder::EncodeKey(a);
+    std::string kb = KeyEncoder::EncodeKey(b);
+    int key_order = ka.compare(kb) < 0 ? -1 : (ka == kb ? 0 : 1);
+    EXPECT_EQ(value_order < 0, key_order < 0) << iter;
+    EXPECT_EQ(value_order == 0, key_order == 0) << iter;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KeyOrderPropertyTest,
+                         ::testing::Values(1, 2, 3));
+
+// -------------------------------------------- chunk width sweep property
+
+/// The same logical workload over every chunk width must produce the
+/// same answers — chunk width is a pure performance knob (§6.2).
+class ChunkWidthSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChunkWidthSweepTest, WidthDoesNotChangeAnswers) {
+  using namespace mapping;  // NOLINT
+  AppSchema app;
+  LogicalTable wide;
+  wide.name = "wide";
+  wide.columns.push_back({"id", TypeId::kInt64, true});
+  for (int i = 0; i < 24; ++i) {
+    TypeId t = i % 3 == 0 ? TypeId::kInt32
+                          : (i % 3 == 1 ? TypeId::kDate : TypeId::kString);
+    wide.columns.push_back({"c" + std::to_string(i), t, false});
+  }
+  ASSERT_TRUE(app.AddTable(std::move(wide)).ok());
+
+  Database db;
+  ChunkLayoutOptions options;
+  options.shape = ChunkShape::Uniform(GetParam());
+  ChunkTableLayout layout(&db, &app, options);
+  ASSERT_TRUE(layout.Bootstrap().ok());
+  ASSERT_TRUE(layout.CreateTenant(1).ok());
+
+  Rng rng(42);  // same seed for every width => identical logical data
+  for (int64_t id = 0; id < 40; ++id) {
+    Row row{Value::Int64(id)};
+    for (int i = 0; i < 24; ++i) {
+      switch (i % 3) {
+        case 0:
+          row.push_back(Value::Int32(static_cast<int32_t>(rng.Uniform(0, 99))));
+          break;
+        case 1:
+          row.push_back(Value::Date(static_cast<int32_t>(rng.Uniform(0, 999))));
+          break;
+        default:
+          row.push_back(Value::String(rng.Word(2, 6)));
+          break;
+      }
+    }
+    ASSERT_TRUE(layout.InsertRow(1, "wide", row).ok());
+  }
+
+  auto count = layout.Query(1, "SELECT COUNT(*) FROM wide WHERE c0 < 50");
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  auto sum = layout.Query(1, "SELECT SUM(c3), MIN(c1), MAX(c1) FROM wide");
+  ASSERT_TRUE(sum.ok());
+  auto point = layout.Query(1, "SELECT c2, c23 FROM wide WHERE id = 17");
+  ASSERT_TRUE(point.ok());
+  ASSERT_EQ(point->rows.size(), 1u);
+
+  // Reference: recompute with the same seed through a Basic layout.
+  Database ref_db;
+  BasicLayout ref(&ref_db, &app);
+  ASSERT_TRUE(ref.Bootstrap().ok());
+  ASSERT_TRUE(ref.CreateTenant(1).ok());
+  Rng ref_rng(42);
+  for (int64_t id = 0; id < 40; ++id) {
+    Row row{Value::Int64(id)};
+    for (int i = 0; i < 24; ++i) {
+      switch (i % 3) {
+        case 0:
+          row.push_back(
+              Value::Int32(static_cast<int32_t>(ref_rng.Uniform(0, 99))));
+          break;
+        case 1:
+          row.push_back(
+              Value::Date(static_cast<int32_t>(ref_rng.Uniform(0, 999))));
+          break;
+        default:
+          row.push_back(Value::String(ref_rng.Word(2, 6)));
+          break;
+      }
+    }
+    ASSERT_TRUE(ref.InsertRow(1, "wide", row).ok());
+  }
+  auto ref_count = ref.Query(1, "SELECT COUNT(*) FROM wide WHERE c0 < 50");
+  auto ref_sum = ref.Query(1, "SELECT SUM(c3), MIN(c1), MAX(c1) FROM wide");
+  auto ref_point = ref.Query(1, "SELECT c2, c23 FROM wide WHERE id = 17");
+  ASSERT_TRUE(ref_count.ok());
+  ASSERT_TRUE(ref_sum.ok());
+  ASSERT_TRUE(ref_point.ok());
+
+  EXPECT_EQ(count->rows[0][0].AsInt64(), ref_count->rows[0][0].AsInt64());
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(sum->rows[0][i].Compare(ref_sum->rows[0][i]), 0) << i;
+  }
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(point->rows[0][i].Compare(ref_point->rows[0][i]), 0) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ChunkWidthSweepTest,
+                         ::testing::Values(3, 6, 15, 30, 90),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "width" + std::to_string(info.param);
+                         });
+
+// --------------------------------------------------- concurrency sanity
+
+TEST(ConcurrencyTest, ParallelSessionsKeepCountsConsistent) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (id BIGINT, w INT)").ok());
+  ASSERT_TRUE(db.Execute("CREATE UNIQUE INDEX ux ON t (id)").ok());
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  std::atomic<int> errors{0};
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&, w]() {
+      for (int i = 0; i < kPerThread; ++i) {
+        int64_t id = static_cast<int64_t>(w) * 100000 + i;
+        auto st = db.Execute("INSERT INTO t VALUES (?, ?)",
+                             {Value::Int64(id), Value::Int32(w)});
+        if (!st.ok()) errors.fetch_add(1);
+        if (i % 10 == 0) {
+          auto r = db.Query("SELECT COUNT(*) FROM t WHERE w = ?",
+                            {Value::Int32(w)});
+          if (!r.ok()) errors.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(errors.load(), 0);
+  auto total = db.Query("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(total.ok());
+  EXPECT_EQ(total->rows[0][0].AsInt64(), kThreads * kPerThread);
+}
+
+TEST(ConcurrencyTest, ParallelTenantsThroughMapping) {
+  using namespace mapping;  // NOLINT
+  AppSchema app = FigureFourSchema();
+  Database db;
+  ChunkFoldingLayout layout(&db, &app);
+  ASSERT_TRUE(layout.Bootstrap().ok());
+  for (TenantId t = 0; t < 4; ++t) {
+    ASSERT_TRUE(layout.CreateTenant(t).ok());
+  }
+  std::vector<std::thread> threads;
+  std::atomic<int> errors{0};
+  for (TenantId t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int i = 1; i <= 50; ++i) {
+        auto st = layout.Execute(
+            t, "INSERT INTO account (aid, name) VALUES (?, ?)",
+            {Value::Int64(i), Value::String("n" + std::to_string(i))});
+        if (!st.ok()) errors.fetch_add(1);
+      }
+      auto r = layout.Query(t, "SELECT COUNT(*) FROM account");
+      if (!r.ok() || r->rows[0][0].AsInt64() != 50) errors.fetch_add(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(errors.load(), 0);
+}
+
+}  // namespace
+}  // namespace mtdb

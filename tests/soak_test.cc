@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/chunk_folding_layout.h"
+#include "core/private_layout.h"
+#include "mapping_test_util.h"
+#include "testbed/crm_schema.h"
+
+namespace mtdb {
+namespace mapping {
+namespace {
+
+/// Differential soak: a long randomized multi-tenant workload runs on
+/// Chunk Folding and on private tables (the reference — it stores rows
+/// natively); every logical observation must agree at every checkpoint.
+class SoakTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SoakTest, ChunkFoldingMatchesPrivateReference) {
+  AppSchema app = testbed::BuildCrmAppSchema();
+  Database fold_db, priv_db;
+  ChunkFoldingLayout folded(&fold_db, &app);
+  PrivateTableLayout reference(&priv_db, &app);
+  ASSERT_TRUE(folded.Bootstrap().ok());
+  ASSERT_TRUE(reference.Bootstrap().ok());
+
+  constexpr int kTenants = 3;
+  for (TenantId t = 0; t < kTenants; ++t) {
+    ASSERT_TRUE(folded.CreateTenant(t).ok());
+    ASSERT_TRUE(reference.CreateTenant(t).ok());
+  }
+  ASSERT_TRUE(folded.EnableExtension(0, "healthcare_account").ok());
+  ASSERT_TRUE(reference.EnableExtension(0, "healthcare_account").ok());
+  ASSERT_TRUE(folded.EnableExtension(1, "project_opportunity").ok());
+  ASSERT_TRUE(reference.EnableExtension(1, "project_opportunity").ok());
+
+  auto both_execute = [&](TenantId t, const std::string& sql,
+                          const std::vector<Value>& params = {}) {
+    auto a = folded.Execute(t, sql, params);
+    auto b = reference.Execute(t, sql, params);
+    ASSERT_TRUE(a.ok()) << sql << ": " << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << sql << ": " << b.status().ToString();
+    EXPECT_EQ(*a, *b) << sql;
+  };
+  auto both_query_match = [&](TenantId t, const std::string& sql) {
+    auto a = folded.Query(t, sql);
+    auto b = reference.Query(t, sql);
+    ASSERT_TRUE(a.ok()) << sql << ": " << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << sql << ": " << b.status().ToString();
+    ASSERT_EQ(a->rows.size(), b->rows.size()) << sql;
+    for (size_t i = 0; i < a->rows.size(); ++i) {
+      ASSERT_EQ(a->rows[i].size(), b->rows[i].size());
+      for (size_t c = 0; c < a->rows[i].size(); ++c) {
+        EXPECT_EQ(a->rows[i][c].Compare(b->rows[i][c]), 0)
+            << sql << " row " << i << " col " << c;
+      }
+    }
+  };
+
+  Rng rng(GetParam() * 1000 + 7);
+  int64_t next_id = 1;
+  std::vector<int64_t> live_ids[kTenants];
+
+  for (int op = 0; op < 250; ++op) {
+    TenantId t = static_cast<TenantId>(rng.Uniform(0, kTenants - 1));
+    int kind = static_cast<int>(rng.Uniform(0, 9));
+    if (kind < 4) {
+      int64_t id = next_id++;
+      std::string sql =
+          "INSERT INTO account (id, campaign_id, name, status, amount) "
+          "VALUES (?, 0, ?, ?, ?)";
+      std::vector<Value> params{
+          Value::Int64(id), Value::String(rng.Word(3, 9)),
+          Value::String(rng.Bernoulli(0.5) ? "open" : "won"),
+          Value::Double(static_cast<double>(rng.Uniform(1, 100000)))};
+      both_execute(t, sql, params);
+      live_ids[t].push_back(id);
+    } else if (kind < 6 && !live_ids[t].empty()) {
+      size_t i = static_cast<size_t>(
+          rng.Uniform(0, static_cast<int64_t>(live_ids[t].size()) - 1));
+      both_execute(t, "UPDATE account SET amount = amount + 1, owner = ? "
+                      "WHERE id = ?",
+                   {Value::String(rng.Word(3, 8)),
+                    Value::Int64(live_ids[t][i])});
+    } else if (kind < 7 && !live_ids[t].empty()) {
+      size_t i = static_cast<size_t>(
+          rng.Uniform(0, static_cast<int64_t>(live_ids[t].size()) - 1));
+      both_execute(t, "DELETE FROM account WHERE id = ?",
+                   {Value::Int64(live_ids[t][i])});
+      live_ids[t].erase(live_ids[t].begin() + static_cast<ptrdiff_t>(i));
+    } else if (kind < 8) {
+      both_query_match(t, "SELECT status, COUNT(*), SUM(amount) FROM account "
+                          "GROUP BY status ORDER BY status");
+    } else {
+      both_query_match(t, "SELECT id, name, amount FROM account "
+                          "WHERE amount > 50000 ORDER BY id");
+    }
+    if (op % 50 == 49) {
+      // Deep checkpoint: full logical contents per tenant.
+      for (TenantId ct = 0; ct < kTenants; ++ct) {
+        both_query_match(ct, "SELECT * FROM account ORDER BY id");
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoakTest, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace mapping
+}  // namespace mtdb

@@ -1,0 +1,348 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/rng.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+#include "storage/page_store.h"
+#include "storage/row_codec.h"
+#include "storage/table_heap.h"
+
+namespace mtdb {
+namespace {
+
+TEST(SlottedPageTest, InsertAndGet) {
+  Page page(kDefaultPageSize);
+  SlottedPage sp(&page);
+  sp.Init(kInvalidPageId);
+  int slot = sp.Insert("hello", 5);
+  ASSERT_GE(slot, 0);
+  uint32_t len = 0;
+  const char* data = sp.Get(static_cast<uint16_t>(slot), &len);
+  ASSERT_NE(data, nullptr);
+  EXPECT_EQ(std::string(data, len), "hello");
+}
+
+TEST(SlottedPageTest, DeleteKeepsOtherSlotsStable) {
+  Page page(kDefaultPageSize);
+  SlottedPage sp(&page);
+  sp.Init(kInvalidPageId);
+  int s0 = sp.Insert("aaa", 3);
+  int s1 = sp.Insert("bbb", 3);
+  ASSERT_TRUE(sp.Delete(static_cast<uint16_t>(s0)));
+  uint32_t len = 0;
+  EXPECT_EQ(sp.Get(static_cast<uint16_t>(s0), &len), nullptr);
+  const char* data = sp.Get(static_cast<uint16_t>(s1), &len);
+  ASSERT_NE(data, nullptr);
+  EXPECT_EQ(std::string(data, len), "bbb");
+  EXPECT_EQ(sp.LiveCount(), 1);
+}
+
+TEST(SlottedPageTest, SlotReuseAfterDelete) {
+  Page page(kDefaultPageSize);
+  SlottedPage sp(&page);
+  sp.Init(kInvalidPageId);
+  int s0 = sp.Insert("xx", 2);
+  sp.Delete(static_cast<uint16_t>(s0));
+  int s1 = sp.Insert("yy", 2);
+  EXPECT_EQ(s0, s1);  // tombstoned slot is reused
+}
+
+TEST(SlottedPageTest, FillsUntilFull) {
+  Page page(kDefaultPageSize);
+  SlottedPage sp(&page);
+  sp.Init(kInvalidPageId);
+  std::string tuple(100, 'x');
+  int count = 0;
+  while (sp.Insert(tuple.data(), 100) >= 0) count++;
+  // ~8KB / (100 bytes + 4-byte slot) => roughly 78 tuples.
+  EXPECT_GT(count, 70);
+  EXPECT_LT(count, 82);
+}
+
+TEST(SlottedPageTest, CompactionReclaimsDeletedSpace) {
+  Page page(kDefaultPageSize);
+  SlottedPage sp(&page);
+  sp.Init(kInvalidPageId);
+  std::string tuple(100, 'x');
+  std::vector<int> slots;
+  while (true) {
+    int s = sp.Insert(tuple.data(), 100);
+    if (s < 0) break;
+    slots.push_back(s);
+  }
+  // Delete every other tuple, then the freed space must be insertable.
+  for (size_t i = 0; i < slots.size(); i += 2) {
+    sp.Delete(static_cast<uint16_t>(slots[i]));
+  }
+  int inserted = 0;
+  while (sp.Insert(tuple.data(), 100) >= 0) inserted++;
+  EXPECT_GE(inserted, static_cast<int>(slots.size() / 2));
+}
+
+TEST(SlottedPageTest, UpdateInPlaceAndGrow) {
+  Page page(kDefaultPageSize);
+  SlottedPage sp(&page);
+  sp.Init(kInvalidPageId);
+  int s = sp.Insert("0123456789", 10);
+  EXPECT_TRUE(sp.Update(static_cast<uint16_t>(s), "abc", 3));
+  uint32_t len = 0;
+  const char* data = sp.Get(static_cast<uint16_t>(s), &len);
+  EXPECT_EQ(std::string(data, len), "abc");
+  EXPECT_TRUE(sp.Update(static_cast<uint16_t>(s), "0123456789abcdef", 16));
+  data = sp.Get(static_cast<uint16_t>(s), &len);
+  EXPECT_EQ(std::string(data, len), "0123456789abcdef");
+}
+
+TEST(PageStoreTest, AllocateReadWrite) {
+  PageStore store(4096);
+  PageId id = store.Allocate(PageType::kHeap);
+  std::vector<char> buf(4096, 'z');
+  store.Write(id, buf.data());
+  std::vector<char> out(4096, 0);
+  store.Read(id, out.data());
+  EXPECT_EQ(out, buf);
+  EXPECT_EQ(store.stats().physical_reads, 1u);
+  EXPECT_EQ(store.stats().physical_writes, 1u);
+}
+
+TEST(PageStoreTest, DeallocateReusesIds) {
+  PageStore store(1024);
+  PageId a = store.Allocate(PageType::kHeap);
+  store.Deallocate(a);
+  PageId b = store.Allocate(PageType::kIndex);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(store.TypeOf(b), PageType::kIndex);
+}
+
+TEST(BufferPoolTest, HitAndMissAccounting) {
+  PageStore store(1024);
+  BufferPool pool(&store, 8);
+  Page* p = pool.NewPage(PageType::kHeap);
+  PageId id = p->id();
+  pool.UnpinPage(id, true);
+  pool.ResetStats();
+
+  Page* again = pool.FetchPage(id);  // hit
+  pool.UnpinPage(again->id(), false);
+  EXPECT_EQ(pool.stats().logical_reads_data, 1u);
+  EXPECT_EQ(pool.stats().misses_data, 0u);
+
+  pool.EvictAll();
+  Page* cold = pool.FetchPage(id);  // miss
+  pool.UnpinPage(cold->id(), false);
+  EXPECT_EQ(pool.stats().misses_data, 1u);
+}
+
+TEST(BufferPoolTest, EvictionRespectsCapacityAndLru) {
+  PageStore store(1024);
+  BufferPool pool(&store, 2);
+  PageId ids[3];
+  for (int i = 0; i < 3; ++i) {
+    Page* p = pool.NewPage(PageType::kHeap);
+    p->data()[0] = static_cast<char>('a' + i);
+    ids[i] = p->id();
+    pool.UnpinPage(ids[i], true);
+  }
+  EXPECT_LE(pool.frames_in_use(), 2u);
+  // The oldest page (ids[0]) must have been evicted and written back.
+  pool.ResetStats();
+  Page* p0 = pool.FetchPage(ids[0]);
+  EXPECT_EQ(p0->data()[0], 'a');  // contents survived eviction
+  EXPECT_EQ(pool.stats().misses_data, 1u);
+  pool.UnpinPage(ids[0], false);
+}
+
+TEST(BufferPoolTest, PinnedPagesAreNotEvicted) {
+  PageStore store(1024);
+  BufferPool pool(&store, 1);
+  Page* pinned = pool.NewPage(PageType::kHeap);
+  PageId pinned_id = pinned->id();
+  // Allocate more pages while the first stays pinned.
+  Page* other = pool.NewPage(PageType::kHeap);
+  pool.UnpinPage(other->id(), false);
+  Page* refetched = pool.FetchPage(pinned_id);
+  EXPECT_EQ(refetched, pinned);  // same frame: never left the pool
+  pool.UnpinPage(pinned_id, false);
+  pool.UnpinPage(pinned_id, false);
+}
+
+TEST(BufferPoolTest, ShrinkCapacityEvicts) {
+  PageStore store(1024);
+  BufferPool pool(&store, 16);
+  for (int i = 0; i < 10; ++i) {
+    Page* p = pool.NewPage(PageType::kIndex);
+    pool.UnpinPage(p->id(), false);
+  }
+  EXPECT_EQ(pool.frames_in_use(), 10u);
+  pool.SetCapacity(3);
+  EXPECT_LE(pool.frames_in_use(), 3u);
+}
+
+TEST(BufferPoolTest, IndexVsDataSplit) {
+  PageStore store(1024);
+  BufferPool pool(&store, 8);
+  Page* heap = pool.NewPage(PageType::kHeap);
+  Page* index = pool.NewPage(PageType::kIndex);
+  PageId heap_id = heap->id(), index_id = index->id();
+  pool.UnpinPage(heap_id, false);
+  pool.UnpinPage(index_id, false);
+  pool.ResetStats();
+  pool.FetchPage(heap_id);
+  pool.UnpinPage(heap_id, false);
+  pool.FetchPage(index_id);
+  pool.UnpinPage(index_id, false);
+  EXPECT_EQ(pool.stats().logical_reads_data, 1u);
+  EXPECT_EQ(pool.stats().logical_reads_index, 1u);
+}
+
+TEST(RowCodecTest, RoundTripAllTypes) {
+  RowCodec codec({TypeId::kInt32, TypeId::kInt64, TypeId::kDouble,
+                  TypeId::kDate, TypeId::kString, TypeId::kBool});
+  Row row{Value::Int32(-5),      Value::Int64(1LL << 40),
+          Value::Double(2.5),    Value::Date(10957),
+          Value::String("abc"),  Value::Bool(true)};
+  std::string image;
+  ASSERT_TRUE(codec.Encode(row, &image).ok());
+  auto decoded = codec.Decode(image.data(), static_cast<uint32_t>(image.size()));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), row.size());
+  for (size_t i = 0; i < row.size(); ++i) {
+    EXPECT_EQ((*decoded)[i].Compare(row[i]), 0) << i;
+  }
+}
+
+TEST(RowCodecTest, NullsOccupyNoPayload) {
+  RowCodec codec({TypeId::kString, TypeId::kString});
+  std::string with_nulls, without;
+  ASSERT_TRUE(codec.Encode({Value(), Value()}, &with_nulls).ok());
+  ASSERT_TRUE(
+      codec.Encode({Value::String("xx"), Value::String("yy")}, &without).ok());
+  EXPECT_LT(with_nulls.size(), without.size());
+  auto decoded =
+      codec.Decode(with_nulls.data(), static_cast<uint32_t>(with_nulls.size()));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE((*decoded)[0].is_null());
+  EXPECT_TRUE((*decoded)[1].is_null());
+}
+
+TEST(RowCodecTest, ArityMismatchRejected) {
+  RowCodec codec({TypeId::kInt32});
+  std::string image;
+  EXPECT_FALSE(codec.Encode({Value::Int32(1), Value::Int32(2)}, &image).ok());
+}
+
+TEST(RowCodecTest, CastsOnEncode) {
+  RowCodec codec({TypeId::kInt64});
+  std::string image;
+  ASSERT_TRUE(codec.Encode({Value::String("123")}, &image).ok());
+  auto decoded = codec.Decode(image.data(), static_cast<uint32_t>(image.size()));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ((*decoded)[0].AsInt64(), 123);
+}
+
+class TableHeapTest : public ::testing::Test {
+ protected:
+  TableHeapTest() : store_(kDefaultPageSize), pool_(&store_, 64) {}
+  PageStore store_;
+  BufferPool pool_;
+};
+
+TEST_F(TableHeapTest, InsertGetDelete) {
+  TableHeap heap(&pool_);
+  auto rid = heap.Insert("tuple-1");
+  ASSERT_TRUE(rid.ok());
+  std::string out;
+  ASSERT_TRUE(heap.Get(*rid, &out).ok());
+  EXPECT_EQ(out, "tuple-1");
+  ASSERT_TRUE(heap.Delete(*rid).ok());
+  EXPECT_FALSE(heap.Get(*rid, &out).ok());
+  EXPECT_EQ(heap.live_tuples(), 0u);
+}
+
+TEST_F(TableHeapTest, ScanSeesAllLiveTuples) {
+  TableHeap heap(&pool_);
+  std::map<std::string, bool> expected;
+  for (int i = 0; i < 500; ++i) {
+    std::string t = "tuple-" + std::to_string(i);
+    ASSERT_TRUE(heap.Insert(t).ok());
+    expected[t] = false;
+  }
+  auto it = heap.Begin();
+  std::string tuple;
+  Rid rid;
+  int count = 0;
+  while (it.Next(&tuple, &rid)) {
+    auto found = expected.find(tuple);
+    ASSERT_NE(found, expected.end());
+    EXPECT_FALSE(found->second) << "duplicate " << tuple;
+    found->second = true;
+    count++;
+  }
+  EXPECT_EQ(count, 500);
+}
+
+TEST_F(TableHeapTest, UpdateMayRelocate) {
+  TableHeap heap(&pool_);
+  // Fill a page almost completely, then grow one tuple.
+  std::vector<Rid> rids;
+  std::string tuple(800, 'a');
+  for (int i = 0; i < 10; ++i) {
+    auto rid = heap.Insert(tuple);
+    ASSERT_TRUE(rid.ok());
+    rids.push_back(*rid);
+  }
+  Rid target = rids[0];
+  std::string bigger(7000, 'b');
+  bool moved = false;
+  ASSERT_TRUE(heap.Update(&target, bigger, &moved).ok());
+  std::string out;
+  ASSERT_TRUE(heap.Get(target, &out).ok());
+  EXPECT_EQ(out, bigger);
+}
+
+TEST_F(TableHeapTest, AppendModeGrowsPages) {
+  TableHeap heap(&pool_, InsertMode::kAppend);
+  std::string tuple(1000, 'x');
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(heap.Insert(tuple).ok());
+  }
+  // 8 KB pages hold ~7 tuples of 1000 bytes: about 6 pages.
+  EXPECT_GE(heap.page_count(), 5u);
+}
+
+TEST_F(TableHeapTest, FirstFitRefillsDeletedSpace) {
+  TableHeap heap(&pool_, InsertMode::kFirstFit);
+  std::string tuple(1000, 'x');
+  std::vector<Rid> rids;
+  for (int i = 0; i < 40; ++i) {
+    auto rid = heap.Insert(tuple);
+    ASSERT_TRUE(rid.ok());
+    rids.push_back(*rid);
+  }
+  size_t pages_before = heap.page_count();
+  for (const Rid& rid : rids) {
+    ASSERT_TRUE(heap.Delete(rid).ok());
+  }
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(heap.Insert(tuple).ok());
+  }
+  EXPECT_EQ(heap.page_count(), pages_before);  // space was reused
+}
+
+TEST_F(TableHeapTest, FreeReleasesPages) {
+  TableHeap heap(&pool_);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(heap.Insert(std::string(500, 'q')).ok());
+  }
+  size_t allocated = store_.allocated_pages();
+  EXPECT_GT(allocated, 0u);
+  heap.Free();
+  EXPECT_LT(store_.allocated_pages(), allocated);
+  EXPECT_EQ(heap.page_count(), 0u);
+}
+
+}  // namespace
+}  // namespace mtdb

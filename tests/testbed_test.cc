@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "testbed/crm_schema.h"
+#include "testbed/data_generator.h"
+#include "testbed/mtd_testbed.h"
+#include "testbed/workload.h"
+
+namespace mtdb {
+namespace testbed {
+namespace {
+
+TEST(CrmSchemaTest, TenTablesTwentyColumns) {
+  EXPECT_EQ(CrmTables().size(), 10u);
+  for (const CrmTable& t : CrmTables()) {
+    Schema s = CrmPhysicalSchema(t);
+    EXPECT_EQ(s.size(), 1u + kCrmColumnsPerTable) << t.name;  // + tenant
+  }
+}
+
+TEST(CrmSchemaTest, ParentsExist) {
+  for (const CrmTable& t : CrmTables()) {
+    for (const std::string& p : t.parents) {
+      bool found = false;
+      for (const CrmTable& other : CrmTables()) {
+        if (other.name == p) found = true;
+      }
+      EXPECT_TRUE(found) << t.name << " references missing parent " << p;
+    }
+  }
+}
+
+TEST(CrmSchemaTest, CreateInstanceMakesTenTables) {
+  Database db;
+  ASSERT_TRUE(CreateCrmInstance(&db, 0).ok());
+  EXPECT_EQ(db.Stats().tables, 10u);
+  ASSERT_TRUE(CreateCrmInstance(&db, 1).ok());
+  EXPECT_EQ(db.Stats().tables, 20u);
+}
+
+TEST(CrmSchemaTest, AppSchemaHasExtensions) {
+  mapping::AppSchema app = BuildCrmAppSchema();
+  EXPECT_EQ(app.tables().size(), 10u);
+  EXPECT_GE(app.extensions().size(), 3u);
+  EXPECT_NE(app.FindExtension("healthcare_account"), nullptr);
+}
+
+TEST(DataGeneratorTest, RowsMatchSchema) {
+  DataGenerator gen(1);
+  for (const CrmTable& t : CrmTables()) {
+    Row row = gen.CrmRow(t, 5, 7, 100);
+    EXPECT_EQ(row.size(), CrmPhysicalSchema(t).size()) << t.name;
+    EXPECT_EQ(row[0].AsInt32(), 5);
+    EXPECT_EQ(row[1].AsInt64(), 7);
+  }
+}
+
+TEST(DataGeneratorTest, LoadTenantInsertsRows) {
+  Database db;
+  ASSERT_TRUE(CreateCrmInstance(&db, 0).ok());
+  DataGenerator gen(1);
+  ASSERT_TRUE(gen.LoadTenant(&db, 0, 3, 5).ok());
+  auto r = db.Query("SELECT COUNT(*) FROM account_i0 WHERE tenant = 3");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0].AsInt64(), 5);
+}
+
+TEST(ControllerTest, DeckMatchesDistribution) {
+  Controller controller(1, 10);
+  auto deck = controller.Deal(10000);
+  EXPECT_EQ(deck.size(), 10000u);
+  std::map<ActionClass, int> counts;
+  for (const ActionCard& c : deck) {
+    counts[c.action]++;
+    EXPECT_GE(c.tenant, 0);
+    EXPECT_LT(c.tenant, 10);
+  }
+  // 50% select-light +- tolerance for rounding/fill.
+  EXPECT_NEAR(counts[ActionClass::kSelectLight], 5000, 100);
+  EXPECT_NEAR(counts[ActionClass::kUpdateLight], 1760, 50);
+  EXPECT_NEAR(counts[ActionClass::kInsertHeavy], 30, 10);
+}
+
+TEST(ControllerTest, DeckIsShuffled) {
+  Controller controller(1, 10);
+  auto deck = controller.Deal(1000);
+  // The first 100 cards should not all be the same class.
+  std::set<ActionClass> seen;
+  for (size_t i = 0; i < 100; ++i) seen.insert(deck[i].action);
+  EXPECT_GE(seen.size(), 3u);
+}
+
+TEST(ResultDatabaseTest, RecordsPerClass) {
+  ResultDatabase results;
+  results.Record(ActionClass::kSelectLight, 1.5);
+  results.Record(ActionClass::kSelectLight, 2.5);
+  results.Record(ActionClass::kSelectHeavy, 10.0);
+  EXPECT_EQ(results.TotalActions(), 3u);
+  EXPECT_EQ(results.Samples(ActionClass::kSelectLight).count(), 2u);
+  EXPECT_DOUBLE_EQ(results.Samples(ActionClass::kSelectHeavy).Mean(), 10.0);
+}
+
+TEST(WorkerTest, EveryActionClassSucceeds) {
+  Database db;
+  ASSERT_TRUE(CreateCrmInstance(&db, 0).ok());
+  DataGenerator gen(1);
+  for (int t = 0; t < 2; ++t) {
+    ASSERT_TRUE(gen.LoadTenant(&db, 0, t, 10).ok());
+  }
+  Worker worker(&db, 1, 10, 7);
+  ResultDatabase results;
+  for (ActionClass c :
+       {ActionClass::kSelectLight, ActionClass::kSelectHeavy,
+        ActionClass::kInsertLight, ActionClass::kInsertHeavy,
+        ActionClass::kUpdateLight, ActionClass::kUpdateHeavy,
+        ActionClass::kAdministrative}) {
+    Status st = worker.RunCard({c, 0}, &results);
+    EXPECT_TRUE(st.ok()) << ActionClassName(c) << ": " << st.ToString();
+  }
+  EXPECT_EQ(results.TotalActions(), 7u);
+}
+
+TEST(InstancesForTest, Table1Values) {
+  // Table 1 with 10,000 tenants.
+  EXPECT_EQ(InstancesFor(0.0, 10000), 1);
+  EXPECT_EQ(InstancesFor(0.5, 10000), 5000);
+  EXPECT_EQ(InstancesFor(0.65, 10000), 6500);
+  EXPECT_EQ(InstancesFor(0.8, 10000), 8000);
+  EXPECT_EQ(InstancesFor(1.0, 10000), 10000);
+}
+
+TEST(MtdTestbedTest, SmallRunProducesReport) {
+  TestbedConfig config;
+  config.schema_variability = 0.0;
+  config.num_tenants = 4;
+  config.rows_per_table_per_tenant = 5;
+  config.worker_sessions = 2;
+  config.deck_size = 60;
+  MtdTestbed testbed(config);
+  ASSERT_TRUE(testbed.Setup().ok());
+  auto report = testbed.Run(nullptr);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->total_tables, 10);
+  EXPECT_GT(report->throughput_per_min, 0.0);
+  EXPECT_GT(report->p95_ms.at(ActionClass::kSelectLight), 0.0);
+  EXPECT_GT(report->hit_ratio_data, 0.0);
+}
+
+TEST(MtdTestbedTest, VariabilityOneCreatesTablesPerTenant) {
+  TestbedConfig config;
+  config.schema_variability = 1.0;
+  config.num_tenants = 4;
+  config.rows_per_table_per_tenant = 3;
+  config.worker_sessions = 1;
+  config.deck_size = 20;
+  MtdTestbed testbed(config);
+  ASSERT_TRUE(testbed.Setup().ok());
+  auto report = testbed.Run(nullptr);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->total_tables, 40);  // 4 tenants x 10 tables
+}
+
+}  // namespace
+}  // namespace testbed
+}  // namespace mtdb
