@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chunk_grouping.dir/bench_chunk_grouping.cc.o"
+  "CMakeFiles/bench_chunk_grouping.dir/bench_chunk_grouping.cc.o.d"
+  "bench_chunk_grouping"
+  "bench_chunk_grouping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chunk_grouping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

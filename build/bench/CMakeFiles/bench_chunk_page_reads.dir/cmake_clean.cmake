@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chunk_page_reads.dir/bench_chunk_page_reads.cc.o"
+  "CMakeFiles/bench_chunk_page_reads.dir/bench_chunk_page_reads.cc.o.d"
+  "bench_chunk_page_reads"
+  "bench_chunk_page_reads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chunk_page_reads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

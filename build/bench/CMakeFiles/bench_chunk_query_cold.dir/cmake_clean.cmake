@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chunk_query_cold.dir/bench_chunk_query_cold.cc.o"
+  "CMakeFiles/bench_chunk_query_cold.dir/bench_chunk_query_cold.cc.o.d"
+  "bench_chunk_query_cold"
+  "bench_chunk_query_cold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chunk_query_cold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chunk_query_warm.dir/bench_chunk_query_warm.cc.o"
+  "CMakeFiles/bench_chunk_query_warm.dir/bench_chunk_query_warm.cc.o.d"
+  "bench_chunk_query_warm"
+  "bench_chunk_query_warm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chunk_query_warm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

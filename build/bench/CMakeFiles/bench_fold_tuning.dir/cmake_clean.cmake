@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fold_tuning.dir/bench_fold_tuning.cc.o"
+  "CMakeFiles/bench_fold_tuning.dir/bench_fold_tuning.cc.o.d"
+  "bench_fold_tuning"
+  "bench_fold_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fold_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

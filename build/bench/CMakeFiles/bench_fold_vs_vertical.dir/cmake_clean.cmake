@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fold_vs_vertical.dir/bench_fold_vs_vertical.cc.o"
+  "CMakeFiles/bench_fold_vs_vertical.dir/bench_fold_vs_vertical.cc.o.d"
+  "bench_fold_vs_vertical"
+  "bench_fold_vs_vertical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fold_vs_vertical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

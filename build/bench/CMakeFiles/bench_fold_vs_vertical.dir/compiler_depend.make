@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fold_vs_vertical.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_layout_workload.cc" "bench/CMakeFiles/bench_layout_workload.dir/bench_layout_workload.cc.o" "gcc" "bench/CMakeFiles/bench_layout_workload.dir/bench_layout_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/mtdb_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/testbed/CMakeFiles/mtdb_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mtdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/mtdb_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/mtdb_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/mtdb_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/mtdb_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/mtdb_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mtdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mtdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

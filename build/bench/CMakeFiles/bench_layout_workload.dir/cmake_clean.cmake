@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_layout_workload.dir/bench_layout_workload.cc.o"
+  "CMakeFiles/bench_layout_workload.dir/bench_layout_workload.cc.o.d"
+  "bench_layout_workload"
+  "bench_layout_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_layout_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

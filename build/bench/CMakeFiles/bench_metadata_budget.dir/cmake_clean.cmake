@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_metadata_budget.dir/bench_metadata_budget.cc.o"
+  "CMakeFiles/bench_metadata_budget.dir/bench_metadata_budget.cc.o.d"
+  "bench_metadata_budget"
+  "bench_metadata_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_metadata_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

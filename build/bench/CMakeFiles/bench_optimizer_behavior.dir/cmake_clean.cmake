@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_optimizer_behavior.dir/bench_optimizer_behavior.cc.o"
+  "CMakeFiles/bench_optimizer_behavior.dir/bench_optimizer_behavior.cc.o.d"
+  "bench_optimizer_behavior"
+  "bench_optimizer_behavior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optimizer_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_schema_variability.dir/bench_schema_variability.cc.o"
+  "CMakeFiles/bench_schema_variability.dir/bench_schema_variability.cc.o.d"
+  "bench_schema_variability"
+  "bench_schema_variability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_schema_variability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtdb_bench_common.dir/chunk_bench_common.cc.o"
+  "CMakeFiles/mtdb_bench_common.dir/chunk_bench_common.cc.o.d"
+  "libmtdb_bench_common.a"
+  "libmtdb_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtdb_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmtdb_bench_common.a"
+)

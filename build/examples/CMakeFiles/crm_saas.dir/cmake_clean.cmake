@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crm_saas.dir/crm_saas.cpp.o"
+  "CMakeFiles/crm_saas.dir/crm_saas.cpp.o.d"
+  "crm_saas"
+  "crm_saas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crm_saas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

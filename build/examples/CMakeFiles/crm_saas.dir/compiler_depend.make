@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for crm_saas.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for crm_saas.
+# This may be replaced when dependencies are built.

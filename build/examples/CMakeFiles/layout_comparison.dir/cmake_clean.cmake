@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_comparison.dir/layout_comparison.cpp.o"
+  "CMakeFiles/layout_comparison.dir/layout_comparison.cpp.o.d"
+  "layout_comparison"
+  "layout_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_evolution.dir/schema_evolution.cpp.o"
+  "CMakeFiles/schema_evolution.dir/schema_evolution.cpp.o.d"
+  "schema_evolution"
+  "schema_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

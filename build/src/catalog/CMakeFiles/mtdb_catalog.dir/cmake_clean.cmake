@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtdb_catalog.dir/catalog.cc.o"
+  "CMakeFiles/mtdb_catalog.dir/catalog.cc.o.d"
+  "CMakeFiles/mtdb_catalog.dir/schema.cc.o"
+  "CMakeFiles/mtdb_catalog.dir/schema.cc.o.d"
+  "libmtdb_catalog.a"
+  "libmtdb_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtdb_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmtdb_catalog.a"
+)

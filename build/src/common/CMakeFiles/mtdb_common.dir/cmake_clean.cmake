@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtdb_common.dir/key_encoding.cc.o"
+  "CMakeFiles/mtdb_common.dir/key_encoding.cc.o.d"
+  "CMakeFiles/mtdb_common.dir/metrics.cc.o"
+  "CMakeFiles/mtdb_common.dir/metrics.cc.o.d"
+  "CMakeFiles/mtdb_common.dir/rng.cc.o"
+  "CMakeFiles/mtdb_common.dir/rng.cc.o.d"
+  "CMakeFiles/mtdb_common.dir/status.cc.o"
+  "CMakeFiles/mtdb_common.dir/status.cc.o.d"
+  "CMakeFiles/mtdb_common.dir/types.cc.o"
+  "CMakeFiles/mtdb_common.dir/types.cc.o.d"
+  "CMakeFiles/mtdb_common.dir/value.cc.o"
+  "CMakeFiles/mtdb_common.dir/value.cc.o.d"
+  "libmtdb_common.a"
+  "libmtdb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtdb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/basic_layout.cc" "src/core/CMakeFiles/mtdb_core.dir/basic_layout.cc.o" "gcc" "src/core/CMakeFiles/mtdb_core.dir/basic_layout.cc.o.d"
+  "/root/repo/src/core/chunk_folding_layout.cc" "src/core/CMakeFiles/mtdb_core.dir/chunk_folding_layout.cc.o" "gcc" "src/core/CMakeFiles/mtdb_core.dir/chunk_folding_layout.cc.o.d"
+  "/root/repo/src/core/chunk_layout.cc" "src/core/CMakeFiles/mtdb_core.dir/chunk_layout.cc.o" "gcc" "src/core/CMakeFiles/mtdb_core.dir/chunk_layout.cc.o.d"
+  "/root/repo/src/core/chunk_partitioner.cc" "src/core/CMakeFiles/mtdb_core.dir/chunk_partitioner.cc.o" "gcc" "src/core/CMakeFiles/mtdb_core.dir/chunk_partitioner.cc.o.d"
+  "/root/repo/src/core/extension_layout.cc" "src/core/CMakeFiles/mtdb_core.dir/extension_layout.cc.o" "gcc" "src/core/CMakeFiles/mtdb_core.dir/extension_layout.cc.o.d"
+  "/root/repo/src/core/heat.cc" "src/core/CMakeFiles/mtdb_core.dir/heat.cc.o" "gcc" "src/core/CMakeFiles/mtdb_core.dir/heat.cc.o.d"
+  "/root/repo/src/core/layout.cc" "src/core/CMakeFiles/mtdb_core.dir/layout.cc.o" "gcc" "src/core/CMakeFiles/mtdb_core.dir/layout.cc.o.d"
+  "/root/repo/src/core/logical_schema.cc" "src/core/CMakeFiles/mtdb_core.dir/logical_schema.cc.o" "gcc" "src/core/CMakeFiles/mtdb_core.dir/logical_schema.cc.o.d"
+  "/root/repo/src/core/migrator.cc" "src/core/CMakeFiles/mtdb_core.dir/migrator.cc.o" "gcc" "src/core/CMakeFiles/mtdb_core.dir/migrator.cc.o.d"
+  "/root/repo/src/core/pivot_layout.cc" "src/core/CMakeFiles/mtdb_core.dir/pivot_layout.cc.o" "gcc" "src/core/CMakeFiles/mtdb_core.dir/pivot_layout.cc.o.d"
+  "/root/repo/src/core/private_layout.cc" "src/core/CMakeFiles/mtdb_core.dir/private_layout.cc.o" "gcc" "src/core/CMakeFiles/mtdb_core.dir/private_layout.cc.o.d"
+  "/root/repo/src/core/transformer.cc" "src/core/CMakeFiles/mtdb_core.dir/transformer.cc.o" "gcc" "src/core/CMakeFiles/mtdb_core.dir/transformer.cc.o.d"
+  "/root/repo/src/core/universal_layout.cc" "src/core/CMakeFiles/mtdb_core.dir/universal_layout.cc.o" "gcc" "src/core/CMakeFiles/mtdb_core.dir/universal_layout.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/mtdb_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/mtdb_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mtdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/mtdb_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/mtdb_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/mtdb_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mtdb_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

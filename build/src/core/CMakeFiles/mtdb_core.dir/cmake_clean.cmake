@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtdb_core.dir/basic_layout.cc.o"
+  "CMakeFiles/mtdb_core.dir/basic_layout.cc.o.d"
+  "CMakeFiles/mtdb_core.dir/chunk_folding_layout.cc.o"
+  "CMakeFiles/mtdb_core.dir/chunk_folding_layout.cc.o.d"
+  "CMakeFiles/mtdb_core.dir/chunk_layout.cc.o"
+  "CMakeFiles/mtdb_core.dir/chunk_layout.cc.o.d"
+  "CMakeFiles/mtdb_core.dir/chunk_partitioner.cc.o"
+  "CMakeFiles/mtdb_core.dir/chunk_partitioner.cc.o.d"
+  "CMakeFiles/mtdb_core.dir/extension_layout.cc.o"
+  "CMakeFiles/mtdb_core.dir/extension_layout.cc.o.d"
+  "CMakeFiles/mtdb_core.dir/heat.cc.o"
+  "CMakeFiles/mtdb_core.dir/heat.cc.o.d"
+  "CMakeFiles/mtdb_core.dir/layout.cc.o"
+  "CMakeFiles/mtdb_core.dir/layout.cc.o.d"
+  "CMakeFiles/mtdb_core.dir/logical_schema.cc.o"
+  "CMakeFiles/mtdb_core.dir/logical_schema.cc.o.d"
+  "CMakeFiles/mtdb_core.dir/migrator.cc.o"
+  "CMakeFiles/mtdb_core.dir/migrator.cc.o.d"
+  "CMakeFiles/mtdb_core.dir/pivot_layout.cc.o"
+  "CMakeFiles/mtdb_core.dir/pivot_layout.cc.o.d"
+  "CMakeFiles/mtdb_core.dir/private_layout.cc.o"
+  "CMakeFiles/mtdb_core.dir/private_layout.cc.o.d"
+  "CMakeFiles/mtdb_core.dir/transformer.cc.o"
+  "CMakeFiles/mtdb_core.dir/transformer.cc.o.d"
+  "CMakeFiles/mtdb_core.dir/universal_layout.cc.o"
+  "CMakeFiles/mtdb_core.dir/universal_layout.cc.o.d"
+  "libmtdb_core.a"
+  "libmtdb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtdb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

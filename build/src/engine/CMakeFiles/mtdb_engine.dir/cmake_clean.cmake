@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtdb_engine.dir/database.cc.o"
+  "CMakeFiles/mtdb_engine.dir/database.cc.o.d"
+  "CMakeFiles/mtdb_engine.dir/planner.cc.o"
+  "CMakeFiles/mtdb_engine.dir/planner.cc.o.d"
+  "libmtdb_engine.a"
+  "libmtdb_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtdb_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtdb_exec.dir/executor.cc.o"
+  "CMakeFiles/mtdb_exec.dir/executor.cc.o.d"
+  "CMakeFiles/mtdb_exec.dir/expr.cc.o"
+  "CMakeFiles/mtdb_exec.dir/expr.cc.o.d"
+  "libmtdb_exec.a"
+  "libmtdb_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtdb_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

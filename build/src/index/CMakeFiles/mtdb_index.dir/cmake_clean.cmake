@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtdb_index.dir/btree.cc.o"
+  "CMakeFiles/mtdb_index.dir/btree.cc.o.d"
+  "libmtdb_index.a"
+  "libmtdb_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtdb_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

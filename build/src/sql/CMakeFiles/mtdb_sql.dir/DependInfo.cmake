@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sql/ast.cc" "src/sql/CMakeFiles/mtdb_sql.dir/ast.cc.o" "gcc" "src/sql/CMakeFiles/mtdb_sql.dir/ast.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/sql/CMakeFiles/mtdb_sql.dir/lexer.cc.o" "gcc" "src/sql/CMakeFiles/mtdb_sql.dir/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/sql/CMakeFiles/mtdb_sql.dir/parser.cc.o" "gcc" "src/sql/CMakeFiles/mtdb_sql.dir/parser.cc.o.d"
+  "/root/repo/src/sql/printer.cc" "src/sql/CMakeFiles/mtdb_sql.dir/printer.cc.o" "gcc" "src/sql/CMakeFiles/mtdb_sql.dir/printer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/catalog/CMakeFiles/mtdb_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mtdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/mtdb_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mtdb_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtdb_sql.dir/ast.cc.o"
+  "CMakeFiles/mtdb_sql.dir/ast.cc.o.d"
+  "CMakeFiles/mtdb_sql.dir/lexer.cc.o"
+  "CMakeFiles/mtdb_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/mtdb_sql.dir/parser.cc.o"
+  "CMakeFiles/mtdb_sql.dir/parser.cc.o.d"
+  "CMakeFiles/mtdb_sql.dir/printer.cc.o"
+  "CMakeFiles/mtdb_sql.dir/printer.cc.o.d"
+  "libmtdb_sql.a"
+  "libmtdb_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtdb_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

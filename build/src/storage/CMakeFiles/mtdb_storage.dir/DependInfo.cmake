@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/buffer_pool.cc" "src/storage/CMakeFiles/mtdb_storage.dir/buffer_pool.cc.o" "gcc" "src/storage/CMakeFiles/mtdb_storage.dir/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/page.cc" "src/storage/CMakeFiles/mtdb_storage.dir/page.cc.o" "gcc" "src/storage/CMakeFiles/mtdb_storage.dir/page.cc.o.d"
+  "/root/repo/src/storage/page_store.cc" "src/storage/CMakeFiles/mtdb_storage.dir/page_store.cc.o" "gcc" "src/storage/CMakeFiles/mtdb_storage.dir/page_store.cc.o.d"
+  "/root/repo/src/storage/row_codec.cc" "src/storage/CMakeFiles/mtdb_storage.dir/row_codec.cc.o" "gcc" "src/storage/CMakeFiles/mtdb_storage.dir/row_codec.cc.o.d"
+  "/root/repo/src/storage/table_heap.cc" "src/storage/CMakeFiles/mtdb_storage.dir/table_heap.cc.o" "gcc" "src/storage/CMakeFiles/mtdb_storage.dir/table_heap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mtdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

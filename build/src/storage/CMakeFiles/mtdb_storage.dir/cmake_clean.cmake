@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtdb_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/mtdb_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/mtdb_storage.dir/page.cc.o"
+  "CMakeFiles/mtdb_storage.dir/page.cc.o.d"
+  "CMakeFiles/mtdb_storage.dir/page_store.cc.o"
+  "CMakeFiles/mtdb_storage.dir/page_store.cc.o.d"
+  "CMakeFiles/mtdb_storage.dir/row_codec.cc.o"
+  "CMakeFiles/mtdb_storage.dir/row_codec.cc.o.d"
+  "CMakeFiles/mtdb_storage.dir/table_heap.cc.o"
+  "CMakeFiles/mtdb_storage.dir/table_heap.cc.o.d"
+  "libmtdb_storage.a"
+  "libmtdb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtdb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtdb_testbed.dir/crm_schema.cc.o"
+  "CMakeFiles/mtdb_testbed.dir/crm_schema.cc.o.d"
+  "CMakeFiles/mtdb_testbed.dir/data_generator.cc.o"
+  "CMakeFiles/mtdb_testbed.dir/data_generator.cc.o.d"
+  "CMakeFiles/mtdb_testbed.dir/mtd_testbed.cc.o"
+  "CMakeFiles/mtdb_testbed.dir/mtd_testbed.cc.o.d"
+  "CMakeFiles/mtdb_testbed.dir/workload.cc.o"
+  "CMakeFiles/mtdb_testbed.dir/workload.cc.o.d"
+  "libmtdb_testbed.a"
+  "libmtdb_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtdb_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chunk_partitioner_test.dir/chunk_partitioner_test.cc.o"
+  "CMakeFiles/chunk_partitioner_test.dir/chunk_partitioner_test.cc.o.d"
+  "chunk_partitioner_test"
+  "chunk_partitioner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chunk_partitioner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dml_mode_test.dir/dml_mode_test.cc.o"
+  "CMakeFiles/dml_mode_test.dir/dml_mode_test.cc.o.d"
+  "dml_mode_test"
+  "dml_mode_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dml_mode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

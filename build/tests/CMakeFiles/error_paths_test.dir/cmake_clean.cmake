@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/error_paths_test.dir/error_paths_test.cc.o"
+  "CMakeFiles/error_paths_test.dir/error_paths_test.cc.o.d"
+  "error_paths_test"
+  "error_paths_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_paths_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_equivalence_test.dir/layout_equivalence_test.cc.o"
+  "CMakeFiles/layout_equivalence_test.dir/layout_equivalence_test.cc.o.d"
+  "layout_equivalence_test"
+  "layout_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
