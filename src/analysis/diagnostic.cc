@@ -1,0 +1,44 @@
+#include "analysis/diagnostic.h"
+
+namespace mtdb {
+namespace analysis {
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::ToString() const {
+  std::string out = SeverityName(severity);
+  out += " ";
+  out += rule_id;
+  if (!location.empty()) {
+    out += " [" + location + "]";
+  }
+  out += ": " + message;
+  return out;
+}
+
+std::string FormatDiagnostics(const std::vector<Diagnostic>& diagnostics) {
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    out += d.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+bool HasErrors(const std::vector<Diagnostic>& diagnostics) {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::kError) return true;
+  }
+  return false;
+}
+
+}  // namespace analysis
+}  // namespace mtdb

@@ -1,0 +1,240 @@
+#include "analysis/isolation_linter.h"
+
+#include <numeric>
+#include <set>
+#include <string>
+
+#include "catalog/schema.h"
+#include "sql/ast_util.h"
+
+namespace mtdb {
+namespace analysis {
+
+namespace {
+
+using mapping::PhysicalSource;
+using sql::ParsedExpr;
+using sql::SelectStmt;
+using sql::TableRef;
+
+std::string TenantLoc(const LintContext& ctx, const std::string& what) {
+  return "tenant " + std::to_string(ctx.tenant) + ", " + what;
+}
+
+/// True when the physical table is shared among tenants (carries the
+/// "tenant" meta-data column of every shared layout in this codebase).
+bool IsSharedTable(const Catalog* catalog, const std::string& table) {
+  const TableInfo* info = catalog->GetTable(table);
+  return info != nullptr && info->schema.Find("tenant").has_value();
+}
+
+/// Does conjunct qualifier `qual` select the table ref named `binding`?
+/// An empty qualifier is only unambiguous when the scope has one ref.
+bool QualifierMatches(const std::string& qual, const std::string& binding,
+                      size_t refs_in_scope) {
+  if (qual.empty()) return refs_in_scope == 1;
+  return IdentEquals(qual, binding);
+}
+
+/// Scans `conjuncts` for `<binding>.tenant = <literal>`. Returns the
+/// literal (or nullptr when no such conjunct exists).
+const ParsedExpr* FindTenantConjunct(
+    const std::vector<const ParsedExpr*>& conjuncts,
+    const std::string& binding, size_t refs_in_scope) {
+  for (const ParsedExpr* c : conjuncts) {
+    sql::ColumnEqualsLiteral eq = sql::MatchColumnEqualsLiteral(*c);
+    if (eq.column == nullptr) continue;
+    if (!IdentEquals(eq.column->column, "tenant")) continue;
+    if (!QualifierMatches(eq.column->table, binding, refs_in_scope)) continue;
+    return eq.literal;
+  }
+  return nullptr;
+}
+
+/// I101/I102 for every shared base ref of one SELECT scope.
+void LintScopeTenantConjuncts(const LintContext& ctx, const SelectStmt& scope,
+                              std::vector<Diagnostic>* out) {
+  std::vector<const ParsedExpr*> conjuncts;
+  sql::CollectConjuncts(scope.where.get(), &conjuncts);
+  size_t base_refs = 0;
+  for (const TableRef& ref : scope.from) {
+    if (!ref.is_subquery()) base_refs++;
+  }
+  for (const TableRef& ref : scope.from) {
+    if (ref.is_subquery()) continue;
+    if (!IsSharedTable(ctx.catalog, ref.table_name)) continue;
+    const ParsedExpr* literal =
+        FindTenantConjunct(conjuncts, ref.binding_name(), base_refs);
+    if (literal == nullptr) {
+      out->push_back(Diagnostic{
+          Severity::kError, kRuleMissingTenantConjunct,
+          TenantLoc(ctx, "SELECT over " + ref.table_name),
+          "shared table reference '" + ref.binding_name() +
+              "' is not dominated by a tenant conjunct in its scope"});
+    } else if (!(literal->literal == Value::Int64(ctx.tenant))) {
+      out->push_back(Diagnostic{
+          Severity::kError, kRuleWrongTenantLiteral,
+          TenantLoc(ctx, "SELECT over " + ref.table_name),
+          "tenant conjunct on '" + ref.binding_name() + "' selects tenant " +
+              literal->literal.ToString() + ", statement belongs to tenant " +
+              std::to_string(ctx.tenant)});
+    }
+  }
+}
+
+/// One base ref matched to a mapping source within a scope.
+struct MatchedRef {
+  const TableRef* ref;
+  size_t source;
+};
+
+/// True when every partition conjunct of `source` appears in `conjuncts`
+/// qualified for `binding`.
+bool RefMatchesSource(const std::vector<const ParsedExpr*>& conjuncts,
+                      const std::string& binding, size_t refs_in_scope,
+                      const PhysicalSource& source) {
+  for (const auto& [col, val] : source.partition) {
+    bool found = false;
+    for (const ParsedExpr* c : conjuncts) {
+      sql::ColumnEqualsLiteral eq = sql::MatchColumnEqualsLiteral(*c);
+      if (eq.column == nullptr) continue;
+      if (!IdentEquals(eq.column->column, col)) continue;
+      if (!QualifierMatches(eq.column->table, binding, refs_in_scope)) continue;
+      if (eq.literal->literal == val) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+/// I103: all mapping sources reconstructed in one scope must be joined
+/// into a single row-aligned component.
+void LintScopeAlignment(const LintContext& ctx, const SelectStmt& scope,
+                        std::vector<Diagnostic>* out) {
+  std::vector<const ParsedExpr*> conjuncts;
+  sql::CollectConjuncts(scope.where.get(), &conjuncts);
+  size_t base_refs = 0;
+  for (const TableRef& ref : scope.from) {
+    if (!ref.is_subquery()) base_refs++;
+  }
+
+  std::vector<MatchedRef> matched;
+  std::set<size_t> distinct_sources;
+  for (const TableRef& ref : scope.from) {
+    if (ref.is_subquery()) continue;
+    for (size_t s = 0; s < ctx.mapping->sources.size(); ++s) {
+      const PhysicalSource& source = ctx.mapping->sources[s];
+      if (!IdentEquals(ref.table_name, source.physical_table)) continue;
+      if (!RefMatchesSource(conjuncts, ref.binding_name(), base_refs,
+                            source)) {
+        continue;
+      }
+      matched.push_back(MatchedRef{&ref, s});
+      distinct_sources.insert(s);
+      break;
+    }
+  }
+  if (distinct_sources.size() < 2) return;  // nothing to align
+
+  // Union-find over the matched refs, joined by row-equality conjuncts.
+  std::vector<size_t> parent(matched.size());
+  std::iota(parent.begin(), parent.end(), size_t{0});
+  auto find = [&parent](size_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  auto ref_of = [&](const ParsedExpr& col) -> int {
+    for (size_t i = 0; i < matched.size(); ++i) {
+      const std::string& row_col =
+          ctx.mapping->sources[matched[i].source].row_column;
+      if (row_col.empty()) continue;
+      if (!IdentEquals(col.column, row_col)) continue;
+      if (!QualifierMatches(col.table, matched[i].ref->binding_name(),
+                            base_refs)) {
+        continue;
+      }
+      return static_cast<int>(i);
+    }
+    return -1;
+  };
+  for (const ParsedExpr* c : conjuncts) {
+    sql::ColumnEqualsColumn eq = sql::MatchColumnEqualsColumn(*c);
+    if (eq.left == nullptr) continue;
+    int a = ref_of(*eq.left);
+    int b = ref_of(*eq.right);
+    if (a < 0 || b < 0 || a == b) continue;
+    parent[find(static_cast<size_t>(a))] = find(static_cast<size_t>(b));
+  }
+  size_t root = find(0);
+  for (size_t i = 1; i < matched.size(); ++i) {
+    if (find(i) != root) {
+      out->push_back(Diagnostic{
+          Severity::kError, kRuleUnalignedReconstruction,
+          TenantLoc(ctx, "SELECT over " + matched[i].ref->table_name),
+          "reconstruction source '" + matched[i].ref->binding_name() +
+              "' is not row-aligned with the other chunks of its scope "
+              "(missing aligning join on the row column)"});
+      return;  // one report per scope is enough
+    }
+  }
+}
+
+}  // namespace
+
+void LintPhysicalSelect(const LintContext& ctx, const SelectStmt& stmt,
+                        std::vector<Diagnostic>* out) {
+  sql::ForEachSelectScope(stmt, [&](const SelectStmt& scope) {
+    LintScopeTenantConjuncts(ctx, scope, out);
+    if (ctx.mapping != nullptr) LintScopeAlignment(ctx, scope, out);
+  });
+}
+
+void LintPhysicalStatement(const LintContext& ctx, const sql::Statement& stmt,
+                           std::vector<Diagnostic>* out) {
+  const ParsedExpr* where = nullptr;
+  std::string table;
+  std::string kind;
+  switch (stmt.kind) {
+    case sql::StatementKind::kSelect:
+      LintPhysicalSelect(ctx, *stmt.select, out);
+      return;
+    case sql::StatementKind::kUpdate:
+      where = stmt.update->where.get();
+      table = stmt.update->table;
+      kind = "UPDATE";
+      break;
+    case sql::StatementKind::kDelete:
+      where = stmt.del->where.get();
+      table = stmt.del->table;
+      kind = "DELETE";
+      break;
+    default:
+      return;  // INSERT routes by value, DDL carries no predicate
+  }
+  if (!IsSharedTable(ctx.catalog, table)) return;
+
+  std::vector<const ParsedExpr*> conjuncts;
+  sql::CollectConjuncts(where, &conjuncts);
+  const ParsedExpr* literal =
+      FindTenantConjunct(conjuncts, table, /*refs_in_scope=*/1);
+  if (literal == nullptr) {
+    out->push_back(Diagnostic{
+        Severity::kError, kRuleDmlTenantWidening,
+        TenantLoc(ctx, kind + " " + table),
+        "Phase (b) " + kind + " on shared table '" + table +
+            "' has no tenant conjunct and may widen beyond the "
+            "originating tenant"});
+  } else if (!(literal->literal == Value::Int64(ctx.tenant))) {
+    out->push_back(Diagnostic{
+        Severity::kError, kRuleWrongTenantLiteral,
+        TenantLoc(ctx, kind + " " + table),
+        kind + " confined to tenant " + literal->literal.ToString() +
+            " but originates from tenant " + std::to_string(ctx.tenant)});
+  }
+}
+
+}  // namespace analysis
+}  // namespace mtdb

@@ -1,0 +1,48 @@
+#ifndef MTDB_ANALYSIS_ISOLATION_LINTER_H_
+#define MTDB_ANALYSIS_ISOLATION_LINTER_H_
+
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "catalog/catalog.h"
+#include "common/types.h"
+#include "core/table_mapping.h"
+#include "sql/ast.h"
+
+namespace mtdb {
+namespace analysis {
+
+/// The tenant context a physical statement was emitted under, plus what
+/// the linter may assume about the physical world.
+struct LintContext {
+  /// The originating tenant every shared-table access must be confined to.
+  TenantId tenant = 0;
+  /// Identifies shared physical tables (those carrying a "tenant"
+  /// meta-data column). Required.
+  const Catalog* catalog = nullptr;
+  /// When set, enables the reconstruction-alignment rule (I103) for the
+  /// (tenant, table) this mapping describes. The rule assumes at most
+  /// one logical binding of that table per SELECT scope (no self-joins),
+  /// which holds for the verifier's probe queries.
+  const mapping::TableMapping* mapping = nullptr;
+};
+
+/// Proves tenant isolation of one emitted physical SELECT: every base
+/// reference to a shared table is dominated by a `tenant = <ctx>`
+/// conjunct in its own scope (I101), the conjunct names the right tenant
+/// (I102), and reconstruction joins are row-aligned (I103, needs
+/// ctx.mapping). Appends findings to `out`.
+void LintPhysicalSelect(const LintContext& ctx, const sql::SelectStmt& stmt,
+                        std::vector<Diagnostic>* out);
+
+/// Proves tenant isolation of one emitted physical statement. SELECTs
+/// delegate to LintPhysicalSelect; UPDATE/DELETE on shared tables must
+/// carry the tenant conjunct (I104) — the Phase (b) never-widen rule of
+/// §6.3. INSERT and DDL have no predicate to check and pass vacuously.
+void LintPhysicalStatement(const LintContext& ctx, const sql::Statement& stmt,
+                           std::vector<Diagnostic>* out);
+
+}  // namespace analysis
+}  // namespace mtdb
+
+#endif  // MTDB_ANALYSIS_ISOLATION_LINTER_H_

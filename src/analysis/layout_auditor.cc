@@ -1,0 +1,318 @@
+#include "analysis/layout_auditor.h"
+
+#include <map>
+#include <set>
+
+#include "catalog/schema.h"
+
+namespace mtdb {
+namespace analysis {
+
+namespace {
+
+using mapping::ColumnTarget;
+using mapping::PhysicalSource;
+using mapping::TableMapping;
+
+std::string Loc(const AuditInput& input) {
+  return "tenant " + std::to_string(input.tenant) + ", table " + input.table;
+}
+
+std::string SourceLoc(const AuditInput& input, size_t src) {
+  std::string out = Loc(input) + ", source " + std::to_string(src);
+  if (input.mapping != nullptr && src < input.mapping->sources.size()) {
+    out += " (" + input.mapping->sources[src].physical_table + ")";
+  }
+  return out;
+}
+
+void Report(std::vector<Diagnostic>* out, Severity severity,
+            const char* rule_id, std::string location, std::string message) {
+  out->push_back(Diagnostic{severity, rule_id, std::move(location),
+                            std::move(message)});
+}
+
+/// Identity of a source for duplicate detection: physical table plus the
+/// sorted partition conjuncts.
+std::string SourceIdentity(const PhysicalSource& s) {
+  std::map<std::string, std::string> parts;
+  for (const auto& [col, val] : s.partition) {
+    parts[IdentLower(col)] = val.ToString();
+  }
+  std::string key = IdentLower(s.physical_table);
+  for (const auto& [col, val] : parts) key += "|" + col + "=" + val;
+  return key;
+}
+
+}  // namespace
+
+bool SlotWidthCompatible(TypeId logical, TypeId physical) {
+  if (logical == physical) return true;
+  switch (physical) {
+    case TypeId::kString:
+      // The paper's flexible VARCHAR data columns: any value round-trips
+      // through its string form (Universal Table, string chunk slots).
+      return true;
+    case TypeId::kInt64:
+      // 64-bit integer slots hold every int-like logical type exactly.
+      return logical == TypeId::kBool || logical == TypeId::kInt32 ||
+             logical == TypeId::kDate;
+    case TypeId::kInt32:
+      return logical == TypeId::kBool || logical == TypeId::kDate;
+    case TypeId::kDouble:
+      // 53-bit mantissa: 32-bit numerics fit exactly, kInt64 does not.
+      return logical == TypeId::kBool || logical == TypeId::kInt32;
+    case TypeId::kDate:
+      return false;
+    case TypeId::kBool:
+      return false;
+    case TypeId::kNull:
+      return false;
+  }
+  return false;
+}
+
+void AuditMapping(const AuditInput& input, std::vector<Diagnostic>* out) {
+  const TableMapping* m = input.mapping;
+  if (m == nullptr || m->sources.empty()) {
+    Report(out, Severity::kError, kRuleOrphanSource, Loc(input),
+           "mapping has no physical sources");
+    return;
+  }
+
+  // --- L001: every logical column mapped ------------------------------
+  for (const auto& [name, type] : input.logical_columns) {
+    (void)type;
+    if (m->columns.find(IdentLower(name)) == m->columns.end()) {
+      Report(out, Severity::kError, kRuleUnmappedColumn, Loc(input),
+             "logical column '" + name +
+                 "' has no physical slot (lost during folding)");
+    }
+  }
+
+  // --- L011 + L002: slot routing is injective -------------------------
+  std::map<std::pair<size_t, std::string>, std::vector<std::string>> slots;
+  for (const auto& [name, target] : m->columns) {
+    if (target.source >= m->sources.size()) {
+      Report(out, Severity::kError, kRuleBadSourceIndex, Loc(input),
+             "column '" + name + "' routed to source " +
+                 std::to_string(target.source) + " of " +
+                 std::to_string(m->sources.size()));
+      continue;
+    }
+    slots[{target.source, IdentLower(target.physical_column)}].push_back(name);
+  }
+  for (const auto& [slot, names] : slots) {
+    if (names.size() > 1) {
+      std::string joined;
+      for (const std::string& n : names) {
+        if (!joined.empty()) joined += ", ";
+        joined += "'" + n + "'";
+      }
+      Report(out, Severity::kError, kRuleSlotCollision,
+             SourceLoc(input, slot.first),
+             "logical columns " + joined + " share physical slot '" +
+                 slot.second + "'");
+    }
+  }
+
+  // --- L003: column_order is a permutation of the mapped columns ------
+  {
+    std::set<std::string> seen;
+    for (const std::string& name : m->column_order) {
+      std::string lower = IdentLower(name);
+      if (!seen.insert(lower).second) {
+        Report(out, Severity::kError, kRuleColumnOrderMismatch, Loc(input),
+               "column '" + name + "' appears twice in column_order");
+      }
+      if (m->columns.find(lower) == m->columns.end()) {
+        Report(out, Severity::kError, kRuleColumnOrderMismatch, Loc(input),
+               "column_order entry '" + name + "' is not a mapped column");
+      }
+    }
+    for (const auto& [name, target] : m->columns) {
+      (void)target;
+      if (seen.find(name) == seen.end()) {
+        Report(out, Severity::kError, kRuleColumnOrderMismatch, Loc(input),
+               "mapped column '" + name + "' missing from column_order");
+      }
+    }
+  }
+
+  // --- L004: slot types width-compatible with the logical types -------
+  for (const auto& [name, type] : input.logical_columns) {
+    auto it = m->columns.find(IdentLower(name));
+    if (it == m->columns.end()) continue;  // L001 already fired
+    const ColumnTarget& target = it->second;
+    if (target.logical_type != type) {
+      Report(out, Severity::kError, kRuleTypeNarrowing, Loc(input),
+             "column '" + name + "' declares logical type " +
+                 TypeName(target.logical_type) + " but the schema says " +
+                 TypeName(type));
+    }
+    if (!SlotWidthCompatible(type, target.physical_type)) {
+      Report(out, Severity::kError, kRuleTypeNarrowing, Loc(input),
+             "column '" + name + "' of type " + TypeName(type) +
+                 " stored in narrower physical slot of type " +
+                 TypeName(target.physical_type));
+    }
+  }
+
+  // --- per-source rules ------------------------------------------------
+  std::set<size_t> routed;
+  for (const auto& [name, target] : m->columns) {
+    (void)name;
+    if (target.source < m->sources.size()) routed.insert(target.source);
+  }
+  const bool multi_source = m->sources.size() > 1;
+  std::map<std::string, size_t> identities;
+  for (size_t i = 0; i < m->sources.size(); ++i) {
+    const PhysicalSource& source = m->sources[i];
+
+    // L005: orphan chunk — no logical column lives here.
+    if (routed.find(i) == routed.end()) {
+      Report(out, Severity::kError, kRuleOrphanSource, SourceLoc(input, i),
+             "no logical column is routed to this source (orphan chunk)");
+    }
+
+    // L012: duplicate partition identity double-counts rows in joins.
+    auto [it, inserted] = identities.emplace(SourceIdentity(source), i);
+    if (!inserted) {
+      Report(out, Severity::kError, kRuleDuplicateSource, SourceLoc(input, i),
+             "identical physical table and partition as source " +
+                 std::to_string(it->second));
+    }
+
+    // L008: row keys must be total once reconstruction joins exist.
+    if (multi_source && source.row_column.empty()) {
+      Report(out, Severity::kError, kRulePartialRowKey, SourceLoc(input, i),
+             "multi-source mapping but this source has no row column; "
+             "aligning joins cannot reconstruct rows");
+    }
+
+    if (input.catalog == nullptr) continue;
+
+    // L006: the physical table must exist.
+    const TableInfo* phys = input.catalog->GetTable(source.physical_table);
+    if (phys == nullptr) {
+      Report(out, Severity::kError, kRuleDanglingTable, SourceLoc(input, i),
+             "physical table '" + source.physical_table +
+                 "' does not exist in the catalog");
+      continue;
+    }
+
+    // L009: a shared physical table (one carrying a tenant meta-data
+    // column) must be confined to this tenant by its partition.
+    if (phys->schema.Find("tenant").has_value()) {
+      bool scoped = false;
+      for (const auto& [col, val] : source.partition) {
+        if (!IdentEquals(col, "tenant")) continue;
+        if (val == Value::Int64(input.tenant)) {
+          scoped = true;
+        } else {
+          Report(out, Severity::kError, kRuleSharedTableUnscoped,
+                 SourceLoc(input, i),
+                 "tenant partition value " + val.ToString() +
+                     " does not match tenant " +
+                     std::to_string(input.tenant));
+          scoped = true;  // mis-scoped, but not additionally unscoped
+        }
+      }
+      if (!scoped) {
+        Report(out, Severity::kError, kRuleSharedTableUnscoped,
+               SourceLoc(input, i),
+               "shared table '" + source.physical_table +
+                   "' has no tenant partition conjunct");
+      }
+    }
+
+    // L007 + L010: partition columns exist and literals fit them.
+    for (const auto& [col, val] : source.partition) {
+      auto pos = phys->schema.Find(col);
+      if (!pos.has_value()) {
+        Report(out, Severity::kError, kRuleMissingPhysicalColumn,
+               SourceLoc(input, i),
+               "partition column '" + col + "' missing from '" +
+                   source.physical_table + "'");
+        continue;
+      }
+      TypeId phys_type = phys->schema.at(*pos).type;
+      if (!val.is_null() && !SlotWidthCompatible(val.type(), phys_type)) {
+        Report(out, Severity::kError, kRulePartitionTypeMismatch,
+               SourceLoc(input, i),
+               "partition literal for '" + col + "' has type " +
+                   TypeName(val.type()) + ", column is " +
+                   TypeName(phys_type));
+      }
+    }
+
+    // L007: the row column exists.
+    if (!source.row_column.empty() &&
+        !phys->schema.Find(source.row_column).has_value()) {
+      Report(out, Severity::kError, kRuleMissingPhysicalColumn,
+             SourceLoc(input, i),
+             "row column '" + source.row_column + "' missing from '" +
+                 source.physical_table + "'");
+    }
+
+    // L007: every routed data column exists with the declared type.
+    for (const auto& [name, target] : m->columns) {
+      if (target.source != i) continue;
+      auto pos = phys->schema.Find(target.physical_column);
+      if (!pos.has_value()) {
+        Report(out, Severity::kError, kRuleMissingPhysicalColumn,
+               SourceLoc(input, i),
+               "physical column '" + target.physical_column +
+                   "' for logical '" + name + "' missing from '" +
+                   source.physical_table + "'");
+        continue;
+      }
+      TypeId actual = phys->schema.at(*pos).type;
+      if (actual != target.physical_type) {
+        Report(out, Severity::kError, kRuleMissingPhysicalColumn,
+               SourceLoc(input, i),
+               "physical column '" + target.physical_column +
+                   "' declared as " + TypeName(target.physical_type) +
+                   " but the catalog says " + TypeName(actual));
+      }
+    }
+  }
+}
+
+Result<std::vector<Diagnostic>> AuditLayout(mapping::SchemaMapping* layout) {
+  std::vector<Diagnostic> out;
+  const mapping::AppSchema* app = layout->app();
+  for (TenantId tenant : layout->TenantIds()) {
+    for (const mapping::LogicalTable& table : app->tables()) {
+      AuditInput input;
+      input.tenant = tenant;
+      input.table = table.name;
+      input.catalog = layout->db()->catalog();
+
+      auto columns = layout->LogicalColumns(tenant, table.name);
+      if (!columns.ok()) {
+        out.push_back(Diagnostic{Severity::kError, kRuleProbeFailed,
+                                 Loc(input),
+                                 "LogicalColumns failed: " +
+                                     columns.status().ToString()});
+        continue;
+      }
+      input.logical_columns = std::move(columns).value();
+
+      auto mapping = layout->Mapping(tenant, table.name);
+      if (!mapping.ok()) {
+        out.push_back(Diagnostic{Severity::kError, kRuleProbeFailed,
+                                 Loc(input),
+                                 "Mapping failed: " +
+                                     mapping.status().ToString()});
+        continue;
+      }
+      input.mapping = *mapping;
+      AuditMapping(input, &out);
+    }
+  }
+  return out;
+}
+
+}  // namespace analysis
+}  // namespace mtdb

@@ -1,0 +1,51 @@
+#ifndef MTDB_ANALYSIS_LAYOUT_AUDITOR_H_
+#define MTDB_ANALYSIS_LAYOUT_AUDITOR_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "core/layout.h"
+#include "core/table_mapping.h"
+
+namespace mtdb {
+namespace analysis {
+
+/// True when a physical slot of type `physical` can hold every value of
+/// a logical column of type `logical` without loss (the width lattice of
+/// the paper's generic structures: VARCHAR holds anything via casts,
+/// BIGINT holds the int-like types, DOUBLE holds the 32-bit numerics).
+bool SlotWidthCompatible(TypeId logical, TypeId physical);
+
+/// Everything the auditor needs to check one (tenant, logical table)
+/// mapping. Decoupled from SchemaMapping so tests can feed deliberately
+/// corrupted mappings.
+struct AuditInput {
+  TenantId tenant = 0;
+  std::string table;
+  /// The tenant's effective logical columns, in declaration order.
+  std::vector<std::pair<std::string, TypeId>> logical_columns;
+  const mapping::TableMapping* mapping = nullptr;
+  /// Physical catalog; when null, physical-existence rules are skipped.
+  const Catalog* catalog = nullptr;
+};
+
+/// Statically audits one TableMapping against the layout invariants of
+/// §3–§6: every logical column mapped to exactly one physical slot
+/// (L001/L002/L003), slot types width-compatible (L004), no orphan
+/// chunks or dangling tables (L005/L006/L012), physical columns present
+/// (L007), per-tenant row keys total (L008), shared tables confined by
+/// a tenant meta-data conjunct (L009), and partition literals typed to
+/// their meta-data columns (L010). Appends findings to `out`.
+void AuditMapping(const AuditInput& input, std::vector<Diagnostic>* out);
+
+/// Audits every (registered tenant × logical table) of a live layout.
+Result<std::vector<Diagnostic>> AuditLayout(mapping::SchemaMapping* layout);
+
+}  // namespace analysis
+}  // namespace mtdb
+
+#endif  // MTDB_ANALYSIS_LAYOUT_AUDITOR_H_

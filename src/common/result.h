@@ -10,9 +10,10 @@
 namespace mtdb {
 
 /// Value-or-error holder, modeled after arrow::Result. A Result is either
-/// OK and holds a T, or holds a non-OK Status.
+/// OK and holds a T, or holds a non-OK Status. [[nodiscard]] so silently
+/// dropped errors fail the build.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // NOLINTNEXTLINE(google-explicit-constructor): mirrors arrow::Result.
   Result(T value) : value_(std::move(value)) {}

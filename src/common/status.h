@@ -23,7 +23,8 @@ enum class StatusCode {
 
 /// Arrow/RocksDB-style status object. The engine does not use exceptions;
 /// every fallible operation returns a Status (or Result<T>, see result.h).
-class Status {
+/// [[nodiscard]] so silently dropped errors fail the build.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)

@@ -32,6 +32,16 @@ std::string DateToString(int32_t days) {
   return buf;
 }
 
+int32_t DaysFromCivil(int64_t y, int64_t m, int64_t d) {
+  // Inverse of DateToString's civil-from-days (Howard Hinnant).
+  y -= m <= 2;
+  int64_t era = (y >= 0 ? y : y - 399) / 400;
+  int64_t yoe = y - era * 400;
+  int64_t doy = (153 * (m > 2 ? m - 3 : m + 9) + 2) / 5 + d - 1;
+  int64_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return static_cast<int32_t>(era * 146097 + doe - 719468);
+}
+
 }  // namespace
 
 std::string Value::ToString() const {
@@ -77,6 +87,12 @@ Result<Value> Value::CastTo(TypeId target) const {
   switch (target) {
     case TypeId::kBool:
       if (IsNumeric(type_)) return Value::Bool(AsDouble() != 0.0);
+      if (type_ == TypeId::kString) {
+        // Inverse of ToString's "true"/"false"; digits also accepted.
+        const std::string& s = AsString();
+        if (s == "true" || s == "1") return Value::Bool(true);
+        if (s == "false" || s == "0") return Value::Bool(false);
+      }
       break;
     case TypeId::kInt32:
       if (IsNumeric(type_)) return Value::Int32(static_cast<int32_t>(
@@ -102,6 +118,20 @@ Result<Value> Value::CastTo(TypeId target) const {
       break;
     case TypeId::kDate:
       if (IsNumeric(type_)) return Value::Date(static_cast<int32_t>(AsInt64()));
+      if (type_ == TypeId::kString) {
+        // The generic VARCHAR slots store dates in ToString's
+        // "YYYY-MM-DD" form; a bare integer is taken as a day count.
+        int y = 0, m = 0, d = 0;
+        if (std::sscanf(AsString().c_str(), "%d-%d-%d", &y, &m, &d) == 3 &&
+            m >= 1 && m <= 12 && d >= 1 && d <= 31) {
+          return Value::Date(DaysFromCivil(y, m, d));
+        }
+        char* end = nullptr;
+        long long days = std::strtoll(AsString().c_str(), &end, 10);
+        if (end != AsString().c_str() && *end == '\0') {
+          return Value::Date(static_cast<int32_t>(days));
+        }
+      }
       break;
     case TypeId::kString:
       return Value::String(ToString());

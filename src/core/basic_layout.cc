@@ -80,6 +80,7 @@ Result<int64_t> BasicLayout::GenericUpdate(TenantId tenant,
       TenantConjunct(tenant),
       stmt.where == nullptr ? nullptr : stmt.where->Clone());
   stats_.physical_statements++;
+  NotifyStatement(tenant, phys);
   return db_->ExecuteAst(phys, params);
 }
 
@@ -94,6 +95,7 @@ Result<int64_t> BasicLayout::GenericDelete(TenantId tenant,
       TenantConjunct(tenant),
       stmt.where == nullptr ? nullptr : stmt.where->Clone());
   stats_.physical_statements++;
+  NotifyStatement(tenant, phys);
   return db_->ExecuteAst(phys, params);
 }
 

@@ -84,7 +84,7 @@ Result<std::string> ChunkTableLayout::EnsureVerticalTable(
   std::string physical = "vp_" + IdentLower(table) + "_" +
                          SchemaSignature(eff) + "_c" +
                          std::to_string(chunk.chunk_id);
-  if (provisioned_.count(physical) != 0) return physical;
+  if (provisioned_.contains(physical)) return physical;
 
   Schema schema;
   schema.AddColumn(Column{"tenant", TypeId::kInt32, true});

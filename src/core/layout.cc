@@ -93,7 +93,7 @@ SchemaMapping::SchemaMapping(Database* db, const AppSchema* app)
 
 Status SchemaMapping::CreateTenant(TenantId tenant) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
-  if (tenants_.count(tenant) != 0) {
+  if (tenants_.contains(tenant)) {
     return Status::AlreadyExists("tenant exists: " + std::to_string(tenant));
   }
   TenantEntry entry;
@@ -261,6 +261,15 @@ Result<const TableMapping*> SchemaMapping::Mapping(TenantId tenant,
 
 void SchemaMapping::InvalidateMappings() { mapping_cache_.clear(); }
 
+void SchemaMapping::NotifySelect(TenantId tenant, const sql::SelectStmt& stmt) {
+  if (observer_ != nullptr) observer_->OnSelect(tenant, stmt);
+}
+
+void SchemaMapping::NotifyStatement(TenantId tenant,
+                                    const sql::Statement& stmt) {
+  if (observer_ != nullptr) observer_->OnStatement(tenant, stmt);
+}
+
 int32_t SchemaMapping::TableNumber(TenantId tenant, const std::string& table) {
   auto key = std::make_pair(tenant, IdentLower(table));
   auto it = table_numbers_.find(key);
@@ -279,6 +288,7 @@ Result<QueryResult> SchemaMapping::Query(TenantId tenant,
   MTDB_ASSIGN_OR_RETURN(auto physical,
                         transformer.TransformSelect(tenant, *stmt));
   stats_.queries_transformed++;
+  NotifySelect(tenant, *physical);
   return db_->QueryAst(*physical, params);
 }
 
@@ -455,6 +465,7 @@ Result<std::vector<SchemaMapping::AffectedRow>> SchemaMapping::CollectAffected(
   }
   if (where != nullptr) outer.where = where->Clone();
 
+  NotifySelect(tenant, outer);
   MTDB_ASSIGN_OR_RETURN(QueryResult result, db_->QueryAst(outer, params));
   std::vector<AffectedRow> out;
   out.reserve(result.rows.size());
@@ -564,6 +575,7 @@ Result<int64_t> SchemaMapping::GenericUpdate(TenantId tenant,
           phys.update->assignments.emplace_back(col, sql::MakeLiteral(val));
         }
         phys.update->where = RowBatchPredicate(source, rows, begin, end);
+        NotifyStatement(tenant, phys);
         MTDB_ASSIGN_OR_RETURN(int64_t n, db_->ExecuteAst(phys, {}));
         (void)n;
         stats_.physical_statements++;
@@ -610,6 +622,7 @@ Result<int64_t> SchemaMapping::GenericUpdate(TenantId tenant,
                             sql::MakeLiteral(Value::Int64(row.row_id))));
       }
       phys.update->where = std::move(where);
+      NotifyStatement(tenant, phys);
       MTDB_ASSIGN_OR_RETURN(int64_t n, db_->ExecuteAst(phys, {}));
       (void)n;
       stats_.physical_statements++;
@@ -648,6 +661,7 @@ Result<int64_t> SchemaMapping::GenericDelete(TenantId tenant,
           phys.del->table = source.physical_table;
           phys.del->where = RowBatchPredicate(source, rows, begin, end);
         }
+        NotifyStatement(tenant, phys);
         MTDB_ASSIGN_OR_RETURN(int64_t n, db_->ExecuteAst(phys, {}));
         (void)n;
         stats_.physical_statements++;
@@ -689,6 +703,7 @@ Result<int64_t> SchemaMapping::GenericDelete(TenantId tenant,
         phys.del->table = source.physical_table;
         phys.del->where = std::move(where);
       }
+      NotifyStatement(tenant, phys);
       MTDB_ASSIGN_OR_RETURN(int64_t n, db_->ExecuteAst(phys, {}));
       (void)n;
       stats_.physical_statements++;
@@ -728,6 +743,7 @@ Result<int64_t> SchemaMapping::RestoreDeleted(TenantId tenant,
                           sql::MakeLiteral(p.second)));
     }
     phys.update->where = std::move(where);
+    NotifyStatement(tenant, phys);
     MTDB_ASSIGN_OR_RETURN(int64_t n, db_->ExecuteAst(phys, {}));
     restored += n;
     stats_.physical_statements++;

@@ -34,6 +34,24 @@ struct LayoutStats {
   uint64_t ddl_statements = 0;
 };
 
+/// Observes every physical statement the mapping layer emits against the
+/// underlying Database: the transformed SELECTs (§6.1), the Phase (a)
+/// reconstruction queries and the Phase (b) DML statements (§6.3).
+/// Installed by the static mapping verifier (src/analysis) to capture or
+/// replay emitted ASTs. Callbacks run synchronously while the layer lock
+/// is held; observers must not call back into the layout and should copy
+/// (sql::CloneStatement / SelectStmt::Clone) anything they keep.
+class PhysicalStatementObserver {
+ public:
+  virtual ~PhysicalStatementObserver() = default;
+
+  /// A physical SELECT about to be executed for `tenant`.
+  virtual void OnSelect(TenantId tenant, const sql::SelectStmt& stmt) = 0;
+
+  /// A physical non-SELECT statement about to be executed for `tenant`.
+  virtual void OnStatement(TenantId tenant, const sql::Statement& stmt) = 0;
+};
+
 /// A schema-mapping technique: maps the tenants' single-tenant logical
 /// schemas onto one multi-tenant physical schema (§3) and rewrites
 /// queries/DML accordingly. Concrete subclasses implement the layouts of
@@ -96,6 +114,13 @@ class SchemaMapping : public MappingResolver {
 
   DmlMode dml_mode() const { return dml_mode_; }
   void set_dml_mode(DmlMode mode) { dml_mode_ = mode; }
+
+  /// Installs (or clears, with nullptr) the physical-statement observer.
+  /// Not owned; the observer must outlive the layout or be cleared first.
+  void set_statement_observer(PhysicalStatementObserver* observer) {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    observer_ = observer;
+  }
 
   /// §6.3: "we transform delete operations into updates that mark the
   /// tuples as invisible ... in order to provide mechanisms like a
@@ -164,6 +189,11 @@ class SchemaMapping : public MappingResolver {
   /// Invalidates all cached TableMappings (call after DDL).
   void InvalidateMappings();
 
+  /// Forwards an emitted physical statement to the observer, if any.
+  /// Layouts must call these immediately before handing an AST to db_.
+  void NotifySelect(TenantId tenant, const sql::SelectStmt& stmt);
+  void NotifyStatement(TenantId tenant, const sql::Statement& stmt);
+
   /// Sequential "Table" meta-data identifier for (tenant, logical table),
   /// as in the Table column of Figure 4(c)–(f).
   int32_t TableNumber(TenantId tenant, const std::string& table);
@@ -178,6 +208,8 @@ class SchemaMapping : public MappingResolver {
   LayoutStats stats_;
   HeatProfile heat_;
   DmlMode dml_mode_ = DmlMode::kPerRow;
+  /// Physical-statement capture hook (see PhysicalStatementObserver).
+  PhysicalStatementObserver* observer_ = nullptr;
   /// Set by layouts that provision `del` visibility columns.
   bool trashcan_deletes_ = false;
   std::map<TenantId, TenantEntry> tenants_;

@@ -125,6 +125,7 @@ Result<int64_t> PrivateTableLayout::GenericUpdate(
   }
   if (stmt.where != nullptr) phys.update->where = stmt.where->Clone();
   stats_.physical_statements++;
+  NotifyStatement(tenant, phys);
   return db_->ExecuteAst(phys, params);
 }
 
@@ -137,6 +138,7 @@ Result<int64_t> PrivateTableLayout::GenericDelete(
   phys.del->table = PhysicalName(tenant, stmt.table);
   if (stmt.where != nullptr) phys.del->where = stmt.where->Clone();
   stats_.physical_statements++;
+  NotifyStatement(tenant, phys);
   return db_->ExecuteAst(phys, params);
 }
 

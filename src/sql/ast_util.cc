@@ -1,0 +1,135 @@
+#include "sql/ast_util.h"
+
+namespace mtdb {
+namespace sql {
+
+std::unique_ptr<InsertStmt> CloneInsert(const InsertStmt& stmt) {
+  auto out = std::make_unique<InsertStmt>();
+  out->table = stmt.table;
+  out->columns = stmt.columns;
+  out->rows.reserve(stmt.rows.size());
+  for (const auto& row : stmt.rows) {
+    std::vector<ParsedExprPtr> cloned;
+    cloned.reserve(row.size());
+    for (const auto& e : row) cloned.push_back(e->Clone());
+    out->rows.push_back(std::move(cloned));
+  }
+  return out;
+}
+
+std::unique_ptr<UpdateStmt> CloneUpdate(const UpdateStmt& stmt) {
+  auto out = std::make_unique<UpdateStmt>();
+  out->table = stmt.table;
+  for (const auto& [col, expr] : stmt.assignments) {
+    out->assignments.emplace_back(col, expr->Clone());
+  }
+  if (stmt.where != nullptr) out->where = stmt.where->Clone();
+  return out;
+}
+
+std::unique_ptr<DeleteStmt> CloneDelete(const DeleteStmt& stmt) {
+  auto out = std::make_unique<DeleteStmt>();
+  out->table = stmt.table;
+  if (stmt.where != nullptr) out->where = stmt.where->Clone();
+  return out;
+}
+
+Statement CloneStatement(const Statement& stmt) {
+  Statement out;
+  out.kind = stmt.kind;
+  switch (stmt.kind) {
+    case StatementKind::kSelect:
+      out.select = stmt.select->Clone();
+      break;
+    case StatementKind::kInsert:
+      out.insert = CloneInsert(*stmt.insert);
+      break;
+    case StatementKind::kUpdate:
+      out.update = CloneUpdate(*stmt.update);
+      break;
+    case StatementKind::kDelete:
+      out.del = CloneDelete(*stmt.del);
+      break;
+    case StatementKind::kCreateTable:
+      out.create_table = std::make_unique<CreateTableStmt>(*stmt.create_table);
+      break;
+    case StatementKind::kCreateIndex:
+      out.create_index = std::make_unique<CreateIndexStmt>(*stmt.create_index);
+      break;
+    case StatementKind::kDropTable:
+      out.drop_table = std::make_unique<DropTableStmt>(*stmt.drop_table);
+      break;
+    case StatementKind::kDropIndex:
+      out.drop_index = std::make_unique<DropIndexStmt>(*stmt.drop_index);
+      break;
+  }
+  return out;
+}
+
+void ForEachSelectScope(const SelectStmt& stmt,
+                        const std::function<void(const SelectStmt&)>& fn) {
+  fn(stmt);
+  for (const TableRef& ref : stmt.from) {
+    if (ref.is_subquery()) ForEachSelectScope(*ref.subquery, fn);
+  }
+}
+
+void CollectConjuncts(const ParsedExpr* e,
+                      std::vector<const ParsedExpr*>* out) {
+  if (e == nullptr) return;
+  if (e->kind == PExprKind::kBinary && e->binary_op == BinaryOp::kAnd) {
+    CollectConjuncts(e->left.get(), out);
+    CollectConjuncts(e->right.get(), out);
+    return;
+  }
+  out->push_back(e);
+}
+
+void ForEachExprNode(const ParsedExpr& e,
+                     const std::function<void(const ParsedExpr&)>& fn) {
+  fn(e);
+  if (e.left != nullptr) ForEachExprNode(*e.left, fn);
+  if (e.right != nullptr) ForEachExprNode(*e.right, fn);
+  for (const auto& a : e.args) ForEachExprNode(*a, fn);
+}
+
+void ForEachScopeExpr(const SelectStmt& scope,
+                      const std::function<void(const ParsedExpr&)>& fn) {
+  for (const SelectItem& item : scope.items) {
+    if (item.expr != nullptr) ForEachExprNode(*item.expr, fn);
+  }
+  if (scope.where != nullptr) ForEachExprNode(*scope.where, fn);
+  for (const auto& g : scope.group_by) ForEachExprNode(*g, fn);
+  if (scope.having != nullptr) ForEachExprNode(*scope.having, fn);
+  for (const OrderItem& o : scope.order_by) ForEachExprNode(*o.expr, fn);
+}
+
+ColumnEqualsLiteral MatchColumnEqualsLiteral(const ParsedExpr& e) {
+  ColumnEqualsLiteral out;
+  if (e.kind != PExprKind::kBinary || e.binary_op != BinaryOp::kEq) return out;
+  const ParsedExpr* l = e.left.get();
+  const ParsedExpr* r = e.right.get();
+  if (l->kind == PExprKind::kColumnRef && r->kind == PExprKind::kLiteral) {
+    out.column = l;
+    out.literal = r;
+  } else if (r->kind == PExprKind::kColumnRef &&
+             l->kind == PExprKind::kLiteral) {
+    out.column = r;
+    out.literal = l;
+  }
+  return out;
+}
+
+ColumnEqualsColumn MatchColumnEqualsColumn(const ParsedExpr& e) {
+  ColumnEqualsColumn out;
+  if (e.kind != PExprKind::kBinary || e.binary_op != BinaryOp::kEq) return out;
+  if (e.left->kind == PExprKind::kColumnRef &&
+      e.right->kind == PExprKind::kColumnRef) {
+    out.left = e.left.get();
+    out.right = e.right.get();
+  }
+  return out;
+}
+
+}  // namespace sql
+}  // namespace mtdb

@@ -1,0 +1,60 @@
+#ifndef MTDB_SQL_AST_UTIL_H_
+#define MTDB_SQL_AST_UTIL_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sql/ast.h"
+
+namespace mtdb {
+namespace sql {
+
+// Statement cloning (SelectStmt::Clone lives on the struct itself). The
+// mapping verifier captures emitted physical statements for later
+// analysis and needs deep copies of every DML node.
+std::unique_ptr<InsertStmt> CloneInsert(const InsertStmt& stmt);
+std::unique_ptr<UpdateStmt> CloneUpdate(const UpdateStmt& stmt);
+std::unique_ptr<DeleteStmt> CloneDelete(const DeleteStmt& stmt);
+
+/// Deep-copies a parsed statement of any kind (DDL included).
+Statement CloneStatement(const Statement& stmt);
+
+/// Visits every SELECT scope of `stmt` depth-first: the statement itself
+/// plus every derived table in any FROM list, recursively.
+void ForEachSelectScope(const SelectStmt& stmt,
+                        const std::function<void(const SelectStmt&)>& fn);
+
+/// Appends the top-level AND-ed conjuncts of `e` to `out` without
+/// cloning (unlike SplitParsedConjuncts). A null expression yields none.
+void CollectConjuncts(const ParsedExpr* e,
+                      std::vector<const ParsedExpr*>* out);
+
+/// Visits every expression node of the tree rooted at `e` (pre-order).
+void ForEachExprNode(const ParsedExpr& e,
+                     const std::function<void(const ParsedExpr&)>& fn);
+
+/// Visits every expression owned directly by one SELECT scope (select
+/// items, WHERE, GROUP BY, HAVING, ORDER BY) — derived tables excluded.
+void ForEachScopeExpr(const SelectStmt& scope,
+                      const std::function<void(const ParsedExpr&)>& fn);
+
+/// If `e` is `<column> = <literal>` (either operand order), returns the
+/// column-ref and literal operands; otherwise nulls.
+struct ColumnEqualsLiteral {
+  const ParsedExpr* column = nullptr;
+  const ParsedExpr* literal = nullptr;
+};
+ColumnEqualsLiteral MatchColumnEqualsLiteral(const ParsedExpr& e);
+
+/// If `e` is `<column a> = <column b>`, returns both refs; else nulls.
+struct ColumnEqualsColumn {
+  const ParsedExpr* left = nullptr;
+  const ParsedExpr* right = nullptr;
+};
+ColumnEqualsColumn MatchColumnEqualsColumn(const ParsedExpr& e);
+
+}  // namespace sql
+}  // namespace mtdb
+
+#endif  // MTDB_SQL_AST_UTIL_H_

@@ -45,7 +45,7 @@ Result<std::vector<Token>> Tokenize(const std::string& input) {
       std::string upper(word);
       for (char& ch : upper) ch = static_cast<char>(std::toupper(
           static_cast<unsigned char>(ch)));
-      if (Keywords().count(upper) != 0) {
+      if (Keywords().contains(upper)) {
         out.push_back({TokenKind::kKeyword, upper, start});
       } else {
         out.push_back({TokenKind::kIdent, word, start});

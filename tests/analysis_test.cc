@@ -1,0 +1,442 @@
+// Tests for the static mapping verifier (src/analysis): deliberately
+// corrupted mappings must fire their rules, deliberately unsafe physical
+// statements must fail the isolation lint, and every stock layout must
+// verify clean end-to-end.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/isolation_linter.h"
+#include "analysis/layout_auditor.h"
+#include "analysis/verifier.h"
+#include "engine/database.h"
+#include "mapping_test_util.h"
+#include "sql/parser.h"
+
+namespace mtdb {
+namespace analysis {
+namespace {
+
+using mapping::ColumnTarget;
+using mapping::PhysicalSource;
+using mapping::TableMapping;
+
+bool HasRule(const std::vector<Diagnostic>& diagnostics, const char* rule) {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.rule_id == rule) return true;
+  }
+  return false;
+}
+
+std::string RulesOf(const std::vector<Diagnostic>& diagnostics) {
+  return FormatDiagnostics(diagnostics);
+}
+
+// ---------------------------------------------------------------- audit
+
+/// A database with the physical tables the hand-built mappings target.
+std::unique_ptr<Database> MakePhysicalDb() {
+  auto db = std::make_unique<Database>();
+  EXPECT_TRUE(db->Execute("CREATE TABLE phys (tenant BIGINT, row BIGINT, "
+                          "c1 VARCHAR(32), c2 VARCHAR(32))")
+                  .ok());
+  EXPECT_TRUE(db->Execute("CREATE TABLE phys2 (tenant BIGINT, row BIGINT, "
+                          "c1 VARCHAR(32))")
+                  .ok());
+  EXPECT_TRUE(db->Execute("CREATE TABLE narrow (tenant BIGINT, row BIGINT, "
+                          "c1 INT)")
+                  .ok());
+  return db;
+}
+
+/// A consistent single-source mapping of (aid BIGINT, name VARCHAR)
+/// onto phys(c1, c2) for tenant 7.
+TableMapping CleanMapping() {
+  TableMapping m;
+  PhysicalSource src;
+  src.physical_table = "phys";
+  src.partition = {{"tenant", Value::Int64(7)}};
+  src.row_column = "row";
+  m.sources.push_back(std::move(src));
+  m.columns["aid"] = ColumnTarget{0, "c1", TypeId::kString, TypeId::kInt64};
+  m.columns["name"] = ColumnTarget{0, "c2", TypeId::kString, TypeId::kString};
+  m.column_order = {"aid", "name"};
+  return m;
+}
+
+AuditInput CleanInput(const TableMapping* m, const Catalog* catalog) {
+  AuditInput input;
+  input.tenant = 7;
+  input.table = "account";
+  input.logical_columns = {{"aid", TypeId::kInt64},
+                           {"name", TypeId::kString}};
+  input.mapping = m;
+  input.catalog = catalog;
+  return input;
+}
+
+TEST(SlotWidthCompatibleTest, Lattice) {
+  // VARCHAR holds anything (the paper's generic cast columns).
+  EXPECT_TRUE(SlotWidthCompatible(TypeId::kInt64, TypeId::kString));
+  EXPECT_TRUE(SlotWidthCompatible(TypeId::kDate, TypeId::kString));
+  // BIGINT holds the int-like types.
+  EXPECT_TRUE(SlotWidthCompatible(TypeId::kInt32, TypeId::kInt64));
+  EXPECT_TRUE(SlotWidthCompatible(TypeId::kBool, TypeId::kInt64));
+  // Narrowing is rejected.
+  EXPECT_FALSE(SlotWidthCompatible(TypeId::kInt64, TypeId::kInt32));
+  EXPECT_FALSE(SlotWidthCompatible(TypeId::kString, TypeId::kInt64));
+  // DOUBLE cannot hold BIGINT exactly (53-bit mantissa).
+  EXPECT_FALSE(SlotWidthCompatible(TypeId::kInt64, TypeId::kDouble));
+  EXPECT_TRUE(SlotWidthCompatible(TypeId::kInt32, TypeId::kDouble));
+}
+
+TEST(LayoutAuditorTest, CleanMappingPasses) {
+  auto db = MakePhysicalDb();
+  TableMapping m = CleanMapping();
+  std::vector<Diagnostic> out;
+  AuditMapping(CleanInput(&m, db->catalog()), &out);
+  EXPECT_TRUE(out.empty()) << RulesOf(out);
+}
+
+TEST(LayoutAuditorTest, FiresUnmappedColumn) {
+  auto db = MakePhysicalDb();
+  TableMapping m = CleanMapping();
+  m.columns.erase("name");  // lost during folding
+  m.column_order = {"aid"};
+  std::vector<Diagnostic> out;
+  AuditMapping(CleanInput(&m, db->catalog()), &out);
+  EXPECT_TRUE(HasRule(out, kRuleUnmappedColumn)) << RulesOf(out);
+}
+
+TEST(LayoutAuditorTest, FiresSlotCollision) {
+  auto db = MakePhysicalDb();
+  TableMapping m = CleanMapping();
+  // Both logical columns squeezed into the same physical slot.
+  m.columns["name"] = ColumnTarget{0, "c1", TypeId::kString, TypeId::kString};
+  std::vector<Diagnostic> out;
+  AuditMapping(CleanInput(&m, db->catalog()), &out);
+  EXPECT_TRUE(HasRule(out, kRuleSlotCollision)) << RulesOf(out);
+}
+
+TEST(LayoutAuditorTest, FiresColumnOrderMismatch) {
+  auto db = MakePhysicalDb();
+  TableMapping m = CleanMapping();
+  m.column_order = {"aid"};  // name missing from the order
+  std::vector<Diagnostic> out;
+  AuditMapping(CleanInput(&m, db->catalog()), &out);
+  EXPECT_TRUE(HasRule(out, kRuleColumnOrderMismatch)) << RulesOf(out);
+}
+
+TEST(LayoutAuditorTest, FiresTypeNarrowingChunkSlot) {
+  auto db = MakePhysicalDb();
+  TableMapping m;
+  PhysicalSource src;
+  src.physical_table = "narrow";
+  src.partition = {{"tenant", Value::Int64(7)}};
+  src.row_column = "row";
+  m.sources.push_back(std::move(src));
+  // BIGINT logical column routed into an INT physical slot.
+  m.columns["aid"] = ColumnTarget{0, "c1", TypeId::kInt32, TypeId::kInt64};
+  m.column_order = {"aid"};
+
+  AuditInput input;
+  input.tenant = 7;
+  input.table = "account";
+  input.logical_columns = {{"aid", TypeId::kInt64}};
+  input.mapping = &m;
+  input.catalog = db->catalog();
+  std::vector<Diagnostic> out;
+  AuditMapping(input, &out);
+  EXPECT_TRUE(HasRule(out, kRuleTypeNarrowing)) << RulesOf(out);
+}
+
+TEST(LayoutAuditorTest, FiresOrphanSource) {
+  auto db = MakePhysicalDb();
+  TableMapping m = CleanMapping();
+  PhysicalSource orphan;
+  orphan.physical_table = "phys2";
+  orphan.partition = {{"tenant", Value::Int64(7)}};
+  orphan.row_column = "row";
+  m.sources.push_back(std::move(orphan));  // no column routed here
+  std::vector<Diagnostic> out;
+  AuditMapping(CleanInput(&m, db->catalog()), &out);
+  EXPECT_TRUE(HasRule(out, kRuleOrphanSource)) << RulesOf(out);
+}
+
+TEST(LayoutAuditorTest, FiresDanglingTable) {
+  auto db = MakePhysicalDb();
+  TableMapping m = CleanMapping();
+  m.sources[0].physical_table = "no_such_table";
+  std::vector<Diagnostic> out;
+  AuditMapping(CleanInput(&m, db->catalog()), &out);
+  EXPECT_TRUE(HasRule(out, kRuleDanglingTable)) << RulesOf(out);
+}
+
+TEST(LayoutAuditorTest, FiresPartialRowKey) {
+  auto db = MakePhysicalDb();
+  TableMapping m = CleanMapping();
+  PhysicalSource second;
+  second.physical_table = "phys2";
+  second.partition = {{"tenant", Value::Int64(7)}};
+  second.row_column = "";  // no row key: reconstruction cannot align
+  m.sources.push_back(std::move(second));
+  m.columns["name"] = ColumnTarget{1, "c1", TypeId::kString, TypeId::kString};
+  std::vector<Diagnostic> out;
+  AuditMapping(CleanInput(&m, db->catalog()), &out);
+  EXPECT_TRUE(HasRule(out, kRulePartialRowKey)) << RulesOf(out);
+}
+
+TEST(LayoutAuditorTest, FiresSharedTableUnscoped) {
+  auto db = MakePhysicalDb();
+  TableMapping m = CleanMapping();
+  m.sources[0].partition.clear();  // shared table, no tenant confinement
+  std::vector<Diagnostic> out;
+  AuditMapping(CleanInput(&m, db->catalog()), &out);
+  EXPECT_TRUE(HasRule(out, kRuleSharedTableUnscoped)) << RulesOf(out);
+}
+
+TEST(LayoutAuditorTest, FiresWrongTenantPartition) {
+  auto db = MakePhysicalDb();
+  TableMapping m = CleanMapping();
+  m.sources[0].partition = {{"tenant", Value::Int64(8)}};  // someone else
+  std::vector<Diagnostic> out;
+  AuditMapping(CleanInput(&m, db->catalog()), &out);
+  EXPECT_TRUE(HasRule(out, kRuleSharedTableUnscoped)) << RulesOf(out);
+}
+
+TEST(LayoutAuditorTest, FiresDuplicateSource) {
+  auto db = MakePhysicalDb();
+  TableMapping m = CleanMapping();
+  m.sources.push_back(m.sources[0]);  // identical table + partition
+  m.columns["name"] = ColumnTarget{1, "c2", TypeId::kString, TypeId::kString};
+  std::vector<Diagnostic> out;
+  AuditMapping(CleanInput(&m, db->catalog()), &out);
+  EXPECT_TRUE(HasRule(out, kRuleDuplicateSource)) << RulesOf(out);
+}
+
+TEST(LayoutAuditorTest, FiresMissingPhysicalColumn) {
+  auto db = MakePhysicalDb();
+  TableMapping m = CleanMapping();
+  m.columns["name"] =
+      ColumnTarget{0, "no_such_col", TypeId::kString, TypeId::kString};
+  std::vector<Diagnostic> out;
+  AuditMapping(CleanInput(&m, db->catalog()), &out);
+  EXPECT_TRUE(HasRule(out, kRuleMissingPhysicalColumn)) << RulesOf(out);
+}
+
+// ----------------------------------------------------------- isolation
+
+std::unique_ptr<sql::SelectStmt> MustParseSelect(const std::string& text) {
+  auto parsed = sql::ParseSelect(text);
+  EXPECT_TRUE(parsed.ok()) << text;
+  return std::move(parsed).value();
+}
+
+TEST(IsolationLinterTest, FiresMissingTenantConjunct) {
+  auto db = MakePhysicalDb();
+  LintContext ctx;
+  ctx.tenant = 7;
+  ctx.catalog = db->catalog();
+
+  auto unscoped = MustParseSelect("SELECT c1 FROM phys");
+  std::vector<Diagnostic> out;
+  LintPhysicalSelect(ctx, *unscoped, &out);
+  EXPECT_TRUE(HasRule(out, kRuleMissingTenantConjunct)) << RulesOf(out);
+
+  auto scoped = MustParseSelect("SELECT c1 FROM phys WHERE tenant = 7");
+  out.clear();
+  LintPhysicalSelect(ctx, *scoped, &out);
+  EXPECT_TRUE(out.empty()) << RulesOf(out);
+}
+
+TEST(IsolationLinterTest, ConjunctUnderOrDoesNotDominate) {
+  auto db = MakePhysicalDb();
+  LintContext ctx;
+  ctx.tenant = 7;
+  ctx.catalog = db->catalog();
+
+  // The tenant test is only one branch of an OR — not a dominating
+  // conjunct; rows of other tenants still qualify.
+  auto leaky =
+      MustParseSelect("SELECT c1 FROM phys WHERE tenant = 7 OR c1 = 'x'");
+  std::vector<Diagnostic> out;
+  LintPhysicalSelect(ctx, *leaky, &out);
+  EXPECT_TRUE(HasRule(out, kRuleMissingTenantConjunct)) << RulesOf(out);
+}
+
+TEST(IsolationLinterTest, FiresWrongTenantLiteral) {
+  auto db = MakePhysicalDb();
+  LintContext ctx;
+  ctx.tenant = 7;
+  ctx.catalog = db->catalog();
+
+  auto other = MustParseSelect("SELECT c1 FROM phys WHERE tenant = 8");
+  std::vector<Diagnostic> out;
+  LintPhysicalSelect(ctx, *other, &out);
+  EXPECT_TRUE(HasRule(out, kRuleWrongTenantLiteral)) << RulesOf(out);
+}
+
+TEST(IsolationLinterTest, ChecksDerivedTableScopes) {
+  auto db = MakePhysicalDb();
+  LintContext ctx;
+  ctx.tenant = 7;
+  ctx.catalog = db->catalog();
+
+  // The §6.1 nested shape: the shared ref lives inside a derived table;
+  // its scope must carry the conjunct even when the outer query has one
+  // of its own.
+  auto nested = MustParseSelect(
+      "SELECT aid FROM (SELECT c1 aid FROM phys) a WHERE aid = 1");
+  std::vector<Diagnostic> out;
+  LintPhysicalSelect(ctx, *nested, &out);
+  EXPECT_TRUE(HasRule(out, kRuleMissingTenantConjunct)) << RulesOf(out);
+
+  auto sealed = MustParseSelect(
+      "SELECT aid FROM (SELECT c1 aid FROM phys WHERE tenant = 7) a");
+  out.clear();
+  LintPhysicalSelect(ctx, *sealed, &out);
+  EXPECT_TRUE(out.empty()) << RulesOf(out);
+}
+
+/// Two-chunk mapping over phys/phys2 for the alignment rule.
+TableMapping TwoChunkMapping() {
+  TableMapping m = CleanMapping();
+  PhysicalSource second;
+  second.physical_table = "phys2";
+  second.partition = {{"tenant", Value::Int64(7)}};
+  second.row_column = "row";
+  m.sources.push_back(std::move(second));
+  m.columns["name"] = ColumnTarget{1, "c1", TypeId::kString, TypeId::kString};
+  return m;
+}
+
+TEST(IsolationLinterTest, FiresUnalignedReconstruction) {
+  auto db = MakePhysicalDb();
+  TableMapping m = TwoChunkMapping();
+  LintContext ctx;
+  ctx.tenant = 7;
+  ctx.catalog = db->catalog();
+  ctx.mapping = &m;
+
+  // Both chunks referenced and tenant-confined, but no aligning join on
+  // the row column: the reconstruction is a cross product.
+  auto unaligned = MustParseSelect(
+      "SELECT s0.c1, s1.c1 FROM phys s0, phys2 s1 "
+      "WHERE s0.tenant = 7 AND s1.tenant = 7");
+  std::vector<Diagnostic> out;
+  LintPhysicalSelect(ctx, *unaligned, &out);
+  EXPECT_TRUE(HasRule(out, kRuleUnalignedReconstruction)) << RulesOf(out);
+
+  auto aligned = MustParseSelect(
+      "SELECT s0.c1, s1.c1 FROM phys s0, phys2 s1 "
+      "WHERE s0.tenant = 7 AND s1.tenant = 7 AND s0.row = s1.row");
+  out.clear();
+  LintPhysicalSelect(ctx, *aligned, &out);
+  EXPECT_TRUE(out.empty()) << RulesOf(out);
+}
+
+sql::Statement MustParse(const std::string& text) {
+  auto parsed = sql::Parse(text);
+  EXPECT_TRUE(parsed.ok()) << text;
+  return std::move(parsed).value();
+}
+
+TEST(IsolationLinterTest, FiresDmlTenantWidening) {
+  auto db = MakePhysicalDb();
+  LintContext ctx;
+  ctx.tenant = 7;
+  ctx.catalog = db->catalog();
+
+  sql::Statement wide = MustParse("UPDATE phys SET c1 = 'x' WHERE row = 3");
+  std::vector<Diagnostic> out;
+  LintPhysicalStatement(ctx, wide, &out);
+  EXPECT_TRUE(HasRule(out, kRuleDmlTenantWidening)) << RulesOf(out);
+
+  sql::Statement confined = MustParse(
+      "UPDATE phys SET c1 = 'x' WHERE tenant = 7 AND row = 3");
+  out.clear();
+  LintPhysicalStatement(ctx, confined, &out);
+  EXPECT_TRUE(out.empty()) << RulesOf(out);
+
+  sql::Statement wide_delete = MustParse("DELETE FROM phys WHERE row = 3");
+  out.clear();
+  LintPhysicalStatement(ctx, wide_delete, &out);
+  EXPECT_TRUE(HasRule(out, kRuleDmlTenantWidening)) << RulesOf(out);
+}
+
+TEST(IsolationLinterTest, PrivateTablesPassVacuously) {
+  auto db = std::make_unique<Database>();
+  ASSERT_TRUE(db->Execute("CREATE TABLE t7_account (aid BIGINT, "
+                          "name VARCHAR(32))")
+                  .ok());
+  LintContext ctx;
+  ctx.tenant = 7;
+  ctx.catalog = db->catalog();
+
+  // No tenant column => not shared => nothing to prove.
+  auto select = MustParseSelect("SELECT aid FROM t7_account");
+  std::vector<Diagnostic> out;
+  LintPhysicalSelect(ctx, *select, &out);
+  EXPECT_TRUE(out.empty()) << RulesOf(out);
+}
+
+// ------------------------------------------------------------ verifier
+
+TEST(VerifierTest, AllStockLayoutsVerifyClean) {
+  using mapping::LayoutKind;
+  for (LayoutKind kind :
+       {LayoutKind::kBasic, LayoutKind::kPrivate, LayoutKind::kExtension,
+        LayoutKind::kUniversal, LayoutKind::kPivot, LayoutKind::kChunk,
+        LayoutKind::kVertical, LayoutKind::kChunkFolding}) {
+    SCOPED_TRACE(mapping::LayoutKindName(kind));
+    mapping::AppSchema app = mapping::FigureFourSchema();
+    Database db;
+    auto layout = mapping::MakeLayout(kind, &db, &app);
+    ASSERT_TRUE(layout->Bootstrap().ok());
+    if (kind == LayoutKind::kBasic) {
+      // Basic cannot host extensions (the paper's point) — load the
+      // base-schema subset of the Figure 4 data instead.
+      for (TenantId tenant : {17, 35, 42}) {
+        ASSERT_TRUE(layout->CreateTenant(tenant).ok());
+        ASSERT_TRUE(layout
+                        ->Execute(tenant, "INSERT INTO account (aid, name) "
+                                          "VALUES (1, 'Acme')")
+                        .ok());
+      }
+    } else {
+      ASSERT_TRUE(mapping::LoadFigureFourData(layout.get()).ok());
+    }
+
+    Verifier verifier(layout.get());
+    auto diagnostics = verifier.Run();
+    ASSERT_TRUE(diagnostics.ok());
+    EXPECT_FALSE(HasErrors(*diagnostics)) << FormatDiagnostics(*diagnostics);
+  }
+}
+
+TEST(VerifierTest, AuditCatchesLiveCorruption) {
+  // Bootstrap a real layout, then corrupt the physical world underneath
+  // it: dropping a chunk table must surface as a dangling-table error.
+  mapping::AppSchema app = mapping::FigureFourSchema();
+  Database db;
+  auto layout =
+      mapping::MakeLayout(mapping::LayoutKind::kUniversal, &db, &app);
+  ASSERT_TRUE(layout->Bootstrap().ok());
+  ASSERT_TRUE(mapping::LoadFigureFourData(layout.get()).ok());
+
+  auto mapping = layout->Mapping(17, "account");
+  ASSERT_TRUE(mapping.ok());
+  const std::string physical = (*mapping)->sources[0].physical_table;
+  ASSERT_TRUE(db.Execute("DROP TABLE " + physical).ok());
+
+  auto diagnostics = AuditLayout(layout.get());
+  ASSERT_TRUE(diagnostics.ok());
+  EXPECT_TRUE(HasRule(*diagnostics, kRuleDanglingTable))
+      << FormatDiagnostics(*diagnostics);
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace mtdb

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy) over the first-party sources.
+#
+# Usage: tools/run_clang_tidy.sh [build-dir] [path ...]
+#   build-dir  directory holding compile_commands.json (default: build)
+#   path ...   source globs to lint (default: src/core src/sql src/analysis)
+#
+# Gates gracefully when clang-tidy is not installed (CI images without
+# LLVM tooling): prints a notice and exits 0 so the build stays green.
+set -u
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+shift 2>/dev/null || true
+PATHS=("$@")
+if [ "${#PATHS[@]}" -eq 0 ]; then
+  PATHS=(src/core src/sql src/analysis)
+fi
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_clang_tidy: clang-tidy not found on PATH; skipping lint." >&2
+  exit 0
+fi
+
+if [ ! -f "${BUILD_DIR}/compile_commands.json" ]; then
+  echo "run_clang_tidy: ${BUILD_DIR}/compile_commands.json missing;" >&2
+  echo "  configure with: cmake -B ${BUILD_DIR} -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 1
+fi
+
+FILES=$(find "${PATHS[@]}" -name '*.cc' | sort)
+if [ -z "${FILES}" ]; then
+  echo "run_clang_tidy: no sources found under: ${PATHS[*]}" >&2
+  exit 1
+fi
+
+STATUS=0
+for f in ${FILES}; do
+  echo "== clang-tidy ${f}"
+  clang-tidy -p "${BUILD_DIR}" --quiet "${f}" || STATUS=1
+done
+exit ${STATUS}
