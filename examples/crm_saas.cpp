@@ -5,6 +5,7 @@
 
 #include "common/rng.h"
 #include "core/chunk_folding_layout.h"
+#include "core/tenant_session.h"
 #include "testbed/crm_schema.h"
 
 using namespace mtdb;           // NOLINT: example brevity
@@ -42,9 +43,11 @@ int main() {
     }
   }
 
-  // Each tenant loads accounts and opportunities through its own SQL.
+  // Each tenant loads accounts and opportunities through its own SQL,
+  // via a per-tenant session (what a pooled connection would hold).
   const char* statuses[] = {"new", "open", "won", "lost"};
   for (TenantId t = 0; t < kTenants; ++t) {
+    TenantSession session = layout.OpenSession(t);
     for (int i = 1; i <= 8; ++i) {
       std::string extra_cols, extra_vals;
       if (t % 3 == 0) {
@@ -55,21 +58,21 @@ int main() {
         extra_cols = ", dealers";
         extra_vals = ", " + std::to_string(rng.Uniform(1, 40));
       }
-      Check(layout
-                .Execute(t, "INSERT INTO account (id, campaign_id, name, "
-                            "status" + extra_cols + ") VALUES (" +
-                            std::to_string(i) + ", 0, '" + rng.Word(4, 10) +
-                            "', '" + statuses[rng.Uniform(0, 3)] + "'" +
-                            extra_vals + ")")
+      Check(session
+                .Execute("INSERT INTO account (id, campaign_id, name, "
+                         "status" + extra_cols + ") VALUES (" +
+                         std::to_string(i) + ", 0, '" + rng.Word(4, 10) +
+                         "', '" + statuses[rng.Uniform(0, 3)] + "'" +
+                         extra_vals + ")")
                 .status(),
             "insert account");
-      Check(layout
-                .Execute(t, "INSERT INTO opportunity (id, account_id, name, "
-                            "status, amount) VALUES (" +
-                            std::to_string(i) + ", " + std::to_string(i) +
-                            ", '" + rng.Word(4, 10) + "', '" +
-                            statuses[rng.Uniform(0, 3)] + "', " +
-                            std::to_string(rng.Uniform(1000, 90000)) + ")")
+      Check(session
+                .Execute("INSERT INTO opportunity (id, account_id, name, "
+                         "status, amount) VALUES (" +
+                         std::to_string(i) + ", " + std::to_string(i) +
+                         ", '" + rng.Word(4, 10) + "', '" +
+                         statuses[rng.Uniform(0, 3)] + "', " +
+                         std::to_string(rng.Uniform(1000, 90000)) + ")")
                 .status(),
             "insert opportunity");
     }
@@ -78,8 +81,8 @@ int main() {
   // A health-care tenant's business-activity report mixes base and
   // extension columns transparently.
   std::printf("tenant 0 (health care) — pipeline by status:\n");
-  auto report = layout.Query(
-      0,
+  TenantSession hospital = layout.OpenSession(0);
+  auto report = hospital.Query(
       "SELECT a.status, COUNT(*), SUM(o.amount), AVG(a.beds) "
       "FROM account a, opportunity o WHERE o.account_id = a.id "
       "GROUP BY a.status ORDER BY a.status");
@@ -92,7 +95,7 @@ int main() {
 
   // An automotive tenant cannot see health-care columns — the logical
   // schemas are truly per-tenant.
-  auto wrong = layout.Query(1, "SELECT beds FROM account");
+  auto wrong = layout.OpenSession(1).Query("SELECT beds FROM account");
   std::printf("\ntenant 1 asking for tenant 0's extension column: %s\n",
               wrong.status().ToString().c_str());
 

@@ -13,6 +13,7 @@
 #include "core/extension_layout.h"
 #include "core/pivot_layout.h"
 #include "core/private_layout.h"
+#include "core/tenant_session.h"
 #include "core/universal_layout.h"
 
 using namespace mtdb;           // NOLINT: example brevity
@@ -76,6 +77,7 @@ int main() {
       if (t % 2 == 0 && !layout->EnableExtension(t, "healthcare").ok()) {
         return 1;
       }
+      TenantSession session = layout->OpenSession(t);
       for (int i = 1; i <= kRows; ++i) {
         Row row{Value::Int64(i), Value::String("n" + std::to_string(i)),
                 Value::String(i % 2 == 0 ? "open" : "won"),
@@ -84,7 +86,7 @@ int main() {
           row.push_back(Value::String("hosp" + std::to_string(i % 7)));
           row.push_back(Value::Int32(i * 3));
         }
-        if (!layout->InsertRow(t, "account", row).ok()) return 1;
+        if (!session.InsertRow("account", row).ok()) return 1;
       }
     }
 
@@ -92,11 +94,12 @@ int main() {
     auto time_query = [&](const std::string& sql, TenantId tenant,
                           const std::vector<Value>& params) {
       constexpr int kReps = 200;
-      auto warm = layout->Query(tenant, sql, params);
+      TenantSession session = layout->OpenSession(tenant);
+      auto warm = session.Query(sql, params);
       if (!warm.ok()) return -1.0;
       auto start = std::chrono::steady_clock::now();
       for (int i = 0; i < kReps; ++i) {
-        auto r = layout->Query(tenant, sql, params);
+        auto r = session.Query(sql, params);
         if (!r.ok()) return -1.0;
       }
       auto end = std::chrono::steady_clock::now();
@@ -123,8 +126,8 @@ int main() {
     if (!layout->Bootstrap().ok()) continue;
     if (!layout->CreateTenant(17).ok()) continue;
     if (!layout->EnableExtension(17, "healthcare").ok()) continue;
-    auto sql = layout->ShowTransformed(
-        17, "SELECT beds FROM account WHERE hospital = 'hosp3'");
+    auto sql = layout->OpenSession(17).ShowTransformed(
+        "SELECT beds FROM account WHERE hospital = 'hosp3'");
     std::printf("\n[%s]\n  %s\n", name,
                 sql.ok() ? sql->c_str() : sql.status().ToString().c_str());
   }

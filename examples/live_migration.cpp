@@ -7,6 +7,7 @@
 #include "core/chunk_folding_layout.h"
 #include "core/migrator.h"
 #include "core/private_layout.h"
+#include "core/tenant_session.h"
 #include "testbed/crm_schema.h"
 
 using namespace mtdb;           // NOLINT: example brevity
@@ -36,17 +37,18 @@ int main() {
     if (t % 2 == 0) {
       Check(source.EnableExtension(t, "healthcare_account"), "extension");
     }
+    TenantSession session = source.OpenSession(t);
     for (int i = 1; i <= 25; ++i) {
       std::string extra_cols = t % 2 == 0 ? ", hospital, beds" : "";
       std::string extra_vals =
           t % 2 == 0 ? ", 'h" + std::to_string(i % 5) + "', " +
                            std::to_string(i * 10)
                      : "";
-      Check(source
-                .Execute(t, "INSERT INTO account (id, campaign_id, name, "
-                            "status" + extra_cols + ") VALUES (" +
-                            std::to_string(i) + ", 0, 'acct" +
-                            std::to_string(i) + "', 'open'" + extra_vals + ")")
+      Check(session
+                .Execute("INSERT INTO account (id, campaign_id, name, "
+                         "status" + extra_cols + ") VALUES (" +
+                         std::to_string(i) + ", 0, 'acct" +
+                         std::to_string(i) + "', 'open'" + extra_vals + ")")
                 .status(),
             "insert");
     }
@@ -70,10 +72,11 @@ int main() {
               static_cast<unsigned long long>(
                   new_db.Stats().metadata_bytes / 1024));
 
-  // The application never notices: the same logical SQL works on both.
+  // The application never notices: the same logical SQL works through a
+  // session on either deployment.
   const char* q = "SELECT COUNT(*), SUM(beds) FROM account WHERE beds > 100";
-  auto before = source.Query(0, q);
-  auto after = target.Query(0, q);
+  auto before = source.OpenSession(0).Query(q);
+  auto after = target.OpenSession(0).Query(q);
   Check(before.status(), "query source");
   Check(after.status(), "query target");
   std::printf("\ntenant 0, '%s'\n  source: count=%s sum=%s\n  target: "
@@ -84,7 +87,8 @@ int main() {
               after->rows[0][1].ToString().c_str());
 
   // And the target is immediately live for writes.
-  Check(target.Execute(0, "UPDATE account SET beds = beds + 1 WHERE id = 2")
+  Check(target.OpenSession(0)
+            .Execute("UPDATE account SET beds = beds + 1 WHERE id = 2")
             .status(),
         "post-migration update");
   std::printf("\npost-migration DML on the target: OK\n");

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "core/chunk_folding_layout.h"
+#include "core/tenant_session.h"
 
 using namespace mtdb;           // NOLINT: example brevity
 using namespace mtdb::mapping;  // NOLINT
@@ -56,19 +57,23 @@ int main() {
   Check(layout.EnableExtension(17, "healthcare"), "extension");
   Check(layout.EnableExtension(42, "automotive"), "extension");
 
-  // 3. Tenants load data with plain SQL against *their own* schema.
-  Check(layout
-            .Execute(17,
-                     "INSERT INTO account (aid, name, hospital, beds) VALUES "
+  // 3. Each tenant's application opens a session — the front door to
+  //    the mapping layer — and loads data with plain SQL against *its
+  //    own* schema. Sessions are cheap, per-thread handles; a real
+  //    service holds one per connection.
+  TenantSession healthcare_app = layout.OpenSession(17);
+  TenantSession plain_app = layout.OpenSession(35);
+  TenantSession automotive_app = layout.OpenSession(42);
+  Check(healthcare_app
+            .Execute("INSERT INTO account (aid, name, hospital, beds) VALUES "
                      "(1, 'Acme', 'St. Mary', 135), (2, 'Gump', 'State', 1042)")
             .status(),
         "insert t17");
-  Check(layout.Execute(35, "INSERT INTO account (aid, name) VALUES (1, 'Ball')")
+  Check(plain_app.Execute("INSERT INTO account (aid, name) VALUES (1, 'Ball')")
             .status(),
         "insert t35");
-  Check(layout
-            .Execute(42,
-                     "INSERT INTO account (aid, name, dealers) VALUES "
+  Check(automotive_app
+            .Execute("INSERT INTO account (aid, name, dealers) VALUES "
                      "(1, 'Big', 65)")
             .status(),
         "insert t42");
@@ -76,7 +81,7 @@ int main() {
   // 4. Query Q1 from the paper, written by tenant 17 as if it owned a
   //    private Account table.
   const char* q1 = "SELECT beds FROM account WHERE hospital = 'State'";
-  auto result = layout.Query(17, q1);
+  auto result = healthcare_app.Query(q1);
   Check(result.status(), "query");
   std::printf("Q1 for tenant 17: %s\n", q1);
   for (const Row& row : result->rows) {
@@ -85,7 +90,7 @@ int main() {
 
   // 5. Peek behind the curtain: the SQL the transformation layer
   //    actually ran (cf. the paper's Section 6.1).
-  auto transformed = layout.ShowTransformed(17, q1);
+  auto transformed = healthcare_app.ShowTransformed(q1);
   Check(transformed.status(), "transform");
   std::printf("\ntransformed physical SQL:\n  %s\n", transformed->c_str());
 

@@ -10,6 +10,7 @@
 
 #include "core/chunk_folding_layout.h"
 #include "core/private_layout.h"
+#include "core/tenant_session.h"
 #include "testbed/crm_schema.h"
 
 using namespace mtdb;           // NOLINT: example brevity
@@ -28,13 +29,15 @@ void RunEvolution(SchemaMapping* layout, const char* label) {
   Check(layout->Bootstrap(), "bootstrap");
   Check(layout->CreateTenant(7), "tenant");
 
-  // Phase 1: the tenant works with the base schema for a while.
+  // Phase 1: the tenant works with the base schema for a while, through
+  // the session its application holds.
+  TenantSession session = layout->OpenSession(7);
   for (int i = 1; i <= 200; ++i) {
-    Check(layout
-              ->Execute(7, "INSERT INTO account (id, campaign_id, name, "
-                           "status) VALUES (?, 0, ?, 'open')",
-                        {Value::Int64(i),
-                         Value::String("acct" + std::to_string(i))})
+    Check(session
+              .Execute("INSERT INTO account (id, campaign_id, name, "
+                       "status) VALUES (?, 0, ?, 'open')",
+                       {Value::Int64(i),
+                        Value::String("acct" + std::to_string(i))})
               .status(),
           "insert");
   }
@@ -58,21 +61,22 @@ void RunEvolution(SchemaMapping* layout, const char* label) {
               static_cast<unsigned long long>(layout->stats().ddl_statements));
 
   // Phase 3: old rows show NULL extension values; new traffic uses them.
-  Check(layout
-            ->Execute(7, "UPDATE account SET hospital = 'General', beds = 320 "
-                         "WHERE id = 42")
+  // The session opened before the evolution keeps working — DDL and DML
+  // coordinate through the layout's internal latches.
+  Check(session
+            .Execute("UPDATE account SET hospital = 'General', beds = 320 "
+                     "WHERE id = 42")
             .status(),
         "update");
-  auto row = layout->Query(
-      7, "SELECT name, hospital, beds FROM account WHERE id = 42");
+  auto row =
+      session.Query("SELECT name, hospital, beds FROM account WHERE id = 42");
   Check(row.status(), "query");
   std::printf("                row 42 after evolution: name=%s hospital=%s "
               "beds=%s\n",
               row->rows[0][0].ToString().c_str(),
               row->rows[0][1].ToString().c_str(),
               row->rows[0][2].ToString().c_str());
-  auto old_row =
-      layout->Query(7, "SELECT hospital FROM account WHERE id = 41");
+  auto old_row = session.Query("SELECT hospital FROM account WHERE id = 41");
   Check(old_row.status(), "query");
   std::printf("                row 41 untouched: hospital=%s\n",
               old_row->rows[0][0].ToString().c_str());

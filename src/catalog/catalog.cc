@@ -1,6 +1,7 @@
 #include "catalog/catalog.h"
 
 #include <algorithm>
+#include <mutex>
 
 #include "common/key_encoding.h"
 
@@ -20,15 +21,25 @@ const IndexInfo* TableInfo::FindIndexOnPrefix(
 Catalog::Catalog(BufferPool* pool, uint64_t memory_budget_bytes,
                  MetadataCosts costs)
     : pool_(pool), memory_budget_(memory_budget_bytes), costs_(costs) {
-  pool_->SetCapacity(BufferFrames());
+  pool_->SetCapacity(BufferFramesLocked());
 }
 
-size_t Catalog::BufferFrames() const {
+size_t Catalog::BufferFramesLocked() const {
   uint64_t page_size = pool_->store()->page_size();
   if (metadata_bytes_ >= memory_budget_) return 1;
   uint64_t left = memory_budget_ - metadata_bytes_;
   size_t frames = static_cast<size_t>(left / page_size);
   return frames < 1 ? 1 : frames;
+}
+
+size_t Catalog::BufferFrames() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return BufferFramesLocked();
+}
+
+uint64_t Catalog::metadata_bytes() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return metadata_bytes_;
 }
 
 void Catalog::Recharge(int64_t delta_bytes) {
@@ -38,11 +49,12 @@ void Catalog::Recharge(int64_t delta_bytes) {
     metadata_bytes_ = static_cast<uint64_t>(
         static_cast<int64_t>(metadata_bytes_) + delta_bytes);
   }
-  pool_->SetCapacity(BufferFrames());
+  pool_->SetCapacity(BufferFramesLocked());
 }
 
 Result<TableInfo*> Catalog::CreateTable(const std::string& name,
                                         Schema schema) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   std::string key = IdentLower(name);
   if (tables_.count(key) != 0) {
     return Status::AlreadyExists("table exists: " + name);
@@ -64,6 +76,7 @@ Result<TableInfo*> Catalog::CreateTable(const std::string& name,
 }
 
 Status Catalog::DropTable(const std::string& name) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   std::string key = IdentLower(name);
   auto it = tables_.find(key);
   if (it == tables_.end()) {
@@ -86,7 +99,8 @@ Status Catalog::DropTable(const std::string& name) {
 Result<IndexInfo*> Catalog::CreateIndex(
     const std::string& table, const std::string& index_name,
     const std::vector<std::string>& column_names, bool unique) {
-  TableInfo* info = GetTable(table);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  TableInfo* info = FindTableLocked(table);
   if (info == nullptr) return Status::NotFound("no such table: " + table);
   std::string ikey = IdentLower(index_name);
   if (index_to_table_.count(ikey) != 0) {
@@ -134,12 +148,13 @@ Result<IndexInfo*> Catalog::CreateIndex(
 }
 
 Status Catalog::DropIndex(const std::string& index_name) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   std::string ikey = IdentLower(index_name);
   auto it = index_to_table_.find(ikey);
   if (it == index_to_table_.end()) {
     return Status::NotFound("no such index: " + index_name);
   }
-  TableInfo* info = GetTable(it->second);
+  TableInfo* info = FindTableLocked(it->second);
   index_to_table_.erase(it);
   for (auto iit = info->indexes.begin(); iit != info->indexes.end(); ++iit) {
     if (IdentEquals((*iit)->name, index_name)) {
@@ -152,26 +167,45 @@ Status Catalog::DropIndex(const std::string& index_name) {
   return Status::Internal("index map out of sync");
 }
 
-TableInfo* Catalog::GetTable(const std::string& name) {
+TableInfo* Catalog::FindTableLocked(const std::string& name) const {
   auto it = tables_.find(IdentLower(name));
   return it == tables_.end() ? nullptr : it->second.get();
 }
 
-const TableInfo* Catalog::GetTable(const std::string& name) const {
-  auto it = tables_.find(IdentLower(name));
-  return it == tables_.end() ? nullptr : it->second.get();
-}
-
-TableInfo* Catalog::GetTable(TableId id) {
-  for (auto& [_, info] : tables_) {
+TableInfo* Catalog::FindTableLocked(TableId id) const {
+  for (const auto& [_, info] : tables_) {
     if (info->id == id) return info.get();
   }
   return nullptr;
 }
 
-size_t Catalog::index_count() const { return index_to_table_.size(); }
+TableInfo* Catalog::GetTable(const std::string& name) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return FindTableLocked(name);
+}
+
+const TableInfo* Catalog::GetTable(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return FindTableLocked(name);
+}
+
+TableInfo* Catalog::GetTable(TableId id) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return FindTableLocked(id);
+}
+
+size_t Catalog::table_count() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return tables_.size();
+}
+
+size_t Catalog::index_count() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return index_to_table_.size();
+}
 
 std::vector<std::string> Catalog::TableNames() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<std::string> out;
   out.reserve(tables_.size());
   for (const auto& [_, info] : tables_) out.push_back(info->name);

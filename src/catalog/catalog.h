@@ -2,6 +2,7 @@
 #define MTDB_CATALOG_CATALOG_H_
 
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -52,6 +53,14 @@ struct TableInfo {
 /// limit ("the fundamental limitation ... is the number of tables the
 /// database can handle, which is itself dependent on the amount of
 /// available memory").
+///
+/// Thread-safety: lookups take an internal shared_mutex in shared mode,
+/// so concurrent sessions resolve tables without contending; mutators
+/// (CreateTable/DropTable/CreateIndex/DropIndex) take it exclusively.
+/// The returned TableInfo* stays valid only while no DDL drops it — the
+/// engine guarantees that by excluding DDL for the duration of every
+/// statement (Database::ddl latch), so sessions may cache the pointer
+/// for one statement but never across statements.
 class Catalog {
  public:
   Catalog(BufferPool* pool, uint64_t memory_budget_bytes,
@@ -74,23 +83,28 @@ class Catalog {
   const TableInfo* GetTable(const std::string& name) const;
   TableInfo* GetTable(TableId id);
 
-  size_t table_count() const { return tables_.size(); }
+  size_t table_count() const;
   size_t index_count() const;
   std::vector<std::string> TableNames() const;
 
-  uint64_t metadata_bytes() const { return metadata_bytes_; }
+  uint64_t metadata_bytes() const;
   uint64_t memory_budget_bytes() const { return memory_budget_; }
   /// Buffer-pool frames left after the meta-data charge.
   size_t BufferFrames() const;
 
  private:
-  void Recharge(int64_t delta_bytes);
+  // Unlocked internals; callers hold mu_ (shared or exclusive as noted).
+  TableInfo* FindTableLocked(const std::string& name) const;
+  TableInfo* FindTableLocked(TableId id) const;
+  size_t BufferFramesLocked() const;
+  void Recharge(int64_t delta_bytes);  // caller holds mu_ exclusively
 
   BufferPool* pool_;
   uint64_t memory_budget_;
   MetadataCosts costs_;
   uint64_t metadata_bytes_ = 0;
 
+  mutable std::shared_mutex mu_;
   std::unordered_map<std::string, std::unique_ptr<TableInfo>> tables_;
   std::unordered_map<std::string, TableId> index_to_table_;
   TableId next_table_id_ = 1;

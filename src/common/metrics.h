@@ -10,6 +10,14 @@ namespace mtdb {
 /// Accumulates response-time (or other scalar) samples and reports
 /// order statistics. Used by the MTD testbed for the 95% quantiles and
 /// baseline-compliance metrics of Table 2.
+///
+/// Thread-safety contract: a SampleSet is NOT thread-safe — not even
+/// for concurrent Add() calls, and the accessors sort lazily through
+/// `mutable` state, so even concurrent *reads* race. The intended
+/// multi-threaded pattern is one SampleSet per worker thread, with the
+/// driver calling Merge() on the partial sets strictly after joining
+/// the workers (see testbed::ResultDatabase). This keeps the recording
+/// hot path free of any synchronization.
 class SampleSet {
  public:
   void Add(double v) {

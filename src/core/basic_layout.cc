@@ -27,7 +27,7 @@ Status BasicLayout::Bootstrap() {
   return Status::OK();
 }
 
-Status BasicLayout::EnableExtension(TenantId, const std::string& ext) {
+Status BasicLayout::EnableExtensionImpl(TenantId, const std::string& ext) {
   return Status::NotImplemented(
       "the Basic Layout shares tables among tenants and cannot represent "
       "extension " +

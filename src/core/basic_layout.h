@@ -19,9 +19,9 @@ class BasicLayout final : public SchemaMapping {
   std::string name() const override { return "basic"; }
 
   Status Bootstrap() override;
-  Status EnableExtension(TenantId tenant, const std::string& ext) override;
 
  protected:
+  Status EnableExtensionImpl(TenantId tenant, const std::string& ext) override;
   Result<std::unique_ptr<TableMapping>> BuildMapping(
       TenantId tenant, const std::string& table) override;
   Result<int64_t> GenericUpdate(TenantId tenant, const sql::UpdateStmt& stmt,

@@ -99,14 +99,14 @@ Status ChunkFoldingLayout::EnsureConventionalExtension(
   return Status::OK();
 }
 
-Status ChunkFoldingLayout::EnableExtension(TenantId tenant,
+Status ChunkFoldingLayout::EnableExtensionImpl(TenantId tenant,
                                            const std::string& ext) {
   const ExtensionDef* def = app_->FindExtension(ext);
   if (def == nullptr) return Status::NotFound("no such extension: " + ext);
   if (options_.conventional_extensions.count(IdentLower(ext)) != 0) {
     MTDB_RETURN_IF_ERROR(EnsureConventionalExtension(*def));
   }
-  return SchemaMapping::EnableExtension(tenant, ext);
+  return SchemaMapping::EnableExtensionImpl(tenant, ext);
 }
 
 Result<std::unique_ptr<TableMapping>> ChunkFoldingLayout::BuildMapping(

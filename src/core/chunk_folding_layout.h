@@ -38,7 +38,6 @@ class ChunkFoldingLayout final : public SchemaMapping {
   std::string name() const override { return "chunkfolding"; }
 
   Status Bootstrap() override;
-  Status EnableExtension(TenantId tenant, const std::string& ext) override;
 
   const ChunkFoldingOptions& options() const { return options_; }
 
@@ -46,6 +45,7 @@ class ChunkFoldingLayout final : public SchemaMapping {
   static std::string IndexTableName() { return "fold_chunkidx"; }
 
  protected:
+  Status EnableExtensionImpl(TenantId tenant, const std::string& ext) override;
   Result<std::unique_ptr<TableMapping>> BuildMapping(
       TenantId tenant, const std::string& table) override;
 

@@ -58,13 +58,13 @@ Status ExtensionTableLayout::EnsureExtensionTable(const ExtensionDef& def) {
   return Status::OK();
 }
 
-Status ExtensionTableLayout::EnableExtension(TenantId tenant,
+Status ExtensionTableLayout::EnableExtensionImpl(TenantId tenant,
                                              const std::string& ext) {
   const ExtensionDef* def = app_->FindExtension(ext);
   if (def == nullptr) return Status::NotFound("no such extension: " + ext);
   // Extension tables are shared: provision lazily on first use anywhere.
   MTDB_RETURN_IF_ERROR(EnsureExtensionTable(*def));
-  return SchemaMapping::EnableExtension(tenant, ext);
+  return SchemaMapping::EnableExtensionImpl(tenant, ext);
 }
 
 Result<std::unique_ptr<TableMapping>> ExtensionTableLayout::BuildMapping(

@@ -23,7 +23,6 @@ class ExtensionTableLayout final : public SchemaMapping {
   std::string name() const override { return "extension"; }
 
   Status Bootstrap() override;
-  Status EnableExtension(TenantId tenant, const std::string& ext) override;
 
   /// Physical name of the shared base table for `table`.
   static std::string BaseName(const std::string& table);
@@ -31,6 +30,7 @@ class ExtensionTableLayout final : public SchemaMapping {
   static std::string ExtName(const std::string& ext);
 
  protected:
+  Status EnableExtensionImpl(TenantId tenant, const std::string& ext) override;
   Result<std::unique_ptr<TableMapping>> BuildMapping(
       TenantId tenant, const std::string& table) override;
 

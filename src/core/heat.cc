@@ -9,25 +9,39 @@ namespace mapping {
 
 void HeatProfile::Record(const std::string& table, const std::string& column,
                          uint64_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
   counts_[{IdentLower(table), IdentLower(column)}] += count;
   total_ += count;
 }
 
-uint64_t HeatProfile::ColumnHeat(const std::string& table,
-                                 const std::string& column) const {
+uint64_t HeatProfile::ColumnHeatLocked(const std::string& table,
+                                       const std::string& column) const {
   auto it = counts_.find({IdentLower(table), IdentLower(column)});
   return it == counts_.end() ? 0 : it->second;
 }
 
+uint64_t HeatProfile::ColumnHeat(const std::string& table,
+                                 const std::string& column) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ColumnHeatLocked(table, column);
+}
+
 uint64_t HeatProfile::ExtensionHeat(const ExtensionDef& ext) const {
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t heat = 0;
   for (const LogicalColumn& c : ext.columns) {
-    heat += ColumnHeat(ext.base_table, c.name);
+    heat += ColumnHeatLocked(ext.base_table, c.name);
   }
   return heat;
 }
 
+uint64_t HeatProfile::total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
 void HeatProfile::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   counts_.clear();
   total_ = 0;
 }

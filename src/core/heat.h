@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -16,6 +17,9 @@ namespace mapping {
 /// "Good performance is obtained by mapping the most heavily-utilized
 /// parts of the logical schemas into the conventional tables" (§1.2) —
 /// this is the signal that decides what counts as heavily utilized.
+///
+/// Internally synchronized: concurrent tenant sessions record heat
+/// through the transformer without any external lock.
 class HeatProfile {
  public:
   void Record(const std::string& table, const std::string& column,
@@ -28,11 +32,15 @@ class HeatProfile {
   uint64_t ExtensionHeat(const ExtensionDef& ext) const;
 
   /// Total recorded accesses.
-  uint64_t total() const { return total_; }
+  uint64_t total() const;
 
   void Clear();
 
  private:
+  uint64_t ColumnHeatLocked(const std::string& table,
+                            const std::string& column) const;
+
+  mutable std::mutex mu_;
   // (table lower, column lower) -> count.
   std::map<std::pair<std::string, std::string>, uint64_t> counts_;
   uint64_t total_ = 0;

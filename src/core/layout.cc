@@ -4,6 +4,7 @@
 #include <set>
 
 #include "catalog/schema.h"
+#include "core/tenant_session.h"
 #include "sql/parser.h"
 #include "sql/printer.h"
 
@@ -91,14 +92,35 @@ Schema PhysicalSchemaFromColumns(const std::vector<Column>& cols) {
 SchemaMapping::SchemaMapping(Database* db, const AppSchema* app)
     : db_(db), app_(app) {}
 
+TenantSession SchemaMapping::OpenSession(TenantId tenant) {
+  return TenantSession(this, tenant);
+}
+
+// Admin template methods: take the layer latch exclusively (draining
+// in-flight statements, which hold it shared), then run the hooks.
+
 Status SchemaMapping::CreateTenant(TenantId tenant) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(layer_mu_);
+  return CreateTenantImpl(tenant);
+}
+
+Status SchemaMapping::EnableExtension(TenantId tenant, const std::string& ext) {
+  std::unique_lock<std::shared_mutex> lock(layer_mu_);
+  return EnableExtensionImpl(tenant, ext);
+}
+
+Status SchemaMapping::DropTenant(TenantId tenant) {
+  std::unique_lock<std::shared_mutex> lock(layer_mu_);
+  return DropTenantImpl(tenant);
+}
+
+Status SchemaMapping::CreateTenantImpl(TenantId tenant) {
   if (tenants_.contains(tenant)) {
     return Status::AlreadyExists("tenant exists: " + std::to_string(tenant));
   }
-  TenantEntry entry;
+  // In-place construction: TenantEntry owns a mutex and cannot move.
+  TenantEntry& entry = tenants_[tenant];
   entry.state = TenantState(tenant);
-  tenants_.emplace(tenant, std::move(entry));
   return Status::OK();
 }
 
@@ -115,8 +137,8 @@ std::string SourceKey(const PhysicalSource& s) {
 
 }  // namespace
 
-Status SchemaMapping::EnableExtension(TenantId tenant, const std::string& ext) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+Status SchemaMapping::EnableExtensionImpl(TenantId tenant,
+                                          const std::string& ext) {
   MTDB_ASSIGN_OR_RETURN(TenantEntry * entry, GetTenant(tenant));
   const ExtensionDef* def = app_->FindExtension(ext);
   if (def == nullptr) {
@@ -188,8 +210,7 @@ Status SchemaMapping::EnableExtension(TenantId tenant, const std::string& ext) {
   return Status::OK();
 }
 
-Status SchemaMapping::DropTenant(TenantId tenant) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+Status SchemaMapping::DropTenantImpl(TenantId tenant) {
   MTDB_ASSIGN_OR_RETURN(TenantEntry * entry, GetTenant(tenant));
   (void)entry;
   // Delete the tenant's rows from every logical table via the mapping.
@@ -205,7 +226,7 @@ Status SchemaMapping::DropTenant(TenantId tenant) {
 }
 
 std::vector<TenantId> SchemaMapping::TenantIds() const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(layer_mu_);
   std::vector<TenantId> out;
   out.reserve(tenants_.size());
   for (const auto& [id, _] : tenants_) out.push_back(id);
@@ -214,7 +235,7 @@ std::vector<TenantId> SchemaMapping::TenantIds() const {
 
 Result<std::vector<std::string>> SchemaMapping::TenantExtensions(
     TenantId tenant) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(layer_mu_);
   auto it = tenants_.find(tenant);
   if (it == tenants_.end()) {
     return Status::NotFound("no such tenant: " + std::to_string(tenant));
@@ -248,7 +269,10 @@ SchemaMapping::LogicalColumns(TenantId tenant, const std::string& table) {
 
 Result<const TableMapping*> SchemaMapping::Mapping(TenantId tenant,
                                                    const std::string& table) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  // Returned pointers stay valid until the next InvalidateMappings();
+  // statement paths hold the layer latch shared, which keeps admin DDL
+  // (the only invalidator) out for the duration of the statement.
+  std::lock_guard<std::mutex> lock(cache_mu_);
   auto key = std::make_pair(tenant, IdentLower(table));
   auto it = mapping_cache_.find(key);
   if (it != mapping_cache_.end()) return it->second.get();
@@ -259,18 +283,24 @@ Result<const TableMapping*> SchemaMapping::Mapping(TenantId tenant,
   return raw;
 }
 
-void SchemaMapping::InvalidateMappings() { mapping_cache_.clear(); }
+void SchemaMapping::InvalidateMappings() {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  mapping_cache_.clear();
+}
 
 void SchemaMapping::NotifySelect(TenantId tenant, const sql::SelectStmt& stmt) {
-  if (observer_ != nullptr) observer_->OnSelect(tenant, stmt);
+  PhysicalStatementObserver* obs = observer_.load(std::memory_order_acquire);
+  if (obs != nullptr) obs->OnSelect(tenant, stmt);
 }
 
 void SchemaMapping::NotifyStatement(TenantId tenant,
                                     const sql::Statement& stmt) {
-  if (observer_ != nullptr) observer_->OnStatement(tenant, stmt);
+  PhysicalStatementObserver* obs = observer_.load(std::memory_order_acquire);
+  if (obs != nullptr) obs->OnStatement(tenant, stmt);
 }
 
 int32_t SchemaMapping::TableNumber(TenantId tenant, const std::string& table) {
+  std::lock_guard<std::mutex> lock(table_number_mu_);
   auto key = std::make_pair(tenant, IdentLower(table));
   auto it = table_numbers_.find(key);
   if (it != table_numbers_.end()) return it->second;
@@ -282,7 +312,7 @@ int32_t SchemaMapping::TableNumber(TenantId tenant, const std::string& table) {
 Result<QueryResult> SchemaMapping::Query(TenantId tenant,
                                          const std::string& sql,
                                          const std::vector<Value>& params) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(layer_mu_);
   MTDB_ASSIGN_OR_RETURN(auto stmt, sql::ParseSelect(sql));
   QueryTransformer transformer(this, transform_options_, &heat_);
   MTDB_ASSIGN_OR_RETURN(auto physical,
@@ -294,7 +324,7 @@ Result<QueryResult> SchemaMapping::Query(TenantId tenant,
 
 Result<std::string> SchemaMapping::ShowTransformed(TenantId tenant,
                                                    const std::string& sql) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(layer_mu_);
   MTDB_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql));
   if (stmt.kind != sql::StatementKind::kSelect) {
     return Status::NotImplemented(
@@ -308,7 +338,7 @@ Result<std::string> SchemaMapping::ShowTransformed(TenantId tenant,
 
 Result<int64_t> SchemaMapping::Execute(TenantId tenant, const std::string& sql,
                                        const std::vector<Value>& params) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(layer_mu_);
   MTDB_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql));
   stats_.statements_transformed++;
   switch (stmt.kind) {
@@ -327,7 +357,7 @@ Result<int64_t> SchemaMapping::Execute(TenantId tenant, const std::string& sql,
 Result<int64_t> SchemaMapping::InsertRow(TenantId tenant,
                                          const std::string& table,
                                          const Row& row) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(layer_mu_);
   MTDB_ASSIGN_OR_RETURN(EffectiveTable eff, GetEffective(tenant, table));
   std::vector<std::string> columns;
   for (size_t i = 0; i < row.size() && i < eff.columns.size(); ++i) {
@@ -372,13 +402,15 @@ Result<int64_t> SchemaMapping::InsertMappedRow(
   MTDB_ASSIGN_OR_RETURN(const TableMapping* mapping, Mapping(tenant, table));
 
   // Assign the logical row id (§6.3: "assign each inserted new row a
-  // unique row identifier").
+  // unique row identifier"). The counter is per tenant, so concurrent
+  // sessions of one tenant serialize only on this small lock.
   bool needs_row = false;
   for (const PhysicalSource& s : mapping->sources) {
     if (!s.row_column.empty()) needs_row = true;
   }
   int64_t row_id = 0;
   if (needs_row) {
+    std::lock_guard<std::mutex> row_lock(entry->row_mu);
     row_id = entry->next_row[IdentLower(table)]++;
   }
 
@@ -714,7 +746,7 @@ Result<int64_t> SchemaMapping::GenericDelete(TenantId tenant,
 
 Result<int64_t> SchemaMapping::RestoreDeleted(TenantId tenant,
                                               const std::string& table) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(layer_mu_);
   if (!trashcan_deletes_) {
     return Status::InvalidArgument("layout does not use trashcan deletes");
   }

@@ -1,9 +1,11 @@
 #ifndef MTDB_CORE_LAYOUT_H_
 #define MTDB_CORE_LAYOUT_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -25,13 +27,15 @@ namespace mapping {
 ///    row"), which trades statement count for predicate size.
 enum class DmlMode { kPerRow, kBatched };
 
+/// Counters are atomic so concurrent tenant sessions bump them without
+/// coordination; read them individually (the struct is not copyable).
 struct LayoutStats {
-  uint64_t queries_transformed = 0;
-  uint64_t statements_transformed = 0;
-  uint64_t physical_statements = 0;
+  std::atomic<uint64_t> queries_transformed{0};
+  std::atomic<uint64_t> statements_transformed{0};
+  std::atomic<uint64_t> physical_statements{0};
   /// Physical DDL issued after Bootstrap (table rebuilds, lazy extension
   /// tables); generic layouts keep this at zero — §3's on-line argument.
-  uint64_t ddl_statements = 0;
+  std::atomic<uint64_t> ddl_statements{0};
 };
 
 /// Observes every physical statement the mapping layer emits against the
@@ -52,14 +56,23 @@ class PhysicalStatementObserver {
   virtual void OnStatement(TenantId tenant, const sql::Statement& stmt) = 0;
 };
 
+class TenantSession;
+
 /// A schema-mapping technique: maps the tenants' single-tenant logical
 /// schemas onto one multi-tenant physical schema (§3) and rewrites
 /// queries/DML accordingly. Concrete subclasses implement the layouts of
 /// Figure 4 plus Chunk Folding.
 ///
-/// Thread-safety: public methods are serialized by an internal lock
-/// (sessions from an application server's connection pool may share one
-/// layout object); the underlying Database adds its own statement lock.
+/// Thread-safety: tenant sessions from an application server's
+/// connection pool share one layout object and run in parallel.
+/// Statement entry points (Query/Execute/InsertRow/...) hold the layer
+/// latch shared; admin operations (CreateTenant/EnableExtension/
+/// DropTenant) hold it exclusive, so DDL drains in-flight statements and
+/// statements never observe half-switched mappings. The mapping cache
+/// and the table-number registry have their own small locks, and row-id
+/// counters are per tenant — different tenants' statements share no hot
+/// lock. Bootstrap and configuration (transform_options,
+/// set_statement_observer) are setup-time: call them before traffic.
 ///
 /// The logical SQL dialect is ordinary SQL against the tenant's own
 /// tables (e.g. "SELECT Beds FROM Account WHERE Hospital='State'").
@@ -73,15 +86,22 @@ class SchemaMapping : public MappingResolver {
   /// Creates layout-global physical structures (generic tables etc.).
   virtual Status Bootstrap() = 0;
 
+  /// Opens a per-worker tenant session (the front door mirroring
+  /// Database::OpenSession). Cheap value handle, one per thread.
+  TenantSession OpenSession(TenantId tenant);
+
+  // Admin operations: non-virtual template methods that take the layer
+  // latch exclusively, then dispatch to the *Impl hooks below.
+
   /// Registers a tenant (provisions physical structures as needed).
-  virtual Status CreateTenant(TenantId tenant);
+  Status CreateTenant(TenantId tenant);
 
   /// Enables an extension for a tenant. Layouts that cannot support
   /// extensibility (Basic) return an error — the paper's point.
-  virtual Status EnableExtension(TenantId tenant, const std::string& ext);
+  Status EnableExtension(TenantId tenant, const std::string& ext);
 
   /// Drops a tenant and its data.
-  virtual Status DropTenant(TenantId tenant);
+  Status DropTenant(TenantId tenant);
 
   // --- logical statement execution -----------------------------------
 
@@ -112,14 +132,17 @@ class SchemaMapping : public MappingResolver {
   const HeatProfile& heat_profile() const { return heat_; }
   HeatProfile* mutable_heat_profile() { return &heat_; }
 
-  DmlMode dml_mode() const { return dml_mode_; }
-  void set_dml_mode(DmlMode mode) { dml_mode_ = mode; }
+  DmlMode dml_mode() const { return dml_mode_.load(std::memory_order_relaxed); }
+  void set_dml_mode(DmlMode mode) {
+    dml_mode_.store(mode, std::memory_order_relaxed);
+  }
 
   /// Installs (or clears, with nullptr) the physical-statement observer.
   /// Not owned; the observer must outlive the layout or be cleared first.
+  /// Install before concurrent traffic: callbacks may start on other
+  /// threads the moment the pointer is published.
   void set_statement_observer(PhysicalStatementObserver* observer) {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
-    observer_ = observer;
+    observer_.store(observer, std::memory_order_release);
   }
 
   /// §6.3: "we transform delete operations into updates that mark the
@@ -145,12 +168,21 @@ class SchemaMapping : public MappingResolver {
       TenantId tenant, const std::string& table) override;
 
  protected:
-  /// Subclass hook: the tenant's physical mapping for a logical table.
-  /// (MappingResolver::Mapping is the public face of this.)
+  // Admin hooks invoked under the exclusive layer latch; subclasses
+  // override these (not the public methods) and chain to the base Impl
+  // for the shared bookkeeping.
+  virtual Status CreateTenantImpl(TenantId tenant);
+  virtual Status EnableExtensionImpl(TenantId tenant, const std::string& ext);
+  virtual Status DropTenantImpl(TenantId tenant);
 
-  /// Per-tenant bookkeeping shared by all layouts.
+  /// Per-tenant bookkeeping shared by all layouts. Entries live in a
+  /// node-based map, so pointers stay stable while the tenant exists.
   struct TenantEntry {
     TenantState state;
+    /// Guards next_row: the only per-tenant state statements mutate, so
+    /// two sessions of the same tenant can insert concurrently without
+    /// sharing a lock with other tenants.
+    std::mutex row_mu;
     /// next row id per logical table (lower-cased name).
     std::map<std::string, int64_t> next_row;
   };
@@ -200,24 +232,32 @@ class SchemaMapping : public MappingResolver {
 
   Database* db_;
   const AppSchema* app_;
-  /// Serializes access to the mutable layer state (mapping cache, row
-  /// counters, tenant registry, heat profile, stats). Recursive because
-  /// public entry points call each other (Execute -> Mapping, ...).
-  mutable std::recursive_mutex mu_;
+  /// Layer latch (level 0, above every engine latch): statement entry
+  /// points hold it shared for their full duration; admin operations
+  /// hold it exclusive. Protected helpers (GetTenant, Generic*, ...)
+  /// assume it is held and never take it themselves — shared_mutex is
+  /// not recursive.
+  mutable std::shared_mutex layer_mu_;
   TransformOptions transform_options_;
   LayoutStats stats_;
   HeatProfile heat_;
-  DmlMode dml_mode_ = DmlMode::kPerRow;
+  std::atomic<DmlMode> dml_mode_{DmlMode::kPerRow};
   /// Physical-statement capture hook (see PhysicalStatementObserver).
-  PhysicalStatementObserver* observer_ = nullptr;
+  std::atomic<PhysicalStatementObserver*> observer_{nullptr};
   /// Set by layouts that provision `del` visibility columns.
   bool trashcan_deletes_ = false;
   std::map<TenantId, TenantEntry> tenants_;
 
+  /// Guards mapping_cache_. Read-mostly: statements look mappings up far
+  /// more often than DDL invalidates them, and a build inside the lock
+  /// is pure in-memory work.
+  mutable std::mutex cache_mu_;
   /// Cache of (tenant, table-lower) -> TableMapping, filled via Mapping().
   std::map<std::pair<TenantId, std::string>, std::unique_ptr<TableMapping>>
       mapping_cache_;
 
+  /// Guards table_numbers_/next_table_number_ (bumped from BuildMapping).
+  std::mutex table_number_mu_;
   std::map<std::pair<TenantId, std::string>, int32_t> table_numbers_;
   int32_t next_table_number_ = 0;
 

@@ -30,15 +30,15 @@ Status PrivateTableLayout::CreateIndexes(TenantId tenant,
   return Status::OK();
 }
 
-Status PrivateTableLayout::CreateTenant(TenantId tenant) {
-  MTDB_RETURN_IF_ERROR(SchemaMapping::CreateTenant(tenant));
+Status PrivateTableLayout::CreateTenantImpl(TenantId tenant) {
+  MTDB_RETURN_IF_ERROR(SchemaMapping::CreateTenantImpl(tenant));
   for (const LogicalTable& t : app_->tables()) {
     MTDB_RETURN_IF_ERROR(MaterializeTable(tenant, t.name, ""));
   }
   return Status::OK();
 }
 
-Status PrivateTableLayout::DropTenant(TenantId tenant) {
+Status PrivateTableLayout::DropTenantImpl(TenantId tenant) {
   MTDB_ASSIGN_OR_RETURN(TenantEntry * entry, GetTenant(tenant));
   (void)entry;
   for (const LogicalTable& t : app_->tables()) {
@@ -76,8 +76,8 @@ Status PrivateTableLayout::MaterializeTable(TenantId tenant,
   return Status::OK();
 }
 
-Status PrivateTableLayout::EnableExtension(TenantId tenant,
-                                           const std::string& ext) {
+Status PrivateTableLayout::EnableExtensionImpl(TenantId tenant,
+                                               const std::string& ext) {
   MTDB_ASSIGN_OR_RETURN(TenantEntry * entry, GetTenant(tenant));
   const ExtensionDef* def = app_->FindExtension(ext);
   if (def == nullptr) return Status::NotFound("no such extension: " + ext);

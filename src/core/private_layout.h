@@ -22,15 +22,15 @@ class PrivateTableLayout final : public SchemaMapping {
   std::string name() const override { return "private"; }
 
   Status Bootstrap() override { return Status::OK(); }
-  Status CreateTenant(TenantId tenant) override;
-  Status DropTenant(TenantId tenant) override;
-  Status EnableExtension(TenantId tenant, const std::string& ext) override;
 
   /// Physical table name for (tenant, logical table) under the tenant's
   /// current extension set.
   std::string PhysicalName(TenantId tenant, const std::string& table) const;
 
  protected:
+  Status CreateTenantImpl(TenantId tenant) override;
+  Status DropTenantImpl(TenantId tenant) override;
+  Status EnableExtensionImpl(TenantId tenant, const std::string& ext) override;
   Result<std::unique_ptr<TableMapping>> BuildMapping(
       TenantId tenant, const std::string& table) override;
   Result<int64_t> GenericUpdate(TenantId tenant, const sql::UpdateStmt& stmt,

@@ -1,0 +1,79 @@
+#ifndef MTDB_CORE_TENANT_SESSION_H_
+#define MTDB_CORE_TENANT_SESSION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/layout.h"
+
+namespace mtdb {
+namespace mapping {
+
+/// The mapping layer's client front door, mirroring the engine's
+/// Session: a lightweight per-worker handle bound to one tenant of one
+/// layout. Testbed workers and examples hold one per thread; any number
+/// may execute concurrently against the shared layout.
+///
+/// Like an engine Session, a TenantSession is NOT itself thread-safe —
+/// it belongs to one worker thread at a time.
+class TenantSession {
+ public:
+  TenantSession() = default;
+
+  TenantSession(const TenantSession&) = delete;
+  TenantSession& operator=(const TenantSession&) = delete;
+  TenantSession(TenantSession&&) = default;
+  TenantSession& operator=(TenantSession&&) = default;
+
+  /// Runs a logical SELECT for this session's tenant.
+  Result<QueryResult> Query(const std::string& sql,
+                            const std::vector<Value>& params = {}) {
+    if (layout_ == nullptr) return Status::InvalidArgument("session is closed");
+    statements_++;
+    return layout_->Query(tenant_, sql, params);
+  }
+
+  /// Runs logical INSERT/UPDATE/DELETE; returns affected logical rows.
+  Result<int64_t> Execute(const std::string& sql,
+                          const std::vector<Value>& params = {}) {
+    if (layout_ == nullptr) return Status::InvalidArgument("session is closed");
+    statements_++;
+    return layout_->Execute(tenant_, sql, params);
+  }
+
+  /// Direct structured insert (bulk loaders): values in the tenant's
+  /// effective column order; missing trailing columns NULL.
+  Result<int64_t> InsertRow(const std::string& table, const Row& row) {
+    if (layout_ == nullptr) return Status::InvalidArgument("session is closed");
+    statements_++;
+    return layout_->InsertRow(tenant_, table, row);
+  }
+
+  /// Returns the transformed physical SQL (for inspection/examples).
+  Result<std::string> ShowTransformed(const std::string& sql) {
+    if (layout_ == nullptr) return Status::InvalidArgument("session is closed");
+    return layout_->ShowTransformed(tenant_, sql);
+  }
+
+  TenantId tenant() const { return tenant_; }
+  SchemaMapping* layout() const { return layout_; }
+  explicit operator bool() const { return layout_ != nullptr; }
+
+  /// Statements this session has executed.
+  uint64_t statements_executed() const { return statements_; }
+
+ private:
+  friend class SchemaMapping;
+  TenantSession(SchemaMapping* layout, TenantId tenant)
+      : layout_(layout), tenant_(tenant) {}
+
+  SchemaMapping* layout_ = nullptr;
+  TenantId tenant_ = -1;
+  uint64_t statements_ = 0;
+};
+
+}  // namespace mapping
+}  // namespace mtdb
+
+#endif  // MTDB_CORE_TENANT_SESSION_H_

@@ -1,6 +1,9 @@
 #include "engine/database.h"
 
+#include <algorithm>
+
 #include "common/key_encoding.h"
+#include "engine/session.h"
 #include "sql/parser.h"
 
 namespace mtdb {
@@ -96,9 +99,84 @@ Result<Value> EvalParsedScalar(const sql::ParsedExpr& e, const Row* row,
   }
 }
 
+/// RAII holder for the table/index latches of one statement. Latches are
+/// taken as they are added and dropped in reverse order on destruction.
+/// Callers must add them in the canonical global order — tables sorted
+/// by TableId, each table's heap latch before its index latches, index
+/// latches in vector order — which makes the acquisition deadlock-free.
+class LatchSet {
+ public:
+  LatchSet() = default;
+  LatchSet(const LatchSet&) = delete;
+  LatchSet& operator=(const LatchSet&) = delete;
+
+  ~LatchSet() {
+    for (auto it = held_.rbegin(); it != held_.rend(); ++it) {
+      if (it->second) {
+        it->first->unlock();
+      } else {
+        it->first->unlock_shared();
+      }
+    }
+  }
+
+  void Lock(std::shared_mutex& mu, bool exclusive) {
+    if (exclusive) {
+      mu.lock();
+    } else {
+      mu.lock_shared();
+    }
+    held_.emplace_back(&mu, exclusive);
+  }
+
+  /// Latches `table`'s heap and all its indexes. The index vector cannot
+  /// change underneath us: DDL is excluded by the engine's level-1 latch
+  /// for the duration of the statement.
+  void LockTable(TableInfo* table, bool exclusive) {
+    Lock(table->heap->latch(), exclusive);
+    for (const auto& idx : table->indexes) {
+      Lock(idx->tree->latch(), exclusive);
+    }
+  }
+
+ private:
+  std::vector<std::pair<std::shared_mutex*, bool>> held_;
+};
+
+/// Collects the base-table names referenced anywhere in `stmt`'s FROM
+/// lists, including derived tables, recursively. (The AST has no
+/// expression-level subqueries, so FROM is the only place tables hide.)
+void CollectSelectTables(const sql::SelectStmt& stmt,
+                         std::vector<std::string>* out) {
+  for (const sql::TableRef& ref : stmt.from) {
+    if (ref.is_subquery()) {
+      CollectSelectTables(*ref.subquery, out);
+    } else {
+      out->push_back(ref.table_name);
+    }
+  }
+}
+
+/// Resolves `names` against the catalog, dedupes, and returns the tables
+/// in canonical latch order (ascending TableId). Unknown names are
+/// skipped — the planner reports them properly afterwards.
+std::vector<TableInfo*> ResolveInLatchOrder(
+    Catalog* catalog, const std::vector<std::string>& names) {
+  std::vector<TableInfo*> tables;
+  for (const std::string& name : names) {
+    TableInfo* info = catalog->GetTable(name);
+    if (info != nullptr) tables.push_back(info);
+  }
+  std::sort(tables.begin(), tables.end(),
+            [](const TableInfo* a, const TableInfo* b) { return a->id < b->id; });
+  tables.erase(std::unique(tables.begin(), tables.end()), tables.end());
+  return tables;
+}
+
 }  // namespace
 
-Database::Database(EngineOptions options) : options_(options) {
+Database::Database(EngineOptions options)
+    : options_(options), planner_mode_(options.planner_mode) {
   store_ = std::make_unique<PageStore>(options_.page_size);
   store_->set_read_latency_ns(options_.read_latency_ns);
   pool_ = std::make_unique<BufferPool>(
@@ -108,31 +186,77 @@ Database::Database(EngineOptions options) : options_(options) {
                                        options_.metadata_costs);
 }
 
+Session Database::OpenSession() { return Session(this); }
+
+// --- string/AST front doors: thin wrappers over the one pipeline -------
+
 Result<QueryResult> Database::Execute(const std::string& sql,
                                       const std::vector<Value>& params) {
   MTDB_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql));
-  if (stmt.kind == sql::StatementKind::kSelect) {
-    return QueryAst(*stmt.select, params);
-  }
-  MTDB_ASSIGN_OR_RETURN(int64_t affected, ExecuteAst(stmt, params));
+  MTDB_ASSIGN_OR_RETURN(StatementResult res, RunStatement(stmt, params));
+  if (HasRows(res)) return std::move(std::get<QueryResult>(res));
   QueryResult out;
   out.columns = {"affected"};
-  out.rows.push_back({Value::Int64(affected)});
+  out.rows.push_back({Value::Int64(AffectedOf(res))});
   return out;
 }
 
 Result<QueryResult> Database::Query(const std::string& sql,
                                     const std::vector<Value>& params) {
   MTDB_ASSIGN_OR_RETURN(auto stmt, sql::ParseSelect(sql));
-  return QueryAst(*stmt, params);
+  return RunSelect(*stmt, params);
 }
 
 Result<QueryResult> Database::QueryAst(const sql::SelectStmt& stmt,
                                        const std::vector<Value>& params) {
-  std::lock_guard<std::mutex> lock(mu_);
-  MTDB_ASSIGN_OR_RETURN(
-      PlannedQuery plan,
-      PlanSelect(stmt, catalog_.get(), options_.planner_mode));
+  return RunSelect(stmt, params);
+}
+
+Result<int64_t> Database::ExecuteAst(const sql::Statement& stmt,
+                                     const std::vector<Value>& params) {
+  if (stmt.kind == sql::StatementKind::kSelect) {
+    return Status::InvalidArgument("use Query() for SELECT");
+  }
+  return RunMutation(stmt, params);
+}
+
+Result<std::string> Database::Explain(const std::string& sql) {
+  MTDB_ASSIGN_OR_RETURN(auto stmt, sql::ParseSelect(sql));
+  return ExplainAst(*stmt);
+}
+
+Result<std::string> Database::ExplainAst(const sql::SelectStmt& stmt) {
+  // Planning only reads the catalog; holding the DDL latch shared keeps
+  // the referenced TableInfos alive without blocking other statements.
+  std::shared_lock<std::shared_mutex> ddl(ddl_mu_);
+  MTDB_ASSIGN_OR_RETURN(PlannedQuery plan,
+                        PlanSelect(stmt, catalog_.get(), planner_mode()));
+  return plan.plan_text;
+}
+
+// --- the statement pipeline -------------------------------------------
+
+Result<StatementResult> Database::RunStatement(const sql::Statement& stmt,
+                                               const std::vector<Value>& params) {
+  if (stmt.kind == sql::StatementKind::kSelect) {
+    MTDB_ASSIGN_OR_RETURN(QueryResult rows, RunSelect(*stmt.select, params));
+    return StatementResult(std::move(rows));
+  }
+  MTDB_ASSIGN_OR_RETURN(int64_t affected, RunMutation(stmt, params));
+  return StatementResult(affected);
+}
+
+Result<QueryResult> Database::RunSelect(const sql::SelectStmt& stmt,
+                                        const std::vector<Value>& params) {
+  std::shared_lock<std::shared_mutex> ddl(ddl_mu_);
+  std::vector<std::string> names;
+  CollectSelectTables(stmt, &names);
+  LatchSet latches;
+  for (TableInfo* table : ResolveInLatchOrder(catalog_.get(), names)) {
+    latches.LockTable(table, /*exclusive=*/false);
+  }
+  MTDB_ASSIGN_OR_RETURN(PlannedQuery plan,
+                        PlanSelect(stmt, catalog_.get(), planner_mode()));
   ExecContext ctx;
   ctx.params = params;
   MTDB_RETURN_IF_ERROR(plan.exec->Init(ctx));
@@ -148,32 +272,41 @@ Result<QueryResult> Database::QueryAst(const sql::SelectStmt& stmt,
   return out;
 }
 
-Result<std::string> Database::Explain(const std::string& sql) {
-  MTDB_ASSIGN_OR_RETURN(auto stmt, sql::ParseSelect(sql));
-  return ExplainAst(*stmt);
-}
-
-Result<std::string> Database::ExplainAst(const sql::SelectStmt& stmt) {
-  std::lock_guard<std::mutex> lock(mu_);
-  MTDB_ASSIGN_OR_RETURN(
-      PlannedQuery plan,
-      PlanSelect(stmt, catalog_.get(), options_.planner_mode));
-  return plan.plan_text;
-}
-
-Result<int64_t> Database::ExecuteAst(const sql::Statement& stmt,
-                                     const std::vector<Value>& params) {
-  std::lock_guard<std::mutex> lock(mu_);
+Result<int64_t> Database::RunMutation(const sql::Statement& stmt,
+                                      const std::vector<Value>& params) {
   ExecContext ctx;
   ctx.params = params;
   switch (stmt.kind) {
     case sql::StatementKind::kInsert:
-      return ExecuteInsert(*stmt.insert, ctx);
     case sql::StatementKind::kUpdate:
-      return ExecuteUpdate(*stmt.update, ctx);
-    case sql::StatementKind::kDelete:
-      return ExecuteDelete(*stmt.del, ctx);
+    case sql::StatementKind::kDelete: {
+      std::shared_lock<std::shared_mutex> ddl(ddl_mu_);
+      const std::string& name = stmt.kind == sql::StatementKind::kInsert
+                                    ? stmt.insert->table
+                                    : stmt.kind == sql::StatementKind::kUpdate
+                                          ? stmt.update->table
+                                          : stmt.del->table;
+      TableInfo* table = catalog_->GetTable(name);
+      if (table == nullptr) {
+        return Status::NotFound("no such table: " + name);
+      }
+      // One target table per DML statement; exclusive latch serializes
+      // writers with each other and with this table's readers. UPDATE's
+      // and DELETE's internal qualifying scan runs on the same table
+      // under the latch already held here.
+      LatchSet latches;
+      latches.LockTable(table, /*exclusive=*/true);
+      switch (stmt.kind) {
+        case sql::StatementKind::kInsert:
+          return ExecuteInsert(*stmt.insert, ctx);
+        case sql::StatementKind::kUpdate:
+          return ExecuteUpdate(*stmt.update, ctx);
+        default:
+          return ExecuteDelete(*stmt.del, ctx);
+      }
+    }
     case sql::StatementKind::kCreateTable: {
+      std::unique_lock<std::shared_mutex> ddl(ddl_mu_);
       Schema schema;
       for (const sql::ColumnDef& def : stmt.create_table->columns) {
         schema.AddColumn(Column{def.name, def.type, def.not_null});
@@ -185,6 +318,7 @@ Result<int64_t> Database::ExecuteAst(const sql::Statement& stmt,
       return 0;
     }
     case sql::StatementKind::kCreateIndex: {
+      std::unique_lock<std::shared_mutex> ddl(ddl_mu_);
       MTDB_ASSIGN_OR_RETURN(
           IndexInfo * info,
           catalog_->CreateIndex(stmt.create_index->table,
@@ -194,19 +328,23 @@ Result<int64_t> Database::ExecuteAst(const sql::Statement& stmt,
       (void)info;
       return 0;
     }
-    case sql::StatementKind::kDropTable:
+    case sql::StatementKind::kDropTable: {
+      std::unique_lock<std::shared_mutex> ddl(ddl_mu_);
       MTDB_RETURN_IF_ERROR(catalog_->DropTable(stmt.drop_table->table));
       return 0;
-    case sql::StatementKind::kDropIndex:
+    }
+    case sql::StatementKind::kDropIndex: {
+      std::unique_lock<std::shared_mutex> ddl(ddl_mu_);
       MTDB_RETURN_IF_ERROR(catalog_->DropIndex(stmt.drop_index->index));
       return 0;
+    }
     case sql::StatementKind::kSelect:
       return Status::InvalidArgument("use Query() for SELECT");
   }
   return Status::Internal("unknown statement kind");
 }
 
-Status Database::InsertRowLocked(TableInfo* table, const Row& row) {
+Status Database::InsertRowLatched(TableInfo* table, const Row& row) {
   if (row.size() != table->schema.size()) {
     return Status::InvalidArgument("row arity mismatch for " + table->name);
   }
@@ -243,8 +381,8 @@ Status Database::InsertRowLocked(TableInfo* table, const Row& row) {
   return Status::OK();
 }
 
-Status Database::DeleteRowLocked(TableInfo* table, const Row& row,
-                                 const Rid& rid) {
+Status Database::DeleteRowLatched(TableInfo* table, const Row& row,
+                                  const Rid& rid) {
   for (const auto& idx : table->indexes) {
     std::string key = IndexKeyFor(*idx, row);
     Status st = idx->tree->Delete(key, rid);
@@ -280,7 +418,7 @@ Result<int64_t> Database::ExecuteInsert(const sql::InsertStmt& stmt,
           Value v, EvalParsedScalar(*row_exprs[i], nullptr, nullptr, ctx));
       full[positions[i]] = std::move(v);
     }
-    MTDB_RETURN_IF_ERROR(InsertRowLocked(table, full));
+    MTDB_RETURN_IF_ERROR(InsertRowLatched(table, full));
     inserted++;
   }
   return inserted;
@@ -297,9 +435,8 @@ Result<int64_t> Database::ExecuteUpdate(const sql::UpdateStmt& stmt,
   ref.table_name = stmt.table;
   select.from.push_back(std::move(ref));
   if (stmt.where != nullptr) select.where = stmt.where->Clone();
-  MTDB_ASSIGN_OR_RETURN(
-      PlannedQuery plan,
-      PlanSelect(select, catalog_.get(), options_.planner_mode));
+  MTDB_ASSIGN_OR_RETURN(PlannedQuery plan,
+                        PlanSelect(select, catalog_.get(), planner_mode()));
   MTDB_RETURN_IF_ERROR(plan.exec->Init(ctx));
 
   std::vector<std::pair<Rid, Row>> affected;
@@ -362,9 +499,8 @@ Result<int64_t> Database::ExecuteDelete(const sql::DeleteStmt& stmt,
   ref.table_name = stmt.table;
   select.from.push_back(std::move(ref));
   if (stmt.where != nullptr) select.where = stmt.where->Clone();
-  MTDB_ASSIGN_OR_RETURN(
-      PlannedQuery plan,
-      PlanSelect(select, catalog_.get(), options_.planner_mode));
+  MTDB_ASSIGN_OR_RETURN(PlannedQuery plan,
+                        PlanSelect(select, catalog_.get(), planner_mode()));
   MTDB_RETURN_IF_ERROR(plan.exec->Init(ctx));
   std::vector<std::pair<Rid, Row>> affected;
   Row row;
@@ -379,13 +515,15 @@ Result<int64_t> Database::ExecuteDelete(const sql::DeleteStmt& stmt,
     affected.emplace_back(*rid, row);
   }
   for (const auto& [rid, old_row] : affected) {
-    MTDB_RETURN_IF_ERROR(DeleteRowLocked(table, old_row, rid));
+    MTDB_RETURN_IF_ERROR(DeleteRowLatched(table, old_row, rid));
   }
   return static_cast<int64_t>(affected.size());
 }
 
+// --- direct helpers ----------------------------------------------------
+
 Status Database::CreateTable(const std::string& name, Schema schema) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> ddl(ddl_mu_);
   MTDB_ASSIGN_OR_RETURN(TableInfo * info,
                         catalog_->CreateTable(name, std::move(schema)));
   (void)info;
@@ -393,14 +531,14 @@ Status Database::CreateTable(const std::string& name, Schema schema) {
 }
 
 Status Database::DropTable(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> ddl(ddl_mu_);
   return catalog_->DropTable(name);
 }
 
 Status Database::CreateIndex(const std::string& table, const std::string& index,
                              const std::vector<std::string>& columns,
                              bool unique) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> ddl(ddl_mu_);
   MTDB_ASSIGN_OR_RETURN(IndexInfo * info,
                         catalog_->CreateIndex(table, index, columns, unique));
   (void)info;
@@ -408,14 +546,18 @@ Status Database::CreateIndex(const std::string& table, const std::string& index,
 }
 
 Status Database::InsertRow(const std::string& table, const Row& row) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> ddl(ddl_mu_);
   TableInfo* info = catalog_->GetTable(table);
   if (info == nullptr) return Status::NotFound("no such table: " + table);
-  return InsertRowLocked(info, row);
+  LatchSet latches;
+  latches.LockTable(info, /*exclusive=*/true);
+  return InsertRowLatched(info, row);
 }
 
+// --- observability -----------------------------------------------------
+
 EngineStats Database::Stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Every component snapshots under its own latch; no engine-wide lock.
   EngineStats out;
   out.buffer = pool_->stats();
   out.store = store_->stats();
@@ -427,13 +569,13 @@ EngineStats Database::Stats() const {
 }
 
 void Database::ResetStats() {
-  std::lock_guard<std::mutex> lock(mu_);
   pool_->ResetStats();
   store_->ResetStats();
 }
 
 void Database::ColdCache() {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Exclude in-flight statements so no pinned frame blocks the sweep.
+  std::unique_lock<std::shared_mutex> ddl(ddl_mu_);
   pool_->EvictAll();
 }
 

@@ -1,9 +1,11 @@
 #ifndef MTDB_ENGINE_DATABASE_H_
 #define MTDB_ENGINE_DATABASE_H_
 
+#include <atomic>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
+#include <variant>
 #include <vector>
 
 #include "catalog/catalog.h"
@@ -14,6 +16,8 @@
 #include "storage/page_store.h"
 
 namespace mtdb {
+
+class Session;
 
 /// Engine configuration. `memory_budget_bytes` is shared between the
 /// buffer pool and the catalog's per-table meta-data charge, reproducing
@@ -33,6 +37,20 @@ struct QueryResult {
   std::vector<Row> rows;
 };
 
+/// What one statement produced: rows for SELECT, an affected-row count
+/// for everything else (DDL reports 0).
+using StatementResult = std::variant<QueryResult, int64_t>;
+
+inline bool HasRows(const StatementResult& r) {
+  return std::holds_alternative<QueryResult>(r);
+}
+inline const QueryResult& RowsOf(const StatementResult& r) {
+  return std::get<QueryResult>(r);
+}
+inline int64_t AffectedOf(const StatementResult& r) {
+  return std::get<int64_t>(r);
+}
+
 /// Aggregate engine counters (logical/physical I/O, buffer hit ratios).
 struct EngineStats {
   BufferPoolStats buffer;
@@ -43,10 +61,23 @@ struct EngineStats {
   size_t indexes = 0;
 };
 
-/// An embedded multi-threadable relational database: the System Under
-/// Test substrate on which the schema-mapping layers run. All public
-/// methods are serialized by an internal mutex (one statement at a time,
-/// like a single-node DB under a connection pool).
+/// An embedded multi-threaded relational database: the System Under
+/// Test substrate on which the schema-mapping layers run. Clients open a
+/// Session per worker thread (OpenSession) and execute statements
+/// through it; the engine runs statements concurrently, latching only
+/// what each statement touches.
+///
+/// Latch hierarchy (always acquired top-down; see DESIGN.md):
+///   1. engine DDL latch          — shared per query/DML, exclusive per DDL
+///   2. catalog internal latch    — inside Catalog calls only
+///   3. table/index latches       — per touched table, sorted by TableId,
+///                                  heap before its indexes
+///   4. buffer-pool shard latch   — inside BufferPool calls only
+///   5. page-store latch          — inside PageStore calls only
+/// Queries take table latches shared; DML takes its one target table
+/// exclusively (coarse per-table granularity: writers to a table
+/// serialize with each other and with that table's readers, everything
+/// else proceeds in parallel).
 class Database {
  public:
   explicit Database(EngineOptions options = EngineOptions());
@@ -56,8 +87,14 @@ class Database {
 
   // --- SQL front door -----------------------------------------------
 
+  /// Opens a client session. Sessions are cheap value handles; hold one
+  /// per worker thread. Any number may be open concurrently.
+  Session OpenSession();
+
   /// Executes any SQL statement. SELECTs return rows; DML returns the
-  /// affected-row count in `affected`; DDL returns zero rows.
+  /// affected-row count as a single pseudo-row ("affected"); DDL returns
+  /// zero affected. Thin wrapper over the Session path, kept for
+  /// single-statement convenience.
   Result<QueryResult> Execute(const std::string& sql,
                               const std::vector<Value>& params = {});
 
@@ -99,28 +136,44 @@ class Database {
   BufferPool* buffer_pool() { return pool_.get(); }
   PageStore* page_store() { return store_.get(); }
 
-  PlannerMode planner_mode() const { return options_.planner_mode; }
-  void set_planner_mode(PlannerMode mode) { options_.planner_mode = mode; }
-
-  /// The engine-level mutex; exposed so multi-statement client sessions
-  /// (the testbed Workers) can group statements if needed.
-  std::mutex& big_lock() { return mu_; }
+  PlannerMode planner_mode() const {
+    return planner_mode_.load(std::memory_order_relaxed);
+  }
+  void set_planner_mode(PlannerMode mode) {
+    planner_mode_.store(mode, std::memory_order_relaxed);
+  }
 
  private:
+  friend class Session;
+
+  /// The single parsed-statement pipeline every front door funnels into:
+  /// takes the DDL latch (shared or exclusive), latches the touched
+  /// tables in canonical order, and dispatches.
+  Result<StatementResult> RunStatement(const sql::Statement& stmt,
+                                       const std::vector<Value>& params);
+  Result<QueryResult> RunSelect(const sql::SelectStmt& stmt,
+                                const std::vector<Value>& params);
+  Result<int64_t> RunMutation(const sql::Statement& stmt,
+                              const std::vector<Value>& params);
+
   Result<int64_t> ExecuteInsert(const sql::InsertStmt& stmt,
                                 const ExecContext& ctx);
   Result<int64_t> ExecuteUpdate(const sql::UpdateStmt& stmt,
                                 const ExecContext& ctx);
   Result<int64_t> ExecuteDelete(const sql::DeleteStmt& stmt,
                                 const ExecContext& ctx);
-  Status InsertRowLocked(TableInfo* table, const Row& row);
-  Status DeleteRowLocked(TableInfo* table, const Row& row, const Rid& rid);
+  Status InsertRowLatched(TableInfo* table, const Row& row);
+  Status DeleteRowLatched(TableInfo* table, const Row& row, const Rid& rid);
 
   EngineOptions options_;
+  std::atomic<PlannerMode> planner_mode_;
   std::unique_ptr<PageStore> store_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<Catalog> catalog_;
-  mutable std::mutex mu_;
+  /// Level-1 latch: statements hold it shared for their whole duration,
+  /// DDL holds it exclusive — so a TableInfo* resolved at statement
+  /// start cannot be dropped mid-statement.
+  mutable std::shared_mutex ddl_mu_;
 };
 
 }  // namespace mtdb

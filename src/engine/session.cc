@@ -1,0 +1,48 @@
+#include "engine/session.h"
+
+#include "sql/ast_util.h"
+#include "sql/parser.h"
+
+namespace mtdb {
+
+Result<StatementResult> Session::Execute(const std::string& sql,
+                                         const std::vector<Value>& params) {
+  if (db_ == nullptr) return Status::InvalidArgument("session is closed");
+  MTDB_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql));
+  return Execute(stmt, params);
+}
+
+Result<StatementResult> Session::Execute(const sql::Statement& stmt,
+                                         const std::vector<Value>& params) {
+  if (db_ == nullptr) return Status::InvalidArgument("session is closed");
+  statements_++;
+  return db_->RunStatement(stmt, params);
+}
+
+Result<StatementResult> Session::Execute(const PreparedStatement& prepared,
+                                         const std::vector<Value>& params) {
+  return Execute(prepared.statement(), params);
+}
+
+Result<PreparedStatement> Session::Prepare(const std::string& sql) const {
+  if (db_ == nullptr) return Status::InvalidArgument("session is closed");
+  MTDB_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql));
+  return PreparedStatement(std::move(stmt));
+}
+
+Result<QueryResult> Session::Query(const std::string& sql,
+                                   const std::vector<Value>& params) {
+  MTDB_ASSIGN_OR_RETURN(StatementResult res, Execute(sql, params));
+  if (!HasRows(res)) {
+    return Status::InvalidArgument("Query() requires a SELECT statement");
+  }
+  return std::move(std::get<QueryResult>(res));
+}
+
+Status Session::InsertRow(const std::string& table, const Row& row) {
+  if (db_ == nullptr) return Status::InvalidArgument("session is closed");
+  statements_++;
+  return db_->InsertRow(table, row);
+}
+
+}  // namespace mtdb

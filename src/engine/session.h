@@ -1,0 +1,92 @@
+#ifndef MTDB_ENGINE_SESSION_H_
+#define MTDB_ENGINE_SESSION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/database.h"
+#include "sql/ast.h"
+
+namespace mtdb {
+
+/// A parsed statement ready for repeated execution with different bind
+/// parameters (parse once, execute many). Produced by Session::Prepare;
+/// immutable after construction, so one PreparedStatement may be shared
+/// by several sessions.
+class PreparedStatement {
+ public:
+  PreparedStatement() = default;
+
+  const sql::Statement& statement() const { return stmt_; }
+  bool is_select() const {
+    return stmt_.kind == sql::StatementKind::kSelect;
+  }
+
+ private:
+  friend class Session;
+  explicit PreparedStatement(sql::Statement stmt) : stmt_(std::move(stmt)) {}
+  sql::Statement stmt_;
+};
+
+/// The engine's client front door: a lightweight per-worker handle that
+/// groups the statements of one logical connection. Sessions are cheap
+/// to open (Database::OpenSession), movable, and independent — any
+/// number may execute concurrently; the engine latches per statement
+/// only what that statement touches.
+///
+/// A Session itself is NOT thread-safe: it belongs to one worker thread
+/// at a time, exactly like a SQL connection. Open one per thread.
+class Session {
+ public:
+  Session() = default;
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+  Session(Session&&) = default;
+  Session& operator=(Session&&) = default;
+
+  /// Executes one SQL string. SELECTs yield a QueryResult; everything
+  /// else yields the affected-row count (DDL reports 0).
+  Result<StatementResult> Execute(const std::string& sql,
+                                  const std::vector<Value>& params = {});
+
+  /// Executes an already-parsed statement (the mapping layer transforms
+  /// ASTs directly and skips re-parsing).
+  Result<StatementResult> Execute(const sql::Statement& stmt,
+                                  const std::vector<Value>& params = {});
+
+  /// Executes a prepared statement with fresh bind parameters.
+  Result<StatementResult> Execute(const PreparedStatement& prepared,
+                                  const std::vector<Value>& params = {});
+
+  /// Parses `sql` once for repeated execution.
+  Result<PreparedStatement> Prepare(const std::string& sql) const;
+
+  /// SELECT-only convenience: unwraps the rows alternative.
+  Result<QueryResult> Query(const std::string& sql,
+                            const std::vector<Value>& params = {});
+
+  /// Direct row insert, bypassing SQL parsing (bulk loaders, the mapping
+  /// layer's chunked writes). Latched exactly like an INSERT statement.
+  Status InsertRow(const std::string& table, const Row& row);
+
+  Database* database() const { return db_; }
+  explicit operator bool() const { return db_ != nullptr; }
+
+  /// Statements this session has executed (its "statement grouping"):
+  /// workload drivers read this instead of keeping their own tallies.
+  uint64_t statements_executed() const { return statements_; }
+
+ private:
+  friend class Database;
+  explicit Session(Database* db) : db_(db) {}
+
+  Database* db_ = nullptr;
+  uint64_t statements_ = 0;
+};
+
+}  // namespace mtdb
+
+#endif  // MTDB_ENGINE_SESSION_H_

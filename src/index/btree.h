@@ -2,6 +2,7 @@
 #define MTDB_INDEX_BTREE_H_
 
 #include <cstdint>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -70,6 +71,13 @@ class BTree {
   /// Tree height (1 = root is a leaf). Walks the leftmost path.
   int Height();
 
+  /// Per-index reader/writer latch. Like TableHeap::latch(), this is
+  /// acquired only by the engine's statement pipeline (shared for
+  /// lookups/scans, exclusive for inserts/deletes) at coarse per-index
+  /// granularity; BTree methods themselves never lock it, as
+  /// shared_mutex is not recursive.
+  std::shared_mutex& latch() const { return latch_; }
+
  private:
   struct NodeRef;  // defined in btree.cc
 
@@ -84,6 +92,7 @@ class BTree {
   PageId root_;
   uint64_t entries_ = 0;
   std::vector<PageId> all_pages_;
+  mutable std::shared_mutex latch_;
 };
 
 /// Appends an order-preserving RID suffix to `key` (used by BTree to

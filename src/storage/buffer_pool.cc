@@ -5,82 +5,119 @@
 namespace mtdb {
 
 BufferPool::BufferPool(PageStore* store, size_t capacity)
-    : store_(store), capacity_(capacity == 0 ? 1 : capacity) {}
+    : store_(store), capacity_(capacity == 0 ? 1 : capacity) {
+  DistributeCapacity(capacity_);
+}
 
-void BufferPool::Touch(Frame* frame, PageId id) {
-  if (frame->in_lru) {
-    lru_.erase(frame->lru_it);
+void BufferPool::DistributeCapacity(size_t total) {
+  // Every shard gets at least one frame so a pinned page can always live
+  // somewhere; small budgets therefore overshoot slightly rather than
+  // starve a shard.
+  size_t share = total / kBufferPoolShards;
+  if (share == 0) share = 1;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.capacity = share;
+    EvictIfNeeded(shard);
   }
-  lru_.push_front(id);
-  frame->lru_it = lru_.begin();
+}
+
+void BufferPool::Touch(Shard& shard, Frame* frame, PageId id) {
+  if (frame->in_lru) {
+    shard.lru.erase(frame->lru_it);
+  }
+  shard.lru.push_front(id);
+  frame->lru_it = shard.lru.begin();
   frame->in_lru = true;
 }
 
 Page* BufferPool::FetchPage(PageId id) {
+  Shard& shard = shards_[ShardOf(id)];
   PageType type = store_->TypeOf(id);
-  if (type == PageType::kIndex) {
-    stats_.logical_reads_index++;
-  } else {
-    stats_.logical_reads_data++;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (type == PageType::kIndex) {
+      shard.stats.logical_reads_index++;
+    } else {
+      shard.stats.logical_reads_data++;
+    }
+    auto it = shard.frames.find(id);
+    if (it != shard.frames.end()) {
+      Frame* frame = it->second.get();
+      frame->pin_count++;
+      Touch(shard, frame, id);
+      return &frame->page;
+    }
+    if (type == PageType::kIndex) {
+      shard.stats.misses_index++;
+    } else {
+      shard.stats.misses_data++;
+    }
   }
-  auto it = frames_.find(id);
-  if (it != frames_.end()) {
-    Frame* frame = it->second.get();
-    frame->pin_count++;
-    Touch(frame, id);
-    return &frame->page;
-  }
-  // Miss: read through.
-  if (type == PageType::kIndex) {
-    stats_.misses_index++;
-  } else {
-    stats_.misses_data++;
-  }
+  // Miss: read through with the shard latch dropped so the device stall
+  // does not serialize other traffic on this shard. Two sessions may
+  // race on the same cold page; both read identical bytes (writers to
+  // the page are excluded by the owning table/index latch) and the loser
+  // of the insert below adopts the winner's frame.
   auto frame = std::make_unique<Frame>(store_->page_size());
   frame->page.set_id(id);
   frame->page.set_type(type);
   store_->Read(id, frame->page.data());
-  frame->pin_count = 1;
-  Frame* raw = frame.get();
-  frames_.emplace(id, std::move(frame));
-  Touch(raw, id);
-  EvictIfNeeded();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto [it, inserted] = shard.frames.try_emplace(id, std::move(frame));
+  Frame* raw = it->second.get();
+  if (inserted) {
+    raw->pin_count = 1;
+    Touch(shard, raw, id);
+    EvictIfNeeded(shard);
+  } else {
+    raw->pin_count++;
+    Touch(shard, raw, id);
+  }
   return &raw->page;
 }
 
 Page* BufferPool::NewPage(PageType type) {
   PageId id = store_->Allocate(type);
+  Shard& shard = shards_[ShardOf(id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
   auto frame = std::make_unique<Frame>(store_->page_size());
   frame->page.set_id(id);
   frame->page.set_type(type);
   frame->pin_count = 1;
   frame->dirty = true;
   Frame* raw = frame.get();
-  frames_.emplace(id, std::move(frame));
-  Touch(raw, id);
-  EvictIfNeeded();
+  shard.frames.emplace(id, std::move(frame));
+  Touch(shard, raw, id);
+  EvictIfNeeded(shard);
   return &raw->page;
 }
 
 void BufferPool::UnpinPage(PageId id, bool dirty) {
-  auto it = frames_.find(id);
-  if (it == frames_.end()) return;
+  Shard& shard = shards_[ShardOf(id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.frames.find(id);
+  if (it == shard.frames.end()) return;
   Frame* frame = it->second.get();
   assert(frame->pin_count > 0);
   frame->pin_count--;
   if (dirty) frame->dirty = true;
-  if (frame->pin_count == 0 && frames_.size() > capacity_) {
-    EvictIfNeeded();
+  if (frame->pin_count == 0 && shard.frames.size() > shard.capacity) {
+    EvictIfNeeded(shard);
   }
 }
 
 void BufferPool::DeletePage(PageId id) {
-  auto it = frames_.find(id);
-  if (it != frames_.end()) {
-    Frame* frame = it->second.get();
-    assert(frame->pin_count == 0);
-    if (frame->in_lru) lru_.erase(frame->lru_it);
-    frames_.erase(it);
+  Shard& shard = shards_[ShardOf(id)];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.frames.find(id);
+    if (it != shard.frames.end()) {
+      Frame* frame = it->second.get();
+      assert(frame->pin_count == 0);
+      if (frame->in_lru) shard.lru.erase(frame->lru_it);
+      shard.frames.erase(it);
+    }
   }
   store_->Deallocate(id);
 }
@@ -93,44 +130,88 @@ void BufferPool::FlushFrame(Frame* frame) {
 }
 
 void BufferPool::FlushAll() {
-  for (auto& [id, frame] : frames_) {
-    FlushFrame(frame.get());
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto& [id, frame] : shard.frames) {
+      FlushFrame(frame.get());
+    }
   }
 }
 
 void BufferPool::EvictAll() {
-  for (auto it = frames_.begin(); it != frames_.end();) {
-    Frame* frame = it->second.get();
-    if (frame->pin_count == 0) {
-      FlushFrame(frame);
-      if (frame->in_lru) lru_.erase(frame->lru_it);
-      it = frames_.erase(it);
-      stats_.evictions++;
-    } else {
-      ++it;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.frames.begin(); it != shard.frames.end();) {
+      Frame* frame = it->second.get();
+      if (frame->pin_count == 0) {
+        FlushFrame(frame);
+        if (frame->in_lru) shard.lru.erase(frame->lru_it);
+        it = shard.frames.erase(it);
+        shard.stats.evictions++;
+      } else {
+        ++it;
+      }
     }
   }
 }
 
 void BufferPool::SetCapacity(size_t frames) {
-  capacity_ = frames == 0 ? 1 : frames;
-  EvictIfNeeded();
+  size_t total = frames == 0 ? 1 : frames;
+  {
+    std::lock_guard<std::mutex> lock(capacity_mu_);
+    capacity_ = total;
+  }
+  DistributeCapacity(total);
 }
 
-void BufferPool::EvictIfNeeded() {
-  while (frames_.size() > capacity_ && !lru_.empty()) {
+size_t BufferPool::capacity() const {
+  std::lock_guard<std::mutex> lock(capacity_mu_);
+  return capacity_;
+}
+
+size_t BufferPool::frames_in_use() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.frames.size();
+  }
+  return total;
+}
+
+BufferPoolStats BufferPool::stats() const {
+  BufferPoolStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total.logical_reads_data += shard.stats.logical_reads_data;
+    total.logical_reads_index += shard.stats.logical_reads_index;
+    total.misses_data += shard.stats.misses_data;
+    total.misses_index += shard.stats.misses_index;
+    total.evictions += shard.stats.evictions;
+  }
+  return total;
+}
+
+void BufferPool::ResetStats() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.stats = BufferPoolStats();
+  }
+}
+
+void BufferPool::EvictIfNeeded(Shard& shard) {
+  while (shard.frames.size() > shard.capacity && !shard.lru.empty()) {
     // Scan from LRU end for an unpinned victim.
     bool evicted = false;
-    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    for (auto it = shard.lru.rbegin(); it != shard.lru.rend(); ++it) {
       PageId victim = *it;
-      auto fit = frames_.find(victim);
-      assert(fit != frames_.end());
+      auto fit = shard.frames.find(victim);
+      assert(fit != shard.frames.end());
       Frame* frame = fit->second.get();
       if (frame->pin_count == 0) {
         FlushFrame(frame);
-        lru_.erase(std::next(it).base());
-        frames_.erase(fit);
-        stats_.evictions++;
+        shard.lru.erase(std::next(it).base());
+        shard.frames.erase(fit);
+        shard.stats.evictions++;
         evicted = true;
         break;
       }

@@ -1,9 +1,11 @@
 #ifndef MTDB_STORAGE_BUFFER_POOL_H_
 #define MTDB_STORAGE_BUFFER_POOL_H_
 
+#include <array>
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "common/status.h"
@@ -40,10 +42,24 @@ struct BufferPoolStats {
   }
 };
 
-/// LRU buffer pool over a PageStore. Capacity is in frames and can be
-/// resized at runtime: the catalog shrinks it as per-table meta-data is
-/// charged against the shared memory budget (the DB2 "4 KB per table"
-/// behaviour of §1.1/§5).
+/// Number of latch-striped LRU partitions. Pages hash to a shard by id,
+/// so concurrent sessions touching different pages contend only on
+/// different shard latches.
+inline constexpr size_t kBufferPoolShards = 8;
+
+/// LRU buffer pool over a PageStore, sharded into kBufferPoolShards
+/// latch-striped partitions. Each shard owns its own frame table, LRU
+/// list, per-frame pin counts, and stats; a page's shard is a pure
+/// function of its id. Capacity is in frames, split evenly across the
+/// shards, and can be resized at runtime: the catalog shrinks it as
+/// per-table meta-data is charged against the shared memory budget (the
+/// DB2 "4 KB per table" behaviour of §1.1/§5).
+///
+/// Thread-safety: the pool's own bookkeeping (frame maps, LRU, pins) is
+/// safe under concurrent calls. The *contents* of a returned Page are
+/// NOT latched here — callers must hold the owning table/index latch
+/// (shared for reads, exclusive for writes) while a page is pinned; the
+/// pin only prevents eviction.
 class BufferPool {
  public:
   BufferPool(PageStore* store, size_t capacity);
@@ -73,13 +89,21 @@ class BufferPool {
 
   /// Adjusts the frame budget. Shrinking evicts LRU frames lazily.
   void SetCapacity(size_t frames);
-  size_t capacity() const { return capacity_; }
-  size_t frames_in_use() const { return frames_.size(); }
+  size_t capacity() const;
+  size_t frames_in_use() const;
 
-  const BufferPoolStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = BufferPoolStats(); }
+  /// Aggregated counters over all shards (a consistent-enough snapshot;
+  /// shards are locked one at a time).
+  BufferPoolStats stats() const;
+  void ResetStats();
 
   PageStore* store() { return store_; }
+
+  /// Shard a page id maps to. Exposed so tests (and capacity planners)
+  /// can reason about which pages contend on the same latch stripe.
+  static size_t ShardOf(PageId id) {
+    return static_cast<size_t>(static_cast<uint64_t>(id)) % kBufferPoolShards;
+  }
 
  private:
   struct Frame {
@@ -91,16 +115,28 @@ class BufferPool {
     explicit Frame(uint32_t page_size) : page(page_size) {}
   };
 
-  /// Evicts LRU victims until frames_.size() <= capacity_. Honors pins.
-  void EvictIfNeeded();
-  void Touch(Frame* frame, PageId id);
+  /// One latch-striped partition: frames, LRU order, local capacity
+  /// share, and local stats, all guarded by `mu`.
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<PageId, std::unique_ptr<Frame>> frames;
+    std::list<PageId> lru;  // front = most recent
+    size_t capacity = 1;
+    BufferPoolStats stats;
+  };
+
+  /// Evicts LRU victims until shard.frames.size() <= shard.capacity.
+  /// Honors pins. Caller holds shard.mu.
+  void EvictIfNeeded(Shard& shard);
+  void Touch(Shard& shard, Frame* frame, PageId id);
   void FlushFrame(Frame* frame);
 
   PageStore* store_;
+  std::array<Shard, kBufferPoolShards> shards_;
+  mutable std::mutex capacity_mu_;
   size_t capacity_;
-  std::unordered_map<PageId, std::unique_ptr<Frame>> frames_;
-  std::list<PageId> lru_;  // front = most recent
-  BufferPoolStats stats_;
+
+  void DistributeCapacity(size_t total);
 };
 
 /// RAII pin guard.

@@ -3,10 +3,12 @@
 #include <cassert>
 #include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace mtdb {
 
 PageId PageStore::Allocate(PageType type) {
+  std::lock_guard<std::mutex> lock(mu_);
   stats_.allocations++;
   PageId id;
   if (!free_list_.empty()) {
@@ -22,42 +24,60 @@ PageId PageStore::Allocate(PageType type) {
 }
 
 void PageStore::Deallocate(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   assert(id >= 0 && static_cast<size_t>(id) < pages_.size());
   pages_[id].type = PageType::kFree;
   free_list_.push_back(id);
 }
 
 void PageStore::Read(PageId id, char* out) {
-  assert(IsAllocated(id));
-  stats_.physical_reads++;
-  if (read_latency_ns_ > 0) {
-    auto until = std::chrono::steady_clock::now() +
-                 std::chrono::nanoseconds(read_latency_ns_);
-    while (std::chrono::steady_clock::now() < until) {
-      // Spin: models synchronous device latency without sleeping past it.
-    }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    assert(id >= 0 && static_cast<size_t>(id) < pages_.size() &&
+           pages_[id].type != PageType::kFree);
+    stats_.physical_reads++;
+    std::memcpy(out, pages_[id].image.data(), page_size_);
   }
-  std::memcpy(out, pages_[id].image.data(), page_size_);
+  uint64_t latency = read_latency_ns_.load(std::memory_order_relaxed);
+  if (latency > 0) {
+    // The device stall blocks only the issuing session thread; other
+    // sessions proceed, so concurrent misses overlap like synchronous
+    // reads against one shared appliance.
+    std::this_thread::sleep_for(std::chrono::nanoseconds(latency));
+  }
 }
 
 void PageStore::Write(PageId id, const char* in) {
-  assert(IsAllocated(id));
+  std::lock_guard<std::mutex> lock(mu_);
   stats_.physical_writes++;
   std::memcpy(pages_[id].image.data(), in, page_size_);
 }
 
 PageType PageStore::TypeOf(PageId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (id < 0 || static_cast<size_t>(id) >= pages_.size()) return PageType::kFree;
   return pages_[id].type;
 }
 
 bool PageStore::IsAllocated(PageId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return id >= 0 && static_cast<size_t>(id) < pages_.size() &&
          pages_[id].type != PageType::kFree;
 }
 
 size_t PageStore::allocated_pages() const {
+  std::lock_guard<std::mutex> lock(mu_);
   return pages_.size() - free_list_.size();
+}
+
+PageStoreStats PageStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void PageStore::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = PageStoreStats();
 }
 
 }  // namespace mtdb

@@ -1,8 +1,10 @@
 #ifndef MTDB_STORAGE_PAGE_STORE_H_
 #define MTDB_STORAGE_PAGE_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/types.h"
@@ -23,6 +25,12 @@ struct PageStoreStats {
 /// paper's NFS appliance. Reads/writes copy whole page images so the
 /// buffer pool above it behaves exactly like a cache, and an optional
 /// per-I/O latency models cold-cache experiments.
+///
+/// Thread-safety: all methods are safe to call from concurrent sessions.
+/// An internal mutex guards the page array and counters; the simulated
+/// device latency is charged as a *blocking* wait outside that mutex, so
+/// concurrent sessions overlap their I/O stalls exactly like synchronous
+/// reads against a real shared appliance.
 class PageStore {
  public:
   explicit PageStore(uint32_t page_size = kDefaultPageSize)
@@ -51,12 +59,16 @@ class PageStore {
 
   size_t allocated_pages() const;
 
-  const PageStoreStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = PageStoreStats(); }
+  PageStoreStats stats() const;
+  void ResetStats();
 
   /// Simulated device latency charged per physical read, in nanoseconds
-  /// of spin. Defaults to 0 (counter-only model).
-  void set_read_latency_ns(uint64_t ns) { read_latency_ns_ = ns; }
+  /// the issuing thread blocks. Defaults to 0 (counter-only model).
+  /// Atomic so benchmarks can load data fast and then dial the latency
+  /// up for the measured phase without racing in-flight reads.
+  void set_read_latency_ns(uint64_t ns) {
+    read_latency_ns_.store(ns, std::memory_order_relaxed);
+  }
 
  private:
   struct StoredPage {
@@ -65,10 +77,11 @@ class PageStore {
   };
 
   uint32_t page_size_;
+  mutable std::mutex mu_;
   std::vector<StoredPage> pages_;
   std::vector<PageId> free_list_;
   PageStoreStats stats_;
-  uint64_t read_latency_ns_ = 0;
+  std::atomic<uint64_t> read_latency_ns_{0};
 };
 
 }  // namespace mtdb

@@ -2,6 +2,7 @@
 #define MTDB_STORAGE_TABLE_HEAP_H_
 
 #include <cstdint>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -20,6 +21,14 @@ enum class InsertMode { kFirstFit, kAppend };
 
 /// A heap of slotted pages forming one physical table's tuple storage.
 /// Pages are chained; a free-space map supports kFirstFit placement.
+///
+/// Thread-safety: the heap itself is NOT internally synchronized. The
+/// engine's statement pipeline takes `latch()` — shared for reads,
+/// exclusive for writes — around every statement that touches this
+/// table, at coarse per-table granularity. The latch is deliberately a
+/// member here rather than inside each method because shared_mutex is
+/// not recursive: one acquisition point (the engine) avoids self-
+/// deadlock when an operation touches the heap many times.
 class TableHeap {
  public:
   TableHeap(BufferPool* pool, InsertMode mode = InsertMode::kFirstFit);
@@ -64,6 +73,10 @@ class TableHeap {
 
   Iterator Begin() { return Iterator(this, 0); }
 
+  /// Per-table reader/writer latch; acquired by the engine for the full
+  /// duration of each statement touching this table (never internally).
+  std::shared_mutex& latch() const { return latch_; }
+
  private:
   friend class Iterator;
 
@@ -77,6 +90,7 @@ class TableHeap {
   /// Approximate free bytes per page, maintained on insert/delete.
   std::unordered_map<PageId, uint32_t> free_space_;
   uint64_t live_tuples_ = 0;
+  mutable std::shared_mutex latch_;
 };
 
 }  // namespace mtdb

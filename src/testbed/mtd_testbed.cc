@@ -48,7 +48,11 @@ Result<TestbedReport> MtdTestbed::Run(
     hands[i % hands.size()].push_back(deck[i]);
   }
 
+  // One session and one private ResultDatabase per worker thread: the
+  // hot path records samples lock-free; the partial sets are folded
+  // together only after the threads join.
   std::atomic<int> errors{0};
+  std::vector<ResultDatabase> partials(hands.size());
   auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> threads;
   threads.reserve(hands.size());
@@ -57,12 +61,13 @@ Result<TestbedReport> MtdTestbed::Run(
       Worker worker(db_.get(), instances_, config_.rows_per_table_per_tenant,
                     config_.seed + 100 + w);
       for (const ActionCard& card : hands[w]) {
-        Status st = worker.RunCard(card, &results_);
+        Status st = worker.RunCard(card, &partials[w]);
         if (!st.ok()) errors.fetch_add(1);
       }
     });
   }
   for (std::thread& t : threads) t.join();
+  for (const ResultDatabase& partial : partials) results_.Merge(partial);
   auto end = std::chrono::steady_clock::now();
   double elapsed = std::chrono::duration<double>(end - start).count();
   if (errors.load() > 0) {

@@ -79,21 +79,24 @@ std::vector<ActionCard> Controller::Deal(size_t size) {
 }
 
 void ResultDatabase::Record(ActionClass action, double millis) {
-  std::lock_guard<std::mutex> lock(mu_);
   samples_[action].Add(millis);
+}
+
+void ResultDatabase::Merge(const ResultDatabase& other) {
+  for (const auto& [action, set] : other.samples_) {
+    samples_[action].Merge(set);
+  }
 }
 
 uint64_t ResultDatabase::Count() const { return TotalActions(); }
 
 const SampleSet& ResultDatabase::Samples(ActionClass action) const {
-  std::lock_guard<std::mutex> lock(mu_);
   static const SampleSet kEmpty;
   auto it = samples_.find(action);
   return it == samples_.end() ? kEmpty : it->second;
 }
 
 uint64_t ResultDatabase::TotalActions() const {
-  std::lock_guard<std::mutex> lock(mu_);
   uint64_t n = 0;
   for (const auto& [_, s] : samples_) n += s.count();
   return n;
@@ -101,7 +104,10 @@ uint64_t ResultDatabase::TotalActions() const {
 
 Worker::Worker(Database* db, int instances, int64_t rows_per_tenant,
                uint64_t seed)
-    : db_(db), instances_(instances), rows_(rows_per_tenant), gen_(seed) {}
+    : session_(db->OpenSession()),
+      instances_(instances),
+      rows_(rows_per_tenant),
+      gen_(seed) {}
 
 Status Worker::RunCard(const ActionCard& card, ResultDatabase* results) {
   auto start = std::chrono::steady_clock::now();
@@ -152,7 +158,7 @@ Status Worker::SelectLight(TenantId tenant) {
   int64_t id = gen_.rng().Uniform(0, rows_ - 1);
   MTDB_ASSIGN_OR_RETURN(
       QueryResult r,
-      db_->Query("SELECT * FROM " + name + " WHERE tenant = ? AND id = ?",
+      session_.Query("SELECT * FROM " + name + " WHERE tenant = ? AND id = ?",
                  {Value::Int32(tenant), Value::Int64(id)}));
   (void)r;
   return Status::OK();
@@ -169,20 +175,20 @@ Status Worker::SelectHeavy(TenantId tenant) {
   // Five fixed business-activity-monitoring reports (§4.2).
   switch (gen_.rng().Uniform(0, 4)) {
     case 0:
-      return db_->Query("SELECT status, COUNT(*), SUM(amount) FROM " +
+      return session_.Query("SELECT status, COUNT(*), SUM(amount) FROM " +
                             opportunity +
                             " WHERE tenant = ? GROUP BY status",
                         t1)
           .status();
     case 1:
-      return db_->Query("SELECT region, AVG(score) FROM " + account +
+      return session_.Query("SELECT region, AVG(score) FROM " + account +
                             " WHERE tenant = ? GROUP BY region"
                             " ORDER BY region",
                         t1)
           .status();
     case 2:
       // Parent-child rollup: opportunity totals per account.
-      return db_->Query("SELECT a.id, COUNT(*), SUM(o.amount) FROM " + account +
+      return session_.Query("SELECT a.id, COUNT(*), SUM(o.amount) FROM " + account +
                             " a, " + opportunity +
                             " o WHERE a.tenant = ? AND o.tenant = ?"
                             " AND o.account_id = a.id GROUP BY a.id"
@@ -190,12 +196,12 @@ Status Worker::SelectHeavy(TenantId tenant) {
                         t2)
           .status();
     case 3:
-      return db_->Query("SELECT status, COUNT(*) FROM " + crmcase +
+      return session_.Query("SELECT status, COUNT(*) FROM " + crmcase +
                             " WHERE tenant = ? GROUP BY status",
                         t1)
           .status();
     default:
-      return db_->Query("SELECT c.id, COUNT(*) FROM " + contact + " c, " +
+      return session_.Query("SELECT c.id, COUNT(*) FROM " + contact + " c, " +
                             crmcase +
                             " k WHERE c.tenant = ? AND k.tenant = ?"
                             " AND k.contact_id = c.id GROUP BY c.id LIMIT 20",
@@ -208,7 +214,7 @@ Status Worker::InsertLight(TenantId tenant) {
   const CrmTable& t = CrmTables()[gen_.rng().Uniform(0, 9)];
   int64_t id = 1000000 + gen_.rng().Uniform(0, 100000000);
   Row row = gen_.CrmRow(t, tenant, id, rows_);
-  return db_->InsertRow(CrmTableName(t.name, InstanceOf(tenant)), row);
+  return session_.InsertRow(CrmTableName(t.name, InstanceOf(tenant)), row);
 }
 
 Status Worker::InsertHeavy(TenantId tenant) {
@@ -218,7 +224,7 @@ Status Worker::InsertHeavy(TenantId tenant) {
   for (int i = 0; i < 200; ++i) {
     int64_t id = 2000000 + gen_.rng().Uniform(0, 100000000);
     Row row = gen_.CrmRow(t, tenant, id, rows_);
-    MTDB_RETURN_IF_ERROR(db_->InsertRow(name, row));
+    MTDB_RETURN_IF_ERROR(session_.InsertRow(name, row));
   }
   return Status::OK();
 }
@@ -228,24 +234,28 @@ Status Worker::UpdateLight(TenantId tenant) {
   std::string name = CrmTableName("account", InstanceOf(tenant));
   const char* statuses[] = {"new", "open", "working", "closed", "won", "lost"};
   std::string status = statuses[gen_.rng().Uniform(0, 5)];
-  return db_
-      ->Execute("UPDATE " + name +
-                    " SET owner = ? WHERE tenant = ? AND status = ?",
-                {Value::String(gen_.rng().Word(4, 12)), Value::Int32(tenant),
-                 Value::String(status)})
+  return session_
+      .Execute("UPDATE " + name +
+                   " SET owner = ? WHERE tenant = ? AND status = ?",
+               {Value::String(gen_.rng().Word(4, 12)), Value::Int32(tenant),
+                Value::String(status)})
       .status();
 }
 
 Status Worker::UpdateHeavy(TenantId tenant) {
-  // Several hundred entities selected by the primary key index.
+  // Several hundred entities selected by the primary key index. Parsed
+  // once and executed many times through the prepared-statement path.
   std::string name = CrmTableName("contact", InstanceOf(tenant));
+  MTDB_ASSIGN_OR_RETURN(
+      PreparedStatement update,
+      session_.Prepare("UPDATE " + name +
+                       " SET modified = ? WHERE tenant = ? AND id = ?"));
   for (int i = 0; i < 100; ++i) {
     int64_t id = gen_.rng().Uniform(0, rows_ - 1);
     MTDB_RETURN_IF_ERROR(
-        db_->Execute("UPDATE " + name +
-                         " SET modified = ? WHERE tenant = ? AND id = ?",
-                     {Value::Date(14000), Value::Int32(tenant),
-                      Value::Int64(id)})
+        session_
+            .Execute(update, {Value::Date(14000), Value::Int32(tenant),
+                              Value::Int64(id)})
             .status());
   }
   return Status::OK();
@@ -255,7 +265,7 @@ Status Worker::Administrative(TenantId) {
   // Creates a new instance of the 10-table CRM schema via DDL while the
   // system is on-line (§4.2 Administrative Tasks).
   int instance = next_admin_instance_++;
-  return CreateCrmInstance(db_, instance);
+  return CreateCrmInstance(session_.database(), instance);
 }
 
 }  // namespace testbed

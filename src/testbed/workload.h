@@ -1,14 +1,15 @@
 #ifndef MTDB_TESTBED_WORKLOAD_H_
 #define MTDB_TESTBED_WORKLOAD_H_
 
+#include <atomic>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/metrics.h"
 #include "common/rng.h"
 #include "engine/database.h"
+#include "engine/session.h"
 #include "testbed/crm_schema.h"
 #include "testbed/data_generator.h"
 
@@ -51,10 +52,15 @@ class Controller {
   int tenants_;
 };
 
-/// Collects response-time samples per action class (thread-safe).
+/// Collects response-time samples per action class. NOT thread-safe:
+/// following the SampleSet contract, each worker records into its own
+/// ResultDatabase and the driver Merge()s them after joining the
+/// threads, so the hot recording path takes no locks at all.
 class ResultDatabase {
  public:
   void Record(ActionClass action, double millis);
+  /// Folds another worker's samples into this one (post-join only).
+  void Merge(const ResultDatabase& other);
   /// Total actions recorded.
   uint64_t Count() const;
   const SampleSet& Samples(ActionClass action) const;
@@ -62,12 +68,13 @@ class ResultDatabase {
   uint64_t TotalActions() const;
 
  private:
-  mutable std::mutex mu_;
   std::map<ActionClass, SampleSet> samples_;
 };
 
 /// Executes action cards against a CRM schema-instance database: the
-/// Worker's client-session logic of §4.2.
+/// Worker's client-session logic of §4.2. Each Worker opens its own
+/// engine Session — one logical connection per worker thread — and runs
+/// every statement through it.
 class Worker {
  public:
   /// `instance_of_tenant(t)` maps a tenant to its schema instance.
@@ -75,6 +82,11 @@ class Worker {
 
   /// Runs one card, records the response time into `results`.
   Status RunCard(const ActionCard& card, ResultDatabase* results);
+
+  /// Statements issued through this worker's session.
+  uint64_t statements_executed() const {
+    return session_.statements_executed();
+  }
 
   /// Next schema instance id for administrative (DDL) actions.
   static int next_admin_instance() { return next_admin_instance_; }
@@ -90,11 +102,11 @@ class Worker {
   Status UpdateHeavy(TenantId tenant);
   Status Administrative(TenantId tenant);
 
-  Database* db_;
+  Session session_;
   int instances_;
   int64_t rows_;
   DataGenerator gen_;
-  static inline int next_admin_instance_ = 1000000;
+  static inline std::atomic<int> next_admin_instance_{1000000};
 };
 
 }  // namespace testbed

@@ -5,6 +5,8 @@
 
 #include "common/key_encoding.h"
 #include "common/rng.h"
+#include "core/tenant_session.h"
+#include "engine/session.h"
 #include "mapping_test_util.h"
 #include "storage/row_codec.h"
 
@@ -233,22 +235,26 @@ INSTANTIATE_TEST_SUITE_P(Widths, ChunkWidthSweepTest,
 
 TEST(ConcurrencyTest, ParallelSessionsKeepCountsConsistent) {
   Database db;
-  ASSERT_TRUE(db.Execute("CREATE TABLE t (id BIGINT, w INT)").ok());
-  ASSERT_TRUE(db.Execute("CREATE UNIQUE INDEX ux ON t (id)").ok());
+  {
+    Session admin = db.OpenSession();
+    ASSERT_TRUE(admin.Execute("CREATE TABLE t (id BIGINT, w INT)").ok());
+    ASSERT_TRUE(admin.Execute("CREATE UNIQUE INDEX ux ON t (id)").ok());
+  }
   constexpr int kThreads = 4;
   constexpr int kPerThread = 200;
   std::vector<std::thread> threads;
   std::atomic<int> errors{0};
   for (int w = 0; w < kThreads; ++w) {
     threads.emplace_back([&, w]() {
+      Session session = db.OpenSession();
       for (int i = 0; i < kPerThread; ++i) {
         int64_t id = static_cast<int64_t>(w) * 100000 + i;
-        auto st = db.Execute("INSERT INTO t VALUES (?, ?)",
-                             {Value::Int64(id), Value::Int32(w)});
+        auto st = session.Execute("INSERT INTO t VALUES (?, ?)",
+                                  {Value::Int64(id), Value::Int32(w)});
         if (!st.ok()) errors.fetch_add(1);
         if (i % 10 == 0) {
-          auto r = db.Query("SELECT COUNT(*) FROM t WHERE w = ?",
-                            {Value::Int32(w)});
+          auto r = session.Query("SELECT COUNT(*) FROM t WHERE w = ?",
+                                 {Value::Int32(w)});
           if (!r.ok()) errors.fetch_add(1);
         }
       }
@@ -256,7 +262,8 @@ TEST(ConcurrencyTest, ParallelSessionsKeepCountsConsistent) {
   }
   for (auto& t : threads) t.join();
   EXPECT_EQ(errors.load(), 0);
-  auto total = db.Query("SELECT COUNT(*) FROM t");
+  Session session = db.OpenSession();
+  auto total = session.Query("SELECT COUNT(*) FROM t");
   ASSERT_TRUE(total.ok());
   EXPECT_EQ(total->rows[0][0].AsInt64(), kThreads * kPerThread);
 }
@@ -274,13 +281,14 @@ TEST(ConcurrencyTest, ParallelTenantsThroughMapping) {
   std::atomic<int> errors{0};
   for (TenantId t = 0; t < 4; ++t) {
     threads.emplace_back([&, t]() {
+      TenantSession session = layout.OpenSession(t);
       for (int i = 1; i <= 50; ++i) {
-        auto st = layout.Execute(
-            t, "INSERT INTO account (aid, name) VALUES (?, ?)",
+        auto st = session.Execute(
+            "INSERT INTO account (aid, name) VALUES (?, ?)",
             {Value::Int64(i), Value::String("n" + std::to_string(i))});
         if (!st.ok()) errors.fetch_add(1);
       }
-      auto r = layout.Query(t, "SELECT COUNT(*) FROM account");
+      auto r = session.Query("SELECT COUNT(*) FROM account");
       if (!r.ok() || r->rows[0][0].AsInt64() != 50) errors.fetch_add(1);
     });
   }

@@ -2,6 +2,7 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "storage/buffer_pool.h"
@@ -138,21 +139,33 @@ TEST(BufferPoolTest, HitAndMissAccounting) {
 
 TEST(BufferPoolTest, EvictionRespectsCapacityAndLru) {
   PageStore store(1024);
-  BufferPool pool(&store, 2);
-  PageId ids[3];
-  for (int i = 0; i < 3; ++i) {
+  // Capacity is striped across shards: two frames per shard. LRU order is
+  // maintained per shard, so the eviction victim is only deterministic
+  // among pages that hash to the same shard.
+  BufferPool pool(&store, 2 * kBufferPoolShards);
+  std::vector<PageId> same_shard;
+  size_t target_shard = 0;
+  while (same_shard.size() < 3) {
     Page* p = pool.NewPage(PageType::kHeap);
-    p->data()[0] = static_cast<char>('a' + i);
-    ids[i] = p->id();
-    pool.UnpinPage(ids[i], true);
+    if (same_shard.empty()) target_shard = BufferPool::ShardOf(p->id());
+    if (BufferPool::ShardOf(p->id()) == target_shard) {
+      p->data()[0] = static_cast<char>('a' + same_shard.size());
+      same_shard.push_back(p->id());
+    }
+    pool.UnpinPage(p->id(), true);
   }
-  EXPECT_LE(pool.frames_in_use(), 2u);
-  // The oldest page (ids[0]) must have been evicted and written back.
+  // Three same-shard pages compete for two frames: the oldest must have
+  // been evicted and written back.
   pool.ResetStats();
-  Page* p0 = pool.FetchPage(ids[0]);
+  Page* p0 = pool.FetchPage(same_shard[0]);
   EXPECT_EQ(p0->data()[0], 'a');  // contents survived eviction
   EXPECT_EQ(pool.stats().misses_data, 1u);
-  pool.UnpinPage(ids[0], false);
+  pool.UnpinPage(same_shard[0], false);
+  // The two most recently used same-shard pages were still resident.
+  pool.ResetStats();
+  pool.FetchPage(same_shard[2]);
+  pool.UnpinPage(same_shard[2], false);
+  EXPECT_EQ(pool.stats().misses_data, 0u);
 }
 
 TEST(BufferPoolTest, PinnedPagesAreNotEvicted) {
@@ -171,14 +184,16 @@ TEST(BufferPoolTest, PinnedPagesAreNotEvicted) {
 
 TEST(BufferPoolTest, ShrinkCapacityEvicts) {
   PageStore store(1024);
-  BufferPool pool(&store, 16);
-  for (int i = 0; i < 10; ++i) {
+  BufferPool pool(&store, 2 * kBufferPoolShards);
+  for (size_t i = 0; i < 2 * kBufferPoolShards; ++i) {
     Page* p = pool.NewPage(PageType::kIndex);
     pool.UnpinPage(p->id(), false);
   }
-  EXPECT_EQ(pool.frames_in_use(), 10u);
-  pool.SetCapacity(3);
-  EXPECT_LE(pool.frames_in_use(), 3u);
+  EXPECT_EQ(pool.frames_in_use(), 2 * kBufferPoolShards);
+  // Shrinking redistributes the budget; every shard sheds down to its new
+  // share (one frame each — shards never starve below one).
+  pool.SetCapacity(kBufferPoolShards);
+  EXPECT_LE(pool.frames_in_use(), kBufferPoolShards);
 }
 
 TEST(BufferPoolTest, IndexVsDataSplit) {
