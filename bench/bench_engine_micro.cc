@@ -68,7 +68,8 @@ void BM_BTreeLookup(benchmark::State& state) {
   for (auto _ : state) {
     std::string key =
         KeyEncoder::EncodeKey({Value::Int64(rng.Uniform(0, 99999))});
-    benchmark::DoNotOptimize(tree.Lookup(key));
+    auto rids = tree.Lookup(key);
+    benchmark::DoNotOptimize(rids);
   }
 }
 BENCHMARK(BM_BTreeLookup);
@@ -80,7 +81,7 @@ void BM_BufferPoolFetchHit(benchmark::State& state) {
   PageId id = page->id();
   pool.UnpinPage(id, false);
   for (auto _ : state) {
-    Page* p = pool.FetchPage(id);
+    auto p = pool.FetchPage(id);
     benchmark::DoNotOptimize(p);
     pool.UnpinPage(id, false);
   }

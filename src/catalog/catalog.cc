@@ -121,23 +121,44 @@ Result<IndexInfo*> Catalog::CreateIndex(
   idx->unique = unique;
   idx->tree = std::make_unique<BTree>(pool_);
 
-  // Backfill from existing rows.
+  // Backfill from existing rows. Any failure frees the half-built tree
+  // so the catalog is left exactly as before the statement.
   TableHeap::Iterator it = info->heap->Begin();
   std::string image;
   Rid rid;
-  while (it.Next(&image, &rid)) {
+  while (true) {
+    Result<bool> more = it.Next(&image, &rid);
+    if (!more.ok()) {
+      idx->tree->Free();
+      return more.status();
+    }
+    if (!*more) break;
     Result<Row> row = info->codec->Decode(image.data(),
                                           static_cast<uint32_t>(image.size()));
-    if (!row.ok()) return row.status();
+    if (!row.ok()) {
+      idx->tree->Free();
+      return row.status();
+    }
     std::vector<Value> key_vals;
     for (size_t c : idx->key_columns) key_vals.push_back((*row)[c]);
     std::string key = KeyEncoder::EncodeKey(key_vals);
-    if (idx->unique && idx->tree->Contains(key)) {
-      idx->tree->Free();
-      return Status::ConstraintViolation("duplicate key building unique index " +
-                                         index_name);
+    if (idx->unique) {
+      Result<bool> dup = idx->tree->Contains(key);
+      if (!dup.ok()) {
+        idx->tree->Free();
+        return dup.status();
+      }
+      if (*dup) {
+        idx->tree->Free();
+        return Status::ConstraintViolation(
+            "duplicate key building unique index " + index_name);
+      }
     }
-    MTDB_RETURN_IF_ERROR(idx->tree->Insert(key, rid));
+    Status ist = idx->tree->Insert(key, rid);
+    if (!ist.ok()) {
+      idx->tree->Free();
+      return ist;
+    }
   }
 
   IndexInfo* raw = idx.get();

@@ -1,0 +1,68 @@
+#include "common/fault.h"
+
+namespace mtdb {
+
+const char* FaultPointName(FaultPoint point) {
+  switch (point) {
+    case FaultPoint::kPageRead:
+      return "page-read";
+    case FaultPoint::kPageWrite:
+      return "page-write";
+    case FaultPoint::kTornWrite:
+      return "torn-write";
+    case FaultPoint::kBitFlip:
+      return "bit-flip";
+    case FaultPoint::kLatencySpike:
+      return "latency-spike";
+  }
+  return "?";
+}
+
+void FaultInjector::Arm(FaultPoint point, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PointState& state = points_[static_cast<int>(point)];
+  state.armed = true;
+  state.spec = spec;
+  state.fires = 0;
+  state.evaluations = 0;
+}
+
+void FaultInjector::Disarm(FaultPoint point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_[static_cast<int>(point)].armed = false;
+}
+
+void FaultInjector::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (PointState& state : points_) state.armed = false;
+}
+
+bool FaultInjector::ShouldFire(FaultPoint point, FaultSpec* spec_out) {
+  if (!enabled()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  PointState& state = points_[static_cast<int>(point)];
+  if (!state.armed) return false;
+  uint64_t evaluation = state.evaluations++;
+  if (evaluation < state.spec.skip) return false;
+  if (state.spec.max_fires != 0 && state.fires >= state.spec.max_fires) {
+    return false;
+  }
+  // Advance the Rng only for live evaluations so a skip window does not
+  // shift the random sequence of other points.
+  if (!rng_.Bernoulli(state.spec.probability)) return false;
+  state.fires++;
+  if (spec_out != nullptr) *spec_out = state.spec;
+  return true;
+}
+
+uint64_t FaultInjector::fires(FaultPoint point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return points_[static_cast<int>(point)].fires;
+}
+
+uint64_t FaultInjector::evaluations(FaultPoint point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return points_[static_cast<int>(point)].evaluations;
+}
+
+}  // namespace mtdb

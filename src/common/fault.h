@@ -1,0 +1,125 @@
+#ifndef MTDB_COMMON_FAULT_H_
+#define MTDB_COMMON_FAULT_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/rng.h"
+
+namespace mtdb {
+
+/// Named fault points the storage tier consults on every physical I/O.
+/// The set models the failure classes a shared "NFS appliance" style
+/// page store is exposed to: transient I/O errors on either direction,
+/// partially-applied (torn) writes, on-the-wire corruption, and latency
+/// spikes.
+enum class FaultPoint : int {
+  kPageRead = 0,   // read returns a transient I/O error
+  kPageWrite,      // write returns a transient I/O error, nothing stored
+  kTornWrite,      // only a prefix of the image reaches the device
+  kBitFlip,        // one bit of the returned read image is corrupted
+  kLatencySpike,   // the I/O completes but stalls the issuing thread
+};
+
+inline constexpr int kFaultPointCount = 5;
+
+const char* FaultPointName(FaultPoint point);
+
+/// How one armed fault point behaves. Deterministic given the injector
+/// seed and the sequence of evaluations.
+struct FaultSpec {
+  /// Chance this point fires per evaluation, in [0, 1].
+  double probability = 0.0;
+  /// Evaluations of this point to let pass before the spec is live
+  /// (schedules a deterministic burst mid-run).
+  uint64_t skip = 0;
+  /// Cap on total fires; 0 = unlimited. Bounded bursts let retry loops
+  /// eventually drain the fault and recover.
+  uint64_t max_fires = 0;
+  /// Torn writes only: report success to the writer (the device lied).
+  /// The page checksum then detects the tear on the next physical read.
+  bool silent = false;
+  /// Latency spikes only: extra stall charged to the issuing thread.
+  uint64_t latency_ns = 0;
+};
+
+/// Seeded, deterministic fault injector. A PageStore holds an optional
+/// pointer to one of these and consults it on every physical read and
+/// write; with no injector attached (the default) the hot path pays a
+/// single relaxed atomic load.
+///
+/// Determinism: firing decisions come from one seeded Rng advanced once
+/// per armed-point evaluation under an internal mutex, so a single-
+/// threaded workload replays exactly from (seed, schedule). Multi-
+/// threaded runs stay seed-stable per interleaving.
+///
+/// Thread-safety: all methods are safe to call concurrently.
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed) : rng_(seed) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Arms (or re-arms) a fault point. Resets its fire/evaluation counts.
+  void Arm(FaultPoint point, FaultSpec spec);
+
+  /// Disarms one point (it no longer fires; counters are kept).
+  void Disarm(FaultPoint point);
+  void DisarmAll();
+
+  /// Master switch. When disabled, ShouldFire never fires and does not
+  /// advance the Rng or the evaluation counters, so verification reads
+  /// in chaos harnesses do not perturb the deterministic schedule.
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Decides whether `point` fires on this evaluation. `spec_out`, when
+  /// non-null, receives a copy of the armed spec on fire (for the torn
+  /// `silent` flag and the spike `latency_ns`).
+  bool ShouldFire(FaultPoint point, FaultSpec* spec_out = nullptr);
+
+  /// Total times `point` fired / was evaluated since it was last armed.
+  uint64_t fires(FaultPoint point) const;
+  uint64_t evaluations(FaultPoint point) const;
+
+ private:
+  struct PointState {
+    bool armed = false;
+    FaultSpec spec;
+    uint64_t fires = 0;
+    uint64_t evaluations = 0;
+  };
+
+  std::atomic<bool> enabled_{true};
+  mutable std::mutex mu_;
+  Rng rng_;
+  std::array<PointState, kFaultPointCount> points_;
+};
+
+/// RAII pause for an injector: verification reads inside chaos tests run
+/// with injection suspended, then the schedule resumes untouched.
+class FaultInjectorPause {
+ public:
+  explicit FaultInjectorPause(FaultInjector* injector)
+      : injector_(injector), was_enabled_(injector->enabled()) {
+    injector_->set_enabled(false);
+  }
+  ~FaultInjectorPause() { injector_->set_enabled(was_enabled_); }
+
+  FaultInjectorPause(const FaultInjectorPause&) = delete;
+  FaultInjectorPause& operator=(const FaultInjectorPause&) = delete;
+
+ private:
+  FaultInjector* injector_;
+  bool was_enabled_;
+};
+
+}  // namespace mtdb
+
+#endif  // MTDB_COMMON_FAULT_H_

@@ -1,11 +1,67 @@
 #ifndef MTDB_COMMON_METRICS_H_
 #define MTDB_COMMON_METRICS_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
 namespace mtdb {
+
+/// Point-in-time copy of IoFaultCounters, safe to pass around.
+struct IoFaultCountersSnapshot {
+  uint64_t read_faults = 0;
+  uint64_t write_faults = 0;
+  uint64_t checksum_failures = 0;
+  uint64_t read_retries = 0;
+  uint64_t write_retries = 0;
+  uint64_t retry_exhaustions = 0;
+  uint64_t latency_spikes = 0;
+};
+
+/// Storage-tier fault and retry counters. One instance lives in the
+/// BufferPool and is bumped with relaxed atomics on the I/O path; tests
+/// and the chaos harness read a Snapshot() to assert that retries
+/// actually happened (or that none did with injection disabled).
+class IoFaultCounters {
+ public:
+  void OnReadFault() { read_faults_.fetch_add(1, std::memory_order_relaxed); }
+  void OnWriteFault() { write_faults_.fetch_add(1, std::memory_order_relaxed); }
+  void OnChecksumFailure() {
+    checksum_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void OnReadRetry() { read_retries_.fetch_add(1, std::memory_order_relaxed); }
+  void OnWriteRetry() {
+    write_retries_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void OnRetryExhausted() {
+    retry_exhaustions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void OnLatencySpike() {
+    latency_spikes_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  IoFaultCountersSnapshot Snapshot() const {
+    IoFaultCountersSnapshot s;
+    s.read_faults = read_faults_.load(std::memory_order_relaxed);
+    s.write_faults = write_faults_.load(std::memory_order_relaxed);
+    s.checksum_failures = checksum_failures_.load(std::memory_order_relaxed);
+    s.read_retries = read_retries_.load(std::memory_order_relaxed);
+    s.write_retries = write_retries_.load(std::memory_order_relaxed);
+    s.retry_exhaustions = retry_exhaustions_.load(std::memory_order_relaxed);
+    s.latency_spikes = latency_spikes_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  std::atomic<uint64_t> read_faults_{0};
+  std::atomic<uint64_t> write_faults_{0};
+  std::atomic<uint64_t> checksum_failures_{0};
+  std::atomic<uint64_t> read_retries_{0};
+  std::atomic<uint64_t> write_retries_{0};
+  std::atomic<uint64_t> retry_exhaustions_{0};
+  std::atomic<uint64_t> latency_spikes_{0};
+};
 
 /// Accumulates response-time (or other scalar) samples and reports
 /// order statistics. Used by the MTD testbed for the 95% quantiles and

@@ -26,6 +26,12 @@ const char* StatusCodeName(StatusCode code) {
       return "TypeMismatch";
     case StatusCode::kConstraintViolation:
       return "ConstraintViolation";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

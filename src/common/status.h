@@ -19,6 +19,9 @@ enum class StatusCode {
   kParseError,
   kTypeMismatch,
   kConstraintViolation,
+  kIOError,      // transient device failure; safe to retry
+  kDataLoss,     // checksum mismatch / torn page; retrying may not help
+  kUnavailable,  // resource (e.g. a quarantined tenant) refuses service
 };
 
 /// Arrow/RocksDB-style status object. The engine does not use exceptions;
@@ -60,6 +63,15 @@ class [[nodiscard]] Status {
   }
   static Status ConstraintViolation(std::string msg) {
     return Status(StatusCode::kConstraintViolation, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -5,6 +5,7 @@
 
 #include "catalog/schema.h"
 #include "core/tenant_session.h"
+#include "core/undo_log.h"
 #include "sql/parser.h"
 #include "sql/printer.h"
 
@@ -243,6 +244,55 @@ Result<std::vector<std::string>> SchemaMapping::TenantExtensions(
   return it->second.state.extensions();
 }
 
+bool SchemaMapping::IsQuarantined(TenantId tenant) const {
+  std::shared_lock<std::shared_mutex> lock(layer_mu_);
+  auto it = tenants_.find(tenant);
+  return it != tenants_.end() &&
+         it->second.quarantined.load(std::memory_order_acquire);
+}
+
+Status SchemaMapping::ClearQuarantine(TenantId tenant) {
+  std::shared_lock<std::shared_mutex> lock(layer_mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    return Status::NotFound("no such tenant: " + std::to_string(tenant));
+  }
+  it->second.hard_faults.store(0, std::memory_order_relaxed);
+  it->second.quarantined.store(false, std::memory_order_release);
+  return Status::OK();
+}
+
+Status SchemaMapping::CheckTenantAvailable(TenantId tenant) {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return Status::OK();
+  if (it->second.quarantined.load(std::memory_order_acquire)) {
+    return Status::Unavailable("tenant " + std::to_string(tenant) +
+                               " is quarantined after repeated I/O faults");
+  }
+  return Status::OK();
+}
+
+void SchemaMapping::NoteTenantOutcome(TenantId tenant, const Status& status) {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return;
+  TenantEntry& entry = it->second;
+  if (status.ok()) {
+    entry.hard_faults.store(0, std::memory_order_relaxed);
+    return;
+  }
+  // Only hard I/O faults count: logical errors (NotFound, constraint
+  // violations, ...) say nothing about the tenant's pages.
+  if (status.code() != StatusCode::kIOError &&
+      status.code() != StatusCode::kDataLoss) {
+    return;
+  }
+  uint64_t n = entry.hard_faults.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (n >= quarantine_threshold_.load(std::memory_order_relaxed) &&
+      !entry.quarantined.exchange(true, std::memory_order_acq_rel)) {
+    stats_.quarantine_trips++;
+  }
+}
+
 Result<SchemaMapping::TenantEntry*> SchemaMapping::GetTenant(TenantId tenant) {
   auto it = tenants_.find(tenant);
   if (it == tenants_.end()) {
@@ -313,13 +363,16 @@ Result<QueryResult> SchemaMapping::Query(TenantId tenant,
                                          const std::string& sql,
                                          const std::vector<Value>& params) {
   std::shared_lock<std::shared_mutex> lock(layer_mu_);
+  MTDB_RETURN_IF_ERROR(CheckTenantAvailable(tenant));
   MTDB_ASSIGN_OR_RETURN(auto stmt, sql::ParseSelect(sql));
   QueryTransformer transformer(this, transform_options_, &heat_);
   MTDB_ASSIGN_OR_RETURN(auto physical,
                         transformer.TransformSelect(tenant, *stmt));
   stats_.queries_transformed++;
   NotifySelect(tenant, *physical);
-  return db_->QueryAst(*physical, params);
+  Result<QueryResult> out = db_->QueryAst(*physical, params);
+  NoteTenantOutcome(tenant, out.status());
+  return out;
 }
 
 Result<std::string> SchemaMapping::ShowTransformed(TenantId tenant,
@@ -339,31 +392,39 @@ Result<std::string> SchemaMapping::ShowTransformed(TenantId tenant,
 Result<int64_t> SchemaMapping::Execute(TenantId tenant, const std::string& sql,
                                        const std::vector<Value>& params) {
   std::shared_lock<std::shared_mutex> lock(layer_mu_);
+  MTDB_RETURN_IF_ERROR(CheckTenantAvailable(tenant));
   MTDB_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql));
   stats_.statements_transformed++;
-  switch (stmt.kind) {
-    case sql::StatementKind::kInsert:
-      return GenericInsert(tenant, *stmt.insert, params);
-    case sql::StatementKind::kUpdate:
-      return GenericUpdate(tenant, *stmt.update, params);
-    case sql::StatementKind::kDelete:
-      return GenericDelete(tenant, *stmt.del, params);
-    default:
-      return Status::InvalidArgument(
-          "logical Execute() handles INSERT/UPDATE/DELETE");
-  }
+  Result<int64_t> out = [&]() -> Result<int64_t> {
+    switch (stmt.kind) {
+      case sql::StatementKind::kInsert:
+        return GenericInsert(tenant, *stmt.insert, params);
+      case sql::StatementKind::kUpdate:
+        return GenericUpdate(tenant, *stmt.update, params);
+      case sql::StatementKind::kDelete:
+        return GenericDelete(tenant, *stmt.del, params);
+      default:
+        return Status::InvalidArgument(
+            "logical Execute() handles INSERT/UPDATE/DELETE");
+    }
+  }();
+  NoteTenantOutcome(tenant, out.status());
+  return out;
 }
 
 Result<int64_t> SchemaMapping::InsertRow(TenantId tenant,
                                          const std::string& table,
                                          const Row& row) {
   std::shared_lock<std::shared_mutex> lock(layer_mu_);
+  MTDB_RETURN_IF_ERROR(CheckTenantAvailable(tenant));
   MTDB_ASSIGN_OR_RETURN(EffectiveTable eff, GetEffective(tenant, table));
   std::vector<std::string> columns;
   for (size_t i = 0; i < row.size() && i < eff.columns.size(); ++i) {
     columns.push_back(eff.columns[i].name);
   }
-  return InsertMappedRow(tenant, table, columns, row);
+  Result<int64_t> out = InsertMappedRow(tenant, table, columns, row);
+  NoteTenantOutcome(tenant, out.status());
+  return out;
 }
 
 Result<int64_t> SchemaMapping::GenericInsert(TenantId tenant,
@@ -374,27 +435,162 @@ Result<int64_t> SchemaMapping::GenericInsert(TenantId tenant,
   if (columns.empty()) {
     for (const LogicalColumn& c : eff.columns) columns.push_back(c.name);
   }
+  // A multi-row VALUES list is one logical statement: collect every
+  // applied physical insert in one undo log so a failed later row takes
+  // the earlier rows back out with it.
+  StatementUndoLog undo(db_);
+  const bool multi_row = stmt.rows.size() > 1;
+  auto fail = [&](const Status& st) -> Status {
+    if (!undo.empty()) {
+      stats_.statement_rollbacks++;
+      (void)undo.Rollback();
+      stats_.undo_statements += undo.executed();
+    }
+    return st;
+  };
   int64_t inserted = 0;
   for (const auto& row_exprs : stmt.rows) {
     if (row_exprs.size() != columns.size()) {
-      return Status::InvalidArgument("VALUES arity mismatch");
+      return fail(Status::InvalidArgument("VALUES arity mismatch"));
     }
     Row values;
     values.reserve(row_exprs.size());
     for (const auto& e : row_exprs) {
-      MTDB_ASSIGN_OR_RETURN(Value v, EvalScalar(*e, nullptr, nullptr, params));
-      values.push_back(std::move(v));
+      Result<Value> v = EvalScalar(*e, nullptr, nullptr, params);
+      if (!v.ok()) return fail(v.status());
+      values.push_back(*std::move(v));
     }
-    MTDB_ASSIGN_OR_RETURN(int64_t n,
-                          InsertMappedRow(tenant, stmt.table, columns, values));
-    inserted += n;
+    Result<int64_t> n = InsertMappedRow(tenant, stmt.table, columns, values,
+                                        multi_row ? &undo : nullptr);
+    if (!n.ok()) return fail(n.status());
+    inserted += *n;
   }
   return inserted;
 }
 
+namespace {
+
+/// partition AND row = row_id: the locality predicate addressing one
+/// logical row's chunk in one physical source. `skip_del` drops `del`
+/// partition entries (trashcan compensations flip visibility themselves).
+sql::ParsedExprPtr RowLocalPredicate(const PhysicalSource& source,
+                                     int64_t row_id, bool skip_del = false) {
+  sql::ParsedExprPtr where;
+  for (const auto& p : source.partition) {
+    if (skip_del && IdentEquals(p.first, "del")) continue;
+    where = sql::AndTogether(
+        std::move(where),
+        sql::MakeBinary(sql::BinaryOp::kEq, sql::MakeColumnRef("", p.first),
+                        sql::MakeLiteral(p.second)));
+  }
+  if (!source.row_column.empty()) {
+    where = sql::AndTogether(
+        std::move(where),
+        sql::MakeBinary(sql::BinaryOp::kEq,
+                        sql::MakeColumnRef("", source.row_column),
+                        sql::MakeLiteral(Value::Int64(row_id))));
+  }
+  return where;
+}
+
+/// Compensation for a physical INSERT: a DELETE addressing exactly the
+/// inserted chunk. Sources without a row column (single-source layouts)
+/// fall back to matching every value the insert wrote.
+sql::Statement CompensatingDelete(const PhysicalSource& source,
+                                  const Schema& schema,
+                                  const Row& physical_row, int64_t row_id) {
+  sql::Statement s;
+  s.kind = sql::StatementKind::kDelete;
+  s.del = std::make_unique<sql::DeleteStmt>();
+  s.del->table = source.physical_table;
+  if (!source.row_column.empty()) {
+    s.del->where = RowLocalPredicate(source, row_id);
+  } else {
+    sql::ParsedExprPtr where;
+    for (size_t i = 0; i < physical_row.size() && i < schema.size(); ++i) {
+      if (physical_row[i].is_null()) continue;
+      where = sql::AndTogether(
+          std::move(where),
+          sql::MakeBinary(sql::BinaryOp::kEq,
+                          sql::MakeColumnRef("", schema.at(i).name),
+                          sql::MakeLiteral(physical_row[i])));
+    }
+    s.del->where = std::move(where);
+  }
+  return s;
+}
+
+/// Compensation for a physical UPDATE: an UPDATE writing the prior
+/// values back into the same chunk.
+sql::Statement CompensatingUpdate(
+    const PhysicalSource& source, int64_t row_id,
+    std::vector<std::pair<std::string, Value>> old_assigns) {
+  sql::Statement s;
+  s.kind = sql::StatementKind::kUpdate;
+  s.update = std::make_unique<sql::UpdateStmt>();
+  s.update->table = source.physical_table;
+  for (auto& [col, val] : old_assigns) {
+    s.update->assignments.emplace_back(col, sql::MakeLiteral(val));
+  }
+  s.update->where = RowLocalPredicate(source, row_id);
+  return s;
+}
+
+/// Compensation for a trashcan DELETE (an UPDATE del=1): flip the row
+/// back to visible.
+sql::Statement CompensatingRestore(const PhysicalSource& source,
+                                   int64_t row_id) {
+  sql::Statement s;
+  s.kind = sql::StatementKind::kUpdate;
+  s.update = std::make_unique<sql::UpdateStmt>();
+  s.update->table = source.physical_table;
+  s.update->assignments.emplace_back("del",
+                                     sql::MakeLiteral(Value::Int32(0)));
+  s.update->where = RowLocalPredicate(source, row_id, /*skip_del=*/true);
+  return s;
+}
+
+/// Compensation for a physical DELETE: re-INSERT the chunk image this
+/// source held for the logical row (reconstructed from the Phase (a)
+/// logical row exactly the way InsertMappedRow would have written it).
+sql::Statement CompensatingInsert(const TableMapping& mapping, size_t src,
+                                  const EffectiveTable& eff,
+                                  const Row& logical, int64_t row_id) {
+  const PhysicalSource& source = mapping.sources[src];
+  sql::Statement s;
+  s.kind = sql::StatementKind::kInsert;
+  s.insert = std::make_unique<sql::InsertStmt>();
+  s.insert->table = source.physical_table;
+  std::vector<sql::ParsedExprPtr> vals;
+  for (const auto& [col, val] : source.partition) {
+    s.insert->columns.push_back(col);
+    vals.push_back(sql::MakeLiteral(val));
+  }
+  if (!source.row_column.empty()) {
+    s.insert->columns.push_back(source.row_column);
+    vals.push_back(sql::MakeLiteral(Value::Int64(row_id)));
+  }
+  for (const auto& [lname, target] : mapping.columns) {
+    if (target.source != src) continue;
+    auto pos = eff.Find(lname);
+    if (!pos.has_value() || *pos >= logical.size()) continue;
+    Value v = logical[*pos];
+    if (v.is_null()) continue;
+    Result<Value> cast = v.CastTo(target.physical_type);
+    if (cast.ok()) v = *std::move(cast);
+    s.insert->columns.push_back(target.physical_column);
+    vals.push_back(sql::MakeLiteral(std::move(v)));
+  }
+  s.insert->rows.push_back(std::move(vals));
+  return s;
+}
+
+}  // namespace
+
 Result<int64_t> SchemaMapping::InsertMappedRow(
     TenantId tenant, const std::string& table,
-    const std::vector<std::string>& columns, const Row& values) {
+    const std::vector<std::string>& columns, const Row& values,
+    StatementUndoLog* caller_undo) {
   if (columns.size() != values.size()) {
     return Status::InvalidArgument("column/value count mismatch");
   }
@@ -420,27 +616,44 @@ Result<int64_t> SchemaMapping::InsertMappedRow(
     provided[IdentLower(columns[i])] = &values[i];
   }
 
-  // One physical insert per source.
+  // One physical insert per source. A multi-source mapping spreads the
+  // logical row over several physical statements; the undo log reverts
+  // the ones already applied if a later one fails, so the logical insert
+  // is all-or-nothing (single-source statements are already atomic in
+  // the engine and skip the bookkeeping).
+  StatementUndoLog local_undo(db_);
+  StatementUndoLog* undo = caller_undo != nullptr ? caller_undo : &local_undo;
+  const bool multi_source = mapping->sources.size() > 1;
+  auto fail = [&](const Status& st) -> Status {
+    // With a caller-owned log the caller rolls back the whole statement.
+    if (caller_undo == nullptr && !local_undo.empty()) {
+      stats_.statement_rollbacks++;
+      (void)local_undo.Rollback();
+      stats_.undo_statements += local_undo.executed();
+    }
+    return st;
+  };
   for (size_t src = 0; src < mapping->sources.size(); ++src) {
     const PhysicalSource& source = mapping->sources[src];
     TableInfo* phys = db_->catalog()->GetTable(source.physical_table);
     if (phys == nullptr) {
-      return Status::Internal("physical table missing: " +
-                              source.physical_table);
+      return fail(Status::Internal("physical table missing: " +
+                                   source.physical_table));
     }
     Row physical_row(phys->schema.size(), Value());
     // Partition (meta-data) values.
     for (const auto& [col, val] : source.partition) {
       auto pos = phys->schema.Find(col);
       if (!pos.has_value()) {
-        return Status::Internal("partition column missing: " + col);
+        return fail(Status::Internal("partition column missing: " + col));
       }
       physical_row[*pos] = val;
     }
     if (!source.row_column.empty()) {
       auto pos = phys->schema.Find(source.row_column);
       if (!pos.has_value()) {
-        return Status::Internal("row column missing: " + source.row_column);
+        return fail(
+            Status::Internal("row column missing: " + source.row_column));
       }
       physical_row[*pos] = Value::Int64(row_id);
     }
@@ -451,15 +664,21 @@ Result<int64_t> SchemaMapping::InsertMappedRow(
       if (it == provided.end() || it->second->is_null()) continue;
       auto pos = phys->schema.Find(target.physical_column);
       if (!pos.has_value()) {
-        return Status::Internal("physical column missing: " +
-                                target.physical_column);
+        return fail(Status::Internal("physical column missing: " +
+                                     target.physical_column));
       }
-      MTDB_ASSIGN_OR_RETURN(Value cast,
-                            it->second->CastTo(target.physical_type));
-      physical_row[*pos] = std::move(cast);
+      Result<Value> cast = it->second->CastTo(target.physical_type);
+      if (!cast.ok()) return fail(cast.status());
+      physical_row[*pos] = *std::move(cast);
     }
-    MTDB_RETURN_IF_ERROR(db_->InsertRow(source.physical_table, physical_row));
+    Status ist = db_->InsertRow(source.physical_table, physical_row);
+    if (!ist.ok()) return fail(ist);
     stats_.physical_statements++;
+    if (caller_undo != nullptr ||
+        (multi_source && src + 1 < mapping->sources.size())) {
+      undo->Record(
+          CompensatingDelete(source, phys->schema, physical_row, row_id));
+    }
   }
   return 1;
 }
@@ -560,10 +779,12 @@ Result<int64_t> SchemaMapping::GenericUpdate(TenantId tenant,
       std::vector<AffectedRow> affected,
       CollectAffected(tenant, stmt.table, stmt.where.get(), params));
 
-  // Resolve assignment targets once.
+  // Resolve assignment targets once (including each target's position in
+  // the logical row, which the undo log needs to recover prior values).
   struct ResolvedSet {
     const sql::ParsedExpr* expr;
     ColumnTarget target;
+    size_t logical_pos;
   };
   std::vector<ResolvedSet> sets;
   for (const auto& [col, expr] : stmt.assignments) {
@@ -571,8 +792,40 @@ Result<int64_t> SchemaMapping::GenericUpdate(TenantId tenant,
     if (it == mapping->columns.end()) {
       return Status::NotFound("no logical column " + col + " in " + stmt.table);
     }
-    sets.push_back({expr.get(), it->second});
+    auto lpos = eff.Find(col);
+    if (!lpos.has_value()) {
+      return Status::NotFound("no logical column " + col + " in " + stmt.table);
+    }
+    sets.push_back({expr.get(), it->second, *lpos});
   }
+  std::set<size_t> touched_sources;
+  for (const ResolvedSet& rs : sets) touched_sources.insert(rs.target.source);
+
+  // Prior physical values of one source's touched chunk, read from the
+  // Phase (a) logical row — the undo image for that physical UPDATE.
+  auto old_assigns_for = [&](size_t src, const Row& logical) {
+    std::vector<std::pair<std::string, Value>> out;
+    for (const ResolvedSet& rs : sets) {
+      if (rs.target.source != src) continue;
+      Value old = logical[rs.logical_pos];
+      if (!old.is_null()) {
+        Result<Value> cast = old.CastTo(rs.target.physical_type);
+        if (cast.ok()) old = *std::move(cast);
+      }
+      out.emplace_back(rs.target.physical_column, std::move(old));
+    }
+    return out;
+  };
+
+  StatementUndoLog undo(db_);
+  auto fail = [&](const Status& st) -> Status {
+    if (!undo.empty()) {
+      stats_.statement_rollbacks++;
+      (void)undo.Rollback();
+      stats_.undo_statements += undo.executed();
+    }
+    return st;
+  };
 
   // Batched Phase (b) (§6.3's IN-predicate option): only when every
   // assignment is a constant (all affected rows get the same values).
@@ -595,6 +848,8 @@ Result<int64_t> SchemaMapping::GenericUpdate(TenantId tenant,
       }
       by_source[rs.target.source].push_back({rs.target.physical_column, v});
     }
+    const size_t batches = (rows.size() + kDmlBatchSize - 1) / kDmlBatchSize;
+    const bool record_undo = by_source.size() * batches > 1;
     for (auto& [src, assigns] : by_source) {
       const PhysicalSource& source = mapping->sources[src];
       for (size_t begin = 0; begin < rows.size(); begin += kDmlBatchSize) {
@@ -608,9 +863,15 @@ Result<int64_t> SchemaMapping::GenericUpdate(TenantId tenant,
         }
         phys.update->where = RowBatchPredicate(source, rows, begin, end);
         NotifyStatement(tenant, phys);
-        MTDB_ASSIGN_OR_RETURN(int64_t n, db_->ExecuteAst(phys, {}));
-        (void)n;
+        Result<int64_t> n = db_->ExecuteAst(phys, {});
+        if (!n.ok()) return fail(n.status());
         stats_.physical_statements++;
+        if (record_undo) {
+          for (size_t i = begin; i < end; ++i) {
+            undo.Record(CompensatingUpdate(
+                source, rows[i], old_assigns_for(src, affected[i].logical)));
+          }
+        }
       }
     }
     return static_cast<int64_t>(affected.size());
@@ -618,16 +879,18 @@ Result<int64_t> SchemaMapping::GenericUpdate(TenantId tenant,
 
   // Phase (b): per affected row, one physical UPDATE per touched chunk
   // with local conditions on the meta-data columns and row only.
+  const bool record_undo = affected.size() * touched_sources.size() > 1;
   for (const AffectedRow& row : affected) {
     // Group new values by source.
     std::map<size_t, std::vector<std::pair<std::string, Value>>> by_source;
     for (const ResolvedSet& s : sets) {
-      MTDB_ASSIGN_OR_RETURN(Value v, EvalScalar(*s.expr, &eff, &row.logical,
-                                                params));
-      if (!v.is_null()) {
-        MTDB_ASSIGN_OR_RETURN(v, v.CastTo(s.target.physical_type));
+      Result<Value> v = EvalScalar(*s.expr, &eff, &row.logical, params);
+      if (!v.ok()) return fail(v.status());
+      if (!v->is_null()) {
+        v = v->CastTo(s.target.physical_type);
+        if (!v.ok()) return fail(v.status());
       }
-      by_source[s.target.source].push_back({s.target.physical_column, v});
+      by_source[s.target.source].push_back({s.target.physical_column, *v});
     }
     for (auto& [src, assigns] : by_source) {
       const PhysicalSource& source = mapping->sources[src];
@@ -638,26 +901,15 @@ Result<int64_t> SchemaMapping::GenericUpdate(TenantId tenant,
       for (auto& [col, val] : assigns) {
         phys.update->assignments.emplace_back(col, sql::MakeLiteral(val));
       }
-      sql::ParsedExprPtr where;
-      for (const auto& p : source.partition) {
-        where = sql::AndTogether(
-            std::move(where),
-            sql::MakeBinary(sql::BinaryOp::kEq,
-                            sql::MakeColumnRef("", p.first),
-                            sql::MakeLiteral(p.second)));
-      }
-      if (!source.row_column.empty()) {
-        where = sql::AndTogether(
-            std::move(where),
-            sql::MakeBinary(sql::BinaryOp::kEq,
-                            sql::MakeColumnRef("", source.row_column),
-                            sql::MakeLiteral(Value::Int64(row.row_id))));
-      }
-      phys.update->where = std::move(where);
+      phys.update->where = RowLocalPredicate(source, row.row_id);
       NotifyStatement(tenant, phys);
-      MTDB_ASSIGN_OR_RETURN(int64_t n, db_->ExecuteAst(phys, {}));
-      (void)n;
+      Result<int64_t> n = db_->ExecuteAst(phys, {});
+      if (!n.ok()) return fail(n.status());
       stats_.physical_statements++;
+      if (record_undo) {
+        undo.Record(CompensatingUpdate(source, row.row_id,
+                                       old_assigns_for(src, row.logical)));
+      }
     }
   }
   return static_cast<int64_t>(affected.size());
@@ -666,17 +918,42 @@ Result<int64_t> SchemaMapping::GenericUpdate(TenantId tenant,
 Result<int64_t> SchemaMapping::GenericDelete(TenantId tenant,
                                              const sql::DeleteStmt& stmt,
                                              const std::vector<Value>& params) {
+  MTDB_ASSIGN_OR_RETURN(EffectiveTable eff, GetEffective(tenant, stmt.table));
   MTDB_ASSIGN_OR_RETURN(const TableMapping* mapping, Mapping(tenant, stmt.table));
   MTDB_ASSIGN_OR_RETURN(
       std::vector<AffectedRow> affected,
       CollectAffected(tenant, stmt.table, stmt.where.get(), params));
+
+  StatementUndoLog undo(db_);
+  auto fail = [&](const Status& st) -> Status {
+    if (!undo.empty()) {
+      stats_.statement_rollbacks++;
+      (void)undo.Rollback();
+      stats_.undo_statements += undo.executed();
+    }
+    return st;
+  };
+  // Compensation for one (row, source) removal: re-insert the chunk, or
+  // flip it back to visible when the trashcan only marked it.
+  auto record_removal = [&](size_t src, const AffectedRow& row) {
+    if (trashcan_deletes_) {
+      undo.Record(CompensatingRestore(mapping->sources[src], row.row_id));
+    } else {
+      undo.Record(
+          CompensatingInsert(*mapping, src, eff, row.logical, row.row_id));
+    }
+  };
+
   // Batched Phase (b): one statement per chunk per batch of rows.
   if (dml_mode_ == DmlMode::kBatched && !affected.empty() &&
       !mapping->sources[0].row_column.empty()) {
     std::vector<int64_t> rows;
     rows.reserve(affected.size());
     for (const AffectedRow& r : affected) rows.push_back(r.row_id);
-    for (const PhysicalSource& source : mapping->sources) {
+    const size_t batches = (rows.size() + kDmlBatchSize - 1) / kDmlBatchSize;
+    const bool record_undo = mapping->sources.size() * batches > 1;
+    for (size_t src = 0; src < mapping->sources.size(); ++src) {
+      const PhysicalSource& source = mapping->sources[src];
       for (size_t begin = 0; begin < rows.size(); begin += kDmlBatchSize) {
         size_t end = std::min(begin + kDmlBatchSize, rows.size());
         sql::Statement phys;
@@ -694,9 +971,12 @@ Result<int64_t> SchemaMapping::GenericDelete(TenantId tenant,
           phys.del->where = RowBatchPredicate(source, rows, begin, end);
         }
         NotifyStatement(tenant, phys);
-        MTDB_ASSIGN_OR_RETURN(int64_t n, db_->ExecuteAst(phys, {}));
-        (void)n;
+        Result<int64_t> n = db_->ExecuteAst(phys, {});
+        if (!n.ok()) return fail(n.status());
         stats_.physical_statements++;
+        if (record_undo) {
+          for (size_t i = begin; i < end; ++i) record_removal(src, affected[i]);
+        }
       }
     }
     return static_cast<int64_t>(affected.size());
@@ -704,23 +984,10 @@ Result<int64_t> SchemaMapping::GenericDelete(TenantId tenant,
 
   // Deletes must touch every chunk of the row (§6.3). With the trashcan
   // enabled they become updates that mark the rows invisible instead.
+  const bool record_undo = affected.size() * mapping->sources.size() > 1;
   for (const AffectedRow& row : affected) {
-    for (const PhysicalSource& source : mapping->sources) {
-      sql::ParsedExprPtr where;
-      for (const auto& p : source.partition) {
-        where = sql::AndTogether(
-            std::move(where),
-            sql::MakeBinary(sql::BinaryOp::kEq,
-                            sql::MakeColumnRef("", p.first),
-                            sql::MakeLiteral(p.second)));
-      }
-      if (!source.row_column.empty()) {
-        where = sql::AndTogether(
-            std::move(where),
-            sql::MakeBinary(sql::BinaryOp::kEq,
-                            sql::MakeColumnRef("", source.row_column),
-                            sql::MakeLiteral(Value::Int64(row.row_id))));
-      }
+    for (size_t src = 0; src < mapping->sources.size(); ++src) {
+      const PhysicalSource& source = mapping->sources[src];
       sql::Statement phys;
       if (trashcan_deletes_) {
         phys.kind = sql::StatementKind::kUpdate;
@@ -728,17 +995,18 @@ Result<int64_t> SchemaMapping::GenericDelete(TenantId tenant,
         phys.update->table = source.physical_table;
         phys.update->assignments.emplace_back(
             "del", sql::MakeLiteral(Value::Int32(1)));
-        phys.update->where = std::move(where);
+        phys.update->where = RowLocalPredicate(source, row.row_id);
       } else {
         phys.kind = sql::StatementKind::kDelete;
         phys.del = std::make_unique<sql::DeleteStmt>();
         phys.del->table = source.physical_table;
-        phys.del->where = std::move(where);
+        phys.del->where = RowLocalPredicate(source, row.row_id);
       }
       NotifyStatement(tenant, phys);
-      MTDB_ASSIGN_OR_RETURN(int64_t n, db_->ExecuteAst(phys, {}));
-      (void)n;
+      Result<int64_t> n = db_->ExecuteAst(phys, {});
+      if (!n.ok()) return fail(n.status());
       stats_.physical_statements++;
+      if (record_undo) record_removal(src, row);
     }
   }
   return static_cast<int64_t>(affected.size());
@@ -747,6 +1015,7 @@ Result<int64_t> SchemaMapping::GenericDelete(TenantId tenant,
 Result<int64_t> SchemaMapping::RestoreDeleted(TenantId tenant,
                                               const std::string& table) {
   std::shared_lock<std::shared_mutex> lock(layer_mu_);
+  MTDB_RETURN_IF_ERROR(CheckTenantAvailable(tenant));
   if (!trashcan_deletes_) {
     return Status::InvalidArgument("layout does not use trashcan deletes");
   }
@@ -776,8 +1045,10 @@ Result<int64_t> SchemaMapping::RestoreDeleted(TenantId tenant,
     }
     phys.update->where = std::move(where);
     NotifyStatement(tenant, phys);
-    MTDB_ASSIGN_OR_RETURN(int64_t n, db_->ExecuteAst(phys, {}));
-    restored += n;
+    Result<int64_t> n = db_->ExecuteAst(phys, {});
+    NoteTenantOutcome(tenant, n.status());
+    MTDB_RETURN_IF_ERROR(n.status());
+    restored += *n;
     stats_.physical_statements++;
   }
   return restored;

@@ -36,6 +36,14 @@ struct LayoutStats {
   /// Physical DDL issued after Bootstrap (table rebuilds, lazy extension
   /// tables); generic layouts keep this at zero — §3's on-line argument.
   std::atomic<uint64_t> ddl_statements{0};
+  /// Logical statements rolled back mid-flight after a physical write
+  /// failed (see StatementUndoLog).
+  std::atomic<uint64_t> statement_rollbacks{0};
+  /// Compensating physical statements executed during those rollbacks.
+  std::atomic<uint64_t> undo_statements{0};
+  /// Times a tenant crossed the consecutive-hard-fault threshold and was
+  /// quarantined.
+  std::atomic<uint64_t> quarantine_trips{0};
 };
 
 /// Observes every physical statement the mapping layer emits against the
@@ -57,6 +65,7 @@ class PhysicalStatementObserver {
 };
 
 class TenantSession;
+class StatementUndoLog;
 
 /// A schema-mapping technique: maps the tenants' single-tenant logical
 /// schemas onto one multi-tenant physical schema (§3) and rewrites
@@ -155,6 +164,28 @@ class SchemaMapping : public MappingResolver {
   /// number of restored physical rows. Fails unless the layout uses
   /// trashcan deletes.
   Result<int64_t> RestoreDeleted(TenantId tenant, const std::string& table);
+
+  // --- fault containment -----------------------------------------------
+
+  /// A tenant whose statements keep failing with hard I/O faults
+  /// (kIOError/kDataLoss surviving the buffer pool's retries) is
+  /// quarantined: further statements fail fast with kUnavailable instead
+  /// of hammering a bad device region, while other tenants — possibly
+  /// co-located in the very same physical tables — keep serving. The
+  /// counter is consecutive: any successful statement resets it.
+  bool IsQuarantined(TenantId tenant) const;
+
+  /// Lifts a tenant's quarantine and zeroes its fault counter (operator
+  /// action after the underlying fault is repaired).
+  Status ClearQuarantine(TenantId tenant);
+
+  /// Consecutive hard-faulted statements before quarantine trips.
+  void set_quarantine_threshold(uint64_t n) {
+    quarantine_threshold_.store(n, std::memory_order_relaxed);
+  }
+  uint64_t quarantine_threshold() const {
+    return quarantine_threshold_.load(std::memory_order_relaxed);
+  }
   Database* db() { return db_; }
   const AppSchema* app() const { return app_; }
 
@@ -185,11 +216,25 @@ class SchemaMapping : public MappingResolver {
     std::mutex row_mu;
     /// next row id per logical table (lower-cased name).
     std::map<std::string, int64_t> next_row;
+    /// Consecutive statements that ended in a hard I/O fault; reset by
+    /// any success. Atomic so sessions update without the row lock.
+    std::atomic<uint64_t> hard_faults{0};
+    std::atomic<bool> quarantined{false};
   };
 
   Result<TenantEntry*> GetTenant(TenantId tenant);
   Result<EffectiveTable> GetEffective(TenantId tenant,
                                       const std::string& table);
+
+  /// Fails fast with kUnavailable when the tenant is quarantined (OK for
+  /// unknown tenants — the statement path reports NotFound itself).
+  /// Assumes the layer latch is held.
+  Status CheckTenantAvailable(TenantId tenant);
+
+  /// Feeds a statement outcome into the quarantine counter: hard faults
+  /// (kIOError/kDataLoss) accumulate, success resets, other errors are
+  /// neutral. Trips quarantine at the threshold.
+  void NoteTenantOutcome(TenantId tenant, const Status& status);
 
   /// Generic DML implementations driven by the TableMapping (used by all
   /// generic layouts; Private/Basic override with direct rewrites).
@@ -203,10 +248,16 @@ class SchemaMapping : public MappingResolver {
                                         const sql::DeleteStmt& stmt,
                                         const std::vector<Value>& params);
 
-  /// Inserts one logical row (named columns) through the mapping.
+  /// Inserts one logical row (named columns) through the mapping. With
+  /// no caller_undo the row is atomic on its own: applied physical
+  /// inserts are rolled back if a later source fails. With caller_undo,
+  /// every applied physical insert is instead recorded there (including
+  /// the last), and a failure rolls back nothing locally — the caller
+  /// owns the whole multi-row statement's undo.
   Result<int64_t> InsertMappedRow(TenantId tenant, const std::string& table,
                                   const std::vector<std::string>& columns,
-                                  const Row& values);
+                                  const Row& values,
+                                  StatementUndoLog* caller_undo = nullptr);
 
   /// Phase (a) of §6.3: returns the row ids (and full logical rows) that
   /// a WHERE clause selects.
@@ -246,6 +297,8 @@ class SchemaMapping : public MappingResolver {
   std::atomic<PhysicalStatementObserver*> observer_{nullptr};
   /// Set by layouts that provision `del` visibility columns.
   bool trashcan_deletes_ = false;
+  /// Consecutive hard faults before a tenant is quarantined.
+  std::atomic<uint64_t> quarantine_threshold_{8};
   std::map<TenantId, TenantEntry> tenants_;
 
   /// Guards mapping_cache_. Read-mostly: statements look mappings up far

@@ -10,16 +10,27 @@ Result<MigrationReport> LayoutMigrator::MigrateTenant(SchemaMapping* from,
   MTDB_ASSIGN_OR_RETURN(std::vector<std::string> extensions,
                         from->TenantExtensions(tenant));
   MTDB_RETURN_IF_ERROR(to->CreateTenant(tenant));
+  // From here on the target holds partial state; any failure rolls it
+  // back to empty (best effort — DropTenant deletes whatever subset of
+  // rows arrived), so a failed migration never leaves the tenant split
+  // across two layouts.
+  auto fail = [&](const Status& st) -> Status {
+    (void)to->DropTenant(tenant);
+    return st;
+  };
   for (const std::string& ext : extensions) {
-    MTDB_RETURN_IF_ERROR(to->EnableExtension(tenant, ext));
+    Status st = to->EnableExtension(tenant, ext);
+    if (!st.ok()) return fail(st);
   }
   for (const LogicalTable& table : from->app()->tables()) {
     // Read through the source mapping: the tenant's full logical rows.
-    MTDB_ASSIGN_OR_RETURN(QueryResult rows,
-                          from->Query(tenant, "SELECT * FROM " + table.name));
-    for (const Row& row : rows.rows) {
-      MTDB_ASSIGN_OR_RETURN(int64_t n, to->InsertRow(tenant, table.name, row));
-      report.rows_migrated += n;
+    Result<QueryResult> rows =
+        from->Query(tenant, "SELECT * FROM " + table.name);
+    if (!rows.ok()) return fail(rows.status());
+    for (const Row& row : rows->rows) {
+      Result<int64_t> n = to->InsertRow(tenant, table.name, row);
+      if (!n.ok()) return fail(n.status());
+      report.rows_migrated += *n;
     }
   }
   report.tenants_migrated = 1;

@@ -1,0 +1,32 @@
+#include "core/undo_log.h"
+
+namespace mtdb {
+namespace mapping {
+
+namespace {
+// A compensation that keeps failing transiently is retried this many
+// times on top of the buffer pool's own per-I/O retries.
+constexpr int kRollbackAttempts = 4;
+}  // namespace
+
+Status StatementUndoLog::Rollback() {
+  Status first_error = Status::OK();
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    Status st = Status::OK();
+    for (int attempt = 0; attempt < kRollbackAttempts; ++attempt) {
+      Result<int64_t> n = db_->ExecuteAst(*it, {});
+      st = n.status();
+      if (st.ok()) break;
+    }
+    if (st.ok()) {
+      executed_++;
+    } else if (first_error.ok()) {
+      first_error = st;
+    }
+  }
+  entries_.clear();
+  return first_error;
+}
+
+}  // namespace mapping
+}  // namespace mtdb

@@ -1,0 +1,65 @@
+#ifndef MTDB_CORE_UNDO_LOG_H_
+#define MTDB_CORE_UNDO_LOG_H_
+
+#include <vector>
+
+#include "engine/database.h"
+#include "sql/ast.h"
+
+namespace mtdb {
+namespace mapping {
+
+/// Statement-level undo log for the mapping layer (§6.3's multi-statement
+/// DML). A logical INSERT/UPDATE/DELETE fans out into one physical
+/// statement per chunk/source; each physical statement is atomic in the
+/// engine, but a fault between them would otherwise leave a logical row
+/// half-written across its chunks. The generic DML paths therefore record
+/// a compensating physical statement for every physical write they apply,
+/// and replay the log in reverse if a later write fails — so the logical
+/// statement as a whole either applies or leaves no trace.
+///
+/// Compensations are ordinary physical ASTs (DELETE to undo an INSERT,
+/// UPDATE restoring prior values to undo an UPDATE, INSERT re-creating
+/// the row images to undo a DELETE) executed through the same engine
+/// front door, so they stay atomic themselves and honour the same latch
+/// order. Rollback is best-effort: each entry is retried a few times
+/// (the engine's buffer pool already absorbs transient faults) and the
+/// log keeps going past a failed entry to restore as much as possible.
+///
+/// Not thread-safe: one log per in-flight statement, on the stack.
+class StatementUndoLog {
+ public:
+  explicit StatementUndoLog(Database* db) : db_(db) {}
+
+  StatementUndoLog(const StatementUndoLog&) = delete;
+  StatementUndoLog& operator=(const StatementUndoLog&) = delete;
+
+  /// Records a compensating statement to run if the logical statement
+  /// later fails. Call AFTER the corresponding forward write succeeded.
+  void Record(sql::Statement compensation) {
+    entries_.push_back(std::move(compensation));
+  }
+
+  /// Replays all recorded compensations in reverse order. Returns the
+  /// first failure (after per-entry retries) but attempts every entry.
+  Status Rollback();
+
+  /// Discards the log (the logical statement committed).
+  void Clear() { entries_.clear(); }
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Compensations successfully executed by Rollback().
+  uint64_t executed() const { return executed_; }
+
+ private:
+  Database* db_;
+  std::vector<sql::Statement> entries_;
+  uint64_t executed_ = 0;
+};
+
+}  // namespace mapping
+}  // namespace mtdb
+
+#endif  // MTDB_CORE_UNDO_LOG_H_

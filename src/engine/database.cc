@@ -99,6 +99,19 @@ Result<Value> EvalParsedScalar(const sql::ParsedExpr& e, const Row* row,
   }
 }
 
+/// Retries a compensating (undo) action so a bounded burst of transient
+/// faults cannot leave a statement half rolled back. kNotFound counts as
+/// success: the entry the undo wants gone is already gone.
+template <typename Fn>
+Status RetryCompensation(Fn&& fn) {
+  Status st;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    st = fn();
+    if (st.ok() || st.code() == StatusCode::kNotFound) return Status::OK();
+  }
+  return st;
+}
+
 /// RAII holder for the table/index latches of one statement. Latches are
 /// taken as they are added and dropped in reverse order on destruction.
 /// Callers must add them in the canonical global order — tables sorted
@@ -344,7 +357,8 @@ Result<int64_t> Database::RunMutation(const sql::Statement& stmt,
   return Status::Internal("unknown statement kind");
 }
 
-Status Database::InsertRowLatched(TableInfo* table, const Row& row) {
+Status Database::InsertRowLatched(TableInfo* table, const Row& row,
+                                  Rid* out_rid, Row* out_typed) {
   if (row.size() != table->schema.size()) {
     return Status::InvalidArgument("row arity mismatch for " + table->name);
   }
@@ -366,7 +380,8 @@ Status Database::InsertRowLatched(TableInfo* table, const Row& row) {
   for (const auto& idx : table->indexes) {
     if (!idx->unique) continue;
     std::string key = IndexKeyFor(*idx, typed);
-    if (idx->tree->Contains(key)) {
+    MTDB_ASSIGN_OR_RETURN(bool dup, idx->tree->Contains(key));
+    if (dup) {
       return Status::ConstraintViolation("duplicate key in unique index " +
                                          idx->name);
     }
@@ -374,21 +389,153 @@ Status Database::InsertRowLatched(TableInfo* table, const Row& row) {
   std::string image;
   MTDB_RETURN_IF_ERROR(table->codec->Encode(typed, &image));
   MTDB_ASSIGN_OR_RETURN(Rid rid, table->heap->Insert(image));
-  for (const auto& idx : table->indexes) {
-    std::string key = IndexKeyFor(*idx, typed);
-    MTDB_RETURN_IF_ERROR(idx->tree->Insert(key, rid));
+  for (size_t i = 0; i < table->indexes.size(); ++i) {
+    std::string key = IndexKeyFor(*table->indexes[i], typed);
+    Status st = table->indexes[i]->tree->Insert(key, rid);
+    if (!st.ok()) {
+      // Row-level undo: remove the index entries already written and the
+      // heap row, so the failed insert leaves no trace.
+      for (size_t j = 0; j < i; ++j) {
+        std::string pkey = IndexKeyFor(*table->indexes[j], typed);
+        (void)RetryCompensation(
+            [&] { return table->indexes[j]->tree->Delete(pkey, rid); });
+      }
+      (void)RetryCompensation([&] { return table->heap->Delete(rid); });
+      return st;
+    }
   }
+  if (out_rid != nullptr) *out_rid = rid;
+  if (out_typed != nullptr) *out_typed = std::move(typed);
   return Status::OK();
 }
 
 Status Database::DeleteRowLatched(TableInfo* table, const Row& row,
                                   const Rid& rid) {
+  size_t removed = 0;
+  Status fail;
+  for (; removed < table->indexes.size(); ++removed) {
+    std::string key = IndexKeyFor(*table->indexes[removed], row);
+    Status st = table->indexes[removed]->tree->Delete(key, rid);
+    if (!st.ok() && st.code() != StatusCode::kNotFound) {
+      fail = st;
+      break;
+    }
+  }
+  if (fail.ok()) {
+    fail = table->heap->Delete(rid);
+    if (fail.ok()) return fail;
+  }
+  // Row-level undo: the heap row still exists at `rid`, so put the index
+  // entries already removed back.
+  for (size_t j = 0; j < removed; ++j) {
+    std::string key = IndexKeyFor(*table->indexes[j], row);
+    (void)RetryCompensation(
+        [&] { return table->indexes[j]->tree->Insert(key, rid); });
+  }
+  return fail;
+}
+
+Status Database::UpdateRowLatched(TableInfo* table, const Rid& old_rid,
+                                  const Row& old_row, const Row& new_row,
+                                  Rid* out_new_rid) {
+  std::string new_image;
+  MTDB_RETURN_IF_ERROR(table->codec->Encode(new_row, &new_image));
+  Status fail;
+  // 1. Drop the old index entries.
+  size_t deleted_old = 0;
+  for (; deleted_old < table->indexes.size(); ++deleted_old) {
+    std::string key = IndexKeyFor(*table->indexes[deleted_old], old_row);
+    Status st = table->indexes[deleted_old]->tree->Delete(key, old_rid);
+    if (!st.ok() && st.code() != StatusCode::kNotFound) {
+      fail = st;
+      break;
+    }
+  }
+  // 2. Rewrite the heap image (may relocate the row).
+  Rid rid = old_rid;
+  bool heap_updated = false;
+  if (fail.ok()) {
+    Status st = table->heap->Update(&rid, new_image);
+    if (st.ok()) {
+      heap_updated = true;
+    } else {
+      fail = st;
+    }
+  }
+  // 3. Write the new index entries.
+  size_t inserted_new = 0;
+  if (fail.ok()) {
+    for (; inserted_new < table->indexes.size(); ++inserted_new) {
+      std::string key = IndexKeyFor(*table->indexes[inserted_new], new_row);
+      Status st = table->indexes[inserted_new]->tree->Insert(key, rid);
+      if (!st.ok()) {
+        fail = st;
+        break;
+      }
+    }
+  }
+  if (fail.ok()) {
+    *out_new_rid = rid;
+    return fail;
+  }
+  // Row-level undo, in reverse: new entries out, heap image back (which
+  // may relocate again — the restored index entries use the final rid),
+  // old entries in.
+  for (size_t j = 0; j < inserted_new; ++j) {
+    std::string key = IndexKeyFor(*table->indexes[j], new_row);
+    (void)RetryCompensation(
+        [&] { return table->indexes[j]->tree->Delete(key, rid); });
+  }
+  Rid back_rid = rid;
+  if (heap_updated) {
+    std::string old_image;
+    if (table->codec->Encode(old_row, &old_image).ok()) {
+      (void)RetryCompensation(
+          [&] { return table->heap->Update(&back_rid, old_image); });
+    }
+  }
+  for (size_t j = 0; j < deleted_old; ++j) {
+    std::string key = IndexKeyFor(*table->indexes[j], old_row);
+    (void)RetryCompensation(
+        [&] { return table->indexes[j]->tree->Insert(key, back_rid); });
+  }
+  return fail;
+}
+
+void Database::RevertInsertedRow(TableInfo* table, const Row& typed,
+                                 const Rid& rid) {
+  for (const auto& idx : table->indexes) {
+    std::string key = IndexKeyFor(*idx, typed);
+    (void)RetryCompensation([&] { return idx->tree->Delete(key, rid); });
+  }
+  (void)RetryCompensation([&] { return table->heap->Delete(rid); });
+}
+
+void Database::RevertUpdatedRow(TableInfo* table, const Rid& new_rid,
+                                const Row& new_row, const Row& old_row) {
+  // UpdateRowLatched is its own inverse; it already compensates
+  // internally, and the outer retry covers transient bursts.
+  (void)RetryCompensation([&] {
+    Rid ignored;
+    return UpdateRowLatched(table, new_rid, new_row, old_row, &ignored);
+  });
+}
+
+void Database::RestoreDeletedRow(TableInfo* table, const Row& row) {
+  std::string image;
+  if (!table->codec->Encode(row, &image).ok()) return;
+  Rid rid{};
+  Status st = RetryCompensation([&] {
+    auto r = table->heap->Insert(image);
+    if (!r.ok()) return r.status();
+    rid = *r;
+    return Status::OK();
+  });
+  if (!st.ok()) return;
   for (const auto& idx : table->indexes) {
     std::string key = IndexKeyFor(*idx, row);
-    Status st = idx->tree->Delete(key, rid);
-    if (!st.ok() && st.code() != StatusCode::kNotFound) return st;
+    (void)RetryCompensation([&] { return idx->tree->Insert(key, rid); });
   }
-  return table->heap->Delete(rid);
 }
 
 Result<int64_t> Database::ExecuteInsert(const sql::InsertStmt& stmt,
@@ -407,21 +554,32 @@ Result<int64_t> Database::ExecuteInsert(const sql::InsertStmt& stmt,
       positions.push_back(*pos);
     }
   }
-  int64_t inserted = 0;
+  // Statement-level atomicity: a multi-row VALUES list either fully
+  // applies or, on any failure, every row already written is removed.
+  std::vector<std::pair<Rid, Row>> applied;
+  auto rollback = [&](Status st) -> Status {
+    for (auto it = applied.rbegin(); it != applied.rend(); ++it) {
+      RevertInsertedRow(table, it->second, it->first);
+    }
+    return st;
+  };
   for (const auto& row_exprs : stmt.rows) {
     if (row_exprs.size() != positions.size()) {
-      return Status::InvalidArgument("VALUES arity mismatch");
+      return rollback(Status::InvalidArgument("VALUES arity mismatch"));
     }
     Row full(table->schema.size(), Value());
     for (size_t i = 0; i < positions.size(); ++i) {
-      MTDB_ASSIGN_OR_RETURN(
-          Value v, EvalParsedScalar(*row_exprs[i], nullptr, nullptr, ctx));
-      full[positions[i]] = std::move(v);
+      Result<Value> v = EvalParsedScalar(*row_exprs[i], nullptr, nullptr, ctx);
+      if (!v.ok()) return rollback(v.status());
+      full[positions[i]] = std::move(*v);
     }
-    MTDB_RETURN_IF_ERROR(InsertRowLatched(table, full));
-    inserted++;
+    Rid rid;
+    Row typed;
+    Status st = InsertRowLatched(table, full, &rid, &typed);
+    if (!st.ok()) return rollback(st);
+    applied.emplace_back(rid, std::move(typed));
   }
-  return inserted;
+  return static_cast<int64_t>(applied.size());
 }
 
 Result<int64_t> Database::ExecuteUpdate(const sql::UpdateStmt& stmt,
@@ -461,30 +619,39 @@ Result<int64_t> Database::ExecuteUpdate(const sql::UpdateStmt& stmt,
     sets.emplace_back(*pos, expr.get());
   }
 
-  // Phase (b): apply per row; assignments may read old row values.
+  // Phase (b): apply per row; assignments may read old row values. Each
+  // row applies atomically (UpdateRowLatched), and on a mid-statement
+  // failure the rows already updated are reverted — the statement never
+  // leaves a partial result.
+  struct AppliedUpdate {
+    Rid new_rid;
+    Row old_row;
+    Row new_row;
+  };
+  std::vector<AppliedUpdate> applied;
+  auto rollback = [&](Status st) -> Status {
+    for (auto it = applied.rbegin(); it != applied.rend(); ++it) {
+      RevertUpdatedRow(table, it->new_rid, it->new_row, it->old_row);
+    }
+    return st;
+  };
   for (auto& [rid, old_row] : affected) {
     Row new_row = old_row;
     for (const auto& [pos, expr] : sets) {
-      MTDB_ASSIGN_OR_RETURN(
-          Value v, EvalParsedScalar(*expr, &old_row, &table->schema, ctx));
-      if (!v.is_null()) {
-        MTDB_ASSIGN_OR_RETURN(v, v.CastTo(table->schema.at(pos).type));
+      Result<Value> v = EvalParsedScalar(*expr, &old_row, &table->schema, ctx);
+      if (!v.ok()) return rollback(v.status());
+      Value val = std::move(*v);
+      if (!val.is_null()) {
+        Result<Value> cast = val.CastTo(table->schema.at(pos).type);
+        if (!cast.ok()) return rollback(cast.status());
+        val = std::move(*cast);
       }
-      new_row[pos] = std::move(v);
+      new_row[pos] = std::move(val);
     }
-    for (const auto& idx : table->indexes) {
-      std::string key = IndexKeyFor(*idx, old_row);
-      Status st = idx->tree->Delete(key, rid);
-      if (!st.ok() && st.code() != StatusCode::kNotFound) return st;
-    }
-    std::string image;
-    MTDB_RETURN_IF_ERROR(table->codec->Encode(new_row, &image));
-    Rid new_rid = rid;
-    MTDB_RETURN_IF_ERROR(table->heap->Update(&new_rid, image));
-    for (const auto& idx : table->indexes) {
-      std::string key = IndexKeyFor(*idx, new_row);
-      MTDB_RETURN_IF_ERROR(idx->tree->Insert(key, new_rid));
-    }
+    Rid new_rid;
+    Status st = UpdateRowLatched(table, rid, old_row, new_row, &new_rid);
+    if (!st.ok()) return rollback(st);
+    applied.push_back({new_rid, old_row, std::move(new_row)});
   }
   return static_cast<int64_t>(affected.size());
 }
@@ -514,8 +681,19 @@ Result<int64_t> Database::ExecuteDelete(const sql::DeleteStmt& stmt,
     }
     affected.emplace_back(*rid, row);
   }
+  // Each row deletes atomically; on a later failure the rows already
+  // deleted are re-inserted (at fresh rids) so the statement is all-or-
+  // nothing.
+  std::vector<Row> deleted;
   for (const auto& [rid, old_row] : affected) {
-    MTDB_RETURN_IF_ERROR(DeleteRowLatched(table, old_row, rid));
+    Status st = DeleteRowLatched(table, old_row, rid);
+    if (!st.ok()) {
+      for (auto it = deleted.rbegin(); it != deleted.rend(); ++it) {
+        RestoreDeletedRow(table, *it);
+      }
+      return st;
+    }
+    deleted.push_back(old_row);
   }
   return static_cast<int64_t>(affected.size());
 }
@@ -575,8 +753,10 @@ void Database::ResetStats() {
 
 void Database::ColdCache() {
   // Exclude in-flight statements so no pinned frame blocks the sweep.
+  // A failed write-back keeps its frame cached, so ignoring the status
+  // here cannot lose data — the sweep is just less cold.
   std::unique_lock<std::shared_mutex> ddl(ddl_mu_);
-  pool_->EvictAll();
+  (void)pool_->EvictAll();
 }
 
 }  // namespace mtdb

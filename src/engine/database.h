@@ -162,8 +162,28 @@ class Database {
                                 const ExecContext& ctx);
   Result<int64_t> ExecuteDelete(const sql::DeleteStmt& stmt,
                                 const ExecContext& ctx);
-  Status InsertRowLatched(TableInfo* table, const Row& row);
+
+  // Every physical mutation below is atomic at the row level: if any of
+  // its heap/index writes fails, the ones already applied are compensated
+  // (with retries) before the error is returned, so a statement never
+  // leaves a half-written row. The Execute* drivers extend this to the
+  // whole statement by reverting fully-applied rows on a later failure.
+
+  /// Inserts one row plus its index entries. On success reports the rid
+  /// and the typed (cast) row via the optional out params, which the
+  /// statement drivers record for statement-level rollback.
+  Status InsertRowLatched(TableInfo* table, const Row& row,
+                          Rid* out_rid = nullptr, Row* out_typed = nullptr);
   Status DeleteRowLatched(TableInfo* table, const Row& row, const Rid& rid);
+  /// Applies old_row→new_row at old_rid (index entries + heap image).
+  Status UpdateRowLatched(TableInfo* table, const Rid& old_rid,
+                          const Row& old_row, const Row& new_row,
+                          Rid* out_new_rid);
+  /// Best-effort inverses used for statement-level rollback.
+  void RevertInsertedRow(TableInfo* table, const Row& typed, const Rid& rid);
+  void RevertUpdatedRow(TableInfo* table, const Rid& new_rid,
+                        const Row& new_row, const Row& old_row);
+  void RestoreDeletedRow(TableInfo* table, const Row& row);
 
   EngineOptions options_;
   std::atomic<PlannerMode> planner_mode_;

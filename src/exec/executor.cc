@@ -55,7 +55,9 @@ Status SeqScanExecutor::Init(const ExecContext&) {
 
 Result<bool> SeqScanExecutor::Next(Row* out, const ExecContext& ctx) {
   std::string image;
-  while (it_->Next(&image, &rid_)) {
+  while (true) {
+    MTDB_ASSIGN_OR_RETURN(bool more, it_->Next(&image, &rid_));
+    if (!more) break;
     MTDB_ASSIGN_OR_RETURN(
         Row row,
         table_->codec->Decode(image.data(), static_cast<uint32_t>(image.size())));
@@ -89,16 +91,20 @@ Status IndexScanExecutor::Init(const ExecContext& ctx) {
   }
   std::string lo, hi;
   KeyEncoder::EncodePrefixRange(prefix, &lo, &hi);
-  it_ = std::make_unique<BTree::Iterator>(index_->tree->Scan(lo, hi));
+  MTDB_ASSIGN_OR_RETURN(BTree::Iterator it, index_->tree->Scan(lo, hi));
+  it_ = std::make_unique<BTree::Iterator>(std::move(it));
   return Status::OK();
 }
 
 Result<bool> IndexScanExecutor::Next(Row* out, const ExecContext& ctx) {
   Rid rid;
-  while (it_->Next(&rid)) {
+  while (true) {
+    MTDB_ASSIGN_OR_RETURN(bool more, it_->Next(&rid));
+    if (!more) break;
     std::string image;
     Status st = table_->heap->Get(rid, &image);
-    if (!st.ok()) continue;  // dangling index entry (being modified)
+    if (st.code() == StatusCode::kNotFound) continue;  // dangling entry
+    MTDB_RETURN_IF_ERROR(st);
     MTDB_ASSIGN_OR_RETURN(
         Row row,
         table_->codec->Decode(image.data(), static_cast<uint32_t>(image.size())));
@@ -232,9 +238,14 @@ Result<bool> IndexNestedLoopJoinExecutor::AdvanceLeft(const ExecContext& ctx) {
   KeyEncoder::EncodePrefixRange(key_vals, &lo, &hi);
   matches_.clear();
   match_pos_ = 0;
-  BTree::Iterator it = right_index_->tree->Scan(lo, hi);
+  MTDB_ASSIGN_OR_RETURN(BTree::Iterator it,
+                        right_index_->tree->Scan(lo, hi));
   Rid rid;
-  while (it.Next(&rid)) matches_.push_back(rid);
+  while (true) {
+    MTDB_ASSIGN_OR_RETURN(bool has_match, it.Next(&rid));
+    if (!has_match) break;
+    matches_.push_back(rid);
+  }
   return true;
 }
 
@@ -249,7 +260,8 @@ Result<bool> IndexNestedLoopJoinExecutor::Next(Row* out,
     Rid rid = matches_[match_pos_++];
     std::string image;
     Status st = right_->heap->Get(rid, &image);
-    if (!st.ok()) continue;
+    if (st.code() == StatusCode::kNotFound) continue;  // dangling entry
+    MTDB_RETURN_IF_ERROR(st);
     MTDB_ASSIGN_OR_RETURN(
         Row right_row,
         right_->codec->Decode(image.data(), static_cast<uint32_t>(image.size())));

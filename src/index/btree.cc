@@ -193,11 +193,11 @@ BTree::BTree(BufferPool* pool, PageId root) : pool_(pool), root_(root) {
   all_pages_.push_back(root);
 }
 
-PageId BTree::FindLeaf(std::string_view key,
-                       std::vector<std::pair<PageId, int>>* path) {
+Result<PageId> BTree::FindLeaf(std::string_view key,
+                               std::vector<std::pair<PageId, int>>* path) {
   PageId current = root_;
   while (true) {
-    Page* page = pool_->FetchPage(current);
+    MTDB_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(current));
     NodeView node(page);
     if (node.is_leaf()) {
       pool_->UnpinPage(current, false);
@@ -221,8 +221,8 @@ Status BTree::Insert(std::string_view key, const Rid& rid) {
                               std::to_string(full.size()));
   }
   std::vector<std::pair<PageId, int>> path;
-  PageId leaf_id = FindLeaf(full, &path);
-  Page* page = pool_->FetchPage(leaf_id);
+  MTDB_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(full, &path));
+  MTDB_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(leaf_id));
   NodeView node(page);
   if (!node.Fits(full.size())) {
     node.Compact();
@@ -235,27 +235,66 @@ Status BTree::Insert(std::string_view key, const Rid& rid) {
     return Status::OK();
   }
   pool_->UnpinPage(leaf_id, true);
-  SplitAndPropagate(path, leaf_id);
+  MTDB_RETURN_IF_ERROR(SplitAndPropagate(path, leaf_id));
   // Retry; the tree has grown so re-descend.
   return Insert(key, rid);
 }
 
-void BTree::SplitAndPropagate(std::vector<std::pair<PageId, int>>& path,
-                              PageId left_id) {
-  Page* left_page = pool_->FetchPage(left_id);
+Status BTree::SplitAndPropagate(std::vector<std::pair<PageId, int>>& path,
+                                PageId left_id) {
+  // Pin phase: acquire every page this split will modify before mutating
+  // any of them, so an I/O fault aborts with the tree untouched.
+  MTDB_ASSIGN_OR_RETURN(Page * left_page, pool_->FetchPage(left_id));
   NodeView left(left_page);
   bool leaf = left.is_leaf();
+  int total = left.count();
+  int split_at = total / 2;
+  std::string separator(left.Key(split_at));
 
+  Page* parent_page = nullptr;
+  PageId parent_id = kInvalidPageId;
+  if (!path.empty()) {
+    parent_id = path.back().first;
+    path.pop_back();
+    auto fetched = pool_->FetchPage(parent_id);
+    if (!fetched.ok()) {
+      pool_->UnpinPage(left_id, false);
+      return fetched.status();
+    }
+    parent_page = *fetched;
+    NodeView parent(parent_page);
+    if (!parent.Fits(separator.size())) parent.Compact();
+    if (!parent.Fits(separator.size())) {
+      // Parent is full. Split it first — atomically, by induction — then
+      // re-descend to find left's (possibly new) parent and retry this
+      // split from scratch; left has not been touched yet.
+      pool_->UnpinPage(parent_id, true);  // Compact re-laid it out
+      pool_->UnpinPage(left_id, false);
+      MTDB_RETURN_IF_ERROR(SplitAndPropagate(path, parent_id));
+      std::vector<std::pair<PageId, int>> new_path;
+      MTDB_ASSIGN_OR_RETURN(PageId reached, FindLeaf(separator, &new_path));
+      (void)reached;
+      if (!leaf) {
+        // The descent ran through `left` itself; keep only its ancestors.
+        std::vector<std::pair<PageId, int>> ancestors;
+        for (auto& step : new_path) {
+          if (step.first == left_id) break;
+          ancestors.push_back(step);
+        }
+        new_path = std::move(ancestors);
+      }
+      return SplitAndPropagate(new_path, left_id);
+    }
+  }
+
+  // Mutation phase: every page is pinned and NewPage cannot fail, so no
+  // error path exits between here and return.
   Page* right_page = pool_->NewPage(PageType::kIndex);
   NodeView right(right_page);
   right.Init(leaf);
   all_pages_.push_back(right_page->id());
 
-  int total = left.count();
-  int split_at = total / 2;
-  std::string separator;
   if (leaf) {
-    separator = std::string(left.Key(split_at));
     for (int i = split_at; i < total; ++i) {
       right.InsertAt(i - split_at, left.Key(i), left.Val(i));
     }
@@ -266,7 +305,6 @@ void BTree::SplitAndPropagate(std::vector<std::pair<PageId, int>>& path,
     left.SetLink(right_page->id());
   } else {
     // The middle key moves up; its child becomes right's leftmost.
-    separator = std::string(left.Key(split_at));
     right.SetLink(static_cast<PageId>(left.Val(split_at)));
     for (int i = split_at + 1; i < total; ++i) {
       right.InsertAt(i - split_at - 1, left.Key(i), left.Val(i));
@@ -280,7 +318,7 @@ void BTree::SplitAndPropagate(std::vector<std::pair<PageId, int>>& path,
   pool_->UnpinPage(right_id, true);
   pool_->UnpinPage(left_id, true);
 
-  if (path.empty()) {
+  if (parent_page == nullptr) {
     // Splitting the root: grow a new root.
     Page* new_root = pool_->NewPage(PageType::kIndex);
     NodeView root(new_root);
@@ -290,47 +328,21 @@ void BTree::SplitAndPropagate(std::vector<std::pair<PageId, int>>& path,
     root_ = new_root->id();
     all_pages_.push_back(root_);
     pool_->UnpinPage(root_, true);
-    return;
+    return Status::OK();
   }
 
-  PageId parent_id = path.back().first;
-  path.pop_back();
-  Page* parent_page = pool_->FetchPage(parent_id);
   NodeView parent(parent_page);
-  if (!parent.Fits(separator.size())) {
-    parent.Compact();
-  }
-  if (parent.Fits(separator.size())) {
-    int pos = parent.LowerBound(separator);
-    parent.InsertAt(pos, separator, static_cast<uint64_t>(right_id));
-    pool_->UnpinPage(parent_id, true);
-    return;
-  }
+  int pos = parent.LowerBound(separator);
+  parent.InsertAt(pos, separator, static_cast<uint64_t>(right_id));
   pool_->UnpinPage(parent_id, true);
-  // Parent is full: split it first, then re-insert the separator by
-  // re-descending from the root (simple and correct, if not optimal).
-  SplitAndPropagate(path, parent_id);
-  // After the parent split, find the new parent of the separator.
-  std::vector<std::pair<PageId, int>> new_path;
-  FindLeaf(separator, &new_path);
-  // The last internal node on the path to `separator` is the parent to
-  // receive it. new_path holds internal nodes only.
-  assert(!new_path.empty());
-  PageId target = new_path.back().first;
-  Page* target_page = pool_->FetchPage(target);
-  NodeView target_node(target_page);
-  if (!target_node.Fits(separator.size())) target_node.Compact();
-  assert(target_node.Fits(separator.size()));
-  int pos = target_node.LowerBound(separator);
-  target_node.InsertAt(pos, separator, static_cast<uint64_t>(right_id));
-  pool_->UnpinPage(target, true);
+  return Status::OK();
 }
 
 Status BTree::Delete(std::string_view key, const Rid& rid) {
   std::string full(key);
   AppendRidSuffix(rid, &full);
-  PageId leaf_id = FindLeaf(full, nullptr);
-  Page* page = pool_->FetchPage(leaf_id);
+  MTDB_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(full, nullptr));
+  MTDB_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(leaf_id));
   NodeView node(page);
   int pos = node.LowerBound(full);
   if (pos < node.count() && node.Key(pos) == full) {
@@ -343,13 +355,15 @@ Status BTree::Delete(std::string_view key, const Rid& rid) {
   return Status::NotFound("key not in index");
 }
 
-bool BTree::Contains(std::string_view key) {
+Result<bool> BTree::Contains(std::string_view key) {
   std::string hi(key);
   hi.push_back('\xFF');
-  Iterator it = Scan(key, hi);
+  MTDB_ASSIGN_OR_RETURN(Iterator it, Scan(key, hi));
   Rid rid;
   std::string found;
-  while (it.Next(&rid, &found)) {
+  while (true) {
+    MTDB_ASSIGN_OR_RETURN(bool more, it.Next(&rid, &found));
+    if (!more) break;
     if (found.size() == key.size() + kRidSuffixLen &&
         std::string_view(found).substr(0, key.size()) == key) {
       return true;
@@ -358,14 +372,16 @@ bool BTree::Contains(std::string_view key) {
   return false;
 }
 
-std::vector<Rid> BTree::Lookup(std::string_view key) {
+Result<std::vector<Rid>> BTree::Lookup(std::string_view key) {
   std::vector<Rid> out;
   std::string hi(key);
   hi.push_back('\xFF');
-  Iterator it = Scan(key, hi);
+  MTDB_ASSIGN_OR_RETURN(Iterator it, Scan(key, hi));
   Rid rid;
   std::string found;
-  while (it.Next(&rid, &found)) {
+  while (true) {
+    MTDB_ASSIGN_OR_RETURN(bool more, it.Next(&rid, &found));
+    if (!more) break;
     if (found.size() == key.size() + kRidSuffixLen &&
         std::string_view(found).substr(0, key.size()) == key) {
       out.push_back(rid);
@@ -374,18 +390,19 @@ std::vector<Rid> BTree::Lookup(std::string_view key) {
   return out;
 }
 
-BTree::Iterator BTree::Scan(std::string_view lo, std::string_view hi) {
-  PageId leaf_id = FindLeaf(lo, nullptr);
-  Page* page = pool_->FetchPage(leaf_id);
+Result<BTree::Iterator> BTree::Scan(std::string_view lo,
+                                    std::string_view hi) {
+  MTDB_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(lo, nullptr));
+  MTDB_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(leaf_id));
   NodeView node(page);
   int pos = node.LowerBound(lo);
   pool_->UnpinPage(leaf_id, false);
   return Iterator(this, leaf_id, pos, std::string(hi));
 }
 
-bool BTree::Iterator::Next(Rid* rid, std::string* key) {
+Result<bool> BTree::Iterator::Next(Rid* rid, std::string* key) {
   while (leaf_ != kInvalidPageId) {
-    Page* page = tree_->pool_->FetchPage(leaf_);
+    MTDB_ASSIGN_OR_RETURN(Page * page, tree_->pool_->FetchPage(leaf_));
     NodeView node(page);
     if (pos_ < node.count()) {
       std::string_view k = node.Key(pos_);
@@ -417,11 +434,11 @@ void BTree::Free() {
   entries_ = 0;
 }
 
-int BTree::Height() {
+Result<int> BTree::Height() {
   int height = 1;
   PageId current = root_;
   while (true) {
-    Page* page = pool_->FetchPage(current);
+    MTDB_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(current));
     NodeView node(page);
     if (node.is_leaf()) {
       pool_->UnpinPage(current, false);

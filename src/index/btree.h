@@ -42,16 +42,17 @@ class BTree {
   Status Delete(std::string_view key, const Rid& rid);
 
   /// True if any entry's key equals `key` (ignoring the rid suffix).
-  bool Contains(std::string_view key);
+  Result<bool> Contains(std::string_view key);
 
   /// Collects the RIDs of all entries with exactly this key.
-  std::vector<Rid> Lookup(std::string_view key);
+  Result<std::vector<Rid>> Lookup(std::string_view key);
 
   /// Streaming scan over keys in [lo, hi).
   class Iterator {
    public:
-    /// Returns false at end; otherwise fills rid (and `key` if non-null).
-    bool Next(Rid* rid, std::string* key = nullptr);
+    /// Returns false at end; otherwise fills rid (and `key` if
+    /// non-null). Surfaces storage errors after the pool's retries.
+    Result<bool> Next(Rid* rid, std::string* key = nullptr);
 
    private:
     friend class BTree;
@@ -63,13 +64,13 @@ class BTree {
     std::string hi_;
   };
 
-  Iterator Scan(std::string_view lo, std::string_view hi);
+  Result<Iterator> Scan(std::string_view lo, std::string_view hi);
 
   /// Releases every page of the tree back to the store.
   void Free();
 
   /// Tree height (1 = root is a leaf). Walks the leftmost path.
-  int Height();
+  Result<int> Height();
 
   /// Per-index reader/writer latch. Like TableHeap::latch(), this is
   /// acquired only by the engine's statement pipeline (shared for
@@ -83,10 +84,13 @@ class BTree {
 
   /// Descends to the leaf that should contain `key`; records the path of
   /// (page id, child index) in `path` when non-null.
-  PageId FindLeaf(std::string_view key,
-                  std::vector<std::pair<PageId, int>>* path);
-  void SplitAndPropagate(std::vector<std::pair<PageId, int>>& path,
-                         PageId left_id);
+  Result<PageId> FindLeaf(std::string_view key,
+                          std::vector<std::pair<PageId, int>>* path);
+  /// Splits `left_id` and links the new sibling into its parent. Pins
+  /// every page it will modify *before* mutating anything, so an I/O
+  /// failure surfaces with the tree structurally untouched.
+  Status SplitAndPropagate(std::vector<std::pair<PageId, int>>& path,
+                           PageId left_id);
 
   BufferPool* pool_;
   PageId root_;

@@ -1,8 +1,56 @@
 #include "storage/buffer_pool.h"
 
+#include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <thread>
 
 namespace mtdb {
+
+namespace {
+bool IsTransientRead(const Status& st) {
+  // A bit flip corrupts only the delivered copy, so kDataLoss is worth
+  // re-reading too: the stored image may still be intact.
+  return st.code() == StatusCode::kIOError ||
+         st.code() == StatusCode::kDataLoss;
+}
+bool IsTransientWrite(const Status& st) {
+  return st.code() == StatusCode::kIOError;
+}
+void Backoff(uint64_t ns) {
+  if (ns > 0) std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+}
+}  // namespace
+
+Status BufferPool::ReadWithRetry(PageId id, char* out) {
+  uint64_t backoff = retry_policy_.initial_backoff_ns;
+  Status st;
+  for (int attempt = 1;; attempt++) {
+    st = store_->Read(id, out);
+    if (st.ok() || !IsTransientRead(st)) return st;
+    if (attempt >= retry_policy_.max_attempts) break;
+    store_->io_counters().OnReadRetry();
+    Backoff(backoff);
+    backoff = std::min(backoff * 2, retry_policy_.max_backoff_ns);
+  }
+  store_->io_counters().OnRetryExhausted();
+  return st;
+}
+
+Status BufferPool::WriteWithRetry(PageId id, const char* in) {
+  uint64_t backoff = retry_policy_.initial_backoff_ns;
+  Status st;
+  for (int attempt = 1;; attempt++) {
+    st = store_->Write(id, in);
+    if (st.ok() || !IsTransientWrite(st)) return st;
+    if (attempt >= retry_policy_.max_attempts) break;
+    store_->io_counters().OnWriteRetry();
+    Backoff(backoff);
+    backoff = std::min(backoff * 2, retry_policy_.max_backoff_ns);
+  }
+  store_->io_counters().OnRetryExhausted();
+  return st;
+}
 
 BufferPool::BufferPool(PageStore* store, size_t capacity)
     : store_(store), capacity_(capacity == 0 ? 1 : capacity) {
@@ -31,7 +79,7 @@ void BufferPool::Touch(Shard& shard, Frame* frame, PageId id) {
   frame->in_lru = true;
 }
 
-Page* BufferPool::FetchPage(PageId id) {
+Result<Page*> BufferPool::FetchPage(PageId id) {
   Shard& shard = shards_[ShardOf(id)];
   PageType type = store_->TypeOf(id);
   {
@@ -62,7 +110,7 @@ Page* BufferPool::FetchPage(PageId id) {
   auto frame = std::make_unique<Frame>(store_->page_size());
   frame->page.set_id(id);
   frame->page.set_type(type);
-  store_->Read(id, frame->page.data());
+  MTDB_RETURN_IF_ERROR(ReadWithRetry(id, frame->page.data()));
   std::lock_guard<std::mutex> lock(shard.mu);
   auto [it, inserted] = shard.frames.try_emplace(id, std::move(frame));
   Frame* raw = it->second.get();
@@ -122,29 +170,43 @@ void BufferPool::DeletePage(PageId id) {
   store_->Deallocate(id);
 }
 
-void BufferPool::FlushFrame(Frame* frame) {
+Status BufferPool::FlushFrame(Frame* frame) {
   if (frame->dirty) {
-    store_->Write(frame->page.id(), frame->page.data());
+    // On failure the frame stays dirty (and cached), so nothing is lost:
+    // the write-back is simply deferred to the next flush or eviction.
+    MTDB_RETURN_IF_ERROR(
+        WriteWithRetry(frame->page.id(), frame->page.data()));
     frame->dirty = false;
   }
+  return Status::OK();
 }
 
-void BufferPool::FlushAll() {
+Status BufferPool::FlushAll() {
+  Status first;
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
     for (auto& [id, frame] : shard.frames) {
-      FlushFrame(frame.get());
+      Status st = FlushFrame(frame.get());
+      if (!st.ok() && first.ok()) first = st;
     }
   }
+  return first;
 }
 
-void BufferPool::EvictAll() {
+Status BufferPool::EvictAll() {
+  Status first;
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
     for (auto it = shard.frames.begin(); it != shard.frames.end();) {
       Frame* frame = it->second.get();
       if (frame->pin_count == 0) {
-        FlushFrame(frame);
+        Status st = FlushFrame(frame);
+        if (!st.ok()) {
+          // Keep the dirty frame rather than drop unpersisted bytes.
+          if (first.ok()) first = st;
+          ++it;
+          continue;
+        }
         if (frame->in_lru) shard.lru.erase(frame->lru_it);
         it = shard.frames.erase(it);
         shard.stats.evictions++;
@@ -153,6 +215,7 @@ void BufferPool::EvictAll() {
       }
     }
   }
+  return first;
 }
 
 void BufferPool::SetCapacity(size_t frames) {
@@ -208,7 +271,12 @@ void BufferPool::EvictIfNeeded(Shard& shard) {
       assert(fit != shard.frames.end());
       Frame* frame = fit->second.get();
       if (frame->pin_count == 0) {
-        FlushFrame(frame);
+        if (!FlushFrame(frame).ok()) {
+          // Write-back failed even after retries: keep the dirty frame
+          // cached (no data loss) and stop evicting — the shard
+          // overshoots its budget until the device recovers.
+          return;
+        }
         shard.lru.erase(std::next(it).base());
         shard.frames.erase(fit);
         shard.stats.evictions++;

@@ -8,12 +8,25 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "common/result.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "storage/page.h"
 #include "storage/page_store.h"
 
 namespace mtdb {
+
+/// Capped-exponential-backoff policy for transient I/O errors. Reads
+/// retry kIOError and kDataLoss (a bit flip corrupts only the delivered
+/// copy, so re-reading recovers); writes retry kIOError (which includes
+/// reported torn writes — the retry rewrites the full image and repairs
+/// the page). Backoff doubles per attempt up to the cap. Defaults keep
+/// fault-free runs free of any sleeping.
+struct RetryPolicy {
+  int max_attempts = 4;
+  uint64_t initial_backoff_ns = 1000;
+  uint64_t max_backoff_ns = 64 * 1000;
+};
 
 /// Logical/physical access counters split by page type; Table 2's
 /// "Bufferpool Hit Ratio Data / Index" rows come straight from these.
@@ -68,8 +81,10 @@ class BufferPool {
   BufferPool& operator=(const BufferPool&) = delete;
 
   /// Pins and returns a page, reading through the store on a miss.
-  /// Returns nullptr only if every frame is pinned and over capacity.
-  Page* FetchPage(PageId id);
+  /// Transient read errors are retried per the RetryPolicy; once
+  /// exhausted the last Status (kIOError/kDataLoss, or kNotFound for a
+  /// deallocated id) surfaces to the caller and nothing is pinned.
+  Result<Page*> FetchPage(PageId id);
 
   /// Allocates a new page in the store and pins it.
   Page* NewPage(PageType type);
@@ -80,12 +95,15 @@ class BufferPool {
   /// Drops a page from the pool and the store.
   void DeletePage(PageId id);
 
-  /// Writes back all dirty frames.
-  void FlushAll();
+  /// Writes back all dirty frames. On a persistent write failure the
+  /// frame stays dirty (and cached — no data is lost) and the first
+  /// error is returned after attempting every frame.
+  Status FlushAll();
 
   /// Writes back and evicts every unpinned frame — used to run the
-  /// paper's cold-cache experiments (Figure 11).
-  void EvictAll();
+  /// paper's cold-cache experiments (Figure 11). Frames whose write-back
+  /// fails stay cached and dirty; the first error is returned.
+  Status EvictAll();
 
   /// Adjusts the frame budget. Shrinking evicts LRU frames lazily.
   void SetCapacity(size_t frames);
@@ -98,6 +116,16 @@ class BufferPool {
   void ResetStats();
 
   PageStore* store() { return store_; }
+
+  /// Replaces the transient-error retry policy. Not synchronized with
+  /// in-flight I/O — set it before concurrent traffic (tests/benches).
+  void set_retry_policy(const RetryPolicy& policy) { retry_policy_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
+
+  /// Fault/retry counters, shared with the underlying store.
+  IoFaultCountersSnapshot io_counters() const {
+    return store_->io_counters().Snapshot();
+  }
 
   /// Shard a page id maps to. Exposed so tests (and capacity planners)
   /// can reason about which pages contend on the same latch stripe.
@@ -126,15 +154,22 @@ class BufferPool {
   };
 
   /// Evicts LRU victims until shard.frames.size() <= shard.capacity.
-  /// Honors pins. Caller holds shard.mu.
+  /// Honors pins; a victim whose write-back fails stays cached (dirty)
+  /// and eviction stops — the shard overshoots rather than lose data.
+  /// Caller holds shard.mu.
   void EvictIfNeeded(Shard& shard);
   void Touch(Shard& shard, Frame* frame, PageId id);
-  void FlushFrame(Frame* frame);
+  Status FlushFrame(Frame* frame);
+
+  /// Store I/O with capped exponential backoff on transient errors.
+  Status ReadWithRetry(PageId id, char* out);
+  Status WriteWithRetry(PageId id, const char* in);
 
   PageStore* store_;
   std::array<Shard, kBufferPoolShards> shards_;
   mutable std::mutex capacity_mu_;
   size_t capacity_;
+  RetryPolicy retry_policy_;
 
   void DistributeCapacity(size_t total);
 };

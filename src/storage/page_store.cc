@@ -1,11 +1,21 @@
 #include "storage/page_store.h"
 
-#include <cassert>
 #include <chrono>
 #include <cstring>
 #include <thread>
 
 namespace mtdb {
+
+uint64_t PageStore::Checksum(const char* data, size_t n) {
+  // FNV-1a 64-bit: cheap, deterministic, and sensitive to both truncated
+  // images (torn writes) and single-bit flips.
+  uint64_t h = 14695981039346656037ull;
+  for (size_t i = 0; i < n; i++) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
 
 PageId PageStore::Allocate(PageType type) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -18,39 +28,115 @@ PageId PageStore::Allocate(PageType type) {
     std::memset(pages_[id].image.data(), 0, page_size_);
   } else {
     id = static_cast<PageId>(pages_.size());
-    pages_.push_back(StoredPage{type, std::vector<char>(page_size_, 0)});
+    pages_.push_back(StoredPage{type, std::vector<char>(page_size_, 0), 0});
   }
+  pages_[id].checksum = Checksum(pages_[id].image.data(), page_size_);
   return id;
 }
 
 void PageStore::Deallocate(PageId id) {
   std::lock_guard<std::mutex> lock(mu_);
-  assert(id >= 0 && static_cast<size_t>(id) < pages_.size());
+  if (id < 0 || static_cast<size_t>(id) >= pages_.size() ||
+      pages_[id].type == PageType::kFree) {
+    return;
+  }
   pages_[id].type = PageType::kFree;
   free_list_.push_back(id);
 }
 
-void PageStore::Read(PageId id, char* out) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    assert(id >= 0 && static_cast<size_t>(id) < pages_.size() &&
-           pages_[id].type != PageType::kFree);
-    stats_.physical_reads++;
-    std::memcpy(out, pages_[id].image.data(), page_size_);
+void PageStore::ChargeLatency(FaultInjector* injector, bool is_read) {
+  uint64_t stall = 0;
+  if (is_read) stall = read_latency_ns_.load(std::memory_order_relaxed);
+  if (injector != nullptr) {
+    FaultSpec spec;
+    if (injector->ShouldFire(FaultPoint::kLatencySpike, &spec)) {
+      io_counters_.OnLatencySpike();
+      stall += spec.latency_ns;
+    }
   }
-  uint64_t latency = read_latency_ns_.load(std::memory_order_relaxed);
-  if (latency > 0) {
+  if (stall > 0) {
     // The device stall blocks only the issuing session thread; other
     // sessions proceed, so concurrent misses overlap like synchronous
     // reads against one shared appliance.
-    std::this_thread::sleep_for(std::chrono::nanoseconds(latency));
+    std::this_thread::sleep_for(std::chrono::nanoseconds(stall));
   }
 }
 
-void PageStore::Write(PageId id, const char* in) {
-  std::lock_guard<std::mutex> lock(mu_);
-  stats_.physical_writes++;
-  std::memcpy(pages_[id].image.data(), in, page_size_);
+Status PageStore::Read(PageId id, char* out) {
+  FaultInjector* injector = fault_injector();
+  ChargeLatency(injector, /*is_read=*/true);
+  if (injector != nullptr && injector->ShouldFire(FaultPoint::kPageRead)) {
+    io_counters_.OnReadFault();
+    return Status::IOError("injected read fault on page " +
+                           std::to_string(id));
+  }
+  bool flip = injector != nullptr && injector->ShouldFire(FaultPoint::kBitFlip);
+  uint64_t expected = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (id < 0 || static_cast<size_t>(id) >= pages_.size() ||
+        pages_[id].type == PageType::kFree) {
+      return Status::NotFound("read of unallocated page " +
+                              std::to_string(id));
+    }
+    stats_.physical_reads++;
+    std::memcpy(out, pages_[id].image.data(), page_size_);
+    expected = pages_[id].checksum;
+    if (flip) {
+      // Corrupt one bit of the *delivered copy* — the stored image stays
+      // intact, so a retry after the checksum failure recovers. The bit
+      // position is a pure function of (id, read ordinal): deterministic
+      // under a deterministic schedule.
+      uint64_t pos = (static_cast<uint64_t>(id) * 1315423911ull +
+                      stats_.physical_reads) %
+                     (static_cast<uint64_t>(page_size_) * 8);
+      out[pos / 8] = static_cast<char>(
+          static_cast<unsigned char>(out[pos / 8]) ^ (1u << (pos % 8)));
+    }
+  }
+  if (Checksum(out, page_size_) != expected) {
+    io_counters_.OnChecksumFailure();
+    return Status::DataLoss("checksum mismatch on page " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+Status PageStore::Write(PageId id, const char* in) {
+  FaultInjector* injector = fault_injector();
+  ChargeLatency(injector, /*is_read=*/false);
+  if (injector != nullptr && injector->ShouldFire(FaultPoint::kPageWrite)) {
+    io_counters_.OnWriteFault();
+    return Status::IOError("injected write fault on page " +
+                           std::to_string(id));
+  }
+  FaultSpec torn_spec;
+  bool torn = injector != nullptr &&
+              injector->ShouldFire(FaultPoint::kTornWrite, &torn_spec);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (id < 0 || static_cast<size_t>(id) >= pages_.size() ||
+        pages_[id].type == PageType::kFree) {
+      return Status::NotFound("write to unallocated page " +
+                              std::to_string(id));
+    }
+    stats_.physical_writes++;
+    // The checksum always covers the full intended image. On a torn
+    // write only a prefix lands, so the image no longer matches its own
+    // checksum — the read path reports that as kDataLoss until a later
+    // full write repairs the page.
+    pages_[id].checksum = Checksum(in, page_size_);
+    size_t n = torn ? page_size_ / 2 : page_size_;
+    std::memcpy(pages_[id].image.data(), in, n);
+  }
+  if (torn) {
+    io_counters_.OnWriteFault();
+    if (!torn_spec.silent) {
+      return Status::IOError("torn write on page " + std::to_string(id));
+    }
+    // Silent tear: the device reports success; only the checksum on the
+    // next physical read catches it.
+  }
+  return Status::OK();
 }
 
 PageType PageStore::TypeOf(PageId id) const {

@@ -7,6 +7,9 @@
 #include <mutex>
 #include <vector>
 
+#include "common/fault.h"
+#include "common/metrics.h"
+#include "common/status.h"
 #include "common/types.h"
 #include "storage/page.h"
 
@@ -26,6 +29,14 @@ struct PageStoreStats {
 /// buffer pool above it behaves exactly like a cache, and an optional
 /// per-I/O latency models cold-cache experiments.
 ///
+/// Failure model: every physical I/O consults an optional FaultInjector
+/// and can fail with a transient kIOError, deliver a corrupted image, or
+/// apply only a prefix of a write (a torn write). Each stored page
+/// carries the FNV-1a checksum of the image the writer *intended*, so a
+/// read detects torn or corrupted images as kDataLoss instead of
+/// returning bad bytes. Reads of a deallocated or out-of-range id return
+/// kNotFound (never UB).
+///
 /// Thread-safety: all methods are safe to call from concurrent sessions.
 /// An internal mutex guards the page array and counters; the simulated
 /// device latency is charged as a *blocking* wait outside that mutex, so
@@ -44,16 +55,28 @@ class PageStore {
   /// Allocates a new zeroed page of `type`, returning its id.
   PageId Allocate(PageType type);
 
-  /// Releases a page (its id may be reused).
+  /// Releases a page (its id may be reused). Invalid ids are ignored.
   void Deallocate(PageId id);
 
   /// Copies the stored image into `out` (sized page_size). Counts a
   /// physical read and applies the simulated latency.
-  void Read(PageId id, char* out);
+  ///   kNotFound  — `id` is out of range or deallocated
+  ///   kIOError   — an injected transient device error; retry may succeed
+  ///   kDataLoss  — the delivered image fails its checksum (torn write
+  ///                on the device, or corruption on the wire)
+  Status Read(PageId id, char* out);
 
-  /// Copies `in` into the stored image. Counts a physical write.
-  void Write(PageId id, const char* in);
+  /// Copies `in` into the stored image and records its checksum.
+  ///   kNotFound — `id` is out of range or deallocated
+  ///   kIOError  — injected device error; either nothing was stored or a
+  ///               torn prefix was (the recorded checksum still covers
+  ///               the full intended image, so a later read of a torn
+  ///               page reports kDataLoss). A *silent* torn write
+  ///               returns OK — the device lied — and is only caught by
+  ///               the checksum on the next physical read.
+  Status Write(PageId id, const char* in);
 
+  /// kFree for out-of-range or deallocated ids.
   PageType TypeOf(PageId id) const;
   bool IsAllocated(PageId id) const;
 
@@ -70,11 +93,39 @@ class PageStore {
     read_latency_ns_.store(ns, std::memory_order_relaxed);
   }
 
+  /// Attaches (or detaches, with nullptr) a fault injector consulted on
+  /// every physical I/O. The store does not own it; the caller must keep
+  /// it alive while attached. With none attached the I/O path pays one
+  /// relaxed atomic load.
+  void set_fault_injector(FaultInjector* injector) {
+    injector_.store(injector, std::memory_order_release);
+  }
+  FaultInjector* fault_injector() const {
+    return injector_.load(std::memory_order_acquire);
+  }
+
+  /// Fault/retry counters shared with the buffer pool above: the store
+  /// bumps the fault side (injected errors, checksum failures, latency
+  /// spikes); the pool bumps the retry side.
+  IoFaultCounters& io_counters() { return io_counters_; }
+  const IoFaultCounters& io_counters() const { return io_counters_; }
+
+  /// FNV-1a 64-bit over a page image — the per-page checksum format.
+  static uint64_t Checksum(const char* data, size_t n);
+
  private:
   struct StoredPage {
     PageType type = PageType::kFree;
     std::vector<char> image;
+    /// Checksum of the image the last writer *intended* to store. For a
+    /// torn write this covers the full image even though only a prefix
+    /// landed, which is exactly how the tear is detected on read.
+    uint64_t checksum = 0;
   };
+
+  /// Charges an injected latency spike (and any configured read
+  /// latency), blocking the issuing thread outside mu_.
+  void ChargeLatency(FaultInjector* injector, bool is_read);
 
   uint32_t page_size_;
   mutable std::mutex mu_;
@@ -82,6 +133,8 @@ class PageStore {
   std::vector<PageId> free_list_;
   PageStoreStats stats_;
   std::atomic<uint64_t> read_latency_ns_{0};
+  std::atomic<FaultInjector*> injector_{nullptr};
+  IoFaultCounters io_counters_;
 };
 
 }  // namespace mtdb

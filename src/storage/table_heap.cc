@@ -7,11 +7,11 @@ namespace mtdb {
 TableHeap::TableHeap(BufferPool* pool, InsertMode mode)
     : pool_(pool), insert_mode_(mode) {}
 
-Page* TableHeap::PickPageForInsert(uint32_t need) {
+Result<Page*> TableHeap::PickPageForInsert(uint32_t need) {
   if (insert_mode_ == InsertMode::kFirstFit) {
     for (auto& [pid, free] : free_space_) {
       if (free >= need + 8) {  // 8: slack for the slot entry
-        Page* page = pool_->FetchPage(pid);
+        MTDB_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(pid));
         SlottedPage sp(page);
         // Insert() compacts on demand, so potential space is insertable.
         if (sp.PotentialFreeSpace() >= need) return page;
@@ -20,7 +20,7 @@ Page* TableHeap::PickPageForInsert(uint32_t need) {
       }
     }
   } else if (!pages_.empty()) {
-    Page* page = pool_->FetchPage(pages_.back());
+    MTDB_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(pages_.back()));
     SlottedPage sp(page);
     if (sp.FreeSpace() >= need) return page;
     pool_->UnpinPage(pages_.back(), false);
@@ -33,8 +33,15 @@ Page* TableHeap::PickPageForInsert(uint32_t need) {
     first_page_ = page->id();
   } else {
     PageId prev = pages_.back();
-    Page* prev_page = pool_->FetchPage(prev);
-    SlottedPage(prev_page).set_next_page(page->id());
+    auto prev_page = pool_->FetchPage(prev);
+    if (!prev_page.ok()) {
+      // Unchain the fresh page again so a failed chain-link leaves the
+      // heap exactly as it was.
+      pool_->UnpinPage(page->id(), false);
+      pool_->DeletePage(page->id());
+      return prev_page.status();
+    }
+    SlottedPage(*prev_page).set_next_page(page->id());
     pool_->UnpinPage(prev, true);
   }
   pages_.push_back(page->id());
@@ -48,7 +55,8 @@ Result<Rid> TableHeap::Insert(const std::string& tuple) {
     return Status::OutOfRange("tuple larger than a page: " +
                               std::to_string(tuple.size()));
   }
-  Page* page = PickPageForInsert(static_cast<uint32_t>(tuple.size()));
+  MTDB_ASSIGN_OR_RETURN(
+      Page * page, PickPageForInsert(static_cast<uint32_t>(tuple.size())));
   SlottedPage sp(page);
   int slot = sp.Insert(tuple.data(), static_cast<uint32_t>(tuple.size()));
   assert(slot >= 0);
@@ -60,7 +68,7 @@ Result<Rid> TableHeap::Insert(const std::string& tuple) {
 }
 
 Status TableHeap::Get(const Rid& rid, std::string* out) {
-  Page* page = pool_->FetchPage(rid.page_id);
+  MTDB_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(rid.page_id));
   SlottedPage sp(page);
   uint32_t len = 0;
   const char* data = sp.Get(rid.slot, &len);
@@ -75,31 +83,38 @@ Status TableHeap::Get(const Rid& rid, std::string* out) {
 
 Status TableHeap::Update(Rid* rid, const std::string& tuple, bool* moved) {
   if (moved != nullptr) *moved = false;
-  Page* page = pool_->FetchPage(rid->page_id);
+  MTDB_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(rid->page_id));
   SlottedPage sp(page);
   if (sp.Update(rid->slot, tuple.data(), static_cast<uint32_t>(tuple.size()))) {
     free_space_[page->id()] = sp.PotentialFreeSpace();
     pool_->UnpinPage(rid->page_id, true);
     return Status::OK();
   }
-  // Does not fit in place: delete + reinsert elsewhere.
+  // Does not fit in place: insert the new image elsewhere FIRST, then
+  // drop the old slot. The old page stays pinned across the insert, so
+  // the final delete is a pure in-memory edit that cannot fail — a
+  // failed insert therefore leaves the original row fully intact.
   uint32_t len = 0;
   if (sp.Get(rid->slot, &len) == nullptr) {
     pool_->UnpinPage(rid->page_id, false);
     return Status::NotFound("no tuple at rid");
   }
+  auto inserted = Insert(tuple);
+  if (!inserted.ok()) {
+    pool_->UnpinPage(rid->page_id, false);
+    return inserted.status();
+  }
   sp.Delete(rid->slot);
-  free_space_[page->id()] = sp.PotentialFreeSpace();
+  free_space_[rid->page_id] = sp.PotentialFreeSpace();
   pool_->UnpinPage(rid->page_id, true);
-  live_tuples_--;
-  MTDB_ASSIGN_OR_RETURN(Rid new_rid, Insert(tuple));
-  *rid = new_rid;
+  live_tuples_--;  // Insert() counted the new copy
+  *rid = *inserted;
   if (moved != nullptr) *moved = true;
   return Status::OK();
 }
 
 Status TableHeap::Delete(const Rid& rid) {
-  Page* page = pool_->FetchPage(rid.page_id);
+  MTDB_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(rid.page_id));
   SlottedPage sp(page);
   if (!sp.Delete(rid.slot)) {
     pool_->UnpinPage(rid.page_id, false);
@@ -124,10 +139,10 @@ void TableHeap::Free() {
 TableHeap::Iterator::Iterator(TableHeap* heap, size_t page_index)
     : heap_(heap), page_index_(page_index) {}
 
-bool TableHeap::Iterator::Next(std::string* tuple, Rid* rid) {
+Result<bool> TableHeap::Iterator::Next(std::string* tuple, Rid* rid) {
   while (page_index_ < heap_->pages_.size()) {
     PageId pid = heap_->pages_[page_index_];
-    Page* page = heap_->pool_->FetchPage(pid);
+    MTDB_ASSIGN_OR_RETURN(Page * page, heap_->pool_->FetchPage(pid));
     SlottedPage sp(page);
     while (slot_ < sp.slot_count()) {
       uint32_t len = 0;

@@ -62,8 +62,9 @@ class TableHeap {
     Iterator(TableHeap* heap, size_t page_index);
 
     /// Advances to the next live tuple; returns false at end. The tuple
-    /// image is copied into `tuple` and its rid into `rid`.
-    bool Next(std::string* tuple, Rid* rid);
+    /// image is copied into `tuple` and its rid into `rid`. Surfaces
+    /// storage errors (kIOError/kDataLoss) after the pool's retries.
+    Result<bool> Next(std::string* tuple, Rid* rid);
 
    private:
     TableHeap* heap_;
@@ -81,7 +82,7 @@ class TableHeap {
   friend class Iterator;
 
   /// Picks (and pins) a page with at least `need` free bytes.
-  Page* PickPageForInsert(uint32_t need);
+  Result<Page*> PickPageForInsert(uint32_t need);
 
   BufferPool* pool_;
   InsertMode insert_mode_;

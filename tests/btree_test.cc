@@ -31,10 +31,11 @@ TEST_F(BTreeTest, InsertLookup) {
   BTree tree(&pool_);
   ASSERT_TRUE(tree.Insert(Key(42), MakeRid(1)).ok());
   auto rids = tree.Lookup(Key(42));
-  ASSERT_EQ(rids.size(), 1u);
-  EXPECT_EQ(rids[0], MakeRid(1));
-  EXPECT_TRUE(tree.Contains(Key(42)));
-  EXPECT_FALSE(tree.Contains(Key(43)));
+  ASSERT_TRUE(rids.ok());
+  ASSERT_EQ(rids->size(), 1u);
+  EXPECT_EQ((*rids)[0], MakeRid(1));
+  EXPECT_TRUE(*tree.Contains(Key(42)));
+  EXPECT_FALSE(*tree.Contains(Key(43)));
 }
 
 TEST_F(BTreeTest, DuplicateKeysKeepAllRids) {
@@ -43,7 +44,8 @@ TEST_F(BTreeTest, DuplicateKeysKeepAllRids) {
     ASSERT_TRUE(tree.Insert(Key(7), MakeRid(i)).ok());
   }
   auto rids = tree.Lookup(Key(7));
-  EXPECT_EQ(rids.size(), 10u);
+  ASSERT_TRUE(rids.ok());
+  EXPECT_EQ(rids->size(), 10u);
 }
 
 TEST_F(BTreeTest, DeleteSpecificDuplicate) {
@@ -52,8 +54,9 @@ TEST_F(BTreeTest, DeleteSpecificDuplicate) {
   ASSERT_TRUE(tree.Insert(Key(7), MakeRid(2)).ok());
   ASSERT_TRUE(tree.Delete(Key(7), MakeRid(1)).ok());
   auto rids = tree.Lookup(Key(7));
-  ASSERT_EQ(rids.size(), 1u);
-  EXPECT_EQ(rids[0], MakeRid(2));
+  ASSERT_TRUE(rids.ok());
+  ASSERT_EQ(rids->size(), 1u);
+  EXPECT_EQ((*rids)[0], MakeRid(2));
 }
 
 TEST_F(BTreeTest, DeleteMissingIsNotFound) {
@@ -67,11 +70,12 @@ TEST_F(BTreeTest, SplitsGrowTheTree) {
     ASSERT_TRUE(tree.Insert(Key(i), MakeRid(i)).ok()) << i;
   }
   EXPECT_EQ(tree.entry_count(), 5000u);
-  EXPECT_GE(tree.Height(), 2);
+  EXPECT_GE(*tree.Height(), 2);
   for (int64_t i = 0; i < 5000; i += 97) {
     auto rids = tree.Lookup(Key(i));
-    ASSERT_EQ(rids.size(), 1u) << i;
-    EXPECT_EQ(rids[0], MakeRid(i));
+    ASSERT_TRUE(rids.ok());
+    ASSERT_EQ(rids->size(), 1u) << i;
+    EXPECT_EQ((*rids)[0], MakeRid(i));
   }
 }
 
@@ -81,11 +85,16 @@ TEST_F(BTreeTest, ScanRangeOrdered) {
     ASSERT_TRUE(tree.Insert(Key(i), MakeRid(i)).ok());
   }
   std::string lo = Key(100), hi = Key(200);
-  auto it = tree.Scan(lo, hi);
+  auto scan = tree.Scan(lo, hi);
+  ASSERT_TRUE(scan.ok());
+  BTree::Iterator it = *std::move(scan);
   Rid rid;
   std::string key, prev;
   int count = 0;
-  while (it.Next(&rid, &key)) {
+  while (true) {
+    auto more = it.Next(&rid, &key);
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
     if (!prev.empty()) {
       EXPECT_LE(prev, key);
     }
@@ -124,8 +133,9 @@ TEST_F(BTreeTest, RandomizedAgainstReferenceModel) {
       expected.insert({it->second.page_id, it->second.slot});
     }
     auto rids = tree.Lookup(Key(k));
+    ASSERT_TRUE(rids.ok());
     std::set<std::pair<PageId, uint16_t>> actual;
-    for (const Rid& r : rids) actual.insert({r.page_id, r.slot});
+    for (const Rid& r : *rids) actual.insert({r.page_id, r.slot});
     EXPECT_EQ(actual, expected) << "key " << k;
   }
 }
@@ -142,11 +152,16 @@ TEST_F(BTreeTest, VariableLengthStringKeys) {
     model.emplace(key, rid);
   }
   // Full scan must be ordered and complete.
-  auto it = tree.Scan(std::string(1, '\x00'), std::string(64, '\xFF'));
+  auto scan = tree.Scan(std::string(1, '\x00'), std::string(64, '\xFF'));
+  ASSERT_TRUE(scan.ok());
+  BTree::Iterator it = *std::move(scan);
   Rid rid;
   std::string key, prev;
   size_t count = 0;
-  while (it.Next(&rid, &key)) {
+  while (true) {
+    auto more = it.Next(&rid, &key);
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
     if (count > 0) {
       EXPECT_LE(prev, key);
     }
@@ -168,10 +183,12 @@ TEST_F(BTreeTest, CompositeKeyPrefixScan) {
   }
   std::string lo, hi;
   KeyEncoder::EncodePrefixRange({Value::Int32(3)}, &lo, &hi);
-  auto it = tree.Scan(lo, hi);
+  auto scan = tree.Scan(lo, hi);
+  ASSERT_TRUE(scan.ok());
+  BTree::Iterator it = *std::move(scan);
   Rid rid;
   int count = 0;
-  while (it.Next(&rid)) count++;
+  while (*it.Next(&rid)) count++;
   EXPECT_EQ(count, 50);  // exactly tenant 3's partition
 }
 
@@ -191,11 +208,16 @@ TEST_F(BTreeTest, ReverseInsertionOrder) {
   for (int64_t i = 3000; i > 0; --i) {
     ASSERT_TRUE(tree.Insert(Key(i), MakeRid(i)).ok());
   }
-  auto it = tree.Scan(Key(0), Key(4000));
+  auto scan = tree.Scan(Key(0), Key(4000));
+  ASSERT_TRUE(scan.ok());
+  BTree::Iterator it = *std::move(scan);
   Rid rid;
   std::string key, prev;
   int count = 0;
-  while (it.Next(&rid, &key)) {
+  while (true) {
+    auto more = it.Next(&rid, &key);
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
     if (count > 0) {
       EXPECT_LT(prev, key);
     }

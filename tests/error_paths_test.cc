@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include "common/fault.h"
 #include "engine/database.h"
+#include "engine/session.h"
 #include "mapping_test_util.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_store.h"
 
 namespace mtdb {
 namespace {
@@ -150,6 +154,275 @@ TEST_F(MappingErrorTest, PhysicalTablesInvisibleToTenants) {
   // A tenant cannot name the generic structures directly.
   EXPECT_FALSE(layout_.Query(1, "SELECT * FROM fold_chunkdata").ok());
   EXPECT_FALSE(layout_.Query(1, "SELECT * FROM cf_account").ok());
+}
+
+// --- injected-fault status surfaces -------------------------------------
+
+TEST(FaultStatusTest, SilentTornWriteSurfacesAsDataLoss) {
+  PageStore store(512);
+  FaultInjector injector(7);
+  store.set_fault_injector(&injector);
+  PageId id = store.Allocate(PageType::kHeap);
+  std::vector<char> image(512, 'a');
+
+  FaultSpec torn;
+  torn.probability = 1.0;
+  torn.max_fires = 1;
+  torn.silent = true;  // the device lies: the write reports success
+  injector.Arm(FaultPoint::kTornWrite, torn);
+  ASSERT_TRUE(store.Write(id, image.data()).ok());
+
+  // The checksum covers the full intended image, so the half-page that
+  // actually landed is detected on read instead of returned as garbage.
+  std::vector<char> out(512, 0);
+  EXPECT_EQ(store.Read(id, out.data()).code(), StatusCode::kDataLoss);
+  EXPECT_GT(store.io_counters().Snapshot().checksum_failures, 0u);
+
+  // A later full write (the burst is spent) repairs the page.
+  ASSERT_TRUE(store.Write(id, image.data()).ok());
+  ASSERT_TRUE(store.Read(id, out.data()).ok());
+  EXPECT_EQ(out, image);
+}
+
+TEST(FaultStatusTest, TransientReadFaultIsRetriedAndRecovers) {
+  PageStore store(512);
+  BufferPool pool(&store, 4);
+  FaultInjector injector(7);
+  Page* p = pool.NewPage(PageType::kHeap);
+  PageId id = p->id();
+  pool.UnpinPage(id, true);
+  ASSERT_TRUE(pool.EvictAll().ok());
+
+  store.set_fault_injector(&injector);
+  FaultSpec spec;
+  spec.probability = 1.0;
+  spec.max_fires = 2;  // fewer than the 4 retry attempts
+  injector.Arm(FaultPoint::kPageRead, spec);
+
+  auto r = pool.FetchPage(id);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  pool.UnpinPage(id, false);
+  IoFaultCountersSnapshot io = pool.io_counters();
+  EXPECT_EQ(io.read_faults, 2u);
+  EXPECT_GE(io.read_retries, 2u);
+  EXPECT_EQ(io.retry_exhaustions, 0u);
+}
+
+TEST(FaultStatusTest, ReadRetryExhaustionSurfacesIOError) {
+  PageStore store(512);
+  BufferPool pool(&store, 4);
+  FaultInjector injector(7);
+  Page* p = pool.NewPage(PageType::kHeap);
+  PageId id = p->id();
+  pool.UnpinPage(id, true);
+  ASSERT_TRUE(pool.EvictAll().ok());
+
+  store.set_fault_injector(&injector);
+  FaultSpec spec;
+  spec.probability = 1.0;  // unlimited fires: every attempt fails
+  injector.Arm(FaultPoint::kPageRead, spec);
+
+  auto r = pool.FetchPage(id);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+  IoFaultCountersSnapshot io = pool.io_counters();
+  EXPECT_GE(io.read_retries, 3u);  // 4 attempts = 3 retries
+  EXPECT_GE(io.retry_exhaustions, 1u);
+
+  // The fault was transient at the device: once it clears, the page is
+  // intact (nothing was lost, the pool never cached a bad frame).
+  injector.DisarmAll();
+  auto again = pool.FetchPage(id);
+  ASSERT_TRUE(again.ok());
+  pool.UnpinPage(id, false);
+}
+
+TEST(FaultStatusTest, BitFlipIsCaughtByChecksumAndRereadRecovers) {
+  PageStore store(512);
+  BufferPool pool(&store, 4);
+  FaultInjector injector(7);
+  Page* p = pool.NewPage(PageType::kHeap);
+  PageId id = p->id();
+  std::memset(p->data(), 'q', 64);
+  pool.UnpinPage(id, true);
+  ASSERT_TRUE(pool.EvictAll().ok());
+
+  store.set_fault_injector(&injector);
+  FaultSpec flip;
+  flip.probability = 1.0;
+  flip.max_fires = 1;  // corrupts one delivered copy, not the device
+  injector.Arm(FaultPoint::kBitFlip, flip);
+
+  auto r = pool.FetchPage(id);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*r)->data()[0], 'q');
+  pool.UnpinPage(id, false);
+  IoFaultCountersSnapshot io = pool.io_counters();
+  EXPECT_GE(io.checksum_failures, 1u);
+  EXPECT_GE(io.read_retries, 1u);
+}
+
+// --- exact codes through Session::Execute -------------------------------
+
+TEST_F(EngineErrorTest, IOErrorSurfacesThroughSessionExecute) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE t (a INT)").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO t VALUES (1)").ok());
+  ASSERT_TRUE(db_.buffer_pool()->EvictAll().ok());
+
+  FaultInjector injector(3);
+  db_.page_store()->set_fault_injector(&injector);
+  FaultSpec spec;
+  spec.probability = 1.0;  // persistent: retries exhaust
+  injector.Arm(FaultPoint::kPageRead, spec);
+
+  Session session = db_.OpenSession();
+  auto r = session.Execute("SELECT a FROM t");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+
+  injector.DisarmAll();
+  auto ok = session.Execute("SELECT a FROM t");
+  ASSERT_TRUE(ok.ok());
+  db_.page_store()->set_fault_injector(nullptr);
+}
+
+TEST_F(EngineErrorTest, ChecksumMismatchSurfacesThroughSessionExecute) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE t (a INT)").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO t VALUES (1)").ok());
+
+  FaultInjector injector(3);
+  db_.page_store()->set_fault_injector(&injector);
+  FaultSpec torn;
+  torn.probability = 1.0;
+  torn.max_fires = 1;
+  torn.silent = true;  // flush "succeeds"; the tear persists on disk
+  injector.Arm(FaultPoint::kTornWrite, torn);
+  ASSERT_TRUE(db_.buffer_pool()->EvictAll().ok());
+
+  // Every re-read hits the same torn stored image: retries cannot help
+  // and the exact corruption code must reach the client.
+  Session session = db_.OpenSession();
+  auto r = session.Execute("SELECT a FROM t");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+  db_.page_store()->set_fault_injector(nullptr);
+}
+
+// --- tenant quarantine ---------------------------------------------------
+
+TEST_F(MappingErrorTest, RepeatedHardFaultsQuarantineOnlyThatTenant) {
+  ASSERT_TRUE(layout_
+                  .Execute(1, "INSERT INTO account (aid, name) VALUES (?, ?)",
+                           {Value::Int64(1), Value::String("alpha")})
+                  .ok());
+  ASSERT_TRUE(layout_.CreateTenant(2).ok());
+  layout_.set_quarantine_threshold(2);
+
+  FaultInjector injector(5);
+  db_.page_store()->set_fault_injector(&injector);
+  FaultSpec spec;
+  spec.probability = 1.0;  // the device stays broken
+  injector.Arm(FaultPoint::kPageRead, spec);
+
+  for (int i = 0; i < 4 && !layout_.IsQuarantined(1); ++i) {
+    ASSERT_TRUE(db_.buffer_pool()->EvictAll().ok());  // force real I/O
+    EXPECT_FALSE(layout_.Query(1, "SELECT * FROM account").ok());
+  }
+  EXPECT_TRUE(layout_.IsQuarantined(1));
+  EXPECT_GE(layout_.stats().quarantine_trips.load(), 1u);
+
+  // Fail-fast with the exact code, even after the device recovers: the
+  // tenant stays fenced until an operator clears it.
+  injector.DisarmAll();
+  EXPECT_EQ(layout_.Query(1, "SELECT * FROM account").status().code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(layout_.Execute(1, "DELETE FROM account").status().code(),
+            StatusCode::kUnavailable);
+
+  // The blast radius is one tenant: others keep serving.
+  EXPECT_FALSE(layout_.IsQuarantined(2));
+  EXPECT_TRUE(layout_.Query(2, "SELECT * FROM account").ok());
+
+  ASSERT_TRUE(layout_.ClearQuarantine(1).ok());
+  EXPECT_FALSE(layout_.IsQuarantined(1));
+  auto r = layout_.Query(1, "SELECT * FROM account");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 1u);
+  db_.page_store()->set_fault_injector(nullptr);
+}
+
+// --- mid-statement undo --------------------------------------------------
+
+// A logical UPDATE touching base and extension columns maps to one
+// physical statement per pivot table; a fault between them must roll the
+// applied half back. Sweeping the injector's skip window walks the
+// failure point through every I/O of the statement, so some iterations
+// fail before any write (nothing to undo), some fail mid-statement
+// (undo runs), and some succeed — in every case the row must read as
+// either the full old or the full new image.
+TEST(StatementAtomicityTest, MidStatementFaultRollsBackAppliedWrites) {
+  mapping::AppSchema app = mapping::FigureFourSchema();
+  Database db;
+  std::unique_ptr<mapping::SchemaMapping> layout =
+      mapping::MakeLayout(mapping::LayoutKind::kPivot, &db, &app);
+  ASSERT_TRUE(layout->Bootstrap().ok());
+  ASSERT_TRUE(layout->CreateTenant(1).ok());
+  ASSERT_TRUE(layout->EnableExtension(1, "healthcare").ok());
+  ASSERT_TRUE(layout
+                  ->Execute(1,
+                            "INSERT INTO account (aid, name, hospital, beds) "
+                            "VALUES (?, ?, ?, ?)",
+                            {Value::Int64(1), Value::String("init"),
+                             Value::String("mercy"), Value::Int32(10)})
+                  .ok());
+  layout->set_quarantine_threshold(1'000'000);
+
+  FaultInjector injector(11);
+  db.page_store()->set_fault_injector(&injector);
+  db.buffer_pool()->SetCapacity(4);  // physical I/O inside the statement
+
+  std::string name = "init";
+  int32_t beds = 10;
+  int failed = 0, succeeded = 0;
+  for (uint64_t skip = 0; skip < 80; ++skip) {
+    FaultSpec spec;
+    spec.probability = 1.0;
+    spec.skip = skip;
+    // Exactly the retry budget: the faulted read fails for good, and the
+    // burst is spent by the time the undo log replays compensations.
+    spec.max_fires = 4;
+    injector.Arm(FaultPoint::kPageRead, spec);
+
+    std::string new_name = "name" + std::to_string(skip);
+    int32_t new_beds = static_cast<int32_t>(100 + skip);
+    auto r = layout->Execute(
+        1, "UPDATE account SET name = ?, beds = ? WHERE aid = ?",
+        {Value::String(new_name), Value::Int32(new_beds), Value::Int64(1)});
+    if (r.ok()) {
+      ++succeeded;
+      name = new_name;
+      beds = new_beds;
+    } else {
+      ++failed;
+    }
+
+    FaultInjectorPause pause(&injector);
+    auto row = layout->Query(1, "SELECT * FROM account");
+    ASSERT_TRUE(row.ok()) << row.status().ToString();
+    ASSERT_EQ(row->rows.size(), 1u);
+    // Columns: aid, name, hospital, beds.
+    EXPECT_EQ(row->rows[0][1].Compare(Value::String(name)), 0)
+        << "skip=" << skip << ": partial statement visible";
+    EXPECT_EQ(row->rows[0][3].Compare(Value::Int32(beds)), 0)
+        << "skip=" << skip << ": partial statement visible";
+  }
+  // The sweep must have produced both outcomes and real rollbacks, or it
+  // proved nothing.
+  EXPECT_GT(failed, 0);
+  EXPECT_GT(succeeded, 0);
+  EXPECT_GT(layout->stats().statement_rollbacks.load(), 0u);
+  EXPECT_GT(layout->stats().undo_statements.load(), 0u);
+  db.page_store()->set_fault_injector(nullptr);
 }
 
 TEST(AppSchemaErrorTest, RejectsCollidingDefinitions) {

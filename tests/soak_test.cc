@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/fault.h"
 #include "common/rng.h"
 #include "core/chunk_folding_layout.h"
 #include "core/private_layout.h"
@@ -104,6 +109,114 @@ TEST_P(SoakTest, ChunkFoldingMatchesPrivateReference) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SoakTest, ::testing::Values(1, 2, 3));
+
+/// Concurrency-under-fire soak: eight threads hammer one Chunk Folding
+/// layout while a low-rate fault schedule stays armed the whole run.
+/// Each thread counts only the statements that reported success; at the
+/// end (injection paused) the per-tenant row counts must reconcile with
+/// those counters exactly — a failed statement that still inserted, or a
+/// successful one that lost a row, shows up as a count drift.
+class FaultSoakTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultSoakTest, EightThreadsUnderLowRateFaultsReconcile) {
+  AppSchema app = FigureFourSchema();
+  Database db;
+  ChunkFoldingLayout layout(&db, &app);
+  ASSERT_TRUE(layout.Bootstrap().ok());
+
+  constexpr int kThreads = 8;
+  constexpr int kTenants = 4;
+  constexpr int kOpsPerThread = 120;
+  for (TenantId t = 0; t < kTenants; ++t) {
+    ASSERT_TRUE(layout.CreateTenant(t).ok());
+  }
+  ASSERT_TRUE(layout.EnableExtension(0, "healthcare").ok());
+  // Low-rate faults are absorbed by retries; the rare statement failure
+  // is legitimate, but it must never trip the tenant fence mid-soak.
+  layout.set_quarantine_threshold(1'000'000);
+
+  FaultInjector injector(static_cast<uint64_t>(GetParam()) * 31 + 5);
+  db.page_store()->set_fault_injector(&injector);
+  db.buffer_pool()->SetCapacity(16);  // real I/O under the workload
+
+  FaultSpec low;
+  low.probability = 0.02;  // unlimited fires for the whole run
+  injector.Arm(FaultPoint::kPageRead, low);
+  injector.Arm(FaultPoint::kPageWrite, low);
+  FaultSpec torn = low;
+  torn.silent = false;
+  injector.Arm(FaultPoint::kTornWrite, torn);
+  injector.Arm(FaultPoint::kBitFlip, low);
+
+  std::atomic<int64_t> expected_rows[kTenants] = {};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&, w] {
+      Rng rng(static_cast<uint64_t>(GetParam()) * 9973 +
+              static_cast<uint64_t>(w) * 131 + 1);
+      // Disjoint aid space per thread: no cross-thread logical conflicts.
+      int64_t next_aid = static_cast<int64_t>(w + 1) * 1'000'000;
+      std::vector<std::pair<TenantId, int64_t>> own;
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        if (op % 16 == w) {
+          // Lazy DDL inside the layout recharges the pool; shrink it
+          // back and flush so the workload keeps meeting the injector.
+          db.buffer_pool()->SetCapacity(16);
+          (void)db.buffer_pool()->EvictAll();
+        }
+        TenantId t = static_cast<TenantId>(rng.Uniform(0, kTenants - 1));
+        int kind = static_cast<int>(rng.Uniform(0, 9));
+        if (kind < 4) {
+          int64_t aid = next_aid++;
+          auto r = layout.Execute(
+              t, "INSERT INTO account (aid, name) VALUES (?, ?)",
+              {Value::Int64(aid), Value::String(rng.Word(3, 8))});
+          if (r.ok()) {
+            expected_rows[t].fetch_add(1, std::memory_order_relaxed);
+            own.emplace_back(t, aid);
+          }
+        } else if (kind < 6 && !own.empty()) {
+          auto& [t2, aid] = own[static_cast<size_t>(
+              rng.Uniform(0, static_cast<int64_t>(own.size()) - 1))];
+          (void)layout.Execute(t2,
+                               "UPDATE account SET name = ? WHERE aid = ?",
+                               {Value::String(rng.Word(3, 8)),
+                                Value::Int64(aid)});
+        } else if (kind < 8 && !own.empty()) {
+          size_t i = static_cast<size_t>(
+              rng.Uniform(0, static_cast<int64_t>(own.size()) - 1));
+          auto [t2, aid] = own[i];
+          auto r = layout.Execute(t2, "DELETE FROM account WHERE aid = ?",
+                                  {Value::Int64(aid)});
+          if (r.ok()) {
+            expected_rows[t2].fetch_sub(1, std::memory_order_relaxed);
+            own.erase(own.begin() + static_cast<ptrdiff_t>(i));
+          }
+        } else {
+          (void)layout.Query(t, "SELECT COUNT(*) FROM account");
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // The schedule must actually have fired to make this a fault soak.
+  IoFaultCountersSnapshot io = db.page_store()->io_counters().Snapshot();
+  EXPECT_GT(io.read_faults + io.write_faults + io.checksum_failures, 0u);
+
+  FaultInjectorPause pause(&injector);
+  for (TenantId t = 0; t < kTenants; ++t) {
+    auto r = layout.Query(t, "SELECT COUNT(*) FROM account");
+    ASSERT_TRUE(r.ok()) << "tenant " << t << ": " << r.status().ToString();
+    ASSERT_EQ(r->rows.size(), 1u);
+    EXPECT_EQ(r->rows[0][0].AsInt64(),
+              expected_rows[t].load(std::memory_order_relaxed))
+        << "tenant " << t << ": row count drifted under faults";
+  }
+  db.page_store()->set_fault_injector(nullptr);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultSoakTest, ::testing::Values(1, 2, 3));
 
 }  // namespace
 }  // namespace mapping

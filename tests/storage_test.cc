@@ -101,9 +101,9 @@ TEST(PageStoreTest, AllocateReadWrite) {
   PageStore store(4096);
   PageId id = store.Allocate(PageType::kHeap);
   std::vector<char> buf(4096, 'z');
-  store.Write(id, buf.data());
+  ASSERT_TRUE(store.Write(id, buf.data()).ok());
   std::vector<char> out(4096, 0);
-  store.Read(id, out.data());
+  ASSERT_TRUE(store.Read(id, out.data()).ok());
   EXPECT_EQ(out, buf);
   EXPECT_EQ(store.stats().physical_reads, 1u);
   EXPECT_EQ(store.stats().physical_writes, 1u);
@@ -118,6 +118,30 @@ TEST(PageStoreTest, DeallocateReusesIds) {
   EXPECT_EQ(store.TypeOf(b), PageType::kIndex);
 }
 
+// Regression: Read/Write/TypeOf on an out-of-range or deallocated
+// PageId used to index straight into the page array (UB). They must
+// report kNotFound / kFree instead.
+TEST(PageStoreTest, InvalidIdsReturnNotFoundNotUB) {
+  PageStore store(512);
+  std::vector<char> buf(512, 'x');
+  EXPECT_EQ(store.Read(9999, buf.data()).code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.Write(9999, buf.data()).code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.TypeOf(9999), PageType::kFree);
+  EXPECT_FALSE(store.IsAllocated(9999));
+
+  PageId id = store.Allocate(PageType::kHeap);
+  ASSERT_TRUE(store.Write(id, buf.data()).ok());
+  store.Deallocate(id);
+  EXPECT_EQ(store.Read(id, buf.data()).code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.Write(id, buf.data()).code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.TypeOf(id), PageType::kFree);
+  EXPECT_FALSE(store.IsAllocated(id));
+
+  // Double-deallocate and deallocate-of-garbage are ignored, not UB.
+  store.Deallocate(id);
+  store.Deallocate(424242);
+}
+
 TEST(BufferPoolTest, HitAndMissAccounting) {
   PageStore store(1024);
   BufferPool pool(&store, 8);
@@ -126,14 +150,16 @@ TEST(BufferPoolTest, HitAndMissAccounting) {
   pool.UnpinPage(id, true);
   pool.ResetStats();
 
-  Page* again = pool.FetchPage(id);  // hit
-  pool.UnpinPage(again->id(), false);
+  auto again = pool.FetchPage(id);  // hit
+  ASSERT_TRUE(again.ok());
+  pool.UnpinPage((*again)->id(), false);
   EXPECT_EQ(pool.stats().logical_reads_data, 1u);
   EXPECT_EQ(pool.stats().misses_data, 0u);
 
-  pool.EvictAll();
-  Page* cold = pool.FetchPage(id);  // miss
-  pool.UnpinPage(cold->id(), false);
+  ASSERT_TRUE(pool.EvictAll().ok());
+  auto cold = pool.FetchPage(id);  // miss
+  ASSERT_TRUE(cold.ok());
+  pool.UnpinPage((*cold)->id(), false);
   EXPECT_EQ(pool.stats().misses_data, 1u);
 }
 
@@ -157,13 +183,14 @@ TEST(BufferPoolTest, EvictionRespectsCapacityAndLru) {
   // Three same-shard pages compete for two frames: the oldest must have
   // been evicted and written back.
   pool.ResetStats();
-  Page* p0 = pool.FetchPage(same_shard[0]);
-  EXPECT_EQ(p0->data()[0], 'a');  // contents survived eviction
+  auto p0 = pool.FetchPage(same_shard[0]);
+  ASSERT_TRUE(p0.ok());
+  EXPECT_EQ((*p0)->data()[0], 'a');  // contents survived eviction
   EXPECT_EQ(pool.stats().misses_data, 1u);
   pool.UnpinPage(same_shard[0], false);
   // The two most recently used same-shard pages were still resident.
   pool.ResetStats();
-  pool.FetchPage(same_shard[2]);
+  ASSERT_TRUE(pool.FetchPage(same_shard[2]).ok());
   pool.UnpinPage(same_shard[2], false);
   EXPECT_EQ(pool.stats().misses_data, 0u);
 }
@@ -176,8 +203,9 @@ TEST(BufferPoolTest, PinnedPagesAreNotEvicted) {
   // Allocate more pages while the first stays pinned.
   Page* other = pool.NewPage(PageType::kHeap);
   pool.UnpinPage(other->id(), false);
-  Page* refetched = pool.FetchPage(pinned_id);
-  EXPECT_EQ(refetched, pinned);  // same frame: never left the pool
+  auto refetched = pool.FetchPage(pinned_id);
+  ASSERT_TRUE(refetched.ok());
+  EXPECT_EQ(*refetched, pinned);  // same frame: never left the pool
   pool.UnpinPage(pinned_id, false);
   pool.UnpinPage(pinned_id, false);
 }
@@ -205,9 +233,9 @@ TEST(BufferPoolTest, IndexVsDataSplit) {
   pool.UnpinPage(heap_id, false);
   pool.UnpinPage(index_id, false);
   pool.ResetStats();
-  pool.FetchPage(heap_id);
+  ASSERT_TRUE(pool.FetchPage(heap_id).ok());
   pool.UnpinPage(heap_id, false);
-  pool.FetchPage(index_id);
+  ASSERT_TRUE(pool.FetchPage(index_id).ok());
   pool.UnpinPage(index_id, false);
   EXPECT_EQ(pool.stats().logical_reads_data, 1u);
   EXPECT_EQ(pool.stats().logical_reads_index, 1u);
@@ -289,7 +317,10 @@ TEST_F(TableHeapTest, ScanSeesAllLiveTuples) {
   std::string tuple;
   Rid rid;
   int count = 0;
-  while (it.Next(&tuple, &rid)) {
+  while (true) {
+    auto more = it.Next(&tuple, &rid);
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
     auto found = expected.find(tuple);
     ASSERT_NE(found, expected.end());
     EXPECT_FALSE(found->second) << "duplicate " << tuple;
