@@ -1,11 +1,65 @@
 #include "catalog/catalog.h"
 
 #include <algorithm>
+#include <cstring>
 #include <mutex>
 
 #include "common/key_encoding.h"
 
 namespace mtdb {
+
+namespace {
+
+// Little-endian encode/decode helpers for the Snapshot blob. The blob is
+// integrity-protected by whichever durable record carries it (WAL frame
+// or checkpoint meta checksum), so there is no checksum here.
+void PutU32(std::string* out, uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  out->append(b, 4);
+}
+void PutU64(std::string* out, uint64_t v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  out->append(b, 8);
+}
+void PutI32(std::string* out, int32_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+}
+void PutStr(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+class Cursor {
+ public:
+  Cursor(const char* data, size_t len) : data_(data), len_(len) {}
+  bool U8(uint8_t* v) { return Raw(v, 1); }
+  bool U32(uint32_t* v) { return Raw(v, 4); }
+  bool U64(uint64_t* v) { return Raw(v, 8); }
+  bool I32(int32_t* v) { return Raw(v, 4); }
+  bool Str(std::string* out) {
+    uint32_t n = 0;
+    if (!U32(&n) || len_ - pos_ < n) return false;
+    out->assign(data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  bool AtEnd() const { return pos_ == len_; }
+
+ private:
+  bool Raw(void* v, size_t n) {
+    if (len_ - pos_ < n) return false;
+    std::memcpy(v, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  const char* data_;
+  size_t len_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
 
 const IndexInfo* TableInfo::FindIndexOnPrefix(
     const std::vector<size_t>& cols) const {
@@ -223,6 +277,137 @@ size_t Catalog::table_count() const {
 size_t Catalog::index_count() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   return index_to_table_.size();
+}
+
+std::string Catalog::Snapshot() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<const TableInfo*> tables;
+  tables.reserve(tables_.size());
+  for (const auto& [_, info] : tables_) tables.push_back(info.get());
+  // Sort by id so equal catalogs encode to equal blobs regardless of
+  // hash-map iteration order.
+  std::sort(tables.begin(), tables.end(),
+            [](const TableInfo* a, const TableInfo* b) { return a->id < b->id; });
+  std::string blob;
+  PutI32(&blob, next_table_id_);
+  PutI32(&blob, next_index_id_);
+  PutU32(&blob, static_cast<uint32_t>(tables.size()));
+  for (const TableInfo* info : tables) {
+    PutI32(&blob, info->id);
+    PutStr(&blob, info->name);
+    PutU32(&blob, static_cast<uint32_t>(info->schema.size()));
+    for (const Column& col : info->schema.columns()) {
+      PutStr(&blob, col.name);
+      blob.push_back(static_cast<char>(col.type));
+      blob.push_back(col.not_null ? 1 : 0);
+    }
+    PutI32(&blob, info->heap->first_page());
+    PutU32(&blob, static_cast<uint32_t>(info->indexes.size()));
+    for (const auto& idx : info->indexes) {
+      PutI32(&blob, idx->id);
+      PutStr(&blob, idx->name);
+      blob.push_back(idx->unique ? 1 : 0);
+      PutI32(&blob, idx->tree->root());
+      PutU32(&blob, static_cast<uint32_t>(idx->key_columns.size()));
+      for (size_t c : idx->key_columns) {
+        PutU32(&blob, static_cast<uint32_t>(c));
+      }
+    }
+  }
+  return blob;
+}
+
+Status Catalog::Restore(
+    const std::string& blob,
+    const std::unordered_map<TableId, TableOverride>& overrides) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  // The store was rebuilt by recovery; the stale TableInfos must not
+  // Free() pages that now belong to the recovered objects.
+  tables_.clear();
+  index_to_table_.clear();
+  metadata_bytes_ = 0;
+  next_table_id_ = 1;
+  next_index_id_ = 1;
+  if (blob.empty()) {
+    Recharge(0);
+    return Status::OK();
+  }
+
+  Status bad = Status::DataLoss("catalog snapshot malformed");
+  Cursor cur(blob.data(), blob.size());
+  uint32_t table_count = 0;
+  if (!cur.I32(&next_table_id_) || !cur.I32(&next_index_id_) ||
+      !cur.U32(&table_count)) {
+    return bad;
+  }
+  int64_t charge = 0;
+  for (uint32_t t = 0; t < table_count; t++) {
+    auto info = std::make_unique<TableInfo>();
+    uint32_t column_count = 0;
+    if (!cur.I32(&info->id) || !cur.Str(&info->name) ||
+        !cur.U32(&column_count)) {
+      return bad;
+    }
+    Schema schema;
+    for (uint32_t c = 0; c < column_count; c++) {
+      Column col;
+      uint8_t type = 0, not_null = 0;
+      if (!cur.Str(&col.name) || !cur.U8(&type) || !cur.U8(&not_null)) {
+        return bad;
+      }
+      col.type = static_cast<TypeId>(type);
+      col.not_null = not_null != 0;
+      schema.AddColumn(std::move(col));
+    }
+    info->schema = std::move(schema);
+    info->codec = std::make_unique<RowCodec>(info->schema.Types());
+    PageId first_page = kInvalidPageId;
+    uint32_t index_count = 0;
+    if (!cur.I32(&first_page) || !cur.U32(&index_count)) return bad;
+
+    const TableOverride* over = nullptr;
+    auto oit = overrides.find(info->id);
+    if (oit != overrides.end()) {
+      over = &oit->second;
+      first_page = over->first_page;
+    }
+    info->heap = std::make_unique<TableHeap>(pool_);
+    MTDB_RETURN_IF_ERROR(info->heap->AttachChain(first_page));
+
+    for (uint32_t i = 0; i < index_count; i++) {
+      auto idx = std::make_unique<IndexInfo>();
+      uint8_t unique = 0;
+      PageId root = kInvalidPageId;
+      uint32_t key_count = 0;
+      if (!cur.I32(&idx->id) || !cur.Str(&idx->name) || !cur.U8(&unique) ||
+          !cur.I32(&root) || !cur.U32(&key_count)) {
+        return bad;
+      }
+      idx->unique = unique != 0;
+      for (uint32_t k = 0; k < key_count; k++) {
+        uint32_t col = 0;
+        if (!cur.U32(&col)) return bad;
+        idx->key_columns.push_back(col);
+      }
+      if (over != nullptr) {
+        for (const auto& [iid, moved_root] : over->index_roots) {
+          if (iid == idx->id) root = moved_root;
+        }
+      }
+      idx->tree = std::make_unique<BTree>(pool_, root);
+      MTDB_RETURN_IF_ERROR(idx->tree->RebuildFromRoot());
+      index_to_table_.emplace(IdentLower(idx->name), info->id);
+      info->indexes.push_back(std::move(idx));
+    }
+
+    charge += static_cast<int64_t>(
+        costs_.bytes_per_table + costs_.bytes_per_column * info->schema.size() +
+        costs_.bytes_per_index * info->indexes.size());
+    tables_.emplace(IdentLower(info->name), std::move(info));
+  }
+  if (!cur.AtEnd()) return bad;
+  Recharge(charge);
+  return Status::OK();
 }
 
 std::vector<std::string> Catalog::TableNames() const {

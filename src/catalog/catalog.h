@@ -92,6 +92,28 @@ class Catalog {
   /// Buffer-pool frames left after the meta-data charge.
   size_t BufferFrames() const;
 
+  /// Serializes every table/index definition plus its physical anchors
+  /// (heap first page, index roots) into a deterministic blob. Logged by
+  /// DDL group records and by checkpoints; the blob carries no page
+  /// contents — those are the store's.
+  std::string Snapshot() const;
+
+  /// Physical locations that moved after the snapshot was taken (a heap
+  /// grew its first page, a root split); recovery derives these from the
+  /// per-table meta of replayed DML groups.
+  struct TableOverride {
+    PageId first_page = kInvalidPageId;
+    std::vector<std::pair<IndexId, PageId>> index_roots;
+  };
+
+  /// Rebuilds the catalog from a Snapshot blob against an already-
+  /// recovered page store: heaps re-walk their page chains, B-trees
+  /// re-walk from their roots. Everything previously registered is
+  /// discarded without freeing pages (the store was reset by recovery).
+  /// An empty blob restores the empty catalog.
+  Status Restore(const std::string& blob,
+                 const std::unordered_map<TableId, TableOverride>& overrides);
+
  private:
   // Unlocked internals; callers hold mu_ (shared or exclusive as noted).
   TableInfo* FindTableLocked(const std::string& name) const;

@@ -14,6 +14,8 @@ const char* FaultPointName(FaultPoint point) {
       return "bit-flip";
     case FaultPoint::kLatencySpike:
       return "latency-spike";
+    case FaultPoint::kCrash:
+      return "crash";
   }
   return "?";
 }

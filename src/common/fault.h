@@ -22,9 +22,10 @@ enum class FaultPoint : int {
   kTornWrite,      // only a prefix of the image reaches the device
   kBitFlip,        // one bit of the returned read image is corrupted
   kLatencySpike,   // the I/O completes but stalls the issuing thread
+  kCrash,          // process death: the durability layer freezes mid-op
 };
 
-inline constexpr int kFaultPointCount = 5;
+inline constexpr int kFaultPointCount = 6;
 
 const char* FaultPointName(FaultPoint point);
 

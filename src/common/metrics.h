@@ -63,6 +63,82 @@ class IoFaultCounters {
   std::atomic<uint64_t> latency_spikes_{0};
 };
 
+/// Point-in-time copy of DurabilityCounters, safe to pass around.
+struct DurabilityCountersSnapshot {
+  uint64_t wal_appends = 0;
+  uint64_t wal_bytes = 0;
+  uint64_t group_commits = 0;
+  uint64_t checkpoints = 0;
+  uint64_t recoveries = 0;
+  uint64_t replayed_groups = 0;
+  uint64_t truncated_tails = 0;
+  uint64_t txn_begins = 0;
+  uint64_t txn_ends = 0;
+  uint64_t recovery_undo_statements = 0;
+  uint64_t injected_crashes = 0;
+};
+
+/// Durability-tier counters. One instance lives in the Durability
+/// manager; bumped with relaxed atomics on the log/checkpoint path so
+/// recovery tests can assert the run exercised what it claims (appends
+/// happened, tails were truncated, undo actually ran).
+class DurabilityCounters {
+ public:
+  void OnWalAppend(uint64_t bytes) {
+    wal_appends_.fetch_add(1, std::memory_order_relaxed);
+    wal_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void OnGroupCommit() {
+    group_commits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void OnCheckpoint() { checkpoints_.fetch_add(1, std::memory_order_relaxed); }
+  void OnRecovery() { recoveries_.fetch_add(1, std::memory_order_relaxed); }
+  void OnReplayedGroup() {
+    replayed_groups_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void OnTruncatedTail() {
+    truncated_tails_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void OnTxnBegin() { txn_begins_.fetch_add(1, std::memory_order_relaxed); }
+  void OnTxnEnd() { txn_ends_.fetch_add(1, std::memory_order_relaxed); }
+  void OnRecoveryUndoStatement() {
+    recovery_undo_statements_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void OnInjectedCrash() {
+    injected_crashes_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  DurabilityCountersSnapshot Snapshot() const {
+    DurabilityCountersSnapshot s;
+    s.wal_appends = wal_appends_.load(std::memory_order_relaxed);
+    s.wal_bytes = wal_bytes_.load(std::memory_order_relaxed);
+    s.group_commits = group_commits_.load(std::memory_order_relaxed);
+    s.checkpoints = checkpoints_.load(std::memory_order_relaxed);
+    s.recoveries = recoveries_.load(std::memory_order_relaxed);
+    s.replayed_groups = replayed_groups_.load(std::memory_order_relaxed);
+    s.truncated_tails = truncated_tails_.load(std::memory_order_relaxed);
+    s.txn_begins = txn_begins_.load(std::memory_order_relaxed);
+    s.txn_ends = txn_ends_.load(std::memory_order_relaxed);
+    s.recovery_undo_statements =
+        recovery_undo_statements_.load(std::memory_order_relaxed);
+    s.injected_crashes = injected_crashes_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  std::atomic<uint64_t> wal_appends_{0};
+  std::atomic<uint64_t> wal_bytes_{0};
+  std::atomic<uint64_t> group_commits_{0};
+  std::atomic<uint64_t> checkpoints_{0};
+  std::atomic<uint64_t> recoveries_{0};
+  std::atomic<uint64_t> replayed_groups_{0};
+  std::atomic<uint64_t> truncated_tails_{0};
+  std::atomic<uint64_t> txn_begins_{0};
+  std::atomic<uint64_t> txn_ends_{0};
+  std::atomic<uint64_t> recovery_undo_statements_{0};
+  std::atomic<uint64_t> injected_crashes_{0};
+};
+
 /// Accumulates response-time (or other scalar) samples and reports
 /// order statistics. Used by the MTD testbed for the 95% quantiles and
 /// baseline-compliance metrics of Table 2.

@@ -99,6 +99,16 @@ Status ChunkFoldingLayout::EnsureConventionalExtension(
   return Status::OK();
 }
 
+Status ChunkFoldingLayout::RecoverDerivedState() {
+  provisioned_exts_.clear();
+  for (const ExtensionDef& def : app_->extensions()) {
+    if (db_->catalog()->GetTable(ConvExtName(def.name)) != nullptr) {
+      provisioned_exts_.insert(IdentLower(def.name));
+    }
+  }
+  return Status::OK();
+}
+
 Status ChunkFoldingLayout::EnableExtensionImpl(TenantId tenant,
                                            const std::string& ext) {
   const ExtensionDef* def = app_->FindExtension(ext);

@@ -48,6 +48,7 @@ class ChunkFoldingLayout final : public SchemaMapping {
   Status EnableExtensionImpl(TenantId tenant, const std::string& ext) override;
   Result<std::unique_ptr<TableMapping>> BuildMapping(
       TenantId tenant, const std::string& table) override;
+  Status RecoverDerivedState() override;
 
  private:
   Status EnsureConventionalExtension(const ExtensionDef& def);

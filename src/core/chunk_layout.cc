@@ -78,6 +78,20 @@ Status ChunkTableLayout::Bootstrap() {
   return Status::OK();
 }
 
+Status ChunkTableLayout::RecoverDerivedState() {
+  // Bootstrap() is skipped on a recovered store, so re-derive what it
+  // would have set: the trashcan flag, and (vertical variant) the set of
+  // already-provisioned per-chunk tables from the recovered catalog.
+  trashcan_deletes_ = options_.trashcan;
+  if (!options_.fold) {
+    provisioned_.clear();
+    for (const std::string& name : db_->catalog()->TableNames()) {
+      if (name.rfind("vp_", 0) == 0) provisioned_.insert(name);
+    }
+  }
+  return Status::OK();
+}
+
 Result<std::string> ChunkTableLayout::EnsureVerticalTable(
     const std::string& table, const EffectiveTable& eff,
     const ChunkAssignment& chunk) {

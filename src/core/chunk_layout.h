@@ -51,6 +51,7 @@ class ChunkTableLayout final : public SchemaMapping {
  protected:
   Result<std::unique_ptr<TableMapping>> BuildMapping(
       TenantId tenant, const std::string& table) override;
+  Status RecoverDerivedState() override;
 
  private:
   /// Vertical (unfolded) variant: ensures the dedicated physical table

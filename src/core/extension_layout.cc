@@ -58,6 +58,16 @@ Status ExtensionTableLayout::EnsureExtensionTable(const ExtensionDef& def) {
   return Status::OK();
 }
 
+Status ExtensionTableLayout::RecoverDerivedState() {
+  provisioned_exts_.clear();
+  for (const ExtensionDef& def : app_->extensions()) {
+    if (db_->catalog()->GetTable(ExtName(def.name)) != nullptr) {
+      provisioned_exts_.insert(IdentLower(def.name));
+    }
+  }
+  return Status::OK();
+}
+
 Status ExtensionTableLayout::EnableExtensionImpl(TenantId tenant,
                                              const std::string& ext) {
   const ExtensionDef* def = app_->FindExtension(ext);

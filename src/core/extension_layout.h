@@ -33,6 +33,7 @@ class ExtensionTableLayout final : public SchemaMapping {
   Status EnableExtensionImpl(TenantId tenant, const std::string& ext) override;
   Result<std::unique_ptr<TableMapping>> BuildMapping(
       TenantId tenant, const std::string& table) override;
+  Status RecoverDerivedState() override;
 
  private:
   Status EnsureExtensionTable(const ExtensionDef& def);

@@ -119,6 +119,19 @@ Status SchemaMapping::CreateTenantImpl(TenantId tenant) {
   if (tenants_.contains(tenant)) {
     return Status::AlreadyExists("tenant exists: " + std::to_string(tenant));
   }
+  if (db_->durable()) {
+    MTDB_RETURN_IF_ERROR(EnsureRegistry());
+    MTDB_RETURN_IF_ERROR(RegistryInsert("T", tenant, "", 0));
+    // Pre-assign the tenant's table numbers in schema order, so the lazy
+    // in-statement assignment (TableNumber from BuildMapping) never has
+    // to write the registry while holding the mapping-cache lock —
+    // and so the numbers baked into data rows survive a restart.
+    for (const LogicalTable& t : app_->tables()) {
+      int32_t num = TableNumber(tenant, t.name);
+      MTDB_RETURN_IF_ERROR(
+          RegistryInsert("N", tenant, IdentLower(t.name), num));
+    }
+  }
   // In-place construction: TenantEntry owns a mutex and cannot move.
   TenantEntry& entry = tenants_[tenant];
   entry.state = TenantState(tenant);
@@ -208,7 +221,9 @@ Status SchemaMapping::EnableExtensionImpl(TenantId tenant,
       stats_.physical_statements++;
     }
   }
-  return Status::OK();
+  return RecordExtensionEnabled(
+      tenant, ext,
+      static_cast<int64_t>(entry->state.extensions().size()) - 1);
 }
 
 Status SchemaMapping::DropTenantImpl(TenantId tenant) {
@@ -221,8 +236,151 @@ Status SchemaMapping::DropTenantImpl(TenantId tenant) {
     MTDB_ASSIGN_OR_RETURN(int64_t n, GenericDelete(tenant, del, {}));
     (void)n;
   }
+  MTDB_RETURN_IF_ERROR(RecordTenantDropped(tenant));
   tenants_.erase(tenant);
   InvalidateMappings();
+  return Status::OK();
+}
+
+// --- durable registry + layer recovery ---------------------------------
+
+Status SchemaMapping::EnsureRegistry() {
+  if (!db_->durable()) return Status::OK();
+  if (db_->catalog()->GetTable(RegistryName()) != nullptr) return Status::OK();
+  Schema schema;
+  schema.AddColumn(Column{"kind", TypeId::kString, true});
+  schema.AddColumn(Column{"tenant", TypeId::kInt32, true});
+  schema.AddColumn(Column{"name", TypeId::kString, false});
+  schema.AddColumn(Column{"val", TypeId::kInt64, false});
+  MTDB_RETURN_IF_ERROR(db_->CreateTable(RegistryName(), std::move(schema)));
+  return db_->CreateIndex(RegistryName(), "ix_mtdb_registry_tenant",
+                          {"tenant"}, /*unique=*/false);
+}
+
+Status SchemaMapping::RegistryInsert(const std::string& kind, TenantId tenant,
+                                     const std::string& name, int64_t val) {
+  if (!db_->durable()) return Status::OK();
+  Row row{Value::String(kind), Value::Int32(tenant), Value::String(name),
+          Value::Int64(val)};
+  return db_->InsertRow(RegistryName(), row);
+}
+
+Status SchemaMapping::RecordExtensionEnabled(TenantId tenant,
+                                             const std::string& ext,
+                                             int64_t ordinal) {
+  return RegistryInsert("E", tenant, IdentLower(ext), ordinal);
+}
+
+Status SchemaMapping::RecordTenantDropped(TenantId tenant) {
+  // Forget the tenant's table numbers (ids are never reused, so a
+  // re-created tenant gets fresh ones).
+  {
+    std::lock_guard<std::mutex> lock(table_number_mu_);
+    for (auto it = table_numbers_.begin(); it != table_numbers_.end();) {
+      it = it->first.first == tenant ? table_numbers_.erase(it)
+                                     : std::next(it);
+    }
+  }
+  if (!db_->durable() ||
+      db_->catalog()->GetTable(RegistryName()) == nullptr) {
+    return Status::OK();
+  }
+  sql::Statement del;
+  del.kind = sql::StatementKind::kDelete;
+  del.del = std::make_unique<sql::DeleteStmt>();
+  del.del->table = RegistryName();
+  del.del->where = sql::MakeBinary(sql::BinaryOp::kEq,
+                                   sql::MakeColumnRef("", "tenant"),
+                                   sql::MakeLiteral(Value::Int32(tenant)));
+  MTDB_ASSIGN_OR_RETURN(int64_t n, db_->ExecuteAst(del, {}));
+  (void)n;
+  return Status::OK();
+}
+
+Status SchemaMapping::Recover() {
+  std::unique_lock<std::shared_mutex> lock(layer_mu_);
+  if (!db_->durable()) {
+    return Status::InvalidArgument("Recover() needs a durable engine");
+  }
+  tenants_.clear();
+  if (db_->catalog()->GetTable(RegistryName()) != nullptr) {
+    MTDB_ASSIGN_OR_RETURN(
+        QueryResult reg,
+        db_->Query("SELECT kind, tenant, name, val FROM " + RegistryName()));
+    // Tenants first, then extensions in their original enable order,
+    // then table numbers.
+    std::map<TenantId, std::map<int64_t, std::string>> exts;
+    for (const Row& r : reg.rows) {
+      const std::string kind = r[0].ToString();
+      const TenantId tenant = r[1].AsInt32();
+      if (kind == "T") {
+        tenants_[tenant].state = TenantState(tenant);
+      } else if (kind == "E") {
+        exts[tenant][r[3].AsInt64()] = r[2].ToString();
+      }
+    }
+    for (auto& [tenant, ordered] : exts) {
+      auto it = tenants_.find(tenant);
+      if (it == tenants_.end()) {
+        return Status::DataLoss("registry extension row for unknown tenant " +
+                                std::to_string(tenant));
+      }
+      for (auto& [ordinal, ext] : ordered) {
+        (void)ordinal;
+        it->second.state.EnableExtension(ext);
+      }
+    }
+    {
+      std::lock_guard<std::mutex> tn(table_number_mu_);
+      table_numbers_.clear();
+      for (const Row& r : reg.rows) {
+        if (r[0].ToString() != "N") continue;
+        const int32_t num = static_cast<int32_t>(r[3].AsInt64());
+        table_numbers_[{r[1].AsInt32(), r[2].ToString()}] = num;
+        next_table_number_ = std::max(next_table_number_, num + 1);
+      }
+    }
+  }
+  // Layout-private state (provisioned tables, versions, trashcan flag)
+  // comes from the recovered catalog — before any Mapping() is built.
+  MTDB_RETURN_IF_ERROR(RecoverDerivedState());
+  InvalidateMappings();
+  // Row-id counters resume past the highest id present in the data.
+  // Source 0 is probed without the `del` visibility predicate so
+  // trashcan-deleted rows keep their ids reserved.
+  for (auto& [tenant, entry] : tenants_) {
+    for (const LogicalTable& t : app_->tables()) {
+      MTDB_ASSIGN_OR_RETURN(const TableMapping* mapping,
+                            Mapping(tenant, t.name));
+      if (mapping->sources.empty() ||
+          mapping->sources[0].row_column.empty()) {
+        continue;
+      }
+      const PhysicalSource& source = mapping->sources[0];
+      sql::SelectStmt probe;
+      sql::SelectItem item;
+      item.expr = sql::MakeColumnRef("", source.row_column);
+      probe.items.push_back(std::move(item));
+      sql::TableRef ref;
+      ref.table_name = source.physical_table;
+      probe.from.push_back(std::move(ref));
+      sql::ParsedExprPtr where;
+      for (const auto& [col, val] : source.partition) {
+        if (IdentEquals(col, "del")) continue;
+        where = sql::AndTogether(
+            std::move(where),
+            sql::MakeBinary(sql::BinaryOp::kEq, sql::MakeColumnRef("", col),
+                            sql::MakeLiteral(val)));
+      }
+      probe.where = std::move(where);
+      MTDB_ASSIGN_OR_RETURN(QueryResult rows, db_->QueryAst(probe, {}));
+      int64_t next = 0;
+      for (const Row& r : rows.rows) {
+        if (!r[0].is_null()) next = std::max(next, r[0].AsInt64() + 1);
+      }
+      if (next > 0) entry.next_row[IdentLower(t.name)] = next;
+    }
+  }
   return Status::OK();
 }
 
@@ -446,6 +604,7 @@ Result<int64_t> SchemaMapping::GenericInsert(TenantId tenant,
       (void)undo.Rollback();
       stats_.undo_statements += undo.executed();
     }
+    (void)undo.Finish();
     return st;
   };
   int64_t inserted = 0;
@@ -465,6 +624,7 @@ Result<int64_t> SchemaMapping::GenericInsert(TenantId tenant,
     if (!n.ok()) return fail(n.status());
     inserted += *n;
   }
+  MTDB_RETURN_IF_ERROR(undo.Finish());
   return inserted;
 }
 
@@ -624,12 +784,19 @@ Result<int64_t> SchemaMapping::InsertMappedRow(
   StatementUndoLog local_undo(db_);
   StatementUndoLog* undo = caller_undo != nullptr ? caller_undo : &local_undo;
   const bool multi_source = mapping->sources.size() > 1;
+  // Every physical insert of a multi-statement logical insert stages its
+  // compensation (including the last: a crash before the txn-end record
+  // must roll the WHOLE logical insert back, not strand its last chunk).
+  const bool needs_undo = caller_undo != nullptr || multi_source;
   auto fail = [&](const Status& st) -> Status {
     // With a caller-owned log the caller rolls back the whole statement.
-    if (caller_undo == nullptr && !local_undo.empty()) {
-      stats_.statement_rollbacks++;
-      (void)local_undo.Rollback();
-      stats_.undo_statements += local_undo.executed();
+    if (caller_undo == nullptr) {
+      if (!local_undo.empty()) {
+        stats_.statement_rollbacks++;
+        (void)local_undo.Rollback();
+        stats_.undo_statements += local_undo.executed();
+      }
+      (void)local_undo.Finish();
     }
     return st;
   };
@@ -671,15 +838,17 @@ Result<int64_t> SchemaMapping::InsertMappedRow(
       if (!cast.ok()) return fail(cast.status());
       physical_row[*pos] = *std::move(cast);
     }
+    if (needs_undo) {
+      Status sst = undo->Stage(
+          CompensatingDelete(source, phys->schema, physical_row, row_id));
+      if (!sst.ok()) return fail(sst);
+    }
     Status ist = db_->InsertRow(source.physical_table, physical_row);
     if (!ist.ok()) return fail(ist);
     stats_.physical_statements++;
-    if (caller_undo != nullptr ||
-        (multi_source && src + 1 < mapping->sources.size())) {
-      undo->Record(
-          CompensatingDelete(source, phys->schema, physical_row, row_id));
-    }
+    if (needs_undo) undo->Commit();
   }
+  if (caller_undo == nullptr) MTDB_RETURN_IF_ERROR(local_undo.Finish());
   return 1;
 }
 
@@ -824,6 +993,7 @@ Result<int64_t> SchemaMapping::GenericUpdate(TenantId tenant,
       (void)undo.Rollback();
       stats_.undo_statements += undo.executed();
     }
+    (void)undo.Finish();
     return st;
   };
 
@@ -862,18 +1032,21 @@ Result<int64_t> SchemaMapping::GenericUpdate(TenantId tenant,
           phys.update->assignments.emplace_back(col, sql::MakeLiteral(val));
         }
         phys.update->where = RowBatchPredicate(source, rows, begin, end);
+        if (record_undo) {
+          for (size_t i = begin; i < end; ++i) {
+            Status sst = undo.Stage(CompensatingUpdate(
+                source, rows[i], old_assigns_for(src, affected[i].logical)));
+            if (!sst.ok()) return fail(sst);
+          }
+        }
         NotifyStatement(tenant, phys);
         Result<int64_t> n = db_->ExecuteAst(phys, {});
         if (!n.ok()) return fail(n.status());
         stats_.physical_statements++;
-        if (record_undo) {
-          for (size_t i = begin; i < end; ++i) {
-            undo.Record(CompensatingUpdate(
-                source, rows[i], old_assigns_for(src, affected[i].logical)));
-          }
-        }
+        undo.Commit();
       }
     }
+    MTDB_RETURN_IF_ERROR(undo.Finish());
     return static_cast<int64_t>(affected.size());
   }
 
@@ -902,16 +1075,19 @@ Result<int64_t> SchemaMapping::GenericUpdate(TenantId tenant,
         phys.update->assignments.emplace_back(col, sql::MakeLiteral(val));
       }
       phys.update->where = RowLocalPredicate(source, row.row_id);
+      if (record_undo) {
+        Status sst = undo.Stage(CompensatingUpdate(
+            source, row.row_id, old_assigns_for(src, row.logical)));
+        if (!sst.ok()) return fail(sst);
+      }
       NotifyStatement(tenant, phys);
       Result<int64_t> n = db_->ExecuteAst(phys, {});
       if (!n.ok()) return fail(n.status());
       stats_.physical_statements++;
-      if (record_undo) {
-        undo.Record(CompensatingUpdate(source, row.row_id,
-                                       old_assigns_for(src, row.logical)));
-      }
+      undo.Commit();
     }
   }
+  MTDB_RETURN_IF_ERROR(undo.Finish());
   return static_cast<int64_t>(affected.size());
 }
 
@@ -931,17 +1107,18 @@ Result<int64_t> SchemaMapping::GenericDelete(TenantId tenant,
       (void)undo.Rollback();
       stats_.undo_statements += undo.executed();
     }
+    (void)undo.Finish();
     return st;
   };
   // Compensation for one (row, source) removal: re-insert the chunk, or
-  // flip it back to visible when the trashcan only marked it.
-  auto record_removal = [&](size_t src, const AffectedRow& row) {
+  // flip it back to visible when the trashcan only marked it. Staged
+  // before the forward statement so a crash mid-delete can replay it.
+  auto stage_removal = [&](size_t src, const AffectedRow& row) -> Status {
     if (trashcan_deletes_) {
-      undo.Record(CompensatingRestore(mapping->sources[src], row.row_id));
-    } else {
-      undo.Record(
-          CompensatingInsert(*mapping, src, eff, row.logical, row.row_id));
+      return undo.Stage(CompensatingRestore(mapping->sources[src], row.row_id));
     }
+    return undo.Stage(
+        CompensatingInsert(*mapping, src, eff, row.logical, row.row_id));
   };
 
   // Batched Phase (b): one statement per chunk per batch of rows.
@@ -970,15 +1147,20 @@ Result<int64_t> SchemaMapping::GenericDelete(TenantId tenant,
           phys.del->table = source.physical_table;
           phys.del->where = RowBatchPredicate(source, rows, begin, end);
         }
+        if (record_undo) {
+          for (size_t i = begin; i < end; ++i) {
+            Status sst = stage_removal(src, affected[i]);
+            if (!sst.ok()) return fail(sst);
+          }
+        }
         NotifyStatement(tenant, phys);
         Result<int64_t> n = db_->ExecuteAst(phys, {});
         if (!n.ok()) return fail(n.status());
         stats_.physical_statements++;
-        if (record_undo) {
-          for (size_t i = begin; i < end; ++i) record_removal(src, affected[i]);
-        }
+        undo.Commit();
       }
     }
+    MTDB_RETURN_IF_ERROR(undo.Finish());
     return static_cast<int64_t>(affected.size());
   }
 
@@ -1002,13 +1184,18 @@ Result<int64_t> SchemaMapping::GenericDelete(TenantId tenant,
         phys.del->table = source.physical_table;
         phys.del->where = RowLocalPredicate(source, row.row_id);
       }
+      if (record_undo) {
+        Status sst = stage_removal(src, row);
+        if (!sst.ok()) return fail(sst);
+      }
       NotifyStatement(tenant, phys);
       Result<int64_t> n = db_->ExecuteAst(phys, {});
       if (!n.ok()) return fail(n.status());
       stats_.physical_statements++;
-      if (record_undo) record_removal(src, row);
+      undo.Commit();
     }
   }
+  MTDB_RETURN_IF_ERROR(undo.Finish());
   return static_cast<int64_t>(affected.size());
 }
 

@@ -112,6 +112,20 @@ class SchemaMapping : public MappingResolver {
   /// Drops a tenant and its data.
   Status DropTenant(TenantId tenant);
 
+  /// Rebuilds the layer's per-tenant state on a durable engine after
+  /// Database::Open recovered the physical tables: tenants, extension
+  /// sets and table numbers come from the registry table, layout-derived
+  /// state (private-table versions, provisioned extension/vertical
+  /// tables) from the recovered catalog, and row-id counters from the
+  /// data itself. Call INSTEAD of Bootstrap() when the store already has
+  /// a schema; fresh databases call Bootstrap() as before.
+  Status Recover();
+
+  /// Physical registry table recording tenants, enabled extensions and
+  /// table-number assignments on durable engines (created lazily at the
+  /// first CreateTenant).
+  static std::string RegistryName() { return "mtdb_registry"; }
+
   // --- logical statement execution -----------------------------------
 
   /// Runs a logical SELECT for `tenant`.
@@ -205,6 +219,24 @@ class SchemaMapping : public MappingResolver {
   virtual Status CreateTenantImpl(TenantId tenant);
   virtual Status EnableExtensionImpl(TenantId tenant, const std::string& ext);
   virtual Status DropTenantImpl(TenantId tenant);
+
+  /// Layout hook run by Recover() under the exclusive layer latch, after
+  /// tenants/extensions/table numbers are restored: re-derive whatever
+  /// private state the layout keeps (provisioned physical tables,
+  /// private-table versions, trashcan flag) from the recovered catalog.
+  virtual Status RecoverDerivedState() { return Status::OK(); }
+
+  /// Durable-registry bookkeeping (no-ops on non-durable engines).
+  /// Creates mtdb_registry if missing.
+  Status EnsureRegistry();
+  Status RegistryInsert(const std::string& kind, TenantId tenant,
+                        const std::string& name, int64_t val);
+  /// Records an enabled extension; called from the base
+  /// EnableExtensionImpl and from layouts that bypass it.
+  Status RecordExtensionEnabled(TenantId tenant, const std::string& ext,
+                                int64_t ordinal);
+  /// Deletes all registry rows of a dropped tenant.
+  Status RecordTenantDropped(TenantId tenant);
 
   /// Per-tenant bookkeeping shared by all layouts. Entries live in a
   /// node-based map, so pointers stay stable while the tenant exists.

@@ -1,5 +1,8 @@
 #include "core/private_layout.h"
 
+#include <algorithm>
+#include <cstdlib>
+
 namespace mtdb {
 namespace mapping {
 
@@ -44,6 +47,7 @@ Status PrivateTableLayout::DropTenantImpl(TenantId tenant) {
   for (const LogicalTable& t : app_->tables()) {
     MTDB_RETURN_IF_ERROR(db_->DropTable(PhysicalName(tenant, t.name)));
   }
+  MTDB_RETURN_IF_ERROR(RecordTenantDropped(tenant));
   tenants_.erase(tenant);
   InvalidateMappings();
   return Status::OK();
@@ -90,6 +94,34 @@ Status PrivateTableLayout::EnableExtensionImpl(TenantId tenant,
   // tenant's table — the extensibility cost §3 attributes to this layout.
   MTDB_RETURN_IF_ERROR(MaterializeTable(tenant, def->base_table, old_name));
   InvalidateMappings();
+  return RecordExtensionEnabled(
+      tenant, ext,
+      static_cast<int64_t>(entry->state.extensions().size()) - 1);
+}
+
+Status PrivateTableLayout::RecoverDerivedState() {
+  // The version counters are encoded in the recovered physical names:
+  // `<table>_t<tenant>` for version 0, `<table>_t<tenant>_v<k>` after k
+  // rebuilds. A tenant suffix is never a prefix of another tenant's
+  // (`_v` follows immediately), so the scan cannot cross tenants.
+  versions_.clear();
+  const std::vector<std::string> names = db_->catalog()->TableNames();
+  for (const auto& [tenant, entry] : tenants_) {
+    (void)entry;
+    for (const LogicalTable& t : app_->tables()) {
+      const std::string lower = IdentLower(t.name);
+      const std::string vprefix =
+          lower + "_t" + std::to_string(tenant) + "_v";
+      int max_version = 0;
+      for (const std::string& name : names) {
+        if (name.rfind(vprefix, 0) == 0) {
+          max_version = std::max(max_version,
+                                 std::atoi(name.c_str() + vprefix.size()));
+        }
+      }
+      if (max_version > 0) versions_[{tenant, lower}] = max_version;
+    }
+  }
   return Status::OK();
 }
 

@@ -31,6 +31,7 @@ class PrivateTableLayout final : public SchemaMapping {
   Status CreateTenantImpl(TenantId tenant) override;
   Status DropTenantImpl(TenantId tenant) override;
   Status EnableExtensionImpl(TenantId tenant, const std::string& ext) override;
+  Status RecoverDerivedState() override;
   Result<std::unique_ptr<TableMapping>> BuildMapping(
       TenantId tenant, const std::string& table) override;
   Result<int64_t> GenericUpdate(TenantId tenant, const sql::UpdateStmt& stmt,

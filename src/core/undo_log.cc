@@ -1,5 +1,7 @@
 #include "core/undo_log.h"
 
+#include "sql/printer.h"
+
 namespace mtdb {
 namespace mapping {
 
@@ -9,7 +11,29 @@ namespace {
 constexpr int kRollbackAttempts = 4;
 }  // namespace
 
+StatementUndoLog::~StatementUndoLog() {
+  if (txn_open_) (void)db_->EndDurableTxn(txn_id_);
+}
+
+Status StatementUndoLog::Stage(sql::Statement compensation) {
+  if (db_->durable()) {
+    if (!txn_open_) {
+      MTDB_ASSIGN_OR_RETURN(txn_id_, db_->BeginDurableTxn());
+      txn_open_ = true;
+    }
+    MTDB_RETURN_IF_ERROR(db_->LogTxnHint(txn_id_, sql::ToSql(compensation)));
+  }
+  staged_.push_back(std::move(compensation));
+  return Status::OK();
+}
+
+void StatementUndoLog::Commit() {
+  for (auto& s : staged_) entries_.push_back(std::move(s));
+  staged_.clear();
+}
+
 Status StatementUndoLog::Rollback() {
+  staged_.clear();
   Status first_error = Status::OK();
   for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
     Status st = Status::OK();
@@ -26,6 +50,12 @@ Status StatementUndoLog::Rollback() {
   }
   entries_.clear();
   return first_error;
+}
+
+Status StatementUndoLog::Finish() {
+  if (!txn_open_) return Status::OK();
+  txn_open_ = false;
+  return db_->EndDurableTxn(txn_id_);
 }
 
 }  // namespace mapping

@@ -13,10 +13,21 @@ namespace mapping {
 /// DML). A logical INSERT/UPDATE/DELETE fans out into one physical
 /// statement per chunk/source; each physical statement is atomic in the
 /// engine, but a fault between them would otherwise leave a logical row
-/// half-written across its chunks. The generic DML paths therefore record
-/// a compensating physical statement for every physical write they apply,
-/// and replay the log in reverse if a later write fails — so the logical
-/// statement as a whole either applies or leaves no trace.
+/// half-written across its chunks. The generic DML paths therefore stage
+/// a compensating physical statement for every physical write before
+/// applying it, and replay the confirmed entries in reverse if a later
+/// write fails — so the logical statement as a whole either applies or
+/// leaves no trace.
+///
+/// Durable engines extend the same protocol across crashes: the first
+/// Stage() opens a WAL logical transaction and every Stage() appends its
+/// compensation (as SQL text) as a txn hint BEFORE the forward statement
+/// runs, and Finish() closes the transaction. If the process dies between
+/// physical statements, recovery finds the transaction open and replays
+/// the hints newest-first — the crash-time equivalent of Rollback().
+/// Hints precede their forward statements in the log, so every
+/// compensation must be idempotent or guarded (recovery probes INSERT
+/// compensations for the row before re-inserting).
 ///
 /// Compensations are ordinary physical ASTs (DELETE to undo an INSERT,
 /// UPDATE restoring prior values to undo an UPDATE, INSERT re-creating
@@ -26,26 +37,42 @@ namespace mapping {
 /// (the engine's buffer pool already absorbs transient faults) and the
 /// log keeps going past a failed entry to restore as much as possible.
 ///
+/// Call protocol per physical statement: Stage(compensation) → run the
+/// forward statement → Commit() on success. On logical-statement failure
+/// call Rollback(); always call Finish() before returning (the destructor
+/// closes a leaked transaction best-effort).
+///
 /// Not thread-safe: one log per in-flight statement, on the stack.
 class StatementUndoLog {
  public:
   explicit StatementUndoLog(Database* db) : db_(db) {}
+  ~StatementUndoLog();
 
   StatementUndoLog(const StatementUndoLog&) = delete;
   StatementUndoLog& operator=(const StatementUndoLog&) = delete;
 
-  /// Records a compensating statement to run if the logical statement
-  /// later fails. Call AFTER the corresponding forward write succeeded.
-  void Record(sql::Statement compensation) {
-    entries_.push_back(std::move(compensation));
-  }
+  /// Stages a compensation for the NEXT forward statement (a batched
+  /// forward statement stages one compensation per covered row). On a
+  /// durable engine this opens the WAL transaction (first call) and
+  /// appends the compensation as a txn hint; a failure here means the
+  /// hint is not durable and the caller must not run the forward
+  /// statement.
+  Status Stage(sql::Statement compensation);
 
-  /// Replays all recorded compensations in reverse order. Returns the
-  /// first failure (after per-entry retries) but attempts every entry.
+  /// Confirms all staged compensations: their forward statement
+  /// succeeded, so Rollback() will replay them. No-op if nothing is
+  /// staged.
+  void Commit();
+
+  /// Replays all confirmed compensations in reverse order (discarding any
+  /// un-committed staged entry). Returns the first failure (after
+  /// per-entry retries) but attempts every entry.
   Status Rollback();
 
-  /// Discards the log (the logical statement committed).
-  void Clear() { entries_.clear(); }
+  /// Closes the WAL transaction, if one was opened. Check the status on
+  /// the success path: a durable engine that cannot write the txn-end
+  /// record will re-undo the statement after a crash.
+  Status Finish();
 
   size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
@@ -56,6 +83,9 @@ class StatementUndoLog {
  private:
   Database* db_;
   std::vector<sql::Statement> entries_;
+  std::vector<sql::Statement> staged_;
+  uint64_t txn_id_ = 0;
+  bool txn_open_ = false;
   uint64_t executed_ = 0;
 };
 

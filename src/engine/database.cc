@@ -186,6 +186,12 @@ std::vector<TableInfo*> ResolveInLatchOrder(
   return tables;
 }
 
+// Logical-txn nesting depth of the calling thread. An automatic
+// checkpoint takes the txn gate exclusively; a thread already holding it
+// shared (inside BeginDurableTxn..EndDurableTxn) must never try, or it
+// would deadlock against itself.
+thread_local int tls_txn_depth = 0;
+
 }  // namespace
 
 Database::Database(EngineOptions options)
@@ -197,6 +203,154 @@ Database::Database(EngineOptions options)
   catalog_ = std::make_unique<Catalog>(pool_.get(),
                                        options_.memory_budget_bytes,
                                        options_.metadata_costs);
+  if (!options_.durable_path.empty()) {
+    store_->set_dirty_tracking(true);
+    DurabilityOptions dopts;
+    dopts.wal_segment_bytes = options_.wal_segment_bytes;
+    dopts.checkpoint_interval_bytes = options_.checkpoint_interval_bytes;
+    durability_ = std::make_unique<Durability>(options_.durable_path, dopts,
+                                              store_.get(), pool_.get());
+  }
+}
+
+Result<std::unique_ptr<Database>> Database::Open(const std::string& path,
+                                                 EngineOptions options) {
+  options.durable_path = path;
+  auto db = std::make_unique<Database>(options);
+  MTDB_RETURN_IF_ERROR(db->Recover());
+  return db;
+}
+
+Status Database::Recover() {
+  MTDB_ASSIGN_OR_RETURN(RecoveredState state, durability_->Recover());
+  std::unordered_map<TableId, Catalog::TableOverride> overrides;
+  for (const WalTableMeta& tm : state.table_overrides) {
+    overrides[tm.table_id] = Catalog::TableOverride{tm.first_page,
+                                                    tm.index_roots};
+  }
+  MTDB_RETURN_IF_ERROR(catalog_->Restore(state.catalog_blob, overrides));
+  // Undo logical statements the crash left half-applied, newest hint
+  // first. Each compensation runs through the normal durable statement
+  // path and commits its own group, so a crash mid-undo simply resumes
+  // here on the next open (compensations are idempotent or guarded).
+  for (auto it = state.open_hints.rbegin(); it != state.open_hints.rend();
+       ++it) {
+    MTDB_RETURN_IF_ERROR(ApplyRecoveryHint(it->sql));
+  }
+  // A fresh checkpoint seals recovery: the replayed log (and the undone
+  // txns' records) truncate away.
+  return Checkpoint();
+}
+
+Status Database::ApplyRecoveryHint(const std::string& sql_text) {
+  MTDB_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql_text));
+  if (stmt.kind == sql::StatementKind::kInsert && stmt.insert->rows.size() == 1) {
+    // The hint was logged *before* its forward statement, so the DELETE
+    // this INSERT compensates may never have executed — re-inserting
+    // would duplicate the row. Probe by the literal column values.
+    const sql::InsertStmt& ins = *stmt.insert;
+    TableInfo* table = catalog_->GetTable(ins.table);
+    if (table == nullptr) {
+      return Status::NotFound("recovery hint targets unknown table " +
+                              ins.table);
+    }
+    sql::ParsedExprPtr where;
+    for (size_t i = 0; i < ins.rows[0].size(); i++) {
+      const sql::ParsedExpr& e = *ins.rows[0][i];
+      if (e.kind != sql::PExprKind::kLiteral || e.literal.is_null()) continue;
+      std::string column = i < ins.columns.size()
+                               ? ins.columns[i]
+                               : (i < table->schema.size()
+                                      ? table->schema.at(i).name
+                                      : std::string());
+      if (column.empty()) continue;
+      where = sql::AndTogether(
+          std::move(where),
+          sql::MakeBinary(sql::BinaryOp::kEq,
+                          sql::MakeColumnRef("", column),
+                          sql::MakeLiteral(e.literal)));
+    }
+    if (where != nullptr) {
+      sql::SelectStmt probe;
+      probe.select_star = true;
+      sql::TableRef ref;
+      ref.table_name = ins.table;
+      probe.from.push_back(std::move(ref));
+      probe.where = std::move(where);
+      MTDB_ASSIGN_OR_RETURN(QueryResult hit, QueryAst(probe, {}));
+      if (!hit.rows.empty()) return Status::OK();  // delete never applied
+    }
+  }
+  MTDB_ASSIGN_OR_RETURN(int64_t affected, RunMutation(stmt, {}));
+  (void)affected;
+  durability_->counters().OnRecoveryUndoStatement();
+  return Status::OK();
+}
+
+Status Database::Checkpoint() {
+  if (durability_ == nullptr) {
+    return Status::InvalidArgument("not a durable database");
+  }
+  // Gate before DDL latch (the global order); exclusive on both quiesces
+  // every statement and every open logical txn.
+  std::unique_lock<std::shared_mutex> gate(durability_->txn_gate());
+  std::unique_lock<std::shared_mutex> ddl(ddl_mu_);
+  return durability_->WriteCheckpoint(catalog_->Snapshot());
+}
+
+void Database::MaybeAutoCheckpoint() {
+  if (durability_ == nullptr || tls_txn_depth != 0) return;
+  if (!durability_->NeedsCheckpoint()) return;
+  // A failure here (including an injected crash) freezes the subsystem
+  // and surfaces on the next durable statement.
+  (void)Checkpoint();
+}
+
+Result<uint64_t> Database::BeginDurableTxn() {
+  if (durability_ == nullptr) {
+    return Status::InvalidArgument("not a durable database");
+  }
+  MTDB_ASSIGN_OR_RETURN(uint64_t txn_id, durability_->BeginTxn());
+  tls_txn_depth++;
+  return txn_id;
+}
+
+Status Database::LogTxnHint(uint64_t txn_id,
+                            const std::string& compensation_sql) {
+  return durability_->LogHint(txn_id, compensation_sql);
+}
+
+Status Database::EndDurableTxn(uint64_t txn_id) {
+  tls_txn_depth--;
+  return durability_->EndTxn(txn_id);
+}
+
+Status Database::CommitDmlGroup(const PageMutationCapture& capture,
+                                TableInfo* table) {
+  if (durability_ == nullptr || capture.empty()) return Status::OK();
+  std::vector<WalTableMeta> meta;
+  WalTableMeta tm;
+  tm.table_id = table->id;
+  tm.first_page = table->heap->first_page();
+  for (const auto& idx : table->indexes) {
+    tm.index_roots.emplace_back(idx->id, idx->tree->root());
+  }
+  meta.push_back(std::move(tm));
+  return durability_->CommitGroup(capture, std::move(meta), nullptr);
+}
+
+Status Database::CommitDdlGroup(const PageMutationCapture& capture,
+                                bool snapshot) {
+  if (durability_ == nullptr || (capture.empty() && !snapshot)) {
+    return Status::OK();
+  }
+  std::string blob;
+  const std::string* blob_ptr = nullptr;
+  if (snapshot) {
+    blob = catalog_->Snapshot();
+    blob_ptr = &blob;
+  }
+  return durability_->CommitGroup(capture, {}, blob_ptr);
 }
 
 Session Database::OpenSession() { return Session(this); }
@@ -287,6 +441,13 @@ Result<QueryResult> Database::RunSelect(const sql::SelectStmt& stmt,
 
 Result<int64_t> Database::RunMutation(const sql::Statement& stmt,
                                       const std::vector<Value>& params) {
+  Result<int64_t> result = RunMutationInner(stmt, params);
+  MaybeAutoCheckpoint();
+  return result;
+}
+
+Result<int64_t> Database::RunMutationInner(const sql::Statement& stmt,
+                                           const std::vector<Value>& params) {
   ExecContext ctx;
   ctx.params = params;
   switch (stmt.kind) {
@@ -309,14 +470,32 @@ Result<int64_t> Database::RunMutation(const sql::Statement& stmt,
       // under the latch already held here.
       LatchSet latches;
       latches.LockTable(table, /*exclusive=*/true);
-      switch (stmt.kind) {
-        case sql::StatementKind::kInsert:
-          return ExecuteInsert(*stmt.insert, ctx);
-        case sql::StatementKind::kUpdate:
-          return ExecuteUpdate(*stmt.update, ctx);
-        default:
-          return ExecuteDelete(*stmt.del, ctx);
+      auto dispatch = [&]() -> Result<int64_t> {
+        switch (stmt.kind) {
+          case sql::StatementKind::kInsert:
+            return ExecuteInsert(*stmt.insert, ctx);
+          case sql::StatementKind::kUpdate:
+            return ExecuteUpdate(*stmt.update, ctx);
+          default:
+            return ExecuteDelete(*stmt.del, ctx);
+        }
+      };
+      if (durability_ == nullptr) return dispatch();
+      if (durability_->frozen()) {
+        return Status::Unavailable("durability frozen after crash");
       }
+      // Capture the statement's page mutations and commit them as one
+      // redo group while the exclusive table latches are still held —
+      // a failed-and-compensated statement logs its (restored) pages
+      // too, so the WAL always reproduces exactly what memory holds.
+      PageMutationCapture capture;
+      Result<int64_t> result = [&]() -> Result<int64_t> {
+        PageCaptureScope scope(&capture);
+        return dispatch();
+      }();
+      Status logged = CommitDmlGroup(capture, table);
+      if (!logged.ok() && result.ok()) return logged;
+      return result;
     }
     case sql::StatementKind::kCreateTable: {
       std::unique_lock<std::shared_mutex> ddl(ddl_mu_);
@@ -324,31 +503,50 @@ Result<int64_t> Database::RunMutation(const sql::Statement& stmt,
       for (const sql::ColumnDef& def : stmt.create_table->columns) {
         schema.AddColumn(Column{def.name, def.type, def.not_null});
       }
-      MTDB_ASSIGN_OR_RETURN(
-          TableInfo * info,
-          catalog_->CreateTable(stmt.create_table->table, std::move(schema)));
-      (void)info;
+      PageMutationCapture capture;
+      Result<TableInfo*> created = [&]() -> Result<TableInfo*> {
+        PageCaptureScope scope(&capture);
+        return catalog_->CreateTable(stmt.create_table->table,
+                                     std::move(schema));
+      }();
+      MTDB_RETURN_IF_ERROR(CommitDdlGroup(capture, created.ok()));
+      if (!created.ok()) return created.status();
       return 0;
     }
     case sql::StatementKind::kCreateIndex: {
       std::unique_lock<std::shared_mutex> ddl(ddl_mu_);
-      MTDB_ASSIGN_OR_RETURN(
-          IndexInfo * info,
-          catalog_->CreateIndex(stmt.create_index->table,
-                                stmt.create_index->index,
-                                stmt.create_index->columns,
-                                stmt.create_index->unique));
-      (void)info;
+      PageMutationCapture capture;
+      Result<IndexInfo*> created = [&]() -> Result<IndexInfo*> {
+        PageCaptureScope scope(&capture);
+        return catalog_->CreateIndex(stmt.create_index->table,
+                                     stmt.create_index->index,
+                                     stmt.create_index->columns,
+                                     stmt.create_index->unique);
+      }();
+      MTDB_RETURN_IF_ERROR(CommitDdlGroup(capture, created.ok()));
+      if (!created.ok()) return created.status();
       return 0;
     }
     case sql::StatementKind::kDropTable: {
       std::unique_lock<std::shared_mutex> ddl(ddl_mu_);
-      MTDB_RETURN_IF_ERROR(catalog_->DropTable(stmt.drop_table->table));
+      PageMutationCapture capture;
+      Status dropped = [&]() -> Status {
+        PageCaptureScope scope(&capture);
+        return catalog_->DropTable(stmt.drop_table->table);
+      }();
+      MTDB_RETURN_IF_ERROR(CommitDdlGroup(capture, dropped.ok()));
+      MTDB_RETURN_IF_ERROR(dropped);
       return 0;
     }
     case sql::StatementKind::kDropIndex: {
       std::unique_lock<std::shared_mutex> ddl(ddl_mu_);
-      MTDB_RETURN_IF_ERROR(catalog_->DropIndex(stmt.drop_index->index));
+      PageMutationCapture capture;
+      Status dropped = [&]() -> Status {
+        PageCaptureScope scope(&capture);
+        return catalog_->DropIndex(stmt.drop_index->index);
+      }();
+      MTDB_RETURN_IF_ERROR(CommitDdlGroup(capture, dropped.ok()));
+      MTDB_RETURN_IF_ERROR(dropped);
       return 0;
     }
     case sql::StatementKind::kSelect:
@@ -700,36 +898,80 @@ Result<int64_t> Database::ExecuteDelete(const sql::DeleteStmt& stmt,
 
 // --- direct helpers ----------------------------------------------------
 
+// The direct helpers below mirror RunMutation's shape: an inner scope
+// holds the latches and commits the WAL group, then MaybeAutoCheckpoint
+// runs with everything released (Checkpoint takes the txn gate and
+// ddl_mu_ exclusively, so it must never nest inside either).
+
 Status Database::CreateTable(const std::string& name, Schema schema) {
-  std::unique_lock<std::shared_mutex> ddl(ddl_mu_);
-  MTDB_ASSIGN_OR_RETURN(TableInfo * info,
-                        catalog_->CreateTable(name, std::move(schema)));
-  (void)info;
-  return Status::OK();
+  Status st = [&]() -> Status {
+    std::unique_lock<std::shared_mutex> ddl(ddl_mu_);
+    PageMutationCapture capture;
+    Result<TableInfo*> created = [&]() -> Result<TableInfo*> {
+      PageCaptureScope scope(&capture);
+      return catalog_->CreateTable(name, std::move(schema));
+    }();
+    MTDB_RETURN_IF_ERROR(CommitDdlGroup(capture, created.ok()));
+    return created.ok() ? Status::OK() : created.status();
+  }();
+  MaybeAutoCheckpoint();
+  return st;
 }
 
 Status Database::DropTable(const std::string& name) {
-  std::unique_lock<std::shared_mutex> ddl(ddl_mu_);
-  return catalog_->DropTable(name);
+  Status st = [&]() -> Status {
+    std::unique_lock<std::shared_mutex> ddl(ddl_mu_);
+    PageMutationCapture capture;
+    Status dropped = [&]() -> Status {
+      PageCaptureScope scope(&capture);
+      return catalog_->DropTable(name);
+    }();
+    MTDB_RETURN_IF_ERROR(CommitDdlGroup(capture, dropped.ok()));
+    return dropped;
+  }();
+  MaybeAutoCheckpoint();
+  return st;
 }
 
 Status Database::CreateIndex(const std::string& table, const std::string& index,
                              const std::vector<std::string>& columns,
                              bool unique) {
-  std::unique_lock<std::shared_mutex> ddl(ddl_mu_);
-  MTDB_ASSIGN_OR_RETURN(IndexInfo * info,
-                        catalog_->CreateIndex(table, index, columns, unique));
-  (void)info;
-  return Status::OK();
+  Status st = [&]() -> Status {
+    std::unique_lock<std::shared_mutex> ddl(ddl_mu_);
+    PageMutationCapture capture;
+    Result<IndexInfo*> created = [&]() -> Result<IndexInfo*> {
+      PageCaptureScope scope(&capture);
+      return catalog_->CreateIndex(table, index, columns, unique);
+    }();
+    MTDB_RETURN_IF_ERROR(CommitDdlGroup(capture, created.ok()));
+    return created.ok() ? Status::OK() : created.status();
+  }();
+  MaybeAutoCheckpoint();
+  return st;
 }
 
 Status Database::InsertRow(const std::string& table, const Row& row) {
-  std::shared_lock<std::shared_mutex> ddl(ddl_mu_);
-  TableInfo* info = catalog_->GetTable(table);
-  if (info == nullptr) return Status::NotFound("no such table: " + table);
-  LatchSet latches;
-  latches.LockTable(info, /*exclusive=*/true);
-  return InsertRowLatched(info, row);
+  Status st = [&]() -> Status {
+    std::shared_lock<std::shared_mutex> ddl(ddl_mu_);
+    TableInfo* info = catalog_->GetTable(table);
+    if (info == nullptr) return Status::NotFound("no such table: " + table);
+    LatchSet latches;
+    latches.LockTable(info, /*exclusive=*/true);
+    if (durability_ == nullptr) return InsertRowLatched(info, row);
+    if (durability_->frozen()) {
+      return Status::Unavailable("durability frozen after crash");
+    }
+    PageMutationCapture capture;
+    Status inserted = [&]() -> Status {
+      PageCaptureScope scope(&capture);
+      return InsertRowLatched(info, row);
+    }();
+    Status logged = CommitDmlGroup(capture, info);
+    if (!logged.ok() && inserted.ok()) return logged;
+    return inserted;
+  }();
+  MaybeAutoCheckpoint();
+  return st;
 }
 
 // --- observability -----------------------------------------------------
@@ -743,6 +985,7 @@ EngineStats Database::Stats() const {
   out.buffer_capacity = pool_->capacity();
   out.tables = catalog_->table_count();
   out.indexes = catalog_->index_count();
+  if (durability_ != nullptr) out.durability = durability_->counters().Snapshot();
   return out;
 }
 

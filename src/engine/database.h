@@ -13,6 +13,7 @@
 #include "engine/planner.h"
 #include "sql/ast.h"
 #include "storage/buffer_pool.h"
+#include "storage/durability.h"
 #include "storage/page_store.h"
 
 namespace mtdb {
@@ -29,6 +30,14 @@ struct EngineOptions {
   PlannerMode planner_mode = PlannerMode::kAdvanced;
   /// Simulated device latency per physical page read (cold-cache shape).
   uint64_t read_latency_ns = 0;
+  /// Directory for the WAL + checkpoint files. Empty (the default) runs
+  /// the engine purely in memory with zero durability overhead; set it
+  /// via Database::Open(path) rather than by hand.
+  std::string durable_path;
+  uint64_t wal_segment_bytes = 4ull * 1024 * 1024;
+  /// WAL bytes between automatic checkpoints (durable mode); 0 disables
+  /// auto checkpointing — explicit Checkpoint() calls still work.
+  uint64_t checkpoint_interval_bytes = 8ull * 1024 * 1024;
 };
 
 /// Result of a SELECT: column names plus materialized rows.
@@ -59,6 +68,8 @@ struct EngineStats {
   size_t buffer_capacity = 0;
   size_t tables = 0;
   size_t indexes = 0;
+  /// All-zero when the engine is not durable.
+  DurabilityCountersSnapshot durability;
 };
 
 /// An embedded multi-threaded relational database: the System Under
@@ -84,6 +95,30 @@ class Database {
 
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
+
+  /// Opens (or creates) a durable database rooted at `path`: loads the
+  /// last checkpoint, replays the WAL (truncating a torn tail), undoes
+  /// logical statements left open by a crash, and checkpoints. The
+  /// returned engine logs every mutation; plain `Database()` construction
+  /// stays purely in-memory.
+  static Result<std::unique_ptr<Database>> Open(
+      const std::string& path, EngineOptions options = EngineOptions());
+
+  bool durable() const { return durability_ != nullptr; }
+  Durability* durability() { return durability_.get(); }
+
+  /// Quiesces all statements and writes a checkpoint: dirty pages into
+  /// the page file, catalog snapshot into meta, WAL truncated. Also runs
+  /// automatically by WAL volume (EngineOptions::checkpoint_interval_bytes).
+  Status Checkpoint();
+
+  /// Logical-transaction bracket used by the mapping layer for logical
+  /// statements spanning several physical statements; see
+  /// StatementUndoLog. Begin/End maintain a per-thread depth so automatic
+  /// checkpoints never self-deadlock on the txn gate.
+  Result<uint64_t> BeginDurableTxn();
+  Status LogTxnHint(uint64_t txn_id, const std::string& compensation_sql);
+  Status EndDurableTxn(uint64_t txn_id);
 
   // --- SQL front door -----------------------------------------------
 
@@ -155,6 +190,21 @@ class Database {
                                 const std::vector<Value>& params);
   Result<int64_t> RunMutation(const sql::Statement& stmt,
                               const std::vector<Value>& params);
+  Result<int64_t> RunMutationInner(const sql::Statement& stmt,
+                                   const std::vector<Value>& params);
+
+  /// Durable-mode plumbing. CommitDmlGroup appends the statement's redo
+  /// group (with `table`'s physical anchors) while its latches are still
+  /// held; it runs for failed-and-compensated statements too, so the log
+  /// always matches memory. CommitDdlGroup adds the full catalog snapshot.
+  Status CommitDmlGroup(const PageMutationCapture& capture, TableInfo* table);
+  Status CommitDdlGroup(const PageMutationCapture& capture, bool snapshot);
+  void MaybeAutoCheckpoint();
+  Status Recover();
+  /// Executes one recovery-undo compensation; INSERT compensations probe
+  /// for the row first (the hint precedes its forward statement in the
+  /// log, so the delete being compensated may never have run).
+  Status ApplyRecoveryHint(const std::string& sql_text);
 
   Result<int64_t> ExecuteInsert(const sql::InsertStmt& stmt,
                                 const ExecContext& ctx);
@@ -190,6 +240,7 @@ class Database {
   std::unique_ptr<PageStore> store_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<Catalog> catalog_;
+  std::unique_ptr<Durability> durability_;
   /// Level-1 latch: statements hold it shared for their whole duration,
   /// DDL holds it exclusive — so a TableInfo* resolved at statement
   /// start cannot be dropped mid-statement.

@@ -193,6 +193,30 @@ BTree::BTree(BufferPool* pool, PageId root) : pool_(pool), root_(root) {
   all_pages_.push_back(root);
 }
 
+Status BTree::RebuildFromRoot() {
+  all_pages_.clear();
+  entries_ = 0;
+  std::vector<PageId> frontier{root_};
+  while (!frontier.empty()) {
+    PageId pid = frontier.back();
+    frontier.pop_back();
+    all_pages_.push_back(pid);
+    MTDB_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(pid));
+    NodeView node(page);
+    if (node.is_leaf()) {
+      entries_ += node.count();
+    } else {
+      // Children: leftmost via link(), then one per separator value.
+      frontier.push_back(node.link());
+      for (int i = 0; i < node.count(); ++i) {
+        frontier.push_back(static_cast<PageId>(node.Val(i)));
+      }
+    }
+    pool_->UnpinPage(pid, false);
+  }
+  return Status::OK();
+}
+
 Result<PageId> BTree::FindLeaf(std::string_view key,
                                std::vector<std::pair<PageId, int>>* path) {
   PageId current = root_;

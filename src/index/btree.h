@@ -69,6 +69,10 @@ class BTree {
   /// Releases every page of the tree back to the store.
   void Free();
 
+  /// Recovery: after attaching to an existing root, walks the whole tree
+  /// to repopulate the page list and the entry count.
+  Status RebuildFromRoot();
+
   /// Tree height (1 = root is a leaf). Walks the leftmost path.
   Result<int> Height();
 

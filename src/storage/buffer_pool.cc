@@ -20,7 +20,21 @@ bool IsTransientWrite(const Status& st) {
 void Backoff(uint64_t ns) {
   if (ns > 0) std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
 }
+
+// The capture installed on this thread, if any. A plain thread_local
+// pointer: the hooks below cost one load when no durability layer is
+// attached (the pointer stays null).
+thread_local PageMutationCapture* tls_capture = nullptr;
 }  // namespace
+
+PageCaptureScope::PageCaptureScope(PageMutationCapture* capture)
+    : previous_(tls_capture) {
+  tls_capture = capture;
+}
+
+PageCaptureScope::~PageCaptureScope() { tls_capture = previous_; }
+
+PageMutationCapture* PageCaptureScope::Current() { return tls_capture; }
 
 Status BufferPool::ReadWithRetry(PageId id, char* out) {
   uint64_t backoff = retry_policy_.initial_backoff_ns;
@@ -127,6 +141,11 @@ Result<Page*> BufferPool::FetchPage(PageId id) {
 
 Page* BufferPool::NewPage(PageType type) {
   PageId id = store_->Allocate(type);
+  if (PageMutationCapture* cap = tls_capture) {
+    cap->ops.push_back(
+        {PageMutationCapture::Op::Kind::kAlloc, id, type});
+    cap->dirtied.push_back(id);
+  }
   Shard& shard = shards_[ShardOf(id)];
   std::lock_guard<std::mutex> lock(shard.mu);
   auto frame = std::make_unique<Frame>(store_->page_size());
@@ -149,13 +168,20 @@ void BufferPool::UnpinPage(PageId id, bool dirty) {
   Frame* frame = it->second.get();
   assert(frame->pin_count > 0);
   frame->pin_count--;
-  if (dirty) frame->dirty = true;
+  if (dirty) {
+    frame->dirty = true;
+    if (PageMutationCapture* cap = tls_capture) cap->dirtied.push_back(id);
+  }
   if (frame->pin_count == 0 && shard.frames.size() > shard.capacity) {
     EvictIfNeeded(shard);
   }
 }
 
 void BufferPool::DeletePage(PageId id) {
+  if (PageMutationCapture* cap = tls_capture) {
+    cap->ops.push_back(
+        {PageMutationCapture::Op::Kind::kDealloc, id, PageType::kFree});
+  }
   Shard& shard = shards_[ShardOf(id)];
   {
     std::lock_guard<std::mutex> lock(shard.mu);

@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
@@ -59,6 +60,43 @@ struct BufferPoolStats {
 /// so concurrent sessions touching different pages contend only on
 /// different shard latches.
 inline constexpr size_t kBufferPoolShards = 8;
+
+/// Per-statement record of page mutations, filled by the pool's capture
+/// hooks while a PageCaptureScope is installed on the executing thread.
+/// `ops` keeps allocs and deallocs in statement order so WAL replay
+/// reproduces the store's free list exactly; `dirtied` collects the ids
+/// whose after-images the commit-time group append must log.
+struct PageMutationCapture {
+  struct Op {
+    enum class Kind : uint8_t { kAlloc, kDealloc };
+    Kind kind;
+    PageId page;
+    PageType type;  // allocs only
+  };
+  std::vector<Op> ops;
+  std::vector<PageId> dirtied;  // may contain duplicates; dedup at commit
+
+  bool empty() const { return ops.empty() && dirtied.empty(); }
+};
+
+/// Installs a capture on the current thread for the lifetime of the
+/// scope. Only NewPage / UnpinPage(dirty) / DeletePage on this thread
+/// are recorded; eviction write-backs are cache movement, not logical
+/// mutation, and are deliberately not captured.
+class PageCaptureScope {
+ public:
+  explicit PageCaptureScope(PageMutationCapture* capture);
+  ~PageCaptureScope();
+
+  PageCaptureScope(const PageCaptureScope&) = delete;
+  PageCaptureScope& operator=(const PageCaptureScope&) = delete;
+
+  /// The capture installed on the calling thread, or nullptr.
+  static PageMutationCapture* Current();
+
+ private:
+  PageMutationCapture* previous_;
+};
 
 /// LRU buffer pool over a PageStore, sharded into kBufferPoolShards
 /// latch-striped partitions. Each shard owns its own frame table, LRU

@@ -1,0 +1,541 @@
+#include "storage/durability.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace mtdb {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr uint32_t kMetaMagic = 0x4D4D4554u;  // "MMET"
+constexpr uint32_t kMetaVersion = 1;
+constexpr uint64_t kFnvOffset = 14695981039346656037ull;
+
+void PutU32(std::string* out, uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  out->append(b, 4);
+}
+void PutU64(std::string* out, uint64_t v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  out->append(b, 8);
+}
+void PutI32(std::string* out, int32_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+}
+
+/// Bounds-checked sequential decoder over the meta image.
+class Cursor {
+ public:
+  Cursor(const char* data, size_t len) : data_(data), len_(len) {}
+
+  bool U8(uint8_t* v) { return Raw(v, 1); }
+  bool U32(uint32_t* v) { return Raw(v, 4); }
+  bool U64(uint64_t* v) { return Raw(v, 8); }
+  bool I32(int32_t* v) { return Raw(v, 4); }
+  bool Bytes(std::string* out, size_t n) {
+    if (len_ - pos_ < n) return false;
+    out->assign(data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  size_t pos() const { return pos_; }
+  bool AtEnd() const { return pos_ == len_; }
+
+ private:
+  bool Raw(void* v, size_t n) {
+    if (len_ - pos_ < n) return false;
+    std::memcpy(v, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  const char* data_;
+  size_t len_;
+  size_t pos_ = 0;
+};
+
+Status StatusFromErrno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Durability::Durability(std::string dir, DurabilityOptions options,
+                       PageStore* store, BufferPool* pool)
+    : dir_(std::move(dir)), options_(options), store_(store), pool_(pool) {}
+
+Durability::~Durability() = default;
+
+Status Durability::MaybeCrash() {
+  if (frozen()) return Status::Unavailable("durability frozen after crash");
+  FaultInjector* injector = store_->fault_injector();
+  if (injector != nullptr && injector->ShouldFire(FaultPoint::kCrash)) {
+    counters_.OnInjectedCrash();
+    Freeze();
+    return Status::Unavailable("injected crash");
+  }
+  return Status::OK();
+}
+
+Status Durability::AppendLocked(WalRecordType type, const std::string& payload) {
+  MTDB_RETURN_IF_ERROR(MaybeCrash());  // crash site: append-begin
+  uint64_t lsn = next_lsn_++;
+  FaultInjector* injector = store_->fault_injector();
+  if (injector != nullptr && injector->ShouldFire(FaultPoint::kCrash)) {
+    // Crash site: mid-append. Leave a genuine torn tail on disk so
+    // recovery exercises checksum-based truncation, then freeze.
+    counters_.OnInjectedCrash();
+    Freeze();
+    (void)writer_->AppendTorn(lsn, type, payload);
+    return Status::Unavailable("injected crash mid-append");
+  }
+  Status st = writer_->Append(lsn, type, payload);
+  if (!st.ok()) {
+    // The record may or may not have landed; the statement's in-memory
+    // effects are already applied. Freeze so no later statement can
+    // commit on top of the ambiguity — recovery resolves it from disk.
+    Freeze();
+    return st;
+  }
+  uint64_t frame_bytes = kWalFrameHeaderSize + payload.size();
+  counters_.OnWalAppend(frame_bytes);
+  bytes_since_ckpt_.fetch_add(frame_bytes, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status Durability::CommitGroup(const PageMutationCapture& capture,
+                               std::vector<WalTableMeta> table_meta,
+                               const std::string* catalog_blob) {
+  if (capture.empty() && catalog_blob == nullptr) return Status::OK();
+  WalGroup group;
+  group.ops.reserve(capture.ops.size());
+  for (const PageMutationCapture::Op& op : capture.ops) {
+    WalPageOp out;
+    out.kind = op.kind == PageMutationCapture::Op::Kind::kAlloc
+                   ? WalPageOp::Kind::kAlloc
+                   : WalPageOp::Kind::kDealloc;
+    out.page = op.page;
+    out.type = op.type;
+    group.ops.push_back(out);
+  }
+  std::vector<PageId> ids = capture.dirtied;
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  for (PageId id : ids) {
+    // A page allocated and freed within the statement has no after-image;
+    // its alloc/dealloc ops still replay so the free list stays exact.
+    if (!store_->IsAllocated(id)) continue;
+    Result<Page*> page = pool_->FetchPage(id);
+    if (!page.ok()) {
+      // The statement already mutated this page in memory; failing to log
+      // it would let an acknowledged statement vanish on recovery.
+      Freeze();
+      return page.status();
+    }
+    WalPageImage img;
+    img.page = id;
+    img.type = store_->TypeOf(id);
+    img.image.assign((*page)->data(), store_->page_size());
+    pool_->UnpinPage(id, /*dirty=*/false);
+    group.images.push_back(std::move(img));
+  }
+  group.table_meta = std::move(table_meta);
+  if (catalog_blob != nullptr) {
+    group.has_catalog_blob = true;
+    group.catalog_blob = *catalog_blob;
+  }
+  std::string payload = EncodeWalGroup(group);
+  std::lock_guard<std::mutex> lock(mu_);
+  MTDB_RETURN_IF_ERROR(AppendLocked(WalRecordType::kGroup, payload));
+  counters_.OnGroupCommit();
+  return Status::OK();
+}
+
+Result<uint64_t> Durability::BeginTxn() {
+  txn_gate_.lock_shared();
+  uint64_t txn_id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
+  WalTxnRecord rec;
+  rec.txn_id = txn_id;
+  std::string payload = EncodeWalTxn(rec);
+  std::lock_guard<std::mutex> lock(mu_);
+  Status st = AppendLocked(WalRecordType::kTxnBegin, payload);
+  if (!st.ok()) {
+    txn_gate_.unlock_shared();
+    return st;
+  }
+  counters_.OnTxnBegin();
+  return txn_id;
+}
+
+Status Durability::LogHint(uint64_t txn_id, const std::string& compensation_sql) {
+  WalTxnRecord rec;
+  rec.txn_id = txn_id;
+  rec.sql = compensation_sql;
+  std::string payload = EncodeWalTxn(rec);
+  std::lock_guard<std::mutex> lock(mu_);
+  return AppendLocked(WalRecordType::kTxnHint, payload);
+}
+
+Status Durability::EndTxn(uint64_t txn_id) {
+  WalTxnRecord rec;
+  rec.txn_id = txn_id;
+  std::string payload = EncodeWalTxn(rec);
+  Status st;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    st = AppendLocked(WalRecordType::kTxnEnd, payload);
+  }
+  if (st.ok()) counters_.OnTxnEnd();
+  // The gate is released even when the end record could not be appended
+  // (frozen): recovery treats the txn as open and undoes it.
+  txn_gate_.unlock_shared();
+  return st;
+}
+
+bool Durability::NeedsCheckpoint() const {
+  return options_.checkpoint_interval_bytes > 0 && !frozen() &&
+         bytes_since_ckpt_.load(std::memory_order_relaxed) >=
+             options_.checkpoint_interval_bytes;
+}
+
+Status Durability::StoreMeta(const CheckpointMeta& meta) {
+  std::string buf;
+  PutU32(&buf, kMetaMagic);
+  PutU32(&buf, kMetaVersion);
+  PutU32(&buf, store_->page_size());
+  PutU64(&buf, meta.ckpt_lsn);
+  PutU64(&buf, meta.next_txn_id);
+  PutU64(&buf, meta.pages.size());
+  for (const auto& [type, sum] : meta.pages) {
+    buf.push_back(static_cast<char>(type));
+    PutU64(&buf, sum);
+  }
+  PutU64(&buf, meta.free_list.size());
+  for (PageId id : meta.free_list) PutI32(&buf, id);
+  PutU64(&buf, meta.catalog_blob.size());
+  buf.append(meta.catalog_blob);
+  PutU64(&buf, WalChecksum(buf.data(), buf.size(), kFnvOffset));
+
+  std::FILE* f = std::fopen(MetaTmpPath().c_str(), "wb");
+  if (f == nullptr) return StatusFromErrno("open " + MetaTmpPath());
+  if (std::fwrite(buf.data(), 1, buf.size(), f) != buf.size()) {
+    std::fclose(f);
+    return StatusFromErrno("write " + MetaTmpPath());
+  }
+  if (std::fflush(f) != 0) {
+    std::fclose(f);
+    return StatusFromErrno("flush " + MetaTmpPath());
+  }
+  std::fclose(f);
+
+  // Crash site: meta written but not yet installed — recovery still sees
+  // the previous checkpoint and repairs pages.db from the WAL.
+  MTDB_RETURN_IF_ERROR(MaybeCrash());
+  std::error_code ec;
+  fs::rename(MetaTmpPath(), MetaPath(), ec);
+  if (ec) {
+    return Status::IOError("rename " + MetaTmpPath() + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+Status Durability::LoadMeta(CheckpointMeta* meta, bool* found) {
+  *found = false;
+  std::FILE* f = std::fopen(MetaPath().c_str(), "rb");
+  if (f == nullptr) return Status::OK();  // fresh database
+  std::string buf;
+  char chunk[1 << 16];
+  size_t got;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    buf.append(chunk, got);
+  }
+  bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) return StatusFromErrno("read " + MetaPath());
+  if (buf.size() < 8) return Status::DataLoss("checkpoint meta truncated");
+  uint64_t stored_sum;
+  std::memcpy(&stored_sum, buf.data() + buf.size() - 8, 8);
+  if (WalChecksum(buf.data(), buf.size() - 8, kFnvOffset) != stored_sum) {
+    return Status::DataLoss("checkpoint meta checksum mismatch");
+  }
+  Cursor cur(buf.data(), buf.size() - 8);
+  uint32_t magic = 0, version = 0, page_size = 0;
+  uint64_t page_count = 0;
+  if (!cur.U32(&magic) || magic != kMetaMagic || !cur.U32(&version) ||
+      version != kMetaVersion || !cur.U32(&page_size) ||
+      page_size != store_->page_size() || !cur.U64(&meta->ckpt_lsn) ||
+      !cur.U64(&meta->next_txn_id) || !cur.U64(&page_count)) {
+    return Status::DataLoss("checkpoint meta header malformed");
+  }
+  meta->pages.clear();
+  meta->pages.reserve(page_count);
+  for (uint64_t i = 0; i < page_count; i++) {
+    uint8_t type = 0;
+    uint64_t sum = 0;
+    if (!cur.U8(&type) || !cur.U64(&sum) ||
+        type > static_cast<uint8_t>(PageType::kIndex)) {
+      return Status::DataLoss("checkpoint meta page table malformed");
+    }
+    meta->pages.emplace_back(static_cast<PageType>(type), sum);
+  }
+  uint64_t free_count = 0;
+  if (!cur.U64(&free_count)) {
+    return Status::DataLoss("checkpoint meta free list malformed");
+  }
+  meta->free_list.clear();
+  meta->free_list.reserve(free_count);
+  for (uint64_t i = 0; i < free_count; i++) {
+    int32_t id = 0;
+    if (!cur.I32(&id)) {
+      return Status::DataLoss("checkpoint meta free list malformed");
+    }
+    meta->free_list.push_back(id);
+  }
+  uint64_t blob_len = 0;
+  if (!cur.U64(&blob_len) || !cur.Bytes(&meta->catalog_blob, blob_len) ||
+      !cur.AtEnd()) {
+    return Status::DataLoss("checkpoint meta catalog blob malformed");
+  }
+  *found = true;
+  return Status::OK();
+}
+
+Status Durability::WriteCheckpoint(const std::string& catalog_blob) {
+  MTDB_RETURN_IF_ERROR(MaybeCrash());  // crash site: checkpoint-begin
+  MTDB_RETURN_IF_ERROR(pool_->FlushAll());
+  std::vector<PageId> dirty = store_->DirtySinceCheckpoint();
+
+  std::FILE* f = std::fopen(PagesPath().c_str(), "r+b");
+  if (f == nullptr) f = std::fopen(PagesPath().c_str(), "w+b");
+  if (f == nullptr) return StatusFromErrno("open " + PagesPath());
+  const uint64_t page_size = store_->page_size();
+  std::vector<char> image;
+  for (PageId id : dirty) {
+    PageType type;
+    Status raw = store_->RawRead(id, &type, &image, nullptr);
+    if (raw.code() == StatusCode::kNotFound) continue;  // freed since last
+    if (!raw.ok()) {
+      std::fclose(f);
+      return raw;
+    }
+    // Crash site: mid-flush. pages.db now mixes old and new images under
+    // the old meta; replay repairs every page changed since that meta.
+    Status crash = MaybeCrash();
+    if (!crash.ok()) {
+      std::fclose(f);
+      return crash;
+    }
+    if (std::fseek(f, static_cast<long>(static_cast<uint64_t>(id) * page_size),
+                   SEEK_SET) != 0 ||
+        std::fwrite(image.data(), 1, page_size, f) != page_size) {
+      std::fclose(f);
+      return StatusFromErrno("write " + PagesPath());
+    }
+  }
+  if (std::fflush(f) != 0) {
+    std::fclose(f);
+    return StatusFromErrno("flush " + PagesPath());
+  }
+  std::fclose(f);
+
+  CheckpointMeta meta;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    meta.ckpt_lsn = next_lsn_ - 1;
+  }
+  meta.next_txn_id = next_txn_id_.load(std::memory_order_relaxed);
+  size_t slots = store_->page_slots();
+  meta.pages.reserve(slots);
+  for (size_t i = 0; i < slots; i++) {
+    PageType type;
+    uint64_t sum = 0;
+    Status raw =
+        store_->RawRead(static_cast<PageId>(i), &type, nullptr, &sum);
+    if (raw.code() == StatusCode::kNotFound) {
+      meta.pages.emplace_back(PageType::kFree, 0);
+    } else if (!raw.ok()) {
+      return raw;
+    } else {
+      meta.pages.emplace_back(type, sum);
+    }
+  }
+  meta.free_list = store_->FreeListSnapshot();
+  meta.catalog_blob = catalog_blob;
+  MTDB_RETURN_IF_ERROR(StoreMeta(meta));
+
+  // Crash site: meta installed, WAL not yet truncated. Replay skips every
+  // record at or below ckpt_lsn, so the stale log is harmless.
+  MTDB_RETURN_IF_ERROR(MaybeCrash());
+  MTDB_RETURN_IF_ERROR(writer_->Truncate());
+  bytes_since_ckpt_.store(0, std::memory_order_relaxed);
+  store_->ClearDirty(dirty);
+  counters_.OnCheckpoint();
+  return Status::OK();
+}
+
+Result<RecoveredState> Durability::Recover() {
+  counters_.OnRecovery();
+  std::error_code ec;
+  fs::create_directories(WalDir(), ec);
+  if (ec) {
+    return Status::IOError("create " + WalDir() + ": " + ec.message());
+  }
+  fs::remove(MetaTmpPath(), ec);  // leftover of a crashed checkpoint
+
+  CheckpointMeta meta;
+  bool found = false;
+  MTDB_RETURN_IF_ERROR(LoadMeta(&meta, &found));
+
+  store_->RecoverReset();
+  // Checksums of the images as loaded from pages.db, for the post-replay
+  // verification of pages the log did not touch.
+  std::vector<uint64_t> loaded_sums(meta.pages.size(), 0);
+  if (found && !meta.pages.empty()) {
+    std::FILE* f = std::fopen(PagesPath().c_str(), "rb");
+    if (f == nullptr) return StatusFromErrno("open " + PagesPath());
+    const uint64_t page_size = store_->page_size();
+    std::vector<char> image(page_size);
+    for (size_t i = 0; i < meta.pages.size(); i++) {
+      if (meta.pages[i].first == PageType::kFree) continue;
+      if (std::fseek(f, static_cast<long>(i * page_size), SEEK_SET) != 0 ||
+          std::fread(image.data(), 1, page_size, f) != page_size) {
+        std::fclose(f);
+        return Status::DataLoss("pages.db truncated at page " +
+                                std::to_string(i));
+      }
+      loaded_sums[i] = PageStore::Checksum(image.data(), page_size);
+      Status st = store_->RecoverInstall(static_cast<PageId>(i),
+                                         meta.pages[i].first, image.data());
+      if (!st.ok()) {
+        std::fclose(f);
+        return st;
+      }
+    }
+    std::fclose(f);
+  }
+  store_->RecoverSetFreeList(meta.free_list);
+
+  WalReader reader(WalDir());
+  MTDB_ASSIGN_OR_RETURN(WalReader::ScanResult scan, reader.ReadAll());
+  for (uint64_t i = 0; i < scan.truncated_tails; i++) {
+    counters_.OnTruncatedTail();
+  }
+
+  RecoveredState state;
+  state.found_checkpoint = found;
+  state.catalog_blob = meta.catalog_blob;
+  std::map<int32_t, WalTableMeta> overrides;
+  std::map<uint64_t, std::vector<RecoveredTxnHint>> open_txns;
+  std::unordered_set<PageId> touched;
+  uint64_t max_lsn = meta.ckpt_lsn;
+  uint64_t max_txn = 0;
+  for (const WalRecord& rec : scan.records) {
+    max_lsn = std::max(max_lsn, rec.lsn);
+    switch (rec.type) {
+      case WalRecordType::kGroup: {
+        if (rec.lsn <= meta.ckpt_lsn) break;  // covered by the checkpoint
+        MTDB_ASSIGN_OR_RETURN(WalGroup group, DecodeWalGroup(rec.payload));
+        for (const WalPageOp& op : group.ops) {
+          if (op.kind == WalPageOp::Kind::kAlloc) {
+            PageId got = store_->Allocate(op.type);
+            if (got != op.page) {
+              return Status::DataLoss(
+                  "replay alloc diverged: log says page " +
+                  std::to_string(op.page) + ", store handed " +
+                  std::to_string(got));
+            }
+          } else {
+            store_->Deallocate(op.page);
+          }
+          touched.insert(op.page);
+        }
+        for (const WalPageImage& img : group.images) {
+          if (img.image.size() != store_->page_size()) {
+            return Status::DataLoss("replay image size mismatch on page " +
+                                    std::to_string(img.page));
+          }
+          MTDB_RETURN_IF_ERROR(store_->RecoverInstall(
+              img.page, img.type, img.image.data(), /*mark_dirty=*/true));
+          touched.insert(img.page);
+        }
+        if (group.has_catalog_blob) {
+          // DDL group: its snapshot supersedes everything recorded so far.
+          state.catalog_blob = std::move(group.catalog_blob);
+          overrides.clear();
+        }
+        for (WalTableMeta& tm : group.table_meta) {
+          overrides[tm.table_id] = std::move(tm);
+        }
+        counters_.OnReplayedGroup();
+        state.replayed_groups++;
+        break;
+      }
+      case WalRecordType::kTxnBegin: {
+        MTDB_ASSIGN_OR_RETURN(WalTxnRecord txn, DecodeWalTxn(rec.payload));
+        max_txn = std::max(max_txn, txn.txn_id);
+        open_txns[txn.txn_id];
+        break;
+      }
+      case WalRecordType::kTxnHint: {
+        MTDB_ASSIGN_OR_RETURN(WalTxnRecord txn, DecodeWalTxn(rec.payload));
+        max_txn = std::max(max_txn, txn.txn_id);
+        open_txns[txn.txn_id].push_back({rec.lsn, txn.txn_id, txn.sql});
+        break;
+      }
+      case WalRecordType::kTxnEnd: {
+        MTDB_ASSIGN_OR_RETURN(WalTxnRecord txn, DecodeWalTxn(rec.payload));
+        max_txn = std::max(max_txn, txn.txn_id);
+        open_txns.erase(txn.txn_id);
+        break;
+      }
+    }
+  }
+
+  // Pages the log never touched must still match the images the
+  // checkpoint intended to store; a mismatch means pages.db corruption
+  // outside the window the WAL can repair.
+  for (size_t i = 0; i < meta.pages.size(); i++) {
+    if (meta.pages[i].first == PageType::kFree) continue;
+    if (touched.count(static_cast<PageId>(i)) != 0) continue;
+    if (loaded_sums[i] != meta.pages[i].second) {
+      return Status::DataLoss("checkpoint image corrupt for page " +
+                              std::to_string(i));
+    }
+  }
+
+  for (auto& [txn_id, hints] : open_txns) {
+    for (RecoveredTxnHint& hint : hints) {
+      state.open_hints.push_back(std::move(hint));
+    }
+  }
+  std::sort(state.open_hints.begin(), state.open_hints.end(),
+            [](const RecoveredTxnHint& a, const RecoveredTxnHint& b) {
+              return a.lsn < b.lsn;
+            });
+  state.table_overrides.reserve(overrides.size());
+  for (auto& [table_id, tm] : overrides) {
+    state.table_overrides.push_back(std::move(tm));
+  }
+  state.next_txn_id = std::max(meta.next_txn_id, max_txn + 1);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    next_lsn_ = max_lsn + 1;
+  }
+  next_txn_id_.store(state.next_txn_id, std::memory_order_relaxed);
+  bytes_since_ckpt_.store(0, std::memory_order_relaxed);
+  writer_ = std::make_unique<WalWriter>(WalDir(), options_.wal_segment_bytes);
+  MTDB_RETURN_IF_ERROR(writer_->Open());
+  return state;
+}
+
+}  // namespace mtdb

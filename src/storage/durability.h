@@ -1,0 +1,153 @@
+#ifndef MTDB_STORAGE_DURABILITY_H_
+#define MTDB_STORAGE_DURABILITY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_store.h"
+#include "storage/wal.h"
+
+namespace mtdb {
+
+struct DurabilityOptions {
+  uint64_t wal_segment_bytes = 4 * 1024 * 1024;
+  /// WAL bytes between automatic checkpoints; 0 disables auto
+  /// checkpointing (explicit Database::Checkpoint() still works).
+  uint64_t checkpoint_interval_bytes = 0;
+};
+
+/// A compensation hint of a logical transaction left open by a crash.
+struct RecoveredTxnHint {
+  uint64_t lsn = 0;
+  uint64_t txn_id = 0;
+  std::string sql;
+};
+
+/// What WAL replay hands back to the engine: the last catalog snapshot,
+/// the physical-location overrides accumulated since it (heap first
+/// pages, index roots), and the open logical transactions to undo.
+struct RecoveredState {
+  bool found_checkpoint = false;
+  std::string catalog_blob;
+  std::vector<WalTableMeta> table_overrides;
+  std::vector<RecoveredTxnHint> open_hints;  // ascending lsn
+  uint64_t next_txn_id = 1;
+  uint64_t replayed_groups = 0;
+};
+
+/// The durability subsystem: a segmented physical WAL plus a page-file
+/// backing store (`pages.db` + `meta`) written by fuzzy checkpoints.
+///
+/// Contract (DESIGN.md §10): every statement that mutated pages commits
+/// exactly one checksummed group frame — after-images plus ordered
+/// alloc/dealloc ops — while its table latches are still held, so
+/// "statement reported success" if and only if "statement survives
+/// recovery". Mapping-layer statements spanning several physical
+/// statements bracket them with txn records whose hints let recovery
+/// undo a half-applied logical statement.
+///
+/// Failure model: freeze-on-crash. An injected kCrash (or a real append
+/// failure) freezes the subsystem; every later durable operation returns
+/// kUnavailable, the caller tears the process down and reopens from
+/// disk. In-memory state after a freeze may be ahead of disk — it is
+/// never written back, so the divergence cannot leak. Files are flushed
+/// with fflush: the model covers process death, not OS/power loss.
+class Durability {
+ public:
+  Durability(std::string dir, DurabilityOptions options, PageStore* store,
+             BufferPool* pool);
+  ~Durability();
+
+  Durability(const Durability&) = delete;
+  Durability& operator=(const Durability&) = delete;
+
+  /// Loads the checkpoint into the store, replays the WAL (truncating a
+  /// torn tail), verifies untouched page images against the checkpoint
+  /// checksums, and opens a fresh log segment for new appends. Must be
+  /// called exactly once, before any other method.
+  Result<RecoveredState> Recover();
+
+  /// Appends the statement's redo group. Called with the statement's
+  /// exclusive table latches still held. An empty capture with no blob
+  /// is a no-op (read-only statement).
+  Status CommitGroup(const PageMutationCapture& capture,
+                     std::vector<WalTableMeta> table_meta,
+                     const std::string* catalog_blob);
+
+  /// Logical transaction bracket for multi-physical-statement logical
+  /// statements. BeginTxn takes the checkpoint gate shared (held until
+  /// EndTxn) so a checkpoint can never truncate an open txn's records.
+  Result<uint64_t> BeginTxn();
+  Status LogHint(uint64_t txn_id, const std::string& compensation_sql);
+  Status EndTxn(uint64_t txn_id);
+
+  /// Writes the checkpoint: FlushAll, dirty store pages into pages.db,
+  /// meta (tmp + atomic rename), then WAL truncation last. The caller
+  /// must have quiesced all statements (engine DDL latch exclusive) and
+  /// hold the txn gate exclusively.
+  Status WriteCheckpoint(const std::string& catalog_blob);
+
+  /// The gate ordered above the engine's DDL latch: statements inside a
+  /// logical txn hold it shared; checkpoints take it exclusively.
+  std::shared_mutex& txn_gate() { return txn_gate_; }
+
+  bool frozen() const { return frozen_.load(std::memory_order_acquire); }
+  void Freeze() { frozen_.store(true, std::memory_order_release); }
+
+  /// True once enough WAL has accumulated to warrant a checkpoint.
+  bool NeedsCheckpoint() const;
+
+  const std::string& dir() const { return dir_; }
+  DurabilityCounters& counters() { return counters_; }
+  const DurabilityCounters& counters() const { return counters_; }
+
+ private:
+  /// Consults the store's injector at FaultPoint::kCrash and freezes on
+  /// fire; also rejects every durable op once frozen.
+  Status MaybeCrash();
+  /// Appends one frame under mu_; freezes on any append failure so a
+  /// half-acknowledged statement can never be followed by another.
+  Status AppendLocked(WalRecordType type, const std::string& payload);
+
+  std::string PagesPath() const { return dir_ + "/pages.db"; }
+  std::string MetaPath() const { return dir_ + "/meta"; }
+  std::string MetaTmpPath() const { return dir_ + "/meta.tmp"; }
+  std::string WalDir() const { return dir_ + "/wal"; }
+
+  struct CheckpointMeta {
+    uint64_t ckpt_lsn = 0;
+    uint64_t next_txn_id = 1;
+    std::vector<std::pair<PageType, uint64_t>> pages;  // slot -> type, sum
+    std::vector<PageId> free_list;
+    std::string catalog_blob;
+  };
+  Status LoadMeta(CheckpointMeta* meta, bool* found);
+  Status StoreMeta(const CheckpointMeta& meta);
+
+  std::string dir_;
+  DurabilityOptions options_;
+  PageStore* store_;
+  BufferPool* pool_;
+  std::unique_ptr<WalWriter> writer_;
+
+  std::mutex mu_;  // serializes appends and lsn assignment
+  uint64_t next_lsn_ = 1;
+  std::atomic<uint64_t> next_txn_id_{1};
+  std::atomic<uint64_t> bytes_since_ckpt_{0};
+  std::atomic<bool> frozen_{false};
+  std::shared_mutex txn_gate_;
+  DurabilityCounters counters_;
+};
+
+}  // namespace mtdb
+
+#endif  // MTDB_STORAGE_DURABILITY_H_

@@ -31,6 +31,7 @@ PageId PageStore::Allocate(PageType type) {
     pages_.push_back(StoredPage{type, std::vector<char>(page_size_, 0), 0});
   }
   pages_[id].checksum = Checksum(pages_[id].image.data(), page_size_);
+  NoteDirtyLocked(id);
   return id;
 }
 
@@ -42,6 +43,7 @@ void PageStore::Deallocate(PageId id) {
   }
   pages_[id].type = PageType::kFree;
   free_list_.push_back(id);
+  NoteDirtyLocked(id);
 }
 
 void PageStore::ChargeLatency(FaultInjector* injector, bool is_read) {
@@ -127,6 +129,7 @@ Status PageStore::Write(PageId id, const char* in) {
     pages_[id].checksum = Checksum(in, page_size_);
     size_t n = torn ? page_size_ / 2 : page_size_;
     std::memcpy(pages_[id].image.data(), in, n);
+    NoteDirtyLocked(id);
   }
   if (torn) {
     io_counters_.OnWriteFault();
@@ -164,6 +167,105 @@ PageStoreStats PageStore::stats() const {
 void PageStore::ResetStats() {
   std::lock_guard<std::mutex> lock(mu_);
   stats_ = PageStoreStats();
+}
+
+void PageStore::NoteDirtyLocked(PageId id) {
+  if (!track_dirty_.load(std::memory_order_relaxed)) return;
+  if (static_cast<size_t>(id) >= dirty_.size()) {
+    dirty_.resize(pages_.size(), false);
+  }
+  dirty_[id] = true;
+}
+
+std::vector<PageId> PageStore::DirtySinceCheckpoint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PageId> out;
+  for (size_t i = 0; i < dirty_.size(); ++i) {
+    if (dirty_[i]) out.push_back(static_cast<PageId>(i));
+  }
+  return out;
+}
+
+void PageStore::ClearDirty(const std::vector<PageId>& flushed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (PageId id : flushed) {
+    if (static_cast<size_t>(id) < dirty_.size()) dirty_[id] = false;
+  }
+}
+
+std::vector<PageId> PageStore::FreeListSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return free_list_;
+}
+
+size_t PageStore::page_slots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pages_.size();
+}
+
+Status PageStore::RawRead(PageId id, PageType* type, std::vector<char>* image,
+                          uint64_t* checksum) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || static_cast<size_t>(id) >= pages_.size() ||
+      pages_[id].type == PageType::kFree) {
+    return Status::NotFound("raw read of unallocated page " +
+                            std::to_string(id));
+  }
+  if (type != nullptr) *type = pages_[id].type;
+  if (image != nullptr) *image = pages_[id].image;
+  if (checksum != nullptr) *checksum = pages_[id].checksum;
+  return Status::OK();
+}
+
+Result<uint64_t> PageStore::StoredChecksum(PageId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || static_cast<size_t>(id) >= pages_.size() ||
+      pages_[id].type == PageType::kFree) {
+    return Status::NotFound("checksum of unallocated page " +
+                            std::to_string(id));
+  }
+  return pages_[id].checksum;
+}
+
+void PageStore::RecoverReset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  pages_.clear();
+  free_list_.clear();
+  dirty_.clear();
+}
+
+Status PageStore::RecoverInstall(PageId id, PageType type, const char* image,
+                                 bool mark_dirty) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0) return Status::InvalidArgument("recover install: bad page id");
+  if (static_cast<size_t>(id) >= pages_.size()) {
+    pages_.resize(id + 1,
+                  StoredPage{PageType::kFree, std::vector<char>(page_size_, 0),
+                             0});
+  }
+  pages_[id].type = type;
+  std::memcpy(pages_[id].image.data(), image, page_size_);
+  pages_[id].checksum = Checksum(image, page_size_);
+  // WAL-replay installs supersede the pages.db image, so the sealing
+  // checkpoint must flush them; checkpoint-load installs match pages.db
+  // byte for byte and stay clean.
+  if (mark_dirty) NoteDirtyLocked(id);
+  return Status::OK();
+}
+
+void PageStore::RecoverSetFreeList(std::vector<PageId> free_list) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Free slots past the last installed page have no image to install, but
+  // the slot array must still cover them or a post-recovery Allocate that
+  // pops one would index out of range.
+  for (PageId id : free_list) {
+    if (id >= 0 && static_cast<size_t>(id) >= pages_.size()) {
+      pages_.resize(
+          static_cast<size_t>(id) + 1,
+          StoredPage{PageType::kFree, std::vector<char>(page_size_, 0), 0});
+    }
+  }
+  free_list_ = std::move(free_list);
 }
 
 }  // namespace mtdb

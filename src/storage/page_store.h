@@ -9,6 +9,7 @@
 
 #include "common/fault.h"
 #include "common/metrics.h"
+#include "common/result.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "storage/page.h"
@@ -113,6 +114,43 @@ class PageStore {
   /// FNV-1a 64-bit over a page image — the per-page checksum format.
   static uint64_t Checksum(const char* data, size_t n);
 
+  // ---- durability hooks (used only by the Durability manager) ----
+
+  /// When on, every Allocate/Deallocate/Write notes its page id so the
+  /// next checkpoint flushes only pages changed since the previous one.
+  void set_dirty_tracking(bool on) {
+    track_dirty_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Snapshot of the dirty-since-checkpoint set (sorted). The set is
+  /// cleared separately, only after the checkpoint fully commits, so a
+  /// crash mid-checkpoint keeps the ids for the next attempt.
+  std::vector<PageId> DirtySinceCheckpoint() const;
+  void ClearDirty(const std::vector<PageId>& flushed);
+
+  /// Free list in pop order (back = next Allocate). Checkpoints persist
+  /// it; recovery and the Deallocate regression test compare it.
+  std::vector<PageId> FreeListSnapshot() const;
+  size_t page_slots() const;
+
+  /// Raw image access for checkpoint writing: no faults, no latency, no
+  /// stats. kNotFound for free slots.
+  Status RawRead(PageId id, PageType* type, std::vector<char>* image,
+                 uint64_t* checksum) const;
+  /// Stored checksum of an allocated page (post-replay verification).
+  Result<uint64_t> StoredChecksum(PageId id) const;
+
+  /// Recovery: drops every page and the free list.
+  void RecoverReset();
+  /// Recovery: installs an image at `id` (growing the array; gap slots
+  /// stay free), overwriting type, image, and checksum. No faults.
+  /// `mark_dirty` enters the page into the dirty-since-checkpoint set —
+  /// WAL-replay installs must pass true so the sealing checkpoint flushes
+  /// the replayed image over the stale one in pages.db.
+  Status RecoverInstall(PageId id, PageType type, const char* image,
+                        bool mark_dirty = false);
+  void RecoverSetFreeList(std::vector<PageId> free_list);
+
  private:
   struct StoredPage {
     PageType type = PageType::kFree;
@@ -127,6 +165,8 @@ class PageStore {
   /// latency), blocking the issuing thread outside mu_.
   void ChargeLatency(FaultInjector* injector, bool is_read);
 
+  void NoteDirtyLocked(PageId id);
+
   uint32_t page_size_;
   mutable std::mutex mu_;
   std::vector<StoredPage> pages_;
@@ -135,6 +175,8 @@ class PageStore {
   std::atomic<uint64_t> read_latency_ns_{0};
   std::atomic<FaultInjector*> injector_{nullptr};
   IoFaultCounters io_counters_;
+  std::atomic<bool> track_dirty_{false};
+  std::vector<bool> dirty_;  // guarded by mu_; indexed by page id
 };
 
 }  // namespace mtdb

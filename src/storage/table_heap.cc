@@ -126,6 +126,25 @@ Status TableHeap::Delete(const Rid& rid) {
   return Status::OK();
 }
 
+Status TableHeap::AttachChain(PageId first_page) {
+  pages_.clear();
+  free_space_.clear();
+  live_tuples_ = 0;
+  first_page_ = first_page;
+  PageId pid = first_page;
+  while (pid != kInvalidPageId) {
+    MTDB_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(pid));
+    SlottedPage sp(page);
+    pages_.push_back(pid);
+    free_space_[pid] = sp.PotentialFreeSpace();
+    live_tuples_ += sp.LiveCount();
+    PageId next = sp.next_page();
+    pool_->UnpinPage(pid, false);
+    pid = next;
+  }
+  return Status::OK();
+}
+
 void TableHeap::Free() {
   for (PageId pid : pages_) {
     pool_->DeletePage(pid);

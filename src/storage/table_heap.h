@@ -51,6 +51,11 @@ class TableHeap {
   /// Drops all pages back to the store.
   void Free();
 
+  /// Recovery: rebuilds the in-memory page list by walking the on-disk
+  /// next_page chain from `first_page` (kInvalidPageId = empty heap),
+  /// recomputing free space and the live-tuple count as it goes.
+  Status AttachChain(PageId first_page);
+
   PageId first_page() const { return first_page_; }
   size_t page_count() const { return pages_.size(); }
   uint64_t live_tuples() const { return live_tuples_; }

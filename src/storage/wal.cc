@@ -1,0 +1,392 @@
+#include "storage/wal.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+namespace mtdb {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// Frame layout: magic u32 | lsn u64 | type u8 | pad u8[3] | payload_len
+// u32 | checksum u64, followed by payload_len payload bytes. The
+// checksum covers the header (with the checksum field zeroed) plus the
+// payload, so a tear anywhere in the frame is detected.
+constexpr uint32_t kFrameMagic = 0x4D57414Cu;  // "MWAL"
+constexpr size_t kFrameHeaderSize = kWalFrameHeaderSize;
+constexpr size_t kChecksumOffset = 4 + 8 + 1 + 3 + 4;
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+void PutU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), 4);
+}
+void PutU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), 8);
+}
+void PutI32(std::string* out, int32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), 4);
+}
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+void PutBytes(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+/// Bounds-checked little cursor over a decoded payload.
+class Cursor {
+ public:
+  explicit Cursor(const std::string& data) : data_(data) {}
+
+  bool ReadU32(uint32_t* v) { return ReadRaw(v, 4); }
+  bool ReadU64(uint64_t* v) { return ReadRaw(v, 8); }
+  bool ReadI32(int32_t* v) { return ReadRaw(v, 4); }
+  bool ReadU8(uint8_t* v) { return ReadRaw(v, 1); }
+  bool ReadBytes(std::string* s) {
+    uint32_t len;
+    if (!ReadU32(&len)) return false;
+    if (pos_ + len > data_.size()) return false;
+    s->assign(data_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  bool ReadRaw(void* out, size_t n) {
+    if (pos_ + n > data_.size()) return false;
+    std::memcpy(out, data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  const std::string& data_;
+  size_t pos_ = 0;
+};
+
+std::string EncodeFrame(uint64_t lsn, WalRecordType type,
+                        const std::string& payload) {
+  std::string frame;
+  frame.reserve(kFrameHeaderSize + payload.size());
+  PutU32(&frame, kFrameMagic);
+  PutU64(&frame, lsn);
+  PutU8(&frame, static_cast<uint8_t>(type));
+  frame.append(3, '\0');
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  PutU64(&frame, 0);  // checksum placeholder
+  frame.append(payload);
+  uint64_t sum = WalChecksum(frame.data(), frame.size(), kFnvOffset);
+  std::memcpy(frame.data() + kChecksumOffset, &sum, 8);
+  return frame;
+}
+
+Status StatusFromErrno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+uint64_t WalChecksum(const char* data, size_t len, uint64_t seed) {
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h = (h ^ static_cast<unsigned char>(data[i])) * kFnvPrime;
+  }
+  return h;
+}
+
+// ------------------------------------------------------------- payloads
+
+std::string EncodeWalGroup(const WalGroup& group) {
+  std::string out;
+  PutU32(&out, static_cast<uint32_t>(group.ops.size()));
+  for (const WalPageOp& op : group.ops) {
+    PutU8(&out, static_cast<uint8_t>(op.kind));
+    PutI32(&out, op.page);
+    PutU8(&out, static_cast<uint8_t>(op.type));
+  }
+  PutU32(&out, static_cast<uint32_t>(group.images.size()));
+  for (const WalPageImage& img : group.images) {
+    PutI32(&out, img.page);
+    PutU8(&out, static_cast<uint8_t>(img.type));
+    PutBytes(&out, img.image);
+  }
+  PutU32(&out, static_cast<uint32_t>(group.table_meta.size()));
+  for (const WalTableMeta& meta : group.table_meta) {
+    PutI32(&out, meta.table_id);
+    PutI32(&out, meta.first_page);
+    PutU32(&out, static_cast<uint32_t>(meta.index_roots.size()));
+    for (const auto& [index_id, root] : meta.index_roots) {
+      PutI32(&out, index_id);
+      PutI32(&out, root);
+    }
+  }
+  PutU8(&out, group.has_catalog_blob ? 1 : 0);
+  if (group.has_catalog_blob) PutBytes(&out, group.catalog_blob);
+  return out;
+}
+
+Result<WalGroup> DecodeWalGroup(const std::string& payload) {
+  WalGroup group;
+  Cursor cur(payload);
+  uint32_t n_ops;
+  if (!cur.ReadU32(&n_ops)) return Status::DataLoss("wal group: ops count");
+  group.ops.reserve(n_ops);
+  for (uint32_t i = 0; i < n_ops; ++i) {
+    WalPageOp op;
+    uint8_t kind, type;
+    if (!cur.ReadU8(&kind) || !cur.ReadI32(&op.page) || !cur.ReadU8(&type)) {
+      return Status::DataLoss("wal group: truncated op");
+    }
+    op.kind = static_cast<WalPageOp::Kind>(kind);
+    op.type = static_cast<PageType>(type);
+    group.ops.push_back(op);
+  }
+  uint32_t n_images;
+  if (!cur.ReadU32(&n_images)) {
+    return Status::DataLoss("wal group: image count");
+  }
+  group.images.reserve(n_images);
+  for (uint32_t i = 0; i < n_images; ++i) {
+    WalPageImage img;
+    uint8_t type;
+    if (!cur.ReadI32(&img.page) || !cur.ReadU8(&type) ||
+        !cur.ReadBytes(&img.image)) {
+      return Status::DataLoss("wal group: truncated image");
+    }
+    img.type = static_cast<PageType>(type);
+    group.images.push_back(std::move(img));
+  }
+  uint32_t n_meta;
+  if (!cur.ReadU32(&n_meta)) return Status::DataLoss("wal group: meta count");
+  group.table_meta.reserve(n_meta);
+  for (uint32_t i = 0; i < n_meta; ++i) {
+    WalTableMeta meta;
+    uint32_t n_roots;
+    if (!cur.ReadI32(&meta.table_id) || !cur.ReadI32(&meta.first_page) ||
+        !cur.ReadU32(&n_roots)) {
+      return Status::DataLoss("wal group: truncated meta");
+    }
+    for (uint32_t r = 0; r < n_roots; ++r) {
+      int32_t index_id;
+      PageId root;
+      if (!cur.ReadI32(&index_id) || !cur.ReadI32(&root)) {
+        return Status::DataLoss("wal group: truncated index root");
+      }
+      meta.index_roots.emplace_back(index_id, root);
+    }
+    group.table_meta.push_back(std::move(meta));
+  }
+  uint8_t has_blob;
+  if (!cur.ReadU8(&has_blob)) return Status::DataLoss("wal group: blob flag");
+  group.has_catalog_blob = has_blob != 0;
+  if (group.has_catalog_blob && !cur.ReadBytes(&group.catalog_blob)) {
+    return Status::DataLoss("wal group: truncated catalog blob");
+  }
+  if (!cur.AtEnd()) return Status::DataLoss("wal group: trailing bytes");
+  return group;
+}
+
+std::string EncodeWalTxn(const WalTxnRecord& rec) {
+  std::string out;
+  PutU64(&out, rec.txn_id);
+  PutBytes(&out, rec.sql);
+  return out;
+}
+
+Result<WalTxnRecord> DecodeWalTxn(const std::string& payload) {
+  WalTxnRecord rec;
+  Cursor cur(payload);
+  if (!cur.ReadU64(&rec.txn_id) || !cur.ReadBytes(&rec.sql) || !cur.AtEnd()) {
+    return Status::DataLoss("wal txn record: truncated");
+  }
+  return rec;
+}
+
+// -------------------------------------------------------------- writer
+
+WalWriter::WalWriter(std::string dir, uint64_t segment_bytes)
+    : dir_(std::move(dir)), segment_bytes_(segment_bytes) {}
+
+WalWriter::~WalWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+std::string WalWriter::SegmentPath(uint32_t index) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "seg-%08u.wal", index);
+  return dir_ + "/" + name;
+}
+
+Status WalWriter::Open() {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) return Status::IOError("mkdir " + dir_ + ": " + ec.message());
+  uint32_t next = 0;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    unsigned idx;
+    if (std::sscanf(name.c_str(), "seg-%8u.wal", &idx) == 1) {
+      if (idx + 1 > next) next = idx + 1;
+    }
+  }
+  return OpenSegment(next);
+}
+
+Status WalWriter::OpenSegment(uint32_t index) {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  const std::string path = SegmentPath(index);
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) return StatusFromErrno("open " + path);
+  segment_index_ = index;
+  segment_written_ = 0;
+  return Status::OK();
+}
+
+Status WalWriter::RotateIfNeeded(size_t next_frame_bytes) {
+  if (segment_written_ == 0 ||
+      segment_written_ + next_frame_bytes <= segment_bytes_) {
+    return Status::OK();
+  }
+  return OpenSegment(segment_index_ + 1);
+}
+
+Status WalWriter::Append(uint64_t lsn, WalRecordType type,
+                         const std::string& payload) {
+  const std::string frame = EncodeFrame(lsn, type, payload);
+  MTDB_RETURN_IF_ERROR(RotateIfNeeded(frame.size()));
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
+    return StatusFromErrno("wal append");
+  }
+  if (std::fflush(file_) != 0) return StatusFromErrno("wal flush");
+  segment_written_ += frame.size();
+  appended_bytes_ += frame.size();
+  return Status::OK();
+}
+
+Status WalWriter::AppendTorn(uint64_t lsn, WalRecordType type,
+                             const std::string& payload) {
+  const std::string frame = EncodeFrame(lsn, type, payload);
+  MTDB_RETURN_IF_ERROR(RotateIfNeeded(frame.size()));
+  const size_t torn = kFrameHeaderSize + payload.size() / 2;
+  if (std::fwrite(frame.data(), 1, torn, file_) != torn) {
+    return StatusFromErrno("wal torn append");
+  }
+  if (std::fflush(file_) != 0) return StatusFromErrno("wal flush");
+  segment_written_ += torn;
+  appended_bytes_ += torn;
+  return Status::OK();
+}
+
+Status WalWriter::Truncate() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    unsigned idx;
+    if (std::sscanf(name.c_str(), "seg-%8u.wal", &idx) == 1) {
+      fs::remove(entry.path(), ec);
+      if (ec) {
+        return Status::IOError("wal truncate: " + ec.message());
+      }
+    }
+  }
+  appended_bytes_ = 0;
+  return OpenSegment(0);
+}
+
+// -------------------------------------------------------------- reader
+
+Result<WalReader::ScanResult> WalReader::ReadAll() {
+  ScanResult out;
+  std::error_code ec;
+  if (!fs::exists(dir_, ec)) return out;
+
+  std::vector<std::pair<uint32_t, fs::path>> segments;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    unsigned idx;
+    if (std::sscanf(name.c_str(), "seg-%8u.wal", &idx) == 1) {
+      segments.emplace_back(idx, entry.path());
+    }
+  }
+  std::sort(segments.begin(), segments.end());
+
+  for (size_t s = 0; s < segments.size(); ++s) {
+    const fs::path& path = segments[s].second;
+    std::FILE* f = std::fopen(path.string().c_str(), "rb");
+    if (f == nullptr) return StatusFromErrno("open " + path.string());
+    uint64_t offset = 0;
+    bool torn = false;
+    while (true) {
+      char header[kFrameHeaderSize];
+      size_t got = std::fread(header, 1, kFrameHeaderSize, f);
+      if (got == 0) break;  // clean end of segment
+      if (got < kFrameHeaderSize) {
+        torn = true;
+        break;
+      }
+      uint32_t magic, payload_len;
+      uint64_t lsn, stored_sum;
+      uint8_t type;
+      std::memcpy(&magic, header, 4);
+      std::memcpy(&lsn, header + 4, 8);
+      type = static_cast<uint8_t>(header[12]);
+      std::memcpy(&payload_len, header + 16, 4);
+      std::memcpy(&stored_sum, header + kChecksumOffset, 8);
+      if (magic != kFrameMagic || type < 1 || type > 4) {
+        torn = true;
+        break;
+      }
+      std::string payload(payload_len, '\0');
+      if (payload_len > 0 &&
+          std::fread(payload.data(), 1, payload_len, f) != payload_len) {
+        torn = true;
+        break;
+      }
+      // Re-derive the checksum with the stored field zeroed.
+      char zeroed[kFrameHeaderSize];
+      std::memcpy(zeroed, header, kFrameHeaderSize);
+      std::memset(zeroed + kChecksumOffset, 0, 8);
+      uint64_t sum = WalChecksum(zeroed, kFrameHeaderSize, kFnvOffset);
+      sum = WalChecksum(payload.data(), payload.size(), sum);
+      if (sum != stored_sum) {
+        torn = true;
+        break;
+      }
+      WalRecord rec;
+      rec.lsn = lsn;
+      rec.type = static_cast<WalRecordType>(type);
+      rec.payload = std::move(payload);
+      out.records.push_back(std::move(rec));
+      offset += kFrameHeaderSize + payload_len;
+    }
+    std::fclose(f);
+    if (torn) {
+      // Truncate the torn tail and drop every later segment: nothing
+      // after a tear can be trusted (appends are strictly ordered).
+      out.truncated_tails++;
+      fs::resize_file(path, offset, ec);
+      if (ec) {
+        return Status::IOError("wal tail truncate: " + ec.message());
+      }
+      for (size_t later = s + 1; later < segments.size(); ++later) {
+        fs::remove(segments[later].second, ec);
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace mtdb

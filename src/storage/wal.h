@@ -1,0 +1,164 @@
+#ifndef MTDB_STORAGE_WAL_H_
+#define MTDB_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/page.h"
+
+namespace mtdb {
+
+/// Physical log record kinds. Groups carry page-image redo for one
+/// engine statement; the txn records bracket a mapping-layer logical
+/// statement that spans several physical statements, so recovery can
+/// undo a half-applied one (see DESIGN.md §10).
+enum class WalRecordType : uint8_t {
+  kGroup = 1,
+  kTxnBegin = 2,
+  kTxnHint = 3,
+  kTxnEnd = 4,
+};
+
+/// One decoded log frame: header fields plus the raw payload bytes.
+struct WalRecord {
+  uint64_t lsn = 0;
+  WalRecordType type = WalRecordType::kGroup;
+  std::string payload;
+};
+
+/// FNV-1a over a byte range; also used by the checkpoint meta file.
+uint64_t WalChecksum(const char* data, size_t len, uint64_t seed);
+
+/// Bytes of frame framing ahead of the payload (magic, lsn, type, pad,
+/// payload length, checksum) — exported so the Durability manager can
+/// account WAL bytes without re-deriving the layout.
+inline constexpr size_t kWalFrameHeaderSize = 4 + 8 + 1 + 3 + 4 + 8;
+
+// ------------------------------------------------------------- payloads
+
+/// Ordered page-lifetime operation inside a group. Replay re-executes
+/// allocs and deallocs in statement order against the recovered store so
+/// the free list comes out byte-for-byte identical (an alloc is verified
+/// to hand back the recorded page id).
+struct WalPageOp {
+  enum class Kind : uint8_t { kAlloc = 1, kDealloc = 2 };
+  Kind kind = Kind::kAlloc;
+  PageId page = kInvalidPageId;
+  PageType type = PageType::kFree;  // allocs only
+};
+
+/// After-image of one page the statement left dirty.
+struct WalPageImage {
+  PageId page = kInvalidPageId;
+  PageType type = PageType::kHeap;
+  std::string image;
+};
+
+/// Physical locations the catalog snapshot cannot know about: a heap's
+/// first page is set on first insert and a B-tree root moves on split,
+/// both without DDL. Each DML group records them for its table; replay
+/// applies the survivors on top of the last catalog blob.
+struct WalTableMeta {
+  int32_t table_id = 0;
+  PageId first_page = kInvalidPageId;
+  std::vector<std::pair<int32_t, PageId>> index_roots;
+};
+
+/// Decoded kGroup payload.
+struct WalGroup {
+  std::vector<WalPageOp> ops;
+  std::vector<WalPageImage> images;
+  std::vector<WalTableMeta> table_meta;
+  /// Full catalog snapshot; present only for DDL statements.
+  bool has_catalog_blob = false;
+  std::string catalog_blob;
+};
+
+std::string EncodeWalGroup(const WalGroup& group);
+Result<WalGroup> DecodeWalGroup(const std::string& payload);
+
+/// Decoded kTxnBegin / kTxnHint / kTxnEnd payload. Hints carry the
+/// compensation SQL for the *next* physical statement of the txn.
+struct WalTxnRecord {
+  uint64_t txn_id = 0;
+  std::string sql;  // hints only
+};
+
+std::string EncodeWalTxn(const WalTxnRecord& rec);
+Result<WalTxnRecord> DecodeWalTxn(const std::string& payload);
+
+// -------------------------------------------------------------- writer
+
+/// Append-only segmented log writer. Not thread-safe: the Durability
+/// manager serializes appends under its own mutex. Each frame is
+/// checksummed and flushed before Append returns, so a freeze-crash
+/// between statements never loses an acknowledged record; a crash
+/// *inside* an append leaves a torn tail the reader truncates.
+class WalWriter {
+ public:
+  WalWriter(std::string dir, uint64_t segment_bytes);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Opens the segment after the highest existing one (recovery keeps
+  /// old segments readable until the post-recovery checkpoint).
+  Status Open();
+
+  Status Append(uint64_t lsn, WalRecordType type, const std::string& payload);
+
+  /// Injected torn tail: writes only a prefix of the frame (header plus
+  /// half the payload) and flushes it, modeling a crash mid-append.
+  Status AppendTorn(uint64_t lsn, WalRecordType type,
+                    const std::string& payload);
+
+  /// Deletes every segment and starts a fresh one (post-checkpoint: all
+  /// records are covered by the snapshot).
+  Status Truncate();
+
+  uint64_t appended_bytes() const { return appended_bytes_; }
+
+ private:
+  Status RotateIfNeeded(size_t next_frame_bytes);
+  Status OpenSegment(uint32_t index);
+  std::string SegmentPath(uint32_t index) const;
+
+  std::string dir_;
+  uint64_t segment_bytes_;
+  std::FILE* file_ = nullptr;
+  uint32_t segment_index_ = 0;
+  uint64_t segment_written_ = 0;
+  uint64_t appended_bytes_ = 0;
+};
+
+// -------------------------------------------------------------- reader
+
+/// Scans every segment in order, verifying frame checksums. The first
+/// invalid frame is treated as a torn tail: the file is truncated at
+/// that offset, later segments are deleted, and the scan stops — torn
+/// records are never surfaced, let alone replayed.
+class WalReader {
+ public:
+  explicit WalReader(std::string dir) : dir_(std::move(dir)) {}
+
+  struct ScanResult {
+    std::vector<WalRecord> records;
+    /// Number of torn tails truncated (0 or 1 per scan).
+    uint64_t truncated_tails = 0;
+  };
+
+  Result<ScanResult> ReadAll();
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace mtdb
+
+#endif  // MTDB_STORAGE_WAL_H_

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -217,6 +219,148 @@ TEST_P(FaultSoakTest, EightThreadsUnderLowRateFaultsReconcile) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FaultSoakTest, ::testing::Values(1, 2, 3));
+
+/// Durable differential soak with one mid-run crash/reopen cycle: a
+/// durable Chunk Folding engine runs the randomized CRM workload against
+/// an in-memory private-table reference. Halfway through, an injected
+/// kCrash kills the durable engine mid-statement; it is reopened from
+/// disk (checkpoint + WAL replay + txn undo), the layout re-derives its
+/// state, the killed statement is retried, and the workload continues.
+/// Every observation before and after the crash must agree with the
+/// reference — recovery resumed the soak, not a fresh database.
+TEST(DurableSoakTest, CrashReopenMidSoakKeepsDifferentialAgreement) {
+  AppSchema app = testbed::BuildCrmAppSchema();
+  const std::string dir = ::testing::TempDir() + "mtdb_soak_durable";
+  std::filesystem::remove_all(dir);
+
+  auto opened = Database::Open(dir);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  std::unique_ptr<Database> fold_db = std::move(*opened);
+  auto folded = std::make_unique<ChunkFoldingLayout>(fold_db.get(), &app);
+  Database priv_db;
+  PrivateTableLayout reference(&priv_db, &app);
+  ASSERT_TRUE(folded->Bootstrap().ok());
+  ASSERT_TRUE(reference.Bootstrap().ok());
+
+  constexpr int kTenants = 3;
+  for (TenantId t = 0; t < kTenants; ++t) {
+    ASSERT_TRUE(folded->CreateTenant(t).ok());
+    ASSERT_TRUE(reference.CreateTenant(t).ok());
+  }
+  ASSERT_TRUE(folded->EnableExtension(0, "healthcare_account").ok());
+  ASSERT_TRUE(reference.EnableExtension(0, "healthcare_account").ok());
+
+  FaultInjector injector(29);
+  int reopens = 0;
+
+  auto reopen_folded = [&]() {
+    fold_db->page_store()->set_fault_injector(nullptr);
+    folded.reset();
+    fold_db.reset();
+    auto r = Database::Open(dir);
+    ASSERT_TRUE(r.ok()) << "reopen: " << r.status().ToString();
+    fold_db = std::move(*r);
+    folded = std::make_unique<ChunkFoldingLayout>(fold_db.get(), &app);
+    Status rec = folded->Recover();
+    ASSERT_TRUE(rec.ok()) << "layout recover: " << rec.ToString();
+    ++reopens;
+  };
+
+  // Executes on the durable side first; an injected kill surfaces as a
+  // failed statement on a frozen engine, after which the soak reopens and
+  // retries (recovery removed every trace of the killed statement, so the
+  // retry is clean). Only then does the reference apply the statement.
+  auto both_execute = [&](TenantId t, const std::string& sql,
+                          const std::vector<Value>& params = {}) {
+    Result<int64_t> a = folded->Execute(t, sql, params);
+    if (!a.ok()) {
+      ASSERT_TRUE(fold_db->durability()->frozen())
+          << sql << ": " << a.status().ToString();
+      reopen_folded();
+      if (::testing::Test::HasFatalFailure()) return;
+      a = folded->Execute(t, sql, params);
+    }
+    Result<int64_t> b = reference.Execute(t, sql, params);
+    ASSERT_TRUE(a.ok()) << sql << ": " << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << sql << ": " << b.status().ToString();
+    EXPECT_EQ(*a, *b) << sql;
+  };
+  auto both_query_match = [&](TenantId t, const std::string& sql) {
+    auto a = folded->Query(t, sql);
+    auto b = reference.Query(t, sql);
+    ASSERT_TRUE(a.ok()) << sql << ": " << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << sql << ": " << b.status().ToString();
+    ASSERT_EQ(a->rows.size(), b->rows.size()) << sql;
+    for (size_t i = 0; i < a->rows.size(); ++i) {
+      ASSERT_EQ(a->rows[i].size(), b->rows[i].size());
+      for (size_t c = 0; c < a->rows[i].size(); ++c) {
+        EXPECT_EQ(a->rows[i][c].Compare(b->rows[i][c]), 0)
+            << sql << " row " << i << " col " << c;
+      }
+    }
+  };
+
+  Rng rng(4177);
+  int64_t next_id = 1;
+  std::vector<int64_t> live_ids[kTenants];
+
+  for (int op = 0; op < 160; ++op) {
+    if (op == 80) {
+      // Schedule the kill: the next durable appends run it into a crash
+      // a few WAL operations from now, mid-statement.
+      FaultSpec spec;
+      spec.probability = 1.0;
+      spec.skip = 3;
+      spec.max_fires = 1;
+      injector.Arm(FaultPoint::kCrash, spec);
+      fold_db->page_store()->set_fault_injector(&injector);
+    }
+    TenantId t = static_cast<TenantId>(rng.Uniform(0, kTenants - 1));
+    int kind = static_cast<int>(rng.Uniform(0, 9));
+    if (kind < 4) {
+      int64_t id = next_id++;
+      both_execute(t,
+                   "INSERT INTO account (id, campaign_id, name, status, "
+                   "amount) VALUES (?, 0, ?, ?, ?)",
+                   {Value::Int64(id), Value::String(rng.Word(3, 9)),
+                    Value::String(rng.Bernoulli(0.5) ? "open" : "won"),
+                    Value::Double(static_cast<double>(
+                        rng.Uniform(1, 100000)))});
+      live_ids[t].push_back(id);
+    } else if (kind < 6 && !live_ids[t].empty()) {
+      size_t i = static_cast<size_t>(
+          rng.Uniform(0, static_cast<int64_t>(live_ids[t].size()) - 1));
+      both_execute(t,
+                   "UPDATE account SET amount = amount + 1, owner = ? "
+                   "WHERE id = ?",
+                   {Value::String(rng.Word(3, 8)),
+                    Value::Int64(live_ids[t][i])});
+    } else if (kind < 7 && !live_ids[t].empty()) {
+      size_t i = static_cast<size_t>(
+          rng.Uniform(0, static_cast<int64_t>(live_ids[t].size()) - 1));
+      both_execute(t, "DELETE FROM account WHERE id = ?",
+                   {Value::Int64(live_ids[t][i])});
+      live_ids[t].erase(live_ids[t].begin() + static_cast<ptrdiff_t>(i));
+    } else {
+      both_query_match(t,
+                       "SELECT status, COUNT(*), SUM(amount) FROM account "
+                       "GROUP BY status ORDER BY status");
+    }
+    if (::testing::Test::HasFatalFailure()) return;
+    if (op % 40 == 39) {
+      for (TenantId ct = 0; ct < kTenants; ++ct) {
+        both_query_match(ct, "SELECT * FROM account ORDER BY id");
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
+  }
+
+  EXPECT_EQ(reopens, 1) << "the scheduled mid-soak crash never fired";
+  for (TenantId t = 0; t < kTenants; ++t) {
+    both_query_match(t, "SELECT * FROM account ORDER BY id");
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
 
 }  // namespace
 }  // namespace mapping
