@@ -140,10 +140,11 @@ Result<Page*> BufferPool::FetchPage(PageId id) {
 }
 
 Page* BufferPool::NewPage(PageType type) {
-  PageId id = store_->Allocate(type);
+  uint64_t seq = 0;
+  PageId id = store_->Allocate(type, &seq);
   if (PageMutationCapture* cap = tls_capture) {
     cap->ops.push_back(
-        {PageMutationCapture::Op::Kind::kAlloc, id, type});
+        {PageMutationCapture::Op::Kind::kAlloc, id, type, seq});
     cap->dirtied.push_back(id);
   }
   Shard& shard = shards_[ShardOf(id)];
@@ -178,10 +179,6 @@ void BufferPool::UnpinPage(PageId id, bool dirty) {
 }
 
 void BufferPool::DeletePage(PageId id) {
-  if (PageMutationCapture* cap = tls_capture) {
-    cap->ops.push_back(
-        {PageMutationCapture::Op::Kind::kDealloc, id, PageType::kFree});
-  }
   Shard& shard = shards_[ShardOf(id)];
   {
     std::lock_guard<std::mutex> lock(shard.mu);
@@ -193,7 +190,17 @@ void BufferPool::DeletePage(PageId id) {
       shard.frames.erase(it);
     }
   }
-  store_->Deallocate(id);
+  uint64_t seq = 0;
+  store_->Deallocate(id, &seq);
+  // seq == 0 means the store ignored an invalid id: nothing happened, so
+  // nothing is logged (replay treats a dealloc of a free page as
+  // corruption).
+  if (seq != 0) {
+    if (PageMutationCapture* cap = tls_capture) {
+      cap->ops.push_back(
+          {PageMutationCapture::Op::Kind::kDealloc, id, PageType::kFree, seq});
+    }
+  }
 }
 
 Status BufferPool::FlushFrame(Frame* frame) {

@@ -63,15 +63,18 @@ inline constexpr size_t kBufferPoolShards = 8;
 
 /// Per-statement record of page mutations, filled by the pool's capture
 /// hooks while a PageCaptureScope is installed on the executing thread.
-/// `ops` keeps allocs and deallocs in statement order so WAL replay
-/// reproduces the store's free list exactly; `dirtied` collects the ids
-/// whose after-images the commit-time group append must log.
+/// `ops` keeps allocs and deallocs in statement order, each stamped with
+/// the store's global op sequence number — across concurrent statements
+/// the store order is the truth WAL replay must reproduce, and group
+/// append order need not match it; `dirtied` collects the ids whose
+/// after-images the commit-time group append must log.
 struct PageMutationCapture {
   struct Op {
     enum class Kind : uint8_t { kAlloc, kDealloc };
     Kind kind;
     PageId page;
     PageType type;  // allocs only
+    uint64_t seq;   // store-assigned global op sequence number
   };
   std::vector<Op> ops;
   std::vector<PageId> dirtied;  // may contain duplicates; dedup at commit

@@ -125,6 +125,7 @@ Status Durability::CommitGroup(const PageMutationCapture& capture,
                    : WalPageOp::Kind::kDealloc;
     out.page = op.page;
     out.type = op.type;
+    out.seq = op.seq;
     group.ops.push_back(out);
   }
   std::vector<PageId> ids = capture.dirtied;
@@ -251,7 +252,13 @@ Status Durability::StoreMeta(const CheckpointMeta& meta) {
 Status Durability::LoadMeta(CheckpointMeta* meta, bool* found) {
   *found = false;
   std::FILE* f = std::fopen(MetaPath().c_str(), "rb");
-  if (f == nullptr) return Status::OK();  // fresh database
+  if (f == nullptr) {
+    // Only a missing file means "fresh database". A transient EACCES or
+    // EMFILE must not silently discard the checkpoint and replay a
+    // truncated WAL against an empty base.
+    if (errno == ENOENT) return Status::OK();
+    return StatusFromErrno("open " + MetaPath());
+  }
   std::string buf;
   char chunk[1 << 16];
   size_t got;
@@ -436,36 +443,38 @@ Result<RecoveredState> Durability::Recover() {
   std::map<int32_t, WalTableMeta> overrides;
   std::map<uint64_t, std::vector<RecoveredTxnHint>> open_txns;
   std::unordered_set<PageId> touched;
+  // Alloc/dealloc order at the store is a global total order, but group
+  // append order only follows latch order per table: concurrent
+  // statements on different tables can allocate in one order and reach
+  // the log in the other. The scan therefore just *collects* every
+  // group's ops (replayed afterwards sorted by their store-assigned
+  // sequence numbers) and, per page, the last after-image — per-page
+  // image order does follow scan order, because a page changes owner
+  // only through a dealloc/alloc pair and the old owner's images are
+  // fully appended before the new owner can even obtain the id.
+  std::vector<WalPageOp> page_ops;
+  std::unordered_map<PageId, WalPageImage> last_images;
+  uint64_t max_op_seq = 0;
   uint64_t max_lsn = meta.ckpt_lsn;
   uint64_t max_txn = 0;
-  for (const WalRecord& rec : scan.records) {
+  for (WalRecord& rec : scan.records) {
     max_lsn = std::max(max_lsn, rec.lsn);
     switch (rec.type) {
       case WalRecordType::kGroup: {
         if (rec.lsn <= meta.ckpt_lsn) break;  // covered by the checkpoint
         MTDB_ASSIGN_OR_RETURN(WalGroup group, DecodeWalGroup(rec.payload));
         for (const WalPageOp& op : group.ops) {
-          if (op.kind == WalPageOp::Kind::kAlloc) {
-            PageId got = store_->Allocate(op.type);
-            if (got != op.page) {
-              return Status::DataLoss(
-                  "replay alloc diverged: log says page " +
-                  std::to_string(op.page) + ", store handed " +
-                  std::to_string(got));
-            }
-          } else {
-            store_->Deallocate(op.page);
-          }
+          max_op_seq = std::max(max_op_seq, op.seq);
           touched.insert(op.page);
+          page_ops.push_back(op);
         }
-        for (const WalPageImage& img : group.images) {
+        for (WalPageImage& img : group.images) {
           if (img.image.size() != store_->page_size()) {
             return Status::DataLoss("replay image size mismatch on page " +
                                     std::to_string(img.page));
           }
-          MTDB_RETURN_IF_ERROR(store_->RecoverInstall(
-              img.page, img.type, img.image.data(), /*mark_dirty=*/true));
           touched.insert(img.page);
+          last_images[img.page] = std::move(img);
         }
         if (group.has_catalog_blob) {
           // DDL group: its snapshot supersedes everything recorded so far.
@@ -499,6 +508,34 @@ Result<RecoveredState> Durability::Recover() {
       }
     }
   }
+
+  // Replay the page ops in true allocation order, each directed at
+  // exactly the recorded page id. Id-directed replay also tolerates
+  // holes: a logged op whose in-flight neighbour statement froze before
+  // reaching the log still lands on the recorded page, and slots such
+  // unlogged statements had claimed return to the free list.
+  std::sort(page_ops.begin(), page_ops.end(),
+            [](const WalPageOp& a, const WalPageOp& b) {
+              return a.seq < b.seq;
+            });
+  for (const WalPageOp& op : page_ops) {
+    if (op.kind == WalPageOp::Kind::kAlloc) {
+      MTDB_RETURN_IF_ERROR(store_->RecoverAlloc(op.page, op.type));
+    } else {
+      MTDB_RETURN_IF_ERROR(store_->RecoverDealloc(op.page));
+    }
+  }
+  // A recovered page's content is its last logged after-image. A page
+  // whose last op left it free is skipped — installing the image would
+  // resurrect it — and if it was later re-allocated, the new owner's
+  // group is guaranteed to carry a fresher image (an allocation always
+  // dirties the page), so last-image-wins is exact.
+  for (auto& [page, img] : last_images) {
+    if (!store_->IsAllocated(page)) continue;
+    MTDB_RETURN_IF_ERROR(store_->RecoverInstall(
+        page, img.type, img.image.data(), /*mark_dirty=*/true));
+  }
+  store_->RecoverSetOpSeq(max_op_seq);
 
   // Pages the log never touched must still match the images the
   // checkpoint intended to store; a mismatch means pages.db corruption

@@ -1,5 +1,6 @@
 #include "storage/page_store.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <thread>
@@ -17,9 +18,11 @@ uint64_t PageStore::Checksum(const char* data, size_t n) {
   return h;
 }
 
-PageId PageStore::Allocate(PageType type) {
+PageId PageStore::Allocate(PageType type, uint64_t* seq) {
   std::lock_guard<std::mutex> lock(mu_);
   stats_.allocations++;
+  if (seq != nullptr) *seq = op_seq_ + 1;
+  ++op_seq_;
   PageId id;
   if (!free_list_.empty()) {
     id = free_list_.back();
@@ -35,12 +38,14 @@ PageId PageStore::Allocate(PageType type) {
   return id;
 }
 
-void PageStore::Deallocate(PageId id) {
+void PageStore::Deallocate(PageId id, uint64_t* seq) {
   std::lock_guard<std::mutex> lock(mu_);
   if (id < 0 || static_cast<size_t>(id) >= pages_.size() ||
       pages_[id].type == PageType::kFree) {
     return;
   }
+  if (seq != nullptr) *seq = op_seq_ + 1;
+  ++op_seq_;
   pages_[id].type = PageType::kFree;
   free_list_.push_back(id);
   NoteDirtyLocked(id);
@@ -232,6 +237,55 @@ void PageStore::RecoverReset() {
   pages_.clear();
   free_list_.clear();
   dirty_.clear();
+  op_seq_ = 0;
+}
+
+Status PageStore::RecoverAlloc(PageId id, PageType type) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0) return Status::DataLoss("replay alloc: negative page id");
+  if (static_cast<size_t>(id) >= pages_.size()) {
+    // Slot numbers grow in op order and ops replay in op order, so a
+    // *logged* alloc of any slot below `id` already replayed. The gaps
+    // left here were claimed by statements the crash caught before their
+    // group reached the log — durably those statements never happened,
+    // and their slots return to the free list.
+    for (size_t gap = pages_.size(); gap < static_cast<size_t>(id); ++gap) {
+      free_list_.push_back(static_cast<PageId>(gap));
+    }
+    pages_.resize(static_cast<size_t>(id) + 1,
+                  StoredPage{PageType::kFree,
+                             std::vector<char>(page_size_, 0), 0});
+  }
+  if (pages_[id].type != PageType::kFree) {
+    return Status::DataLoss("replay alloc of already-allocated page " +
+                            std::to_string(id));
+  }
+  free_list_.erase(std::remove(free_list_.begin(), free_list_.end(), id),
+                   free_list_.end());
+  stats_.allocations++;
+  pages_[id].type = type;
+  std::memset(pages_[id].image.data(), 0, page_size_);
+  pages_[id].checksum = Checksum(pages_[id].image.data(), page_size_);
+  NoteDirtyLocked(id);
+  return Status::OK();
+}
+
+Status PageStore::RecoverDealloc(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || static_cast<size_t>(id) >= pages_.size() ||
+      pages_[id].type == PageType::kFree) {
+    return Status::DataLoss("replay dealloc of unallocated page " +
+                            std::to_string(id));
+  }
+  pages_[id].type = PageType::kFree;
+  free_list_.push_back(id);
+  NoteDirtyLocked(id);
+  return Status::OK();
+}
+
+void PageStore::RecoverSetOpSeq(uint64_t last_seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  op_seq_ = std::max(op_seq_, last_seq);
 }
 
 Status PageStore::RecoverInstall(PageId id, PageType type, const char* image,

@@ -53,11 +53,17 @@ class PageStore {
 
   uint32_t page_size() const { return page_size_; }
 
-  /// Allocates a new zeroed page of `type`, returning its id.
-  PageId Allocate(PageType type);
+  /// Allocates a new zeroed page of `type`, returning its id. If `seq`
+  /// is non-null it receives the store's global op sequence number for
+  /// this allocation — alloc/dealloc order is a *store-wide* total order
+  /// (one counter under mu_), which the WAL records so replay can
+  /// reconstruct it even though group append order is only per-table.
+  PageId Allocate(PageType type, uint64_t* seq = nullptr);
 
-  /// Releases a page (its id may be reused). Invalid ids are ignored.
-  void Deallocate(PageId id);
+  /// Releases a page (its id may be reused). Invalid ids are ignored and
+  /// leave `*seq` untouched; a performed dealloc stores its op sequence
+  /// number (never 0) into `seq` when non-null.
+  void Deallocate(PageId id, uint64_t* seq = nullptr);
 
   /// Copies the stored image into `out` (sized page_size). Counts a
   /// physical read and applies the simulated latency.
@@ -140,8 +146,22 @@ class PageStore {
   /// Stored checksum of an allocated page (post-replay verification).
   Result<uint64_t> StoredChecksum(PageId id) const;
 
-  /// Recovery: drops every page and the free list.
+  /// Recovery: drops every page, the free list, and the op sequence.
   void RecoverReset();
+  /// Recovery: replays a logged allocation at exactly `id`, which must
+  /// currently be free (a free-list member, a gap, or past the end — the
+  /// slot array grows; slots skipped over were claimed by statements the
+  /// crash left unlogged and return to the free list). An allocated `id`
+  /// means the log and the store diverged: kDataLoss.
+  Status RecoverAlloc(PageId id, PageType type);
+  /// Recovery: replays a logged deallocation. kDataLoss if `id` is not
+  /// currently allocated.
+  Status RecoverDealloc(PageId id);
+  /// Recovery: raises the op-sequence counter to at least `last_seq`, so
+  /// ops performed after recovery (undo statements, new workload) sort
+  /// strictly after every replayed one even if the sealing checkpoint
+  /// crashes and both lifetimes share one log.
+  void RecoverSetOpSeq(uint64_t last_seq);
   /// Recovery: installs an image at `id` (growing the array; gap slots
   /// stay free), overwriting type, image, and checksum. No faults.
   /// `mark_dirty` enters the page into the dirty-since-checkpoint set —
@@ -177,6 +197,9 @@ class PageStore {
   IoFaultCounters io_counters_;
   std::atomic<bool> track_dirty_{false};
   std::vector<bool> dirty_;  // guarded by mu_; indexed by page id
+  /// Global alloc/dealloc sequence, guarded by mu_. 0 means "no op yet";
+  /// the first op gets 1.
+  uint64_t op_seq_ = 0;
 };
 
 }  // namespace mtdb

@@ -89,6 +89,23 @@ Status StatusFromErrno(const std::string& what) {
   return Status::IOError(what + ": " + std::strerror(errno));
 }
 
+/// Strictly matches the writer's "seg-%08u.wal" names. sscanf alone
+/// returns 1 without checking the suffix, which would let stray files
+/// ("seg-00000001.wal.tmp", editor droppings) be read, truncated, or
+/// deleted as segments.
+bool ParseSegmentName(const std::string& name, uint32_t* index) {
+  constexpr size_t kSegmentNameLen = 16;  // strlen("seg-00000000.wal")
+  unsigned idx = 0;
+  int consumed = -1;
+  if (name.size() != kSegmentNameLen ||
+      std::sscanf(name.c_str(), "seg-%8u.wal%n", &idx, &consumed) != 1 ||
+      static_cast<size_t>(consumed) != name.size()) {
+    return false;
+  }
+  *index = idx;
+  return true;
+}
+
 }  // namespace
 
 uint64_t WalChecksum(const char* data, size_t len, uint64_t seed) {
@@ -108,6 +125,7 @@ std::string EncodeWalGroup(const WalGroup& group) {
     PutU8(&out, static_cast<uint8_t>(op.kind));
     PutI32(&out, op.page);
     PutU8(&out, static_cast<uint8_t>(op.type));
+    PutU64(&out, op.seq);
   }
   PutU32(&out, static_cast<uint32_t>(group.images.size()));
   for (const WalPageImage& img : group.images) {
@@ -139,7 +157,8 @@ Result<WalGroup> DecodeWalGroup(const std::string& payload) {
   for (uint32_t i = 0; i < n_ops; ++i) {
     WalPageOp op;
     uint8_t kind, type;
-    if (!cur.ReadU8(&kind) || !cur.ReadI32(&op.page) || !cur.ReadU8(&type)) {
+    if (!cur.ReadU8(&kind) || !cur.ReadI32(&op.page) || !cur.ReadU8(&type) ||
+        !cur.ReadU64(&op.seq)) {
       return Status::DataLoss("wal group: truncated op");
     }
     op.kind = static_cast<WalPageOp::Kind>(kind);
@@ -228,9 +247,8 @@ Status WalWriter::Open() {
   if (ec) return Status::IOError("mkdir " + dir_ + ": " + ec.message());
   uint32_t next = 0;
   for (const auto& entry : fs::directory_iterator(dir_, ec)) {
-    const std::string name = entry.path().filename().string();
-    unsigned idx;
-    if (std::sscanf(name.c_str(), "seg-%8u.wal", &idx) == 1) {
+    uint32_t idx;
+    if (ParseSegmentName(entry.path().filename().string(), &idx)) {
       if (idx + 1 > next) next = idx + 1;
     }
   }
@@ -292,9 +310,8 @@ Status WalWriter::Truncate() {
   }
   std::error_code ec;
   for (const auto& entry : fs::directory_iterator(dir_, ec)) {
-    const std::string name = entry.path().filename().string();
-    unsigned idx;
-    if (std::sscanf(name.c_str(), "seg-%8u.wal", &idx) == 1) {
+    uint32_t idx;
+    if (ParseSegmentName(entry.path().filename().string(), &idx)) {
       fs::remove(entry.path(), ec);
       if (ec) {
         return Status::IOError("wal truncate: " + ec.message());
@@ -314,9 +331,8 @@ Result<WalReader::ScanResult> WalReader::ReadAll() {
 
   std::vector<std::pair<uint32_t, fs::path>> segments;
   for (const auto& entry : fs::directory_iterator(dir_, ec)) {
-    const std::string name = entry.path().filename().string();
-    unsigned idx;
-    if (std::sscanf(name.c_str(), "seg-%8u.wal", &idx) == 1) {
+    uint32_t idx;
+    if (ParseSegmentName(entry.path().filename().string(), &idx)) {
       segments.emplace_back(idx, entry.path());
     }
   }
@@ -324,6 +340,10 @@ Result<WalReader::ScanResult> WalReader::ReadAll() {
 
   for (size_t s = 0; s < segments.size(); ++s) {
     const fs::path& path = segments[s].second;
+    const uint64_t file_size = fs::file_size(path, ec);
+    if (ec) {
+      return Status::IOError("stat " + path.string() + ": " + ec.message());
+    }
     std::FILE* f = std::fopen(path.string().c_str(), "rb");
     if (f == nullptr) return StatusFromErrno("open " + path.string());
     uint64_t offset = 0;
@@ -345,6 +365,14 @@ Result<WalReader::ScanResult> WalReader::ReadAll() {
       std::memcpy(&payload_len, header + 16, 4);
       std::memcpy(&stored_sum, header + kChecksumOffset, 8);
       if (magic != kFrameMagic || type < 1 || type > 4) {
+        torn = true;
+        break;
+      }
+      // The length field is only protected by the checksum, which is
+      // verified *after* reading the payload — bound it by the bytes
+      // actually left in the segment so a corrupted header cannot demand
+      // a multi-gigabyte allocation and abort recovery with bad_alloc.
+      if (payload_len > file_size - offset - kFrameHeaderSize) {
         torn = true;
         break;
       }

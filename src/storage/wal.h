@@ -41,15 +41,18 @@ inline constexpr size_t kWalFrameHeaderSize = 4 + 8 + 1 + 3 + 4 + 8;
 
 // ------------------------------------------------------------- payloads
 
-/// Ordered page-lifetime operation inside a group. Replay re-executes
-/// allocs and deallocs in statement order against the recovered store so
-/// the free list comes out byte-for-byte identical (an alloc is verified
-/// to hand back the recorded page id).
+/// Page-lifetime operation inside a group, stamped with the store's
+/// global op sequence number. Group append order equals latch order only
+/// per table; statements on *different* tables allocate from the shared
+/// store in one global order yet race to the log, so replay collects the
+/// ops of every group, sorts them by `seq`, and re-executes each against
+/// exactly the recorded page id (DESIGN.md §10.4).
 struct WalPageOp {
   enum class Kind : uint8_t { kAlloc = 1, kDealloc = 2 };
   Kind kind = Kind::kAlloc;
   PageId page = kInvalidPageId;
   PageType type = PageType::kFree;  // allocs only
+  uint64_t seq = 0;                 // store-assigned global op order
 };
 
 /// After-image of one page the statement left dirty.

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
+#include <fstream>
 #include <functional>
 #include <map>
 #include <memory>
@@ -12,6 +14,7 @@
 #include "common/fault.h"
 #include "common/rng.h"
 #include "mapping_test_util.h"
+#include "storage/wal.h"
 
 namespace mtdb {
 namespace mapping {
@@ -511,6 +514,204 @@ TEST(RecoveryFreeListTest, DroppedPagesStayFreedAcrossRecovery) {
   EXPECT_EQ(rows->rows[0][0].AsInt64(), 400);
   auto gone = db->Query("SELECT COUNT(*) FROM doomed");
   EXPECT_FALSE(gone.ok()) << "dropped table resurrected by recovery";
+}
+
+// ---- Crafted-WAL replay-ordering regressions --------------------------
+//
+// These write a hand-built WAL into a fresh directory — the disk state a
+// crash leaves when concurrent statements on different tables raced to
+// the log — and open the database over it. They pin the exact
+// interleavings the multi-threaded soak only hits probabilistically.
+
+/// One-alloc redo group: alloc `page` at store sequence `seq` with a
+/// recognizable after-image.
+WalGroup AllocGroup(PageId page, uint64_t seq, char fill) {
+  WalGroup g;
+  g.ops.push_back({WalPageOp::Kind::kAlloc, page, PageType::kHeap, seq});
+  WalPageImage img;
+  img.page = page;
+  img.type = PageType::kHeap;
+  img.image.assign(kDefaultPageSize, fill);
+  g.images.push_back(std::move(img));
+  return g;
+}
+
+WalGroup DeallocGroup(PageId page, uint64_t seq) {
+  WalGroup g;
+  g.ops.push_back({WalPageOp::Kind::kDealloc, page, PageType::kFree, seq});
+  return g;
+}
+
+void CraftWal(const std::string& dir,
+              const std::vector<std::pair<uint64_t, WalGroup>>& groups) {
+  WalWriter writer(dir + "/wal", 4ull * 1024 * 1024);
+  ASSERT_TRUE(writer.Open().ok());
+  for (const auto& [lsn, group] : groups) {
+    ASSERT_TRUE(
+        writer.Append(lsn, WalRecordType::kGroup, EncodeWalGroup(group)).ok());
+  }
+}
+
+char FirstByteOf(PageStore* store, PageId id) {
+  PageType type;
+  std::vector<char> image;
+  uint64_t sum;
+  EXPECT_TRUE(store->RawRead(id, &type, &image, &sum).ok());
+  return image.empty() ? '\0' : image[0];
+}
+
+/// Two statements on different tables: the one that allocated *second*
+/// at the store (seq 2) won the race to the WAL (lsn 1). Replay must
+/// follow store order, not log order — pop-order replay would hand page
+/// 0 to the first group's recorded page 1 and fail recovery with
+/// "replay alloc diverged", leaving the database permanently
+/// unrecoverable.
+TEST(CraftedWalReplayTest, CrossTableAppendRaceReplaysInStoreOrder) {
+  const std::string dir = FreshDir("crafted_race");
+  CraftWal(dir, {{1, AllocGroup(1, 2, 'B')}, {2, AllocGroup(0, 1, 'A')}});
+  auto opened = Database::Open(dir);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  std::unique_ptr<Database> db = std::move(*opened);
+  EXPECT_TRUE(db->page_store()->IsAllocated(0));
+  EXPECT_TRUE(db->page_store()->IsAllocated(1));
+  EXPECT_EQ(FirstByteOf(db->page_store(), 0), 'A');
+  EXPECT_EQ(FirstByteOf(db->page_store(), 1), 'B');
+}
+
+/// Page 0 is freed by statement A (store seq 2) and immediately reused
+/// by statement B on another table (seq 3), but A's dealloc group
+/// reaches the log *after* B's alloc group. Sorted by seq the ops
+/// replay alloc/dealloc/alloc, and the page must come back with the new
+/// owner's image, not A's stale one.
+TEST(CraftedWalReplayTest, DeallocReallocRaceKeepsNewOwnersImage) {
+  const std::string dir = FreshDir("crafted_realloc");
+  CraftWal(dir, {{1, AllocGroup(0, 1, 'A')},
+                 {2, AllocGroup(0, 3, 'B')},
+                 {3, DeallocGroup(0, 2)}});
+  auto opened = Database::Open(dir);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  std::unique_ptr<Database> db = std::move(*opened);
+  EXPECT_TRUE(db->page_store()->IsAllocated(0));
+  EXPECT_EQ(FirstByteOf(db->page_store(), 0), 'B');
+}
+
+/// A logged alloc can sit above slots claimed by statements the crash
+/// caught before their append: the log shows only page 2. Id-directed
+/// replay must land on page 2 and hand the unlogged slots 0 and 1 back
+/// to the free list instead of diverging.
+TEST(CraftedWalReplayTest, UnloggedNeighbourSlotsReturnToFreeList) {
+  const std::string dir = FreshDir("crafted_gap");
+  CraftWal(dir, {{1, AllocGroup(2, 5, 'C')}});
+  auto opened = Database::Open(dir);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  std::unique_ptr<Database> db = std::move(*opened);
+  EXPECT_TRUE(db->page_store()->IsAllocated(2));
+  EXPECT_EQ(FirstByteOf(db->page_store(), 2), 'C');
+  EXPECT_FALSE(db->page_store()->IsAllocated(0));
+  EXPECT_FALSE(db->page_store()->IsAllocated(1));
+  const std::vector<PageId> free_list = db->page_store()->FreeListSnapshot();
+  EXPECT_EQ(std::count(free_list.begin(), free_list.end(), 0), 1);
+  EXPECT_EQ(std::count(free_list.begin(), free_list.end(), 1), 1);
+}
+
+// ---- WAL reader robustness ---------------------------------------------
+
+/// A corrupted length field must not drive a multi-gigabyte allocation:
+/// the moment the claimed payload exceeds the bytes left in the segment
+/// the frame is a torn tail, checksum unseen.
+TEST(WalReaderRobustnessTest, HugePayloadLengthIsATornTailNotABadAlloc) {
+  const std::string dir = FreshDir("wal_hugelen");
+  const std::string wal_dir = dir + "/wal";
+  {
+    WalWriter writer(wal_dir, 4ull * 1024 * 1024);
+    ASSERT_TRUE(writer.Open().ok());
+    ASSERT_TRUE(writer
+                    .Append(1, WalRecordType::kGroup,
+                            EncodeWalGroup(AllocGroup(0, 1, 'A')))
+                    .ok());
+  }
+  // Frame header with valid magic and type but a ~4 GiB payload length
+  // and a garbage checksum, as left by a corrupted header on disk.
+  std::string header;
+  const uint32_t magic = 0x4D57414Cu;  // "MWAL"
+  const uint64_t lsn = 2;
+  const uint32_t huge_len = 0xFFFFFF00u;
+  const uint64_t bogus_sum = 0x1234;
+  header.append(reinterpret_cast<const char*>(&magic), 4);
+  header.append(reinterpret_cast<const char*>(&lsn), 8);
+  header.push_back(1);  // kGroup
+  header.append(3, '\0');
+  header.append(reinterpret_cast<const char*>(&huge_len), 4);
+  header.append(reinterpret_cast<const char*>(&bogus_sum), 8);
+  {
+    std::ofstream out(wal_dir + "/seg-00000000.wal",
+                      std::ios::binary | std::ios::app);
+    out << header;
+  }
+  WalReader reader(wal_dir);
+  auto scan = reader.ReadAll();
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  EXPECT_EQ(scan->records.size(), 1u);
+  EXPECT_EQ(scan->truncated_tails, 1u);
+}
+
+/// Files that merely resemble segments must be invisible to the WAL:
+/// not scanned by the reader (a spurious torn tail), not counted by the
+/// writer when picking the next segment index, and not deleted by
+/// Truncate.
+TEST(WalReaderRobustnessTest, StraySegmentLookalikesAreIgnored) {
+  const std::string dir = FreshDir("wal_stray");
+  const std::string wal_dir = dir + "/wal";
+  {
+    WalWriter writer(wal_dir, 4ull * 1024 * 1024);
+    ASSERT_TRUE(writer.Open().ok());
+    ASSERT_TRUE(writer
+                    .Append(1, WalRecordType::kGroup,
+                            EncodeWalGroup(AllocGroup(0, 1, 'A')))
+                    .ok());
+  }
+  // A leftover temp file whose name embeds a *higher* index: a bare
+  // sscanf match would both scan its garbage as a segment and make the
+  // writer resume at segment 43.
+  const std::string stray = wal_dir + "/seg-00000042.wal.tmp";
+  {
+    std::ofstream out(stray, std::ios::binary);
+    out << "not a wal segment";
+  }
+
+  WalReader reader(wal_dir);
+  auto scan = reader.ReadAll();
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  EXPECT_EQ(scan->records.size(), 1u);
+  EXPECT_EQ(scan->truncated_tails, 0u) << "stray file scanned as a segment";
+
+  WalWriter writer(wal_dir, 4ull * 1024 * 1024);
+  ASSERT_TRUE(writer.Open().ok());
+  ASSERT_TRUE(writer
+                  .Append(2, WalRecordType::kGroup,
+                          EncodeWalGroup(AllocGroup(1, 2, 'B')))
+                  .ok());
+  EXPECT_TRUE(fs::exists(wal_dir + "/seg-00000001.wal"))
+      << "writer skipped indexes claimed by a stray file";
+  ASSERT_TRUE(writer.Truncate().ok());
+  EXPECT_TRUE(fs::exists(stray)) << "truncate deleted a non-segment file";
+  EXPECT_FALSE(fs::exists(wal_dir + "/seg-00000001.wal"));
+}
+
+/// Only ENOENT means "fresh database". Any other failure to open the
+/// checkpoint meta (here ELOOP via a self-referencing symlink, which
+/// defeats even root) must fail recovery instead of silently replaying
+/// a bare WAL against an empty base.
+TEST(RecoveryMetaTest, UnreadableMetaFailsOpenInsteadOfLookingFresh) {
+  const std::string dir = FreshDir("meta_unreadable");
+  fs::create_directories(dir);
+  fs::create_symlink("meta", dir + "/meta");
+  auto opened = Database::Open(dir);
+  ASSERT_FALSE(opened.ok())
+      << "an unreadable checkpoint meta was treated as a fresh database";
+  EXPECT_EQ(opened.status().code(), StatusCode::kIOError);
+  EXPECT_NE(opened.status().ToString().find("meta"), std::string::npos)
+      << opened.status().ToString();
 }
 
 }  // namespace
