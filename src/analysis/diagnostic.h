@@ -53,9 +53,23 @@ inline constexpr const char* kRuleMissingTenantConjunct = "I101";
 inline constexpr const char* kRuleWrongTenantLiteral = "I102";
 inline constexpr const char* kRuleUnalignedReconstruction = "I103";
 inline constexpr const char* kRuleDmlTenantWidening = "I104";
+inline constexpr const char* kRuleCrossTenantLockCoupling = "I105";
 
 // Verifier driver (verifier.h).
 inline constexpr const char* kRuleProbeFailed = "V001";
+
+// Lockdep latch-order validator (lockdep.h; runtime in common/latch.h).
+inline constexpr const char* kRuleRankInversion = "C201";
+inline constexpr const char* kRuleOrderKeyInversion = "C202";
+inline constexpr const char* kRuleAcquisitionCycle = "C203";
+inline constexpr const char* kRuleRecursiveAcquisition = "C204";
+inline constexpr const char* kRuleReleaseNotHeld = "C205";
+inline constexpr const char* kRuleThreadExitHolding = "C206";
+
+// WAL-protocol analyzer (lockdep.h).
+inline constexpr const char* kRuleUnloggedPageMutation = "C301";
+inline constexpr const char* kRuleCaptureLeak = "C302";
+inline constexpr const char* kRuleUnlatchedCommit = "C303";
 
 }  // namespace analysis
 }  // namespace mtdb

@@ -1,6 +1,7 @@
 #include "analysis/isolation_linter.h"
 
 #include <numeric>
+#include <optional>
 #include <set>
 #include <string>
 
@@ -233,6 +234,115 @@ void LintPhysicalStatement(const LintContext& ctx, const sql::Statement& stmt,
         TenantLoc(ctx, kind + " " + table),
         kind + " confined to tenant " + literal->literal.ToString() +
             " but originates from tenant " + std::to_string(ctx.tenant)});
+  }
+}
+
+namespace {
+
+/// The tenant rows one physical DML statement locks on a shared table,
+/// as far as the statement text proves it. `derived` is false when the
+/// statement is not lock-relevant here (SELECT, DDL, private table, or
+/// tenant not statically derivable — those are I101/I104 findings).
+struct LockFootprint {
+  bool derived = false;
+  std::vector<Value> tenants;  // distinct tenant literals locked
+  std::string describe;        // "UPDATE acct_chunk" etc., for messages
+};
+
+void AddTenant(LockFootprint* fp, const Value& v) {
+  for (const Value& seen : fp->tenants) {
+    if (seen == v) return;
+  }
+  fp->tenants.push_back(v);
+}
+
+LockFootprint DeriveFootprint(const LintContext& ctx,
+                              const sql::Statement& stmt) {
+  LockFootprint fp;
+  const ParsedExpr* where = nullptr;
+  std::string table;
+  switch (stmt.kind) {
+    case sql::StatementKind::kInsert: {
+      table = stmt.insert->table;
+      if (!IsSharedTable(ctx.catalog, table)) return fp;
+      // Position of the tenant column among the insert's value lists.
+      std::optional<size_t> pos;
+      if (stmt.insert->columns.empty()) {
+        const TableInfo* info = ctx.catalog->GetTable(table);
+        if (info != nullptr) pos = info->schema.Find("tenant");
+      } else {
+        for (size_t i = 0; i < stmt.insert->columns.size(); ++i) {
+          if (IdentEquals(stmt.insert->columns[i], "tenant")) {
+            pos = i;
+            break;
+          }
+        }
+      }
+      if (!pos.has_value()) return fp;
+      fp.describe = "INSERT " + table;
+      for (const auto& row : stmt.insert->rows) {
+        if (*pos >= row.size()) return LockFootprint{};
+        const ParsedExpr& e = *row[*pos];
+        if (e.kind != sql::PExprKind::kLiteral) return LockFootprint{};
+        fp.derived = true;
+        AddTenant(&fp, e.literal);
+      }
+      return fp;
+    }
+    case sql::StatementKind::kUpdate:
+      where = stmt.update->where.get();
+      table = stmt.update->table;
+      fp.describe = "UPDATE " + table;
+      break;
+    case sql::StatementKind::kDelete:
+      where = stmt.del->where.get();
+      table = stmt.del->table;
+      fp.describe = "DELETE " + table;
+      break;
+    default:
+      return fp;  // SELECTs take no row locks here; DDL is out of scope
+  }
+  if (!IsSharedTable(ctx.catalog, table)) return LockFootprint{};
+  std::vector<const ParsedExpr*> conjuncts;
+  sql::CollectConjuncts(where, &conjuncts);
+  const ParsedExpr* literal =
+      FindTenantConjunct(conjuncts, table, /*refs_in_scope=*/1);
+  if (literal == nullptr) return LockFootprint{};  // I104's finding
+  fp.derived = true;
+  AddTenant(&fp, literal->literal);
+  return fp;
+}
+
+}  // namespace
+
+void LintPhysicalStream(const LintContext& ctx,
+                        const std::vector<const sql::Statement*>& stream,
+                        std::vector<Diagnostic>* out) {
+  bool have_first = false;
+  Value first_tenant;
+  std::string first_site;
+  for (const sql::Statement* stmt : stream) {
+    if (stmt == nullptr) continue;
+    LockFootprint fp = DeriveFootprint(ctx, *stmt);
+    if (!fp.derived) continue;
+    for (const Value& t : fp.tenants) {
+      if (!have_first) {
+        have_first = true;
+        first_tenant = t;
+        first_site = fp.describe;
+        continue;
+      }
+      if (t == first_tenant) continue;
+      out->push_back(Diagnostic{
+          Severity::kError, kRuleCrossTenantLockCoupling,
+          TenantLoc(ctx, fp.describe),
+          "statement locks rows of tenant " + t.ToString() +
+              " while its stream already holds row locks of tenant " +
+              first_tenant.ToString() + " (from " + first_site +
+              "); one logical statement must never couple two tenants' "
+              "locks"});
+      return;  // one report per stream is enough
+    }
   }
 }
 

@@ -42,6 +42,19 @@ void LintPhysicalSelect(const LintContext& ctx, const sql::SelectStmt& stmt,
 void LintPhysicalStatement(const LintContext& ctx, const sql::Statement& stmt,
                            std::vector<Diagnostic>* out);
 
+/// Proves lock confinement of one logical statement's full physical
+/// stream (I105): every row lock the stream's DML takes on a shared
+/// table must belong to a single tenant. A stream that couples locks of
+/// two tenants lets one tenant's statement block — or deadlock with —
+/// another tenant's, defeating the co-location isolation argument of §3.
+/// Row locks are modeled from the statements themselves: the tenant
+/// conjunct literal of an UPDATE/DELETE, and the tenant column literal
+/// of each INSERT row. Statements whose tenant cannot be derived (no
+/// conjunct, parameterized tenant) are I101/I104 findings, not I105's.
+void LintPhysicalStream(const LintContext& ctx,
+                        const std::vector<const sql::Statement*>& stream,
+                        std::vector<Diagnostic>* out);
+
 }  // namespace analysis
 }  // namespace mtdb
 

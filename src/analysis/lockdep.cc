@@ -1,0 +1,24 @@
+#include "analysis/lockdep.h"
+
+namespace mtdb {
+namespace analysis {
+
+std::vector<Diagnostic> DrainLockdepDiagnostics() {
+  std::vector<Diagnostic> out;
+  for (lockdep::Violation& v : lockdep::Drain()) {
+    Diagnostic d;
+    d.severity = Severity::kError;
+    d.rule_id = std::move(v.rule_id);
+    d.location = std::move(v.location);
+    d.message = std::move(v.message);
+    if (!v.backtrace.empty()) {
+      d.message += "\n";
+      d.message += v.backtrace;
+    }
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace analysis
+}  // namespace mtdb

@@ -59,6 +59,18 @@ class Cursor {
   size_t pos_ = 0;
 };
 
+// Lockdep order keys for the kTableIndex latch family. The engine's
+// canonical acquisition order is tables ascending by TableId, and within
+// a table the heap before its indexes in creation (ascending IndexId)
+// order; these keys make the validator check exactly that.
+uint64_t HeapOrderKey(TableId table) {
+  return static_cast<uint64_t>(table) * 1'000'000;
+}
+uint64_t IndexOrderKey(TableId table, IndexId index) {
+  return static_cast<uint64_t>(table) * 1'000'000 +
+         static_cast<uint64_t>(index);
+}
+
 }  // namespace
 
 const IndexInfo* TableInfo::FindIndexOnPrefix(
@@ -87,12 +99,12 @@ size_t Catalog::BufferFramesLocked() const {
 }
 
 size_t Catalog::BufferFrames() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::shared_lock<SharedLatch> lock(mu_);
   return BufferFramesLocked();
 }
 
 uint64_t Catalog::metadata_bytes() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::shared_lock<SharedLatch> lock(mu_);
   return metadata_bytes_;
 }
 
@@ -108,7 +120,7 @@ void Catalog::Recharge(int64_t delta_bytes) {
 
 Result<TableInfo*> Catalog::CreateTable(const std::string& name,
                                         Schema schema) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  std::unique_lock<SharedLatch> lock(mu_);
   std::string key = IdentLower(name);
   if (tables_.count(key) != 0) {
     return Status::AlreadyExists("table exists: " + name);
@@ -122,6 +134,7 @@ Result<TableInfo*> Catalog::CreateTable(const std::string& name,
   info->schema = std::move(schema);
   info->codec = std::make_unique<RowCodec>(info->schema.Types());
   info->heap = std::make_unique<TableHeap>(pool_);
+  info->heap->latch().SetOrderKey(HeapOrderKey(info->id));
   TableInfo* raw = info.get();
   tables_.emplace(key, std::move(info));
   Recharge(static_cast<int64_t>(costs_.bytes_per_table +
@@ -130,7 +143,7 @@ Result<TableInfo*> Catalog::CreateTable(const std::string& name,
 }
 
 Status Catalog::DropTable(const std::string& name) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  std::unique_lock<SharedLatch> lock(mu_);
   std::string key = IdentLower(name);
   auto it = tables_.find(key);
   if (it == tables_.end()) {
@@ -153,7 +166,7 @@ Status Catalog::DropTable(const std::string& name) {
 Result<IndexInfo*> Catalog::CreateIndex(
     const std::string& table, const std::string& index_name,
     const std::vector<std::string>& column_names, bool unique) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  std::unique_lock<SharedLatch> lock(mu_);
   TableInfo* info = FindTableLocked(table);
   if (info == nullptr) return Status::NotFound("no such table: " + table);
   std::string ikey = IdentLower(index_name);
@@ -174,6 +187,7 @@ Result<IndexInfo*> Catalog::CreateIndex(
   idx->key_columns = std::move(cols);
   idx->unique = unique;
   idx->tree = std::make_unique<BTree>(pool_);
+  idx->tree->latch().SetOrderKey(IndexOrderKey(info->id, idx->id));
 
   // Backfill from existing rows. Any failure frees the half-built tree
   // so the catalog is left exactly as before the statement.
@@ -223,7 +237,7 @@ Result<IndexInfo*> Catalog::CreateIndex(
 }
 
 Status Catalog::DropIndex(const std::string& index_name) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  std::unique_lock<SharedLatch> lock(mu_);
   std::string ikey = IdentLower(index_name);
   auto it = index_to_table_.find(ikey);
   if (it == index_to_table_.end()) {
@@ -255,32 +269,32 @@ TableInfo* Catalog::FindTableLocked(TableId id) const {
 }
 
 TableInfo* Catalog::GetTable(const std::string& name) {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::shared_lock<SharedLatch> lock(mu_);
   return FindTableLocked(name);
 }
 
 const TableInfo* Catalog::GetTable(const std::string& name) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::shared_lock<SharedLatch> lock(mu_);
   return FindTableLocked(name);
 }
 
 TableInfo* Catalog::GetTable(TableId id) {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::shared_lock<SharedLatch> lock(mu_);
   return FindTableLocked(id);
 }
 
 size_t Catalog::table_count() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::shared_lock<SharedLatch> lock(mu_);
   return tables_.size();
 }
 
 size_t Catalog::index_count() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::shared_lock<SharedLatch> lock(mu_);
   return index_to_table_.size();
 }
 
 std::string Catalog::Snapshot() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::shared_lock<SharedLatch> lock(mu_);
   std::vector<const TableInfo*> tables;
   tables.reserve(tables_.size());
   for (const auto& [_, info] : tables_) tables.push_back(info.get());
@@ -320,7 +334,7 @@ std::string Catalog::Snapshot() const {
 Status Catalog::Restore(
     const std::string& blob,
     const std::unordered_map<TableId, TableOverride>& overrides) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  std::unique_lock<SharedLatch> lock(mu_);
   // The store was rebuilt by recovery; the stale TableInfos must not
   // Free() pages that now belong to the recovered objects.
   tables_.clear();
@@ -372,6 +386,7 @@ Status Catalog::Restore(
       first_page = over->first_page;
     }
     info->heap = std::make_unique<TableHeap>(pool_);
+    info->heap->latch().SetOrderKey(HeapOrderKey(info->id));
     MTDB_RETURN_IF_ERROR(info->heap->AttachChain(first_page));
 
     for (uint32_t i = 0; i < index_count; i++) {
@@ -395,6 +410,7 @@ Status Catalog::Restore(
         }
       }
       idx->tree = std::make_unique<BTree>(pool_, root);
+      idx->tree->latch().SetOrderKey(IndexOrderKey(info->id, idx->id));
       MTDB_RETURN_IF_ERROR(idx->tree->RebuildFromRoot());
       index_to_table_.emplace(IdentLower(idx->name), info->id);
       info->indexes.push_back(std::move(idx));
@@ -411,7 +427,7 @@ Status Catalog::Restore(
 }
 
 std::vector<std::string> Catalog::TableNames() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::shared_lock<SharedLatch> lock(mu_);
   std::vector<std::string> out;
   out.reserve(tables_.size());
   for (const auto& [_, info] : tables_) out.push_back(info->name);

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "catalog/schema.h"
+#include "common/latch.h"
 #include "common/result.h"
 #include "index/btree.h"
 #include "storage/row_codec.h"
@@ -126,7 +127,7 @@ class Catalog {
   MetadataCosts costs_;
   uint64_t metadata_bytes_ = 0;
 
-  mutable std::shared_mutex mu_;
+  mutable SharedLatch mu_{LatchRank::kCatalog, "catalog"};
   std::unordered_map<std::string, std::unique_ptr<TableInfo>> tables_;
   std::unordered_map<std::string, TableId> index_to_table_;
   TableId next_table_id_ = 1;

@@ -101,17 +101,17 @@ TenantSession SchemaMapping::OpenSession(TenantId tenant) {
 // in-flight statements, which hold it shared), then run the hooks.
 
 Status SchemaMapping::CreateTenant(TenantId tenant) {
-  std::unique_lock<std::shared_mutex> lock(layer_mu_);
+  std::unique_lock<SharedLatch> lock(layer_mu_);
   return CreateTenantImpl(tenant);
 }
 
 Status SchemaMapping::EnableExtension(TenantId tenant, const std::string& ext) {
-  std::unique_lock<std::shared_mutex> lock(layer_mu_);
+  std::unique_lock<SharedLatch> lock(layer_mu_);
   return EnableExtensionImpl(tenant, ext);
 }
 
 Status SchemaMapping::DropTenant(TenantId tenant) {
-  std::unique_lock<std::shared_mutex> lock(layer_mu_);
+  std::unique_lock<SharedLatch> lock(layer_mu_);
   return DropTenantImpl(tenant);
 }
 
@@ -132,9 +132,10 @@ Status SchemaMapping::CreateTenantImpl(TenantId tenant) {
           RegistryInsert("N", tenant, IdentLower(t.name), num));
     }
   }
-  // In-place construction: TenantEntry owns a mutex and cannot move.
+  // In-place construction: TenantEntry owns a latch and cannot move.
   TenantEntry& entry = tenants_[tenant];
   entry.state = TenantState(tenant);
+  entry.row_mu.SetOrderKey(static_cast<uint64_t>(tenant));
   return Status::OK();
 }
 
@@ -275,7 +276,7 @@ Status SchemaMapping::RecordTenantDropped(TenantId tenant) {
   // Forget the tenant's table numbers (ids are never reused, so a
   // re-created tenant gets fresh ones).
   {
-    std::lock_guard<std::mutex> lock(table_number_mu_);
+    std::lock_guard<Latch> lock(table_number_mu_);
     for (auto it = table_numbers_.begin(); it != table_numbers_.end();) {
       it = it->first.first == tenant ? table_numbers_.erase(it)
                                      : std::next(it);
@@ -298,7 +299,7 @@ Status SchemaMapping::RecordTenantDropped(TenantId tenant) {
 }
 
 Status SchemaMapping::Recover() {
-  std::unique_lock<std::shared_mutex> lock(layer_mu_);
+  std::unique_lock<SharedLatch> lock(layer_mu_);
   if (!db_->durable()) {
     return Status::InvalidArgument("Recover() needs a durable engine");
   }
@@ -314,7 +315,9 @@ Status SchemaMapping::Recover() {
       const std::string kind = r[0].ToString();
       const TenantId tenant = r[1].AsInt32();
       if (kind == "T") {
-        tenants_[tenant].state = TenantState(tenant);
+        TenantEntry& entry = tenants_[tenant];
+        entry.state = TenantState(tenant);
+        entry.row_mu.SetOrderKey(static_cast<uint64_t>(tenant));
       } else if (kind == "E") {
         exts[tenant][r[3].AsInt64()] = r[2].ToString();
       }
@@ -331,7 +334,7 @@ Status SchemaMapping::Recover() {
       }
     }
     {
-      std::lock_guard<std::mutex> tn(table_number_mu_);
+      std::lock_guard<Latch> tn(table_number_mu_);
       table_numbers_.clear();
       for (const Row& r : reg.rows) {
         if (r[0].ToString() != "N") continue;
@@ -385,7 +388,7 @@ Status SchemaMapping::Recover() {
 }
 
 std::vector<TenantId> SchemaMapping::TenantIds() const {
-  std::shared_lock<std::shared_mutex> lock(layer_mu_);
+  std::shared_lock<SharedLatch> lock(layer_mu_);
   std::vector<TenantId> out;
   out.reserve(tenants_.size());
   for (const auto& [id, _] : tenants_) out.push_back(id);
@@ -394,7 +397,7 @@ std::vector<TenantId> SchemaMapping::TenantIds() const {
 
 Result<std::vector<std::string>> SchemaMapping::TenantExtensions(
     TenantId tenant) const {
-  std::shared_lock<std::shared_mutex> lock(layer_mu_);
+  std::shared_lock<SharedLatch> lock(layer_mu_);
   auto it = tenants_.find(tenant);
   if (it == tenants_.end()) {
     return Status::NotFound("no such tenant: " + std::to_string(tenant));
@@ -403,14 +406,14 @@ Result<std::vector<std::string>> SchemaMapping::TenantExtensions(
 }
 
 bool SchemaMapping::IsQuarantined(TenantId tenant) const {
-  std::shared_lock<std::shared_mutex> lock(layer_mu_);
+  std::shared_lock<SharedLatch> lock(layer_mu_);
   auto it = tenants_.find(tenant);
   return it != tenants_.end() &&
          it->second.quarantined.load(std::memory_order_acquire);
 }
 
 Status SchemaMapping::ClearQuarantine(TenantId tenant) {
-  std::shared_lock<std::shared_mutex> lock(layer_mu_);
+  std::shared_lock<SharedLatch> lock(layer_mu_);
   auto it = tenants_.find(tenant);
   if (it == tenants_.end()) {
     return Status::NotFound("no such tenant: " + std::to_string(tenant));
@@ -480,7 +483,7 @@ Result<const TableMapping*> SchemaMapping::Mapping(TenantId tenant,
   // Returned pointers stay valid until the next InvalidateMappings();
   // statement paths hold the layer latch shared, which keeps admin DDL
   // (the only invalidator) out for the duration of the statement.
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  std::lock_guard<Latch> lock(cache_mu_);
   auto key = std::make_pair(tenant, IdentLower(table));
   auto it = mapping_cache_.find(key);
   if (it != mapping_cache_.end()) return it->second.get();
@@ -492,7 +495,7 @@ Result<const TableMapping*> SchemaMapping::Mapping(TenantId tenant,
 }
 
 void SchemaMapping::InvalidateMappings() {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  std::lock_guard<Latch> lock(cache_mu_);
   mapping_cache_.clear();
 }
 
@@ -508,7 +511,7 @@ void SchemaMapping::NotifyStatement(TenantId tenant,
 }
 
 int32_t SchemaMapping::TableNumber(TenantId tenant, const std::string& table) {
-  std::lock_guard<std::mutex> lock(table_number_mu_);
+  std::lock_guard<Latch> lock(table_number_mu_);
   auto key = std::make_pair(tenant, IdentLower(table));
   auto it = table_numbers_.find(key);
   if (it != table_numbers_.end()) return it->second;
@@ -520,7 +523,7 @@ int32_t SchemaMapping::TableNumber(TenantId tenant, const std::string& table) {
 Result<QueryResult> SchemaMapping::Query(TenantId tenant,
                                          const std::string& sql,
                                          const std::vector<Value>& params) {
-  std::shared_lock<std::shared_mutex> lock(layer_mu_);
+  std::shared_lock<SharedLatch> lock(layer_mu_);
   MTDB_RETURN_IF_ERROR(CheckTenantAvailable(tenant));
   MTDB_ASSIGN_OR_RETURN(auto stmt, sql::ParseSelect(sql));
   QueryTransformer transformer(this, transform_options_, &heat_);
@@ -535,7 +538,7 @@ Result<QueryResult> SchemaMapping::Query(TenantId tenant,
 
 Result<std::string> SchemaMapping::ShowTransformed(TenantId tenant,
                                                    const std::string& sql) {
-  std::shared_lock<std::shared_mutex> lock(layer_mu_);
+  std::shared_lock<SharedLatch> lock(layer_mu_);
   MTDB_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql));
   if (stmt.kind != sql::StatementKind::kSelect) {
     return Status::NotImplemented(
@@ -549,7 +552,7 @@ Result<std::string> SchemaMapping::ShowTransformed(TenantId tenant,
 
 Result<int64_t> SchemaMapping::Execute(TenantId tenant, const std::string& sql,
                                        const std::vector<Value>& params) {
-  std::shared_lock<std::shared_mutex> lock(layer_mu_);
+  std::shared_lock<SharedLatch> lock(layer_mu_);
   MTDB_RETURN_IF_ERROR(CheckTenantAvailable(tenant));
   MTDB_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql));
   stats_.statements_transformed++;
@@ -573,7 +576,7 @@ Result<int64_t> SchemaMapping::Execute(TenantId tenant, const std::string& sql,
 Result<int64_t> SchemaMapping::InsertRow(TenantId tenant,
                                          const std::string& table,
                                          const Row& row) {
-  std::shared_lock<std::shared_mutex> lock(layer_mu_);
+  std::shared_lock<SharedLatch> lock(layer_mu_);
   MTDB_RETURN_IF_ERROR(CheckTenantAvailable(tenant));
   MTDB_ASSIGN_OR_RETURN(EffectiveTable eff, GetEffective(tenant, table));
   std::vector<std::string> columns;
@@ -766,7 +769,7 @@ Result<int64_t> SchemaMapping::InsertMappedRow(
   }
   int64_t row_id = 0;
   if (needs_row) {
-    std::lock_guard<std::mutex> row_lock(entry->row_mu);
+    std::lock_guard<Latch> row_lock(entry->row_mu);
     row_id = entry->next_row[IdentLower(table)]++;
   }
 
@@ -1201,7 +1204,7 @@ Result<int64_t> SchemaMapping::GenericDelete(TenantId tenant,
 
 Result<int64_t> SchemaMapping::RestoreDeleted(TenantId tenant,
                                               const std::string& table) {
-  std::shared_lock<std::shared_mutex> lock(layer_mu_);
+  std::shared_lock<SharedLatch> lock(layer_mu_);
   MTDB_RETURN_IF_ERROR(CheckTenantAvailable(tenant));
   if (!trashcan_deletes_) {
     return Status::InvalidArgument("layout does not use trashcan deletes");

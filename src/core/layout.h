@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/latch.h"
 #include "engine/database.h"
 #include "core/logical_schema.h"
 #include "core/table_mapping.h"
@@ -244,8 +245,9 @@ class SchemaMapping : public MappingResolver {
     TenantState state;
     /// Guards next_row: the only per-tenant state statements mutate, so
     /// two sessions of the same tenant can insert concurrently without
-    /// sharing a lock with other tenants.
-    std::mutex row_mu;
+    /// sharing a lock with other tenants. Order key = TenantId (stamped
+    /// at tenant creation), so lockdep checks ascending-tenant order.
+    Latch row_mu{LatchRank::kTenantRow, "tenant-row"};
     /// next row id per logical table (lower-cased name).
     std::map<std::string, int64_t> next_row;
     /// Consecutive statements that ended in a hard I/O fault; reset by
@@ -318,9 +320,9 @@ class SchemaMapping : public MappingResolver {
   /// Layer latch (level 0, above every engine latch): statement entry
   /// points hold it shared for their full duration; admin operations
   /// hold it exclusive. Protected helpers (GetTenant, Generic*, ...)
-  /// assume it is held and never take it themselves — shared_mutex is
-  /// not recursive.
-  mutable std::shared_mutex layer_mu_;
+  /// assume it is held and never take it themselves — the underlying
+  /// shared_mutex is not recursive.
+  mutable SharedLatch layer_mu_{LatchRank::kMappingLayer, "mapping-layer"};
   TransformOptions transform_options_;
   LayoutStats stats_;
   HeatProfile heat_;
@@ -334,15 +336,16 @@ class SchemaMapping : public MappingResolver {
   std::map<TenantId, TenantEntry> tenants_;
 
   /// Guards mapping_cache_. Read-mostly: statements look mappings up far
-  /// more often than DDL invalidates them, and a build inside the lock
-  /// is pure in-memory work.
-  mutable std::mutex cache_mu_;
+  /// more often than DDL invalidates them. Ranked above the engine's
+  /// txn-gate/DDL latches because BuildMapping may lazily provision
+  /// physical tables (extension layouts) while this is held.
+  mutable Latch cache_mu_{LatchRank::kMappingCache, "mapping-cache"};
   /// Cache of (tenant, table-lower) -> TableMapping, filled via Mapping().
   std::map<std::pair<TenantId, std::string>, std::unique_ptr<TableMapping>>
       mapping_cache_;
 
   /// Guards table_numbers_/next_table_number_ (bumped from BuildMapping).
-  std::mutex table_number_mu_;
+  Latch table_number_mu_{LatchRank::kMappingTableNum, "mapping-table-num"};
   std::map<std::pair<TenantId, std::string>, int32_t> table_numbers_;
   int32_t next_table_number_ = 0;
 

@@ -133,7 +133,7 @@ class LatchSet {
     }
   }
 
-  void Lock(std::shared_mutex& mu, bool exclusive) {
+  void Lock(SharedLatch& mu, bool exclusive) {
     if (exclusive) {
       mu.lock();
     } else {
@@ -153,7 +153,7 @@ class LatchSet {
   }
 
  private:
-  std::vector<std::pair<std::shared_mutex*, bool>> held_;
+  std::vector<std::pair<SharedLatch*, bool>> held_;
 };
 
 /// Collects the base-table names referenced anywhere in `stmt`'s FROM
@@ -205,6 +205,10 @@ Database::Database(EngineOptions options)
                                        options_.metadata_costs);
   if (!options_.durable_path.empty()) {
     store_->set_dirty_tracking(true);
+    // Instrumented builds: from here on, every page mutation must happen
+    // inside a PageCaptureScope (C301) — recovery is exempt because WAL
+    // replay installs images via PageStore::RecoverInstall, not the pool.
+    pool_->set_wal_protocol_checks(true);
     DurabilityOptions dopts;
     dopts.wal_segment_bytes = options_.wal_segment_bytes;
     dopts.checkpoint_interval_bytes = options_.checkpoint_interval_bytes;
@@ -293,8 +297,8 @@ Status Database::Checkpoint() {
   }
   // Gate before DDL latch (the global order); exclusive on both quiesces
   // every statement and every open logical txn.
-  std::unique_lock<std::shared_mutex> gate(durability_->txn_gate());
-  std::unique_lock<std::shared_mutex> ddl(ddl_mu_);
+  std::unique_lock<SharedLatch> gate(durability_->txn_gate());
+  std::unique_lock<SharedLatch> ddl(ddl_mu_);
   return durability_->WriteCheckpoint(catalog_->Snapshot());
 }
 
@@ -327,6 +331,9 @@ Status Database::EndDurableTxn(uint64_t txn_id) {
 
 Status Database::CommitDmlGroup(const PageMutationCapture& capture,
                                 TableInfo* table) {
+  // WAL-protocol analyzer: the capture is consumed here, while the
+  // statement's exclusive latches are still held (C302/C303).
+  lockdep::OnCaptureCommit(&capture);
   if (durability_ == nullptr || capture.empty()) return Status::OK();
   std::vector<WalTableMeta> meta;
   WalTableMeta tm;
@@ -341,6 +348,7 @@ Status Database::CommitDmlGroup(const PageMutationCapture& capture,
 
 Status Database::CommitDdlGroup(const PageMutationCapture& capture,
                                 bool snapshot) {
+  lockdep::OnCaptureCommit(&capture);
   if (durability_ == nullptr || (capture.empty() && !snapshot)) {
     return Status::OK();
   }
@@ -395,7 +403,7 @@ Result<std::string> Database::Explain(const std::string& sql) {
 Result<std::string> Database::ExplainAst(const sql::SelectStmt& stmt) {
   // Planning only reads the catalog; holding the DDL latch shared keeps
   // the referenced TableInfos alive without blocking other statements.
-  std::shared_lock<std::shared_mutex> ddl(ddl_mu_);
+  std::shared_lock<SharedLatch> ddl(ddl_mu_);
   MTDB_ASSIGN_OR_RETURN(PlannedQuery plan,
                         PlanSelect(stmt, catalog_.get(), planner_mode()));
   return plan.plan_text;
@@ -415,7 +423,7 @@ Result<StatementResult> Database::RunStatement(const sql::Statement& stmt,
 
 Result<QueryResult> Database::RunSelect(const sql::SelectStmt& stmt,
                                         const std::vector<Value>& params) {
-  std::shared_lock<std::shared_mutex> ddl(ddl_mu_);
+  std::shared_lock<SharedLatch> ddl(ddl_mu_);
   std::vector<std::string> names;
   CollectSelectTables(stmt, &names);
   LatchSet latches;
@@ -454,7 +462,7 @@ Result<int64_t> Database::RunMutationInner(const sql::Statement& stmt,
     case sql::StatementKind::kInsert:
     case sql::StatementKind::kUpdate:
     case sql::StatementKind::kDelete: {
-      std::shared_lock<std::shared_mutex> ddl(ddl_mu_);
+      std::shared_lock<SharedLatch> ddl(ddl_mu_);
       const std::string& name = stmt.kind == sql::StatementKind::kInsert
                                     ? stmt.insert->table
                                     : stmt.kind == sql::StatementKind::kUpdate
@@ -498,7 +506,7 @@ Result<int64_t> Database::RunMutationInner(const sql::Statement& stmt,
       return result;
     }
     case sql::StatementKind::kCreateTable: {
-      std::unique_lock<std::shared_mutex> ddl(ddl_mu_);
+      std::unique_lock<SharedLatch> ddl(ddl_mu_);
       Schema schema;
       for (const sql::ColumnDef& def : stmt.create_table->columns) {
         schema.AddColumn(Column{def.name, def.type, def.not_null});
@@ -514,7 +522,7 @@ Result<int64_t> Database::RunMutationInner(const sql::Statement& stmt,
       return 0;
     }
     case sql::StatementKind::kCreateIndex: {
-      std::unique_lock<std::shared_mutex> ddl(ddl_mu_);
+      std::unique_lock<SharedLatch> ddl(ddl_mu_);
       PageMutationCapture capture;
       Result<IndexInfo*> created = [&]() -> Result<IndexInfo*> {
         PageCaptureScope scope(&capture);
@@ -528,7 +536,7 @@ Result<int64_t> Database::RunMutationInner(const sql::Statement& stmt,
       return 0;
     }
     case sql::StatementKind::kDropTable: {
-      std::unique_lock<std::shared_mutex> ddl(ddl_mu_);
+      std::unique_lock<SharedLatch> ddl(ddl_mu_);
       PageMutationCapture capture;
       Status dropped = [&]() -> Status {
         PageCaptureScope scope(&capture);
@@ -539,7 +547,7 @@ Result<int64_t> Database::RunMutationInner(const sql::Statement& stmt,
       return 0;
     }
     case sql::StatementKind::kDropIndex: {
-      std::unique_lock<std::shared_mutex> ddl(ddl_mu_);
+      std::unique_lock<SharedLatch> ddl(ddl_mu_);
       PageMutationCapture capture;
       Status dropped = [&]() -> Status {
         PageCaptureScope scope(&capture);
@@ -905,7 +913,7 @@ Result<int64_t> Database::ExecuteDelete(const sql::DeleteStmt& stmt,
 
 Status Database::CreateTable(const std::string& name, Schema schema) {
   Status st = [&]() -> Status {
-    std::unique_lock<std::shared_mutex> ddl(ddl_mu_);
+    std::unique_lock<SharedLatch> ddl(ddl_mu_);
     PageMutationCapture capture;
     Result<TableInfo*> created = [&]() -> Result<TableInfo*> {
       PageCaptureScope scope(&capture);
@@ -920,7 +928,7 @@ Status Database::CreateTable(const std::string& name, Schema schema) {
 
 Status Database::DropTable(const std::string& name) {
   Status st = [&]() -> Status {
-    std::unique_lock<std::shared_mutex> ddl(ddl_mu_);
+    std::unique_lock<SharedLatch> ddl(ddl_mu_);
     PageMutationCapture capture;
     Status dropped = [&]() -> Status {
       PageCaptureScope scope(&capture);
@@ -937,7 +945,7 @@ Status Database::CreateIndex(const std::string& table, const std::string& index,
                              const std::vector<std::string>& columns,
                              bool unique) {
   Status st = [&]() -> Status {
-    std::unique_lock<std::shared_mutex> ddl(ddl_mu_);
+    std::unique_lock<SharedLatch> ddl(ddl_mu_);
     PageMutationCapture capture;
     Result<IndexInfo*> created = [&]() -> Result<IndexInfo*> {
       PageCaptureScope scope(&capture);
@@ -952,7 +960,7 @@ Status Database::CreateIndex(const std::string& table, const std::string& index,
 
 Status Database::InsertRow(const std::string& table, const Row& row) {
   Status st = [&]() -> Status {
-    std::shared_lock<std::shared_mutex> ddl(ddl_mu_);
+    std::shared_lock<SharedLatch> ddl(ddl_mu_);
     TableInfo* info = catalog_->GetTable(table);
     if (info == nullptr) return Status::NotFound("no such table: " + table);
     LatchSet latches;
@@ -998,7 +1006,7 @@ void Database::ColdCache() {
   // Exclude in-flight statements so no pinned frame blocks the sweep.
   // A failed write-back keeps its frame cached, so ignoring the status
   // here cannot lose data — the sweep is just less cold.
-  std::unique_lock<std::shared_mutex> ddl(ddl_mu_);
+  std::unique_lock<SharedLatch> ddl(ddl_mu_);
   (void)pool_->EvictAll();
 }
 

@@ -3,12 +3,12 @@
 
 #include <atomic>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <variant>
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/latch.h"
 #include "common/result.h"
 #include "engine/planner.h"
 #include "sql/ast.h"
@@ -244,7 +244,7 @@ class Database {
   /// Level-1 latch: statements hold it shared for their whole duration,
   /// DDL holds it exclusive — so a TableInfo* resolved at statement
   /// start cannot be dropped mid-statement.
-  mutable std::shared_mutex ddl_mu_;
+  mutable SharedLatch ddl_mu_{LatchRank::kDdl, "ddl"};
 };
 
 }  // namespace mtdb

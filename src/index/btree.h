@@ -2,11 +2,11 @@
 #define MTDB_INDEX_BTREE_H_
 
 #include <cstdint>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/latch.h"
 #include "common/result.h"
 #include "common/types.h"
 #include "storage/buffer_pool.h"
@@ -79,9 +79,10 @@ class BTree {
   /// Per-index reader/writer latch. Like TableHeap::latch(), this is
   /// acquired only by the engine's statement pipeline (shared for
   /// lookups/scans, exclusive for inserts/deletes) at coarse per-index
-  /// granularity; BTree methods themselves never lock it, as
-  /// shared_mutex is not recursive.
-  std::shared_mutex& latch() const { return latch_; }
+  /// granularity; BTree methods themselves never lock it, as the
+  /// underlying shared_mutex is not recursive. The catalog stamps its
+  /// lockdep order key (TableId + IndexId) at registration.
+  SharedLatch& latch() const { return latch_; }
 
  private:
   struct NodeRef;  // defined in btree.cc
@@ -100,7 +101,7 @@ class BTree {
   PageId root_;
   uint64_t entries_ = 0;
   std::vector<PageId> all_pages_;
-  mutable std::shared_mutex latch_;
+  mutable SharedLatch latch_{LatchRank::kTableIndex, "btree"};
 };
 
 /// Appends an order-preserving RID suffix to `key` (used by BTree to

@@ -78,7 +78,7 @@ void BufferPool::DistributeCapacity(size_t total) {
   size_t share = total / kBufferPoolShards;
   if (share == 0) share = 1;
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::lock_guard<Latch> lock(shard.mu);
     shard.capacity = share;
     EvictIfNeeded(shard);
   }
@@ -97,7 +97,7 @@ Result<Page*> BufferPool::FetchPage(PageId id) {
   Shard& shard = shards_[ShardOf(id)];
   PageType type = store_->TypeOf(id);
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::lock_guard<Latch> lock(shard.mu);
     if (type == PageType::kIndex) {
       shard.stats.logical_reads_index++;
     } else {
@@ -125,7 +125,7 @@ Result<Page*> BufferPool::FetchPage(PageId id) {
   frame->page.set_id(id);
   frame->page.set_type(type);
   MTDB_RETURN_IF_ERROR(ReadWithRetry(id, frame->page.data()));
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::lock_guard<Latch> lock(shard.mu);
   auto [it, inserted] = shard.frames.try_emplace(id, std::move(frame));
   Frame* raw = it->second.get();
   if (inserted) {
@@ -146,9 +146,12 @@ Page* BufferPool::NewPage(PageType type) {
     cap->ops.push_back(
         {PageMutationCapture::Op::Kind::kAlloc, id, type, seq});
     cap->dirtied.push_back(id);
+    lockdep::OnCapturedMutation(cap);
+  } else if (wal_checks_) {
+    lockdep::ReportUnloggedMutation("NewPage", static_cast<uint64_t>(id));
   }
   Shard& shard = shards_[ShardOf(id)];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::lock_guard<Latch> lock(shard.mu);
   auto frame = std::make_unique<Frame>(store_->page_size());
   frame->page.set_id(id);
   frame->page.set_type(type);
@@ -163,7 +166,7 @@ Page* BufferPool::NewPage(PageType type) {
 
 void BufferPool::UnpinPage(PageId id, bool dirty) {
   Shard& shard = shards_[ShardOf(id)];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::lock_guard<Latch> lock(shard.mu);
   auto it = shard.frames.find(id);
   if (it == shard.frames.end()) return;
   Frame* frame = it->second.get();
@@ -171,7 +174,13 @@ void BufferPool::UnpinPage(PageId id, bool dirty) {
   frame->pin_count--;
   if (dirty) {
     frame->dirty = true;
-    if (PageMutationCapture* cap = tls_capture) cap->dirtied.push_back(id);
+    if (PageMutationCapture* cap = tls_capture) {
+      cap->dirtied.push_back(id);
+      lockdep::OnCapturedMutation(cap);
+    } else if (wal_checks_) {
+      lockdep::ReportUnloggedMutation("UnpinPage(dirty)",
+                                      static_cast<uint64_t>(id));
+    }
   }
   if (frame->pin_count == 0 && shard.frames.size() > shard.capacity) {
     EvictIfNeeded(shard);
@@ -181,7 +190,7 @@ void BufferPool::UnpinPage(PageId id, bool dirty) {
 void BufferPool::DeletePage(PageId id) {
   Shard& shard = shards_[ShardOf(id)];
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::lock_guard<Latch> lock(shard.mu);
     auto it = shard.frames.find(id);
     if (it != shard.frames.end()) {
       Frame* frame = it->second.get();
@@ -199,6 +208,10 @@ void BufferPool::DeletePage(PageId id) {
     if (PageMutationCapture* cap = tls_capture) {
       cap->ops.push_back(
           {PageMutationCapture::Op::Kind::kDealloc, id, PageType::kFree, seq});
+      lockdep::OnCapturedMutation(cap);
+    } else if (wal_checks_) {
+      lockdep::ReportUnloggedMutation("DeletePage",
+                                      static_cast<uint64_t>(id));
     }
   }
 }
@@ -217,7 +230,7 @@ Status BufferPool::FlushFrame(Frame* frame) {
 Status BufferPool::FlushAll() {
   Status first;
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::lock_guard<Latch> lock(shard.mu);
     for (auto& [id, frame] : shard.frames) {
       Status st = FlushFrame(frame.get());
       if (!st.ok() && first.ok()) first = st;
@@ -229,7 +242,7 @@ Status BufferPool::FlushAll() {
 Status BufferPool::EvictAll() {
   Status first;
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::lock_guard<Latch> lock(shard.mu);
     for (auto it = shard.frames.begin(); it != shard.frames.end();) {
       Frame* frame = it->second.get();
       if (frame->pin_count == 0) {
@@ -254,21 +267,21 @@ Status BufferPool::EvictAll() {
 void BufferPool::SetCapacity(size_t frames) {
   size_t total = frames == 0 ? 1 : frames;
   {
-    std::lock_guard<std::mutex> lock(capacity_mu_);
+    std::lock_guard<Latch> lock(capacity_mu_);
     capacity_ = total;
   }
   DistributeCapacity(total);
 }
 
 size_t BufferPool::capacity() const {
-  std::lock_guard<std::mutex> lock(capacity_mu_);
+  std::lock_guard<Latch> lock(capacity_mu_);
   return capacity_;
 }
 
 size_t BufferPool::frames_in_use() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::lock_guard<Latch> lock(shard.mu);
     total += shard.frames.size();
   }
   return total;
@@ -277,7 +290,7 @@ size_t BufferPool::frames_in_use() const {
 BufferPoolStats BufferPool::stats() const {
   BufferPoolStats total;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::lock_guard<Latch> lock(shard.mu);
     total.logical_reads_data += shard.stats.logical_reads_data;
     total.logical_reads_index += shard.stats.logical_reads_index;
     total.misses_data += shard.stats.misses_data;
@@ -289,7 +302,7 @@ BufferPoolStats BufferPool::stats() const {
 
 void BufferPool::ResetStats() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::lock_guard<Latch> lock(shard.mu);
     shard.stats = BufferPoolStats();
   }
 }

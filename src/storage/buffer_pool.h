@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/latch.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -174,6 +175,12 @@ class BufferPool {
     return static_cast<size_t>(static_cast<uint64_t>(id)) % kBufferPoolShards;
   }
 
+  /// WAL-protocol enforcement (instrumented builds): once on, any page
+  /// mutation on a thread with no PageCaptureScope installed is a C301
+  /// lockdep violation. The durable engine flips this on at startup;
+  /// pools without a durability layer legitimately mutate uncaptured.
+  void set_wal_protocol_checks(bool on) { wal_checks_ = on; }
+
  private:
   struct Frame {
     Page page;
@@ -187,7 +194,7 @@ class BufferPool {
   /// One latch-striped partition: frames, LRU order, local capacity
   /// share, and local stats, all guarded by `mu`.
   struct Shard {
-    mutable std::mutex mu;
+    mutable Latch mu{LatchRank::kBufferShard, "buffer-shard"};
     std::unordered_map<PageId, std::unique_ptr<Frame>> frames;
     std::list<PageId> lru;  // front = most recent
     size_t capacity = 1;
@@ -208,9 +215,11 @@ class BufferPool {
 
   PageStore* store_;
   std::array<Shard, kBufferPoolShards> shards_;
-  mutable std::mutex capacity_mu_;
+  mutable Latch capacity_mu_{LatchRank::kBufferCapacity, "buffer-capacity"};
   size_t capacity_;
   RetryPolicy retry_policy_;
+  /// Set once at engine startup, before concurrent traffic.
+  bool wal_checks_ = false;
 
   void DistributeCapacity(size_t total);
 };

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <filesystem>
 #include <map>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -155,7 +156,7 @@ Status Durability::CommitGroup(const PageMutationCapture& capture,
     group.catalog_blob = *catalog_blob;
   }
   std::string payload = EncodeWalGroup(group);
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<Latch> lock(mu_);
   MTDB_RETURN_IF_ERROR(AppendLocked(WalRecordType::kGroup, payload));
   counters_.OnGroupCommit();
   return Status::OK();
@@ -167,7 +168,7 @@ Result<uint64_t> Durability::BeginTxn() {
   WalTxnRecord rec;
   rec.txn_id = txn_id;
   std::string payload = EncodeWalTxn(rec);
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<Latch> lock(mu_);
   Status st = AppendLocked(WalRecordType::kTxnBegin, payload);
   if (!st.ok()) {
     txn_gate_.unlock_shared();
@@ -182,7 +183,7 @@ Status Durability::LogHint(uint64_t txn_id, const std::string& compensation_sql)
   rec.txn_id = txn_id;
   rec.sql = compensation_sql;
   std::string payload = EncodeWalTxn(rec);
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<Latch> lock(mu_);
   return AppendLocked(WalRecordType::kTxnHint, payload);
 }
 
@@ -192,7 +193,7 @@ Status Durability::EndTxn(uint64_t txn_id) {
   std::string payload = EncodeWalTxn(rec);
   Status st;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<Latch> lock(mu_);
     st = AppendLocked(WalRecordType::kTxnEnd, payload);
   }
   if (st.ok()) counters_.OnTxnEnd();
@@ -356,7 +357,7 @@ Status Durability::WriteCheckpoint(const std::string& catalog_blob) {
 
   CheckpointMeta meta;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<Latch> lock(mu_);
     meta.ckpt_lsn = next_lsn_ - 1;
   }
   meta.next_txn_id = next_txn_id_.load(std::memory_order_relaxed);
@@ -565,7 +566,7 @@ Result<RecoveredState> Durability::Recover() {
   state.next_txn_id = std::max(meta.next_txn_id, max_txn + 1);
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<Latch> lock(mu_);
     next_lsn_ = max_lsn + 1;
   }
   next_txn_id_.store(state.next_txn_id, std::memory_order_relaxed);

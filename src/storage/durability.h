@@ -4,11 +4,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "common/latch.h"
 #include "common/metrics.h"
 #include "common/result.h"
 #include "common/status.h"
@@ -98,7 +97,7 @@ class Durability {
 
   /// The gate ordered above the engine's DDL latch: statements inside a
   /// logical txn hold it shared; checkpoints take it exclusively.
-  std::shared_mutex& txn_gate() { return txn_gate_; }
+  SharedLatch& txn_gate() { return txn_gate_; }
 
   bool frozen() const { return frozen_.load(std::memory_order_acquire); }
   void Freeze() { frozen_.store(true, std::memory_order_release); }
@@ -139,12 +138,13 @@ class Durability {
   BufferPool* pool_;
   std::unique_ptr<WalWriter> writer_;
 
-  std::mutex mu_;  // serializes appends and lsn assignment
+  /// Serializes appends and lsn assignment.
+  Latch mu_{LatchRank::kWal, "wal-append"};
   uint64_t next_lsn_ = 1;
   std::atomic<uint64_t> next_txn_id_{1};
   std::atomic<uint64_t> bytes_since_ckpt_{0};
   std::atomic<bool> frozen_{false};
-  std::shared_mutex txn_gate_;
+  SharedLatch txn_gate_{LatchRank::kTxnGate, "txn-gate"};
   DurabilityCounters counters_;
 };
 

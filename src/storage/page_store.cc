@@ -19,7 +19,7 @@ uint64_t PageStore::Checksum(const char* data, size_t n) {
 }
 
 PageId PageStore::Allocate(PageType type, uint64_t* seq) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<Latch> lock(mu_);
   stats_.allocations++;
   if (seq != nullptr) *seq = op_seq_ + 1;
   ++op_seq_;
@@ -39,7 +39,7 @@ PageId PageStore::Allocate(PageType type, uint64_t* seq) {
 }
 
 void PageStore::Deallocate(PageId id, uint64_t* seq) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<Latch> lock(mu_);
   if (id < 0 || static_cast<size_t>(id) >= pages_.size() ||
       pages_[id].type == PageType::kFree) {
     return;
@@ -80,7 +80,7 @@ Status PageStore::Read(PageId id, char* out) {
   bool flip = injector != nullptr && injector->ShouldFire(FaultPoint::kBitFlip);
   uint64_t expected = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<Latch> lock(mu_);
     if (id < 0 || static_cast<size_t>(id) >= pages_.size() ||
         pages_[id].type == PageType::kFree) {
       return Status::NotFound("read of unallocated page " +
@@ -120,7 +120,7 @@ Status PageStore::Write(PageId id, const char* in) {
   bool torn = injector != nullptr &&
               injector->ShouldFire(FaultPoint::kTornWrite, &torn_spec);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<Latch> lock(mu_);
     if (id < 0 || static_cast<size_t>(id) >= pages_.size() ||
         pages_[id].type == PageType::kFree) {
       return Status::NotFound("write to unallocated page " +
@@ -148,29 +148,29 @@ Status PageStore::Write(PageId id, const char* in) {
 }
 
 PageType PageStore::TypeOf(PageId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<Latch> lock(mu_);
   if (id < 0 || static_cast<size_t>(id) >= pages_.size()) return PageType::kFree;
   return pages_[id].type;
 }
 
 bool PageStore::IsAllocated(PageId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<Latch> lock(mu_);
   return id >= 0 && static_cast<size_t>(id) < pages_.size() &&
          pages_[id].type != PageType::kFree;
 }
 
 size_t PageStore::allocated_pages() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<Latch> lock(mu_);
   return pages_.size() - free_list_.size();
 }
 
 PageStoreStats PageStore::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<Latch> lock(mu_);
   return stats_;
 }
 
 void PageStore::ResetStats() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<Latch> lock(mu_);
   stats_ = PageStoreStats();
 }
 
@@ -183,7 +183,7 @@ void PageStore::NoteDirtyLocked(PageId id) {
 }
 
 std::vector<PageId> PageStore::DirtySinceCheckpoint() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<Latch> lock(mu_);
   std::vector<PageId> out;
   for (size_t i = 0; i < dirty_.size(); ++i) {
     if (dirty_[i]) out.push_back(static_cast<PageId>(i));
@@ -192,25 +192,25 @@ std::vector<PageId> PageStore::DirtySinceCheckpoint() const {
 }
 
 void PageStore::ClearDirty(const std::vector<PageId>& flushed) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<Latch> lock(mu_);
   for (PageId id : flushed) {
     if (static_cast<size_t>(id) < dirty_.size()) dirty_[id] = false;
   }
 }
 
 std::vector<PageId> PageStore::FreeListSnapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<Latch> lock(mu_);
   return free_list_;
 }
 
 size_t PageStore::page_slots() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<Latch> lock(mu_);
   return pages_.size();
 }
 
 Status PageStore::RawRead(PageId id, PageType* type, std::vector<char>* image,
                           uint64_t* checksum) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<Latch> lock(mu_);
   if (id < 0 || static_cast<size_t>(id) >= pages_.size() ||
       pages_[id].type == PageType::kFree) {
     return Status::NotFound("raw read of unallocated page " +
@@ -223,7 +223,7 @@ Status PageStore::RawRead(PageId id, PageType* type, std::vector<char>* image,
 }
 
 Result<uint64_t> PageStore::StoredChecksum(PageId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<Latch> lock(mu_);
   if (id < 0 || static_cast<size_t>(id) >= pages_.size() ||
       pages_[id].type == PageType::kFree) {
     return Status::NotFound("checksum of unallocated page " +
@@ -233,7 +233,7 @@ Result<uint64_t> PageStore::StoredChecksum(PageId id) const {
 }
 
 void PageStore::RecoverReset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<Latch> lock(mu_);
   pages_.clear();
   free_list_.clear();
   dirty_.clear();
@@ -241,7 +241,7 @@ void PageStore::RecoverReset() {
 }
 
 Status PageStore::RecoverAlloc(PageId id, PageType type) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<Latch> lock(mu_);
   if (id < 0) return Status::DataLoss("replay alloc: negative page id");
   if (static_cast<size_t>(id) >= pages_.size()) {
     // Slot numbers grow in op order and ops replay in op order, so a
@@ -271,7 +271,7 @@ Status PageStore::RecoverAlloc(PageId id, PageType type) {
 }
 
 Status PageStore::RecoverDealloc(PageId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<Latch> lock(mu_);
   if (id < 0 || static_cast<size_t>(id) >= pages_.size() ||
       pages_[id].type == PageType::kFree) {
     return Status::DataLoss("replay dealloc of unallocated page " +
@@ -284,13 +284,13 @@ Status PageStore::RecoverDealloc(PageId id) {
 }
 
 void PageStore::RecoverSetOpSeq(uint64_t last_seq) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<Latch> lock(mu_);
   op_seq_ = std::max(op_seq_, last_seq);
 }
 
 Status PageStore::RecoverInstall(PageId id, PageType type, const char* image,
                                  bool mark_dirty) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<Latch> lock(mu_);
   if (id < 0) return Status::InvalidArgument("recover install: bad page id");
   if (static_cast<size_t>(id) >= pages_.size()) {
     pages_.resize(id + 1,
@@ -308,7 +308,7 @@ Status PageStore::RecoverInstall(PageId id, PageType type, const char* image,
 }
 
 void PageStore::RecoverSetFreeList(std::vector<PageId> free_list) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<Latch> lock(mu_);
   // Free slots past the last installed page have no image to install, but
   // the slot array must still cover them or a post-recovery Allocate that
   // pops one would index out of range.

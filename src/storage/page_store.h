@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/fault.h"
+#include "common/latch.h"
 #include "common/metrics.h"
 #include "common/result.h"
 #include "common/status.h"
@@ -188,7 +189,7 @@ class PageStore {
   void NoteDirtyLocked(PageId id);
 
   uint32_t page_size_;
-  mutable std::mutex mu_;
+  mutable Latch mu_{LatchRank::kPageStore, "page-store"};
   std::vector<StoredPage> pages_;
   std::vector<PageId> free_list_;
   PageStoreStats stats_;

@@ -2,11 +2,11 @@
 #define MTDB_STORAGE_TABLE_HEAP_H_
 
 #include <cstdint>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/latch.h"
 #include "common/result.h"
 #include "common/types.h"
 #include "storage/buffer_pool.h"
@@ -81,7 +81,9 @@ class TableHeap {
 
   /// Per-table reader/writer latch; acquired by the engine for the full
   /// duration of each statement touching this table (never internally).
-  std::shared_mutex& latch() const { return latch_; }
+  /// The catalog stamps its lockdep order key (from the TableId) when
+  /// the table is registered, so same-rank acquisition order is checked.
+  SharedLatch& latch() const { return latch_; }
 
  private:
   friend class Iterator;
@@ -96,7 +98,7 @@ class TableHeap {
   /// Approximate free bytes per page, maintained on insert/delete.
   std::unordered_map<PageId, uint32_t> free_space_;
   uint64_t live_tuples_ = 0;
-  mutable std::shared_mutex latch_;
+  mutable SharedLatch latch_{LatchRank::kTableIndex, "table-heap"};
 };
 
 }  // namespace mtdb

@@ -366,6 +366,61 @@ TEST(IsolationLinterTest, FiresDmlTenantWidening) {
   EXPECT_TRUE(HasRule(out, kRuleDmlTenantWidening)) << RulesOf(out);
 }
 
+TEST(IsolationLinterTest, FiresCrossTenantLockCoupling) {
+  auto db = MakePhysicalDb();
+  LintContext ctx;
+  ctx.tenant = 7;
+  ctx.catalog = db->catalog();
+
+  // A Phase (b) stream whose second chunk update locks another tenant's
+  // rows: the statement couples tenant 7's and tenant 8's row locks.
+  sql::Statement a = MustParse(
+      "UPDATE phys SET c1 = 'x' WHERE tenant = 7 AND row = 3");
+  sql::Statement b = MustParse(
+      "UPDATE phys2 SET c1 = 'y' WHERE tenant = 8 AND row = 3");
+  std::vector<Diagnostic> out;
+  LintPhysicalStream(ctx, {&a, &b}, &out);
+  EXPECT_TRUE(HasRule(out, kRuleCrossTenantLockCoupling)) << RulesOf(out);
+
+  // Same stream confined to one tenant: clean.
+  sql::Statement b_ok = MustParse(
+      "UPDATE phys2 SET c1 = 'y' WHERE tenant = 7 AND row = 3");
+  out.clear();
+  LintPhysicalStream(ctx, {&a, &b_ok}, &out);
+  EXPECT_TRUE(out.empty()) << RulesOf(out);
+}
+
+TEST(IsolationLinterTest, LockCouplingSeesInsertLiterals) {
+  auto db = MakePhysicalDb();
+  LintContext ctx;
+  ctx.tenant = 7;
+  ctx.catalog = db->catalog();
+
+  // INSERT routes by value: the tenant column literal names the rows
+  // the insert locks. Mixing tenants inside one stream is coupling.
+  sql::Statement ins = MustParse(
+      "INSERT INTO phys (tenant, row, c1) VALUES (7, 1, 'a')");
+  sql::Statement foreign = MustParse(
+      "INSERT INTO phys2 (tenant, row, c1) VALUES (9, 1, 'b')");
+  std::vector<Diagnostic> out;
+  LintPhysicalStream(ctx, {&ins, &foreign}, &out);
+  EXPECT_TRUE(HasRule(out, kRuleCrossTenantLockCoupling)) << RulesOf(out);
+
+  // A single multi-row INSERT spanning tenants couples on its own.
+  sql::Statement multi = MustParse(
+      "INSERT INTO phys (tenant, row, c1) VALUES (7, 1, 'a'), (8, 2, 'b')");
+  out.clear();
+  LintPhysicalStream(ctx, {&multi}, &out);
+  EXPECT_TRUE(HasRule(out, kRuleCrossTenantLockCoupling)) << RulesOf(out);
+
+  // Private-table DML and tenant-confined statements stay clean.
+  sql::Statement same = MustParse(
+      "INSERT INTO phys2 (tenant, row, c1) VALUES (7, 1, 'b')");
+  out.clear();
+  LintPhysicalStream(ctx, {&ins, &same}, &out);
+  EXPECT_TRUE(out.empty()) << RulesOf(out);
+}
+
 TEST(IsolationLinterTest, PrivateTablesPassVacuously) {
   auto db = std::make_unique<Database>();
   ASSERT_TRUE(db->Execute("CREATE TABLE t7_account (aid BIGINT, "

@@ -5,6 +5,7 @@
 #include <tuple>
 #include <vector>
 
+#include "analysis/lockdep.h"
 #include "analysis/verifier.h"
 #include "common/fault.h"
 #include "common/rng.h"
@@ -275,6 +276,19 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string(LayoutKindName(std::get<0>(info.param))) + "_seed" +
              std::to_string(std::get<1>(info.param));
     });
+
+// Runs last in this binary: under an instrumented build
+// (-DMTDB_LOCKDEP=ON) every test above must have left the lockdep
+// registry empty — no latch-order or WAL-protocol violations anywhere
+// in the suite's workload.
+TEST(LockdepCleanliness, NoViolationsAcrossSuite) {
+  if (!analysis::LockdepCompiledIn()) {
+    GTEST_SKIP() << "validator not compiled in (build with MTDB_LOCKDEP)";
+  }
+  std::vector<analysis::Diagnostic> diagnostics =
+      analysis::DrainLockdepDiagnostics();
+  EXPECT_TRUE(diagnostics.empty()) << analysis::FormatDiagnostics(diagnostics);
+}
 
 }  // namespace
 }  // namespace mapping

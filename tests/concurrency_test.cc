@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/lockdep.h"
 #include "analysis/verifier.h"
 #include "common/metrics.h"
 #include "core/tenant_session.h"
@@ -195,6 +196,19 @@ TEST(ConcurrencyStressTest, SampleSetPerWorkerMerge) {
                    static_cast<double>(kWorkers * kSamples - 1));
   // The merged quantiles see the global distribution, not one worker's.
   EXPECT_GT(merged.Quantile(0.95), static_cast<double>(7 * kSamples));
+}
+
+// Runs last in this binary: under an instrumented build
+// (-DMTDB_LOCKDEP=ON) every test above must have left the lockdep
+// registry empty — no latch-order or WAL-protocol violations anywhere
+// in the suite's workload.
+TEST(LockdepCleanliness, NoViolationsAcrossSuite) {
+  if (!analysis::LockdepCompiledIn()) {
+    GTEST_SKIP() << "validator not compiled in (build with MTDB_LOCKDEP)";
+  }
+  std::vector<analysis::Diagnostic> diagnostics =
+      analysis::DrainLockdepDiagnostics();
+  EXPECT_TRUE(diagnostics.empty()) << analysis::FormatDiagnostics(diagnostics);
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include <tuple>
 #include <vector>
 
+#include "analysis/lockdep.h"
 #include "analysis/verifier.h"
 #include "common/fault.h"
 #include "common/rng.h"
@@ -712,6 +713,19 @@ TEST(RecoveryMetaTest, UnreadableMetaFailsOpenInsteadOfLookingFresh) {
   EXPECT_EQ(opened.status().code(), StatusCode::kIOError);
   EXPECT_NE(opened.status().ToString().find("meta"), std::string::npos)
       << opened.status().ToString();
+}
+
+// Runs last in this binary: under an instrumented build
+// (-DMTDB_LOCKDEP=ON) every test above must have left the lockdep
+// registry empty — no latch-order or WAL-protocol violations anywhere
+// in the suite's workload.
+TEST(LockdepCleanliness, NoViolationsAcrossSuite) {
+  if (!analysis::LockdepCompiledIn()) {
+    GTEST_SKIP() << "validator not compiled in (build with MTDB_LOCKDEP)";
+  }
+  std::vector<analysis::Diagnostic> diagnostics =
+      analysis::DrainLockdepDiagnostics();
+  EXPECT_TRUE(diagnostics.empty()) << analysis::FormatDiagnostics(diagnostics);
 }
 
 }  // namespace

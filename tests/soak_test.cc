@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/lockdep.h"
 #include "common/fault.h"
 #include "common/rng.h"
 #include "core/chunk_folding_layout.h"
@@ -482,6 +483,19 @@ TEST(DurableConcurrentSoakTest, EightThreadCrossTableCrashRecoversExactly) {
                              << reopened.status().ToString();
   db = std::move(*reopened);
   reconcile("post-clean-reopen");
+}
+
+// Runs last in this binary: under an instrumented build
+// (-DMTDB_LOCKDEP=ON) every test above must have left the lockdep
+// registry empty — no latch-order or WAL-protocol violations anywhere
+// in the suite's workload.
+TEST(LockdepCleanliness, NoViolationsAcrossSuite) {
+  if (!analysis::LockdepCompiledIn()) {
+    GTEST_SKIP() << "validator not compiled in (build with MTDB_LOCKDEP)";
+  }
+  std::vector<analysis::Diagnostic> diagnostics =
+      analysis::DrainLockdepDiagnostics();
+  EXPECT_TRUE(diagnostics.empty()) << analysis::FormatDiagnostics(diagnostics);
 }
 
 }  // namespace
