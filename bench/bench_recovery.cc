@@ -63,7 +63,7 @@ Result<RunResult> RunPoint(const std::string& dir, int ops,
   result.checkpoint_interval = interval;
   {
     MTDB_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
-                          Database::Open(dir, options));
+                          Database::Open(DatabaseOptions::WithPath(dir, options)));
     Schema schema;
     schema.AddColumn(Column{"id", TypeId::kInt64, true});
     schema.AddColumn(Column{"name", TypeId::kString, false});
@@ -90,7 +90,7 @@ Result<RunResult> RunPoint(const std::string& dir, int ops,
 
   auto start = std::chrono::steady_clock::now();
   MTDB_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
-                        Database::Open(dir, options));
+                        Database::Open(DatabaseOptions::WithPath(dir, options)));
   auto end = std::chrono::steady_clock::now();
   result.recovery_ms =
       std::chrono::duration<double, std::milli>(end - start).count();

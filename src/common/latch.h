@@ -30,6 +30,7 @@ namespace mtdb {
 ///    held, so the log order matches memory order per table.
 enum class LatchRank : uint8_t {
   kPageStore = 0,        // PageStore::mu_ (innermost)
+  kMetricsRegistry = 5,  // MetricsRegistry::mu_ (leaf: never calls out)
   kBufferShard = 10,     // BufferPool::Shard::mu
   kBufferCapacity = 20,  // BufferPool::capacity_mu_
   kWal = 30,             // Durability::mu_ (append + lsn assignment)

@@ -1,0 +1,182 @@
+#include "common/metrics_registry.h"
+
+#include <algorithm>
+#include <mutex>
+
+namespace mtdb {
+
+const std::array<uint64_t, LatencyHistogram::kBuckets>&
+LatencyHistogram::BucketBoundsUs() {
+  // 1-2-5 ladder from 1us to 1s; beyond lands in the overflow bucket.
+  static const std::array<uint64_t, kBuckets> kBounds = {
+      1,     2,     5,      10,     20,     50,     100,     200,     500,
+      1000,  2000,  5000,   10000,  20000,  50000,  100000,  200000,  500000,
+      1000000};
+  return kBounds;
+}
+
+void LatencyHistogram::Record(uint64_t micros) {
+  const auto& bounds = BucketBoundsUs();
+  size_t i = 0;
+  while (i < kBuckets && micros > bounds[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_us_.fetch_add(micros, std::memory_order_relaxed);
+}
+
+uint64_t MetricsSnapshot::CounterValue(const std::string& name) const {
+  for (const CounterEntry& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+const MetricsSnapshot::HistogramEntry* MetricsSnapshot::FindHistogram(
+    const std::string& name) const {
+  for (const HistogramEntry& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Escapes a metric name for a JSON string literal. Names are built from
+/// identifiers, dots and digits, so only the JSON structural characters
+/// need care.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"" + JsonEscape(counters[i].name) +
+           "\": " + std::to_string(counters[i].value);
+  }
+  out += counters.empty() ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramEntry& h = histograms[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"" + JsonEscape(h.name) + "\": {\n";
+    out += "      \"count\": " + std::to_string(h.count) + ",\n";
+    out += "      \"sum_us\": " + std::to_string(h.sum_us) + ",\n";
+    out += "      \"bounds_us\": [";
+    for (size_t b = 0; b < h.bounds_us.size(); ++b) {
+      if (b > 0) out += ", ";
+      out += std::to_string(h.bounds_us[b]);
+    }
+    out += "],\n      \"buckets\": [";
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b > 0) out += ", ";
+      out += std::to_string(h.buckets[b]);
+    }
+    out += "]\n    }";
+  }
+  out += histograms.empty() ? "},\n" : "\n  },\n";
+  out += "  \"dropped_series\": " + std::to_string(dropped_series) + "\n}";
+  return out;
+}
+
+MetricsRegistry::MetricsRegistry(size_t max_series)
+    : max_series_(max_series == 0 ? 1 : max_series) {}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<Latch> lock(mu_);
+  auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second.get();
+  if (counters_.size() + histograms_.size() >= max_series_) {
+    dropped_series_++;
+    return &overflow_counter_;
+  }
+  auto counter = std::make_unique<Counter>();
+  Counter* out = counter.get();
+  counters_.emplace(name, std::move(counter));
+  return out;
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<Latch> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second.get();
+  if (counters_.size() + histograms_.size() >= max_series_) {
+    dropped_series_++;
+    return &overflow_histogram_;
+  }
+  auto hist = std::make_unique<LatencyHistogram>();
+  LatencyHistogram* out = hist.get();
+  histograms_.emplace(name, std::move(hist));
+  return out;
+}
+
+void MetricsRegistry::RegisterGauge(std::string name,
+                                    std::function<uint64_t()> fn) {
+  std::lock_guard<Latch> lock(mu_);
+  gauges_.emplace_back(std::move(name), std::move(fn));
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot out;
+  // Copy the gauge list under the latch, evaluate outside it: gauge
+  // callbacks snapshot other components and may take their latches.
+  std::vector<std::pair<std::string, std::function<uint64_t()>>> gauges;
+  {
+    std::lock_guard<Latch> lock(mu_);
+    for (const auto& [name, counter] : counters_) {
+      out.counters.push_back({name, counter->value()});
+    }
+    for (const auto& [name, hist] : histograms_) {
+      MetricsSnapshot::HistogramEntry e;
+      e.name = name;
+      const auto& bounds = LatencyHistogram::BucketBoundsUs();
+      e.bounds_us.assign(bounds.begin(), bounds.end());
+      e.buckets.reserve(LatencyHistogram::kBuckets + 1);
+      for (size_t i = 0; i <= LatencyHistogram::kBuckets; ++i) {
+        e.buckets.push_back(hist->bucket(i));
+      }
+      e.count = hist->count();
+      e.sum_us = hist->sum_us();
+      out.histograms.push_back(std::move(e));
+    }
+    gauges = gauges_;
+    out.dropped_series = dropped_series_.value();
+  }
+  for (const auto& [name, fn] : gauges) {
+    out.counters.push_back({name, fn()});
+  }
+  std::sort(out.counters.begin(), out.counters.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  return out;
+}
+
+}  // namespace mtdb

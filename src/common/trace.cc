@@ -1,0 +1,151 @@
+#include "common/trace.h"
+
+#include <cstdlib>
+
+namespace mtdb::trace {
+
+namespace internal {
+thread_local StatementTracer* tls_tracer = nullptr;
+}  // namespace internal
+
+SpanIo Span::TotalIo() const {
+  SpanIo total = io;
+  for (const auto& child : children) total += child->TotalIo();
+  return total;
+}
+
+void StatementTracer::BeginStatement(int64_t tenant, std::string layout,
+                                     std::string kind) {
+  if (!enabled_ || open_) return;
+  open_ = std::make_unique<StatementTrace>();
+  open_->tenant = tenant;
+  open_->layout = std::move(layout);
+  open_->kind = std::move(kind);
+  open_->root = std::make_unique<Span>();
+  open_->root->name = open_->kind;
+  stack_.clear();
+  stack_.push_back(open_->root.get());
+  current_ = open_->root.get();
+  span_started_.clear();
+  started_ = std::chrono::steady_clock::now();
+}
+
+void StatementTracer::EndStatement(bool ok) {
+  if (!open_) return;
+  const auto now = std::chrono::steady_clock::now();
+  // Close any child spans left open by an error unwind.
+  while (stack_.size() > 1) EndSpan();
+  open_->root->elapsed_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now - started_)
+          .count());
+  open_->ok = ok;
+
+  if (registry_) {
+    SeriesPtrs* s = SeriesFor(open_->tenant, open_->layout, open_->kind);
+    const SpanIo total = open_->root->TotalIo();
+    (*s->count)++;
+    if (!ok) (*s->errors)++;
+    s->pool_hits->Add(total.pool_hits);
+    s->pool_misses->Add(total.pool_misses);
+    s->pages_read->Add(total.physical_reads);
+    s->pages_written->Add(total.physical_writes);
+    s->wal_bytes->Add(total.wal_bytes);
+    s->latency->Record(open_->root->elapsed_ns / 1000);
+  }
+  statements_traced_++;
+  last_ = std::move(open_);
+  stack_.clear();
+  current_ = nullptr;
+}
+
+void StatementTracer::BeginSpan(std::string name) {
+  if (!open_) return;
+  auto span = std::make_unique<Span>();
+  span->name = std::move(name);
+  Span* raw = span.get();
+  current_->children.push_back(std::move(span));
+  stack_.push_back(raw);
+  current_ = raw;
+  span_started_.push_back(std::chrono::steady_clock::now());
+}
+
+void StatementTracer::EndSpan() {
+  if (!open_ || stack_.size() <= 1) return;
+  const auto now = std::chrono::steady_clock::now();
+  current_->elapsed_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          now - span_started_.back())
+          .count());
+  span_started_.pop_back();
+  stack_.pop_back();
+  current_ = stack_.back();
+}
+
+StatementTracer::SeriesPtrs* StatementTracer::SeriesFor(
+    int64_t tenant, const std::string& layout, const std::string& kind) {
+  std::string tlabel = "t" + std::to_string(tenant);
+  std::string key = layout + "." + kind + "." + tlabel;
+  auto it = series_.find(key);
+  if (it == series_.end() && series_.size() >= kMaxSeriesKeys) {
+    // Per-tracer cardinality bound: collapse the tenant dimension once
+    // this session has touched too many distinct series.
+    tlabel = "other";
+    key = layout + "." + kind + ".other";
+    it = series_.find(key);
+  }
+  if (it != series_.end()) return &it->second;
+
+  const std::string suffix = layout + "." + kind + "." + tlabel;
+  SeriesPtrs ptrs;
+  ptrs.count = registry_->GetCounter("stmt.count." + suffix);
+  ptrs.errors = registry_->GetCounter("stmt.errors." + suffix);
+  ptrs.pool_hits = registry_->GetCounter("stmt.pool_hits." + suffix);
+  ptrs.pool_misses = registry_->GetCounter("stmt.pool_misses." + suffix);
+  ptrs.pages_read = registry_->GetCounter("stmt.pages_read." + suffix);
+  ptrs.pages_written = registry_->GetCounter("stmt.pages_written." + suffix);
+  ptrs.wal_bytes = registry_->GetCounter("stmt.wal_bytes." + suffix);
+  ptrs.latency = registry_->GetHistogram("stmt.latency_us." + suffix);
+  return &series_.emplace(key, ptrs).first->second;
+}
+
+namespace {
+
+void DumpSpan(const Span& span, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += span.name;
+  *out += " (" + std::to_string(span.elapsed_ns / 1000) + "us";
+  const SpanIo& io = span.io;
+  if (io.pool_hits || io.pool_misses) {
+    *out += ", pool " + std::to_string(io.pool_hits) + "h/" +
+            std::to_string(io.pool_misses) + "m";
+  }
+  if (io.physical_reads || io.physical_writes) {
+    *out += ", io " + std::to_string(io.physical_reads) + "r/" +
+            std::to_string(io.physical_writes) + "w";
+  }
+  if (io.wal_bytes) *out += ", wal " + std::to_string(io.wal_bytes) + "B";
+  *out += ")\n";
+  for (const auto& child : span.children) DumpSpan(*child, depth + 1, out);
+}
+
+}  // namespace
+
+std::string StatementTracer::DumpLast() const {
+  if (!last_) return "(no trace)";
+  std::string out = "tenant=" + std::to_string(last_->tenant) + " layout=" +
+                    last_->layout + " kind=" + last_->kind +
+                    (last_->ok ? " ok" : " error") + "\n";
+  DumpSpan(*last_->root, 0, &out);
+  return out;
+}
+
+bool TracingForced() {
+  static const bool forced = [] {
+    const char* env = std::getenv("MTDB_TRACE");
+    return env != nullptr && env[0] != '\0' &&
+           !(env[0] == '0' && env[1] == '\0');
+  }();
+  return forced;
+}
+
+}  // namespace mtdb::trace

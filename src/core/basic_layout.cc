@@ -79,8 +79,9 @@ Result<int64_t> BasicLayout::GenericUpdate(TenantId tenant,
   phys.update->where = sql::AndTogether(
       TenantConjunct(tenant),
       stmt.where == nullptr ? nullptr : stmt.where->Clone());
-  stats_.physical_statements++;
   NotifyStatement(tenant, phys);
+  if (Explaining()) return 0;
+  stats_.physical_statements++;
   return db_->ExecuteAst(phys, params);
 }
 
@@ -94,8 +95,9 @@ Result<int64_t> BasicLayout::GenericDelete(TenantId tenant,
   phys.del->where = sql::AndTogether(
       TenantConjunct(tenant),
       stmt.where == nullptr ? nullptr : stmt.where->Clone());
-  stats_.physical_statements++;
   NotifyStatement(tenant, phys);
+  if (Explaining()) return 0;
+  stats_.physical_statements++;
   return db_->ExecuteAst(phys, params);
 }
 

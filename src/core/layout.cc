@@ -6,6 +6,7 @@
 #include "catalog/schema.h"
 #include "core/tenant_session.h"
 #include "core/undo_log.h"
+#include "sql/ast_util.h"
 #include "sql/parser.h"
 #include "sql/printer.h"
 
@@ -91,7 +92,39 @@ Schema PhysicalSchemaFromColumns(const std::vector<Column>& cols) {
 }
 
 SchemaMapping::SchemaMapping(Database* db, const AppSchema* app)
-    : db_(db), app_(app) {}
+    : db_(db), app_(app) {
+  if (db_ != nullptr) {
+    quarantine_threshold_.store(db_->default_quarantine_threshold(),
+                                std::memory_order_relaxed);
+  }
+}
+
+namespace {
+
+/// Sink installed on the thread executing ExplainMapping; see layout.h.
+thread_local SchemaMapping::ExplainSink* tls_explain_sink = nullptr;
+
+class ExplainScope {
+ public:
+  explicit ExplainScope(SchemaMapping::ExplainSink* sink)
+      : prev_(tls_explain_sink) {
+    tls_explain_sink = sink;
+  }
+  ~ExplainScope() { tls_explain_sink = prev_; }
+  ExplainScope(const ExplainScope&) = delete;
+  ExplainScope& operator=(const ExplainScope&) = delete;
+
+ private:
+  SchemaMapping::ExplainSink* prev_;
+};
+
+}  // namespace
+
+bool SchemaMapping::Explaining() { return tls_explain_sink != nullptr; }
+
+SchemaMapping::ExplainSink* SchemaMapping::CurrentExplainSink() {
+  return tls_explain_sink;
+}
 
 TenantSession SchemaMapping::OpenSession(TenantId tenant) {
   return TenantSession(this, tenant);
@@ -418,7 +451,7 @@ Status SchemaMapping::ClearQuarantine(TenantId tenant) {
   if (it == tenants_.end()) {
     return Status::NotFound("no such tenant: " + std::to_string(tenant));
   }
-  it->second.hard_faults.store(0, std::memory_order_relaxed);
+  it->second.hard_faults.Reset();
   it->second.quarantined.store(false, std::memory_order_release);
   return Status::OK();
 }
@@ -438,7 +471,7 @@ void SchemaMapping::NoteTenantOutcome(TenantId tenant, const Status& status) {
   if (it == tenants_.end()) return;
   TenantEntry& entry = it->second;
   if (status.ok()) {
-    entry.hard_faults.store(0, std::memory_order_relaxed);
+    entry.hard_faults.Reset();
     return;
   }
   // Only hard I/O faults count: logical errors (NotFound, constraint
@@ -447,7 +480,7 @@ void SchemaMapping::NoteTenantOutcome(TenantId tenant, const Status& status) {
       status.code() != StatusCode::kDataLoss) {
     return;
   }
-  uint64_t n = entry.hard_faults.fetch_add(1, std::memory_order_relaxed) + 1;
+  uint64_t n = entry.hard_faults.IncrementAndGet();
   if (n >= quarantine_threshold_.load(std::memory_order_relaxed) &&
       !entry.quarantined.exchange(true, std::memory_order_acq_rel)) {
     stats_.quarantine_trips++;
@@ -500,12 +533,31 @@ void SchemaMapping::InvalidateMappings() {
 }
 
 void SchemaMapping::NotifySelect(TenantId tenant, const sql::SelectStmt& stmt) {
+  if (ExplainSink* sink = CurrentExplainSink()) {
+    // Explain-only statements never reach the observer: they are not
+    // "about to be executed" (Phase (a) reads excepted, which ARE
+    // executed but belong to the explain, not to real traffic).
+    PhysicalStatementPlan plan;
+    plan.op = "select";
+    plan.table = sql::FirstTableOf(stmt);
+    plan.sql = sql::ToSql(stmt);
+    sink->out->push_back(std::move(plan));
+    return;
+  }
   PhysicalStatementObserver* obs = observer_.load(std::memory_order_acquire);
   if (obs != nullptr) obs->OnSelect(tenant, stmt);
 }
 
 void SchemaMapping::NotifyStatement(TenantId tenant,
                                     const sql::Statement& stmt) {
+  if (ExplainSink* sink = CurrentExplainSink()) {
+    PhysicalStatementPlan plan;
+    plan.op = sql::KindLabel(stmt.kind);
+    plan.table = sql::FirstTableOf(stmt);
+    plan.sql = sql::ToSql(stmt);
+    sink->out->push_back(std::move(plan));
+    return;
+  }
   PhysicalStatementObserver* obs = observer_.load(std::memory_order_acquire);
   if (obs != nullptr) obs->OnStatement(tenant, stmt);
 }
@@ -548,6 +600,59 @@ Result<std::string> SchemaMapping::ShowTransformed(TenantId tenant,
   MTDB_ASSIGN_OR_RETURN(auto physical,
                         transformer.TransformSelect(tenant, *stmt.select));
   return sql::ToSql(*physical);
+}
+
+Result<MappingExplanation> SchemaMapping::ExplainMapping(
+    TenantId tenant, const std::string& sql, const std::vector<Value>& params) {
+  MTDB_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql));
+  return ExplainMapping(tenant, stmt, params);
+}
+
+Result<MappingExplanation> SchemaMapping::ExplainMapping(
+    TenantId tenant, const sql::Statement& stmt,
+    const std::vector<Value>& params) {
+  const sql::Statement* target = &stmt;
+  if (stmt.kind == sql::StatementKind::kExplainMapping) {
+    target = stmt.explain->target.get();
+  }
+  std::shared_lock<SharedLatch> lock(layer_mu_);
+  MTDB_RETURN_IF_ERROR(CheckTenantAvailable(tenant));
+
+  MappingExplanation out;
+  out.layout = name();
+  out.tenant = tenant;
+  out.logical = sql::ToSql(*target);
+  ExplainSink sink;
+  sink.out = &out.statements;
+  ExplainScope scope(&sink);
+  switch (target->kind) {
+    case sql::StatementKind::kSelect: {
+      // Same transformation Query() runs, minus heat recording (an
+      // explain is not application traffic).
+      QueryTransformer transformer(this, transform_options_);
+      MTDB_ASSIGN_OR_RETURN(auto physical,
+                            transformer.TransformSelect(tenant, *target->select));
+      NotifySelect(tenant, *physical);
+      MTDB_ASSIGN_OR_RETURN(out.plan_text, db_->ExplainAst(*physical));
+      break;
+    }
+    case sql::StatementKind::kInsert:
+      MTDB_RETURN_IF_ERROR(
+          GenericInsert(tenant, *target->insert, params).status());
+      break;
+    case sql::StatementKind::kUpdate:
+      MTDB_RETURN_IF_ERROR(
+          GenericUpdate(tenant, *target->update, params).status());
+      break;
+    case sql::StatementKind::kDelete:
+      MTDB_RETURN_IF_ERROR(
+          GenericDelete(tenant, *target->del, params).status());
+      break;
+    default:
+      return Status::InvalidArgument(
+          "EXPLAIN MAPPING supports SELECT/INSERT/UPDATE/DELETE");
+  }
+  return out;
 }
 
 Result<int64_t> SchemaMapping::Execute(TenantId tenant, const std::string& sql,
@@ -770,7 +875,14 @@ Result<int64_t> SchemaMapping::InsertMappedRow(
   int64_t row_id = 0;
   if (needs_row) {
     std::lock_guard<Latch> row_lock(entry->row_mu);
-    row_id = entry->next_row[IdentLower(table)]++;
+    if (ExplainSink* sink = CurrentExplainSink()) {
+      // Peek the id the insert WOULD get without consuming it; the
+      // per-table offset keeps a multi-row explain's ids consecutive.
+      row_id = entry->next_row[IdentLower(table)] +
+               sink->row_offsets[IdentLower(table)]++;
+    } else {
+      row_id = entry->next_row[IdentLower(table)]++;
+    }
   }
 
   // Value per logical column (lower-cased name).
@@ -791,6 +903,7 @@ Result<int64_t> SchemaMapping::InsertMappedRow(
   // compensation (including the last: a crash before the txn-end record
   // must roll the WHOLE logical insert back, not strand its last chunk).
   const bool needs_undo = caller_undo != nullptr || multi_source;
+  const bool explaining = Explaining();
   auto fail = [&](const Status& st) -> Status {
     // With a caller-owned log the caller rolls back the whole statement.
     if (caller_undo == nullptr) {
@@ -841,6 +954,25 @@ Result<int64_t> SchemaMapping::InsertMappedRow(
       if (!cast.ok()) return fail(cast.status());
       physical_row[*pos] = *std::move(cast);
     }
+    if (explaining || observer_.load(std::memory_order_acquire) != nullptr) {
+      // Physical inserts go through the engine's row API, so the INSERT
+      // the engine would otherwise parse is synthesized here for the
+      // observer / EXPLAIN MAPPING sink (built only when someone looks).
+      sql::Statement ins;
+      ins.kind = sql::StatementKind::kInsert;
+      ins.insert = std::make_unique<sql::InsertStmt>();
+      ins.insert->table = source.physical_table;
+      std::vector<sql::ParsedExprPtr> vals;
+      for (size_t i = 0; i < physical_row.size() && i < phys->schema.size();
+           ++i) {
+        if (physical_row[i].is_null()) continue;
+        ins.insert->columns.push_back(phys->schema.at(i).name);
+        vals.push_back(sql::MakeLiteral(physical_row[i]));
+      }
+      ins.insert->rows.push_back(std::move(vals));
+      NotifyStatement(tenant, ins);
+    }
+    if (explaining) continue;  // never execute under EXPLAIN MAPPING
     if (needs_undo) {
       Status sst = undo->Stage(
           CompensatingDelete(source, phys->schema, physical_row, row_id));
@@ -1000,6 +1132,10 @@ Result<int64_t> SchemaMapping::GenericUpdate(TenantId tenant,
     return st;
   };
 
+  // Under EXPLAIN MAPPING Phase (b) is planned but never run: no undo
+  // staging, no ExecuteAst, no stats — NotifyStatement records the plan.
+  const bool explaining = Explaining();
+
   // Batched Phase (b) (§6.3's IN-predicate option): only when every
   // assignment is a constant (all affected rows get the same values).
   bool batchable = dml_mode_ == DmlMode::kBatched;
@@ -1035,7 +1171,7 @@ Result<int64_t> SchemaMapping::GenericUpdate(TenantId tenant,
           phys.update->assignments.emplace_back(col, sql::MakeLiteral(val));
         }
         phys.update->where = RowBatchPredicate(source, rows, begin, end);
-        if (record_undo) {
+        if (record_undo && !explaining) {
           for (size_t i = begin; i < end; ++i) {
             Status sst = undo.Stage(CompensatingUpdate(
                 source, rows[i], old_assigns_for(src, affected[i].logical)));
@@ -1043,6 +1179,7 @@ Result<int64_t> SchemaMapping::GenericUpdate(TenantId tenant,
           }
         }
         NotifyStatement(tenant, phys);
+        if (explaining) continue;
         Result<int64_t> n = db_->ExecuteAst(phys, {});
         if (!n.ok()) return fail(n.status());
         stats_.physical_statements++;
@@ -1078,12 +1215,13 @@ Result<int64_t> SchemaMapping::GenericUpdate(TenantId tenant,
         phys.update->assignments.emplace_back(col, sql::MakeLiteral(val));
       }
       phys.update->where = RowLocalPredicate(source, row.row_id);
-      if (record_undo) {
+      if (record_undo && !explaining) {
         Status sst = undo.Stage(CompensatingUpdate(
             source, row.row_id, old_assigns_for(src, row.logical)));
         if (!sst.ok()) return fail(sst);
       }
       NotifyStatement(tenant, phys);
+      if (explaining) continue;
       Result<int64_t> n = db_->ExecuteAst(phys, {});
       if (!n.ok()) return fail(n.status());
       stats_.physical_statements++;
@@ -1124,6 +1262,9 @@ Result<int64_t> SchemaMapping::GenericDelete(TenantId tenant,
         CompensatingInsert(*mapping, src, eff, row.logical, row.row_id));
   };
 
+  // See GenericUpdate: EXPLAIN MAPPING plans Phase (b) without running it.
+  const bool explaining = Explaining();
+
   // Batched Phase (b): one statement per chunk per batch of rows.
   if (dml_mode_ == DmlMode::kBatched && !affected.empty() &&
       !mapping->sources[0].row_column.empty()) {
@@ -1150,13 +1291,14 @@ Result<int64_t> SchemaMapping::GenericDelete(TenantId tenant,
           phys.del->table = source.physical_table;
           phys.del->where = RowBatchPredicate(source, rows, begin, end);
         }
-        if (record_undo) {
+        if (record_undo && !explaining) {
           for (size_t i = begin; i < end; ++i) {
             Status sst = stage_removal(src, affected[i]);
             if (!sst.ok()) return fail(sst);
           }
         }
         NotifyStatement(tenant, phys);
+        if (explaining) continue;
         Result<int64_t> n = db_->ExecuteAst(phys, {});
         if (!n.ok()) return fail(n.status());
         stats_.physical_statements++;
@@ -1187,11 +1329,12 @@ Result<int64_t> SchemaMapping::GenericDelete(TenantId tenant,
         phys.del->table = source.physical_table;
         phys.del->where = RowLocalPredicate(source, row.row_id);
       }
-      if (record_undo) {
+      if (record_undo && !explaining) {
         Status sst = stage_removal(src, row);
         if (!sst.ok()) return fail(sst);
       }
       NotifyStatement(tenant, phys);
+      if (explaining) continue;
       Result<int64_t> n = db_->ExecuteAst(phys, {});
       if (!n.ok()) return fail(n.status());
       stats_.physical_statements++;

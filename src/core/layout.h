@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/latch.h"
+#include "common/metrics_registry.h"
 #include "engine/database.h"
 #include "core/logical_schema.h"
 #include "core/table_mapping.h"
@@ -28,23 +29,24 @@ namespace mapping {
 ///    row"), which trades statement count for predicate size.
 enum class DmlMode { kPerRow, kBatched };
 
-/// Counters are atomic so concurrent tenant sessions bump them without
-/// coordination; read them individually (the struct is not copyable).
+/// Counters are relaxed-atomic (common/metrics_registry.h Counter) so
+/// concurrent tenant sessions bump them without coordination; read them
+/// individually (the struct is not copyable).
 struct LayoutStats {
-  std::atomic<uint64_t> queries_transformed{0};
-  std::atomic<uint64_t> statements_transformed{0};
-  std::atomic<uint64_t> physical_statements{0};
+  Counter queries_transformed;
+  Counter statements_transformed;
+  Counter physical_statements;
   /// Physical DDL issued after Bootstrap (table rebuilds, lazy extension
   /// tables); generic layouts keep this at zero — §3's on-line argument.
-  std::atomic<uint64_t> ddl_statements{0};
+  Counter ddl_statements;
   /// Logical statements rolled back mid-flight after a physical write
   /// failed (see StatementUndoLog).
-  std::atomic<uint64_t> statement_rollbacks{0};
+  Counter statement_rollbacks;
   /// Compensating physical statements executed during those rollbacks.
-  std::atomic<uint64_t> undo_statements{0};
+  Counter undo_statements;
   /// Times a tenant crossed the consecutive-hard-fault threshold and was
   /// quarantined.
-  std::atomic<uint64_t> quarantine_trips{0};
+  Counter quarantine_trips;
 };
 
 /// Observes every physical statement the mapping layer emits against the
@@ -140,6 +142,21 @@ class SchemaMapping : public MappingResolver {
 
   /// Returns the transformed physical SQL (for inspection/examples).
   Result<std::string> ShowTransformed(TenantId tenant, const std::string& sql);
+
+  /// EXPLAIN MAPPING: reports the physical statements the logical
+  /// statement would map to for `tenant`, WITHOUT executing any of them
+  /// (no rows change, no row ids are consumed, no WAL is written, no
+  /// stats counters move). UPDATE/DELETE explains do execute the Phase
+  /// (a) reconstruction read — the Phase (b) statement set depends on
+  /// which rows qualify — but never Phase (b) itself. A bare statement
+  /// or an EXPLAIN MAPPING statement both work as input; the parser
+  /// front door unwraps the latter.
+  Result<MappingExplanation> ExplainMapping(
+      TenantId tenant, const std::string& sql,
+      const std::vector<Value>& params = {});
+  Result<MappingExplanation> ExplainMapping(
+      TenantId tenant, const sql::Statement& stmt,
+      const std::vector<Value>& params = {});
 
   /// Direct structured insert (used by bulk loaders): values in the
   /// tenant's effective column order; missing trailing columns NULL.
@@ -251,8 +268,9 @@ class SchemaMapping : public MappingResolver {
     /// next row id per logical table (lower-cased name).
     std::map<std::string, int64_t> next_row;
     /// Consecutive statements that ended in a hard I/O fault; reset by
-    /// any success. Atomic so sessions update without the row lock.
-    std::atomic<uint64_t> hard_faults{0};
+    /// any success. Relaxed-atomic so sessions update without the row
+    /// lock.
+    Counter hard_faults;
     std::atomic<bool> quarantined{false};
   };
 
@@ -306,6 +324,29 @@ class SchemaMapping : public MappingResolver {
   /// Invalidates all cached TableMappings (call after DDL).
   void InvalidateMappings();
 
+ public:
+  /// EXPLAIN MAPPING plumbing. While a thread runs ExplainMapping, a
+  /// thread-local ExplainSink is installed: NotifySelect/NotifyStatement
+  /// record the would-be physical statement into the sink (instead of
+  /// the observer), and every execution site — undo staging, ExecuteAst,
+  /// InsertRow, row-id assignment, stats bumps — is gated on
+  /// Explaining(). The DML paths therefore run their normal
+  /// transformation logic and produce the plan as a side effect. Public
+  /// only so the file-local installer can name the type; not client API.
+  struct ExplainSink {
+    std::vector<PhysicalStatementPlan>* out = nullptr;
+    /// Offset added to each table's peeked next_row counter so a
+    /// multi-row INSERT explain reports consecutive row ids without
+    /// consuming any.
+    std::map<std::string, int64_t> row_offsets;
+  };
+
+  /// True while the current thread is inside ExplainMapping.
+  static bool Explaining();
+  /// The sink installed on this thread (nullptr when not explaining).
+  static ExplainSink* CurrentExplainSink();
+
+ protected:
   /// Forwards an emitted physical statement to the observer, if any.
   /// Layouts must call these immediately before handing an AST to db_.
   void NotifySelect(TenantId tenant, const sql::SelectStmt& stmt);

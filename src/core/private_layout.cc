@@ -156,8 +156,9 @@ Result<int64_t> PrivateTableLayout::GenericUpdate(
     phys.update->assignments.emplace_back(col, expr->Clone());
   }
   if (stmt.where != nullptr) phys.update->where = stmt.where->Clone();
-  stats_.physical_statements++;
   NotifyStatement(tenant, phys);
+  if (Explaining()) return 0;
+  stats_.physical_statements++;
   return db_->ExecuteAst(phys, params);
 }
 
@@ -169,8 +170,9 @@ Result<int64_t> PrivateTableLayout::GenericDelete(
   phys.del = std::make_unique<sql::DeleteStmt>();
   phys.del->table = PhysicalName(tenant, stmt.table);
   if (stmt.where != nullptr) phys.del->where = stmt.where->Clone();
-  stats_.physical_statements++;
   NotifyStatement(tenant, phys);
+  if (Explaining()) return 0;
+  stats_.physical_statements++;
   return db_->ExecuteAst(phys, params);
 }
 

@@ -1,10 +1,14 @@
 #ifndef MTDB_CORE_TENANT_SESSION_H_
 #define MTDB_CORE_TENANT_SESSION_H_
 
+#include <cctype>
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/trace.h"
 #include "core/layout.h"
 
 namespace mtdb {
@@ -31,7 +35,7 @@ class TenantSession {
                             const std::vector<Value>& params = {}) {
     if (layout_ == nullptr) return Status::InvalidArgument("session is closed");
     statements_++;
-    return layout_->Query(tenant_, sql, params);
+    return Traced("select", [&] { return layout_->Query(tenant_, sql, params); });
   }
 
   /// Runs logical INSERT/UPDATE/DELETE; returns affected logical rows.
@@ -39,7 +43,8 @@ class TenantSession {
                           const std::vector<Value>& params = {}) {
     if (layout_ == nullptr) return Status::InvalidArgument("session is closed");
     statements_++;
-    return layout_->Execute(tenant_, sql, params);
+    return Traced(GuessKind(sql),
+                  [&] { return layout_->Execute(tenant_, sql, params); });
   }
 
   /// Direct structured insert (bulk loaders): values in the tenant's
@@ -47,7 +52,8 @@ class TenantSession {
   Result<int64_t> InsertRow(const std::string& table, const Row& row) {
     if (layout_ == nullptr) return Status::InvalidArgument("session is closed");
     statements_++;
-    return layout_->InsertRow(tenant_, table, row);
+    return Traced("insert",
+                  [&] { return layout_->InsertRow(tenant_, table, row); });
   }
 
   /// Returns the transformed physical SQL (for inspection/examples).
@@ -55,6 +61,28 @@ class TenantSession {
     if (layout_ == nullptr) return Status::InvalidArgument("session is closed");
     return layout_->ShowTransformed(tenant_, sql);
   }
+
+  /// EXPLAIN MAPPING front door: reports the physical statements the
+  /// logical statement maps to without executing them. Accepts either a
+  /// bare statement or the "EXPLAIN MAPPING <stmt>" form.
+  Result<MappingExplanation> Explain(const std::string& sql,
+                                     const std::vector<Value>& params = {}) {
+    if (layout_ == nullptr) return Status::InvalidArgument("session is closed");
+    return layout_->ExplainMapping(tenant_, sql, params);
+  }
+
+  /// Per-session statement tracing (see common/trace.h): spans and I/O
+  /// attribution aggregate into the engine's metrics registry under
+  /// (tenant, layout, statement-kind). Off by default; MTDB_TRACE=1
+  /// forces it on for every new session.
+  void EnableTracing(bool on = true) {
+    if (on && tracer_ == nullptr && layout_ != nullptr) {
+      tracer_ = std::make_unique<trace::StatementTracer>(
+          layout_->db()->metrics_registry());
+    }
+    if (tracer_ != nullptr) tracer_->set_enabled(on);
+  }
+  trace::StatementTracer* tracer() { return tracer_.get(); }
 
   TenantId tenant() const { return tenant_; }
   SchemaMapping* layout() const { return layout_; }
@@ -66,11 +94,45 @@ class TenantSession {
  private:
   friend class SchemaMapping;
   TenantSession(SchemaMapping* layout, TenantId tenant)
-      : layout_(layout), tenant_(tenant) {}
+      : layout_(layout), tenant_(tenant) {
+    if (trace::TracingForced()) EnableTracing();
+  }
+
+  /// Wraps one statement in a root span when tracing is enabled; the
+  /// disabled path is a null check.
+  template <typename Fn>
+  auto Traced(const char* kind, Fn&& fn) -> decltype(fn()) {
+    if (tracer_ == nullptr || !tracer_->enabled()) return fn();
+    tracer_->BeginStatement(tenant_, layout_->name(), kind);
+    auto out = [&] {
+      trace::TracerScope scope(tracer_.get());
+      return fn();
+    }();
+    tracer_->EndStatement(out.ok());
+    return out;
+  }
+
+  /// Cheap statement-kind label for trace series without a parse: the
+  /// layer's Execute only accepts INSERT/UPDATE/DELETE.
+  static const char* GuessKind(const std::string& sql) {
+    size_t i = sql.find_first_not_of(" \t\r\n");
+    if (i == std::string::npos) return "execute";
+    switch (std::toupper(static_cast<unsigned char>(sql[i]))) {
+      case 'I':
+        return "insert";
+      case 'U':
+        return "update";
+      case 'D':
+        return "delete";
+      default:
+        return "execute";
+    }
+  }
 
   SchemaMapping* layout_ = nullptr;
   TenantId tenant_ = -1;
   uint64_t statements_ = 0;
+  std::unique_ptr<trace::StatementTracer> tracer_;
 };
 
 }  // namespace mapping

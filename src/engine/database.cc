@@ -3,8 +3,11 @@
 #include <algorithm>
 
 #include "common/key_encoding.h"
+#include "common/trace.h"
+#include "sql/ast_util.h"
 #include "engine/session.h"
 #include "sql/parser.h"
+#include "sql/printer.h"
 
 namespace mtdb {
 
@@ -194,12 +197,23 @@ thread_local int tls_txn_depth = 0;
 
 }  // namespace
 
-Database::Database(EngineOptions options)
-    : options_(options), planner_mode_(options.planner_mode) {
+Database::Database(DatabaseOptions options)
+    : options_db_(std::move(options)),
+      options_(options_db_.engine),
+      planner_mode_(options_.planner_mode) {
+  // DatabaseOptions::path is the canonical spelling; the engine-level
+  // field stays for the deprecated Open(path) overload.
+  if (!options_db_.path.empty()) {
+    options_.durable_path = options_db_.path;
+  } else {
+    options_db_.path = options_.durable_path;
+  }
+  registry_ = std::make_unique<MetricsRegistry>();
   store_ = std::make_unique<PageStore>(options_.page_size);
   store_->set_read_latency_ns(options_.read_latency_ns);
   pool_ = std::make_unique<BufferPool>(
       store_.get(), options_.memory_budget_bytes / options_.page_size);
+  pool_->set_retry_policy(options_db_.retry_policy);
   catalog_ = std::make_unique<Catalog>(pool_.get(),
                                        options_.memory_budget_bytes,
                                        options_.metadata_costs);
@@ -215,14 +229,77 @@ Database::Database(EngineOptions options)
     durability_ = std::make_unique<Durability>(options_.durable_path, dopts,
                                               store_.get(), pool_.get());
   }
+  RegisterEngineGauges();
+}
+
+Database::Database(EngineOptions options)
+    : Database(DatabaseOptions{/*path=*/{}, /*engine=*/std::move(options),
+                               /*retry_policy=*/{},
+                               /*quarantine_threshold=*/8}) {}
+
+void Database::RegisterEngineGauges() {
+  // Adapt the pre-existing counter structs into the registry namespace.
+  // Gauges are evaluated at Snapshot() time, outside the registry latch,
+  // so taking component latches inside the callbacks is fine.
+  const IoFaultCounters* io = &store_->io_counters();
+  registry_->RegisterGauge("io.read_faults",
+                           [io] { return io->Snapshot().read_faults; });
+  registry_->RegisterGauge("io.write_faults",
+                           [io] { return io->Snapshot().write_faults; });
+  registry_->RegisterGauge("io.checksum_failures",
+                           [io] { return io->Snapshot().checksum_failures; });
+  registry_->RegisterGauge("io.read_retries",
+                           [io] { return io->Snapshot().read_retries; });
+  registry_->RegisterGauge("io.write_retries",
+                           [io] { return io->Snapshot().write_retries; });
+  registry_->RegisterGauge("io.retry_exhaustions",
+                           [io] { return io->Snapshot().retry_exhaustions; });
+  registry_->RegisterGauge("io.latency_spikes",
+                           [io] { return io->Snapshot().latency_spikes; });
+  const BufferPool* pool = pool_.get();
+  registry_->RegisterGauge("buffer.logical_reads",
+                           [pool] { return pool->stats().logical_reads(); });
+  registry_->RegisterGauge("buffer.misses",
+                           [pool] { return pool->stats().misses(); });
+  registry_->RegisterGauge("buffer.evictions",
+                           [pool] { return pool->stats().evictions; });
+  const PageStore* store = store_.get();
+  registry_->RegisterGauge("store.physical_reads",
+                           [store] { return store->stats().physical_reads; });
+  registry_->RegisterGauge("store.physical_writes",
+                           [store] { return store->stats().physical_writes; });
+  if (durability_ != nullptr) {
+    const DurabilityCounters* dc = &durability_->counters();
+    registry_->RegisterGauge("wal.appends",
+                             [dc] { return dc->Snapshot().wal_appends; });
+    registry_->RegisterGauge("wal.bytes",
+                             [dc] { return dc->Snapshot().wal_bytes; });
+    registry_->RegisterGauge("wal.group_commits",
+                             [dc] { return dc->Snapshot().group_commits; });
+    registry_->RegisterGauge("wal.checkpoints",
+                             [dc] { return dc->Snapshot().checkpoints; });
+    registry_->RegisterGauge("wal.recoveries",
+                             [dc] { return dc->Snapshot().recoveries; });
+    registry_->RegisterGauge("wal.replayed_groups",
+                             [dc] { return dc->Snapshot().replayed_groups; });
+    registry_->RegisterGauge(
+        "wal.recovery_undo_statements",
+        [dc] { return dc->Snapshot().recovery_undo_statements; });
+  }
+}
+
+Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
+  auto db = std::make_unique<Database>(std::move(options));
+  if (db->durable()) MTDB_RETURN_IF_ERROR(db->Recover());
+  return db;
 }
 
 Result<std::unique_ptr<Database>> Database::Open(const std::string& path,
                                                  EngineOptions options) {
-  options.durable_path = path;
-  auto db = std::make_unique<Database>(options);
-  MTDB_RETURN_IF_ERROR(db->Recover());
-  return db;
+  DatabaseOptions opts;
+  opts.path = path;
+  opts.engine = std::move(options);
+  return Open(std::move(opts));
 }
 
 Status Database::Recover() {
@@ -371,6 +448,13 @@ Result<QueryResult> Database::Execute(const std::string& sql,
   MTDB_ASSIGN_OR_RETURN(StatementResult res, RunStatement(stmt, params));
   if (HasRows(res)) return std::move(std::get<QueryResult>(res));
   QueryResult out;
+  if (HasExplanation(res)) {
+    out.columns = {"mapping"};
+    for (const PhysicalStatementPlan& p : ExplanationOf(res).statements) {
+      out.rows.push_back({Value::String(p.sql)});
+    }
+    return out;
+  }
   out.columns = {"affected"};
   out.rows.push_back({Value::Int64(AffectedOf(res))});
   return out;
@@ -417,6 +501,25 @@ Result<StatementResult> Database::RunStatement(const sql::Statement& stmt,
     MTDB_ASSIGN_OR_RETURN(QueryResult rows, RunSelect(*stmt.select, params));
     return StatementResult(std::move(rows));
   }
+  if (stmt.kind == sql::StatementKind::kExplainMapping) {
+    // Below the mapping layer every logical statement IS its physical
+    // statement: the plan is the target itself. Tenant sessions route
+    // EXPLAIN MAPPING through their layout instead (SchemaMapping::
+    // ExplainMapping), which reports the real logical→physical fan-out.
+    const sql::Statement& target = *stmt.explain->target;
+    MappingExplanation out;
+    out.layout = "engine";
+    out.logical = sql::ToSql(target);
+    PhysicalStatementPlan entry;
+    entry.op = sql::KindLabel(target.kind);
+    entry.table = FirstTableOf(target);
+    entry.sql = out.logical;
+    out.statements.push_back(std::move(entry));
+    if (target.kind == sql::StatementKind::kSelect) {
+      MTDB_ASSIGN_OR_RETURN(out.plan_text, ExplainAst(*target.select));
+    }
+    return StatementResult(std::move(out));
+  }
   MTDB_ASSIGN_OR_RETURN(int64_t affected, RunMutation(stmt, params));
   return StatementResult(affected);
 }
@@ -426,6 +529,7 @@ Result<QueryResult> Database::RunSelect(const sql::SelectStmt& stmt,
   std::shared_lock<SharedLatch> ddl(ddl_mu_);
   std::vector<std::string> names;
   CollectSelectTables(stmt, &names);
+  trace::SpanScope span("select", names.empty() ? std::string() : names[0]);
   LatchSet latches;
   for (TableInfo* table : ResolveInLatchOrder(catalog_.get(), names)) {
     latches.LockTable(table, /*exclusive=*/false);
@@ -472,6 +576,7 @@ Result<int64_t> Database::RunMutationInner(const sql::Statement& stmt,
       if (table == nullptr) {
         return Status::NotFound("no such table: " + name);
       }
+      trace::SpanScope span(sql::KindLabel(stmt.kind), name);
       // One target table per DML statement; exclusive latch serializes
       // writers with each other and with this table's readers. UPDATE's
       // and DELETE's internal qualifying scan runs on the same table
@@ -559,6 +664,8 @@ Result<int64_t> Database::RunMutationInner(const sql::Statement& stmt,
     }
     case sql::StatementKind::kSelect:
       return Status::InvalidArgument("use Query() for SELECT");
+    case sql::StatementKind::kExplainMapping:
+      return Status::InvalidArgument("EXPLAIN MAPPING is not a mutation");
   }
   return Status::Internal("unknown statement kind");
 }
@@ -959,6 +1066,7 @@ Status Database::CreateIndex(const std::string& table, const std::string& index,
 }
 
 Status Database::InsertRow(const std::string& table, const Row& row) {
+  trace::SpanScope span("insert", table);
   Status st = [&]() -> Status {
     std::shared_lock<SharedLatch> ddl(ddl_mu_);
     TableInfo* info = catalog_->GetTable(table);
@@ -994,6 +1102,28 @@ EngineStats Database::Stats() const {
   out.tables = catalog_->table_count();
   out.indexes = catalog_->index_count();
   if (durability_ != nullptr) out.durability = durability_->counters().Snapshot();
+  out.io_faults = store_->io_counters().Snapshot();
+  out.metrics = registry_->Snapshot();
+  return out;
+}
+
+std::string MappingExplanation::ToText() const {
+  std::string out = "EXPLAIN MAPPING (layout=" + layout;
+  if (tenant >= 0) out += ", tenant=" + std::to_string(tenant);
+  out += ")\n  logical: " + logical + "\n";
+  for (const PhysicalStatementPlan& p : statements) {
+    out += "  physical[" + p.op + " " + p.table + "]: " + p.sql + "\n";
+  }
+  if (!plan_text.empty()) {
+    out += "  plan:\n";
+    size_t start = 0;
+    while (start < plan_text.size()) {
+      size_t end = plan_text.find('\n', start);
+      if (end == std::string::npos) end = plan_text.size();
+      out += "    " + plan_text.substr(start, end - start) + "\n";
+      start = end + 1;
+    }
+  }
   return out;
 }
 

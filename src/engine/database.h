@@ -9,6 +9,7 @@
 
 #include "catalog/catalog.h"
 #include "common/latch.h"
+#include "common/metrics_registry.h"
 #include "common/result.h"
 #include "engine/planner.h"
 #include "sql/ast.h"
@@ -46,9 +47,32 @@ struct QueryResult {
   std::vector<Row> rows;
 };
 
+/// One physical statement an EXPLAIN MAPPING plan consists of.
+struct PhysicalStatementPlan {
+  std::string op;     // "select" / "insert" / "update" / "delete"
+  std::string table;  // first physical base table the statement touches
+  std::string sql;    // rendered physical SQL
+};
+
+/// Result of EXPLAIN MAPPING: the physical statements the target would
+/// have produced, without executing any of them.
+struct MappingExplanation {
+  std::string layout;  // layout name, or "engine" below the mapping layer
+  int64_t tenant = -1;
+  std::string logical;  // the target statement, rendered back to SQL
+  std::vector<PhysicalStatementPlan> statements;
+  /// For SELECT targets: the engine's physical plan for the (first)
+  /// transformed query, from the planner's explain facility.
+  std::string plan_text;
+
+  /// Renders the explanation as indented text (one line per physical
+  /// statement) for CLIs and tests.
+  std::string ToText() const;
+};
+
 /// What one statement produced: rows for SELECT, an affected-row count
-/// for everything else (DDL reports 0).
-using StatementResult = std::variant<QueryResult, int64_t>;
+/// for DML/DDL (DDL reports 0), a physical plan for EXPLAIN MAPPING.
+using StatementResult = std::variant<QueryResult, int64_t, MappingExplanation>;
 
 inline bool HasRows(const StatementResult& r) {
   return std::holds_alternative<QueryResult>(r);
@@ -59,8 +83,16 @@ inline const QueryResult& RowsOf(const StatementResult& r) {
 inline int64_t AffectedOf(const StatementResult& r) {
   return std::get<int64_t>(r);
 }
+inline bool HasExplanation(const StatementResult& r) {
+  return std::holds_alternative<MappingExplanation>(r);
+}
+inline const MappingExplanation& ExplanationOf(const StatementResult& r) {
+  return std::get<MappingExplanation>(r);
+}
 
 /// Aggregate engine counters (logical/physical I/O, buffer hit ratios).
+/// One composed snapshot from Database::Stats() — the single public
+/// accessor for every counter the engine keeps.
 struct EngineStats {
   BufferPoolStats buffer;
   PageStoreStats store;
@@ -70,6 +102,11 @@ struct EngineStats {
   size_t indexes = 0;
   /// All-zero when the engine is not durable.
   DurabilityCountersSnapshot durability;
+  /// Storage-tier fault/retry counters (was BufferPool::io_counters()).
+  IoFaultCountersSnapshot io_faults;
+  /// The metrics registry: named series (statement tracing aggregates)
+  /// plus gauges adapting the struct counters above into one namespace.
+  MetricsSnapshot metrics;
 };
 
 /// An embedded multi-threaded relational database: the System Under
@@ -89,18 +126,47 @@ struct EngineStats {
 /// exclusively (coarse per-table granularity: writers to a table
 /// serialize with each other and with that table's readers, everything
 /// else proceeds in parallel).
+class Database;
+
+/// Everything configurable about a Database in one struct — the single
+/// construction surface (replaces the grown Open(path) + setter knobs).
+struct DatabaseOptions {
+  /// Directory for WAL + checkpoint files; empty runs purely in memory.
+  std::string path;
+  EngineOptions engine;
+  /// I/O retry/backoff policy installed on the buffer pool.
+  RetryPolicy retry_policy;
+  /// Default consecutive-hard-fault threshold mapping layers use before
+  /// quarantining a tenant (SchemaMapping can still override per-layer).
+  uint64_t quarantine_threshold = 8;
+
+  /// Convenience maker for the common durable-open call.
+  static DatabaseOptions WithPath(std::string path,
+                                  EngineOptions engine = EngineOptions()) {
+    DatabaseOptions out;
+    out.path = std::move(path);
+    out.engine = std::move(engine);
+    return out;
+  }
+};
+
 class Database {
  public:
+  explicit Database(DatabaseOptions options);
+  /// Convenience: in-memory engine from bare EngineOptions.
   explicit Database(EngineOptions options = EngineOptions());
 
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
-  /// Opens (or creates) a durable database rooted at `path`: loads the
-  /// last checkpoint, replays the WAL (truncating a torn tail), undoes
-  /// logical statements left open by a crash, and checkpoints. The
-  /// returned engine logs every mutation; plain `Database()` construction
-  /// stays purely in-memory.
+  /// Opens (or creates) a database per `options`: when options.path is
+  /// non-empty, loads the last checkpoint, replays the WAL (truncating a
+  /// torn tail), undoes logical statements left open by a crash, and
+  /// checkpoints. The returned engine logs every mutation; with an empty
+  /// path the engine is purely in-memory.
+  static Result<std::unique_ptr<Database>> Open(DatabaseOptions options);
+
+  [[deprecated("use Open(DatabaseOptions)")]]
   static Result<std::unique_ptr<Database>> Open(
       const std::string& path, EngineOptions options = EngineOptions());
 
@@ -162,10 +228,21 @@ class Database {
 
   // --- observability ---------------------------------------------------
 
+  /// One composed snapshot: engine counters, I/O-fault and durability
+  /// counters, and the full metrics registry. The only public stats
+  /// accessor.
   EngineStats Stats() const;
   void ResetStats();
   /// Flushes and evicts the entire buffer pool (cold-cache experiments).
   void ColdCache();
+
+  /// The engine-wide metrics registry (statement tracers aggregate into
+  /// it; gauges adapt the struct counters).
+  MetricsRegistry* metrics_registry() { return registry_.get(); }
+
+  uint64_t default_quarantine_threshold() const {
+    return options_db_.quarantine_threshold;
+  }
 
   Catalog* catalog() { return catalog_.get(); }
   BufferPool* buffer_pool() { return pool_.get(); }
@@ -180,6 +257,10 @@ class Database {
 
  private:
   friend class Session;
+
+  /// Registers gauges adapting the I/O-fault, buffer-pool, page-store
+  /// and durability counters into the metrics registry.
+  void RegisterEngineGauges();
 
   /// The single parsed-statement pipeline every front door funnels into:
   /// takes the DDL latch (shared or exclusive), latches the touched
@@ -235,8 +316,10 @@ class Database {
                         const Row& new_row, const Row& old_row);
   void RestoreDeletedRow(TableInfo* table, const Row& row);
 
+  DatabaseOptions options_db_;
   EngineOptions options_;
   std::atomic<PlannerMode> planner_mode_;
+  std::unique_ptr<MetricsRegistry> registry_;
   std::unique_ptr<PageStore> store_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<Catalog> catalog_;

@@ -5,23 +5,33 @@
 
 namespace mtdb {
 
+Session::Session(Database* db) : db_(db) {
+  if (trace::TracingForced()) EnableTracing();
+}
+
+void Session::EnableTracing(bool on) {
+  if (tracer_ == nullptr && db_ != nullptr) {
+    tracer_ =
+        std::make_unique<trace::StatementTracer>(db_->metrics_registry());
+  }
+  if (tracer_ != nullptr) tracer_->set_enabled(on);
+}
+
 Result<StatementResult> Session::Execute(const std::string& sql,
-                                         const std::vector<Value>& params) {
+                                         const Params& params) {
   if (db_ == nullptr) return Status::InvalidArgument("session is closed");
   MTDB_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql));
-  return Execute(stmt, params);
+  return ExecuteParsed(stmt, params);
 }
 
 Result<StatementResult> Session::Execute(const sql::Statement& stmt,
-                                         const std::vector<Value>& params) {
-  if (db_ == nullptr) return Status::InvalidArgument("session is closed");
-  statements_++;
-  return db_->RunStatement(stmt, params);
+                                         const Params& params) {
+  return ExecuteParsed(stmt, params);
 }
 
 Result<StatementResult> Session::Execute(const PreparedStatement& prepared,
-                                         const std::vector<Value>& params) {
-  return Execute(prepared.statement(), params);
+                                         const Params& params) {
+  return ExecuteParsed(prepared.statement(), params);
 }
 
 Result<PreparedStatement> Session::Prepare(const std::string& sql) const {
@@ -31,7 +41,7 @@ Result<PreparedStatement> Session::Prepare(const std::string& sql) const {
 }
 
 Result<QueryResult> Session::Query(const std::string& sql,
-                                   const std::vector<Value>& params) {
+                                   const Params& params) {
   MTDB_ASSIGN_OR_RETURN(StatementResult res, Execute(sql, params));
   if (!HasRows(res)) {
     return Status::InvalidArgument("Query() requires a SELECT statement");
@@ -40,9 +50,33 @@ Result<QueryResult> Session::Query(const std::string& sql,
 }
 
 Status Session::InsertRow(const std::string& table, const Row& row) {
+  sql::Statement stmt;
+  stmt.kind = sql::StatementKind::kInsert;
+  stmt.insert = std::make_unique<sql::InsertStmt>();
+  stmt.insert->table = table;
+  std::vector<sql::ParsedExprPtr> values;
+  values.reserve(row.size());
+  for (const Value& v : row) values.push_back(sql::MakeLiteral(v));
+  stmt.insert->rows.push_back(std::move(values));
+  MTDB_ASSIGN_OR_RETURN(StatementResult res, ExecuteParsed(stmt, {}));
+  (void)res;
+  return Status::OK();
+}
+
+Result<StatementResult> Session::ExecuteParsed(const sql::Statement& stmt,
+                                               const Params& params) {
   if (db_ == nullptr) return Status::InvalidArgument("session is closed");
   statements_++;
-  return db_->InsertRow(table, row);
+  if (tracer_ == nullptr || !tracer_->enabled()) {
+    return db_->RunStatement(stmt, params);
+  }
+  tracer_->BeginStatement(/*tenant=*/-1, "engine", sql::KindLabel(stmt.kind));
+  Result<StatementResult> res = [&] {
+    trace::TracerScope scope(tracer_.get());
+    return db_->RunStatement(stmt, params);
+  }();
+  tracer_->EndStatement(res.ok());
+  return res;
 }
 
 }  // namespace mtdb

@@ -2,10 +2,12 @@
 #define MTDB_ENGINE_SESSION_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "common/trace.h"
 #include "engine/database.h"
 #include "sql/ast.h"
 
@@ -38,8 +40,15 @@ class PreparedStatement {
 ///
 /// A Session itself is NOT thread-safe: it belongs to one worker thread
 /// at a time, exactly like a SQL connection. Open one per thread.
+///
+/// Every public entry point — all Execute overloads, Query, InsertRow —
+/// is a thin wrapper over the one internal ExecuteParsed path, so the
+/// statement counter and the tracing/metrics hooks live in exactly one
+/// place.
 class Session {
  public:
+  using Params = std::vector<Value>;
+
   Session() = default;
 
   Session(const Session&) = delete;
@@ -48,28 +57,29 @@ class Session {
   Session& operator=(Session&&) = default;
 
   /// Executes one SQL string. SELECTs yield a QueryResult; everything
-  /// else yields the affected-row count (DDL reports 0).
+  /// else yields the affected-row count (DDL reports 0); EXPLAIN
+  /// MAPPING yields a MappingExplanation.
   Result<StatementResult> Execute(const std::string& sql,
-                                  const std::vector<Value>& params = {});
+                                  const Params& params = {});
 
   /// Executes an already-parsed statement (the mapping layer transforms
   /// ASTs directly and skips re-parsing).
   Result<StatementResult> Execute(const sql::Statement& stmt,
-                                  const std::vector<Value>& params = {});
+                                  const Params& params = {});
 
   /// Executes a prepared statement with fresh bind parameters.
   Result<StatementResult> Execute(const PreparedStatement& prepared,
-                                  const std::vector<Value>& params = {});
+                                  const Params& params = {});
 
   /// Parses `sql` once for repeated execution.
   Result<PreparedStatement> Prepare(const std::string& sql) const;
 
   /// SELECT-only convenience: unwraps the rows alternative.
   Result<QueryResult> Query(const std::string& sql,
-                            const std::vector<Value>& params = {});
+                            const Params& params = {});
 
-  /// Direct row insert, bypassing SQL parsing (bulk loaders, the mapping
-  /// layer's chunked writes). Latched exactly like an INSERT statement.
+  /// Direct row insert (bulk loaders). Synthesizes a literal INSERT and
+  /// routes it through the same ExecuteParsed path as everything else.
   Status InsertRow(const std::string& table, const Row& row);
 
   Database* database() const { return db_; }
@@ -79,12 +89,24 @@ class Session {
   /// workload drivers read this instead of keeping their own tallies.
   uint64_t statements_executed() const { return statements_; }
 
+  /// Turns per-statement tracing on (or off) for this session. Traced
+  /// statements aggregate into the database's metrics registry; the
+  /// most recent span tree is kept on tracer(). Disabled sessions pay
+  /// one null check per statement.
+  void EnableTracing(bool on = true);
+  trace::StatementTracer* tracer() { return tracer_.get(); }
+
  private:
   friend class Database;
-  explicit Session(Database* db) : db_(db) {}
+  explicit Session(Database* db);
+
+  /// The single parsed-statement path: bookkeeping, tracing, dispatch.
+  Result<StatementResult> ExecuteParsed(const sql::Statement& stmt,
+                                        const Params& params);
 
   Database* db_ = nullptr;
   uint64_t statements_ = 0;
+  std::unique_ptr<trace::StatementTracer> tracer_;
 };
 
 }  // namespace mtdb

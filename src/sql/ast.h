@@ -187,7 +187,10 @@ enum class StatementKind {
   kCreateIndex,
   kDropTable,
   kDropIndex,
+  kExplainMapping,
 };
+
+struct ExplainStmt;  // holds a Statement; defined below
 
 /// A parsed SQL statement (tagged union of the structs above).
 struct Statement {
@@ -200,7 +203,20 @@ struct Statement {
   std::unique_ptr<CreateIndexStmt> create_index;
   std::unique_ptr<DropTableStmt> drop_table;
   std::unique_ptr<DropIndexStmt> drop_index;
+  std::unique_ptr<ExplainStmt> explain;
 };
+
+/// EXPLAIN MAPPING <stmt>: asks the mapping layer to report which
+/// physical statements the target would produce, without executing it.
+/// The target may be any DML statement; nesting EXPLAIN is rejected by
+/// the parser.
+struct ExplainStmt {
+  std::unique_ptr<Statement> target;
+};
+
+/// Lowercase label for a statement kind ("select", "explain_mapping",
+/// ...), used for metric series names and trace spans.
+const char* KindLabel(StatementKind kind);
 
 }  // namespace sql
 }  // namespace mtdb

@@ -62,8 +62,81 @@ Statement CloneStatement(const Statement& stmt) {
     case StatementKind::kDropIndex:
       out.drop_index = std::make_unique<DropIndexStmt>(*stmt.drop_index);
       break;
+    case StatementKind::kExplainMapping:
+      out.explain = std::make_unique<ExplainStmt>();
+      out.explain->target = std::make_unique<Statement>(
+          CloneStatement(*stmt.explain->target));
+      break;
   }
   return out;
+}
+
+namespace {
+
+std::string FirstSelectTable(const SelectStmt& stmt) {
+  for (const TableRef& ref : stmt.from) {
+    if (ref.is_subquery()) {
+      std::string inner = FirstSelectTable(*ref.subquery);
+      if (!inner.empty()) return inner;
+    } else {
+      return ref.table_name;
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string FirstTableOf(const Statement& stmt) {
+  switch (stmt.kind) {
+    case StatementKind::kSelect:
+      return FirstSelectTable(*stmt.select);
+    case StatementKind::kInsert:
+      return stmt.insert->table;
+    case StatementKind::kUpdate:
+      return stmt.update->table;
+    case StatementKind::kDelete:
+      return stmt.del->table;
+    case StatementKind::kCreateTable:
+      return stmt.create_table->table;
+    case StatementKind::kCreateIndex:
+      return stmt.create_index->table;
+    case StatementKind::kDropTable:
+      return stmt.drop_table->table;
+    case StatementKind::kDropIndex:
+      return "";
+    case StatementKind::kExplainMapping:
+      return FirstTableOf(*stmt.explain->target);
+  }
+  return "";
+}
+
+std::string FirstTableOf(const SelectStmt& stmt) {
+  return FirstSelectTable(stmt);
+}
+
+const char* KindLabel(StatementKind kind) {
+  switch (kind) {
+    case StatementKind::kSelect:
+      return "select";
+    case StatementKind::kInsert:
+      return "insert";
+    case StatementKind::kUpdate:
+      return "update";
+    case StatementKind::kDelete:
+      return "delete";
+    case StatementKind::kCreateTable:
+      return "create_table";
+    case StatementKind::kCreateIndex:
+      return "create_index";
+    case StatementKind::kDropTable:
+      return "drop_table";
+    case StatementKind::kDropIndex:
+      return "drop_index";
+    case StatementKind::kExplainMapping:
+      return "explain_mapping";
+  }
+  return "unknown";
 }
 
 void ForEachSelectScope(const SelectStmt& stmt,

@@ -20,6 +20,13 @@ std::unique_ptr<DeleteStmt> CloneDelete(const DeleteStmt& stmt);
 /// Deep-copies a parsed statement of any kind (DDL included).
 Statement CloneStatement(const Statement& stmt);
 
+/// First base table a statement touches: the DML target table, or for a
+/// SELECT the first base table found depth-first through FROM lists
+/// (derived tables included). Empty when none. Used to label EXPLAIN
+/// MAPPING plan entries and trace spans.
+std::string FirstTableOf(const Statement& stmt);
+std::string FirstTableOf(const SelectStmt& stmt);
+
 /// Visits every SELECT scope of `stmt` depth-first: the statement itself
 /// plus every derived table in any FROM list, recursively.
 void ForEachSelectScope(const SelectStmt& stmt,

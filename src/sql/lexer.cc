@@ -15,7 +15,7 @@ const std::unordered_set<std::string>& Keywords() {
       "LIMIT",  "OFFSET", "ASC",    "DESC",   "INSERT", "INTO",   "VALUES",
       "UPDATE", "SET",    "DELETE", "CREATE", "TABLE",  "INDEX",  "UNIQUE",
       "DROP",   "NULL",   "IS",     "TRUE",   "FALSE",  "DISTINCT",
-      "LIKE",   "IN",
+      "LIKE",   "IN",     "EXPLAIN",
   };
   return *kKeywords;
 }

@@ -1,5 +1,6 @@
 #include "sql/parser.h"
 
+#include <cctype>
 #include <cstdlib>
 
 #include "catalog/schema.h"
@@ -103,6 +104,25 @@ Result<Statement> Parser::ParseStatement() {
     return ParseCreate();
   } else if (CheckKeyword("DROP")) {
     return ParseDrop();
+  } else if (CheckKeyword("EXPLAIN")) {
+    MTDB_RETURN_IF_ERROR(ExpectKeyword("EXPLAIN"));
+    MTDB_ASSIGN_OR_RETURN(std::string mode, ExpectIdent("MAPPING"));
+    for (char& ch : mode) {
+      ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+    }
+    if (mode != "MAPPING") {
+      return Status::ParseError("expected MAPPING after EXPLAIN, got '" +
+                                mode + "'");
+    }
+    if (CheckKeyword("EXPLAIN")) {
+      return Status::ParseError("EXPLAIN MAPPING cannot be nested");
+    }
+    auto target = std::make_unique<Statement>();
+    MTDB_ASSIGN_OR_RETURN(*target, ParseStatement());
+    stmt.kind = StatementKind::kExplainMapping;
+    stmt.explain = std::make_unique<ExplainStmt>();
+    stmt.explain->target = std::move(target);
+    return stmt;
   } else {
     return Status::ParseError("expected a statement, got '" + Peek().text +
                               "'");

@@ -206,6 +206,8 @@ std::string ToSql(const Statement& stmt) {
       return "DROP TABLE " + stmt.drop_table->table;
     case StatementKind::kDropIndex:
       return "DROP INDEX " + stmt.drop_index->index;
+    case StatementKind::kExplainMapping:
+      return "EXPLAIN MAPPING " + ToSql(*stmt.explain->target);
   }
   return "";
 }

@@ -1,5 +1,7 @@
 #include "storage/buffer_pool.h"
 
+#include "common/trace.h"
+
 #include <algorithm>
 #include <cassert>
 #include <chrono>
@@ -108,6 +110,7 @@ Result<Page*> BufferPool::FetchPage(PageId id) {
       Frame* frame = it->second.get();
       frame->pin_count++;
       Touch(shard, frame, id);
+      trace::OnPoolHit();
       return &frame->page;
     }
     if (type == PageType::kIndex) {
@@ -115,6 +118,7 @@ Result<Page*> BufferPool::FetchPage(PageId id) {
     } else {
       shard.stats.misses_data++;
     }
+    trace::OnPoolMiss();
   }
   // Miss: read through with the shard latch dropped so the device stall
   // does not serialize other traffic on this shard. Two sessions may

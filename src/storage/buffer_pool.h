@@ -164,11 +164,6 @@ class BufferPool {
   void set_retry_policy(const RetryPolicy& policy) { retry_policy_ = policy; }
   const RetryPolicy& retry_policy() const { return retry_policy_; }
 
-  /// Fault/retry counters, shared with the underlying store.
-  IoFaultCountersSnapshot io_counters() const {
-    return store_->io_counters().Snapshot();
-  }
-
   /// Shard a page id maps to. Exposed so tests (and capacity planners)
   /// can reason about which pages contend on the same latch stripe.
   static size_t ShardOf(PageId id) {

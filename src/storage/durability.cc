@@ -1,5 +1,7 @@
 #include "storage/durability.h"
 
+#include "common/trace.h"
+
 #include <algorithm>
 #include <cerrno>
 #include <cstdio>
@@ -109,6 +111,7 @@ Status Durability::AppendLocked(WalRecordType type, const std::string& payload) 
   }
   uint64_t frame_bytes = kWalFrameHeaderSize + payload.size();
   counters_.OnWalAppend(frame_bytes);
+  trace::OnWalBytes(frame_bytes);
   bytes_since_ckpt_.fetch_add(frame_bytes, std::memory_order_relaxed);
   return Status::OK();
 }

@@ -106,10 +106,14 @@ class Durability {
   bool NeedsCheckpoint() const;
 
   const std::string& dir() const { return dir_; }
+
+ private:
+  /// Counter access goes through Database::Stats() — the one composed
+  /// snapshot — rather than a public per-component accessor.
+  friend class Database;
   DurabilityCounters& counters() { return counters_; }
   const DurabilityCounters& counters() const { return counters_; }
 
- private:
   /// Consults the store's injector at FaultPoint::kCrash and freezes on
   /// fire; also rejects every durable op once frozen.
   Status MaybeCrash();

@@ -1,5 +1,7 @@
 #include "storage/page_store.h"
 
+#include "common/trace.h"
+
 #include <algorithm>
 #include <chrono>
 #include <cstring>
@@ -101,6 +103,7 @@ Status PageStore::Read(PageId id, char* out) {
           static_cast<unsigned char>(out[pos / 8]) ^ (1u << (pos % 8)));
     }
   }
+  trace::OnPhysicalRead();
   if (Checksum(out, page_size_) != expected) {
     io_counters_.OnChecksumFailure();
     return Status::DataLoss("checksum mismatch on page " + std::to_string(id));
@@ -136,6 +139,7 @@ Status PageStore::Write(PageId id, const char* in) {
     std::memcpy(pages_[id].image.data(), in, n);
     NoteDirtyLocked(id);
   }
+  trace::OnPhysicalWrite();
   if (torn) {
     io_counters_.OnWriteFault();
     if (!torn_spec.silent) {

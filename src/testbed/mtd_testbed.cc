@@ -1,10 +1,10 @@
 #include "testbed/mtd_testbed.h"
 
-#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <thread>
 
+#include "common/metrics_registry.h"
 #include "testbed/data_generator.h"
 
 namespace mtdb {
@@ -51,7 +51,7 @@ Result<TestbedReport> MtdTestbed::Run(
   // One session and one private ResultDatabase per worker thread: the
   // hot path records samples lock-free; the partial sets are folded
   // together only after the threads join.
-  std::atomic<int> errors{0};
+  Counter errors;
   std::vector<ResultDatabase> partials(hands.size());
   auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> threads;
@@ -62,7 +62,7 @@ Result<TestbedReport> MtdTestbed::Run(
                     config_.seed + 100 + w);
       for (const ActionCard& card : hands[w]) {
         Status st = worker.RunCard(card, &partials[w]);
-        if (!st.ok()) errors.fetch_add(1);
+        if (!st.ok()) errors.Add(1);
       }
     });
   }
@@ -70,8 +70,8 @@ Result<TestbedReport> MtdTestbed::Run(
   for (const ResultDatabase& partial : partials) results_.Merge(partial);
   auto end = std::chrono::steady_clock::now();
   double elapsed = std::chrono::duration<double>(end - start).count();
-  if (errors.load() > 0) {
-    return Status::Internal(std::to_string(errors.load()) +
+  if (errors.value() > 0) {
+    return Status::Internal(std::to_string(errors.value()) +
                             " worker actions failed");
   }
 

@@ -247,7 +247,7 @@ TEST_P(ChaosTest, FaultScheduleLeavesNoPartialStatements) {
 
   // The storage tier must have actually been under fire, or the run
   // proved nothing.
-  IoFaultCountersSnapshot faults = db.page_store()->io_counters().Snapshot();
+  IoFaultCountersSnapshot faults = db.Stats().io_faults;
   EXPECT_GT(faults.read_faults + faults.write_faults + faults.latency_spikes,
             0u)
       << "fault schedule never fired; chaos run was vacuous";

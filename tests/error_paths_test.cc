@@ -202,7 +202,7 @@ TEST(FaultStatusTest, TransientReadFaultIsRetriedAndRecovers) {
   auto r = pool.FetchPage(id);
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   pool.UnpinPage(id, false);
-  IoFaultCountersSnapshot io = pool.io_counters();
+  IoFaultCountersSnapshot io = store.io_counters().Snapshot();
   EXPECT_EQ(io.read_faults, 2u);
   EXPECT_GE(io.read_retries, 2u);
   EXPECT_EQ(io.retry_exhaustions, 0u);
@@ -225,7 +225,7 @@ TEST(FaultStatusTest, ReadRetryExhaustionSurfacesIOError) {
   auto r = pool.FetchPage(id);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kIOError);
-  IoFaultCountersSnapshot io = pool.io_counters();
+  IoFaultCountersSnapshot io = store.io_counters().Snapshot();
   EXPECT_GE(io.read_retries, 3u);  // 4 attempts = 3 retries
   EXPECT_GE(io.retry_exhaustions, 1u);
 
@@ -257,7 +257,7 @@ TEST(FaultStatusTest, BitFlipIsCaughtByChecksumAndRereadRecovers) {
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_EQ((*r)->data()[0], 'q');
   pool.UnpinPage(id, false);
-  IoFaultCountersSnapshot io = pool.io_counters();
+  IoFaultCountersSnapshot io = store.io_counters().Snapshot();
   EXPECT_GE(io.checksum_failures, 1u);
   EXPECT_GE(io.read_retries, 1u);
 }

@@ -96,7 +96,7 @@ TEST_P(RecoveryTest, CrashKillReopenMatchesShadow) {
   // so kills hit checkpoint sites as well as append sites.
   options.checkpoint_interval_bytes = 96 * 1024;
 
-  auto opened = Database::Open(dir, options);
+  auto opened = Database::Open(DatabaseOptions::WithPath(dir, options));
   ASSERT_TRUE(opened.ok()) << opened.status().ToString();
   std::unique_ptr<Database> db = std::move(*opened);
   std::unique_ptr<SchemaMapping> layout = MakeLayout(kind, db.get(), &app);
@@ -130,7 +130,7 @@ TEST_P(RecoveryTest, CrashKillReopenMatchesShadow) {
     db->page_store()->set_fault_injector(nullptr);
     layout.reset();
     db.reset();
-    auto r = Database::Open(dir, options);
+    auto r = Database::Open(DatabaseOptions::WithPath(dir, options));
     ASSERT_TRUE(r.ok()) << "reopen: " << r.status().ToString();
     db = std::move(*r);
     layout = MakeLayout(kind, db.get(), &app);
@@ -309,7 +309,7 @@ TEST_P(RecoverySiteSweepTest, EveryCrashSiteRecoversToShadow) {
   auto run_iteration = [&](const FaultSpec& spec, uint64_t* evaluations,
                            bool* killed) {
     fs::remove_all(dir);
-    auto opened = Database::Open(dir);
+    auto opened = Database::Open(DatabaseOptions::WithPath(dir));
     ASSERT_TRUE(opened.ok()) << opened.status().ToString();
     std::unique_ptr<Database> db = std::move(*opened);
     std::unique_ptr<SchemaMapping> layout = MakeLayout(kind, db.get(), &app);
@@ -392,7 +392,7 @@ TEST_P(RecoverySiteSweepTest, EveryCrashSiteRecoversToShadow) {
       db->page_store()->set_fault_injector(nullptr);
       layout.reset();
       db.reset();
-      auto r = Database::Open(dir);
+      auto r = Database::Open(DatabaseOptions::WithPath(dir));
       ASSERT_TRUE(r.ok()) << "reopen: " << r.status().ToString();
       db = std::move(*r);
       layout = MakeLayout(kind, db.get(), &app);
@@ -447,7 +447,7 @@ INSTANTIATE_TEST_SUITE_P(Layouts, RecoverySiteSweepTest,
 /// same ids instead of double-allocating (WAL replay asserts divergence).
 TEST(RecoveryFreeListTest, DroppedPagesStayFreedAcrossRecovery) {
   const std::string dir = FreshDir("freelist");
-  auto opened = Database::Open(dir);
+  auto opened = Database::Open(DatabaseOptions::WithPath(dir));
   ASSERT_TRUE(opened.ok()) << opened.status().ToString();
   std::unique_ptr<Database> db = std::move(*opened);
 
@@ -485,7 +485,7 @@ TEST(RecoveryFreeListTest, DroppedPagesStayFreedAcrossRecovery) {
   // Process death without a checkpoint: recovery rebuilds the free list
   // from the checkpoint image plus the logged dealloc ops.
   db.reset();
-  opened = Database::Open(dir);
+  opened = Database::Open(DatabaseOptions::WithPath(dir));
   ASSERT_TRUE(opened.ok()) << opened.status().ToString();
   db = std::move(*opened);
 
@@ -506,7 +506,7 @@ TEST(RecoveryFreeListTest, DroppedPagesStayFreedAcrossRecovery) {
   EXPECT_LE(db->page_store()->page_slots(), slots_before + 8)
       << "allocations ignored the recovered free list";
   db.reset();
-  opened = Database::Open(dir);
+  opened = Database::Open(DatabaseOptions::WithPath(dir));
   ASSERT_TRUE(opened.ok()) << opened.status().ToString();
   db = std::move(*opened);
   auto rows = db->Query("SELECT COUNT(*) FROM keeper");
@@ -570,7 +570,7 @@ char FirstByteOf(PageStore* store, PageId id) {
 TEST(CraftedWalReplayTest, CrossTableAppendRaceReplaysInStoreOrder) {
   const std::string dir = FreshDir("crafted_race");
   CraftWal(dir, {{1, AllocGroup(1, 2, 'B')}, {2, AllocGroup(0, 1, 'A')}});
-  auto opened = Database::Open(dir);
+  auto opened = Database::Open(DatabaseOptions::WithPath(dir));
   ASSERT_TRUE(opened.ok()) << opened.status().ToString();
   std::unique_ptr<Database> db = std::move(*opened);
   EXPECT_TRUE(db->page_store()->IsAllocated(0));
@@ -589,7 +589,7 @@ TEST(CraftedWalReplayTest, DeallocReallocRaceKeepsNewOwnersImage) {
   CraftWal(dir, {{1, AllocGroup(0, 1, 'A')},
                  {2, AllocGroup(0, 3, 'B')},
                  {3, DeallocGroup(0, 2)}});
-  auto opened = Database::Open(dir);
+  auto opened = Database::Open(DatabaseOptions::WithPath(dir));
   ASSERT_TRUE(opened.ok()) << opened.status().ToString();
   std::unique_ptr<Database> db = std::move(*opened);
   EXPECT_TRUE(db->page_store()->IsAllocated(0));
@@ -603,7 +603,7 @@ TEST(CraftedWalReplayTest, DeallocReallocRaceKeepsNewOwnersImage) {
 TEST(CraftedWalReplayTest, UnloggedNeighbourSlotsReturnToFreeList) {
   const std::string dir = FreshDir("crafted_gap");
   CraftWal(dir, {{1, AllocGroup(2, 5, 'C')}});
-  auto opened = Database::Open(dir);
+  auto opened = Database::Open(DatabaseOptions::WithPath(dir));
   ASSERT_TRUE(opened.ok()) << opened.status().ToString();
   std::unique_ptr<Database> db = std::move(*opened);
   EXPECT_TRUE(db->page_store()->IsAllocated(2));
@@ -707,7 +707,7 @@ TEST(RecoveryMetaTest, UnreadableMetaFailsOpenInsteadOfLookingFresh) {
   const std::string dir = FreshDir("meta_unreadable");
   fs::create_directories(dir);
   fs::create_symlink("meta", dir + "/meta");
-  auto opened = Database::Open(dir);
+  auto opened = Database::Open(DatabaseOptions::WithPath(dir));
   ASSERT_FALSE(opened.ok())
       << "an unreadable checkpoint meta was treated as a fresh database";
   EXPECT_EQ(opened.status().code(), StatusCode::kIOError);

@@ -206,7 +206,7 @@ TEST_P(FaultSoakTest, EightThreadsUnderLowRateFaultsReconcile) {
   for (auto& th : threads) th.join();
 
   // The schedule must actually have fired to make this a fault soak.
-  IoFaultCountersSnapshot io = db.page_store()->io_counters().Snapshot();
+  IoFaultCountersSnapshot io = db.Stats().io_faults;
   EXPECT_GT(io.read_faults + io.write_faults + io.checksum_failures, 0u);
 
   FaultInjectorPause pause(&injector);
@@ -236,7 +236,7 @@ TEST(DurableSoakTest, CrashReopenMidSoakKeepsDifferentialAgreement) {
   const std::string dir = ::testing::TempDir() + "mtdb_soak_durable";
   std::filesystem::remove_all(dir);
 
-  auto opened = Database::Open(dir);
+  auto opened = Database::Open(DatabaseOptions::WithPath(dir));
   ASSERT_TRUE(opened.ok()) << opened.status().ToString();
   std::unique_ptr<Database> fold_db = std::move(*opened);
   auto folded = std::make_unique<ChunkFoldingLayout>(fold_db.get(), &app);
@@ -260,7 +260,7 @@ TEST(DurableSoakTest, CrashReopenMidSoakKeepsDifferentialAgreement) {
     fold_db->page_store()->set_fault_injector(nullptr);
     folded.reset();
     fold_db.reset();
-    auto r = Database::Open(dir);
+    auto r = Database::Open(DatabaseOptions::WithPath(dir));
     ASSERT_TRUE(r.ok()) << "reopen: " << r.status().ToString();
     fold_db = std::move(*r);
     folded = std::make_unique<ChunkFoldingLayout>(fold_db.get(), &app);
@@ -389,7 +389,7 @@ TEST(DurableConcurrentSoakTest, EightThreadCrossTableCrashRecoversExactly) {
   // crash window covers checkpoint sites as well as append sites.
   options.checkpoint_interval_bytes = 1 * 1024 * 1024;
 
-  auto opened = Database::Open(dir, options);
+  auto opened = Database::Open(DatabaseOptions::WithPath(dir, options));
   ASSERT_TRUE(opened.ok()) << opened.status().ToString();
   std::unique_ptr<Database> db = std::move(*opened);
   auto table = [](int w) { return "t" + std::to_string(w); };
@@ -465,7 +465,7 @@ TEST(DurableConcurrentSoakTest, EightThreadCrossTableCrashRecoversExactly) {
 
   db->page_store()->set_fault_injector(nullptr);
   db.reset();
-  auto reopened = Database::Open(dir, options);
+  auto reopened = Database::Open(DatabaseOptions::WithPath(dir, options));
   ASSERT_TRUE(reopened.ok()) << "recovery: " << reopened.status().ToString();
   db = std::move(*reopened);
   reconcile("post-crash");
@@ -478,7 +478,7 @@ TEST(DurableConcurrentSoakTest, EightThreadCrossTableCrashRecoversExactly) {
   reconcile("post-phase-2");
   if (::testing::Test::HasFatalFailure()) return;
   db.reset();
-  reopened = Database::Open(dir, options);
+  reopened = Database::Open(DatabaseOptions::WithPath(dir, options));
   ASSERT_TRUE(reopened.ok()) << "clean reopen: "
                              << reopened.status().ToString();
   db = std::move(*reopened);
