@@ -1,0 +1,132 @@
+#include "common/breaker.h"
+
+#include <algorithm>
+#include <mutex>
+
+namespace mtdb {
+
+namespace {
+
+uint64_t BackoffNs(uint64_t consecutive_trips,
+                   const CircuitBreaker::Options& opts) {
+  // consecutive_trips >= 1; shift capped so the doubling cannot overflow
+  // before the max clamps it.
+  uint64_t shift = std::min<uint64_t>(consecutive_trips - 1, 32);
+  uint64_t backoff = opts.initial_backoff_ns << shift;
+  if (backoff == 0 || (backoff >> shift) != opts.initial_backoff_ns) {
+    backoff = opts.max_backoff_ns;
+  }
+  return std::min(backoff, opts.max_backoff_ns);
+}
+
+}  // namespace
+
+const char* BreakerStateName(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
+
+CircuitBreaker::Decision CircuitBreaker::Admit(uint64_t now_ns,
+                                               const Options& opts,
+                                               uint64_t* retry_after_ns) {
+  (void)opts;
+  std::lock_guard<Latch> lock(mu_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      return Decision::kAllow;
+    case BreakerState::kOpen:
+      if (now_ns >= open_until_ns_) {
+        state_ = BreakerState::kHalfOpen;
+        probe_in_flight_ = true;
+        return Decision::kAllowProbe;
+      }
+      if (retry_after_ns != nullptr) *retry_after_ns = open_until_ns_ - now_ns;
+      return Decision::kReject;
+    case BreakerState::kHalfOpen:
+      if (!probe_in_flight_) {
+        probe_in_flight_ = true;
+        return Decision::kAllowProbe;
+      }
+      // A probe is deciding the tenant's fate right now; retry shortly.
+      if (retry_after_ns != nullptr) *retry_after_ns = 0;
+      return Decision::kReject;
+  }
+  return Decision::kAllow;
+}
+
+CircuitBreaker::Transition CircuitBreaker::OnResult(bool hard_fault,
+                                                    uint64_t now_ns,
+                                                    const Options& opts) {
+  std::lock_guard<Latch> lock(mu_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      if (!hard_fault) {
+        strikes_ = 0;
+        return Transition::kNone;
+      }
+      if (++strikes_ < opts.threshold) return Transition::kNone;
+      state_ = BreakerState::kOpen;
+      strikes_ = 0;
+      trips_++;
+      consecutive_trips_++;
+      open_until_ns_ = now_ns + BackoffNs(consecutive_trips_, opts);
+      return Transition::kOpened;
+    case BreakerState::kHalfOpen:
+      probe_in_flight_ = false;
+      if (hard_fault) {
+        state_ = BreakerState::kOpen;
+        trips_++;
+        consecutive_trips_++;
+        open_until_ns_ = now_ns + BackoffNs(consecutive_trips_, opts);
+        return Transition::kOpened;
+      }
+      state_ = BreakerState::kClosed;
+      strikes_ = 0;
+      consecutive_trips_ = 0;
+      open_until_ns_ = 0;
+      return Transition::kClosed;
+    case BreakerState::kOpen:
+      // A statement admitted before the trip finished late; its outcome
+      // says nothing about the backoff window — ignore it.
+      return Transition::kNone;
+  }
+  return Transition::kNone;
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard<Latch> lock(mu_);
+  return state_;
+}
+
+void CircuitBreaker::ForceClose() {
+  std::lock_guard<Latch> lock(mu_);
+  state_ = BreakerState::kClosed;
+  strikes_ = 0;
+  consecutive_trips_ = 0;
+  open_until_ns_ = 0;
+  probe_in_flight_ = false;
+}
+
+uint64_t CircuitBreaker::strikes() const {
+  std::lock_guard<Latch> lock(mu_);
+  return strikes_;
+}
+
+uint64_t CircuitBreaker::trips() const {
+  std::lock_guard<Latch> lock(mu_);
+  return trips_;
+}
+
+uint64_t CircuitBreaker::open_until_ns() const {
+  std::lock_guard<Latch> lock(mu_);
+  return open_until_ns_;
+}
+
+}  // namespace mtdb

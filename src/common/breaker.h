@@ -1,0 +1,91 @@
+#ifndef MTDB_COMMON_BREAKER_H_
+#define MTDB_COMMON_BREAKER_H_
+
+#include <cstdint>
+
+#include "common/latch.h"
+
+namespace mtdb {
+
+/// Circuit-breaker states. Closed is the healthy fast path; Open refuses
+/// service until a backoff elapses; HalfOpen admits exactly one probe
+/// statement whose outcome decides between re-opening (with doubled
+/// backoff) and closing.
+enum class BreakerState : uint8_t { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+const char* BreakerStateName(BreakerState s);
+
+/// A self-healing circuit breaker: the successor of the mapping layer's
+/// manual quarantine flag. Consecutive hard faults (I/O errors, data
+/// loss) trip it open; after an exponentially growing backoff it lets a
+/// single probe statement through (half-open) and closes again when the
+/// probe completes without another hard fault — no ClearQuarantine
+/// polling required.
+///
+/// Thread-safe: all state lives behind a leaf latch (rank
+/// kTenantBreaker) that is never held while calling out. Tunables are
+/// passed per call so the owner can share/retune them without touching
+/// every breaker instance. Time is passed in as steady-clock nanoseconds
+/// so callers (and tests) control the clock.
+class CircuitBreaker {
+ public:
+  struct Options {
+    /// Consecutive hard faults that trip the breaker open.
+    uint64_t threshold = 8;
+    /// Backoff before the first half-open probe; doubles on every failed
+    /// probe up to max_backoff_ns.
+    uint64_t initial_backoff_ns = 100'000'000;   // 100ms
+    uint64_t max_backoff_ns = 5'000'000'000;     // 5s
+  };
+
+  /// Admission decision for one statement.
+  enum class Decision : uint8_t {
+    kAllow,       // closed — normal service
+    kAllowProbe,  // half-open — this statement is THE probe
+    kReject,      // open (or a probe is already in flight)
+  };
+
+  CircuitBreaker() = default;
+  CircuitBreaker(const CircuitBreaker&) = delete;
+  CircuitBreaker& operator=(const CircuitBreaker&) = delete;
+
+  /// Decides whether a statement may run at `now_ns`. When rejecting,
+  /// fills `*retry_after_ns` (when non-null) with the time until the
+  /// next probe window (0 while a probe is in flight: retry shortly).
+  Decision Admit(uint64_t now_ns, const Options& opts,
+                 uint64_t* retry_after_ns = nullptr);
+
+  /// Reports a statement outcome. `hard_fault` marks the fault classes
+  /// that feed the breaker (kIOError/kDataLoss); everything else —
+  /// success, not-found, constraint violations, deadline expiry — counts
+  /// as proof the engine is serving this tenant. Returns the transition
+  /// the report caused (or kNone).
+  enum class Transition : uint8_t { kNone, kOpened, kClosed };
+  Transition OnResult(bool hard_fault, uint64_t now_ns, const Options& opts);
+
+  BreakerState state() const;
+
+  /// Forces the breaker closed and clears all strike/backoff state (the
+  /// legacy ClearQuarantine admin path).
+  void ForceClose();
+
+  /// Consecutive hard faults observed while closed.
+  uint64_t strikes() const;
+  /// Times the breaker has tripped open over its lifetime.
+  uint64_t trips() const;
+  /// Steady-clock ns at which the next probe is allowed (0 when closed).
+  uint64_t open_until_ns() const;
+
+ private:
+  mutable Latch mu_{LatchRank::kTenantBreaker, "tenant-breaker"};
+  BreakerState state_ = BreakerState::kClosed;
+  uint64_t strikes_ = 0;
+  uint64_t consecutive_trips_ = 0;  // failed probes since last close
+  uint64_t trips_ = 0;
+  uint64_t open_until_ns_ = 0;
+  bool probe_in_flight_ = false;
+};
+
+}  // namespace mtdb
+
+#endif  // MTDB_COMMON_BREAKER_H_

@@ -1,0 +1,9 @@
+#include "common/deadline.h"
+
+namespace mtdb::deadline {
+namespace internal {
+
+thread_local Deadline tls_deadline{};
+
+}  // namespace internal
+}  // namespace mtdb::deadline

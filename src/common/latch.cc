@@ -17,6 +17,10 @@ const char* LatchRankName(LatchRank rank) {
   switch (rank) {
     case LatchRank::kPageStore:
       return "PageStore";
+    case LatchRank::kMetricsRegistry:
+      return "MetricsRegistry";
+    case LatchRank::kTenantBreaker:
+      return "TenantBreaker";
     case LatchRank::kBufferShard:
       return "BufferShard";
     case LatchRank::kBufferCapacity:
@@ -41,6 +45,8 @@ const char* LatchRankName(LatchRank rank) {
       return "TenantRow";
     case LatchRank::kMappingLayer:
       return "MappingLayer";
+    case LatchRank::kAdmission:
+      return "Admission";
   }
   return "?";
 }

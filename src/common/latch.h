@@ -19,7 +19,7 @@ namespace mtdb {
 /// graph, whose cycle detection catches cross-thread ABBA patterns.
 ///
 /// The numeric gaps leave room for future layers. The full table, with
-/// who owns each rank, is documented in DESIGN.md §11. Note two
+/// who owns each rank, is documented in DESIGN.md §11. Note three
 /// deliberate deviations from a naive reading of the module layering:
 ///  * kCatalog sits BELOW kTableIndex: the planner and the statement
 ///    executors resolve tables through the catalog while already holding
@@ -28,9 +28,18 @@ namespace mtdb {
 ///  * kWal sits below kTableIndex: the durability contract appends a
 ///    statement's redo group while its exclusive table latches are still
 ///    held, so the log order matches memory order per table.
+///  * kTxnGate sits ABOVE the mapping-layer cache/row latches: the
+///    statement undo log opens a WAL logical transaction (txn gate held
+///    shared) before the per-source write loop, and later loop
+///    iterations still consult the mapping cache and per-tenant row
+///    latch. The gate is therefore the outer latch on that path; the one
+///    place that nests the other way — auto-checkpoint triggered by a
+///    lazy table provision under the cache latch — defers the checkpoint
+///    instead (see Database::MaybeAutoCheckpoint).
 enum class LatchRank : uint8_t {
   kPageStore = 0,        // PageStore::mu_ (innermost)
   kMetricsRegistry = 5,  // MetricsRegistry::mu_ (leaf: never calls out)
+  kTenantBreaker = 8,    // TenantEntry circuit breaker (leaf: never calls out)
   kBufferShard = 10,     // BufferPool::Shard::mu
   kBufferCapacity = 20,  // BufferPool::capacity_mu_
   kWal = 30,             // Durability::mu_ (append + lsn assignment)
@@ -38,11 +47,12 @@ enum class LatchRank : uint8_t {
   kPage = 50,            // reserved for page-level latches (none yet)
   kTableIndex = 60,      // TableHeap/BTree latches; ordered by TableId
   kDdl = 70,             // Database::ddl_mu_
-  kTxnGate = 80,         // Durability::txn_gate_
-  kMappingTableNum = 90,   // SchemaMapping::table_number_mu_
-  kMappingCache = 100,     // SchemaMapping::cache_mu_
-  kTenantRow = 110,        // TenantEntry::row_mu; ordered by TenantId
-  kMappingLayer = 120,     // SchemaMapping::layer_mu_ (outermost)
+  kMappingTableNum = 80,   // SchemaMapping::table_number_mu_
+  kMappingCache = 90,      // SchemaMapping::cache_mu_
+  kTenantRow = 100,        // TenantEntry::row_mu; ordered by TenantId
+  kTxnGate = 110,          // Durability::txn_gate_
+  kMappingLayer = 120,     // SchemaMapping::layer_mu_
+  kAdmission = 125,        // AdmissionController::mu_ (outermost)
 };
 
 const char* LatchRankName(LatchRank rank);

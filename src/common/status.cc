@@ -32,6 +32,8 @@ const char* StatusCodeName(StatusCode code) {
       return "DataLoss";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

@@ -22,6 +22,7 @@ enum class StatusCode {
   kIOError,      // transient device failure; safe to retry
   kDataLoss,     // checksum mismatch / torn page; retrying may not help
   kUnavailable,  // resource (e.g. a quarantined tenant) refuses service
+  kDeadlineExceeded,  // statement ran past its deadline; partial work undone
 };
 
 /// Arrow/RocksDB-style status object. The engine does not use exceptions;
@@ -72,6 +73,9 @@ class [[nodiscard]] Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,9 +1,11 @@
 #include "core/layout.h"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 
 #include "catalog/schema.h"
+#include "common/deadline.h"
 #include "core/tenant_session.h"
 #include "core/undo_log.h"
 #include "sql/ast_util.h"
@@ -14,6 +16,14 @@ namespace mtdb {
 namespace mapping {
 
 namespace {
+
+/// Monotonic now in nanoseconds for the circuit breakers.
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 /// Evaluates a constant (or logical-row-referencing) scalar expression
 /// used in INSERT VALUES / UPDATE SET position.
@@ -96,6 +106,11 @@ SchemaMapping::SchemaMapping(Database* db, const AppSchema* app)
   if (db_ != nullptr) {
     quarantine_threshold_.store(db_->default_quarantine_threshold(),
                                 std::memory_order_relaxed);
+    breaker_backoff_initial_ns_.store(
+        db_->breaker_backoff_initial_ms() * 1'000'000,
+        std::memory_order_relaxed);
+    breaker_backoff_max_ns_.store(db_->breaker_backoff_max_ms() * 1'000'000,
+                                  std::memory_order_relaxed);
   }
 }
 
@@ -442,7 +457,14 @@ bool SchemaMapping::IsQuarantined(TenantId tenant) const {
   std::shared_lock<SharedLatch> lock(layer_mu_);
   auto it = tenants_.find(tenant);
   return it != tenants_.end() &&
-         it->second.quarantined.load(std::memory_order_acquire);
+         it->second.breaker.state() != BreakerState::kClosed;
+}
+
+BreakerState SchemaMapping::TenantBreakerState(TenantId tenant) const {
+  std::shared_lock<SharedLatch> lock(layer_mu_);
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? BreakerState::kClosed
+                              : it->second.breaker.state();
 }
 
 Status SchemaMapping::ClearQuarantine(TenantId tenant) {
@@ -451,39 +473,81 @@ Status SchemaMapping::ClearQuarantine(TenantId tenant) {
   if (it == tenants_.end()) {
     return Status::NotFound("no such tenant: " + std::to_string(tenant));
   }
-  it->second.hard_faults.Reset();
-  it->second.quarantined.store(false, std::memory_order_release);
+  it->second.breaker.ForceClose();
   return Status::OK();
+}
+
+CircuitBreaker::Options SchemaMapping::BreakerOptions() const {
+  CircuitBreaker::Options o;
+  o.threshold = quarantine_threshold_.load(std::memory_order_relaxed);
+  o.initial_backoff_ns =
+      breaker_backoff_initial_ns_.load(std::memory_order_relaxed);
+  o.max_backoff_ns = breaker_backoff_max_ns_.load(std::memory_order_relaxed);
+  return o;
 }
 
 Status SchemaMapping::CheckTenantAvailable(TenantId tenant) {
   auto it = tenants_.find(tenant);
   if (it == tenants_.end()) return Status::OK();
-  if (it->second.quarantined.load(std::memory_order_acquire)) {
-    return Status::Unavailable("tenant " + std::to_string(tenant) +
-                               " is quarantined after repeated I/O faults");
+  uint64_t retry_after_ns = 0;
+  switch (it->second.breaker.Admit(NowNs(), BreakerOptions(),
+                                   &retry_after_ns)) {
+    case CircuitBreaker::Decision::kAllow:
+      return Status::OK();
+    case CircuitBreaker::Decision::kAllowProbe:
+      // The backoff elapsed: this statement probes the tenant's pages;
+      // its outcome (NoteTenantOutcome) closes or re-opens the breaker.
+      if (db_ != nullptr) {
+        db_->metrics_registry()
+            ->GetCounter("breaker.half_open.t" + std::to_string(tenant))
+            ->Add(1);
+      }
+      return Status::OK();
+    case CircuitBreaker::Decision::kReject:
+      break;
   }
-  return Status::OK();
+  return Status::Unavailable(
+      "tenant " + std::to_string(tenant) +
+      " is quarantined after repeated I/O faults (circuit open); "
+      "retry_after_ms=" +
+      std::to_string(retry_after_ns / 1'000'000 + 1));
 }
 
 void SchemaMapping::NoteTenantOutcome(TenantId tenant, const Status& status) {
   auto it = tenants_.find(tenant);
   if (it == tenants_.end()) return;
   TenantEntry& entry = it->second;
-  if (status.ok()) {
-    entry.hard_faults.Reset();
-    return;
+  if (!status.ok() && status.code() == StatusCode::kDeadlineExceeded &&
+      db_ != nullptr) {
+    db_->metrics_registry()
+        ->GetCounter("deadline.exceeded.t" + std::to_string(tenant))
+        ->Add(1);
   }
-  // Only hard I/O faults count: logical errors (NotFound, constraint
-  // violations, ...) say nothing about the tenant's pages.
-  if (status.code() != StatusCode::kIOError &&
-      status.code() != StatusCode::kDataLoss) {
-    return;
-  }
-  uint64_t n = entry.hard_faults.IncrementAndGet();
-  if (n >= quarantine_threshold_.load(std::memory_order_relaxed) &&
-      !entry.quarantined.exchange(true, std::memory_order_acq_rel)) {
-    stats_.quarantine_trips++;
+  // Only hard I/O faults strike the breaker: logical errors (NotFound,
+  // constraint violations, deadline expiry, ...) say nothing about the
+  // tenant's pages, so they count as proof of service — they reset the
+  // strikes and close a half-open probe.
+  const bool hard_fault = !status.ok() &&
+                          (status.code() == StatusCode::kIOError ||
+                           status.code() == StatusCode::kDataLoss);
+  switch (entry.breaker.OnResult(hard_fault, NowNs(), BreakerOptions())) {
+    case CircuitBreaker::Transition::kOpened:
+      stats_.quarantine_trips++;
+      if (db_ != nullptr) {
+        db_->metrics_registry()
+            ->GetCounter("breaker.open.t" + std::to_string(tenant))
+            ->Add(1);
+      }
+      break;
+    case CircuitBreaker::Transition::kClosed:
+      if (db_ != nullptr) {
+        db_->metrics_registry()
+            ->GetCounter("breaker.close.t" + std::to_string(tenant))
+            ->Add(1);
+      }
+      break;
+    case CircuitBreaker::Transition::kNone:
+      break;
   }
 }
 
@@ -520,6 +584,10 @@ Result<const TableMapping*> SchemaMapping::Mapping(TenantId tenant,
   auto key = std::make_pair(tenant, IdentLower(table));
   auto it = mapping_cache_.find(key);
   if (it != mapping_cache_.end()) return it->second.get();
+  // BuildMapping may lazily run physical DDL; an automatic checkpoint
+  // inside that DDL would take the txn gate exclusively while this
+  // latch is held — a rank inversion — so defer it.
+  AutoCheckpointDeferral no_ckpt;
   MTDB_ASSIGN_OR_RETURN(std::unique_ptr<TableMapping> m,
                         BuildMapping(tenant, table));
   const TableMapping* raw = m.get();
@@ -717,6 +785,9 @@ Result<int64_t> SchemaMapping::GenericInsert(TenantId tenant,
   };
   int64_t inserted = 0;
   for (const auto& row_exprs : stmt.rows) {
+    // Deadline checkpoint between logical rows: an expired statement
+    // stops here and fail() takes the applied rows back out.
+    if (Status dl = deadline::Check(); !dl.ok()) return fail(dl);
     if (row_exprs.size() != columns.size()) {
       return fail(Status::InvalidArgument("VALUES arity mismatch"));
     }
@@ -917,6 +988,11 @@ Result<int64_t> SchemaMapping::InsertMappedRow(
     return st;
   };
   for (size_t src = 0; src < mapping->sources.size(); ++src) {
+    // Deadline checkpoint between the physical statements of one
+    // logical insert: the undo log makes the cut all-or-nothing.
+    if (!explaining) {
+      if (Status dl = deadline::Check(); !dl.ok()) return fail(dl);
+    }
     const PhysicalSource& source = mapping->sources[src];
     TableInfo* phys = db_->catalog()->GetTable(source.physical_table);
     if (phys == nullptr) {
@@ -1162,6 +1238,9 @@ Result<int64_t> SchemaMapping::GenericUpdate(TenantId tenant,
     for (auto& [src, assigns] : by_source) {
       const PhysicalSource& source = mapping->sources[src];
       for (size_t begin = 0; begin < rows.size(); begin += kDmlBatchSize) {
+        if (!explaining) {
+          if (Status dl = deadline::Check(); !dl.ok()) return fail(dl);
+        }
         size_t end = std::min(begin + kDmlBatchSize, rows.size());
         sql::Statement phys;
         phys.kind = sql::StatementKind::kUpdate;
@@ -1194,6 +1273,9 @@ Result<int64_t> SchemaMapping::GenericUpdate(TenantId tenant,
   // with local conditions on the meta-data columns and row only.
   const bool record_undo = affected.size() * touched_sources.size() > 1;
   for (const AffectedRow& row : affected) {
+    if (!explaining) {
+      if (Status dl = deadline::Check(); !dl.ok()) return fail(dl);
+    }
     // Group new values by source.
     std::map<size_t, std::vector<std::pair<std::string, Value>>> by_source;
     for (const ResolvedSet& s : sets) {
@@ -1276,6 +1358,9 @@ Result<int64_t> SchemaMapping::GenericDelete(TenantId tenant,
     for (size_t src = 0; src < mapping->sources.size(); ++src) {
       const PhysicalSource& source = mapping->sources[src];
       for (size_t begin = 0; begin < rows.size(); begin += kDmlBatchSize) {
+        if (!explaining) {
+          if (Status dl = deadline::Check(); !dl.ok()) return fail(dl);
+        }
         size_t end = std::min(begin + kDmlBatchSize, rows.size());
         sql::Statement phys;
         if (trashcan_deletes_) {
@@ -1313,6 +1398,9 @@ Result<int64_t> SchemaMapping::GenericDelete(TenantId tenant,
   // enabled they become updates that mark the rows invisible instead.
   const bool record_undo = affected.size() * mapping->sources.size() > 1;
   for (const AffectedRow& row : affected) {
+    if (!explaining) {
+      if (Status dl = deadline::Check(); !dl.ok()) return fail(dl);
+    }
     for (size_t src = 0; src < mapping->sources.size(); ++src) {
       const PhysicalSource& source = mapping->sources[src];
       sql::Statement phys;

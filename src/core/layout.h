@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/breaker.h"
 #include "common/latch.h"
 #include "common/metrics_registry.h"
 #include "engine/database.h"
@@ -200,24 +201,44 @@ class SchemaMapping : public MappingResolver {
   // --- fault containment -----------------------------------------------
 
   /// A tenant whose statements keep failing with hard I/O faults
-  /// (kIOError/kDataLoss surviving the buffer pool's retries) is
-  /// quarantined: further statements fail fast with kUnavailable instead
-  /// of hammering a bad device region, while other tenants — possibly
-  /// co-located in the very same physical tables — keep serving. The
-  /// counter is consecutive: any successful statement resets it.
+  /// (kIOError/kDataLoss surviving the buffer pool's retries) trips a
+  /// per-tenant circuit breaker: further statements fail fast with
+  /// kUnavailable instead of hammering a bad device region, while other
+  /// tenants — possibly co-located in the very same physical tables —
+  /// keep serving. The breaker is self-healing: after an exponential
+  /// backoff one probe statement is let through (half-open); success
+  /// closes the breaker, another hard fault re-opens it with a doubled
+  /// backoff. The strike counter is consecutive: any completed
+  /// statement (success or logical error) resets it.
   bool IsQuarantined(TenantId tenant) const;
 
-  /// Lifts a tenant's quarantine and zeroes its fault counter (operator
-  /// action after the underlying fault is repaired).
+  /// Force-closes a tenant's breaker and zeroes its fault state
+  /// (operator action after the underlying fault is repaired; the
+  /// breaker also heals itself via half-open probes).
   Status ClearQuarantine(TenantId tenant);
 
-  /// Consecutive hard-faulted statements before quarantine trips.
+  /// Consecutive hard-faulted statements before the breaker opens.
   void set_quarantine_threshold(uint64_t n) {
     quarantine_threshold_.store(n, std::memory_order_relaxed);
   }
   uint64_t quarantine_threshold() const {
     return quarantine_threshold_.load(std::memory_order_relaxed);
   }
+
+  /// Breaker backoff window before a tripped tenant's first half-open
+  /// probe, doubling per consecutive trip up to the max. Defaults come
+  /// from DatabaseOptions (breaker_backoff_*_ms); tests shrink them to
+  /// exercise the open → half-open → closed cycle quickly.
+  void set_breaker_backoff_ms(uint64_t initial_ms, uint64_t max_ms) {
+    breaker_backoff_initial_ns_.store(initial_ms * 1'000'000,
+                                      std::memory_order_relaxed);
+    breaker_backoff_max_ns_.store(max_ms * 1'000'000,
+                                  std::memory_order_relaxed);
+  }
+
+  /// The tenant's breaker state (tests/operators; kClosed for unknown
+  /// tenants).
+  BreakerState TenantBreakerState(TenantId tenant) const;
   Database* db() { return db_; }
   const AppSchema* app() const { return app_; }
 
@@ -267,26 +288,33 @@ class SchemaMapping : public MappingResolver {
     Latch row_mu{LatchRank::kTenantRow, "tenant-row"};
     /// next row id per logical table (lower-cased name).
     std::map<std::string, int64_t> next_row;
-    /// Consecutive statements that ended in a hard I/O fault; reset by
-    /// any success. Relaxed-atomic so sessions update without the row
-    /// lock.
-    Counter hard_faults;
-    std::atomic<bool> quarantined{false};
+    /// Per-tenant circuit breaker over hard I/O faults (closed → open →
+    /// half-open → closed). Owns its own leaf latch, so sessions feed
+    /// outcomes without the row lock.
+    CircuitBreaker breaker;
   };
 
   Result<TenantEntry*> GetTenant(TenantId tenant);
   Result<EffectiveTable> GetEffective(TenantId tenant,
                                       const std::string& table);
 
-  /// Fails fast with kUnavailable when the tenant is quarantined (OK for
-  /// unknown tenants — the statement path reports NotFound itself).
+  /// Consults the tenant's circuit breaker: fails fast with
+  /// kUnavailable (message carries a retry_after_ms hint) while the
+  /// breaker is open, lets exactly one probe statement through once the
+  /// backoff elapses (half-open), admits freely when closed. OK for
+  /// unknown tenants — the statement path reports NotFound itself.
   /// Assumes the layer latch is held.
   Status CheckTenantAvailable(TenantId tenant);
 
-  /// Feeds a statement outcome into the quarantine counter: hard faults
-  /// (kIOError/kDataLoss) accumulate, success resets, other errors are
-  /// neutral. Trips quarantine at the threshold.
+  /// Feeds a statement outcome into the tenant's breaker: hard faults
+  /// (kIOError/kDataLoss) accumulate strikes and open the breaker at
+  /// the threshold; any completed statement (success or logical error)
+  /// resets the strikes and closes a half-open probe. Also tallies
+  /// deadline.exceeded.t<id>.
   void NoteTenantOutcome(TenantId tenant, const Status& status);
+
+  /// Snapshot of the breaker tunables (threshold + backoff window).
+  CircuitBreaker::Options BreakerOptions() const;
 
   /// Generic DML implementations driven by the TableMapping (used by all
   /// generic layouts; Private/Basic override with direct rewrites).
@@ -372,14 +400,21 @@ class SchemaMapping : public MappingResolver {
   std::atomic<PhysicalStatementObserver*> observer_{nullptr};
   /// Set by layouts that provision `del` visibility columns.
   bool trashcan_deletes_ = false;
-  /// Consecutive hard faults before a tenant is quarantined.
+  /// Consecutive hard faults before a tenant's breaker opens.
   std::atomic<uint64_t> quarantine_threshold_{8};
+  /// Breaker backoff window (config knobs, not statistics).
+  std::atomic<uint64_t> breaker_backoff_initial_ns_{100'000'000};
+  std::atomic<uint64_t> breaker_backoff_max_ns_{5'000'000'000};
   std::map<TenantId, TenantEntry> tenants_;
 
   /// Guards mapping_cache_. Read-mostly: statements look mappings up far
   /// more often than DDL invalidates them. Ranked above the engine's
-  /// txn-gate/DDL latches because BuildMapping may lazily provision
-  /// physical tables (extension layouts) while this is held.
+  /// DDL/table-number latches because BuildMapping may lazily provision
+  /// physical tables (extension layouts) while this is held, but below
+  /// the txn gate: a statement already inside a durable txn (undo log)
+  /// may still look mappings up. Mapping() defers automatic checkpoints
+  /// for the same reason — a checkpoint takes the txn gate exclusively,
+  /// which must never nest inside this latch.
   mutable Latch cache_mu_{LatchRank::kMappingCache, "mapping-cache"};
   /// Cache of (tenant, table-lower) -> TableMapping, filled via Mapping().
   std::map<std::pair<TenantId, std::string>, std::unique_ptr<TableMapping>>

@@ -8,8 +8,10 @@
 #include <utility>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/trace.h"
 #include "core/layout.h"
+#include "engine/admission.h"
 
 namespace mtdb {
 namespace mapping {
@@ -30,30 +32,54 @@ class TenantSession {
   TenantSession(TenantSession&&) = default;
   TenantSession& operator=(TenantSession&&) = default;
 
-  /// Runs a logical SELECT for this session's tenant.
+  /// Runs a logical SELECT for this session's tenant. An active
+  /// `deadline` bounds the statement: it is cancelled cooperatively and
+  /// returns kDeadlineExceeded once the deadline passes (an inactive
+  /// deadline inherits any ambient one). Every statement also passes
+  /// through the engine's admission controller under this tenant's id —
+  /// rate-limited or overloaded tenants get kResourceExhausted with a
+  /// retry_after_ms hint instead of executing.
   Result<QueryResult> Query(const std::string& sql,
-                            const std::vector<Value>& params = {}) {
+                            const std::vector<Value>& params = {},
+                            deadline::Deadline deadline = {}) {
     if (layout_ == nullptr) return Status::InvalidArgument("session is closed");
     statements_++;
-    return Traced("select", [&] { return layout_->Query(tenant_, sql, params); });
+    deadline::Scope scope(deadline.active ? deadline : deadline::Current());
+    return Traced("select", [&]() -> Result<QueryResult> {
+      AdmissionTicket ticket;
+      MTDB_RETURN_IF_ERROR(AdmitSelf(&ticket));
+      return layout_->Query(tenant_, sql, params);
+    });
   }
 
   /// Runs logical INSERT/UPDATE/DELETE; returns affected logical rows.
+  /// Deadline/admission semantics as on Query; a deadline expiring
+  /// mid-statement rolls back the partial physical writes.
   Result<int64_t> Execute(const std::string& sql,
-                          const std::vector<Value>& params = {}) {
+                          const std::vector<Value>& params = {},
+                          deadline::Deadline deadline = {}) {
     if (layout_ == nullptr) return Status::InvalidArgument("session is closed");
     statements_++;
-    return Traced(GuessKind(sql),
-                  [&] { return layout_->Execute(tenant_, sql, params); });
+    deadline::Scope scope(deadline.active ? deadline : deadline::Current());
+    return Traced(GuessKind(sql), [&]() -> Result<int64_t> {
+      AdmissionTicket ticket;
+      MTDB_RETURN_IF_ERROR(AdmitSelf(&ticket));
+      return layout_->Execute(tenant_, sql, params);
+    });
   }
 
   /// Direct structured insert (bulk loaders): values in the tenant's
   /// effective column order; missing trailing columns NULL.
-  Result<int64_t> InsertRow(const std::string& table, const Row& row) {
+  Result<int64_t> InsertRow(const std::string& table, const Row& row,
+                            deadline::Deadline deadline = {}) {
     if (layout_ == nullptr) return Status::InvalidArgument("session is closed");
     statements_++;
-    return Traced("insert",
-                  [&] { return layout_->InsertRow(tenant_, table, row); });
+    deadline::Scope scope(deadline.active ? deadline : deadline::Current());
+    return Traced("insert", [&]() -> Result<int64_t> {
+      AdmissionTicket ticket;
+      MTDB_RETURN_IF_ERROR(AdmitSelf(&ticket));
+      return layout_->InsertRow(tenant_, table, row);
+    });
   }
 
   /// Returns the transformed physical SQL (for inspection/examples).
@@ -110,6 +136,14 @@ class TenantSession {
     }();
     tracer_->EndStatement(out.ok());
     return out;
+  }
+
+  /// Admits one statement under this tenant's id; the wait (if any)
+  /// shows up as an "admit" span in traced sessions.
+  Status AdmitSelf(AdmissionTicket* ticket) {
+    trace::SpanScope admit("admit", layout_->name());
+    return layout_->db()->admission()->Admit(tenant_, deadline::Current(),
+                                             ticket);
   }
 
   /// Cheap statement-kind label for trace series without a parse: the

@@ -1,5 +1,6 @@
 #include "core/undo_log.h"
 
+#include "common/deadline.h"
 #include "sql/printer.h"
 
 namespace mtdb {
@@ -33,6 +34,10 @@ void StatementUndoLog::Commit() {
 }
 
 Status StatementUndoLog::Rollback() {
+  // Compensations must run to completion even when the statement being
+  // rolled back was cancelled by its deadline — a half-undone statement
+  // is exactly what this log exists to prevent.
+  deadline::Scope no_deadline(deadline::Deadline::None());
   staged_.clear();
   Status first_error = Status::OK();
   for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {

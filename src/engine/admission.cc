@@ -1,0 +1,203 @@
+#include "engine/admission.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <mutex>
+
+namespace mtdb {
+
+namespace {
+
+std::string TenantLabel(const char* prefix, TenantId tenant) {
+  return std::string(prefix) + ".t" + std::to_string(tenant);
+}
+
+}  // namespace
+
+AdmissionTicket::~AdmissionTicket() { Release(); }
+
+AdmissionTicket& AdmissionTicket::operator=(AdmissionTicket&& o) noexcept {
+  if (this != &o) {
+    Release();
+    ctrl_ = o.ctrl_;
+    o.ctrl_ = nullptr;
+  }
+  return *this;
+}
+
+void AdmissionTicket::Release() {
+  if (ctrl_ != nullptr) {
+    ctrl_->Release();
+    ctrl_ = nullptr;
+  }
+}
+
+AdmissionController::AdmissionController(const AdmissionOptions& opts,
+                                         MetricsRegistry* registry)
+    : opts_(opts),
+      burst_(opts.tenant_burst > 0.0 ? opts.tenant_burst
+                                     : std::max(opts.tenant_rate, 1.0)),
+      registry_(registry) {}
+
+AdmissionController::~AdmissionController() = default;
+
+AdmissionController::Bucket& AdmissionController::BucketFor(TenantId tenant) {
+  auto [it, inserted] = buckets_.try_emplace(tenant);
+  Bucket& b = it->second;
+  if (inserted) {
+    b.tokens = burst_;
+    b.admitted = registry_->GetCounter(TenantLabel("admission.admitted", tenant));
+    b.rejected = registry_->GetCounter(TenantLabel("admission.rejected", tenant));
+    b.queued = registry_->GetCounter(TenantLabel("admission.queued", tenant));
+    b.queue_wait_us =
+        registry_->GetHistogram(TenantLabel("admission.queue_wait_us", tenant));
+  }
+  return b;
+}
+
+void AdmissionController::Refill(Bucket& b,
+                                 std::chrono::steady_clock::time_point now) {
+  if (!b.initialized) {
+    b.initialized = true;
+    b.last_refill = now;
+    return;
+  }
+  double elapsed_s =
+      std::chrono::duration_cast<std::chrono::duration<double>>(now -
+                                                                b.last_refill)
+          .count();
+  if (elapsed_s <= 0.0) return;
+  b.tokens = std::min(burst_, b.tokens + elapsed_s * opts_.tenant_rate);
+  b.last_refill = now;
+}
+
+Status AdmissionController::Admit(TenantId tenant, deadline::Deadline dl,
+                                  AdmissionTicket* ticket) {
+  // Disabled controllers admit everything for one predicted branch —
+  // the front doors call through unconditionally.
+  if (!opts_.enabled) return Status::OK();
+  const auto now = std::chrono::steady_clock::now();
+  std::unique_lock<Latch> lk(mu_);
+  Bucket& b = BucketFor(tenant);
+
+  if (opts_.tenant_rate > 0.0) {
+    Refill(b, now);
+    if (b.tokens < 1.0) {
+      int64_t retry_ms = static_cast<int64_t>(
+          std::ceil((1.0 - b.tokens) / opts_.tenant_rate * 1000.0));
+      retry_ms = std::max<int64_t>(retry_ms, 1);
+      b.rejected->Add(1);
+      return Status::ResourceExhausted(
+          "tenant " + std::to_string(tenant) +
+          " exceeded its statement rate; retry_after_ms=" +
+          std::to_string(retry_ms));
+    }
+    b.tokens -= 1.0;
+  }
+
+  if (opts_.max_in_flight == 0 || in_flight_ < opts_.max_in_flight) {
+    in_flight_++;
+    b.admitted->Add(1);
+    ticket->Release();
+    ticket->ctrl_ = this;
+    return Status::OK();
+  }
+
+  if (queue_depth_ >= opts_.max_queue) {
+    if (opts_.tenant_rate > 0.0) b.tokens += 1.0;  // statement never ran
+    b.rejected->Add(1);
+    // A rough hint: one queue drain's worth of backlog ahead of us.
+    int64_t retry_ms = static_cast<int64_t>(queue_depth_) + 1;
+    return Status::ResourceExhausted(
+        "admission queue is full (" + std::to_string(queue_depth_) +
+        " waiting); retry_after_ms=" + std::to_string(retry_ms));
+  }
+
+  Waiter w;
+  b.queue.push_back(&w);
+  queue_depth_++;
+  b.queued->Add(1);
+  if (dl.active) {
+    cv_.wait_until(lk, dl.at, [&] { return w.granted; });
+  } else {
+    cv_.wait(lk, [&] { return w.granted; });
+  }
+  if (!w.granted) {
+    // Deadline passed while queued: abandon the slot and refund the
+    // token — the statement never executed.
+    auto pos = std::find(b.queue.begin(), b.queue.end(), &w);
+    if (pos != b.queue.end()) b.queue.erase(pos);
+    queue_depth_--;
+    if (opts_.tenant_rate > 0.0) b.tokens += 1.0;
+    return Status::DeadlineExceeded(
+        "statement deadline exceeded while queued for admission");
+  }
+  uint64_t wait_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - now)
+          .count());
+  b.queue_wait_us->Record(wait_us);
+  b.admitted->Add(1);
+  ticket->Release();
+  ticket->ctrl_ = this;
+  return Status::OK();
+}
+
+void AdmissionController::GrantNext() {
+  if (queue_depth_ == 0) return;
+  if (opts_.max_in_flight != 0 && in_flight_ >= opts_.max_in_flight) return;
+  auto it = rr_valid_ ? buckets_.lower_bound(rr_cursor_) : buckets_.begin();
+  if (it == buckets_.end()) it = buckets_.begin();
+  // Two full rotations suffice: the first may only reset exhausted
+  // per-round serve counts, the second must find a non-empty queue
+  // (queue_depth_ > 0 guarantees one exists).
+  for (size_t step = 0; step <= buckets_.size() * 2; ++step) {
+    Bucket& b = it->second;
+    if (!b.queue.empty() && b.served_in_round < std::max(b.weight, 1u)) {
+      Waiter* w = b.queue.front();
+      b.queue.pop_front();
+      queue_depth_--;
+      b.served_in_round++;
+      w->granted = true;
+      in_flight_++;
+      rr_cursor_ = it->first;
+      rr_valid_ = true;
+      cv_.notify_all();
+      return;
+    }
+    b.served_in_round = 0;
+    ++it;
+    if (it == buckets_.end()) it = buckets_.begin();
+  }
+}
+
+void AdmissionController::Release() {
+  std::lock_guard<Latch> lock(mu_);
+  in_flight_--;
+  GrantNext();
+}
+
+void AdmissionController::SetTenantWeight(TenantId tenant, uint32_t weight) {
+  std::lock_guard<Latch> lock(mu_);
+  BucketFor(tenant).weight = std::max(weight, 1u);
+}
+
+int64_t AdmissionController::RetryAfterMs(const Status& st) {
+  static constexpr char kTag[] = "retry_after_ms=";
+  size_t pos = st.message().find(kTag);
+  if (pos == std::string::npos) return -1;
+  return std::atoll(st.message().c_str() + pos + sizeof(kTag) - 1);
+}
+
+uint64_t AdmissionController::in_flight() const {
+  std::lock_guard<Latch> lock(mu_);
+  return in_flight_;
+}
+
+uint64_t AdmissionController::queue_depth() const {
+  std::lock_guard<Latch> lock(mu_);
+  return queue_depth_;
+}
+
+}  // namespace mtdb

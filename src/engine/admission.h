@@ -1,0 +1,168 @@
+#ifndef MTDB_ENGINE_ADMISSION_H_
+#define MTDB_ENGINE_ADMISSION_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+
+#include "common/deadline.h"
+#include "common/latch.h"
+#include "common/metrics_registry.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace mtdb {
+
+/// Tunables for the engine's admission controller, set once through
+/// DatabaseOptions. Disabled by default: the session front doors then
+/// pay one branch per statement and nothing else.
+struct AdmissionOptions {
+  bool enabled = false;
+  /// Per-tenant token refill rate in statements/second; <= 0 disables
+  /// rate limiting (the in-flight cap still applies).
+  double tenant_rate = 0.0;
+  /// Token-bucket capacity (burst allowance); <= 0 defaults to
+  /// max(tenant_rate, 1).
+  double tenant_burst = 0.0;
+  /// Statements allowed to execute concurrently engine-wide; 0 means
+  /// unlimited (no queueing ever happens).
+  uint32_t max_in_flight = 0;
+  /// Bound on waiters parked behind the in-flight cap (across all
+  /// tenants); past it statements are rejected with kResourceExhausted.
+  uint32_t max_queue = 16;
+};
+
+class AdmissionController;
+
+/// Tenant id raw engine Sessions admit under (below the mapping layer
+/// there is no tenant; -1 is reserved — real tenant ids are >= 0).
+inline constexpr TenantId kEngineTenant = -1;
+
+/// RAII execution slot: holds the in-flight slot granted by
+/// AdmissionController::Admit and returns it (waking the next queued
+/// statement) on destruction. Movable so the session front doors can
+/// carry it across the statement's execution.
+class AdmissionTicket {
+ public:
+  AdmissionTicket() = default;
+  ~AdmissionTicket();
+  AdmissionTicket(AdmissionTicket&& o) noexcept : ctrl_(o.ctrl_) {
+    o.ctrl_ = nullptr;
+  }
+  AdmissionTicket& operator=(AdmissionTicket&& o) noexcept;
+  AdmissionTicket(const AdmissionTicket&) = delete;
+  AdmissionTicket& operator=(const AdmissionTicket&) = delete;
+
+  bool admitted() const { return ctrl_ != nullptr; }
+  /// Returns the slot early (idempotent).
+  void Release();
+
+ private:
+  friend class AdmissionController;
+  AdmissionController* ctrl_ = nullptr;
+};
+
+/// Per-tenant admission control for the whole engine, owned by Database.
+/// Three mechanisms compose, all behind one outermost latch
+/// (LatchRank::kAdmission — never held while a statement executes, only
+/// across the admit/release bookkeeping itself):
+///
+///  * Token buckets, one per tenant: each admitted statement spends one
+///    token; tokens refill at `tenant_rate`/s up to `tenant_burst`. An
+///    empty bucket rejects immediately with kResourceExhausted and a
+///    retry_after_ms hint (time until one token accrues) in the message.
+///  * A global in-flight cap: past `max_in_flight` concurrently
+///    executing statements, arrivals park in a bounded wait queue. The
+///    queue is FIFO within a tenant and weighted round-robin across
+///    tenants (default weight 1, see SetTenantWeight), so one tenant's
+///    backlog cannot starve the others. A full queue rejects with
+///    kResourceExhausted + retry_after_ms.
+///  * Deadline awareness: a queued statement whose deadline passes
+///    abandons its slot and returns kDeadlineExceeded without ever
+///    executing.
+///
+/// Metrics (PR 7 registry): admission.admitted.t<id>,
+/// admission.rejected.t<id>, admission.queued.t<id> counters and the
+/// admission.queue_wait_us.t<id> histogram. Raw engine sessions admit
+/// under the reserved tenant id -1 (rendered "t-1").
+class AdmissionController {
+ public:
+  AdmissionController(const AdmissionOptions& opts, MetricsRegistry* registry);
+  ~AdmissionController();
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  bool enabled() const { return opts_.enabled; }
+  const AdmissionOptions& options() const { return opts_; }
+
+  /// Admits one statement for `tenant` or explains why not. On OK the
+  /// ticket holds the in-flight slot until it is destroyed/released.
+  /// Rejections: kResourceExhausted (empty token bucket or full queue;
+  /// message carries "retry_after_ms=<n>") or kDeadlineExceeded (the
+  /// deadline passed while queued).
+  Status Admit(TenantId tenant, deadline::Deadline dl, AdmissionTicket* ticket);
+
+  /// Sets a tenant's weighted-round-robin weight (grants it may receive
+  /// per rotation before the cursor moves on). Default 1; 0 is clamped
+  /// to 1.
+  void SetTenantWeight(TenantId tenant, uint32_t weight);
+
+  /// Parses the retry_after_ms hint out of a rejection Status message;
+  /// -1 when absent.
+  static int64_t RetryAfterMs(const Status& st);
+
+  /// Introspection for tests.
+  uint64_t in_flight() const;
+  uint64_t queue_depth() const;
+
+ private:
+  struct Waiter {
+    bool granted = false;
+  };
+
+  struct Bucket {
+    double tokens = 0.0;
+    std::chrono::steady_clock::time_point last_refill{};
+    bool initialized = false;
+    uint32_t weight = 1;
+    uint32_t served_in_round = 0;
+    std::deque<Waiter*> queue;
+    Counter* admitted = nullptr;
+    Counter* rejected = nullptr;
+    Counter* queued = nullptr;
+    LatencyHistogram* queue_wait_us = nullptr;
+  };
+
+  friend class AdmissionTicket;
+  void Release();
+
+  /// mu_ must be held. Lazily creates the bucket + its metric series.
+  Bucket& BucketFor(TenantId tenant);
+  /// mu_ must be held. Refills `b` up to burst as of `now`.
+  void Refill(Bucket& b, std::chrono::steady_clock::time_point now);
+  /// mu_ must be held. Grants the in-flight slot to the next queued
+  /// waiter by weighted round-robin; no-op when nothing waits.
+  void GrantNext();
+
+  const AdmissionOptions opts_;
+  const double burst_;
+  MetricsRegistry* const registry_;
+
+  mutable Latch mu_{LatchRank::kAdmission, "admission-queue"};
+  std::condition_variable_any cv_;
+  std::map<TenantId, Bucket> buckets_;
+  /// Weighted-round-robin cursor: the tenant id served last (grants
+  /// resume strictly after it, wrapping).
+  TenantId rr_cursor_ = 0;
+  bool rr_valid_ = false;
+  uint64_t in_flight_ = 0;
+  uint64_t queue_depth_ = 0;
+};
+
+}  // namespace mtdb
+
+#endif  // MTDB_ENGINE_ADMISSION_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/deadline.h"
 #include "common/key_encoding.h"
 #include "common/trace.h"
 #include "sql/ast_util.h"
@@ -104,9 +105,13 @@ Result<Value> EvalParsedScalar(const sql::ParsedExpr& e, const Row* row,
 
 /// Retries a compensating (undo) action so a bounded burst of transient
 /// faults cannot leave a statement half rolled back. kNotFound counts as
-/// success: the entry the undo wants gone is already gone.
+/// success: the entry the undo wants gone is already gone. The statement
+/// deadline is suppressed for the duration: the undo usually runs BECAUSE
+/// the deadline expired, and cancelling the compensation itself would
+/// leave the row half old, half new.
 template <typename Fn>
 Status RetryCompensation(Fn&& fn) {
+  deadline::Scope no_deadline(deadline::Deadline::None());
   Status st;
   for (int attempt = 0; attempt < 8; ++attempt) {
     st = fn();
@@ -195,7 +200,16 @@ std::vector<TableInfo*> ResolveInLatchOrder(
 // would deadlock against itself.
 thread_local int tls_txn_depth = 0;
 
+// Threads that hold a latch ranked below the txn gate (the mapping
+// layer's cache latch during lazy DDL) must not start an automatic
+// checkpoint either; see AutoCheckpointDeferral.
+thread_local int tls_ckpt_defer = 0;
+
 }  // namespace
+
+AutoCheckpointDeferral::AutoCheckpointDeferral() { tls_ckpt_defer++; }
+
+AutoCheckpointDeferral::~AutoCheckpointDeferral() { tls_ckpt_defer--; }
 
 Database::Database(DatabaseOptions options)
     : options_db_(std::move(options)),
@@ -209,6 +223,8 @@ Database::Database(DatabaseOptions options)
     options_db_.path = options_.durable_path;
   }
   registry_ = std::make_unique<MetricsRegistry>();
+  admission_ = std::make_unique<AdmissionController>(options_db_.admission,
+                                                     registry_.get());
   store_ = std::make_unique<PageStore>(options_.page_size);
   store_->set_read_latency_ns(options_.read_latency_ns);
   pool_ = std::make_unique<BufferPool>(
@@ -372,6 +388,10 @@ Status Database::Checkpoint() {
   if (durability_ == nullptr) {
     return Status::InvalidArgument("not a durable database");
   }
+  // Housekeeping must run to completion even when invoked from a thread
+  // whose statement deadline has expired: a half-written checkpoint is
+  // worse than a late one, so suppress the ambient deadline here.
+  deadline::Scope no_deadline(deadline::Deadline::None());
   // Gate before DDL latch (the global order); exclusive on both quiesces
   // every statement and every open logical txn.
   std::unique_lock<SharedLatch> gate(durability_->txn_gate());
@@ -380,7 +400,9 @@ Status Database::Checkpoint() {
 }
 
 void Database::MaybeAutoCheckpoint() {
-  if (durability_ == nullptr || tls_txn_depth != 0) return;
+  if (durability_ == nullptr || tls_txn_depth != 0 || tls_ckpt_defer != 0) {
+    return;
+  }
   if (!durability_->NeedsCheckpoint()) return;
   // A failure here (including an injected crash) freezes the subsystem
   // and surfaces on the next durable statement.
@@ -538,11 +560,13 @@ Result<QueryResult> Database::RunSelect(const sql::SelectStmt& stmt,
                         PlanSelect(stmt, catalog_.get(), planner_mode()));
   ExecContext ctx;
   ctx.params = params;
+  ctx.deadline = deadline::Current();
   MTDB_RETURN_IF_ERROR(plan.exec->Init(ctx));
   QueryResult out;
   out.columns = plan.exec->schema().names;
   Row row;
   while (true) {
+    MTDB_RETURN_IF_ERROR(ctx.CheckDeadline());
     Result<bool> more = plan.exec->Next(&row, ctx);
     if (!more.ok()) return more.status();
     if (!*more) break;
@@ -562,6 +586,7 @@ Result<int64_t> Database::RunMutationInner(const sql::Statement& stmt,
                                            const std::vector<Value>& params) {
   ExecContext ctx;
   ctx.params = params;
+  ctx.deadline = deadline::Current();
   switch (stmt.kind) {
     case sql::StatementKind::kInsert:
     case sql::StatementKind::kUpdate:
@@ -877,6 +902,7 @@ Result<int64_t> Database::ExecuteInsert(const sql::InsertStmt& stmt,
     return st;
   };
   for (const auto& row_exprs : stmt.rows) {
+    if (Status dl = ctx.CheckDeadline(); !dl.ok()) return rollback(dl);
     if (row_exprs.size() != positions.size()) {
       return rollback(Status::InvalidArgument("VALUES arity mismatch"));
     }
@@ -949,6 +975,7 @@ Result<int64_t> Database::ExecuteUpdate(const sql::UpdateStmt& stmt,
     return st;
   };
   for (auto& [rid, old_row] : affected) {
+    if (Status dl = ctx.CheckDeadline(); !dl.ok()) return rollback(dl);
     Row new_row = old_row;
     for (const auto& [pos, expr] : sets) {
       Result<Value> v = EvalParsedScalar(*expr, &old_row, &table->schema, ctx);
@@ -999,7 +1026,8 @@ Result<int64_t> Database::ExecuteDelete(const sql::DeleteStmt& stmt,
   // nothing.
   std::vector<Row> deleted;
   for (const auto& [rid, old_row] : affected) {
-    Status st = DeleteRowLatched(table, old_row, rid);
+    Status st = ctx.CheckDeadline();
+    if (st.ok()) st = DeleteRowLatched(table, old_row, rid);
     if (!st.ok()) {
       for (auto it = deleted.rbegin(); it != deleted.rend(); ++it) {
         RestoreDeletedRow(table, *it);

@@ -11,6 +11,7 @@
 #include "common/latch.h"
 #include "common/metrics_registry.h"
 #include "common/result.h"
+#include "engine/admission.h"
 #include "engine/planner.h"
 #include "sql/ast.h"
 #include "storage/buffer_pool.h"
@@ -137,8 +138,16 @@ struct DatabaseOptions {
   /// I/O retry/backoff policy installed on the buffer pool.
   RetryPolicy retry_policy;
   /// Default consecutive-hard-fault threshold mapping layers use before
-  /// quarantining a tenant (SchemaMapping can still override per-layer).
+  /// tripping a tenant's circuit breaker open (SchemaMapping can still
+  /// override per-layer).
   uint64_t quarantine_threshold = 8;
+  /// Per-tenant admission control (token buckets + global in-flight cap
+  /// with a fair wait queue). Disabled by default.
+  AdmissionOptions admission;
+  /// Circuit-breaker backoff before the first half-open probe of a
+  /// tripped tenant; doubles per failed probe up to the max.
+  uint64_t breaker_backoff_initial_ms = 100;
+  uint64_t breaker_backoff_max_ms = 5000;
 
   /// Convenience maker for the common durable-open call.
   static DatabaseOptions WithPath(std::string path,
@@ -148,6 +157,20 @@ struct DatabaseOptions {
     out.engine = std::move(engine);
     return out;
   }
+};
+
+/// Suppresses automatic checkpoints on the current thread while alive.
+/// An automatic checkpoint takes the txn gate exclusively (rank above
+/// the mapping layer's internal latches), so code that may execute a
+/// statement while holding such a latch — the mapping layer's lazy DDL
+/// under its cache latch — installs one of these to defer the
+/// checkpoint to the next unencumbered statement.
+class AutoCheckpointDeferral {
+ public:
+  AutoCheckpointDeferral();
+  ~AutoCheckpointDeferral();
+  AutoCheckpointDeferral(const AutoCheckpointDeferral&) = delete;
+  AutoCheckpointDeferral& operator=(const AutoCheckpointDeferral&) = delete;
 };
 
 class Database {
@@ -243,6 +266,17 @@ class Database {
   uint64_t default_quarantine_threshold() const {
     return options_db_.quarantine_threshold;
   }
+  uint64_t breaker_backoff_initial_ms() const {
+    return options_db_.breaker_backoff_initial_ms;
+  }
+  uint64_t breaker_backoff_max_ms() const {
+    return options_db_.breaker_backoff_max_ms;
+  }
+
+  /// The engine's admission controller (never null; disabled unless
+  /// DatabaseOptions::admission.enabled). Session/TenantSession front
+  /// doors pass every statement through it.
+  AdmissionController* admission() { return admission_.get(); }
 
   Catalog* catalog() { return catalog_.get(); }
   BufferPool* buffer_pool() { return pool_.get(); }
@@ -320,6 +354,7 @@ class Database {
   EngineOptions options_;
   std::atomic<PlannerMode> planner_mode_;
   std::unique_ptr<MetricsRegistry> registry_;
+  std::unique_ptr<AdmissionController> admission_;
   std::unique_ptr<PageStore> store_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<Catalog> catalog_;

@@ -34,6 +34,36 @@ Result<StatementResult> Session::Execute(const PreparedStatement& prepared,
   return ExecuteParsed(prepared.statement(), params);
 }
 
+Result<StatementResult> Session::Execute(const std::string& sql,
+                                         const Params& params,
+                                         deadline::Deadline deadline) {
+  if (db_ == nullptr) return Status::InvalidArgument("session is closed");
+  MTDB_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql));
+  return ExecuteParsed(stmt, params, deadline);
+}
+
+Result<StatementResult> Session::Execute(const sql::Statement& stmt,
+                                         const Params& params,
+                                         deadline::Deadline deadline) {
+  return ExecuteParsed(stmt, params, deadline);
+}
+
+Result<StatementResult> Session::Execute(const PreparedStatement& prepared,
+                                         const Params& params,
+                                         deadline::Deadline deadline) {
+  return ExecuteParsed(prepared.statement(), params, deadline);
+}
+
+Result<QueryResult> Session::Query(const std::string& sql,
+                                   const Params& params,
+                                   deadline::Deadline deadline) {
+  MTDB_ASSIGN_OR_RETURN(StatementResult res, Execute(sql, params, deadline));
+  if (!HasRows(res)) {
+    return Status::InvalidArgument("Query() requires a SELECT statement");
+  }
+  return std::move(std::get<QueryResult>(res));
+}
+
 Result<PreparedStatement> Session::Prepare(const std::string& sql) const {
   if (db_ == nullptr) return Status::InvalidArgument("session is closed");
   MTDB_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql));
@@ -64,15 +94,37 @@ Status Session::InsertRow(const std::string& table, const Row& row) {
 }
 
 Result<StatementResult> Session::ExecuteParsed(const sql::Statement& stmt,
-                                               const Params& params) {
+                                               const Params& params,
+                                               deadline::Deadline deadline) {
   if (db_ == nullptr) return Status::InvalidArgument("session is closed");
   statements_++;
+  // An explicit deadline shadows any ambient one for this statement; an
+  // inactive argument re-installs the ambient deadline (no-op).
+  deadline::Scope scope(deadline.active ? deadline : deadline::Current());
+  Result<StatementResult> res = ExecuteAdmitted(stmt, params);
+  if (!res.ok() && res.status().code() == StatusCode::kDeadlineExceeded) {
+    db_->metrics_registry()->GetCounter("deadline.exceeded")->Add(1);
+  }
+  return res;
+}
+
+Result<StatementResult> Session::ExecuteAdmitted(const sql::Statement& stmt,
+                                                 const Params& params) {
   if (tracer_ == nullptr || !tracer_->enabled()) {
+    AdmissionTicket ticket;
+    MTDB_RETURN_IF_ERROR(db_->admission()->Admit(
+        kEngineTenant, deadline::Current(), &ticket));
     return db_->RunStatement(stmt, params);
   }
   tracer_->BeginStatement(/*tenant=*/-1, "engine", sql::KindLabel(stmt.kind));
-  Result<StatementResult> res = [&] {
+  Result<StatementResult> res = [&]() -> Result<StatementResult> {
     trace::TracerScope scope(tracer_.get());
+    AdmissionTicket ticket;
+    {
+      trace::SpanScope admit("admit", "engine");
+      MTDB_RETURN_IF_ERROR(db_->admission()->Admit(
+          kEngineTenant, deadline::Current(), &ticket));
+    }
     return db_->RunStatement(stmt, params);
   }();
   tracer_->EndStatement(res.ok());

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/result.h"
 #include "common/trace.h"
 #include "engine/database.h"
@@ -71,12 +72,29 @@ class Session {
   Result<StatementResult> Execute(const PreparedStatement& prepared,
                                   const Params& params = {});
 
+  /// Deadline-bearing overloads: the statement is cancelled at the next
+  /// cooperative check once `deadline` passes, returning
+  /// kDeadlineExceeded with any partial writes rolled back. An inactive
+  /// deadline (Deadline::None()) behaves exactly like the overloads
+  /// above and inherits any ambient deadline already installed.
+  Result<StatementResult> Execute(const std::string& sql,
+                                  const Params& params,
+                                  deadline::Deadline deadline);
+  Result<StatementResult> Execute(const sql::Statement& stmt,
+                                  const Params& params,
+                                  deadline::Deadline deadline);
+  Result<StatementResult> Execute(const PreparedStatement& prepared,
+                                  const Params& params,
+                                  deadline::Deadline deadline);
+
   /// Parses `sql` once for repeated execution.
   Result<PreparedStatement> Prepare(const std::string& sql) const;
 
   /// SELECT-only convenience: unwraps the rows alternative.
   Result<QueryResult> Query(const std::string& sql,
                             const Params& params = {});
+  Result<QueryResult> Query(const std::string& sql, const Params& params,
+                            deadline::Deadline deadline);
 
   /// Direct row insert (bulk loaders). Synthesizes a literal INSERT and
   /// routes it through the same ExecuteParsed path as everything else.
@@ -100,9 +118,14 @@ class Session {
   friend class Database;
   explicit Session(Database* db);
 
-  /// The single parsed-statement path: bookkeeping, tracing, dispatch.
+  /// The single parsed-statement path: bookkeeping, deadline install,
+  /// admission, tracing, dispatch.
   Result<StatementResult> ExecuteParsed(const sql::Statement& stmt,
-                                        const Params& params);
+                                        const Params& params,
+                                        deadline::Deadline deadline = {});
+  /// ExecuteParsed minus deadline install/metrics: admission + dispatch.
+  Result<StatementResult> ExecuteAdmitted(const sql::Statement& stmt,
+                                          const Params& params);
 
   Database* db_ = nullptr;
   uint64_t statements_ = 0;

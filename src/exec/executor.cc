@@ -56,6 +56,7 @@ Status SeqScanExecutor::Init(const ExecContext&) {
 Result<bool> SeqScanExecutor::Next(Row* out, const ExecContext& ctx) {
   std::string image;
   while (true) {
+    MTDB_RETURN_IF_ERROR(ctx.CheckDeadline());
     MTDB_ASSIGN_OR_RETURN(bool more, it_->Next(&image, &rid_));
     if (!more) break;
     MTDB_ASSIGN_OR_RETURN(
@@ -99,6 +100,7 @@ Status IndexScanExecutor::Init(const ExecContext& ctx) {
 Result<bool> IndexScanExecutor::Next(Row* out, const ExecContext& ctx) {
   Rid rid;
   while (true) {
+    MTDB_RETURN_IF_ERROR(ctx.CheckDeadline());
     MTDB_ASSIGN_OR_RETURN(bool more, it_->Next(&rid));
     if (!more) break;
     std::string image;
@@ -182,6 +184,7 @@ Status NestedLoopJoinExecutor::Init(const ExecContext& ctx) {
 
 Result<bool> NestedLoopJoinExecutor::Next(Row* out, const ExecContext& ctx) {
   while (true) {
+    MTDB_RETURN_IF_ERROR(ctx.CheckDeadline());
     if (!have_left_) {
       MTDB_ASSIGN_OR_RETURN(bool more, left_->Next(&left_row_, ctx));
       if (!more) return false;
@@ -296,6 +299,7 @@ Status HashJoinExecutor::Init(const ExecContext& ctx) {
   MTDB_RETURN_IF_ERROR(right_->Init(ctx));
   Row row;
   while (true) {
+    MTDB_RETURN_IF_ERROR(ctx.CheckDeadline());
     Result<bool> more = right_->Next(&row, ctx);
     if (!more.ok()) return more.status();
     if (!*more) break;
@@ -357,6 +361,7 @@ Status HashAggExecutor::Init(const ExecContext& ctx) {
   std::unordered_map<std::string, size_t> groups;
   Row row;
   while (true) {
+    MTDB_RETURN_IF_ERROR(ctx.CheckDeadline());
     Result<bool> more = child_->Next(&row, ctx);
     if (!more.ok()) return more.status();
     if (!*more) break;
@@ -464,6 +469,7 @@ Status SortExecutor::Init(const ExecContext& ctx) {
   MTDB_RETURN_IF_ERROR(child_->Init(ctx));
   Row row;
   while (true) {
+    MTDB_RETURN_IF_ERROR(ctx.CheckDeadline());
     Result<bool> more = child_->Next(&row, ctx);
     if (!more.ok()) return more.status();
     if (!*more) break;
@@ -580,6 +586,7 @@ Status MaterializeExecutor::Init(const ExecContext& ctx) {
   MTDB_RETURN_IF_ERROR(child_->Init(ctx));
   Row row;
   while (true) {
+    MTDB_RETURN_IF_ERROR(ctx.CheckDeadline());
     Result<bool> more = child_->Next(&row, ctx);
     if (!more.ok()) return more.status();
     if (!*more) break;

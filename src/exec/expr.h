@@ -1,18 +1,33 @@
 #ifndef MTDB_EXEC_EXPR_H_
 #define MTDB_EXEC_EXPR_H_
 
+#include <chrono>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/result.h"
 #include "common/value.h"
 
 namespace mtdb {
 
-/// Parameters bound at execution time (SQL `?` placeholders).
+/// Per-statement execution context: parameters bound at execution time
+/// (SQL `?` placeholders) plus the statement's deadline, checked at the
+/// executors' cooperative cancellation points (scan/join/agg loops).
 struct ExecContext {
   std::vector<Value> params;
+  deadline::Deadline deadline;
+
+  /// OK while no deadline is set or time remains; kDeadlineExceeded
+  /// past it. The no-deadline fast path is a single branch.
+  Status CheckDeadline() const {
+    if (!deadline.active) return Status::OK();
+    if (std::chrono::steady_clock::now() >= deadline.at) {
+      return Status::DeadlineExceeded("statement deadline exceeded");
+    }
+    return Status::OK();
+  }
 };
 
 enum class ExprKind {

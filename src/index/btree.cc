@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "common/deadline.h"
+
 namespace mtdb {
 
 namespace {
@@ -221,6 +223,7 @@ Result<PageId> BTree::FindLeaf(std::string_view key,
                                std::vector<std::pair<PageId, int>>* path) {
   PageId current = root_;
   while (true) {
+    MTDB_RETURN_IF_ERROR(deadline::Check());
     MTDB_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(current));
     NodeView node(page);
     if (node.is_leaf()) {
@@ -426,6 +429,7 @@ Result<BTree::Iterator> BTree::Scan(std::string_view lo,
 
 Result<bool> BTree::Iterator::Next(Rid* rid, std::string* key) {
   while (leaf_ != kInvalidPageId) {
+    MTDB_RETURN_IF_ERROR(deadline::Check());
     MTDB_ASSIGN_OR_RETURN(Page * page, tree_->pool_->FetchPage(leaf_));
     NodeView node(page);
     if (pos_ < node.count()) {

@@ -1,5 +1,6 @@
 #include "storage/buffer_pool.h"
 
+#include "common/deadline.h"
 #include "common/trace.h"
 
 #include <algorithm>
@@ -45,6 +46,9 @@ Status BufferPool::ReadWithRetry(PageId id, char* out) {
     st = store_->Read(id, out);
     if (st.ok() || !IsTransientRead(st)) return st;
     if (attempt >= retry_policy_.max_attempts) break;
+    // Retrying on behalf of a statement past its deadline only delays
+    // its cancellation; surface the expiry instead of sleeping.
+    MTDB_RETURN_IF_ERROR(deadline::Check());
     store_->io_counters().OnReadRetry();
     Backoff(backoff);
     backoff = std::min(backoff * 2, retry_policy_.max_backoff_ns);
@@ -128,6 +132,7 @@ Result<Page*> BufferPool::FetchPage(PageId id) {
   auto frame = std::make_unique<Frame>(store_->page_size());
   frame->page.set_id(id);
   frame->page.set_type(type);
+  MTDB_RETURN_IF_ERROR(deadline::Check());
   MTDB_RETURN_IF_ERROR(ReadWithRetry(id, frame->page.data()));
   std::lock_guard<Latch> lock(shard.mu);
   auto [it, inserted] = shard.frames.try_emplace(id, std::move(frame));

@@ -1,5 +1,6 @@
 #include "storage/page_store.h"
 
+#include "common/deadline.h"
 #include "common/trace.h"
 
 #include <algorithm>
@@ -64,6 +65,11 @@ void PageStore::ChargeLatency(FaultInjector* injector, bool is_read) {
     }
   }
   if (stall > 0) {
+    // A statement already past its deadline gains nothing from paying
+    // the simulated stall: it will cancel at its next checkpoint anyway,
+    // and serializing chaos runs on doomed statements just wastes wall
+    // clock. The fault still counted above — only the sleep is skipped.
+    if (deadline::Expired()) return;
     // The device stall blocks only the issuing session thread; other
     // sessions proceed, so concurrent misses overlap like synchronous
     // reads against one shared appliance.

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <map>
 #include <string>
 #include <tuple>
@@ -7,6 +8,7 @@
 
 #include "analysis/lockdep.h"
 #include "analysis/verifier.h"
+#include "common/deadline.h"
 #include "common/fault.h"
 #include "common/rng.h"
 #include "mapping_test_util.h"
@@ -40,6 +42,14 @@ std::string FormatRow(const std::vector<Value>& row) {
 TEST_P(ChaosTest, FaultScheduleLeavesNoPartialStatements) {
   const LayoutKind kind = std::get<0>(GetParam());
   const uint64_t seed = std::get<1>(GetParam());
+
+  // MTDB_CHAOS_DEADLINE_MS=<n> additionally installs an n-millisecond
+  // deadline on every workload statement, so the run exercises the
+  // cooperative-cancellation paths (and their rollbacks) on top of the
+  // fault schedule. Statements cancelled by their deadline count as
+  // failed: the shadow model already demands they leave no trace.
+  const char* dl_env = std::getenv("MTDB_CHAOS_DEADLINE_MS");
+  const int64_t deadline_ms = dl_env != nullptr ? std::atoll(dl_env) : 0;
 
   AppSchema app = FigureFourSchema();
   Database db;
@@ -118,6 +128,9 @@ TEST_P(ChaosTest, FaultScheduleLeavesNoPartialStatements) {
   // with the shadow model row for row, column for column.
   auto checkpoint = [&](const char* when) {
     FaultInjectorPause pause(&injector);
+    // Verification reads must never be cancelled by the workload's
+    // per-statement deadline.
+    deadline::Scope no_deadline(deadline::Deadline::None());
     for (TenantId t = 0; t < kTenants; ++t) {
       auto r = layout->Query(t, "SELECT * FROM account ORDER BY aid");
       ASSERT_TRUE(r.ok()) << when << " tenant " << t << ": "
@@ -146,6 +159,9 @@ TEST_P(ChaosTest, FaultScheduleLeavesNoPartialStatements) {
     // Exercise both §6.3 Phase (b) strategies under faults.
     layout->set_dml_mode(rng.Bernoulli(0.5) ? DmlMode::kBatched
                                             : DmlMode::kPerRow);
+    deadline::Scope op_deadline(deadline_ms > 0
+                                    ? deadline::Deadline::AfterMillis(deadline_ms)
+                                    : deadline::Deadline::None());
     TenantId t = static_cast<TenantId>(rng.Uniform(0, kTenants - 1));
     const size_t cols = columns_of(t);
     const int action = static_cast<int>(rng.Uniform(0, 9));

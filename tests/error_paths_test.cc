@@ -317,6 +317,9 @@ TEST_F(MappingErrorTest, RepeatedHardFaultsQuarantineOnlyThatTenant) {
                   .ok());
   ASSERT_TRUE(layout_.CreateTenant(2).ok());
   layout_.set_quarantine_threshold(2);
+  // Pin the breaker's backoff far out so the "stays fenced" assertions
+  // below cannot race a half-open probe on a slow machine.
+  layout_.set_breaker_backoff_ms(60'000, 60'000);
 
   FaultInjector injector(5);
   db_.page_store()->set_fault_injector(&injector);

@@ -3,6 +3,7 @@
 // violation class must fire its rule; correct protocol must stay silent.
 // The whole suite skips in builds without -DMTDB_LOCKDEP=ON — the
 // wrappers compile down to the raw primitives there and record nothing.
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <thread>
@@ -13,6 +14,7 @@
 #include "analysis/lockdep.h"
 #include "common/latch.h"
 #include "engine/database.h"
+#include "mapping_test_util.h"
 #include "storage/buffer_pool.h"
 #include "storage/page_store.h"
 
@@ -219,6 +221,49 @@ TEST_F(LockdepTest, ConcurrentEngineWorkloadIsClean) {
     }
     for (std::thread& t : threads) t.join();
   }
+  auto violations = lockdep::Drain();
+  EXPECT_TRUE(violations.empty()) << RulesOf(violations);
+}
+
+// Regression for a C201 first caught by the recovery suite: on a durable
+// engine, a multi-row logical INSERT opens the txn gate (shared) when the
+// undo log stages its first compensation, and later rows of the same
+// statement re-enter the mapping cache. Under the old rank table the
+// cache latch outranked the gate, so that re-entry ascended; worse, the
+// lazy table build under the cache latch could attempt an automatic
+// checkpoint, which takes the gate exclusively — a genuine ABBA with
+// concurrent writers. The re-ranked hierarchy plus the checkpoint
+// deferral inside SchemaMapping::Mapping() must keep the path silent.
+TEST_F(LockdepTest, DurableMultiRowInsertThroughMappingIsClean) {
+  namespace fs = std::filesystem;
+  const std::string dir = ::testing::TempDir() + "mtdb_lockdep_c201";
+  fs::remove_all(dir);
+  {
+    mapping::AppSchema app = mapping::FigureFourSchema();
+    EngineOptions options;
+    // Make every WAL append tempt an automatic checkpoint, so one lands
+    // inside the lazy DDL that Mapping() runs under its cache latch.
+    options.checkpoint_interval_bytes = 1;
+    auto opened = Database::Open(DatabaseOptions::WithPath(dir, options));
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    std::unique_ptr<Database> db = std::move(*opened);
+    std::unique_ptr<mapping::SchemaMapping> layout =
+        mapping::MakeLayout(mapping::LayoutKind::kExtension, db.get(), &app);
+    ASSERT_TRUE(layout->Bootstrap().ok());
+    ASSERT_TRUE(layout->CreateTenant(1).ok());
+    ASSERT_TRUE(layout->EnableExtension(1, "healthcare").ok());
+    for (int i = 0; i < 4; ++i) {
+      auto r = layout->Execute(
+          1,
+          "INSERT INTO account (aid, name, hospital, beds) "
+          "VALUES (?, ?, ?, ?), (?, ?, ?, ?)",
+          {Value::Int64(i * 2 + 1), Value::String("a"), Value::String("mercy"),
+           Value::Int32(1), Value::Int64(i * 2 + 2), Value::String("b"),
+           Value::String("grace"), Value::Int32(2)});
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+    }
+  }
+  fs::remove_all(dir);
   auto violations = lockdep::Drain();
   EXPECT_TRUE(violations.empty()) << RulesOf(violations);
 }
