@@ -100,6 +100,11 @@ CircuitBreaker::Transition CircuitBreaker::OnResult(bool hard_fault,
   return Transition::kNone;
 }
 
+void CircuitBreaker::AbandonProbe() {
+  std::lock_guard<Latch> lock(mu_);
+  if (state_ == BreakerState::kHalfOpen) probe_in_flight_ = false;
+}
+
 BreakerState CircuitBreaker::state() const {
   std::lock_guard<Latch> lock(mu_);
   return state_;

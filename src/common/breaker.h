@@ -63,6 +63,14 @@ class CircuitBreaker {
   enum class Transition : uint8_t { kNone, kOpened, kClosed };
   Transition OnResult(bool hard_fault, uint64_t now_ns, const Options& opts);
 
+  /// Gives up a half-open probe slot without deciding the tenant's fate:
+  /// the statement that won kAllowProbe aborted before producing an
+  /// outcome (parse error, early validation failure, explain-only path).
+  /// The breaker stays half-open and the next arrival becomes the probe,
+  /// so an aborted probe can never wedge the tenant in permanent reject.
+  /// No-op unless half-open with a probe outstanding.
+  void AbandonProbe();
+
   BreakerState state() const;
 
   /// Forces the breaker closed and clears all strike/backoff state (the

@@ -486,7 +486,7 @@ CircuitBreaker::Options SchemaMapping::BreakerOptions() const {
   return o;
 }
 
-Status SchemaMapping::CheckTenantAvailable(TenantId tenant) {
+Status SchemaMapping::CheckTenantAvailable(TenantId tenant, ProbeGuard* probe) {
   auto it = tenants_.find(tenant);
   if (it == tenants_.end()) return Status::OK();
   uint64_t retry_after_ns = 0;
@@ -497,6 +497,13 @@ Status SchemaMapping::CheckTenantAvailable(TenantId tenant) {
     case CircuitBreaker::Decision::kAllowProbe:
       // The backoff elapsed: this statement probes the tenant's pages;
       // its outcome (NoteTenantOutcome) closes or re-opens the breaker.
+      // The guard takes the slot back if the statement aborts before an
+      // outcome exists; outcome-less callers hand it back right away.
+      if (probe != nullptr) {
+        probe->breaker_ = &it->second.breaker;
+      } else {
+        it->second.breaker.AbandonProbe();
+      }
       if (db_ != nullptr) {
         db_->metrics_registry()
             ->GetCounter("breaker.half_open.t" + std::to_string(tenant))
@@ -644,7 +651,8 @@ Result<QueryResult> SchemaMapping::Query(TenantId tenant,
                                          const std::string& sql,
                                          const std::vector<Value>& params) {
   std::shared_lock<SharedLatch> lock(layer_mu_);
-  MTDB_RETURN_IF_ERROR(CheckTenantAvailable(tenant));
+  ProbeGuard probe;
+  MTDB_RETURN_IF_ERROR(CheckTenantAvailable(tenant, &probe));
   MTDB_ASSIGN_OR_RETURN(auto stmt, sql::ParseSelect(sql));
   QueryTransformer transformer(this, transform_options_, &heat_);
   MTDB_ASSIGN_OR_RETURN(auto physical,
@@ -652,6 +660,7 @@ Result<QueryResult> SchemaMapping::Query(TenantId tenant,
   stats_.queries_transformed++;
   NotifySelect(tenant, *physical);
   Result<QueryResult> out = db_->QueryAst(*physical, params);
+  probe.Disarm();
   NoteTenantOutcome(tenant, out.status());
   return out;
 }
@@ -684,6 +693,9 @@ Result<MappingExplanation> SchemaMapping::ExplainMapping(
     target = stmt.explain->target.get();
   }
   std::shared_lock<SharedLatch> lock(layer_mu_);
+  // No ProbeGuard: an explain never reports an outcome, so the probe
+  // slot (if this arrival won it) is handed straight back inside
+  // CheckTenantAvailable — real traffic decides the tenant's fate.
   MTDB_RETURN_IF_ERROR(CheckTenantAvailable(tenant));
 
   MappingExplanation out;
@@ -726,7 +738,8 @@ Result<MappingExplanation> SchemaMapping::ExplainMapping(
 Result<int64_t> SchemaMapping::Execute(TenantId tenant, const std::string& sql,
                                        const std::vector<Value>& params) {
   std::shared_lock<SharedLatch> lock(layer_mu_);
-  MTDB_RETURN_IF_ERROR(CheckTenantAvailable(tenant));
+  ProbeGuard probe;
+  MTDB_RETURN_IF_ERROR(CheckTenantAvailable(tenant, &probe));
   MTDB_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql));
   stats_.statements_transformed++;
   Result<int64_t> out = [&]() -> Result<int64_t> {
@@ -742,6 +755,7 @@ Result<int64_t> SchemaMapping::Execute(TenantId tenant, const std::string& sql,
             "logical Execute() handles INSERT/UPDATE/DELETE");
     }
   }();
+  probe.Disarm();
   NoteTenantOutcome(tenant, out.status());
   return out;
 }
@@ -750,13 +764,15 @@ Result<int64_t> SchemaMapping::InsertRow(TenantId tenant,
                                          const std::string& table,
                                          const Row& row) {
   std::shared_lock<SharedLatch> lock(layer_mu_);
-  MTDB_RETURN_IF_ERROR(CheckTenantAvailable(tenant));
+  ProbeGuard probe;
+  MTDB_RETURN_IF_ERROR(CheckTenantAvailable(tenant, &probe));
   MTDB_ASSIGN_OR_RETURN(EffectiveTable eff, GetEffective(tenant, table));
   std::vector<std::string> columns;
   for (size_t i = 0; i < row.size() && i < eff.columns.size(); ++i) {
     columns.push_back(eff.columns[i].name);
   }
   Result<int64_t> out = InsertMappedRow(tenant, table, columns, row);
+  probe.Disarm();
   NoteTenantOutcome(tenant, out.status());
   return out;
 }
@@ -1436,7 +1452,8 @@ Result<int64_t> SchemaMapping::GenericDelete(TenantId tenant,
 Result<int64_t> SchemaMapping::RestoreDeleted(TenantId tenant,
                                               const std::string& table) {
   std::shared_lock<SharedLatch> lock(layer_mu_);
-  MTDB_RETURN_IF_ERROR(CheckTenantAvailable(tenant));
+  ProbeGuard probe;
+  MTDB_RETURN_IF_ERROR(CheckTenantAvailable(tenant, &probe));
   if (!trashcan_deletes_) {
     return Status::InvalidArgument("layout does not use trashcan deletes");
   }
@@ -1467,6 +1484,7 @@ Result<int64_t> SchemaMapping::RestoreDeleted(TenantId tenant,
     phys.update->where = std::move(where);
     NotifyStatement(tenant, phys);
     Result<int64_t> n = db_->ExecuteAst(phys, {});
+    probe.Disarm();
     NoteTenantOutcome(tenant, n.status());
     MTDB_RETURN_IF_ERROR(n.status());
     restored += *n;

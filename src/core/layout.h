@@ -298,13 +298,42 @@ class SchemaMapping : public MappingResolver {
   Result<EffectiveTable> GetEffective(TenantId tenant,
                                       const std::string& table);
 
+  /// RAII companion to CheckTenantAvailable: armed when the admitted
+  /// statement is THE half-open probe. If the statement aborts before
+  /// its outcome reaches NoteTenantOutcome (parse/transform error, an
+  /// early-return validation failure), the destructor abandons the probe
+  /// so the next arrival can take it — an aborted probe must never leave
+  /// the breaker rejecting forever. Call Disarm() right before reporting
+  /// the real outcome. Must not outlive the layer latch: the breaker it
+  /// points at lives in the tenant entry that latch protects.
+  class ProbeGuard {
+   public:
+    ProbeGuard() = default;
+    ~ProbeGuard() {
+      if (breaker_ != nullptr) breaker_->AbandonProbe();
+    }
+    ProbeGuard(const ProbeGuard&) = delete;
+    ProbeGuard& operator=(const ProbeGuard&) = delete;
+    /// The statement's outcome is being reported: the probe resolves
+    /// through NoteTenantOutcome, not through this guard.
+    void Disarm() { breaker_ = nullptr; }
+
+   private:
+    friend class SchemaMapping;
+    CircuitBreaker* breaker_ = nullptr;
+  };
+
   /// Consults the tenant's circuit breaker: fails fast with
   /// kUnavailable (message carries a retry_after_ms hint) while the
   /// breaker is open, lets exactly one probe statement through once the
   /// backoff elapses (half-open), admits freely when closed. OK for
   /// unknown tenants — the statement path reports NotFound itself.
-  /// Assumes the layer latch is held.
-  Status CheckTenantAvailable(TenantId tenant);
+  /// Assumes the layer latch is held. When the statement is admitted as
+  /// the probe, `probe` (if non-null) is armed so an aborted statement
+  /// hands the probe slot back; callers that never report outcomes
+  /// (explain paths) pass null and the probe slot is returned
+  /// immediately — real traffic decides the tenant's fate.
+  Status CheckTenantAvailable(TenantId tenant, ProbeGuard* probe = nullptr);
 
   /// Feeds a statement outcome into the tenant's breaker: hard faults
   /// (kIOError/kDataLoss) accumulate strikes and open the breaker at

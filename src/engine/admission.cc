@@ -77,6 +77,9 @@ Status AdmissionController::Admit(TenantId tenant, deadline::Deadline dl,
   // Disabled controllers admit everything for one predicted branch —
   // the front doors call through unconditionally.
   if (!opts_.enabled) return Status::OK();
+  // Drop any slot the ticket already holds BEFORE taking mu_: its
+  // Release() re-enters this controller's (non-recursive) latch.
+  ticket->Release();
   const auto now = std::chrono::steady_clock::now();
   std::unique_lock<Latch> lk(mu_);
   Bucket& b = BucketFor(tenant);
@@ -99,13 +102,14 @@ Status AdmissionController::Admit(TenantId tenant, deadline::Deadline dl,
   if (opts_.max_in_flight == 0 || in_flight_ < opts_.max_in_flight) {
     in_flight_++;
     b.admitted->Add(1);
-    ticket->Release();
     ticket->ctrl_ = this;
     return Status::OK();
   }
 
   if (queue_depth_ >= opts_.max_queue) {
-    if (opts_.tenant_rate > 0.0) b.tokens += 1.0;  // statement never ran
+    // Refund the token (the statement never ran), clamped to burst: a
+    // concurrent Admit may have refilled the bucket during our stay.
+    if (opts_.tenant_rate > 0.0) b.tokens = std::min(burst_, b.tokens + 1.0);
     b.rejected->Add(1);
     // A rough hint: one queue drain's worth of backlog ahead of us.
     int64_t retry_ms = static_cast<int64_t>(queue_depth_) + 1;
@@ -125,11 +129,11 @@ Status AdmissionController::Admit(TenantId tenant, deadline::Deadline dl,
   }
   if (!w.granted) {
     // Deadline passed while queued: abandon the slot and refund the
-    // token — the statement never executed.
+    // token (clamped to burst) — the statement never executed.
     auto pos = std::find(b.queue.begin(), b.queue.end(), &w);
     if (pos != b.queue.end()) b.queue.erase(pos);
     queue_depth_--;
-    if (opts_.tenant_rate > 0.0) b.tokens += 1.0;
+    if (opts_.tenant_rate > 0.0) b.tokens = std::min(burst_, b.tokens + 1.0);
     return Status::DeadlineExceeded(
         "statement deadline exceeded while queued for admission");
   }
@@ -139,7 +143,6 @@ Status AdmissionController::Admit(TenantId tenant, deadline::Deadline dl,
           .count());
   b.queue_wait_us->Record(wait_us);
   b.admitted->Add(1);
-  ticket->Release();
   ticket->ctrl_ = this;
   return Status::OK();
 }

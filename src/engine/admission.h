@@ -155,8 +155,10 @@ class AdmissionController {
   mutable Latch mu_{LatchRank::kAdmission, "admission-queue"};
   std::condition_variable_any cv_;
   std::map<TenantId, Bucket> buckets_;
-  /// Weighted-round-robin cursor: the tenant id served last (grants
-  /// resume strictly after it, wrapping).
+  /// Weighted-round-robin cursor: the tenant id served last. Scans
+  /// resume AT this tenant (not after it) so a tenant with weight > 1
+  /// keeps receiving grants until its per-round serve count is
+  /// exhausted; served_in_round then moves the scan on, wrapping.
   TenantId rr_cursor_ = 0;
   bool rr_valid_ = false;
   uint64_t in_flight_ = 0;

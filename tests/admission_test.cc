@@ -112,6 +112,27 @@ TEST(AdmissionTest, FullQueueRejectsWithRetryHint) {
   ASSERT_TRUE(ctrl.Admit(2, deadline::Deadline::None(), &second).ok());
 }
 
+// Re-admitting with a ticket that still holds a slot releases that slot
+// before the controller latch is taken: regression for a self-deadlock
+// when Admit() called ticket->Release() while holding mu_.
+TEST(AdmissionTest, ReadmittingAHeldTicketReleasesItsSlotFirst) {
+  AdmissionOptions opts;
+  opts.enabled = true;
+  opts.max_in_flight = 1;
+  MetricsRegistry registry;
+  AdmissionController ctrl(opts, &registry);
+
+  AdmissionTicket ticket;
+  ASSERT_TRUE(ctrl.Admit(1, deadline::Deadline::None(), &ticket).ok());
+  EXPECT_EQ(ctrl.in_flight(), 1u);
+  // The held slot is the only one; this would park (or deadlock) if the
+  // incoming ticket weren't released up front.
+  ASSERT_TRUE(ctrl.Admit(1, deadline::Deadline::None(), &ticket).ok());
+  EXPECT_EQ(ctrl.in_flight(), 1u);
+  ticket.Release();
+  EXPECT_EQ(ctrl.in_flight(), 0u);
+}
+
 // A statement whose deadline passes while parked abandons the queue and
 // reports kDeadlineExceeded without ever executing.
 TEST(AdmissionTest, QueuedStatementAbandonsOnDeadline) {
@@ -361,6 +382,92 @@ TEST(CircuitBreakerTest, LifecycleUnderSyntheticClock) {
             CircuitBreaker::Transition::kNone);
   EXPECT_EQ(b.state(), BreakerState::kClosed);
   EXPECT_EQ(b.trips(), 2u);
+}
+
+// A probe that aborts before producing an outcome hands the half-open
+// slot back: regression for probe_in_flight_ leaking when the probe
+// statement died early (parse error, outcome-less explain), which left
+// the breaker rejecting the tenant forever.
+TEST(CircuitBreakerTest, AbandonedProbeFreesTheHalfOpenSlot) {
+  CircuitBreaker b;
+  CircuitBreaker::Options opts;
+  opts.threshold = 1;
+  opts.initial_backoff_ns = 100;
+  opts.max_backoff_ns = 100;
+  uint64_t now = 1'000;
+
+  b.AbandonProbe();  // no-op while closed
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+
+  EXPECT_EQ(b.Admit(now, opts), CircuitBreaker::Decision::kAllow);
+  EXPECT_EQ(b.OnResult(true, now, opts), CircuitBreaker::Transition::kOpened);
+
+  // The probe aborts: the slot frees, the breaker stays half-open, and
+  // the NEXT arrival becomes the probe instead of bouncing forever.
+  EXPECT_EQ(b.Admit(now + 100, opts), CircuitBreaker::Decision::kAllowProbe);
+  b.AbandonProbe();
+  EXPECT_EQ(b.state(), BreakerState::kHalfOpen);
+  EXPECT_EQ(b.Admit(now + 101, opts), CircuitBreaker::Decision::kAllowProbe);
+  EXPECT_EQ(b.OnResult(false, now + 102, opts),
+            CircuitBreaker::Transition::kClosed);
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+}
+
+// End to end through the mapping layer: a probe statement that dies
+// parsing and an EXPLAIN MAPPING (which never reports an outcome) both
+// hand the probe slot back, so the tenant still self-heals afterwards.
+TEST(CircuitBreakerTest, AbortedProbeStatementsDoNotWedgeTheBreaker) {
+  mapping::AppSchema app = mapping::FigureFourSchema();
+  Database db;
+  std::unique_ptr<mapping::SchemaMapping> layout =
+      mapping::MakeLayout(mapping::LayoutKind::kBasic, &db, &app);
+  ASSERT_TRUE(layout->Bootstrap().ok());
+  ASSERT_TRUE(layout->CreateTenant(1).ok());
+  ASSERT_TRUE(layout
+                  ->Execute(1, "INSERT INTO account (aid, name) VALUES (?, ?)",
+                            {Value::Int64(1), Value::String("alpha")})
+                  .ok());
+  layout->set_quarantine_threshold(1);
+  layout->set_breaker_backoff_ms(50, 50);
+
+  FaultInjector injector(7);
+  db.page_store()->set_fault_injector(&injector);
+  FaultSpec spec;
+  spec.probability = 1.0;
+  injector.Arm(FaultPoint::kPageRead, spec);
+  for (int i = 0; i < 4 && !layout->IsQuarantined(1); ++i) {
+    ASSERT_TRUE(db.buffer_pool()->EvictAll().ok());
+    EXPECT_FALSE(layout->Query(1, "SELECT * FROM account").ok());
+  }
+  ASSERT_EQ(layout->TenantBreakerState(1), BreakerState::kOpen);
+  injector.DisarmAll();
+
+  // Burn the probe slot with statements that never reach
+  // NoteTenantOutcome. First a parse error (aborts right after winning
+  // the probe); kUnavailable means the backoff window hadn't elapsed
+  // yet, so keep trying.
+  bool burned_parse = false;
+  for (int i = 0; i < 40 && !burned_parse; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    Status st = layout->Query(1, "SELEKT nonsense").status();
+    burned_parse = st.code() != StatusCode::kUnavailable;
+  }
+  ASSERT_TRUE(burned_parse);
+  EXPECT_EQ(layout->TenantBreakerState(1), BreakerState::kHalfOpen);
+  // Then an explain, which completes without feeding the breaker — it
+  // must hand the slot straight back rather than consume it.
+  EXPECT_TRUE(layout->ExplainMapping(1, "SELECT * FROM account", {}).ok());
+  EXPECT_EQ(layout->TenantBreakerState(1), BreakerState::kHalfOpen);
+
+  // The next valid statement takes the (returned) probe slot and closes
+  // the breaker — before the fix it bounced off probe_in_flight_ forever.
+  auto healed = layout->Query(1, "SELECT * FROM account");
+  ASSERT_TRUE(healed.ok()) << healed.status().ToString();
+  EXPECT_EQ(layout->TenantBreakerState(1), BreakerState::kClosed);
+  EXPECT_GE(db.metrics_registry()->GetCounter("breaker.close.t1")->value(),
+            1u);
+  AuditClean(layout.get(), "after aborted probes");
+  db.page_store()->set_fault_injector(nullptr);
 }
 
 // End to end through the mapping layer: repeated injected I/O faults
