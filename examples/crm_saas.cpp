@@ -45,10 +45,14 @@ int main() {
 
   // Each tenant loads accounts and opportunities through its own SQL,
   // via a per-tenant session (what a pooled connection would hold).
+  // An account and its opportunity are one business record: each pair
+  // loads inside an explicit transaction, so a failure anywhere leaves
+  // no account without its opportunity.
   const char* statuses[] = {"new", "open", "won", "lost"};
   for (TenantId t = 0; t < kTenants; ++t) {
     TenantSession session = layout.OpenSession(t);
     for (int i = 1; i <= 8; ++i) {
+      Check(session.Begin(), "begin");
       std::string extra_cols, extra_vals;
       if (t % 3 == 0) {
         extra_cols = ", hospital, beds";
@@ -75,6 +79,7 @@ int main() {
                          std::to_string(rng.Uniform(1000, 90000)) + ")")
                 .status(),
             "insert opportunity");
+      Check(session.Commit(), "commit");
     }
   }
 

@@ -29,6 +29,8 @@ const char* LatchRankName(LatchRank rank) {
       return "Wal";
     case LatchRank::kCatalog:
       return "Catalog";
+    case LatchRank::kTxnRegistry:
+      return "TxnRegistry";
     case LatchRank::kPage:
       return "Page";
     case LatchRank::kTableIndex:

@@ -44,6 +44,7 @@ enum class LatchRank : uint8_t {
   kBufferCapacity = 20,  // BufferPool::capacity_mu_
   kWal = 30,             // Durability::mu_ (append + lsn assignment)
   kCatalog = 40,         // Catalog::mu_
+  kTxnRegistry = 45,     // Database::txn_registry_mu_ (open client txns)
   kPage = 50,            // reserved for page-level latches (none yet)
   kTableIndex = 60,      // TableHeap/BTree latches; ordered by TableId
   kDdl = 70,             // Database::ddl_mu_

@@ -34,6 +34,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Unavailable";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
   }
   return "Unknown";
 }

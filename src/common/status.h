@@ -23,6 +23,7 @@ enum class StatusCode {
   kDataLoss,     // checksum mismatch / torn page; retrying may not help
   kUnavailable,  // resource (e.g. a quarantined tenant) refuses service
   kDeadlineExceeded,  // statement ran past its deadline; partial work undone
+  kFailedPrecondition,  // session/transaction state forbids the operation
 };
 
 /// Arrow/RocksDB-style status object. The engine does not use exceptions;
@@ -76,6 +77,9 @@ class [[nodiscard]] Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -40,9 +40,12 @@ void StatementTracer::EndStatement(bool ok) {
           .count());
   open_->ok = ok;
 
+  const SpanIo total = open_->root->TotalIo();
   if (registry_) {
-    SeriesPtrs* s = SeriesFor(open_->tenant, open_->layout, open_->kind);
-    const SpanIo total = open_->root->TotalIo();
+    // Inside a client transaction the statement aggregates under a
+    // distinct "<kind>.txn" series; autocommit names are untouched.
+    SeriesPtrs* s = SeriesFor(open_->tenant, open_->layout,
+                              txn_ ? open_->kind + ".txn" : open_->kind);
     (*s->count)++;
     if (!ok) (*s->errors)++;
     s->pool_hits->Add(total.pool_hits);
@@ -52,10 +55,52 @@ void StatementTracer::EndStatement(bool ok) {
     s->wal_bytes->Add(total.wal_bytes);
     s->latency->Record(open_->root->elapsed_ns / 1000);
   }
+  if (txn_) {
+    // Summary child under the transaction's parent span: name, wall
+    // time, and the statement's rolled-up I/O.
+    auto summary = std::make_unique<Span>();
+    summary->name = ok ? open_->kind : open_->kind + " (error)";
+    summary->elapsed_ns = open_->root->elapsed_ns;
+    summary->io = total;
+    txn_->root->children.push_back(std::move(summary));
+  }
   statements_traced_++;
   last_ = std::move(open_);
   stack_.clear();
   current_ = nullptr;
+}
+
+void StatementTracer::BeginTransaction(int64_t tenant, std::string layout) {
+  if (!enabled_ || txn_) return;
+  txn_ = std::make_unique<StatementTrace>();
+  txn_->tenant = tenant;
+  txn_->layout = std::move(layout);
+  txn_->kind = "txn";
+  txn_->root = std::make_unique<Span>();
+  txn_->root->name = "txn";
+  txn_started_ = std::chrono::steady_clock::now();
+}
+
+void StatementTracer::EndTransaction(bool ok) {
+  if (!txn_) return;
+  const auto now = std::chrono::steady_clock::now();
+  txn_->root->elapsed_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now - txn_started_)
+          .count());
+  txn_->ok = ok;
+  if (registry_) {
+    SeriesPtrs* s = SeriesFor(txn_->tenant, txn_->layout, txn_->kind);
+    const SpanIo total = txn_->root->TotalIo();
+    (*s->count)++;
+    if (!ok) (*s->errors)++;
+    s->pool_hits->Add(total.pool_hits);
+    s->pool_misses->Add(total.pool_misses);
+    s->pages_read->Add(total.physical_reads);
+    s->pages_written->Add(total.physical_writes);
+    s->wal_bytes->Add(total.wal_bytes);
+    s->latency->Record(txn_->root->elapsed_ns / 1000);
+  }
+  last_txn_ = std::move(txn_);
 }
 
 void StatementTracer::BeginSpan(std::string name) {

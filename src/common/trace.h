@@ -89,6 +89,20 @@ class StatementTracer {
   /// the trace to last().
   void EndStatement(bool ok);
 
+  /// Opens a transaction grouping (client BEGIN). While one is open,
+  /// every completed statement aggregates under "<kind>.txn" series
+  /// instead of "<kind>" — autocommit series names are untouched — and
+  /// contributes a summary child span to the transaction's parent span.
+  /// No-op while disabled or when a transaction is already open.
+  void BeginTransaction(int64_t tenant, std::string layout);
+
+  /// Closes the transaction grouping (COMMIT/ROLLBACK/abort), aggregates
+  /// it into the registry under the "txn" kind, and retires the parent
+  /// span tree to last_transaction(). `ok` means committed.
+  void EndTransaction(bool ok);
+
+  bool in_transaction() const { return txn_ != nullptr; }
+
   /// Opens a child span under the innermost open span. Safe no-op when
   /// no statement is open.
   void BeginSpan(std::string name);
@@ -117,6 +131,10 @@ class StatementTracer {
   /// observability tests.
   std::string DumpLast() const;
 
+  /// The most recently completed transaction trace (nullptr before
+  /// any): root span "txn" with one summary child per statement.
+  const StatementTrace* last_transaction() const { return last_txn_.get(); }
+
   uint64_t statements_traced() const { return statements_traced_; }
 
  private:
@@ -142,6 +160,9 @@ class StatementTracer {
   std::chrono::steady_clock::time_point started_;
   std::vector<std::chrono::steady_clock::time_point> span_started_;
   std::unique_ptr<StatementTrace> last_;
+  std::unique_ptr<StatementTrace> txn_;  // open transaction grouping
+  std::chrono::steady_clock::time_point txn_started_;
+  std::unique_ptr<StatementTrace> last_txn_;
   std::map<std::string, SeriesPtrs> series_;  // bounded by kMaxSeriesKeys
   uint64_t statements_traced_ = 0;
 };

@@ -814,8 +814,12 @@ Result<int64_t> SchemaMapping::GenericInsert(TenantId tenant,
       if (!v.ok()) return fail(v.status());
       values.push_back(*std::move(v));
     }
-    Result<int64_t> n = InsertMappedRow(tenant, stmt.table, columns, values,
-                                        multi_row ? &undo : nullptr);
+    // Inside a client transaction (undo.bound()) every row records undo
+    // even for a single-row statement: the transaction may roll this
+    // statement back long after it succeeded.
+    Result<int64_t> n =
+        InsertMappedRow(tenant, stmt.table, columns, values,
+                        (multi_row || undo.bound()) ? &undo : nullptr);
     if (!n.ok()) return fail(n.status());
     inserted += *n;
   }
@@ -989,7 +993,8 @@ Result<int64_t> SchemaMapping::InsertMappedRow(
   // Every physical insert of a multi-statement logical insert stages its
   // compensation (including the last: a crash before the txn-end record
   // must roll the WHOLE logical insert back, not strand its last chunk).
-  const bool needs_undo = caller_undo != nullptr || multi_source;
+  const bool needs_undo =
+      caller_undo != nullptr || multi_source || undo->bound();
   const bool explaining = Explaining();
   auto fail = [&](const Status& st) -> Status {
     // With a caller-owned log the caller rolls back the whole statement.
@@ -1250,7 +1255,7 @@ Result<int64_t> SchemaMapping::GenericUpdate(TenantId tenant,
       by_source[rs.target.source].push_back({rs.target.physical_column, v});
     }
     const size_t batches = (rows.size() + kDmlBatchSize - 1) / kDmlBatchSize;
-    const bool record_undo = by_source.size() * batches > 1;
+    const bool record_undo = by_source.size() * batches > 1 || undo.bound();
     for (auto& [src, assigns] : by_source) {
       const PhysicalSource& source = mapping->sources[src];
       for (size_t begin = 0; begin < rows.size(); begin += kDmlBatchSize) {
@@ -1287,7 +1292,8 @@ Result<int64_t> SchemaMapping::GenericUpdate(TenantId tenant,
 
   // Phase (b): per affected row, one physical UPDATE per touched chunk
   // with local conditions on the meta-data columns and row only.
-  const bool record_undo = affected.size() * touched_sources.size() > 1;
+  const bool record_undo =
+      affected.size() * touched_sources.size() > 1 || undo.bound();
   for (const AffectedRow& row : affected) {
     if (!explaining) {
       if (Status dl = deadline::Check(); !dl.ok()) return fail(dl);
@@ -1370,7 +1376,8 @@ Result<int64_t> SchemaMapping::GenericDelete(TenantId tenant,
     rows.reserve(affected.size());
     for (const AffectedRow& r : affected) rows.push_back(r.row_id);
     const size_t batches = (rows.size() + kDmlBatchSize - 1) / kDmlBatchSize;
-    const bool record_undo = mapping->sources.size() * batches > 1;
+    const bool record_undo =
+        mapping->sources.size() * batches > 1 || undo.bound();
     for (size_t src = 0; src < mapping->sources.size(); ++src) {
       const PhysicalSource& source = mapping->sources[src];
       for (size_t begin = 0; begin < rows.size(); begin += kDmlBatchSize) {
@@ -1412,7 +1419,8 @@ Result<int64_t> SchemaMapping::GenericDelete(TenantId tenant,
 
   // Deletes must touch every chunk of the row (§6.3). With the trashcan
   // enabled they become updates that mark the rows invisible instead.
-  const bool record_undo = affected.size() * mapping->sources.size() > 1;
+  const bool record_undo =
+      affected.size() * mapping->sources.size() > 1 || undo.bound();
   for (const AffectedRow& row : affected) {
     if (!explaining) {
       if (Status dl = deadline::Check(); !dl.ok()) return fail(dl);

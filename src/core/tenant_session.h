@@ -12,6 +12,7 @@
 #include "common/trace.h"
 #include "core/layout.h"
 #include "engine/admission.h"
+#include "engine/txn_context.h"
 
 namespace mtdb {
 namespace mapping {
@@ -46,25 +47,47 @@ class TenantSession {
     statements_++;
     deadline::Scope scope(deadline.active ? deadline : deadline::Current());
     return Traced("select", [&]() -> Result<QueryResult> {
-      AdmissionTicket ticket;
-      MTDB_RETURN_IF_ERROR(AdmitSelf(&ticket));
-      return layout_->Query(tenant_, sql, params);
+      return GateTxn([&]() -> Result<QueryResult> {
+        AdmissionTicket ticket;
+        MTDB_RETURN_IF_ERROR(AdmitSelf(&ticket));
+        return layout_->Query(tenant_, sql, params);
+      });
     });
   }
 
   /// Runs logical INSERT/UPDATE/DELETE; returns affected logical rows.
   /// Deadline/admission semantics as on Query; a deadline expiring
-  /// mid-statement rolls back the partial physical writes.
+  /// mid-statement rolls back the partial physical writes. Also accepts
+  /// BEGIN/COMMIT/ROLLBACK (returning 0 rows), routed to the
+  /// transaction methods below.
   Result<int64_t> Execute(const std::string& sql,
                           const std::vector<Value>& params = {},
                           deadline::Deadline deadline = {}) {
     if (layout_ == nullptr) return Status::InvalidArgument("session is closed");
+    switch (TxnControlOf(sql)) {
+      case 'B':
+        statements_++;
+        MTDB_RETURN_IF_ERROR(Begin());
+        return int64_t{0};
+      case 'C':
+        statements_++;
+        MTDB_RETURN_IF_ERROR(Commit());
+        return int64_t{0};
+      case 'R':
+        statements_++;
+        MTDB_RETURN_IF_ERROR(Rollback());
+        return int64_t{0};
+      default:
+        break;
+    }
     statements_++;
     deadline::Scope scope(deadline.active ? deadline : deadline::Current());
     return Traced(GuessKind(sql), [&]() -> Result<int64_t> {
-      AdmissionTicket ticket;
-      MTDB_RETURN_IF_ERROR(AdmitSelf(&ticket));
-      return layout_->Execute(tenant_, sql, params);
+      return GateTxn([&]() -> Result<int64_t> {
+        AdmissionTicket ticket;
+        MTDB_RETURN_IF_ERROR(AdmitSelf(&ticket));
+        return layout_->Execute(tenant_, sql, params);
+      });
     });
   }
 
@@ -76,11 +99,68 @@ class TenantSession {
     statements_++;
     deadline::Scope scope(deadline.active ? deadline : deadline::Current());
     return Traced("insert", [&]() -> Result<int64_t> {
-      AdmissionTicket ticket;
-      MTDB_RETURN_IF_ERROR(AdmitSelf(&ticket));
-      return layout_->InsertRow(tenant_, table, row);
+      return GateTxn([&]() -> Result<int64_t> {
+        AdmissionTicket ticket;
+        MTDB_RETURN_IF_ERROR(AdmitSelf(&ticket));
+        return layout_->InsertRow(tenant_, table, row);
+      });
     });
   }
+
+  /// Client transaction control: between Begin() and Commit()/Rollback()
+  /// every logical statement's compensations accumulate in one
+  /// cross-statement undo log, Rollback() replays them newest-first,
+  /// and a crash before COMMIT's end record undoes the transaction on
+  /// recovery. Statements are still admitted one by one — an open
+  /// transaction holds no admission slot or latch between statements. A
+  /// failed statement poisons the transaction (only ROLLBACK accepted
+  /// afterwards); deadline expiry, admission rejection, or a breaker
+  /// trip rolls it back automatically (ROLLBACK then acknowledges). An
+  /// open transaction is rolled back when the session is destroyed.
+  Status Begin() {
+    if (layout_ == nullptr) return Status::InvalidArgument("session is closed");
+    if (txn_ != nullptr) {
+      return Status::FailedPrecondition("transaction already open");
+    }
+    auto ctx =
+        std::make_unique<txn::TransactionContext>(layout_->db(), tenant_);
+    MTDB_RETURN_IF_ERROR(ctx->Begin());
+    txn_ = std::move(ctx);
+    if (tracer_ != nullptr) {
+      tracer_->BeginTransaction(tenant_, layout_->name());
+    }
+    return Status::OK();
+  }
+
+  Status Commit() {
+    if (layout_ == nullptr) return Status::InvalidArgument("session is closed");
+    if (txn_ == nullptr) {
+      return Status::FailedPrecondition("no transaction open");
+    }
+    Status st = txn_->Commit();
+    if (st.code() == StatusCode::kFailedPrecondition) {
+      // Poisoned or aborted: stays open until the client ROLLBACKs.
+      return st;
+    }
+    txn_.reset();
+    if (tracer_ != nullptr) tracer_->EndTransaction(st.ok());
+    return st;
+  }
+
+  Status Rollback() {
+    if (layout_ == nullptr) return Status::InvalidArgument("session is closed");
+    if (txn_ == nullptr) {
+      return Status::FailedPrecondition("no transaction open");
+    }
+    Status st = Status::OK();
+    // An aborted transaction was already rolled back; acknowledge only.
+    if (txn_->open()) st = txn_->Rollback();
+    txn_.reset();
+    if (tracer_ != nullptr) tracer_->EndTransaction(false);
+    return st;
+  }
+
+  bool in_transaction() const { return txn_ != nullptr; }
 
   /// Returns the transformed physical SQL (for inspection/examples).
   Result<std::string> ShowTransformed(const std::string& sql) {
@@ -146,6 +226,63 @@ class TenantSession {
                                              ticket);
   }
 
+  /// Gates one statement against the open transaction (if any): rejects
+  /// statements in a poisoned/aborted transaction, installs the context
+  /// on the thread for the statement pipeline, and classifies failures —
+  /// deadline/admission/breaker failures abort the transaction on the
+  /// spot, ordinary failures poison it. The TLS scope never covers the
+  /// auto-rollback, so compensation replay cannot re-enter staging.
+  template <typename Fn>
+  auto GateTxn(Fn&& fn) -> decltype(fn()) {
+    if (txn_ == nullptr) return fn();
+    switch (txn_->state()) {
+      case txn::TransactionContext::State::kActive:
+        break;
+      case txn::TransactionContext::State::kPoisoned:
+        return Status::FailedPrecondition(
+            "transaction is poisoned by a failed statement; ROLLBACK it");
+      case txn::TransactionContext::State::kAborted:
+        return Status::FailedPrecondition(
+            "transaction was aborted; ROLLBACK to acknowledge");
+    }
+    auto out = [&] {
+      txn::TransactionContext::Scope in_txn(txn_.get());
+      return fn();
+    }();
+    if (!out.ok()) {
+      const StatusCode code = out.status().code();
+      if (code == StatusCode::kDeadlineExceeded ||
+          code == StatusCode::kResourceExhausted ||
+          code == StatusCode::kUnavailable) {
+        (void)txn_->Rollback(/*is_auto=*/true);
+        txn_->MarkAborted();
+      } else {
+        txn_->Poison();
+      }
+    }
+    return out;
+  }
+
+  /// First-word sniff for transaction control in Execute's SQL string:
+  /// 'B'/'C'/'R' for BEGIN/COMMIT/ROLLBACK, 0 otherwise.
+  static char TxnControlOf(const std::string& sql) {
+    size_t i = sql.find_first_not_of(" \t\r\n");
+    if (i == std::string::npos) return 0;
+    size_t e = i;
+    while (e < sql.size() &&
+           std::isalpha(static_cast<unsigned char>(sql[e]))) {
+      e++;
+    }
+    std::string word = sql.substr(i, e - i);
+    for (char& c : word) {
+      c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+    if (word == "BEGIN") return 'B';
+    if (word == "COMMIT") return 'C';
+    if (word == "ROLLBACK") return 'R';
+    return 0;
+  }
+
   /// Cheap statement-kind label for trace series without a parse: the
   /// layer's Execute only accepts INSERT/UPDATE/DELETE.
   static const char* GuessKind(const std::string& sql) {
@@ -167,6 +304,7 @@ class TenantSession {
   TenantId tenant_ = -1;
   uint64_t statements_ = 0;
   std::unique_ptr<trace::StatementTracer> tracer_;
+  std::unique_ptr<txn::TransactionContext> txn_;
 };
 
 }  // namespace mapping

@@ -14,10 +14,21 @@ constexpr int kRollbackAttempts = 4;
 
 StatementUndoLog::~StatementUndoLog() {
   if (txn_open_) (void)db_->EndDurableTxn(txn_id_);
+  if (joined_) ctx_->Leave();
 }
 
 Status StatementUndoLog::Stage(sql::Statement compensation) {
-  if (db_->durable()) {
+  if (ctx_ != nullptr) {
+    // Bound to a client transaction: hints ride the transaction's WAL
+    // bracket (no statement-scoped kTxnBegin), and the Join tells the
+    // engine DML path underneath not to stage its own value-based
+    // compensations on top of these row-precise ones.
+    if (!joined_) {
+      ctx_->Join();
+      joined_ = true;
+    }
+    MTDB_RETURN_IF_ERROR(ctx_->StageHint(compensation));
+  } else if (db_->durable()) {
     if (!txn_open_) {
       MTDB_ASSIGN_OR_RETURN(txn_id_, db_->BeginDurableTxn());
       txn_open_ = true;
@@ -58,6 +69,20 @@ Status StatementUndoLog::Rollback() {
 }
 
 Status StatementUndoLog::Finish() {
+  if (ctx_ != nullptr) {
+    // The statement succeeded (or already rolled itself back, leaving
+    // entries_ empty): its confirmed compensations become part of the
+    // client transaction's undo log instead of being discarded.
+    if (!entries_.empty()) {
+      ctx_->Absorb(std::move(entries_));
+      entries_.clear();
+    }
+    if (joined_) {
+      ctx_->Leave();
+      joined_ = false;
+    }
+    return Status::OK();
+  }
   if (!txn_open_) return Status::OK();
   txn_open_ = false;
   return db_->EndDurableTxn(txn_id_);

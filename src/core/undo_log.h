@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "engine/database.h"
+#include "engine/txn_context.h"
 #include "sql/ast.h"
 
 namespace mtdb {
@@ -42,10 +43,21 @@ namespace mapping {
 /// call Rollback(); always call Finish() before returning (the destructor
 /// closes a leaked transaction best-effort).
 ///
+/// Inside a client transaction (txn::TransactionContext::Current() set
+/// by the session layer) the log *binds* to the transaction: Stage()
+/// routes each compensation's WAL hint through the transaction's
+/// bracket instead of opening a statement-scoped one, and Finish()
+/// absorbs the confirmed entries upward into the transaction's undo log
+/// so a later ROLLBACK can undo this statement too. Statement-level
+/// atomicity is unchanged — a failed statement still rolls back its own
+/// entries here, and only what it confirmed survives into the
+/// transaction.
+///
 /// Not thread-safe: one log per in-flight statement, on the stack.
 class StatementUndoLog {
  public:
-  explicit StatementUndoLog(Database* db) : db_(db) {}
+  explicit StatementUndoLog(Database* db)
+      : db_(db), ctx_(txn::TransactionContext::Current()) {}
   ~StatementUndoLog();
 
   StatementUndoLog(const StatementUndoLog&) = delete;
@@ -77,15 +89,23 @@ class StatementUndoLog {
   size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
 
+  /// True when the log is bound to an ambient client transaction: the
+  /// generic DML paths must then record undo for every write (even
+  /// single-source ones the statement itself would not need), because
+  /// the transaction may roll the statement back later.
+  bool bound() const { return ctx_ != nullptr; }
+
   /// Compensations successfully executed by Rollback().
   uint64_t executed() const { return executed_; }
 
  private:
   Database* db_;
+  txn::TransactionContext* ctx_;
   std::vector<sql::Statement> entries_;
   std::vector<sql::Statement> staged_;
   uint64_t txn_id_ = 0;
   bool txn_open_ = false;
+  bool joined_ = false;
   uint64_t executed_ = 0;
 };
 

@@ -7,6 +7,7 @@
 #include "common/trace.h"
 #include "sql/ast_util.h"
 #include "engine/session.h"
+#include "engine/txn_context.h"
 #include "sql/parser.h"
 #include "sql/printer.h"
 
@@ -251,7 +252,8 @@ Database::Database(DatabaseOptions options)
 Database::Database(EngineOptions options)
     : Database(DatabaseOptions{/*path=*/{}, /*engine=*/std::move(options),
                                /*retry_policy=*/{},
-                               /*quarantine_threshold=*/8}) {}
+                               /*quarantine_threshold=*/8,
+                               /*admission=*/{}}) {}
 
 void Database::RegisterEngineGauges() {
   // Adapt the pre-existing counter structs into the registry namespace.
@@ -393,10 +395,25 @@ Status Database::Checkpoint() {
   // worse than a late one, so suppress the ambient deadline here.
   deadline::Scope no_deadline(deadline::Deadline::None());
   // Gate before DDL latch (the global order); exclusive on both quiesces
-  // every statement and every open logical txn.
+  // every statement and every open statement-level logical txn. Open
+  // CLIENT transactions hold neither latch between statements — their
+  // undo hints are snapshotted here (race-free: every staging path holds
+  // the gate or the DDL latch shared) and preserved in the meta file so
+  // WAL truncation cannot lose them.
   std::unique_lock<SharedLatch> gate(durability_->txn_gate());
   std::unique_lock<SharedLatch> ddl(ddl_mu_);
-  return durability_->WriteCheckpoint(catalog_->Snapshot());
+  std::vector<OpenTxnMeta> open;
+  {
+    std::lock_guard<Latch> reg(txn_registry_mu_);
+    open.reserve(open_client_txns_.size());
+    for (const auto& [id, hints] : open_client_txns_) {
+      OpenTxnMeta t;
+      t.txn_id = id;
+      t.hints = hints;
+      open.push_back(std::move(t));
+    }
+  }
+  return durability_->WriteCheckpoint(catalog_->Snapshot(), open);
 }
 
 void Database::MaybeAutoCheckpoint() {
@@ -426,6 +443,89 @@ Status Database::LogTxnHint(uint64_t txn_id,
 Status Database::EndDurableTxn(uint64_t txn_id) {
   tls_txn_depth--;
   return durability_->EndTxn(txn_id);
+}
+
+Result<uint64_t> Database::BeginClientTxn(int64_t tenant) {
+  uint64_t txn_id = 0;
+  if (durability_ != nullptr) {
+    if (durability_->frozen()) {
+      return Status::Unavailable("durability frozen after crash");
+    }
+    // Brief shared hold: the begin record and the registry insert must
+    // be one atom w.r.t. a checkpoint's gate-exclusive snapshot, or a
+    // checkpoint could truncate the begin record without carrying the
+    // transaction in meta.
+    std::shared_lock<SharedLatch> gate(durability_->txn_gate());
+    MTDB_ASSIGN_OR_RETURN(txn_id, durability_->BeginDetachedTxn());
+    std::lock_guard<Latch> reg(txn_registry_mu_);
+    open_client_txns_[txn_id];
+  } else {
+    txn_id = mem_txn_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard<Latch> reg(txn_registry_mu_);
+    auto it = txn_open_counts_.find(tenant);
+    if (it == txn_open_counts_.end()) {
+      auto count = std::make_shared<std::atomic<int64_t>>(0);
+      it = txn_open_counts_.emplace(tenant, count).first;
+      // Registered exactly once per tenant (the registry's gauge list is
+      // append-only); the shared_ptr keeps the callback valid for the
+      // registry's lifetime.
+      registry_->RegisterGauge("txn.open.t" + std::to_string(tenant),
+                               [count]() -> uint64_t {
+                                 int64_t v =
+                                     count->load(std::memory_order_relaxed);
+                                 return v > 0 ? static_cast<uint64_t>(v) : 0;
+                               });
+    }
+    it->second->fetch_add(1, std::memory_order_relaxed);
+  }
+  return txn_id;
+}
+
+Status Database::StageClientHint(uint64_t txn_id,
+                                 const std::string& compensation_sql) {
+  if (durability_ == nullptr) return Status::OK();
+  std::shared_lock<SharedLatch> gate(durability_->txn_gate());
+  MTDB_RETURN_IF_ERROR(durability_->LogHint(txn_id, compensation_sql));
+  std::lock_guard<Latch> reg(txn_registry_mu_);
+  auto it = open_client_txns_.find(txn_id);
+  if (it != open_client_txns_.end()) it->second.push_back(compensation_sql);
+  return Status::OK();
+}
+
+Status Database::StageClientHintUnderStatement(
+    uint64_t txn_id, const std::string& compensation_sql) {
+  if (durability_ == nullptr) return Status::OK();
+  // No gate here: the caller is inside an engine statement (shared DDL
+  // latch held, rank below the gate). Checkpoints hold the DDL latch
+  // exclusively, so no checkpoint can interleave with this statement.
+  MTDB_RETURN_IF_ERROR(durability_->LogHint(txn_id, compensation_sql));
+  std::lock_guard<Latch> reg(txn_registry_mu_);
+  auto it = open_client_txns_.find(txn_id);
+  if (it != open_client_txns_.end()) it->second.push_back(compensation_sql);
+  return Status::OK();
+}
+
+Status Database::EndClientTxn(uint64_t txn_id, int64_t tenant) {
+  Status st = Status::OK();
+  if (durability_ != nullptr) {
+    std::shared_lock<SharedLatch> gate(durability_->txn_gate());
+    st = durability_->EndDetachedTxn(txn_id);
+    // Deregister even when the end record could not be appended (frozen
+    // durability): recovery resolves the transaction from disk, and a
+    // frozen engine writes no further checkpoints anyway.
+    std::lock_guard<Latch> reg(txn_registry_mu_);
+    open_client_txns_.erase(txn_id);
+  }
+  {
+    std::lock_guard<Latch> reg(txn_registry_mu_);
+    auto it = txn_open_counts_.find(tenant);
+    if (it != txn_open_counts_.end()) {
+      it->second->fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  return st;
 }
 
 Status Database::CommitDmlGroup(const PageMutationCapture& capture,
@@ -608,17 +708,31 @@ Result<int64_t> Database::RunMutationInner(const sql::Statement& stmt,
       // under the latch already held here.
       LatchSet latches;
       latches.LockTable(table, /*exclusive=*/true);
+      // Inside a client transaction whose statement is not already
+      // covered by a mapping-layer undo log, the engine itself stages
+      // value-based compensations for the rows this statement touches.
+      txn::TransactionContext* txn_ctx = txn::TransactionContext::Current();
+      const bool stage_txn =
+          txn_ctx != nullptr && txn_ctx->open() && !txn_ctx->joined();
+      std::vector<sql::Statement> txn_undo;
+      std::vector<sql::Statement>* undo_out = stage_txn ? &txn_undo : nullptr;
       auto dispatch = [&]() -> Result<int64_t> {
         switch (stmt.kind) {
           case sql::StatementKind::kInsert:
-            return ExecuteInsert(*stmt.insert, ctx);
+            return ExecuteInsert(*stmt.insert, ctx, undo_out);
           case sql::StatementKind::kUpdate:
-            return ExecuteUpdate(*stmt.update, ctx);
+            return ExecuteUpdate(*stmt.update, ctx, undo_out);
           default:
-            return ExecuteDelete(*stmt.del, ctx);
+            return ExecuteDelete(*stmt.del, ctx, undo_out);
         }
       };
-      if (durability_ == nullptr) return dispatch();
+      if (durability_ == nullptr) {
+        Result<int64_t> result = dispatch();
+        if (result.ok() && stage_txn && !txn_undo.empty()) {
+          txn_ctx->Absorb(std::move(txn_undo));
+        }
+        return result;
+      }
       if (durability_->frozen()) {
         return Status::Unavailable("durability frozen after crash");
       }
@@ -631,6 +745,21 @@ Result<int64_t> Database::RunMutationInner(const sql::Statement& stmt,
         PageCaptureScope scope(&capture);
         return dispatch();
       }();
+      if (result.ok() && stage_txn && !txn_undo.empty()) {
+        // Hints must reach the log before the redo group: a crash
+        // between them loses the statement (no group) and the hints
+        // replay harmlessly against the pre-statement state.
+        Status staged = Status::OK();
+        for (const sql::Statement& comp : txn_undo) {
+          staged = txn_ctx->StageEngineHint(comp);
+          if (!staged.ok()) break;
+        }
+        if (staged.ok()) {
+          txn_ctx->Absorb(std::move(txn_undo));
+        } else {
+          result = staged;  // append failure froze durability
+        }
+      }
       Status logged = CommitDmlGroup(capture, table);
       if (!logged.ok() && result.ok()) return logged;
       return result;
@@ -691,6 +820,12 @@ Result<int64_t> Database::RunMutationInner(const sql::Statement& stmt,
       return Status::InvalidArgument("use Query() for SELECT");
     case sql::StatementKind::kExplainMapping:
       return Status::InvalidArgument("EXPLAIN MAPPING is not a mutation");
+    case sql::StatementKind::kBegin:
+    case sql::StatementKind::kCommit:
+    case sql::StatementKind::kRollback:
+      return Status::InvalidArgument(
+          "transaction control statements are session-scoped; use a Session "
+          "or TenantSession");
   }
   return Status::Internal("unknown statement kind");
 }
@@ -876,8 +1011,33 @@ void Database::RestoreDeletedRow(TableInfo* table, const Row& row) {
   }
 }
 
+namespace {
+
+/// Conjunction matching every non-null column value of `row` — the
+/// engine's value-based row predicate for client-transaction
+/// compensations. Below the mapping layer there is no row-id column, so
+/// the match is by content: if the table holds duplicate identical rows
+/// the compensation touches all of them (same documented caveat as the
+/// mapping layer's single-source fallback). NULL columns are skipped
+/// because SQL `col = NULL` never matches.
+sql::ParsedExprPtr AllValuesPredicate(const Schema& schema, const Row& row) {
+  sql::ParsedExprPtr where;
+  for (size_t i = 0; i < row.size() && i < schema.size(); ++i) {
+    if (row[i].is_null()) continue;
+    where = sql::AndTogether(
+        std::move(where),
+        sql::MakeBinary(sql::BinaryOp::kEq,
+                        sql::MakeColumnRef("", schema.at(i).name),
+                        sql::MakeLiteral(row[i])));
+  }
+  return where;
+}
+
+}  // namespace
+
 Result<int64_t> Database::ExecuteInsert(const sql::InsertStmt& stmt,
-                                        const ExecContext& ctx) {
+                                        const ExecContext& ctx,
+                                        std::vector<sql::Statement>* txn_undo) {
   TableInfo* table = catalog_->GetTable(stmt.table);
   if (table == nullptr) return Status::NotFound("no such table: " + stmt.table);
   std::vector<size_t> positions;
@@ -918,11 +1078,27 @@ Result<int64_t> Database::ExecuteInsert(const sql::InsertStmt& stmt,
     if (!st.ok()) return rollback(st);
     applied.emplace_back(rid, std::move(typed));
   }
+  if (txn_undo != nullptr) {
+    for (const auto& [rid, typed] : applied) {
+      sql::ParsedExprPtr where = AllValuesPredicate(table->schema, typed);
+      // An all-NULL row has no value predicate; an unqualified DELETE
+      // would wipe the table, so leave that (degenerate) insert
+      // uncompensated rather than stage a wrong undo.
+      if (where == nullptr) continue;
+      sql::Statement comp;
+      comp.kind = sql::StatementKind::kDelete;
+      comp.del = std::make_unique<sql::DeleteStmt>();
+      comp.del->table = stmt.table;
+      comp.del->where = std::move(where);
+      txn_undo->push_back(std::move(comp));
+    }
+  }
   return static_cast<int64_t>(applied.size());
 }
 
 Result<int64_t> Database::ExecuteUpdate(const sql::UpdateStmt& stmt,
-                                        const ExecContext& ctx) {
+                                        const ExecContext& ctx,
+                                        std::vector<sql::Statement>* txn_undo) {
   TableInfo* table = catalog_->GetTable(stmt.table);
   if (table == nullptr) return Status::NotFound("no such table: " + stmt.table);
   // Phase (a): plan "SELECT * FROM t WHERE ..." and collect rows + RIDs.
@@ -993,11 +1169,31 @@ Result<int64_t> Database::ExecuteUpdate(const sql::UpdateStmt& stmt,
     if (!st.ok()) return rollback(st);
     applied.push_back({new_rid, old_row, std::move(new_row)});
   }
+  if (txn_undo != nullptr) {
+    for (const AppliedUpdate& u : applied) {
+      sql::ParsedExprPtr where = AllValuesPredicate(table->schema, u.new_row);
+      if (where == nullptr) continue;  // all-NULL image: cannot address it
+      sql::Statement comp;
+      comp.kind = sql::StatementKind::kUpdate;
+      comp.update = std::make_unique<sql::UpdateStmt>();
+      comp.update->table = stmt.table;
+      // Restore every column, not just the assigned ones: the hint must
+      // reproduce the old image without access to in-memory state.
+      for (size_t i = 0; i < u.old_row.size() && i < table->schema.size();
+           ++i) {
+        comp.update->assignments.emplace_back(
+            table->schema.at(i).name, sql::MakeLiteral(u.old_row[i]));
+      }
+      comp.update->where = std::move(where);
+      txn_undo->push_back(std::move(comp));
+    }
+  }
   return static_cast<int64_t>(affected.size());
 }
 
 Result<int64_t> Database::ExecuteDelete(const sql::DeleteStmt& stmt,
-                                        const ExecContext& ctx) {
+                                        const ExecContext& ctx,
+                                        std::vector<sql::Statement>* txn_undo) {
   TableInfo* table = catalog_->GetTable(stmt.table);
   if (table == nullptr) return Status::NotFound("no such table: " + stmt.table);
   sql::SelectStmt select;
@@ -1035,6 +1231,21 @@ Result<int64_t> Database::ExecuteDelete(const sql::DeleteStmt& stmt,
       return st;
     }
     deleted.push_back(old_row);
+  }
+  if (txn_undo != nullptr) {
+    for (const Row& old_row : deleted) {
+      sql::Statement comp;
+      comp.kind = sql::StatementKind::kInsert;
+      comp.insert = std::make_unique<sql::InsertStmt>();
+      comp.insert->table = stmt.table;
+      std::vector<sql::ParsedExprPtr> vals;
+      for (size_t i = 0; i < old_row.size() && i < table->schema.size(); ++i) {
+        comp.insert->columns.push_back(table->schema.at(i).name);
+        vals.push_back(sql::MakeLiteral(old_row[i]));
+      }
+      comp.insert->rows.push_back(std::move(vals));
+      txn_undo->push_back(std::move(comp));
+    }
   }
   return static_cast<int64_t>(affected.size());
 }

@@ -2,6 +2,7 @@
 #define MTDB_ENGINE_DATABASE_H_
 
 #include <atomic>
+#include <map>
 #include <memory>
 #include <string>
 #include <variant>
@@ -209,6 +210,29 @@ class Database {
   Status LogTxnHint(uint64_t txn_id, const std::string& compensation_sql);
   Status EndDurableTxn(uint64_t txn_id);
 
+  /// Client-transaction plumbing (used by txn::TransactionContext, the
+  /// session layer's cross-statement bracket). Unlike BeginDurableTxn,
+  /// the checkpoint gate is held shared only briefly around each WAL
+  /// append — never between statements — so an open client transaction
+  /// cannot stall checkpoints; checkpoints instead carry the open
+  /// transactions' undo hints forward in the meta file (Durability meta
+  /// v2). BeginClientTxn also registers the transaction in the open-txn
+  /// registry and maintains the per-tenant txn.open gauge.
+  Result<uint64_t> BeginClientTxn(int64_t tenant);
+  /// Appends a compensation hint under a brief shared gate hold and
+  /// mirrors it into the open-txn registry (mapping-layer staging path).
+  Status StageClientHint(uint64_t txn_id, const std::string& compensation_sql);
+  /// Same, from inside an engine statement: the caller holds the shared
+  /// DDL latch, which ranks BELOW the gate, so the gate must not be
+  /// taken here. Safe without it — checkpoints hold the DDL latch
+  /// exclusively, excluding every in-flight engine statement.
+  Status StageClientHintUnderStatement(uint64_t txn_id,
+                                       const std::string& compensation_sql);
+  /// Appends the end record and deregisters atomically w.r.t.
+  /// checkpoints. Deregisters even when the append fails (frozen
+  /// durability): recovery resolves the transaction from disk.
+  Status EndClientTxn(uint64_t txn_id, int64_t tenant);
+
   // --- SQL front door -----------------------------------------------
 
   /// Opens a client session. Sessions are cheap value handles; hold one
@@ -321,12 +345,18 @@ class Database {
   /// log, so the delete being compensated may never have run).
   Status ApplyRecoveryHint(const std::string& sql_text);
 
+  /// `txn_undo`, when non-null, receives one value-based compensating
+  /// statement per applied row (client-transaction undo; only filled on
+  /// success — a failed statement reverts itself internally).
   Result<int64_t> ExecuteInsert(const sql::InsertStmt& stmt,
-                                const ExecContext& ctx);
+                                const ExecContext& ctx,
+                                std::vector<sql::Statement>* txn_undo = nullptr);
   Result<int64_t> ExecuteUpdate(const sql::UpdateStmt& stmt,
-                                const ExecContext& ctx);
+                                const ExecContext& ctx,
+                                std::vector<sql::Statement>* txn_undo = nullptr);
   Result<int64_t> ExecuteDelete(const sql::DeleteStmt& stmt,
-                                const ExecContext& ctx);
+                                const ExecContext& ctx,
+                                std::vector<sql::Statement>* txn_undo = nullptr);
 
   // Every physical mutation below is atomic at the row level: if any of
   // its heap/index writes fails, the ones already applied are compensated
@@ -363,6 +393,19 @@ class Database {
   /// DDL holds it exclusive — so a TableInfo* resolved at statement
   /// start cannot be dropped mid-statement.
   mutable SharedLatch ddl_mu_{LatchRank::kDdl, "ddl"};
+
+  /// Open client transactions: txn id → accumulated compensation hints
+  /// (a registry mirror of the WAL kTxnHint records, so checkpoints can
+  /// preserve open transactions across WAL truncation). Also backs the
+  /// per-tenant txn.open gauges. Guarded by txn_registry_mu_; writers
+  /// additionally hold the txn gate shared (or the DDL latch, for the
+  /// under-statement staging path), which is what makes the checkpoint's
+  /// gate+DDL-exclusive snapshot race-free.
+  mutable Latch txn_registry_mu_{LatchRank::kTxnRegistry, "txn-registry"};
+  std::map<uint64_t, std::vector<std::string>> open_client_txns_;
+  std::map<int64_t, std::shared_ptr<std::atomic<int64_t>>> txn_open_counts_;
+  /// Client-txn ids for in-memory engines (no WAL to assign them).
+  std::atomic<uint64_t> mem_txn_id_{1};
 };
 
 }  // namespace mtdb

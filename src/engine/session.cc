@@ -5,8 +5,79 @@
 
 namespace mtdb {
 
+namespace {
+
+bool IsDdl(sql::StatementKind kind) {
+  switch (kind) {
+    case sql::StatementKind::kCreateTable:
+    case sql::StatementKind::kCreateIndex:
+    case sql::StatementKind::kDropTable:
+    case sql::StatementKind::kDropIndex:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Failures after which the transaction cannot make progress and the
+// session aborts it on the spot (as opposed to ordinary statement
+// failures, which poison it and wait for the client's ROLLBACK):
+// deadline expiry, admission rejection, breaker-open quarantine.
+bool AbortsTransaction(StatusCode code) {
+  return code == StatusCode::kDeadlineExceeded ||
+         code == StatusCode::kResourceExhausted ||
+         code == StatusCode::kUnavailable;
+}
+
+}  // namespace
+
 Session::Session(Database* db) : db_(db) {
   if (trace::TracingForced()) EnableTracing();
+}
+
+Status Session::Begin() {
+  if (db_ == nullptr) return Status::InvalidArgument("session is closed");
+  if (txn_ != nullptr) {
+    return Status::FailedPrecondition("transaction already open");
+  }
+  auto ctx = std::make_unique<txn::TransactionContext>(db_, kEngineTenant);
+  MTDB_RETURN_IF_ERROR(ctx->Begin());
+  txn_ = std::move(ctx);
+  if (tracer_ != nullptr) tracer_->BeginTransaction(kEngineTenant, "engine");
+  return Status::OK();
+}
+
+Status Session::Commit() {
+  if (db_ == nullptr) return Status::InvalidArgument("session is closed");
+  if (txn_ == nullptr) {
+    return Status::FailedPrecondition("no transaction open");
+  }
+  Status st = txn_->Commit();
+  if (st.code() == StatusCode::kFailedPrecondition) {
+    // Poisoned or aborted: the transaction stays open until the client
+    // acknowledges with ROLLBACK.
+    return st;
+  }
+  // Committed — or the end record could not be appended, in which case
+  // the commit is not durable and recovery will undo it; either way the
+  // bracket is closed and the context is spent.
+  txn_.reset();
+  if (tracer_ != nullptr) tracer_->EndTransaction(st.ok());
+  return st;
+}
+
+Status Session::Rollback() {
+  if (db_ == nullptr) return Status::InvalidArgument("session is closed");
+  if (txn_ == nullptr) {
+    return Status::FailedPrecondition("no transaction open");
+  }
+  Status st = Status::OK();
+  // An aborted transaction was already rolled back by the session;
+  // this ROLLBACK just acknowledges it.
+  if (txn_->open()) st = txn_->Rollback();
+  txn_.reset();
+  if (tracer_ != nullptr) tracer_->EndTransaction(false);
+  return st;
 }
 
 void Session::EnableTracing(bool on) {
@@ -98,12 +169,64 @@ Result<StatementResult> Session::ExecuteParsed(const sql::Statement& stmt,
                                                deadline::Deadline deadline) {
   if (db_ == nullptr) return Status::InvalidArgument("session is closed");
   statements_++;
+  // Transaction control bypasses admission and deadlines: BEGIN holds
+  // no resources, and COMMIT/ROLLBACK must stay executable under
+  // overload so a throttled tenant can always let go of its bracket.
+  switch (stmt.kind) {
+    case sql::StatementKind::kBegin:
+      MTDB_RETURN_IF_ERROR(Begin());
+      return StatementResult(int64_t{0});
+    case sql::StatementKind::kCommit:
+      MTDB_RETURN_IF_ERROR(Commit());
+      return StatementResult(int64_t{0});
+    case sql::StatementKind::kRollback:
+      MTDB_RETURN_IF_ERROR(Rollback());
+      return StatementResult(int64_t{0});
+    default:
+      break;
+  }
   // An explicit deadline shadows any ambient one for this statement; an
   // inactive argument re-installs the ambient deadline (no-op).
   deadline::Scope scope(deadline.active ? deadline : deadline::Current());
-  Result<StatementResult> res = ExecuteAdmitted(stmt, params);
+  Result<StatementResult> res = txn_ != nullptr ? ExecuteInTxn(stmt, params)
+                                                : ExecuteAdmitted(stmt, params);
   if (!res.ok() && res.status().code() == StatusCode::kDeadlineExceeded) {
     db_->metrics_registry()->GetCounter("deadline.exceeded")->Add(1);
+  }
+  return res;
+}
+
+Result<StatementResult> Session::ExecuteInTxn(const sql::Statement& stmt,
+                                              const Params& params) {
+  switch (txn_->state()) {
+    case txn::TransactionContext::State::kActive:
+      break;
+    case txn::TransactionContext::State::kPoisoned:
+      return Status::FailedPrecondition(
+          "transaction is poisoned by a failed statement; ROLLBACK it");
+    case txn::TransactionContext::State::kAborted:
+      return Status::FailedPrecondition(
+          "transaction was aborted; ROLLBACK to acknowledge");
+  }
+  if (IsDdl(stmt.kind)) {
+    return Status::FailedPrecondition(
+        "DDL is not allowed inside a transaction");
+  }
+  // The Scope makes the context visible to the statement pipeline (undo
+  // binding + engine compensation staging). It must NOT cover the
+  // rollback below: compensation replay goes through the same SQL front
+  // door and must not re-enter the staging paths.
+  Result<StatementResult> res = [&] {
+    txn::TransactionContext::Scope in_txn(txn_.get());
+    return ExecuteAdmitted(stmt, params);
+  }();
+  if (!res.ok()) {
+    if (AbortsTransaction(res.status().code())) {
+      (void)txn_->Rollback(/*is_auto=*/true);
+      txn_->MarkAborted();
+    } else {
+      txn_->Poison();
+    }
   }
   return res;
 }

@@ -10,6 +10,7 @@
 #include "common/result.h"
 #include "common/trace.h"
 #include "engine/database.h"
+#include "engine/txn_context.h"
 #include "sql/ast.h"
 
 namespace mtdb {
@@ -90,6 +91,25 @@ class Session {
   /// Parses `sql` once for repeated execution.
   Result<PreparedStatement> Prepare(const std::string& sql) const;
 
+  /// Client transaction control, equivalent to executing "BEGIN" /
+  /// "COMMIT" / "ROLLBACK" through Execute. Between Begin() and
+  /// Commit()/Rollback() every DML statement's compensations accumulate
+  /// in a session transaction; Rollback() replays them newest-first and
+  /// a crash before the commit record reaches the WAL undoes the whole
+  /// transaction during recovery. Statements inside a transaction are
+  /// still admitted individually — an open transaction holds no
+  /// admission slot, no latch, and no open WAL handle between
+  /// statements. A failed statement poisons the transaction (only
+  /// ROLLBACK is accepted afterwards); a deadline expiry, admission
+  /// rejection, or breaker trip mid-transaction rolls it back
+  /// automatically, after which ROLLBACK acknowledges the abort. DDL is
+  /// rejected inside a transaction with kFailedPrecondition. An open
+  /// transaction is rolled back when the session is destroyed.
+  Status Begin();
+  Status Commit();
+  Status Rollback();
+  bool in_transaction() const { return txn_ != nullptr; }
+
   /// SELECT-only convenience: unwraps the rows alternative.
   Result<QueryResult> Query(const std::string& sql,
                             const Params& params = {});
@@ -127,9 +147,16 @@ class Session {
   Result<StatementResult> ExecuteAdmitted(const sql::Statement& stmt,
                                           const Params& params);
 
+  /// Routes kBegin/kCommit/kRollback to the methods above; gates other
+  /// statements against the open transaction's state (poisoned/aborted
+  /// rejection, DDL rejection) and classifies in-transaction failures.
+  Result<StatementResult> ExecuteInTxn(const sql::Statement& stmt,
+                                       const Params& params);
+
   Database* db_ = nullptr;
   uint64_t statements_ = 0;
   std::unique_ptr<trace::StatementTracer> tracer_;
+  std::unique_ptr<txn::TransactionContext> txn_;
 };
 
 }  // namespace mtdb

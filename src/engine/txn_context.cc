@@ -1,0 +1,105 @@
+#include "engine/txn_context.h"
+
+#include "common/deadline.h"
+#include "engine/database.h"
+#include "sql/printer.h"
+
+namespace mtdb {
+namespace txn {
+
+namespace {
+
+// Per-entry retry budget during rollback, on top of the buffer pool's
+// own per-I/O retries (mirrors StatementUndoLog's).
+constexpr int kRollbackAttempts = 4;
+
+thread_local TransactionContext* tls_current = nullptr;
+
+}  // namespace
+
+TransactionContext* TransactionContext::Current() { return tls_current; }
+
+TransactionContext::Scope::Scope(TransactionContext* ctx) : prev_(tls_current) {
+  tls_current = ctx;
+}
+
+TransactionContext::Scope::~Scope() { tls_current = prev_; }
+
+TransactionContext::TransactionContext(Database* db, int64_t tenant)
+    : db_(db), tenant_(tenant) {}
+
+TransactionContext::~TransactionContext() {
+  if (begun_) (void)Rollback(/*is_auto=*/true);
+}
+
+void TransactionContext::BumpCounter(const char* op) {
+  db_->metrics_registry()
+      ->GetCounter(std::string("txn.") + op + ".t" + std::to_string(tenant_))
+      ->Add(1);
+}
+
+Status TransactionContext::Begin() {
+  if (begun_) return Status::FailedPrecondition("transaction already open");
+  MTDB_ASSIGN_OR_RETURN(txn_id_, db_->BeginClientTxn(tenant_));
+  begun_ = true;
+  state_ = State::kActive;
+  BumpCounter("begin");
+  return Status::OK();
+}
+
+Status TransactionContext::Commit() {
+  if (!begun_) return Status::FailedPrecondition("no transaction open");
+  if (state_ != State::kActive) {
+    return Status::FailedPrecondition(
+        state_ == State::kPoisoned
+            ? "transaction is poisoned by a failed statement; ROLLBACK it"
+            : "transaction was already aborted; ROLLBACK to acknowledge");
+  }
+  begun_ = false;
+  entries_.clear();
+  Status st = db_->EndClientTxn(txn_id_, tenant_);
+  // A failed end-record append (frozen durability) means the commit is
+  // NOT durable: recovery will undo the transaction. Report that.
+  if (st.ok()) BumpCounter("commit");
+  return st;
+}
+
+Status TransactionContext::Rollback(bool is_auto) {
+  if (!begun_) return Status::FailedPrecondition("no transaction open");
+  begun_ = false;
+  // Compensations must run to completion even when the transaction is
+  // being torn down by a deadline or a cancelled statement.
+  deadline::Scope no_deadline(deadline::Deadline::None());
+  Status first_error = Status::OK();
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    Status st = Status::OK();
+    for (int attempt = 0; attempt < kRollbackAttempts; ++attempt) {
+      Result<int64_t> n = db_->ExecuteAst(*it, {});
+      st = n.status();
+      if (st.ok()) break;
+    }
+    if (!st.ok() && first_error.ok()) first_error = st;
+  }
+  entries_.clear();
+  Status ended = db_->EndClientTxn(txn_id_, tenant_);
+  if (first_error.ok()) first_error = ended;
+  BumpCounter(is_auto ? "auto_rollback" : "rollback");
+  return first_error;
+}
+
+Status TransactionContext::StageHint(const sql::Statement& compensation) {
+  if (!begun_) return Status::FailedPrecondition("no transaction open");
+  return db_->StageClientHint(txn_id_, sql::ToSql(compensation));
+}
+
+Status TransactionContext::StageEngineHint(const sql::Statement& compensation) {
+  if (!begun_) return Status::FailedPrecondition("no transaction open");
+  return db_->StageClientHintUnderStatement(txn_id_, sql::ToSql(compensation));
+}
+
+void TransactionContext::Absorb(std::vector<sql::Statement> entries) {
+  for (auto& e : entries) entries_.push_back(std::move(e));
+}
+
+}  // namespace txn
+}  // namespace mtdb

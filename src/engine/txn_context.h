@@ -1,0 +1,157 @@
+#ifndef MTDB_ENGINE_TXN_CONTEXT_H_
+#define MTDB_ENGINE_TXN_CONTEXT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace mtdb {
+
+class Database;
+
+namespace txn {
+
+/// Cross-statement client transaction state, owned by a Session or
+/// TenantSession between an explicit BEGIN and the matching COMMIT /
+/// ROLLBACK. It generalizes the mapping layer's StatementUndoLog from
+/// one logical statement to a whole client transaction: every mutating
+/// statement executed inside the bracket contributes its confirmed
+/// compensating statements (in staging order), and Rollback() replays
+/// the accumulated log newest-first through the ordinary SQL front door.
+///
+/// Durability: Begin() opens a detached WAL transaction
+/// (kTxnBegin without pinning the checkpoint gate — see
+/// Database::BeginClientTxn), each staged compensation is appended as a
+/// kTxnHint before its forward statement becomes durable, and
+/// Commit()/Rollback() append kTxnEnd. A crash anywhere in between
+/// leaves the transaction without an end record, so Recover() replays
+/// the hints newest-first — committed transactions survive, open ones
+/// vanish. Checkpoints do NOT wait for open client transactions: they
+/// carry the accumulated hints forward in the checkpoint meta
+/// (Durability meta v2), so the bracket may stay open indefinitely
+/// without pinning the WAL.
+///
+/// State machine:
+///   kActive   — statements execute; Commit() and Rollback() accepted.
+///   kPoisoned — a statement inside the bracket failed. The statement
+///               itself was already rolled back (statement atomicity),
+///               but the transaction's earlier statements may conflict
+///               with whatever the client does next, so everything except
+///               ROLLBACK now returns kFailedPrecondition.
+///   kAborted  — the session already rolled the transaction back itself
+///               (deadline expiry, admission rejection, breaker open).
+///               Statements are rejected; ROLLBACK is an acknowledging
+///               no-op; COMMIT fails.
+///
+/// Thread model: a context belongs to one session and is touched by one
+/// thread at a time, like the session itself. The TLS installation
+/// (Scope) makes the context visible to the statement pipeline
+/// underneath — the mapping layer's StatementUndoLog binds to it, and
+/// the engine's DML path stages value-based compensations when no
+/// mapping undo log has joined for the statement.
+class TransactionContext {
+ public:
+  enum class State { kActive, kPoisoned, kAborted };
+
+  /// `tenant` labels the txn.* metric series (kEngineTenant for engine
+  /// sessions). The context starts active but unopened; call Begin().
+  TransactionContext(Database* db, int64_t tenant);
+  /// Auto-rolls-back a transaction still open at destruction (session
+  /// dropped mid-transaction).
+  ~TransactionContext();
+
+  TransactionContext(const TransactionContext&) = delete;
+  TransactionContext& operator=(const TransactionContext&) = delete;
+
+  /// Opens the WAL bracket and registers the transaction with the
+  /// engine's open-transaction registry (checkpoint preservation +
+  /// txn.open gauge).
+  Status Begin();
+
+  /// Appends the commit record and discards the undo log. Fails with
+  /// kFailedPrecondition when the transaction is poisoned or aborted.
+  Status Commit();
+
+  /// Replays the accumulated compensations newest-first (each entry
+  /// retried a few times, the whole replay deadline-suppressed like
+  /// statement-level compensation), then closes the WAL bracket.
+  /// `is_auto` selects the txn.auto_rollback metric and is set by the
+  /// session's abort paths and the destructor.
+  Status Rollback(bool is_auto = false);
+
+  State state() const { return state_; }
+  /// Ordinary statement failure inside the bracket: reject everything
+  /// but ROLLBACK from now on.
+  void Poison() { if (state_ == State::kActive) state_ = State::kPoisoned; }
+  /// The session rolled back on its own (deadline/admission/breaker).
+  void MarkAborted() { state_ = State::kAborted; }
+
+  uint64_t txn_id() const { return txn_id_; }
+  bool open() const { return begun_; }
+  size_t undo_size() const { return entries_.size(); }
+
+  // --- statement-pipeline binding (via Scope/Current) -----------------
+
+  /// Stages one compensation from the mapping layer's bound
+  /// StatementUndoLog: appends the WAL hint under a brief shared hold of
+  /// the checkpoint gate and mirrors it into the open-txn registry.
+  /// Called before the forward physical statement runs.
+  Status StageHint(const sql::Statement& compensation);
+
+  /// Engine-DML variant: runs under the engine's shared DDL latch, which
+  /// ranks below the checkpoint gate, so it must not take the gate. Safe
+  /// without it — checkpoints hold the DDL latch exclusively, excluding
+  /// any in-flight engine statement.
+  Status StageEngineHint(const sql::Statement& compensation);
+
+  /// A successful statement's confirmed compensations join the
+  /// transaction-level undo log (the statement's own undo log absorbed
+  /// upward instead of discarded).
+  void Absorb(std::vector<sql::Statement> entries);
+
+  /// Join/Leave bracket a statement whose mapping-layer undo log has
+  /// taken over staging; while joined, the engine DML path must not
+  /// stage its own value-based compensations on top.
+  void Join() { ++join_depth_; }
+  void Leave() { if (join_depth_ > 0) --join_depth_; }
+  bool joined() const { return join_depth_ > 0; }
+
+  /// The context installed on this thread by the innermost live Scope,
+  /// or nullptr outside any transaction-bound statement.
+  static TransactionContext* Current();
+
+  /// Installs a context as the thread's current for the duration of one
+  /// statement. The session layer creates one around statement execution
+  /// only — never around Rollback(), so compensation replay cannot
+  /// re-enter the staging paths.
+  class Scope {
+   public:
+    explicit Scope(TransactionContext* ctx);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    TransactionContext* prev_;
+  };
+
+ private:
+  void BumpCounter(const char* op);
+
+  Database* db_;
+  int64_t tenant_;
+  State state_ = State::kActive;
+  uint64_t txn_id_ = 0;
+  bool begun_ = false;
+  int join_depth_ = 0;
+  /// Confirmed compensations in staging order, across statements.
+  std::vector<sql::Statement> entries_;
+};
+
+}  // namespace txn
+}  // namespace mtdb
+
+#endif  // MTDB_ENGINE_TXN_CONTEXT_H_

@@ -188,6 +188,11 @@ enum class StatementKind {
   kDropTable,
   kDropIndex,
   kExplainMapping,
+  // Transaction control. These carry no payload: the session layer owns
+  // the transaction state machine, the parser just recognises the verbs.
+  kBegin,
+  kCommit,
+  kRollback,
 };
 
 struct ExplainStmt;  // holds a Statement; defined below

@@ -67,6 +67,10 @@ Statement CloneStatement(const Statement& stmt) {
       out.explain->target = std::make_unique<Statement>(
           CloneStatement(*stmt.explain->target));
       break;
+    case StatementKind::kBegin:
+    case StatementKind::kCommit:
+    case StatementKind::kRollback:
+      break;  // no payload
   }
   return out;
 }
@@ -107,6 +111,10 @@ std::string FirstTableOf(const Statement& stmt) {
       return "";
     case StatementKind::kExplainMapping:
       return FirstTableOf(*stmt.explain->target);
+    case StatementKind::kBegin:
+    case StatementKind::kCommit:
+    case StatementKind::kRollback:
+      return "";
   }
   return "";
 }
@@ -135,6 +143,12 @@ const char* KindLabel(StatementKind kind) {
       return "drop_index";
     case StatementKind::kExplainMapping:
       return "explain_mapping";
+    case StatementKind::kBegin:
+      return "begin";
+    case StatementKind::kCommit:
+      return "commit";
+    case StatementKind::kRollback:
+      return "rollback";
   }
   return "unknown";
 }

@@ -16,6 +16,7 @@ const std::unordered_set<std::string>& Keywords() {
       "UPDATE", "SET",    "DELETE", "CREATE", "TABLE",  "INDEX",  "UNIQUE",
       "DROP",   "NULL",   "IS",     "TRUE",   "FALSE",  "DISTINCT",
       "LIKE",   "IN",     "EXPLAIN",
+      "BEGIN",  "COMMIT", "ROLLBACK", "TRANSACTION",
   };
   return *kKeywords;
 }

@@ -104,6 +104,18 @@ Result<Statement> Parser::ParseStatement() {
     return ParseCreate();
   } else if (CheckKeyword("DROP")) {
     return ParseDrop();
+  } else if (CheckKeyword("BEGIN")) {
+    MTDB_RETURN_IF_ERROR(ExpectKeyword("BEGIN"));
+    MatchKeyword("TRANSACTION");
+    stmt.kind = StatementKind::kBegin;
+  } else if (CheckKeyword("COMMIT")) {
+    MTDB_RETURN_IF_ERROR(ExpectKeyword("COMMIT"));
+    MatchKeyword("TRANSACTION");
+    stmt.kind = StatementKind::kCommit;
+  } else if (CheckKeyword("ROLLBACK")) {
+    MTDB_RETURN_IF_ERROR(ExpectKeyword("ROLLBACK"));
+    MatchKeyword("TRANSACTION");
+    stmt.kind = StatementKind::kRollback;
   } else if (CheckKeyword("EXPLAIN")) {
     MTDB_RETURN_IF_ERROR(ExpectKeyword("EXPLAIN"));
     MTDB_ASSIGN_OR_RETURN(std::string mode, ExpectIdent("MAPPING"));

@@ -208,6 +208,12 @@ std::string ToSql(const Statement& stmt) {
       return "DROP INDEX " + stmt.drop_index->index;
     case StatementKind::kExplainMapping:
       return "EXPLAIN MAPPING " + ToSql(*stmt.explain->target);
+    case StatementKind::kBegin:
+      return "BEGIN";
+    case StatementKind::kCommit:
+      return "COMMIT";
+    case StatementKind::kRollback:
+      return "ROLLBACK";
   }
   return "";
 }

@@ -19,7 +19,9 @@ namespace {
 namespace fs = std::filesystem;
 
 constexpr uint32_t kMetaMagic = 0x4D4D4554u;  // "MMET"
-constexpr uint32_t kMetaVersion = 1;
+// v2 appends the open-client-transaction section; v1 files (no section)
+// still load.
+constexpr uint32_t kMetaVersion = 2;
 constexpr uint64_t kFnvOffset = 14695981039346656037ull;
 
 void PutU32(std::string* out, uint32_t v) {
@@ -190,6 +192,27 @@ Status Durability::LogHint(uint64_t txn_id, const std::string& compensation_sql)
   return AppendLocked(WalRecordType::kTxnHint, payload);
 }
 
+Result<uint64_t> Durability::BeginDetachedTxn() {
+  uint64_t txn_id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
+  WalTxnRecord rec;
+  rec.txn_id = txn_id;
+  std::string payload = EncodeWalTxn(rec);
+  std::lock_guard<Latch> lock(mu_);
+  MTDB_RETURN_IF_ERROR(AppendLocked(WalRecordType::kTxnBegin, payload));
+  counters_.OnTxnBegin();
+  return txn_id;
+}
+
+Status Durability::EndDetachedTxn(uint64_t txn_id) {
+  WalTxnRecord rec;
+  rec.txn_id = txn_id;
+  std::string payload = EncodeWalTxn(rec);
+  std::lock_guard<Latch> lock(mu_);
+  MTDB_RETURN_IF_ERROR(AppendLocked(WalRecordType::kTxnEnd, payload));
+  counters_.OnTxnEnd();
+  return Status::OK();
+}
+
 Status Durability::EndTxn(uint64_t txn_id) {
   WalTxnRecord rec;
   rec.txn_id = txn_id;
@@ -228,6 +251,15 @@ Status Durability::StoreMeta(const CheckpointMeta& meta) {
   for (PageId id : meta.free_list) PutI32(&buf, id);
   PutU64(&buf, meta.catalog_blob.size());
   buf.append(meta.catalog_blob);
+  PutU64(&buf, meta.open_txns.size());
+  for (const OpenTxnMeta& txn : meta.open_txns) {
+    PutU64(&buf, txn.txn_id);
+    PutU64(&buf, txn.hints.size());
+    for (const std::string& hint : txn.hints) {
+      PutU64(&buf, hint.size());
+      buf.append(hint);
+    }
+  }
   PutU64(&buf, WalChecksum(buf.data(), buf.size(), kFnvOffset));
 
   std::FILE* f = std::fopen(MetaTmpPath().c_str(), "wb");
@@ -282,7 +314,7 @@ Status Durability::LoadMeta(CheckpointMeta* meta, bool* found) {
   uint32_t magic = 0, version = 0, page_size = 0;
   uint64_t page_count = 0;
   if (!cur.U32(&magic) || magic != kMetaMagic || !cur.U32(&version) ||
-      version != kMetaVersion || !cur.U32(&page_size) ||
+      version < 1 || version > kMetaVersion || !cur.U32(&page_size) ||
       page_size != store_->page_size() || !cur.U64(&meta->ckpt_lsn) ||
       !cur.U64(&meta->next_txn_id) || !cur.U64(&page_count)) {
     return Status::DataLoss("checkpoint meta header malformed");
@@ -312,15 +344,43 @@ Status Durability::LoadMeta(CheckpointMeta* meta, bool* found) {
     meta->free_list.push_back(id);
   }
   uint64_t blob_len = 0;
-  if (!cur.U64(&blob_len) || !cur.Bytes(&meta->catalog_blob, blob_len) ||
-      !cur.AtEnd()) {
+  if (!cur.U64(&blob_len) || !cur.Bytes(&meta->catalog_blob, blob_len)) {
     return Status::DataLoss("checkpoint meta catalog blob malformed");
+  }
+  meta->open_txns.clear();
+  if (version >= 2) {
+    uint64_t txn_count = 0;
+    if (!cur.U64(&txn_count)) {
+      return Status::DataLoss("checkpoint meta open-txn section malformed");
+    }
+    meta->open_txns.reserve(txn_count);
+    for (uint64_t i = 0; i < txn_count; i++) {
+      OpenTxnMeta txn;
+      uint64_t hint_count = 0;
+      if (!cur.U64(&txn.txn_id) || !cur.U64(&hint_count)) {
+        return Status::DataLoss("checkpoint meta open-txn section malformed");
+      }
+      txn.hints.reserve(hint_count);
+      for (uint64_t h = 0; h < hint_count; h++) {
+        uint64_t len = 0;
+        std::string sql;
+        if (!cur.U64(&len) || !cur.Bytes(&sql, len)) {
+          return Status::DataLoss("checkpoint meta open-txn hint malformed");
+        }
+        txn.hints.push_back(std::move(sql));
+      }
+      meta->open_txns.push_back(std::move(txn));
+    }
+  }
+  if (!cur.AtEnd()) {
+    return Status::DataLoss("checkpoint meta has trailing bytes");
   }
   *found = true;
   return Status::OK();
 }
 
-Status Durability::WriteCheckpoint(const std::string& catalog_blob) {
+Status Durability::WriteCheckpoint(const std::string& catalog_blob,
+                                   const std::vector<OpenTxnMeta>& open_txns) {
   MTDB_RETURN_IF_ERROR(MaybeCrash());  // crash site: checkpoint-begin
   MTDB_RETURN_IF_ERROR(pool_->FlushAll());
   std::vector<PageId> dirty = store_->DirtySinceCheckpoint();
@@ -381,6 +441,7 @@ Status Durability::WriteCheckpoint(const std::string& catalog_blob) {
   }
   meta.free_list = store_->FreeListSnapshot();
   meta.catalog_blob = catalog_blob;
+  meta.open_txns = open_txns;
   MTDB_RETURN_IF_ERROR(StoreMeta(meta));
 
   // Crash site: meta installed, WAL not yet truncated. Replay skips every
@@ -446,6 +507,20 @@ Result<RecoveredState> Durability::Recover() {
   state.catalog_blob = meta.catalog_blob;
   std::map<int32_t, WalTableMeta> overrides;
   std::map<uint64_t, std::vector<RecoveredTxnHint>> open_txns;
+  // Client transactions open at the last checkpoint: their WAL records
+  // were truncated, so their hints come from the meta file. Pseudo-lsns
+  // 1..k keep within-txn order and sort before every surviving log
+  // record: each hint once occupied a real lsn <= ckpt_lsn, so
+  // k <= ckpt_lsn < the lsn of anything still in the log. A kTxnEnd
+  // surviving in the log (commit after the checkpoint) closes the
+  // meta-seeded entry exactly like a log-seeded one.
+  uint64_t pseudo_lsn = 0;
+  for (const OpenTxnMeta& txn : meta.open_txns) {
+    auto& list = open_txns[txn.txn_id];
+    for (const std::string& sql : txn.hints) {
+      list.push_back({++pseudo_lsn, txn.txn_id, sql});
+    }
+  }
   std::unordered_set<PageId> touched;
   // Alloc/dealloc order at the store is a global total order, but group
   // append order only follows latch order per table: concurrent
@@ -493,18 +568,25 @@ Result<RecoveredState> Durability::Recover() {
         break;
       }
       case WalRecordType::kTxnBegin: {
+        // Txn records at or below ckpt_lsn are already accounted for by
+        // the checkpoint (closed txns are resolved; open ones travel in
+        // meta.open_txns). Replaying them would double-count hints when
+        // a crash lands between meta install and WAL truncation.
+        if (rec.lsn <= meta.ckpt_lsn) break;
         MTDB_ASSIGN_OR_RETURN(WalTxnRecord txn, DecodeWalTxn(rec.payload));
         max_txn = std::max(max_txn, txn.txn_id);
         open_txns[txn.txn_id];
         break;
       }
       case WalRecordType::kTxnHint: {
+        if (rec.lsn <= meta.ckpt_lsn) break;
         MTDB_ASSIGN_OR_RETURN(WalTxnRecord txn, DecodeWalTxn(rec.payload));
         max_txn = std::max(max_txn, txn.txn_id);
         open_txns[txn.txn_id].push_back({rec.lsn, txn.txn_id, txn.sql});
         break;
       }
       case WalRecordType::kTxnEnd: {
+        if (rec.lsn <= meta.ckpt_lsn) break;
         MTDB_ASSIGN_OR_RETURN(WalTxnRecord txn, DecodeWalTxn(rec.payload));
         max_txn = std::max(max_txn, txn.txn_id);
         open_txns.erase(txn.txn_id);

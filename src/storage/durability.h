@@ -31,6 +31,15 @@ struct RecoveredTxnHint {
   std::string sql;
 };
 
+/// A client transaction still open at checkpoint time. Checkpoints must
+/// not lose the undo information of open transactions when they truncate
+/// the WAL, so the accumulated compensation hints travel in the meta
+/// file (v2) and are re-seeded into replay on recovery.
+struct OpenTxnMeta {
+  uint64_t txn_id = 0;
+  std::vector<std::string> hints;  // compensation SQL, staging order
+};
+
 /// What WAL replay hands back to the engine: the last catalog snapshot,
 /// the physical-location overrides accumulated since it (heap first
 /// pages, index roots), and the open logical transactions to undo.
@@ -89,11 +98,23 @@ class Durability {
   Status LogHint(uint64_t txn_id, const std::string& compensation_sql);
   Status EndTxn(uint64_t txn_id);
 
+  /// Detached variant of the bracket for *client* transactions that span
+  /// statements: appends the begin/end record without touching the txn
+  /// gate. The caller (Database's client-txn registry) owns gate
+  /// discipline — it takes the gate shared only around each append, never
+  /// across statements, and checkpoints instead carry open client
+  /// transactions forward in the meta file.
+  Result<uint64_t> BeginDetachedTxn();
+  Status EndDetachedTxn(uint64_t txn_id);
+
   /// Writes the checkpoint: FlushAll, dirty store pages into pages.db,
   /// meta (tmp + atomic rename), then WAL truncation last. The caller
   /// must have quiesced all statements (engine DDL latch exclusive) and
-  /// hold the txn gate exclusively.
-  Status WriteCheckpoint(const std::string& catalog_blob);
+  /// hold the txn gate exclusively. `open_txns` carries the undo hints of
+  /// client transactions still open at this instant; truncation erases
+  /// their WAL records, so the meta copy is what recovery replays.
+  Status WriteCheckpoint(const std::string& catalog_blob,
+                         const std::vector<OpenTxnMeta>& open_txns = {});
 
   /// The gate ordered above the engine's DDL latch: statements inside a
   /// logical txn hold it shared; checkpoints take it exclusively.
@@ -132,6 +153,7 @@ class Durability {
     std::vector<std::pair<PageType, uint64_t>> pages;  // slot -> type, sum
     std::vector<PageId> free_list;
     std::string catalog_blob;
+    std::vector<OpenTxnMeta> open_txns;  // meta v2; empty in v1 files
   };
   Status LoadMeta(CheckpointMeta* meta, bool* found);
   Status StoreMeta(const CheckpointMeta& meta);

@@ -14,6 +14,7 @@
 #include "analysis/verifier.h"
 #include "common/fault.h"
 #include "common/rng.h"
+#include "core/tenant_session.h"
 #include "mapping_test_util.h"
 #include "storage/wal.h"
 
@@ -434,6 +435,373 @@ TEST_P(RecoverySiteSweepTest, EveryCrashSiteRecoversToShadow) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Layouts, RecoverySiteSweepTest,
+                         ::testing::Values(LayoutKind::kPrivate,
+                                           LayoutKind::kChunkFolding),
+                         [](const ::testing::TestParamInfo<LayoutKind>& info) {
+                           return LayoutKindName(info.param);
+                         });
+
+// ---- Client-transaction crash matrix ----------------------------------
+//
+// Crashes inside open client transactions: the shadow holds only what
+// COMMIT acknowledged. Statements acked inside a transaction that never
+// reached its commit record must vanish on recovery; acked COMMITs must
+// survive; a kill mid-ROLLBACK (while compensations are being replayed
+// and their WAL groups appended) must still erase the transaction.
+
+/// Randomized matrix over every layout × seeds: autocommit statements
+/// interleave with transactional bursts (BEGIN; 1..4 DML; COMMIT or
+/// ROLLBACK) through the TenantSession front door while the seeded
+/// injector kills the durability layer. The shadow applies autocommit
+/// statements when they ack and a burst's statements only when its
+/// COMMIT acks.
+class TxnRecoveryTest
+    : public ::testing::TestWithParam<std::tuple<LayoutKind, uint64_t>> {};
+
+TEST_P(TxnRecoveryTest, CrashInsideTransactionsRecoversCommittedOnly) {
+  const LayoutKind kind = std::get<0>(GetParam());
+  const uint64_t seed = std::get<1>(GetParam());
+
+  AppSchema app = FigureFourSchema();
+  const std::string dir = FreshDir(std::string("txn_") +
+                                   LayoutKindName(kind) + "_seed" +
+                                   std::to_string(seed));
+  EngineOptions options;
+  options.checkpoint_interval_bytes = 96 * 1024;
+
+  auto opened = Database::Open(DatabaseOptions::WithPath(dir, options));
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  std::unique_ptr<Database> db = std::move(*opened);
+  std::unique_ptr<SchemaMapping> layout = MakeLayout(kind, db.get(), &app);
+  ASSERT_TRUE(layout->Bootstrap().ok());
+
+  constexpr TenantId kTenants = 2;
+  for (TenantId t = 0; t < kTenants; ++t) {
+    ASSERT_TRUE(layout->CreateTenant(t).ok());
+  }
+  layout->set_quarantine_threshold(1'000'000);
+
+  FaultInjector injector(seed);
+  Rng rng(seed * 9173 + 29);
+
+  ShadowTable shadow[kTenants];
+  int64_t next_aid = 1;
+  int crashes = 0;
+  int commits = 0;
+
+  auto reopen = [&]() {
+    db->page_store()->set_fault_injector(nullptr);
+    layout.reset();
+    db.reset();
+    auto r = Database::Open(DatabaseOptions::WithPath(dir, options));
+    ASSERT_TRUE(r.ok()) << "reopen: " << r.status().ToString();
+    db = std::move(*r);
+    layout = MakeLayout(kind, db.get(), &app);
+    Status rec = layout->Recover();
+    ASSERT_TRUE(rec.ok()) << "layout recover: " << rec.ToString();
+    layout->set_quarantine_threshold(1'000'000);
+  };
+
+  // Even cycles arm a one-shot kill a random number of WAL appends in;
+  // odd cycles run clean, guaranteeing committed bursts exist for the
+  // kill cycles to preserve (chunk-family layouts burn many appends per
+  // statement, so an always-armed schedule would never reach a COMMIT).
+  constexpr int kCycles = 6;
+  for (int cycle = 0; cycle < kCycles; ++cycle) {
+    db->page_store()->set_fault_injector(&injector);
+    injector.DisarmAll();
+    if (cycle % 2 == 0) {
+      FaultSpec spec;
+      spec.probability = 1.0;
+      spec.skip = static_cast<uint64_t>(rng.Uniform(2, 80));
+      spec.max_fires = 1;
+      injector.Arm(FaultPoint::kCrash, spec);
+    }
+
+    bool crashed = false;
+    for (int op = 0; op < 40 && !crashed; ++op) {
+      if (db->durability()->frozen()) {
+        crashed = true;
+        break;
+      }
+      layout->set_dml_mode(rng.Bernoulli(0.5) ? DmlMode::kBatched
+                                              : DmlMode::kPerRow);
+      TenantId t = static_cast<TenantId>(rng.Uniform(0, kTenants - 1));
+
+      if (rng.Bernoulli(0.4)) {  // autocommit single statement
+        int64_t aid = next_aid++;
+        std::string name = rng.Word(3, 8);
+        auto r = layout->Execute(
+            t, "INSERT INTO account (aid, name) VALUES (?, ?)",
+            {Value::Int64(aid), Value::String(name)});
+        if (r.ok()) {
+          shadow[t].emplace(aid, std::vector<Value>{Value::Int64(aid),
+                                                    Value::String(name)});
+        } else {
+          ASSERT_TRUE(db->durability()->frozen()) << r.status().ToString();
+          crashed = true;
+        }
+        continue;
+      }
+
+      // Transactional burst. Pending mutations apply to the shadow only
+      // if COMMIT acknowledges.
+      TenantSession session = layout->OpenSession(t);
+      if (!session.Begin().ok()) {
+        ASSERT_TRUE(db->durability()->frozen());
+        crashed = true;
+        break;
+      }
+      ShadowTable pending = shadow[t];
+      bool burst_ok = true;
+      const int stmts = static_cast<int>(rng.Uniform(1, 4));
+      for (int s = 0; s < stmts && burst_ok; ++s) {
+        const int action = static_cast<int>(rng.Uniform(0, 3));
+        Result<int64_t> r = 0;
+        if (action == 0 || pending.empty()) {
+          int64_t aid = next_aid++;
+          std::string name = rng.Word(3, 8);
+          r = session.Execute(
+              "INSERT INTO account (aid, name) VALUES (?, ?)",
+              {Value::Int64(aid), Value::String(name)});
+          if (r.ok()) {
+            pending.emplace(aid, std::vector<Value>{Value::Int64(aid),
+                                                    Value::String(name)});
+          }
+        } else if (action == 1) {
+          auto it = pending.begin();
+          std::advance(it, static_cast<ptrdiff_t>(rng.Uniform(
+                               0, static_cast<int64_t>(pending.size()) - 1)));
+          std::string name = rng.Word(3, 8);
+          r = session.Execute("UPDATE account SET name = ? WHERE aid = ?",
+                              {Value::String(name), Value::Int64(it->first)});
+          if (r.ok()) it->second[1] = Value::String(name);
+        } else {
+          auto it = pending.begin();
+          std::advance(it, static_cast<ptrdiff_t>(rng.Uniform(
+                               0, static_cast<int64_t>(pending.size()) - 1)));
+          r = session.Execute("DELETE FROM account WHERE aid = ?",
+                              {Value::Int64(it->first)});
+          if (r.ok()) pending.erase(it);
+        }
+        if (!r.ok()) {
+          ASSERT_TRUE(db->durability()->frozen()) << r.status().ToString();
+          crashed = true;
+          burst_ok = false;
+        }
+      }
+      if (burst_ok && rng.Bernoulli(0.7)) {
+        if (session.Commit().ok()) {
+          shadow[t] = std::move(pending);
+          ++commits;
+        } else {
+          // A failed COMMIT did not ack: the kill beat the end record
+          // to the log and recovery erases the transaction.
+          ASSERT_TRUE(db->durability()->frozen());
+          crashed = true;
+        }
+      } else if (burst_ok) {
+        // Runtime rollback. The kill can land mid-replay; the result is
+        // the same either way — nothing of the burst survives.
+        (void)session.Rollback();
+        if (db->durability()->frozen()) crashed = true;
+      }
+      // Session teardown auto-rolls-back any bracket the crash left
+      // open; on a frozen engine that is best-effort and recovery
+      // finishes the job.
+    }
+
+    injector.DisarmAll();
+    if (crashed) {
+      ++crashes;
+      reopen();
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+    for (TenantId t = 0; t < kTenants; ++t) {
+      VerifyTenant(layout.get(), t, shadow[t], "after txn cycle");
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+
+  EXPECT_GT(crashes, 0) << "no cycle crashed; txn recovery never exercised";
+  EXPECT_GT(commits, 0) << "no burst committed; matrix is vacuous";
+  for (TenantId t = 0; t < kTenants; ++t) {
+    VerifyTenant(layout.get(), t, shadow[t], "final");
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  AuditLayout(layout.get(), "final txn audit");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LayoutsAndSeeds, TxnRecoveryTest,
+    ::testing::Combine(
+        ::testing::Values(LayoutKind::kBasic, LayoutKind::kPrivate,
+                          LayoutKind::kExtension, LayoutKind::kUniversal,
+                          LayoutKind::kPivot, LayoutKind::kChunk,
+                          LayoutKind::kVertical, LayoutKind::kChunkFolding),
+        ::testing::Values(1u, 2u, 3u, 4u, 5u)),
+    [](const ::testing::TestParamInfo<TxnRecoveryTest::ParamType>& info) {
+      return std::string(LayoutKindName(std::get<0>(info.param))) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+/// Deterministic transactional site sweep: a fixed scripted workload —
+/// a committed transaction, a checkpoint inside an open transaction, a
+/// runtime ROLLBACK (whose compensation replay appends its own WAL
+/// groups), and a transaction left open at teardown — is dry-run to
+/// count kCrash evaluations, then re-run once per site with the kill
+/// pinned there. Every kill must recover to the committed-only shadow:
+/// crashes before the commit record erase the transaction, crashes
+/// after it keep the whole group, and crashes mid-rollback still erase
+/// it.
+class TxnRecoverySiteSweepTest : public ::testing::TestWithParam<LayoutKind> {
+};
+
+TEST_P(TxnRecoverySiteSweepTest, EveryCrashSiteRecoversCommittedOnly) {
+  const LayoutKind kind = GetParam();
+  AppSchema app = FigureFourSchema();
+  const std::string dir =
+      FreshDir(std::string("txn_sweep_") + LayoutKindName(kind));
+
+  auto run_iteration = [&](const FaultSpec& spec, uint64_t* evaluations,
+                           bool* killed) {
+    fs::remove_all(dir);
+    auto opened = Database::Open(DatabaseOptions::WithPath(dir));
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    std::unique_ptr<Database> db = std::move(*opened);
+    std::unique_ptr<SchemaMapping> layout = MakeLayout(kind, db.get(), &app);
+    ASSERT_TRUE(layout->Bootstrap().ok());
+    ASSERT_TRUE(layout->CreateTenant(0).ok());
+
+    FaultInjector injector(13);
+    injector.Arm(FaultPoint::kCrash, spec);
+    db->page_store()->set_fault_injector(&injector);
+
+    ShadowTable shadow;
+    bool crashed = false;
+
+    // Autocommit seed row.
+    {
+      auto r = layout->Execute(
+          0, "INSERT INTO account (aid, name) VALUES (1, 'base')", {});
+      if (r.ok()) {
+        shadow.emplace(1, std::vector<Value>{Value::Int64(1),
+                                             Value::String("base")});
+      } else {
+        ASSERT_TRUE(db->durability()->frozen()) << r.status().ToString();
+        crashed = true;
+      }
+    }
+
+    // Transaction 1: committed — all-or-nothing around the kill.
+    if (!crashed) {
+      TenantSession s = layout->OpenSession(0);
+      bool ok = s.Begin().ok();
+      ok = ok && s.Execute("INSERT INTO account (aid, name) VALUES (2, 'a'), "
+                           "(3, 'b')")
+                     .ok();
+      ok = ok &&
+           s.Execute("UPDATE account SET name = 'a2' WHERE aid = 2").ok();
+      ok = ok && s.Commit().ok();
+      if (ok) {
+        shadow.emplace(2, std::vector<Value>{Value::Int64(2),
+                                             Value::String("a2")});
+        shadow.emplace(3, std::vector<Value>{Value::Int64(3),
+                                             Value::String("b")});
+      } else {
+        ASSERT_TRUE(db->durability()->frozen());
+        crashed = true;
+      }
+    }
+
+    // Transaction 2: checkpoint lands mid-bracket (hints move to meta
+    // v2), then the transaction rolls back at runtime — compensations
+    // append their own groups, so kills land mid-rollback too.
+    if (!crashed) {
+      TenantSession s = layout->OpenSession(0);
+      bool ok = s.Begin().ok();
+      ok = ok &&
+           s.Execute("INSERT INTO account (aid, name) VALUES (4, 'tmp')")
+               .ok();
+      if (ok) {
+        Status ck = db->Checkpoint();
+        if (!ck.ok()) {
+          ASSERT_TRUE(db->durability()->frozen()) << ck.ToString();
+          ok = false;
+        }
+      }
+      ok = ok &&
+           s.Execute("UPDATE account SET name = 'tmp2' WHERE aid = 4").ok();
+      if (ok) {
+        (void)s.Rollback();
+      }
+      if (!ok || db->durability()->frozen()) {
+        crashed = db->durability()->frozen();
+        if (!ok) {
+          ASSERT_TRUE(crashed);
+        }
+      }
+      // Rolled back (or killed): aid 4 is never in the shadow.
+    }
+
+    // Transaction 3: left open — teardown auto-rollback, and any kill
+    // before/within it must still erase the insert.
+    if (!crashed) {
+      TenantSession s = layout->OpenSession(0);
+      bool ok = s.Begin().ok();
+      ok = ok &&
+           s.Execute("INSERT INTO account (aid, name) VALUES (5, 'open')")
+               .ok();
+      if (!ok) {
+        ASSERT_TRUE(db->durability()->frozen());
+        crashed = true;
+      }
+      // Session destructor rolls the bracket back here.
+    }
+    if (!crashed && db->durability()->frozen()) crashed = true;
+
+    *evaluations = injector.evaluations(FaultPoint::kCrash);
+    *killed = crashed;
+
+    db->page_store()->set_fault_injector(nullptr);
+    if (crashed) {
+      layout.reset();
+      db.reset();
+      auto r = Database::Open(DatabaseOptions::WithPath(dir));
+      ASSERT_TRUE(r.ok()) << "reopen: " << r.status().ToString();
+      db = std::move(*r);
+      layout = MakeLayout(kind, db.get(), &app);
+      Status rec = layout->Recover();
+      ASSERT_TRUE(rec.ok()) << "layout recover: " << rec.ToString();
+    }
+    VerifyTenant(layout.get(), 0, shadow, "txn sweep");
+    AuditLayout(layout.get(), "txn sweep audit");
+  };
+
+  FaultSpec dry;
+  dry.probability = 0.0;
+  uint64_t total_sites = 0;
+  bool killed = false;
+  run_iteration(dry, &total_sites, &killed);
+  if (::testing::Test::HasFatalFailure()) return;
+  ASSERT_FALSE(killed);
+  ASSERT_GT(total_sites, 0u) << "workload never consulted kCrash";
+
+  for (uint64_t site = 0; site <= total_sites; ++site) {
+    SCOPED_TRACE("txn crash site " + std::to_string(site) + " of " +
+                 std::to_string(total_sites));
+    FaultSpec spec;
+    spec.probability = 1.0;
+    spec.skip = site;
+    spec.max_fires = 1;
+    uint64_t evals = 0;
+    run_iteration(spec, &evals, &killed);
+    if (::testing::Test::HasFatalFailure()) return;
+    EXPECT_EQ(killed, site < total_sites);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Layouts, TxnRecoverySiteSweepTest,
                          ::testing::Values(LayoutKind::kPrivate,
                                            LayoutKind::kChunkFolding),
                          [](const ::testing::TestParamInfo<LayoutKind>& info) {
