@@ -37,6 +37,10 @@ const char* LatchRankName(LatchRank rank) {
       return "TableIndex";
     case LatchRank::kDdl:
       return "Ddl";
+    case LatchRank::kLockWaitGraph:
+      return "LockWaitGraph";
+    case LatchRank::kLockShard:
+      return "LockShard";
     case LatchRank::kTxnGate:
       return "TxnGate";
     case LatchRank::kMappingTableNum:

@@ -28,6 +28,12 @@ namespace mtdb {
 ///  * kWal sits below kTableIndex: the durability contract appends a
 ///    statement's redo group while its exclusive table latches are still
 ///    held, so the log order matches memory order per table.
+///  * kLockShard/kLockWaitGraph sit BELOW kTxnGate: a multi-row insert
+///    acquires the lock on each fresh row id while the statement undo
+///    log already holds the txn gate shared, so the lock-table latches
+///    must be inner to the gate. They sit ABOVE kMappingCache so a
+///    blocked acquisition (which parks on the shard's condvar with the
+///    shard latch released) can never pin a mapping-layer latch.
 ///  * kTxnGate sits ABOVE the mapping-layer cache/row latches: the
 ///    statement undo log opens a WAL logical transaction (txn gate held
 ///    shared) before the per-source write loop, and later loop
@@ -51,6 +57,8 @@ enum class LatchRank : uint8_t {
   kMappingTableNum = 80,   // SchemaMapping::table_number_mu_
   kMappingCache = 90,      // SchemaMapping::cache_mu_
   kTenantRow = 100,        // TenantEntry::row_mu; ordered by TenantId
+  kLockWaitGraph = 103,    // LockManager::graph_mu_ (holders + wait-for graph)
+  kLockShard = 106,        // LockManager shard latches (hash-partitioned)
   kTxnGate = 110,          // Durability::txn_gate_
   kMappingLayer = 120,     // SchemaMapping::layer_mu_
   kAdmission = 125,        // AdmissionController::mu_ (outermost)

@@ -36,6 +36,8 @@ const char* StatusCodeName(StatusCode code) {
       return "DeadlineExceeded";
     case StatusCode::kFailedPrecondition:
       return "FailedPrecondition";
+    case StatusCode::kAborted:
+      return "Aborted";
   }
   return "Unknown";
 }

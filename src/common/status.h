@@ -24,6 +24,7 @@ enum class StatusCode {
   kUnavailable,  // resource (e.g. a quarantined tenant) refuses service
   kDeadlineExceeded,  // statement ran past its deadline; partial work undone
   kFailedPrecondition,  // session/transaction state forbids the operation
+  kAborted,  // chosen as deadlock victim; transaction rolled back, retry it
 };
 
 /// Arrow/RocksDB-style status object. The engine does not use exceptions;
@@ -80,6 +81,9 @@ class [[nodiscard]] Status {
   }
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,5 +1,7 @@
 #include "core/basic_layout.h"
 
+#include "engine/lock_manager.h"
+
 namespace mtdb {
 namespace mapping {
 
@@ -81,6 +83,16 @@ Result<int64_t> BasicLayout::GenericUpdate(TenantId tenant,
       stmt.where == nullptr ? nullptr : stmt.where->Clone());
   NotifyStatement(tenant, phys);
   if (Explaining()) return 0;
+  // §15: pass-through DML has no Phase (a) row set, so the whole-table
+  // X fallback serializes this tenant's logical writers up front; the
+  // physical statement then runs after the winner commits and sees its
+  // post-commit image by construction.
+  if (lock::StatementLockContext* locks =
+          lock::StatementLockContext::Current();
+      locks != nullptr && locks->enabled()) {
+    MTDB_RETURN_IF_ERROR(
+        locks->LockTable(IdentLower(stmt.table), lock::LockMode::kX));
+  }
   stats_.physical_statements++;
   return db_->ExecuteAst(phys, params);
 }
@@ -97,6 +109,16 @@ Result<int64_t> BasicLayout::GenericDelete(TenantId tenant,
       stmt.where == nullptr ? nullptr : stmt.where->Clone());
   NotifyStatement(tenant, phys);
   if (Explaining()) return 0;
+  // §15: pass-through DML has no Phase (a) row set, so the whole-table
+  // X fallback serializes this tenant's logical writers up front; the
+  // physical statement then runs after the winner commits and sees its
+  // post-commit image by construction.
+  if (lock::StatementLockContext* locks =
+          lock::StatementLockContext::Current();
+      locks != nullptr && locks->enabled()) {
+    MTDB_RETURN_IF_ERROR(
+        locks->LockTable(IdentLower(stmt.table), lock::LockMode::kX));
+  }
   stats_.physical_statements++;
   return db_->ExecuteAst(phys, params);
 }

@@ -8,6 +8,8 @@
 #include "common/deadline.h"
 #include "core/tenant_session.h"
 #include "core/undo_log.h"
+#include "engine/lock_manager.h"
+#include "engine/txn_context.h"
 #include "sql/ast_util.h"
 #include "sql/parser.h"
 #include "sql/printer.h"
@@ -740,6 +742,15 @@ Result<int64_t> SchemaMapping::Execute(TenantId tenant, const std::string& sql,
   std::shared_lock<SharedLatch> lock(layer_mu_);
   ProbeGuard probe;
   MTDB_RETURN_IF_ERROR(CheckTenantAvailable(tenant, &probe));
+  // Row-lock scope for this write statement (DESIGN.md §15). Inside a
+  // client bracket the locks join the transaction's holder and survive
+  // until COMMIT/ROLLBACK; otherwise they are statement-duration and the
+  // scope's destructor — which runs after the Generic* bodies have
+  // rolled back or finished their undo log — releases them.
+  txn::TransactionContext* txn = txn::TransactionContext::Current();
+  lock::StatementLockContext locks(
+      db_->lock_manager(), tenant,
+      txn != nullptr ? txn->EnsureLockHolder() : 0);
   MTDB_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql));
   stats_.statements_transformed++;
   Result<int64_t> out = [&]() -> Result<int64_t> {
@@ -766,6 +777,11 @@ Result<int64_t> SchemaMapping::InsertRow(TenantId tenant,
   std::shared_lock<SharedLatch> lock(layer_mu_);
   ProbeGuard probe;
   MTDB_RETURN_IF_ERROR(CheckTenantAvailable(tenant, &probe));
+  // See Execute(): same row-lock scope around the structured insert.
+  txn::TransactionContext* txn = txn::TransactionContext::Current();
+  lock::StatementLockContext locks(
+      db_->lock_manager(), tenant,
+      txn != nullptr ? txn->EnsureLockHolder() : 0);
   MTDB_ASSIGN_OR_RETURN(EffectiveTable eff, GetEffective(tenant, table));
   std::vector<std::string> columns;
   for (size_t i = 0; i < row.size() && i < eff.columns.size(); ++i) {
@@ -976,6 +992,23 @@ Result<int64_t> SchemaMapping::InsertMappedRow(
     }
   }
 
+  // §15: inserts lock before the first undo Stage(), like updates. With
+  // row ids the per-row X lock is on a fresh id — it can never block —
+  // and the table intent can only wait on the first row of a statement
+  // (later rows re-probe an owned lock), so a blocked wait never pins
+  // the txn gate. Without row ids the whole-table X is the write lock.
+  if (lock::StatementLockContext* locks = lock::StatementLockContext::Current();
+      locks != nullptr && locks->enabled() && !Explaining()) {
+    if (needs_row) {
+      MTDB_RETURN_IF_ERROR(
+          locks->LockTable(IdentLower(table), lock::LockMode::kIntentX));
+      MTDB_RETURN_IF_ERROR(locks->LockRow(IdentLower(table), row_id));
+    } else {
+      MTDB_RETURN_IF_ERROR(
+          locks->LockTable(IdentLower(table), lock::LockMode::kX));
+    }
+  }
+
   // Value per logical column (lower-cased name).
   std::unordered_map<std::string, const Value*> provided;
   for (size_t i = 0; i < columns.size(); ++i) {
@@ -1130,6 +1163,82 @@ Result<std::vector<SchemaMapping::AffectedRow>> SchemaMapping::CollectAffected(
   return out;
 }
 
+Status SchemaMapping::LockAffectedRows(TenantId tenant,
+                                       const std::string& table,
+                                       bool rows_lockable,
+                                       std::vector<AffectedRow>* affected,
+                                       const sql::ParsedExpr* where,
+                                       const std::vector<Value>& params) {
+  lock::StatementLockContext* locks = lock::StatementLockContext::Current();
+  if (locks == nullptr || !locks->enabled() || Explaining()) {
+    return Status::OK();
+  }
+  const std::string key = IdentLower(table);
+  if (!rows_lockable) {
+    // No row ids: rows are addressed by value, so the honest lock
+    // granularity is the whole (tenant, table). Still per tenant —
+    // co-located tenants in shared physical tables never contend.
+    locks->clear_waited();
+    MTDB_RETURN_IF_ERROR(locks->LockTable(key, lock::LockMode::kX));
+    if (locks->waited()) {
+      MTDB_ASSIGN_OR_RETURN(*affected,
+                            CollectAffected(tenant, table, where, params));
+    }
+    return Status::OK();
+  }
+  // Single-row fast path: the common OLTP write touches one row, so
+  // take the table intent and the row lock in one combined shard visit
+  // and skip the fixed-point bookkeeping (set, sort, dedup) entirely —
+  // unless an acquisition blocked; only then can the winner have
+  // changed which rows match, forcing the re-collect below.
+  if (affected->size() == 1) {
+    locks->clear_waited();
+    MTDB_RETURN_IF_ERROR(
+        locks->LockRowWithIntent(key, affected->front().row_id));
+    if (!locks->waited()) return Status::OK();
+    MTDB_ASSIGN_OR_RETURN(*affected,
+                          CollectAffected(tenant, table, where, params));
+    // Fall through to the general loop; the locks taken above stay held
+    // and re-acquiring them there is an idempotent probe.
+  }
+  MTDB_RETURN_IF_ERROR(locks->LockTable(key, lock::LockMode::kIntentX));
+  std::set<int64_t> locked;
+  // Bounded fixed-point loop: lock the affected rows in ascending row-id
+  // order (deterministic order keeps same-statement deadlocks out);
+  // whenever an acquisition blocked, the winner may have changed which
+  // rows match, so re-run Phase (a) and lock any newcomers too.
+  for (int pass = 0; pass < 8; ++pass) {
+    locks->clear_waited();
+    std::vector<int64_t> todo;
+    for (const AffectedRow& r : *affected) {
+      if (locked.find(r.row_id) == locked.end()) todo.push_back(r.row_id);
+    }
+    std::sort(todo.begin(), todo.end());
+    todo.erase(std::unique(todo.begin(), todo.end()), todo.end());
+    for (int64_t row : todo) {
+      MTDB_RETURN_IF_ERROR(locks->LockRow(key, row));
+      locked.insert(row);
+    }
+    if (!locks->waited()) return Status::OK();
+    MTDB_ASSIGN_OR_RETURN(*affected,
+                          CollectAffected(tenant, table, where, params));
+    bool all_locked = true;
+    for (const AffectedRow& r : *affected) {
+      if (locked.find(r.row_id) == locked.end()) all_locked = false;
+    }
+    if (all_locked) return Status::OK();
+  }
+  // Adversarial churn: after eight passes stop chasing the fixed point
+  // and lock whatever the final Phase (a) returned, so every row the
+  // statement acts on is held even if its image is a pass stale.
+  for (const AffectedRow& r : *affected) {
+    if (locked.find(r.row_id) == locked.end()) {
+      MTDB_RETURN_IF_ERROR(locks->LockRow(key, r.row_id));
+    }
+  }
+  return Status::OK();
+}
+
 namespace {
 
 /// partition AND (row = r1 OR row = r2 OR ...) for one batch.
@@ -1179,6 +1288,14 @@ Result<int64_t> SchemaMapping::GenericUpdate(TenantId tenant,
   MTDB_ASSIGN_OR_RETURN(
       std::vector<AffectedRow> affected,
       CollectAffected(tenant, stmt.table, stmt.where.get(), params));
+  // §15: every affected logical row is X-locked between Phase (a) and
+  // Phase (b), before any undo staging (a blocked wait must never pin
+  // the txn gate). A waiter re-collects, so it updates the winner's
+  // committed image.
+  MTDB_RETURN_IF_ERROR(LockAffectedRows(
+      tenant, stmt.table,
+      !mapping->sources.empty() && !mapping->sources[0].row_column.empty(),
+      &affected, stmt.where.get(), params));
 
   // Resolve assignment targets once (including each target's position in
   // the logical row, which the undo log needs to recover prior values).
@@ -1344,6 +1461,11 @@ Result<int64_t> SchemaMapping::GenericDelete(TenantId tenant,
   MTDB_ASSIGN_OR_RETURN(
       std::vector<AffectedRow> affected,
       CollectAffected(tenant, stmt.table, stmt.where.get(), params));
+  // §15: see GenericUpdate — lock the affected rows before Phase (b).
+  MTDB_RETURN_IF_ERROR(LockAffectedRows(
+      tenant, stmt.table,
+      !mapping->sources.empty() && !mapping->sources[0].row_column.empty(),
+      &affected, stmt.where.get(), params));
 
   StatementUndoLog undo(db_);
   auto fail = [&](const Status& st) -> Status {
@@ -1465,6 +1587,13 @@ Result<int64_t> SchemaMapping::RestoreDeleted(TenantId tenant,
   if (!trashcan_deletes_) {
     return Status::InvalidArgument("layout does not use trashcan deletes");
   }
+  // §15: a restore rewrites every trashcan-deleted row of the table at
+  // once — whole-table X is the honest granularity.
+  txn::TransactionContext* txn = txn::TransactionContext::Current();
+  lock::StatementLockContext locks(
+      db_->lock_manager(), tenant,
+      txn != nullptr ? txn->EnsureLockHolder() : 0);
+  MTDB_RETURN_IF_ERROR(locks.LockTable(IdentLower(table), lock::LockMode::kX));
   MTDB_ASSIGN_OR_RETURN(const TableMapping* mapping, Mapping(tenant, table));
   int64_t restored = 0;
   for (const PhysicalSource& source : mapping->sources) {

@@ -378,6 +378,22 @@ class SchemaMapping : public MappingResolver {
       TenantId tenant, const std::string& table, const sql::ParsedExpr* where,
       const std::vector<Value>& params);
 
+  /// Write-lock acquisition between Phase (a) and Phase (b) (DESIGN.md
+  /// §15): takes the table intent plus an X lock on every affected
+  /// logical row — or, for layouts whose sources carry no row column
+  /// (Basic/Private address rows by value), one whole-table X lock.
+  /// When any acquisition blocked, re-runs Phase (a) under the locks
+  /// now held and locks newly matching rows, so a waiter that was
+  /// serialized behind a committed writer proceeds with the post-commit
+  /// image. No-op unless the statement installed a
+  /// lock::StatementLockContext (admin DDL, EXPLAIN MAPPING, recovery
+  /// and compensation replay never do).
+  Status LockAffectedRows(TenantId tenant, const std::string& table,
+                          bool rows_lockable,
+                          std::vector<AffectedRow>* affected,
+                          const sql::ParsedExpr* where,
+                          const std::vector<Value>& params);
+
   /// Invalidates all cached TableMappings (call after DDL).
   void InvalidateMappings();
 

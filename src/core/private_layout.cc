@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "engine/lock_manager.h"
+
 namespace mtdb {
 namespace mapping {
 
@@ -158,6 +160,16 @@ Result<int64_t> PrivateTableLayout::GenericUpdate(
   if (stmt.where != nullptr) phys.update->where = stmt.where->Clone();
   NotifyStatement(tenant, phys);
   if (Explaining()) return 0;
+  // §15: pass-through DML has no Phase (a) row set, so the whole-table
+  // X fallback serializes this tenant's logical writers up front; the
+  // physical statement then runs after the winner commits and sees its
+  // post-commit image by construction.
+  if (lock::StatementLockContext* locks =
+          lock::StatementLockContext::Current();
+      locks != nullptr && locks->enabled()) {
+    MTDB_RETURN_IF_ERROR(
+        locks->LockTable(IdentLower(stmt.table), lock::LockMode::kX));
+  }
   stats_.physical_statements++;
   return db_->ExecuteAst(phys, params);
 }
@@ -172,6 +184,16 @@ Result<int64_t> PrivateTableLayout::GenericDelete(
   if (stmt.where != nullptr) phys.del->where = stmt.where->Clone();
   NotifyStatement(tenant, phys);
   if (Explaining()) return 0;
+  // §15: pass-through DML has no Phase (a) row set, so the whole-table
+  // X fallback serializes this tenant's logical writers up front; the
+  // physical statement then runs after the winner commits and sees its
+  // post-commit image by construction.
+  if (lock::StatementLockContext* locks =
+          lock::StatementLockContext::Current();
+      locks != nullptr && locks->enabled()) {
+    MTDB_RETURN_IF_ERROR(
+        locks->LockTable(IdentLower(stmt.table), lock::LockMode::kX));
+  }
   stats_.physical_statements++;
   return db_->ExecuteAst(phys, params);
 }

@@ -253,7 +253,11 @@ class TenantSession {
       const StatusCode code = out.status().code();
       if (code == StatusCode::kDeadlineExceeded ||
           code == StatusCode::kResourceExhausted ||
-          code == StatusCode::kUnavailable) {
+          code == StatusCode::kUnavailable ||
+          code == StatusCode::kAborted) {
+        // kAborted: this bracket lost a deadlock and must release its
+        // locks NOW — the cycle partner is still parked waiting for
+        // them. Rollback replays compensation, then drops the lock set.
         (void)txn_->Rollback(/*is_auto=*/true);
         txn_->MarkAborted();
       } else {

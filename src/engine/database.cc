@@ -226,6 +226,10 @@ Database::Database(DatabaseOptions options)
   registry_ = std::make_unique<MetricsRegistry>();
   admission_ = std::make_unique<AdmissionController>(options_db_.admission,
                                                      registry_.get());
+  if (options_db_.row_locks) {
+    lock_manager_ = std::make_unique<lock::LockManager>(
+        registry_.get(), options_db_.lock_shards);
+  }
   store_ = std::make_unique<PageStore>(options_.page_size);
   store_->set_read_latency_ns(options_.read_latency_ns);
   pool_ = std::make_unique<BufferPool>(
@@ -259,6 +263,10 @@ void Database::RegisterEngineGauges() {
   // Adapt the pre-existing counter structs into the registry namespace.
   // Gauges are evaluated at Snapshot() time, outside the registry latch,
   // so taking component latches inside the callbacks is fine.
+  if (lock_manager_ != nullptr) {
+    lock::LockManager* lm = lock_manager_.get();
+    registry_->RegisterGauge("lock.held", [lm] { return lm->held(); });
+  }
   const IoFaultCounters* io = &store_->io_counters();
   registry_->RegisterGauge("io.read_faults",
                            [io] { return io->Snapshot().read_faults; });

@@ -13,6 +13,7 @@
 #include "common/metrics_registry.h"
 #include "common/result.h"
 #include "engine/admission.h"
+#include "engine/lock_manager.h"
 #include "engine/planner.h"
 #include "sql/ast.h"
 #include "storage/buffer_pool.h"
@@ -149,6 +150,14 @@ struct DatabaseOptions {
   /// tripped tenant; doubles per failed probe up to the max.
   uint64_t breaker_backoff_initial_ms = 100;
   uint64_t breaker_backoff_max_ms = 5000;
+  /// Logical-row write locks (DESIGN.md §15): the mapping layer locks
+  /// (tenant, logical table, row id) for every write, client brackets
+  /// keep the locks to COMMIT/ROLLBACK, and a wait-for graph aborts
+  /// deadlock victims with kAborted. On by default; the off switch
+  /// exists for the uncontended-overhead benchmark control arm.
+  bool row_locks = true;
+  /// Lock-table shards (hash-partitioned by lock key).
+  size_t lock_shards = 16;
 
   /// Convenience maker for the common durable-open call.
   static DatabaseOptions WithPath(std::string path,
@@ -302,6 +311,11 @@ class Database {
   /// doors pass every statement through it.
   AdmissionController* admission() { return admission_.get(); }
 
+  /// The logical-row lock manager (DESIGN.md §15), or nullptr when
+  /// DatabaseOptions::row_locks is off. The mapping layer acquires
+  /// through it; TransactionContext owns bracket lock sets.
+  lock::LockManager* lock_manager() { return lock_manager_.get(); }
+
   Catalog* catalog() { return catalog_.get(); }
   BufferPool* buffer_pool() { return pool_.get(); }
   PageStore* page_store() { return store_.get(); }
@@ -385,6 +399,7 @@ class Database {
   std::atomic<PlannerMode> planner_mode_;
   std::unique_ptr<MetricsRegistry> registry_;
   std::unique_ptr<AdmissionController> admission_;
+  std::unique_ptr<lock::LockManager> lock_manager_;
   std::unique_ptr<PageStore> store_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<Catalog> catalog_;

@@ -24,9 +24,12 @@ bool IsDdl(sql::StatementKind kind) {
 // failures, which poison it and wait for the client's ROLLBACK):
 // deadline expiry, admission rejection, breaker-open quarantine.
 bool AbortsTransaction(StatusCode code) {
+  // kAborted = deadlock victim: the bracket must roll back and release
+  // its lock set immediately so the cycle partner can proceed.
   return code == StatusCode::kDeadlineExceeded ||
          code == StatusCode::kResourceExhausted ||
-         code == StatusCode::kUnavailable;
+         code == StatusCode::kUnavailable ||
+         code == StatusCode::kAborted;
 }
 
 }  // namespace

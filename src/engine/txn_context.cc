@@ -30,12 +30,28 @@ TransactionContext::TransactionContext(Database* db, int64_t tenant)
 
 TransactionContext::~TransactionContext() {
   if (begun_) (void)Rollback(/*is_auto=*/true);
+  ReleaseLocks();  // defensive: Commit/Rollback already released
 }
 
 void TransactionContext::BumpCounter(const char* op) {
   db_->metrics_registry()
       ->GetCounter(std::string("txn.") + op + ".t" + std::to_string(tenant_))
       ->Add(1);
+}
+
+uint64_t TransactionContext::EnsureLockHolder() {
+  if (lock_holder_ == 0 && db_->lock_manager() != nullptr) {
+    lock_holder_ = db_->lock_manager()->CreateHolder(tenant_, /*bracket=*/true);
+  }
+  return lock_holder_;
+}
+
+void TransactionContext::ReleaseLocks() {
+  if (lock_holder_ == 0) return;
+  if (db_->lock_manager() != nullptr) {
+    db_->lock_manager()->ReleaseAll(lock_holder_);
+  }
+  lock_holder_ = 0;
 }
 
 Status TransactionContext::Begin() {
@@ -58,6 +74,9 @@ Status TransactionContext::Commit() {
   begun_ = false;
   entries_.clear();
   Status st = db_->EndClientTxn(txn_id_, tenant_);
+  // Row locks drop only once the bracket is fully closed — waiters that
+  // proceed now re-run Phase (a) and see the committed image.
+  ReleaseLocks();
   // A failed end-record append (frozen durability) means the commit is
   // NOT durable: recovery will undo the transaction. Report that.
   if (st.ok()) BumpCounter("commit");
@@ -82,6 +101,9 @@ Status TransactionContext::Rollback(bool is_auto) {
   }
   entries_.clear();
   Status ended = db_->EndClientTxn(txn_id_, tenant_);
+  // Locks release strictly after the compensations replayed above: the
+  // rolled-back rows stay write-isolated until their pre-images are back.
+  ReleaseLocks();
   if (first_error.ok()) first_error = ended;
   BumpCounter(is_auto ? "auto_rollback" : "rollback");
   return first_error;

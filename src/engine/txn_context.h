@@ -42,7 +42,8 @@ namespace txn {
 ///               with whatever the client does next, so everything except
 ///               ROLLBACK now returns kFailedPrecondition.
 ///   kAborted  — the session already rolled the transaction back itself
-///               (deadline expiry, admission rejection, breaker open).
+///               (deadline expiry, admission rejection, breaker open, or
+///               the bracket lost a deadlock and got kAborted).
 ///               Statements are rejected; ROLLBACK is an acknowledging
 ///               no-op; COMMIT fails.
 ///
@@ -86,8 +87,17 @@ class TransactionContext {
   /// Ordinary statement failure inside the bracket: reject everything
   /// but ROLLBACK from now on.
   void Poison() { if (state_ == State::kActive) state_ = State::kPoisoned; }
-  /// The session rolled back on its own (deadline/admission/breaker).
+  /// The session rolled back on its own (deadline/admission/breaker, or
+  /// the bracket lost a deadlock and was aborted with kAborted).
   void MarkAborted() { state_ = State::kAborted; }
+
+  /// The bracket's lock-manager holder id (DESIGN.md §15), created on
+  /// the first write statement's acquisition and released only after
+  /// Commit()/Rollback() completes — compensation replay always runs
+  /// under the locks that protected the forward statements. Returns 0
+  /// when the engine runs without a lock manager.
+  uint64_t EnsureLockHolder();
+  uint64_t lock_holder() const { return lock_holder_; }
 
   uint64_t txn_id() const { return txn_id_; }
   bool open() const { return begun_; }
@@ -140,11 +150,13 @@ class TransactionContext {
 
  private:
   void BumpCounter(const char* op);
+  void ReleaseLocks();
 
   Database* db_;
   int64_t tenant_;
   State state_ = State::kActive;
   uint64_t txn_id_ = 0;
+  uint64_t lock_holder_ = 0;
   bool begun_ = false;
   int join_depth_ = 0;
   /// Confirmed compensations in staging order, across statements.
