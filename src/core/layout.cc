@@ -1160,7 +1160,14 @@ Result<std::vector<SchemaMapping::AffectedRow>> SchemaMapping::CollectAffected(
     a.logical.assign(r.begin() + 1, r.end());
     out.push_back(std::move(a));
   }
+  if (post_collect_hook_for_test_) post_collect_hook_for_test_();
   return out;
+}
+
+uint64_t SchemaMapping::PreCollectLockEpoch(const std::string& table) const {
+  lock::StatementLockContext* locks = lock::StatementLockContext::Current();
+  if (locks == nullptr || !locks->enabled() || Explaining()) return 0;
+  return locks->TableWriteEpoch(IdentLower(table));
 }
 
 Status SchemaMapping::LockAffectedRows(TenantId tenant,
@@ -1168,19 +1175,38 @@ Status SchemaMapping::LockAffectedRows(TenantId tenant,
                                        bool rows_lockable,
                                        std::vector<AffectedRow>* affected,
                                        const sql::ParsedExpr* where,
-                                       const std::vector<Value>& params) {
+                                       const std::vector<Value>& params,
+                                       uint64_t collect_epoch) {
   lock::StatementLockContext* locks = lock::StatementLockContext::Current();
   if (locks == nullptr || !locks->enabled() || Explaining()) {
     return Status::OK();
   }
   const std::string key = IdentLower(table);
-  if (!rows_lockable) {
+  // A NULL row column maps to row_id -1 (== lock::kTableRowId): such
+  // rows have no lockable identity, so their presence degrades the set
+  // to table granularity.
+  auto has_null_row_ids = [](const std::vector<AffectedRow>& rows) {
+    for (const AffectedRow& r : rows) {
+      if (r.row_id < 0) return true;
+    }
+    return false;
+  };
+  // Freshness protocol: collect and acquire are not atomic, so a winner
+  // can write, commit and RELEASE entirely inside the gap — this
+  // statement's acquisitions then never block, yet its images and the
+  // compensations staged from them are stale (a silent lost update on
+  // the winner's committed values). Every X release bumps the shard's
+  // write epoch before any waiter is granted, so "epoch still equals
+  // the pre-collect snapshot once the locks are held" proves no such
+  // window existed; any movement (a superset of waited()) re-runs
+  // Phase (a) under the locks now held.
+  if (!rows_lockable || has_null_row_ids(*affected)) {
     // No row ids: rows are addressed by value, so the honest lock
     // granularity is the whole (tenant, table). Still per tenant —
     // co-located tenants in shared physical tables never contend.
     locks->clear_waited();
     MTDB_RETURN_IF_ERROR(locks->LockTable(key, lock::LockMode::kX));
-    if (locks->waited()) {
+    if (locks->waited() || locks->TableWriteEpoch(key) != collect_epoch) {
       MTDB_ASSIGN_OR_RETURN(*affected,
                             CollectAffected(tenant, table, where, params));
     }
@@ -1189,13 +1215,16 @@ Status SchemaMapping::LockAffectedRows(TenantId tenant,
   // Single-row fast path: the common OLTP write touches one row, so
   // take the table intent and the row lock in one combined shard visit
   // and skip the fixed-point bookkeeping (set, sort, dedup) entirely —
-  // unless an acquisition blocked; only then can the winner have
-  // changed which rows match, forcing the re-collect below.
+  // unless the epoch moved; only then can a winner have changed which
+  // rows match or what they contain, forcing the re-collect below.
   if (affected->size() == 1) {
     locks->clear_waited();
     MTDB_RETURN_IF_ERROR(
         locks->LockRowWithIntent(key, affected->front().row_id));
-    if (!locks->waited()) return Status::OK();
+    if (!locks->waited() && locks->TableWriteEpoch(key) == collect_epoch) {
+      return Status::OK();
+    }
+    collect_epoch = locks->TableWriteEpoch(key);  // before the re-collect
     MTDB_ASSIGN_OR_RETURN(*affected,
                           CollectAffected(tenant, table, where, params));
     // Fall through to the general loop; the locks taken above stay held
@@ -1205,8 +1234,8 @@ Status SchemaMapping::LockAffectedRows(TenantId tenant,
   std::set<int64_t> locked;
   // Bounded fixed-point loop: lock the affected rows in ascending row-id
   // order (deterministic order keeps same-statement deadlocks out);
-  // whenever an acquisition blocked, the winner may have changed which
-  // rows match, so re-run Phase (a) and lock any newcomers too.
+  // whenever the epoch moved past the snapshot taken before the pass's
+  // row set was collected, re-run Phase (a) and lock any newcomers too.
   for (int pass = 0; pass < 8; ++pass) {
     locks->clear_waited();
     std::vector<int64_t> todo;
@@ -1219,23 +1248,33 @@ Status SchemaMapping::LockAffectedRows(TenantId tenant,
       MTDB_RETURN_IF_ERROR(locks->LockRow(key, row));
       locked.insert(row);
     }
-    if (!locks->waited()) return Status::OK();
+    if (!locks->waited() && locks->TableWriteEpoch(key) == collect_epoch) {
+      return Status::OK();
+    }
+    collect_epoch = locks->TableWriteEpoch(key);  // before the re-collect
     MTDB_ASSIGN_OR_RETURN(*affected,
                           CollectAffected(tenant, table, where, params));
+    if (has_null_row_ids(*affected)) break;
     bool all_locked = true;
     for (const AffectedRow& r : *affected) {
       if (locked.find(r.row_id) == locked.end()) all_locked = false;
     }
+    // Every re-collected row already X-held: the images are current
+    // (each row has been held since before the re-collect read it) and
+    // stable, so the set is final — later committers serialize after us.
     if (all_locked) return Status::OK();
   }
-  // Adversarial churn: after eight passes stop chasing the fixed point
-  // and lock whatever the final Phase (a) returned, so every row the
-  // statement acts on is held even if its image is a pass stale.
-  for (const AffectedRow& r : *affected) {
-    if (locked.find(r.row_id) == locked.end()) {
-      MTDB_RETURN_IF_ERROR(locks->LockRow(key, r.row_id));
-    }
-  }
+  // Adversarial churn (or NULL row ids surfacing mid-chase): stop
+  // chasing the row-level fixed point and escalate to the whole-table X
+  // lock. Once granted, no other writer holds or can take any lock on
+  // this (tenant, table) — prior winners released (bumping the epoch)
+  // before our grant — so one final Phase (a) run is authoritative
+  // rather than a pass stale. The escalation can deadlock against a
+  // peer doing the same; the wait-for graph resolves that by aborting
+  // the younger, which is acceptable on this pathological path.
+  MTDB_RETURN_IF_ERROR(locks->LockTable(key, lock::LockMode::kX));
+  MTDB_ASSIGN_OR_RETURN(*affected,
+                        CollectAffected(tenant, table, where, params));
   return Status::OK();
 }
 
@@ -1285,17 +1324,20 @@ Result<int64_t> SchemaMapping::GenericUpdate(TenantId tenant,
                                              const std::vector<Value>& params) {
   MTDB_ASSIGN_OR_RETURN(EffectiveTable eff, GetEffective(tenant, stmt.table));
   MTDB_ASSIGN_OR_RETURN(const TableMapping* mapping, Mapping(tenant, stmt.table));
+  const uint64_t collect_epoch = PreCollectLockEpoch(stmt.table);
   MTDB_ASSIGN_OR_RETURN(
       std::vector<AffectedRow> affected,
       CollectAffected(tenant, stmt.table, stmt.where.get(), params));
   // §15: every affected logical row is X-locked between Phase (a) and
   // Phase (b), before any undo staging (a blocked wait must never pin
-  // the txn gate). A waiter re-collects, so it updates the winner's
-  // committed image.
+  // the txn gate). If the table's write epoch moved since the snapshot
+  // above, Phase (a) is re-run under the locks, so the statement always
+  // updates the winner's committed image — even when the winner
+  // committed and released without ever blocking us.
   MTDB_RETURN_IF_ERROR(LockAffectedRows(
       tenant, stmt.table,
       !mapping->sources.empty() && !mapping->sources[0].row_column.empty(),
-      &affected, stmt.where.get(), params));
+      &affected, stmt.where.get(), params, collect_epoch));
 
   // Resolve assignment targets once (including each target's position in
   // the logical row, which the undo log needs to recover prior values).
@@ -1458,14 +1500,16 @@ Result<int64_t> SchemaMapping::GenericDelete(TenantId tenant,
                                              const std::vector<Value>& params) {
   MTDB_ASSIGN_OR_RETURN(EffectiveTable eff, GetEffective(tenant, stmt.table));
   MTDB_ASSIGN_OR_RETURN(const TableMapping* mapping, Mapping(tenant, stmt.table));
+  const uint64_t collect_epoch = PreCollectLockEpoch(stmt.table);
   MTDB_ASSIGN_OR_RETURN(
       std::vector<AffectedRow> affected,
       CollectAffected(tenant, stmt.table, stmt.where.get(), params));
-  // §15: see GenericUpdate — lock the affected rows before Phase (b).
+  // §15: see GenericUpdate — lock the affected rows before Phase (b),
+  // re-collecting whenever the write epoch moved past the snapshot.
   MTDB_RETURN_IF_ERROR(LockAffectedRows(
       tenant, stmt.table,
       !mapping->sources.empty() && !mapping->sources[0].row_column.empty(),
-      &affected, stmt.where.get(), params));
+      &affected, stmt.where.get(), params, collect_epoch));
 
   StatementUndoLog undo(db_);
   auto fail = [&](const Status& st) -> Status {

@@ -2,6 +2,7 @@
 #define MTDB_CORE_LAYOUT_H_
 
 #include <atomic>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -185,6 +186,15 @@ class SchemaMapping : public MappingResolver {
   /// threads the moment the pointer is published.
   void set_statement_observer(PhysicalStatementObserver* observer) {
     observer_.store(observer, std::memory_order_release);
+  }
+
+  /// Test-only: invoked (when set) after each Phase (a) collection
+  /// returns, before any locks are taken on its result — lets tests
+  /// commit a competing write inside the collect→lock window that
+  /// LockAffectedRows' epoch check must detect. Install before
+  /// concurrent traffic and clear (nullptr) before tearing down.
+  void SetPostCollectHookForTest(std::function<void()> hook) {
+    post_collect_hook_for_test_ = std::move(hook);
   }
 
   /// §6.3: "we transform delete operations into updates that mark the
@@ -378,21 +388,33 @@ class SchemaMapping : public MappingResolver {
       TenantId tenant, const std::string& table, const sql::ParsedExpr* where,
       const std::vector<Value>& params);
 
+  /// Write-epoch snapshot to take immediately before a Phase (a)
+  /// collection whose result feeds LockAffectedRows; 0 when the
+  /// statement acquires no locks (the check then compares 0 == 0).
+  uint64_t PreCollectLockEpoch(const std::string& table) const;
+
   /// Write-lock acquisition between Phase (a) and Phase (b) (DESIGN.md
   /// §15): takes the table intent plus an X lock on every affected
-  /// logical row — or, for layouts whose sources carry no row column
-  /// (Basic/Private address rows by value), one whole-table X lock.
-  /// When any acquisition blocked, re-runs Phase (a) under the locks
-  /// now held and locks newly matching rows, so a waiter that was
-  /// serialized behind a committed writer proceeds with the post-commit
-  /// image. No-op unless the statement installed a
+  /// logical row — or one whole-table X lock for layouts whose sources
+  /// carry no row column (Basic/Private address rows by value) and for
+  /// affected sets containing NULL row ids (which have no lockable
+  /// identity). `collect_epoch` is the PreCollectLockEpoch snapshot
+  /// taken just before the Phase (a) run that produced `affected`:
+  /// collect and acquire are not atomic, so a winner may write, commit
+  /// and release entirely inside the gap without ever blocking this
+  /// statement. Whenever the shard's write epoch moved past the
+  /// snapshot — a superset of "an acquisition blocked" — Phase (a) is
+  /// re-run under the locks now held and newly matching rows are locked
+  /// too, so the statement always acts on (and stages compensations
+  /// from) current images. No-op unless the statement installed a
   /// lock::StatementLockContext (admin DDL, EXPLAIN MAPPING, recovery
   /// and compensation replay never do).
   Status LockAffectedRows(TenantId tenant, const std::string& table,
                           bool rows_lockable,
                           std::vector<AffectedRow>* affected,
                           const sql::ParsedExpr* where,
-                          const std::vector<Value>& params);
+                          const std::vector<Value>& params,
+                          uint64_t collect_epoch);
 
   /// Invalidates all cached TableMappings (call after DDL).
   void InvalidateMappings();
@@ -443,6 +465,8 @@ class SchemaMapping : public MappingResolver {
   std::atomic<DmlMode> dml_mode_{DmlMode::kPerRow};
   /// Physical-statement capture hook (see PhysicalStatementObserver).
   std::atomic<PhysicalStatementObserver*> observer_{nullptr};
+  /// See SetPostCollectHookForTest.
+  std::function<void()> post_collect_hook_for_test_;
   /// Set by layouts that provision `del` visibility columns.
   bool trashcan_deletes_ = false;
   /// Consecutive hard faults before a tenant's breaker opens.

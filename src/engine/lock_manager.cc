@@ -202,6 +202,13 @@ uint64_t LockManager::held() const {
   return g >= r ? g - r : 0;
 }
 
+uint64_t LockManager::WriteEpoch(int64_t tenant,
+                                 const std::string& table_lower) const {
+  const size_t h = LockKeyHash::TableHash(tenant, table_lower);
+  return shards_[h % shards_.size()]->write_epoch.load(
+      std::memory_order_acquire);
+}
+
 bool LockManager::IsAborted(uint64_t holder) const {
   std::lock_guard<Latch> g(graph_mu_);
   auto it = holders_.find(holder);
@@ -281,6 +288,12 @@ uint64_t LockManager::FindDeadlockVictimLocked(uint64_t self) const {
 }
 
 void LockManager::AbortVictimLocked(uint64_t victim) {
+  // Only a parked holder is a victim. Grant acceptance atomically (under
+  // graph_mu_, which this caller holds) checks the flag and retires the
+  // waiter's edges, so "edges live" ⇔ "still parked": a holder granted
+  // since the DFS saw its edge must not be flagged — it would proceed
+  // holding the lock and its next acquisition would spuriously abort.
+  if (waits_for_.find(victim) == waits_for_.end()) return;
   auto it = holders_.find(victim);
   if (it == holders_.end()) return;
   it->second->aborted.store(true, std::memory_order_release);
@@ -394,6 +407,7 @@ Status LockManager::AcquireResolved(Holder* h, const LockKey& key,
   const auto wait_start = std::chrono::steady_clock::now();
   Status result = Status::OK();
   bool granted = false;
+  bool retired = false;
   while (true) {
     std::vector<uint64_t> blockers = BlockersOf(e, holder, mode);
     {
@@ -425,6 +439,19 @@ Status LockManager::AcquireResolved(Holder* h, const LockKey& key,
       break;
     }
     if (Grantable(e, holder, mode)) {
+      // Accept the grant atomically against the deadlock detector: the
+      // victim-flag check and the edge retirement share one graph-latch
+      // round, so a detector that still sees our published edges either
+      // flagged us first (we abort here) or runs after the erase, finds
+      // us no longer parked, and never flags us — closing the window
+      // where a just-granted waiter could be picked as a stale victim.
+      std::lock_guard<Latch> g(graph_mu_);
+      if (h->aborted.load(std::memory_order_acquire)) {
+        result = VictimStatus();
+        break;
+      }
+      waits_for_.erase(holder);
+      retired = true;
       granted = true;
       break;
     }
@@ -453,7 +480,7 @@ Status LockManager::AcquireResolved(Holder* h, const LockKey& key,
     }
   }
   e.waiters--;
-  {
+  if (!retired) {
     std::lock_guard<Latch> g(graph_mu_);
     waits_for_.erase(holder);
   }
@@ -512,6 +539,7 @@ void LockManager::ReleaseKeys(uint64_t holder,
   for (size_t i = 0; i < keys.size();) {
     Shard& s = ShardFor(keys[i]);
     bool notify = false;
+    bool x_released = false;
     uint64_t releases = 0;
     {
       std::lock_guard<Latch> lk(s.mu);
@@ -519,6 +547,7 @@ void LockManager::ReleaseKeys(uint64_t holder,
         LockEntry& e = *entries[i];
         for (auto oit = e.owners.begin(); oit != e.owners.end(); ++oit) {
           if (oit->first == holder) {
+            x_released |= oit->second == LockMode::kX;
             e.owners.erase(oit);
             releases++;
             break;
@@ -535,6 +564,13 @@ void LockManager::ReleaseKeys(uint64_t holder,
         ++i;
       } while (i < keys.size() && &ShardFor(keys[i]) == &s);
       s.released += releases;
+      // An X release means a writer's lifetime ended here — the signal
+      // the collect→acquire freshness protocol keys on (WriteEpoch).
+      // Bumped before the latch drops, so a waiter granted afterwards
+      // is guaranteed to observe the new epoch.
+      if (x_released) {
+        s.write_epoch.fetch_add(1, std::memory_order_release);
+      }
     }
     if (notify) s.cv.notify_all();
   }
@@ -592,9 +628,22 @@ bool LockNoop() {
 }
 }  // namespace
 
+uint64_t StatementLockContext::TableWriteEpoch(
+    const std::string& table_lower) const {
+  if (lm_ == nullptr || LockNoop()) return 0;
+  return lm_->WriteEpoch(tenant_, table_lower);
+}
+
 Status StatementLockContext::LockRow(const std::string& table_lower,
                                      int64_t row_id) {
   if (lm_ == nullptr || LockNoop()) return Status::OK();
+  if (row_id < 0) {
+    // A NULL row column maps to -1 == kTableRowId: locking it would
+    // silently collapse distinct rows onto the table lock. Callers
+    // degrade such sets to an explicit LockTable(kX) instead.
+    return Status::Internal("row lock on negative row id " +
+                            std::to_string(row_id) + " in " + table_lower);
+  }
   LockManager::Holder* h = EnsureResolved();
   if (h == nullptr) {
     return Status::Internal("lock holder vanished mid-statement");
@@ -609,6 +658,10 @@ Status StatementLockContext::LockRow(const std::string& table_lower,
 Status StatementLockContext::LockRowWithIntent(const std::string& table_lower,
                                                int64_t row_id) {
   if (lm_ == nullptr || LockNoop()) return Status::OK();
+  if (row_id < 0) {
+    return Status::Internal("row lock on negative row id " +
+                            std::to_string(row_id) + " in " + table_lower);
+  }
   LockManager::Holder* h = EnsureResolved();
   if (h == nullptr) {
     return Status::Internal("lock holder vanished mid-statement");

@@ -47,17 +47,24 @@ struct LockKey {
 };
 
 struct LockKeyHash {
+  /// Row-independent hash over raw (tenant, table) — the shard selector
+  /// without materializing a LockKey (write-epoch reads).
+  static size_t TableHash(int64_t tenant, const std::string& table) {
+    size_t h = std::hash<std::string>()(table);
+    h ^= std::hash<int64_t>()(tenant) + 0x9e3779b97f4a7c15ull + (h << 6) +
+         (h >> 2);
+    if (h == 0) h = 1;          // keep 0 as the "unset" sentinel
+    return h;
+  }
+
   /// Row-independent part, memoized. Also the shard selector: every key
   /// of one (tenant, table) lands in one shard, so a statement's table
   /// intent and row lock are taken in a single latched shard visit.
   static size_t TableHash(const LockKey& k) {
     if (k.cached_hash != 0) return k.cached_hash;
-    size_t h = std::hash<std::string>()(k.table);
-    h ^= std::hash<int64_t>()(k.tenant) + 0x9e3779b97f4a7c15ull + (h << 6) +
-         (h >> 2);
-    if (h == 0) h = 1;          // keep 0 as the "unset" sentinel
-    k.cached_hash = h;          // safe: keys are latched or thread-confined
-    return h;
+    k.cached_hash = TableHash(k.tenant, k.table);
+    // safe: keys are latched or thread-confined
+    return k.cached_hash;
   }
 
   size_t operator()(const LockKey& k) const {
@@ -131,6 +138,19 @@ class LockManager {
   /// True when the holder has been flagged as a deadlock victim.
   bool IsAborted(uint64_t holder) const;
 
+  /// Current write epoch of the shard hosting (tenant, table): advances
+  /// whenever an X lock in that shard is released. Collect and acquire
+  /// are not atomic — a winner can write, commit and release entirely
+  /// between a statement's Phase (a) run and its (then non-blocking)
+  /// lock acquisition. Snapshot the epoch before collecting; if it
+  /// still matches once the locks are granted, no conflicting writer
+  /// can have committed-and-released inside the window (its release
+  /// would have bumped the epoch before our same-shard grant), so the
+  /// collected row images are current. Shard granularity means writers
+  /// of other tables in the shard can force a spurious re-collect —
+  /// safe, merely wasted work.
+  uint64_t WriteEpoch(int64_t tenant, const std::string& table_lower) const;
+
   /// Currently held lock count (lock.held gauge). Sums the per-shard
   /// grant/release tallies under each shard latch in turn, so the
   /// result is a consistent snapshot per shard, not across shards —
@@ -165,6 +185,10 @@ class LockManager {
     /// beat two shared atomic RMWs per statement.
     uint64_t granted = 0;
     uint64_t released = 0;
+    /// Bumped (under `mu`) whenever an X lock in this shard is
+    /// released; read lock-free by WriteEpoch(). See that method for
+    /// the collect→acquire freshness protocol it backs.
+    std::atomic<uint64_t> write_epoch{0};
   };
   /// Per-shard cap on cached empty entries (~400 KB of nodes/shard;
   /// one tenant-table's whole row set maps to a single shard, so the
@@ -218,6 +242,10 @@ class LockManager {
   /// youngest member's id, else 0. Caller holds graph_mu_.
   uint64_t FindDeadlockVictimLocked(uint64_t self) const;
   /// Flags `victim` and wakes every shard so it observes the flag.
+  /// No-op when the victim has no live waits_for_ entry: a holder whose
+  /// edges are gone was granted since the DFS saw it (grant acceptance
+  /// retires the edges under graph_mu_) and is no longer parked —
+  /// flagging it now would spuriously abort its next acquisition.
   /// Caller holds graph_mu_ (and one shard latch; condvars need no
   /// latch to notify).
   void AbortVictimLocked(uint64_t victim);
@@ -274,7 +302,9 @@ class StatementLockContext {
   StatementLockContext(const StatementLockContext&) = delete;
   StatementLockContext& operator=(const StatementLockContext&) = delete;
 
-  /// X lock on one logical row.
+  /// X lock on one logical row. Rejects negative row ids (a NULL row
+  /// column maps to -1 == kTableRowId and would silently alias the
+  /// table lock); callers degrade such sets to LockTable(kX) instead.
   Status LockRow(const std::string& table_lower, int64_t row_id);
   /// Table IX + row X in one shard visit — the single-row statement
   /// fast path (equivalent to LockTable(kIntentX) then LockRow).
@@ -283,11 +313,16 @@ class StatementLockContext {
   /// fallback for layouts without row ids).
   Status LockTable(const std::string& table_lower, LockMode mode);
 
-  /// True once any acquisition in this statement blocked — the mapping
-  /// layer re-runs Phase (a) so the waiter proceeds with the post-commit
-  /// image of the winner.
+  /// True once any acquisition in this statement blocked. A wait always
+  /// implies the table's write epoch moved (the holder released to let
+  /// us in), so the mapping layer's freshness check is epoch-based and
+  /// this flag is belt-and-braces on top of TableWriteEpoch().
   bool waited() const { return waited_; }
   void clear_waited() { waited_ = false; }
+
+  /// LockManager::WriteEpoch of (tenant, table_lower)'s shard; 0 when
+  /// locking is disabled (so disabled snapshots compare equal).
+  uint64_t TableWriteEpoch(const std::string& table_lower) const;
 
   bool enabled() const { return lm_ != nullptr; }
 

@@ -4,11 +4,12 @@
 // re-acquisition, deadline timeouts with holder hints, youngest-victim
 // deadlock resolution) and scripted two-session write-write
 // interleavings through the TenantSession front door — block-then-
-// proceed with the winner's post-commit image, deadlock victim abort +
-// auto-rollback, autocommit waiter timing out against a bracket, and a
-// poisoned bracket keeping its locks until ROLLBACK — asserted identical
-// across all eight layouts, plus a chaos variant where storage faults
-// fire while locks are held.
+// proceed with the winner's post-commit image, a rival committing and
+// releasing inside the collect→lock window (the write-epoch TOCTOU
+// check), deadlock victim abort + auto-rollback, autocommit waiter
+// timing out against a bracket, and a poisoned bracket keeping its
+// locks until ROLLBACK — asserted identical across all eight layouts,
+// plus a chaos variant where storage faults fire while locks are held.
 #include <atomic>
 #include <chrono>
 #include <memory>
@@ -149,6 +150,33 @@ TEST(LockManagerTest, YoungestHolderLosesTheDeadlock) {
   EXPECT_EQ(lm.held(), 0u);
 }
 
+// The write epoch is the freshness signal behind the mapping layer's
+// collect→acquire validation (LockManager::WriteEpoch): it must advance
+// exactly when an X lock is released — never on grants, never on
+// intent-only releases.
+TEST(LockManagerTest, WriteEpochAdvancesOnlyOnXRelease) {
+  MetricsRegistry registry;
+  lock::LockManager lm(&registry, 4);
+  const uint64_t a = lm.CreateHolder(5, true);
+  const uint64_t e0 = lm.WriteEpoch(5, "t");
+  ASSERT_TRUE(
+      lm.Acquire(a, {5, "t", lock::kTableRowId}, lock::LockMode::kIntentX)
+          .ok());
+  ASSERT_TRUE(lm.Acquire(a, {5, "t", 1}, lock::LockMode::kX).ok());
+  EXPECT_EQ(lm.WriteEpoch(5, "t"), e0) << "grants must not move the epoch";
+  lm.ReleaseAll(a);
+  EXPECT_GT(lm.WriteEpoch(5, "t"), e0) << "an X release must move it";
+
+  const uint64_t b = lm.CreateHolder(5, true);
+  const uint64_t e1 = lm.WriteEpoch(5, "t");
+  ASSERT_TRUE(
+      lm.Acquire(b, {5, "t", lock::kTableRowId}, lock::LockMode::kIntentX)
+          .ok());
+  lm.ReleaseAll(b);
+  EXPECT_EQ(lm.WriteEpoch(5, "t"), e1)
+      << "an intent-only release carries no committed write";
+}
+
 // ------------------------------------------------- two-session scripts
 
 /// Figure 4 plus a second logical table, so deadlocks can form between
@@ -249,6 +277,68 @@ TEST_P(LockInterleavingTest, BlockedWriterProceedsWithPostCommitImage) {
   EXPECT_EQ(NameOf(1), "B");
   EXPECT_EQ(NameOf(2), "B");
   EXPECT_EQ(NameOf(3), "B");
+}
+
+// A rival that writes, commits and RELEASES entirely inside the gap
+// between this statement's Phase (a) collection and its lock
+// acquisition never blocks it — only the write-epoch check can force
+// the re-collect. Without it the SET expression evaluates against the
+// stale image and silently overwrites the rival's committed value
+// (the classic collect→acquire TOCTOU lost update).
+TEST_P(LockInterleavingTest, CommitBetweenCollectAndLockIsNotLost) {
+  std::atomic<bool> fired{false};
+  layout_->SetPostCollectHookForTest([&] {
+    if (fired.exchange(true)) return;  // only the victim's first collect
+    // A separate thread keeps the rival's TLS (lock context, holder
+    // lease) clean of the half-finished outer statement.
+    std::thread rival([&] {
+      mapping::TenantSession session = layout_->OpenSession(17);
+      auto r =
+          session.Execute("UPDATE inventory SET qty = qty + 100 WHERE iid = 1");
+      EXPECT_TRUE(r.ok()) << r.status().ToString();
+    });
+    rival.join();  // committed and released before the victim locks
+  });
+  mapping::TenantSession session = layout_->OpenSession(17);
+  auto r = session.Execute("UPDATE inventory SET qty = qty + 1 WHERE iid = 1");
+  layout_->SetPostCollectHookForTest(nullptr);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  if (fired.load()) {
+    EXPECT_EQ(QtyOf(1), 111)
+        << "the rival's committed +100 was overwritten from a stale image";
+  } else {
+    // Pass-through layouts (Basic/Private) have no Phase (a) collection
+    // and no collect→lock window: the lock-first rewrite is immune.
+    EXPECT_EQ(QtyOf(1), 11);
+  }
+}
+
+// Same window, but the rival's committed write changes WHICH rows match
+// the victim's predicate: the epoch-forced re-collect must pick up the
+// newly matching row, not just refresh the images of the old set.
+TEST_P(LockInterleavingTest, CommitBetweenCollectAndLockGrowsTheRowSet) {
+  std::atomic<bool> fired{false};
+  layout_->SetPostCollectHookForTest([&] {
+    if (fired.exchange(true)) return;
+    std::thread rival([&] {
+      mapping::TenantSession session = layout_->OpenSession(17);
+      auto r = session.Execute(
+          "UPDATE account SET name = 'Acme' WHERE aid = 2");
+      EXPECT_TRUE(r.ok()) << r.status().ToString();
+    });
+    rival.join();
+  });
+  mapping::TenantSession session = layout_->OpenSession(17);
+  auto r = session.Execute("UPDATE account SET name = 'X' WHERE name = 'Acme'");
+  layout_->SetPostCollectHookForTest(nullptr);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(NameOf(1), "X");
+  if (fired.load()) {
+    EXPECT_EQ(*r, 2) << "the re-collect missed the newly matching row";
+    EXPECT_EQ(NameOf(2), "X");
+  } else {
+    EXPECT_EQ(NameOf(2), "Gump");
+  }
 }
 
 // Two brackets lock account and inventory in opposite orders. The
